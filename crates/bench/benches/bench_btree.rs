@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the B+ tree: bulk load, point seeks,
+//! range scans, and incremental inserts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpd_btree::{BTree, BTreeConfig};
+use hpd_common::{Key, Row, Value};
+use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
+use std::ops::Bound;
+
+const N: i32 = 100_000;
+
+fn entries(n: i32) -> Vec<(Key, Row)> {
+    (0..n)
+        .map(|i| {
+            (
+                Key::single(Value::Int32(i)),
+                Row::new(vec![Value::Int32(i), Value::Int32(i * 3)]),
+            )
+        })
+        .collect()
+}
+
+fn build() -> (BTree, BufferPool) {
+    let pool = BufferPool::unbounded(DeviceProfile::ram());
+    let tree = BTree::bulk_load(
+        BTreeConfig::for_entry_width(16),
+        StorageAllocator::new(),
+        entries(N),
+        &pool,
+        &IoTracker::new(),
+    )
+    .unwrap();
+    (tree, pool)
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let (tree, pool) = build();
+    let tracker = IoTracker::new();
+
+    c.bench_function("btree/bulk_load_100k", |b| {
+        b.iter_batched(
+            || entries(N),
+            |e| {
+                BTree::bulk_load(
+                    BTreeConfig::for_entry_width(16),
+                    StorageAllocator::new(),
+                    e,
+                    &pool,
+                    &tracker,
+                )
+                .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("btree/point_seek", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 7919) % N;
+            tree.seek_exact(&Key::single(Value::Int32(i)), &pool, &tracker)
+        })
+    });
+
+    c.bench_function("btree/range_scan_1pct", |b| {
+        b.iter(|| {
+            let lo = Key::single(Value::Int32(1000));
+            let hi = Key::single(Value::Int32(2000));
+            tree.scan_range_collect(Bound::Included(&lo), Bound::Excluded(&hi), &pool, &tracker)
+        })
+    });
+
+    c.bench_function("btree/insert_1k_into_100k", |b| {
+        b.iter_batched(
+            build,
+            |(mut t, p)| {
+                for i in 0..1000 {
+                    t.insert(
+                        Key::single(Value::Int32(N + i)),
+                        Row::new(vec![Value::Int32(N + i), Value::Int32(0)]),
+                        &p,
+                        &tracker,
+                    );
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_btree
+}
+criterion_main!(benches);

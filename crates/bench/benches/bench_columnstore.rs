@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the columnstore: encodings, greedy
+//! sort-order ablation, row-group-capacity (batch size) ablation, scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpd_columnstore::{encode_i64s, ColumnStoreIndex, CsiConfig, CsiKind, RowGroup, SortMode};
+use hpd_common::{ColumnVector, DataType, Row, Schema, Value};
+use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
+use std::collections::HashMap;
+
+fn rows(n: i32) -> Vec<Row> {
+    (0..n)
+        .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i % 64)]))
+        .collect()
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let sorted_low: Vec<i64> = {
+        let mut v: Vec<i64> = (0..100_000).map(|i| i % 32).collect();
+        v.sort_unstable();
+        v
+    };
+    let random_small: Vec<i64> = (0..100_000).map(|i| (i * 2_654_435_761i64) % 1024).collect();
+    let wide: Vec<i64> = (0..100_000).map(|i| i * 1_000_000_007).collect();
+
+    let mut g = c.benchmark_group("encoding");
+    for (name, data) in [
+        ("rle_friendly", &sorted_low),
+        ("bitpack_friendly", &random_small),
+        ("raw", &wide),
+    ] {
+        g.bench_with_input(BenchmarkId::new("encode", name), data, |b, d| {
+            b.iter(|| encode_i64s(d))
+        });
+        let encoded = encode_i64s(data);
+        g.bench_with_input(BenchmarkId::new("decode", name), &encoded, |b, e| {
+            b.iter(|| e.decode())
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_order_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: greedy compression sort order vs arrival order.
+    let data: Vec<i32> = (0..65_536).map(|i| ((i * 2_654_435_761u64 as i64) % 16) as i32).collect();
+    let alloc = StorageAllocator::new();
+    let mut g = c.benchmark_group("rowgroup_build");
+    for (name, mode) in [("arrival", SortMode::Arrival), ("greedy", SortMode::Greedy)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                RowGroup::build(
+                    vec![ColumnVector::Int32(data.clone())],
+                    mode,
+                    &alloc,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rowgroup_capacity_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: vectorized unit size (row-group capacity).
+    let schema = Schema::from_pairs(&[("id", DataType::Int32), ("val", DataType::Int32)]);
+    let data = rows(262_144);
+    let pool = BufferPool::unbounded(DeviceProfile::ram());
+    let tracker = IoTracker::new();
+    let mut g = c.benchmark_group("csi_scan_capacity");
+    g.sample_size(10);
+    for capacity in [4_096usize, 16_384, 65_536] {
+        let csi = ColumnStoreIndex::build(
+            schema.clone(),
+            CsiKind::Primary,
+            vec![0],
+            CsiConfig {
+                rowgroup_capacity: capacity,
+                sort_mode: SortMode::Greedy,
+                ..CsiConfig::default()
+            },
+            &data,
+            StorageAllocator::new(),
+            &pool,
+            &tracker,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(capacity), &csi, |b, idx| {
+            b.iter(|| idx.scan_collect(&[0, 1], &HashMap::new(), &pool, &tracker))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encoding, bench_sort_order_ablation, bench_rowgroup_capacity_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks for execution: the row-mode vs batch-mode CPU
+//! asymmetry (the heart of the paper's columnstore advantage), aggregation
+//! strategies, and joins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpd_common::{AggFunc, Batch, CmpOp, ColumnVector, DataType, Expr, Value};
+use hpd_exec::{
+    collect, AggSpec, ExecCtx, FilterOp, HashAggOp, HashJoinOp, Mode, SortOp, StreamAggOp,
+    ValuesOp,
+};
+use hpd_exec::ops::sort::SortKey;
+use hpd_storage::{BufferPool, DeviceProfile};
+
+const N: i32 = 200_000;
+
+fn batch() -> Batch {
+    Batch::new(vec![
+        ColumnVector::Int32((0..N).collect()),
+        ColumnVector::Int32((0..N).map(|i| i % 100).collect()),
+    ])
+}
+
+fn source() -> Box<ValuesOp> {
+    Box::new(ValuesOp::new(
+        vec![DataType::Int32, DataType::Int32],
+        vec![batch()],
+    ))
+}
+
+fn bench_filter_modes(c: &mut Criterion) {
+    let pool = BufferPool::unbounded(DeviceProfile::ram());
+    let pred = Expr::col_cmp(0, CmpOp::Lt, Value::Int32(N / 2));
+    let mut g = c.benchmark_group("filter_200k");
+    for (name, mode) in [("row_mode", Mode::Row), ("batch_mode", Mode::Batch)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = ExecCtx::new(&pool);
+                let mut op = FilterOp::new(source(), pred.clone(), mode);
+                collect(&mut op, &ctx).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let pool = BufferPool::unbounded(DeviceProfile::ram());
+    let mut g = c.benchmark_group("agg_200k_100groups");
+    g.bench_function("hash", |b| {
+        b.iter(|| {
+            let ctx = ExecCtx::new(&pool);
+            let mut op = HashAggOp::new(source(), vec![1], vec![AggSpec::new(AggFunc::Sum, 0)]);
+            collect(&mut op, &ctx).unwrap()
+        })
+    });
+    // Stream agg needs sorted input: pre-sort a batch by group.
+    let sorted_src = || {
+        let mut rows = batch().to_rows();
+        rows.sort_by(|a, b| a[1].cmp(&b[1]));
+        Box::new(
+            ValuesOp::from_rows(vec![DataType::Int32, DataType::Int32], &rows).unwrap(),
+        )
+    };
+    g.bench_function("stream_presorted", |b| {
+        b.iter(|| {
+            let ctx = ExecCtx::new(&pool);
+            let mut op =
+                StreamAggOp::new(sorted_src(), vec![1], vec![AggSpec::new(AggFunc::Sum, 0)]);
+            collect(&mut op, &ctx).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort_and_join(c: &mut Criterion) {
+    let pool = BufferPool::unbounded(DeviceProfile::ram());
+    c.bench_function("sort_200k", |b| {
+        b.iter(|| {
+            let ctx = ExecCtx::new(&pool);
+            let mut op = SortOp::new(source(), vec![SortKey::asc(1), SortKey::desc(0)]);
+            collect(&mut op, &ctx).unwrap()
+        })
+    });
+    c.bench_function("hash_join_200k_x_100", |b| {
+        let dim: Vec<hpd_common::Row> = (0..100)
+            .map(|i| hpd_common::Row::new(vec![Value::Int32(i), Value::Int32(i * 2)]))
+            .collect();
+        b.iter(|| {
+            let ctx = ExecCtx::new(&pool);
+            let right =
+                Box::new(ValuesOp::from_rows(vec![DataType::Int32, DataType::Int32], &dim).unwrap());
+            let mut op = HashJoinOp::new(source(), right, vec![(1, 0)]);
+            collect(&mut op, &ctx).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_filter_modes, bench_aggregation, bench_sort_and_join
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Device-speed sensitivity ablation (paper §3.2.3). HPD_SCALE=quick|full.
+fn main() {
+    let scale = hpd_bench::Scale::from_env();
+    print!("{}", hpd_bench::figs::ablation_device::run(scale));
+}

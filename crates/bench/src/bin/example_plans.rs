@@ -1,0 +1,5 @@
+//! Reproduce the paper's example plans experiment. Scale via HPD_SCALE=quick|full.
+fn main() {
+    let scale = hpd_bench::Scale::from_env();
+    print!("{}", hpd_bench::figs::example_plans::run(scale));
+}

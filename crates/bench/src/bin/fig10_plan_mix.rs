@@ -1,0 +1,5 @@
+//! Reproduce the paper's fig10 plan mix experiment. Scale via HPD_SCALE=quick|full.
+fn main() {
+    let scale = hpd_bench::Scale::from_env();
+    print!("{}", hpd_bench::figs::fig10_plan_mix::run(scale));
+}

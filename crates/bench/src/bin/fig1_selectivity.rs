@@ -1,0 +1,5 @@
+//! Reproduce the paper's fig1 selectivity experiment. Scale via HPD_SCALE=quick|full.
+fn main() {
+    let scale = hpd_bench::Scale::from_env();
+    print!("{}", hpd_bench::figs::fig1_selectivity::run(scale));
+}

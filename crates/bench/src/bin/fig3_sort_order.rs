@@ -1,0 +1,5 @@
+//! Reproduce the paper's fig3 sort order experiment. Scale via HPD_SCALE=quick|full.
+fn main() {
+    let scale = hpd_bench::Scale::from_env();
+    print!("{}", hpd_bench::figs::fig3_sort_order::run(scale));
+}

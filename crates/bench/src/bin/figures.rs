@@ -1,0 +1,32 @@
+//! Run every table/figure reproduction and print a combined report.
+//! Scale via HPD_SCALE=quick|full (default: medium).
+use hpd_bench::figs;
+use hpd_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sections: Vec<(&str, fn(Scale) -> String)> = vec![
+        ("fig1", figs::fig1_selectivity::run),
+        ("fig2+fig12", figs::fig2_data_skipping::run),
+        ("fig3", figs::fig3_sort_order::run),
+        ("fig4", figs::fig4_groupby_memory::run),
+        ("fig5", figs::fig5_updates::run),
+        ("fig6", figs::fig6_mixed::run),
+        ("table1", figs::table1_matrix::run),
+        ("table2", figs::table2_stats::run),
+        ("fig9", figs::fig9_speedup::run),
+        ("fig10", figs::fig10_plan_mix::run),
+        ("fig11", figs::fig11_ch_mixed::run),
+        ("fig13", figs::fig13_concurrency::run),
+        ("example-plans", figs::example_plans::run),
+        ("ablation-device", figs::ablation_device::run),
+    ];
+    for (name, f) in sections {
+        let start = std::time::Instant::now();
+        println!("================================================================");
+        println!("== {name}");
+        println!("================================================================");
+        println!("{}", f(scale));
+        eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

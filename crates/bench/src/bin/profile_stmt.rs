@@ -1,0 +1,59 @@
+//! Micro-profile of per-statement overhead.
+use std::time::Instant;
+use hpd_engine::{Database, DbConfig, IsolationLevel, Statement};
+use hpd_workloads::tpch::{load_lineitem, q4_update, MixedDesign};
+
+fn main() {
+    let mut cfg = DbConfig::default();
+    cfg.csi.rowgroup_capacity = 8192;
+    let db = Database::new(cfg);
+    load_lineitem(&db, 30_000, 42, MixedDesign::BTreeWithSecondaryCsi).unwrap();
+
+    let q = match q4_update(10, 5) {
+        Statement::Update(u) => hpd_engine::SelectQuery::single_table(
+            "lineitem",
+            Some(u.predicate.clone()),
+            (0..8).collect(),
+        ),
+        _ => unreachable!(),
+    };
+    let n = 500;
+
+    // contexts: metas() cost
+    let start = Instant::now();
+    for _ in 0..n {
+        db.with_table("lineitem", |t| t.metas()).unwrap();
+    }
+    println!("metas(): {:.1}us", start.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+    let start = Instant::now();
+    for _ in 0..n {
+        db.with_table("lineitem", |t| t.stats().clone()).unwrap();
+    }
+    println!("stats clone: {:.1}us", start.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+    // plan via db.plan (contexts + optimizer)
+    let start = Instant::now();
+    for _ in 0..n {
+        db.plan(&q).unwrap();
+    }
+    println!("db.plan: {:.1}us", start.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+    // select through a raw txn
+    let session = db.session(IsolationLevel::ReadCommitted);
+    let mut txn = session.begin();
+    txn.select(&q).unwrap();
+    let start = Instant::now();
+    for _ in 0..n {
+        txn.select(&q).unwrap();
+    }
+    println!("txn.select: {:.1}us", start.elapsed().as_secs_f64() * 1e6 / n as f64);
+    txn.abort();
+
+    // full autocommit select
+    let start = Instant::now();
+    for _ in 0..n {
+        db.execute(&Statement::Select(q.clone())).unwrap();
+    }
+    println!("db.execute: {:.1}us", start.elapsed().as_secs_f64() * 1e6 / n as f64);
+}

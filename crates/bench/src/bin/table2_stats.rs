@@ -1,0 +1,5 @@
+//! Reproduce the paper's table2 stats experiment. Scale via HPD_SCALE=quick|full.
+fn main() {
+    let scale = hpd_bench::Scale::from_env();
+    print!("{}", hpd_bench::figs::table2_stats::run(scale));
+}

@@ -1,0 +1,250 @@
+//! Shared measurement helpers for the figure reproductions.
+
+use hpd_engine::{Database, DbConfig, ExecutionResult, Statement};
+use hpd_storage::DeviceProfile;
+
+/// Bandwidth divisor for [`scaled_hdd_config`]: keeps laptop-scale tables in
+/// the paper's seek-vs-scan regime (a full scan must dwarf a few seeks).
+pub const HDD_BANDWIDTH_SCALE: f64 = 40.0;
+
+/// The cold-run database configuration used by the figure reproductions:
+/// HDD seek latency with bandwidth scaled down to match our scaled-down
+/// tables (see `DeviceProfile::hdd_scaled`).
+pub fn scaled_hdd_config() -> DbConfig {
+    DbConfig {
+        device: DeviceProfile::hdd_scaled(HDD_BANDWIDTH_SCALE),
+        ..DbConfig::default()
+    }
+}
+
+/// The paper's selectivity grid (fractions; the paper labels them in %):
+/// 0, 0.00001%, 0.0001%, 0.001%, 0.01%, 0.05%, 0.09%, 0.4%, 1%, 10%, 30%,
+/// 50%, 100%.
+pub const SELECTIVITY_GRID: [f64; 13] = [
+    0.0, 1e-7, 1e-6, 1e-5, 1e-4, 5e-4, 9e-4, 4e-3, 0.01, 0.1, 0.3, 0.5, 1.0,
+];
+
+/// Experiment scale, switchable via the `HPD_SCALE` environment variable
+/// (`quick` for CI-sized runs, anything else for the default).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub micro_rows: usize,
+    pub lineitem_rows: usize,
+    pub ds_queries: usize,
+    pub mixed_threads: usize,
+    pub mixed_ops_per_thread: usize,
+    pub quick: bool,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        match std::env::var("HPD_SCALE").as_deref() {
+            Ok("quick") => Scale::quick(),
+            Ok("full") => Scale::full(),
+            _ => Scale::default_scale(),
+        }
+    }
+
+    pub fn quick() -> Scale {
+        Scale {
+            micro_rows: 100_000,
+            lineitem_rows: 30_000,
+            ds_queries: 12,
+            mixed_threads: 3,
+            mixed_ops_per_thread: 20,
+            quick: true,
+        }
+    }
+
+    pub fn default_scale() -> Scale {
+        Scale {
+            micro_rows: 500_000,
+            lineitem_rows: 100_000,
+            ds_queries: 30,
+            mixed_threads: 4,
+            mixed_ops_per_thread: 40,
+            quick: false,
+        }
+    }
+
+    pub fn full() -> Scale {
+        Scale {
+            micro_rows: 2_000_000,
+            lineitem_rows: 300_000,
+            ds_queries: 97,
+            mixed_threads: 6,
+            mixed_ops_per_thread: 80,
+            quick: false,
+        }
+    }
+}
+
+/// One measured execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunResult {
+    pub elapsed_us: f64,
+    pub cpu_us: f64,
+    pub bytes_read: u64,
+    pub memory_peak: usize,
+    pub rows: usize,
+}
+
+impl From<&ExecutionResult> for RunResult {
+    fn from(r: &ExecutionResult) -> RunResult {
+        RunResult {
+            elapsed_us: r.metrics.elapsed_us(),
+            cpu_us: r.metrics.cpu_us(),
+            bytes_read: r.metrics.bytes_read(),
+            memory_peak: r.metrics.memory_peak_bytes,
+            rows: r.rows.len(),
+        }
+    }
+}
+
+/// Cold run: empty the buffer pool first.
+pub fn run_cold(db: &Database, stmt: &Statement) -> RunResult {
+    db.clear_cache();
+    let r = db.execute(stmt).expect("statement failed");
+    RunResult::from(&r)
+}
+
+/// Hot run: warm once, then report the median of three measured runs.
+pub fn run_hot(db: &Database, stmt: &Statement) -> RunResult {
+    db.execute(stmt).expect("warm-up failed");
+    let mut runs: Vec<(f64, RunResult)> = (0..3)
+        .map(|_| {
+            let r = db.execute(stmt).expect("statement failed");
+            let rr = RunResult::from(&r);
+            (rr.elapsed_us, rr)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    runs[1].1
+}
+
+/// Hot run with a bounded working-memory grant.
+pub fn run_hot_with_grant(db: &Database, stmt: &Statement, grant: usize) -> RunResult {
+    db.execute_with_grant(stmt, grant).expect("warm-up failed");
+    let mut runs: Vec<(f64, RunResult)> = (0..3)
+        .map(|_| {
+            let r = db.execute_with_grant(stmt, grant).expect("statement failed");
+            let rr = RunResult::from(&r);
+            (rr.elapsed_us, rr)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    runs[1].1
+}
+
+/// Format microseconds as milliseconds with sensible precision.
+pub fn ms(us: f64) -> String {
+    if us >= 100_000.0 {
+        format!("{:.0}", us / 1000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.1}", us / 1000.0)
+    } else {
+        format!("{:.3}", us / 1000.0)
+    }
+}
+
+/// Format bytes as MB.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1 << 20) as f64)
+}
+
+/// Selectivity label in % like the paper's axes.
+pub fn sel_label(fraction: f64) -> String {
+    let pct = fraction * 100.0;
+    if pct == 0.0 {
+        "0".to_string()
+    } else if pct < 0.01 {
+        format!("{pct:.0e}")
+    } else if pct < 1.0 {
+        format!("{pct:.2}")
+    } else {
+        format!("{pct:.0}")
+    }
+}
+
+/// Render a simple aligned table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Bucket a speedup value into the paper's Figure 9/11 histogram bins.
+/// Returns the bin index into [`SPEEDUP_BINS`].
+pub fn speedup_bin(speedup: f64) -> usize {
+    let bounds = [0.5, 0.8, 1.2, 1.5, 2.0, 5.0, 10.0];
+    for (i, b) in bounds.iter().enumerate() {
+        if speedup < *b {
+            return i;
+        }
+    }
+    bounds.len()
+}
+
+/// The labels of the Figure 9/11 speedup bins.
+pub const SPEEDUP_BINS: [&str; 8] = ["0.5", "0.8", "1.2", "1.5", "2", "5", "10", ">10"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_bins_match_paper_axes() {
+        assert_eq!(speedup_bin(0.3), 0);
+        assert_eq!(speedup_bin(0.6), 1);
+        assert_eq!(speedup_bin(1.0), 2);
+        assert_eq!(speedup_bin(1.3), 3);
+        assert_eq!(speedup_bin(1.7), 4);
+        assert_eq!(speedup_bin(3.0), 5);
+        assert_eq!(speedup_bin(7.0), 6);
+        assert_eq!(speedup_bin(50.0), 7);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(s.contains("long-header"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn selectivity_labels() {
+        assert_eq!(sel_label(0.0), "0");
+        assert_eq!(sel_label(1e-7), "1e-5");
+        assert_eq!(sel_label(0.001), "0.10");
+        assert_eq!(sel_label(0.5), "50");
+    }
+}

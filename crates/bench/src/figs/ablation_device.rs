@@ -1,0 +1,71 @@
+//! **Ablation** (paper §3.2.3 claim): "The crossover point depends on the
+//! access latency and bandwidth of the data storage medium — the slower the
+//! storage, the higher is the cross-over point." Sweep device speeds and
+//! report the cold execution-time crossover between B+ tree and primary
+//! columnstore for Q1.
+
+use hpd_engine::{Database, DbConfig, IndexDescriptor, Statement};
+use hpd_storage::DeviceProfile;
+use hpd_workloads::micro::MicroTable;
+
+use crate::common::{render_table, run_cold, Scale};
+
+fn crossover(scale: Scale, device: DeviceProfile) -> Option<f64> {
+    let mut cfg = DbConfig {
+        device,
+        ..DbConfig::default()
+    };
+    cfg.csi.rowgroup_capacity = 65_536.min(scale.micro_rows / 8).max(1024);
+    let db_bt = Database::new(cfg.clone());
+    let t = MicroTable::new("t1", 1, scale.micro_rows);
+    t.load(&db_bt, IndexDescriptor::PrimaryBTree { keys: vec![0] })
+        .expect("load");
+    let db_cs = Database::new(cfg);
+    t.load(&db_cs, IndexDescriptor::PrimaryCsi).expect("load");
+
+    // Log-spaced selectivity sweep; report the first point where the
+    // columnstore is faster.
+    for i in 0..=24 {
+        let sel = 10f64.powf(-6.0 + i as f64 * 6.0 / 24.0).min(1.0);
+        let bt = run_cold(&db_bt, &Statement::Select(t.q1(sel)));
+        let cs = run_cold(&db_cs, &Statement::Select(t.q1(sel)));
+        if cs.elapsed_us < bt.elapsed_us {
+            return Some(sel * 100.0);
+        }
+    }
+    None
+}
+
+pub fn run(scale: Scale) -> String {
+    let devices = [
+        ("ram", DeviceProfile::ram()),
+        ("ssd", DeviceProfile::ssd()),
+        ("hdd/4 bandwidth", DeviceProfile::hdd_scaled(4.0)),
+        ("hdd/40 bandwidth", DeviceProfile::hdd_scaled(40.0)),
+        ("hdd/160 bandwidth", DeviceProfile::hdd_scaled(160.0)),
+    ];
+    let rows: Vec<Vec<String>> = devices
+        .iter()
+        .map(|(name, d)| {
+            let x = crossover(scale, *d);
+            vec![
+                name.to_string(),
+                match x {
+                    Some(pct) => format!("{pct:.4}"),
+                    None => ">100".into(),
+                },
+            ]
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablation — Q1 cold crossover vs device speed ({} rows)\n\n",
+        scale.micro_rows
+    ));
+    out.push_str(&render_table(&["device", "crossover sel (%)"], &rows));
+    out.push_str(
+        "\nExpected shape: the slower the device (relative to the data), the\n\
+         higher the selectivity up to which the B+ tree wins.\n",
+    );
+    out
+}

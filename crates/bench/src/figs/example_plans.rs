@@ -1,0 +1,53 @@
+//! **§5.3** — example hybrid plans: a star query with selective dimension
+//! predicates where DTA recommends B+ trees on the fact table alongside
+//! columnstores, and the optimizer mixes index seeks, nested loops, and
+//! columnstore scans in one plan.
+
+use hpd_advisor::{Advisor, AdvisorOptions, Workload};
+use hpd_engine::{Database, DbConfig};
+use hpd_workloads::tpcds;
+
+use crate::common::Scale;
+
+pub fn run(scale: Scale) -> String {
+    let db = Database::new(DbConfig::default());
+    let ds_scale = if scale.quick {
+        tpcds::DsScale::small()
+    } else {
+        tpcds::DsScale::default()
+    };
+    tpcds::load(&db, ds_scale).expect("load tpcds");
+    let queries = tpcds::queries(scale.ds_queries, 99);
+    let workload = Workload::read_only(queries.iter().map(|(_, q)| q.clone()).collect());
+    let rec = Advisor::new(&db, AdvisorOptions::default())
+        .recommend(&workload)
+        .expect("recommend");
+    db.apply_configuration(&rec.configuration).expect("apply");
+
+    let mut out = String::new();
+    out.push_str("§5.3 — example plans under the hybrid design\n\n");
+    out.push_str("recommended design:\n");
+    out.push_str(&rec.report(&db));
+    out.push('\n');
+
+    let mut shown = 0;
+    for (label, q) in &queries {
+        let plan = db.plan(q).expect("plan");
+        if plan.is_hybrid() && shown < 2 {
+            out.push_str(&format!(
+                "hybrid plan for {label} (leaves: {:?}):\n{}\n",
+                plan.leaf_kinds(),
+                plan.explain()
+            ));
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        // Fall back to showing the most selective query's plan.
+        if let Some((label, q)) = queries.first() {
+            let plan = db.plan(q).expect("plan");
+            out.push_str(&format!("plan for {label}:\n{}\n", plan.explain()));
+        }
+    }
+    out
+}

@@ -1,0 +1,64 @@
+//! **Figure 1** — execution and CPU time for hot and cold runs of Q1
+//! (`SELECT sum(col1) WHERE col1 < ?`) as selectivity varies, primary B+
+//! tree vs. primary columnstore.
+
+use hpd_engine::{Database, IndexDescriptor, Statement};
+use hpd_workloads::micro::MicroTable;
+
+use crate::common::{ms, render_table, run_cold, run_hot, sel_label, Scale, SELECTIVITY_GRID};
+
+fn build(scale: Scale, primary: IndexDescriptor) -> (Database, MicroTable) {
+    let mut cfg = crate::common::scaled_hdd_config();
+    cfg.csi.rowgroup_capacity = 65_536.min(scale.micro_rows / 4).max(1024);
+    let db = Database::new(cfg);
+    let table = MicroTable::new("t1", 1, scale.micro_rows);
+    table.load(&db, primary).expect("load micro table");
+    (db, table)
+}
+
+pub fn run(scale: Scale) -> String {
+    let (db_bt, t_bt) = build(scale, IndexDescriptor::PrimaryBTree { keys: vec![0] });
+    let (db_cs, t_cs) = build(scale, IndexDescriptor::PrimaryCsi);
+
+    let mut exec_rows = Vec::new();
+    let mut cpu_rows = Vec::new();
+    for &sel in &SELECTIVITY_GRID {
+        let q_bt = Statement::Select(t_bt.q1(sel));
+        let q_cs = Statement::Select(t_cs.q1(sel));
+        let cs_cold = run_cold(&db_cs, &q_cs);
+        let bt_cold = run_cold(&db_bt, &q_bt);
+        let cs_hot = run_hot(&db_cs, &q_cs);
+        let bt_hot = run_hot(&db_bt, &q_bt);
+        exec_rows.push(vec![
+            sel_label(sel),
+            ms(cs_cold.elapsed_us),
+            ms(bt_cold.elapsed_us),
+            ms(cs_hot.elapsed_us),
+            ms(bt_hot.elapsed_us),
+        ]);
+        cpu_rows.push(vec![
+            sel_label(sel),
+            ms(cs_cold.cpu_us),
+            ms(bt_cold.cpu_us),
+            ms(cs_hot.cpu_us),
+            ms(bt_hot.cpu_us),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 1 — Q1 selectivity sweep, {} rows, HDD device model\n",
+        scale.micro_rows
+    ));
+    out.push_str("\n(a) Execution time (ms)\n");
+    out.push_str(&render_table(
+        &["sel %", "CSI cold", "B+tree cold", "CSI hot", "B+tree hot"],
+        &exec_rows,
+    ));
+    out.push_str("\n(b) CPU time (ms)\n");
+    out.push_str(&render_table(
+        &["sel %", "CSI cold", "B+tree cold", "CSI hot", "B+tree hot"],
+        &cpu_rows,
+    ));
+    out
+}

@@ -1,0 +1,80 @@
+//! **Figure 2** (+ appendix **Figure 12**) — cold execution time, data
+//! read, and CPU time for Q1: B+ tree vs. columnstore built on random vs.
+//! pre-sorted data (segment elimination).
+
+use hpd_engine::{Database, DbConfig, IndexDescriptor, Statement};
+use hpd_workloads::micro::MicroTable;
+
+use crate::common::{mb, ms, render_table, run_cold, sel_label, Scale, SELECTIVITY_GRID};
+
+fn db(scale: Scale) -> DbConfig {
+    let mut cfg = crate::common::scaled_hdd_config();
+    cfg.csi.rowgroup_capacity = 65_536.min(scale.micro_rows / 8).max(1024);
+    cfg
+}
+
+pub fn run(scale: Scale) -> String {
+    let db_bt = Database::new(db(scale));
+    let t_bt = MicroTable::new("t1", 1, scale.micro_rows);
+    t_bt.load(&db_bt, IndexDescriptor::PrimaryBTree { keys: vec![0] })
+        .expect("load");
+
+    let db_rand = Database::new(db(scale));
+    let t_rand = MicroTable::new("t1", 1, scale.micro_rows);
+    t_rand.load(&db_rand, IndexDescriptor::PrimaryCsi).expect("load");
+
+    let db_sorted = Database::new(db(scale));
+    let t_sorted = MicroTable::new("t1", 1, scale.micro_rows).sorted();
+    t_sorted
+        .load(&db_sorted, IndexDescriptor::PrimaryCsi)
+        .expect("load");
+
+    let mut exec_rows = Vec::new();
+    let mut read_rows = Vec::new();
+    let mut cpu_rows = Vec::new();
+    for &sel in &SELECTIVITY_GRID {
+        let bt = run_cold(&db_bt, &Statement::Select(t_bt.q1(sel)));
+        let rand = run_cold(&db_rand, &Statement::Select(t_rand.q1(sel)));
+        let sorted = run_cold(&db_sorted, &Statement::Select(t_sorted.q1(sel)));
+        exec_rows.push(vec![
+            sel_label(sel),
+            ms(bt.elapsed_us),
+            ms(rand.elapsed_us),
+            ms(sorted.elapsed_us),
+        ]);
+        read_rows.push(vec![
+            sel_label(sel),
+            mb(bt.bytes_read),
+            mb(rand.bytes_read),
+            mb(sorted.bytes_read),
+        ]);
+        cpu_rows.push(vec![
+            sel_label(sel),
+            ms(bt.cpu_us),
+            ms(rand.cpu_us),
+            ms(sorted.cpu_us),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 2 — data skipping, cold runs, {} rows\n",
+        scale.micro_rows
+    ));
+    out.push_str("\n(a) Execution time (ms)\n");
+    out.push_str(&render_table(
+        &["sel %", "B+tree", "CSI random", "CSI sorted"],
+        &exec_rows,
+    ));
+    out.push_str("\n(b) Data read (MB)\n");
+    out.push_str(&render_table(
+        &["sel %", "B+tree", "CSI random", "CSI sorted"],
+        &read_rows,
+    ));
+    out.push_str("\nFigure 12 (appendix) — CPU time (ms)\n");
+    out.push_str(&render_table(
+        &["sel %", "B+tree", "CSI random", "CSI sorted"],
+        &cpu_rows,
+    ));
+    out
+}

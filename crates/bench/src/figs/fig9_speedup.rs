@@ -1,0 +1,164 @@
+//! **Figure 9** — distribution of per-query CPU-time speedups achieved by
+//! the hybrid (DTA-recommended) design over columnstore-only and B+
+//! tree-only designs, across the six read-only workloads.
+
+use hpd_advisor::advisor::csi_everywhere_configuration;
+use hpd_advisor::{Advisor, AdvisorOptions, DesignMode, Workload};
+use hpd_engine::{Configuration, Database, DbConfig, SelectQuery, Statement};
+use hpd_workloads::{customer, tpcds};
+
+use crate::common::{render_table, speedup_bin, Scale, SPEEDUP_BINS};
+
+/// One workload: loader + query set.
+pub struct Bundle {
+    pub name: String,
+    pub load: Box<dyn Fn(&Database)>,
+    pub queries: Vec<(String, SelectQuery)>,
+}
+
+pub fn bundles(scale: Scale) -> Vec<Bundle> {
+    let mut out: Vec<Bundle> = Vec::new();
+    let ds_scale = if scale.quick {
+        tpcds::DsScale::small()
+    } else {
+        tpcds::DsScale::default()
+    };
+    out.push(Bundle {
+        name: "TPC-DS".into(),
+        load: Box::new(move |db| tpcds::load(db, ds_scale).expect("load tpcds")),
+        queries: tpcds::queries(scale.ds_queries, 99),
+    });
+    for mut profile in customer::profiles() {
+        if scale.quick {
+            profile.max_table_rows /= 10;
+            profile.queries = profile.queries.min(10);
+        } else {
+            profile.max_table_rows /= 2;
+            profile.queries = profile.queries.min(24);
+        }
+        // Queries depend on the generated FK structure; generate once from a
+        // scratch database to keep the Bundle self-contained.
+        let scratch = Database::new(DbConfig::default());
+        let cdb = customer::load(&scratch, profile.clone()).expect("load customer");
+        let queries = cdb.queries();
+        let name = profile.name.to_string();
+        out.push(Bundle {
+            name,
+            load: Box::new(move |db| {
+                customer::load(db, profile.clone()).map(|_| ()).expect("load customer")
+            }),
+            queries,
+        });
+    }
+    out
+}
+
+/// Measure every query's CPU time under a configuration.
+fn measure(db: &Database, config: &Configuration, queries: &[(String, SelectQuery)]) -> Vec<f64> {
+    db.apply_configuration(config).expect("apply design");
+    queries
+        .iter()
+        .map(|(_, q)| {
+            // Warm + single measured run (CPU time is stable).
+            let _ = db.execute(&Statement::Select(q.clone()));
+            db.execute(&Statement::Select(q.clone()))
+                .expect("query")
+                .metrics
+                .cpu_us()
+                .max(1.0)
+        })
+        .collect()
+}
+
+/// Per-workload tuned configurations, memoized by workload fingerprint so
+/// Figure 10 (and repeated runs in the same process) reuse Figure 9's
+/// advisor work instead of re-running the search.
+pub fn tuned_configurations(
+    db: &Database,
+    queries: &[(String, SelectQuery)],
+) -> (Configuration, Configuration, Configuration) {
+    use std::sync::{Mutex, OnceLock};
+    static MEMO: OnceLock<Mutex<std::collections::HashMap<String, (Configuration, Configuration, Configuration)>>> =
+        OnceLock::new();
+    let fingerprint = queries
+        .iter()
+        .map(|(l, q)| format!("{l}:{}", q.tables.iter().map(|t| t.name.as_str()).collect::<Vec<_>>().join(",")))
+        .collect::<Vec<_>>()
+        .join(";");
+    if let Some(hit) = MEMO
+        .get_or_init(|| Mutex::new(std::collections::HashMap::new()))
+        .lock()
+        .expect("memo lock")
+        .get(&fingerprint)
+    {
+        return hit.clone();
+    }
+    let workload = Workload::read_only(queries.iter().map(|(_, q)| q.clone()).collect());
+    let hybrid = Advisor::new(db, AdvisorOptions::default())
+        .recommend(&workload)
+        .expect("hybrid recommend")
+        .configuration;
+    let btree = Advisor::new(
+        db,
+        AdvisorOptions {
+            mode: DesignMode::BTreeOnly,
+            ..Default::default()
+        },
+    )
+    .recommend(&workload)
+    .expect("btree recommend")
+    .configuration;
+    let tables = workload.referenced_tables();
+    let csi = csi_everywhere_configuration(db, &tables).expect("csi baseline");
+    let result = (hybrid, btree, csi);
+    MEMO.get()
+        .expect("memo initialized above")
+        .lock()
+        .expect("memo lock")
+        .insert(fingerprint, result.clone());
+    result
+}
+
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 9 — speedup (CPU time) of hybrid vs CSI-only and B+tree-only\n");
+
+    for bundle in bundles(scale) {
+        let db = Database::new(DbConfig::default());
+        (bundle.load)(&db);
+        let (hybrid_cfg, btree_cfg, csi_cfg) = tuned_configurations(&db, &bundle.queries);
+
+        let csi = measure(&db, &csi_cfg, &bundle.queries);
+        let btree = measure(&db, &btree_cfg, &bundle.queries);
+        let hybrid = measure(&db, &hybrid_cfg, &bundle.queries);
+
+        let mut hist_csi = [0usize; 8];
+        let mut hist_bt = [0usize; 8];
+        for i in 0..bundle.queries.len() {
+            hist_csi[speedup_bin(csi[i] / hybrid[i])] += 1;
+            hist_bt[speedup_bin(btree[i] / hybrid[i])] += 1;
+        }
+        out.push_str(&format!(
+            "\n({}) {} queries\n",
+            bundle.name,
+            bundle.queries.len()
+        ));
+        let rows = vec![
+            std::iter::once("vs CSI".to_string())
+                .chain(hist_csi.iter().map(|c| c.to_string()))
+                .collect::<Vec<_>>(),
+            std::iter::once("vs B+tree".to_string())
+                .chain(hist_bt.iter().map(|c| c.to_string()))
+                .collect::<Vec<_>>(),
+        ];
+        let mut headers = vec!["speedup <"];
+        headers.extend(SPEEDUP_BINS);
+        out.push_str(&render_table(&headers, &rows));
+    }
+    out.push_str(
+        "\nExpected shape: mass at ≥1.2x in both rows; several queries per\n\
+         workload land in the 10x / >10x bins (the paper's orders-of-magnitude\n\
+         wins); a few sub-1x cases reflect optimizer estimation error.\n",
+    );
+    out
+}

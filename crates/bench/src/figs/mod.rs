@@ -1,0 +1,17 @@
+//! One module per paper table/figure. Each exposes `run(scale) -> String`
+//! returning the rendered result table(s).
+
+pub mod ablation_device;
+pub mod example_plans;
+pub mod fig11_ch_mixed;
+pub mod fig13_concurrency;
+pub mod fig1_selectivity;
+pub mod fig2_data_skipping;
+pub mod fig3_sort_order;
+pub mod fig4_groupby_memory;
+pub mod fig5_updates;
+pub mod fig6_mixed;
+pub mod fig9_speedup;
+pub mod fig10_plan_mix;
+pub mod table1_matrix;
+pub mod table2_stats;

@@ -1,0 +1,103 @@
+//! **Table 2** — aggregate statistics of the read-only workloads: database
+//! size, table count, max table size, average columns, query count, average
+//! joins per query, and average physical operators per chosen plan.
+
+use hpd_engine::{Database, DbConfig};
+use hpd_workloads::{customer, tpcds};
+
+use crate::common::{render_table, Scale};
+
+/// Count plan nodes (the paper's "ops per plan") by walking the explain
+/// tree's lines.
+fn ops_in_plan(db: &Database, q: &hpd_engine::SelectQuery) -> usize {
+    db.plan(q).map(|p| p.explain().lines().count()).unwrap_or(0)
+}
+
+pub fn run(scale: Scale) -> String {
+    let mut rows_out = Vec::new();
+
+    // TPC-DS-like.
+    {
+        let db = Database::new(DbConfig::default());
+        let ds_scale = if scale.quick {
+            tpcds::DsScale::small()
+        } else {
+            tpcds::DsScale::default()
+        };
+        tpcds::load(&db, ds_scale).expect("load tpcds");
+        let queries = tpcds::queries(scale.ds_queries, 99);
+        let mut total_bytes = 0usize;
+        let mut max_rows = 0usize;
+        let mut col_sum = 0usize;
+        for t in tpcds::TABLES {
+            db.with_table(t, |tab| {
+                total_bytes += tab.row_count() * tab.schema().row_width();
+                max_rows = max_rows.max(tab.row_count());
+                col_sum += tab.schema().len();
+            })
+            .unwrap();
+        }
+        let avg_joins: f64 = queries.iter().map(|(_, q)| q.joins.len() as f64).sum::<f64>()
+            / queries.len() as f64;
+        let avg_ops: f64 = queries
+            .iter()
+            .map(|(_, q)| ops_in_plan(&db, q) as f64)
+            .sum::<f64>()
+            / queries.len() as f64;
+        rows_out.push(vec![
+            "TPC-DS".to_string(),
+            format!("{:.1} MB", total_bytes as f64 / 1e6),
+            tpcds::TABLES.len().to_string(),
+            max_rows.to_string(),
+            format!("{:.1}", col_sum as f64 / tpcds::TABLES.len() as f64),
+            queries.len().to_string(),
+            format!("{avg_joins:.1}"),
+            format!("{avg_ops:.1}"),
+        ]);
+    }
+
+    // The five synthesized customer workloads.
+    for mut profile in customer::profiles() {
+        if scale.quick {
+            profile.max_table_rows /= 10;
+            profile.queries = profile.queries.min(10);
+        }
+        let db = Database::new(DbConfig::default());
+        let cdb = customer::load(&db, profile.clone()).expect("load customer db");
+        let queries = cdb.queries();
+        let (bytes, tables, max_rows, avg_cols, n_q, avg_joins) = cdb.table2_stats(&queries);
+        let avg_ops: f64 = queries
+            .iter()
+            .take(10) // planning every query is enough to characterize
+            .map(|(_, q)| ops_in_plan(&db, q) as f64)
+            .sum::<f64>()
+            / queries.len().min(10) as f64;
+        rows_out.push(vec![
+            profile.name.to_string(),
+            format!("{:.1} MB", bytes as f64 / 1e6),
+            tables.to_string(),
+            max_rows.to_string(),
+            format!("{avg_cols:.1}"),
+            n_q.to_string(),
+            format!("{avg_joins:.1}"),
+            format!("{avg_ops:.1}"),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str("Table 2 — read-only workload statistics (scaled reproduction)\n\n");
+    out.push_str(&render_table(
+        &[
+            "workload",
+            "DB size",
+            "#tables",
+            "max table rows",
+            "avg #cols",
+            "#queries",
+            "avg #joins",
+            "avg #ops/plan",
+        ],
+        &rows_out,
+    ));
+    out
+}

@@ -1,0 +1,8 @@
+//! Benchmark harness: one module per paper table/figure, plus shared
+//! measurement helpers. Binaries in `src/bin/` are thin wrappers; the
+//! `figures` binary runs everything and emits a combined report.
+
+pub mod common;
+pub mod figs;
+
+pub use common::{RunResult, Scale, SELECTIVITY_GRID};

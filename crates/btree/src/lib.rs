@@ -1,0 +1,20 @@
+//! A page-based B+ tree index.
+//!
+//! This is the row-store substrate of the reproduction: SQL Server's B+ tree
+//! indexes, both *primary* (clustered — full rows at the leaves) and
+//! *secondary* (key + row locator at the leaves). The distinction is made by
+//! the caller: the tree itself maps a composite [`Key`] to an arbitrary
+//! payload [`Row`], allowing duplicate keys.
+//!
+//! Storage accounting: every node occupies one logical 8 KB page. Traversals
+//! and leaf walks are charged to the shared [`BufferPool`], so selective
+//! seeks touch a handful of pages while full leaf scans stream sequentially
+//! allocated leaves at device bandwidth — the exact access-pattern asymmetry
+//! the paper's Figures 1–2 measure.
+
+pub mod cursor;
+pub mod node;
+pub mod tree;
+
+pub use cursor::Cursor;
+pub use tree::{BTree, BTreeConfig, BTreeStats};

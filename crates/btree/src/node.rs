@@ -1,0 +1,44 @@
+//! B+ tree node representation.
+
+use hpd_common::{Key, Row};
+use hpd_storage::PageId;
+
+/// Index of a node in the tree's arena.
+pub type NodeId = usize;
+
+/// One B+ tree node. Every node occupies one logical 8 KB page.
+#[derive(Debug)]
+pub enum Node {
+    /// Internal routing node. `keys[i]` is the minimum key reachable through
+    /// `children[i + 1]`; `children.len() == keys.len() + 1`.
+    Internal {
+        keys: Vec<Key>,
+        children: Vec<NodeId>,
+        page: PageId,
+    },
+    /// Leaf node: sorted `(key, payload)` entries plus a next-leaf link.
+    Leaf {
+        entries: Vec<(Key, Row)>,
+        next: Option<NodeId>,
+        page: PageId,
+    },
+}
+
+impl Node {
+    pub fn page(&self) -> PageId {
+        match self {
+            Node::Internal { page, .. } | Node::Leaf { page, .. } => *page,
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    pub fn as_leaf(&self) -> (&[(Key, Row)], Option<NodeId>) {
+        match self {
+            Node::Leaf { entries, next, .. } => (entries, *next),
+            Node::Internal { .. } => panic!("expected leaf node"),
+        }
+    }
+}

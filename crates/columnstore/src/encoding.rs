@@ -1,0 +1,301 @@
+//! Integer stream encodings: run-length, bit-packing, raw.
+//!
+//! Every column is normalized to an `i64` stream before encoding (strings go
+//! through a dictionary first, see [`crate::segment`]). The encoder picks
+//! the smallest of three physical representations, mirroring the "most
+//! notable" techniques the paper lists for SQL Server: run-length encoding
+//! and dictionary encoding, with bit-packing of the value domain.
+
+use bytes::{Bytes, BytesMut};
+
+/// Which physical encoding a segment chose (exposed for tests/ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntEncoding {
+    Rle,
+    BitPacked,
+    Raw,
+}
+
+/// An encoded `i64` stream.
+#[derive(Debug, Clone)]
+pub enum EncodedInts {
+    /// Maximal runs of identical values: `(value, run_length)`.
+    Rle(Vec<(i64, u32)>),
+    /// Offset-from-min values packed at a fixed bit width.
+    BitPacked {
+        base: i64,
+        bit_width: u8,
+        len: usize,
+        data: Bytes,
+    },
+    /// Uncompressed little-endian values.
+    Raw(Vec<i64>),
+}
+
+impl EncodedInts {
+    pub fn encoding(&self) -> IntEncoding {
+        match self {
+            EncodedInts::Rle(_) => IntEncoding::Rle,
+            EncodedInts::BitPacked { .. } => IntEncoding::BitPacked,
+            EncodedInts::Raw(_) => IntEncoding::Raw,
+        }
+    }
+
+    /// Number of logical values.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedInts::Rle(runs) => runs.iter().map(|(_, n)| *n as usize).sum(),
+            EncodedInts::BitPacked { len, .. } => *len,
+            EncodedInts::Raw(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encoded size in bytes (the number the size-estimation problem of
+    /// paper §4.4 is trying to predict).
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            // value (8) + run length (4) per run.
+            EncodedInts::Rle(runs) => runs.len() * 12,
+            EncodedInts::BitPacked { data, .. } => data.len() + 9,
+            EncodedInts::Raw(v) => v.len() * 8,
+        }
+    }
+
+    /// Number of maximal runs (RLE) — used to validate the advisor's
+    /// run-count models.
+    pub fn run_count(&self) -> usize {
+        match self {
+            EncodedInts::Rle(runs) => runs.len(),
+            _ => count_runs_of(&self.decode()),
+        }
+    }
+
+    /// Decode back to the plain stream.
+    pub fn decode(&self) -> Vec<i64> {
+        match self {
+            EncodedInts::Rle(runs) => {
+                let n = self.len();
+                let mut out = Vec::with_capacity(n);
+                for &(v, c) in runs {
+                    out.extend(std::iter::repeat(v).take(c as usize));
+                }
+                out
+            }
+            EncodedInts::BitPacked {
+                base,
+                bit_width,
+                len,
+                data,
+            } => {
+                let mut out = Vec::with_capacity(*len);
+                let bw = *bit_width as usize;
+                if bw == 0 {
+                    out.extend(std::iter::repeat(*base).take(*len));
+                    return out;
+                }
+                let mask: u64 = if bw == 64 { u64::MAX } else { (1u64 << bw) - 1 };
+                for i in 0..*len {
+                    let bit = i * bw;
+                    let byte = bit / 8;
+                    let shift = bit % 8;
+                    // Up to 9 bytes may contribute when bw > 56; we cap bw
+                    // at 56 in `encode_i64s` so 8 bytes always suffice.
+                    let mut word = 0u64;
+                    for (j, b) in data[byte..(byte + 8).min(data.len())].iter().enumerate() {
+                        word |= (*b as u64) << (8 * j);
+                    }
+                    let code = (word >> shift) & mask;
+                    out.push(base.wrapping_add(code as i64));
+                }
+                out
+            }
+            EncodedInts::Raw(v) => v.clone(),
+        }
+    }
+
+    /// Decode with a callback per value, avoiding a full materialization for
+    /// aggregate-only consumers.
+    pub fn for_each(&self, mut f: impl FnMut(i64)) {
+        match self {
+            EncodedInts::Rle(runs) => {
+                for &(v, c) in runs {
+                    for _ in 0..c {
+                        f(v);
+                    }
+                }
+            }
+            _ => {
+                for v in self.decode() {
+                    f(v);
+                }
+            }
+        }
+    }
+}
+
+fn count_runs_of(values: &[i64]) -> usize {
+    if values.is_empty() {
+        return 0;
+    }
+    1 + values.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+fn rle_encode(values: &[i64]) -> Vec<(i64, u32)> {
+    let mut runs: Vec<(i64, u32)> = Vec::new();
+    for &v in values {
+        match runs.last_mut() {
+            Some((rv, c)) if *rv == v && *c < u32::MAX => *c += 1,
+            _ => runs.push((v, 1)),
+        }
+    }
+    runs
+}
+
+fn bitpack(values: &[i64]) -> Option<EncodedInts> {
+    let (&min, &max) = (values.iter().min()?, values.iter().max()?);
+    let range = (max as i128) - (min as i128);
+    let bit_width = (128 - (range as u128).leading_zeros()) as usize;
+    if bit_width > 56 {
+        return None; // decode fast-path reads at most 8 bytes
+    }
+    let total_bits = values.len() * bit_width;
+    let mut data = BytesMut::zeroed(total_bits.div_ceil(8) + 8);
+    for (i, &v) in values.iter().enumerate() {
+        let code = (v as i128 - min as i128) as u64;
+        let bit = i * bit_width;
+        let byte = bit / 8;
+        let shift = bit % 8;
+        // OR the code into the little-endian bit stream.
+        let existing = u64::from_le_bytes(data[byte..byte + 8].try_into().expect("8 bytes"));
+        let merged = existing | (code << shift);
+        data[byte..byte + 8].copy_from_slice(&merged.to_le_bytes());
+    }
+    Some(EncodedInts::BitPacked {
+        base: min,
+        bit_width: bit_width as u8,
+        len: values.len(),
+        data: data.freeze(),
+    })
+}
+
+/// Encode a stream, choosing the smallest representation.
+pub fn encode_i64s(values: &[i64]) -> EncodedInts {
+    if values.is_empty() {
+        return EncodedInts::Raw(Vec::new());
+    }
+    let runs = rle_encode(values);
+    let rle_bytes = runs.len() * 12;
+    let packed = bitpack(values);
+    let packed_bytes = packed
+        .as_ref()
+        .map(EncodedInts::encoded_bytes)
+        .unwrap_or(usize::MAX);
+    let raw_bytes = values.len() * 8;
+
+    if rle_bytes <= packed_bytes && rle_bytes <= raw_bytes {
+        EncodedInts::Rle(runs)
+    } else if packed_bytes <= raw_bytes {
+        packed.expect("packed_bytes finite implies Some")
+    } else {
+        EncodedInts::Raw(values.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rle_wins_on_constant_data() {
+        let vals = vec![7i64; 10_000];
+        let e = encode_i64s(&vals);
+        assert_eq!(e.encoding(), IntEncoding::Rle);
+        assert_eq!(e.run_count(), 1);
+        assert!(e.encoded_bytes() < 100);
+        assert_eq!(e.decode(), vals);
+    }
+
+    #[test]
+    fn bitpack_wins_on_small_domain_random_data() {
+        // Alternating 0..16: RLE has ~n runs, bit-pack needs 4 bits/value.
+        let vals: Vec<i64> = (0..10_000).map(|i| (i * 7) % 16).collect();
+        let e = encode_i64s(&vals);
+        assert_eq!(e.encoding(), IntEncoding::BitPacked);
+        assert!(e.encoded_bytes() < vals.len()); // < 1 byte per value
+        assert_eq!(e.decode(), vals);
+    }
+
+    #[test]
+    fn raw_wins_on_wide_random_data() {
+        // Values spanning more than 56 bits cannot bit-pack; unique values
+        // make RLE bigger than raw.
+        let vals: Vec<i64> = (0..100)
+            .map(|i| i64::MIN / 2 + i * 1_000_000_007 * 1_000_000)
+            .collect();
+        let e = encode_i64s(&vals);
+        assert_eq!(e.encoding(), IntEncoding::Raw);
+        assert_eq!(e.decode(), vals);
+    }
+
+    #[test]
+    fn negative_values_round_trip_through_bitpack() {
+        let vals: Vec<i64> = (-500..500).map(|i| i * 3).collect();
+        let e = encode_i64s(&vals);
+        assert_eq!(e.decode(), vals);
+    }
+
+    #[test]
+    fn zero_bit_width_constant_via_bitpack_path() {
+        // Force the bitpack branch by making RLE unattractive is impossible
+        // for constants, so test bitpack(0 bit) directly.
+        let vals = vec![42i64; 17];
+        let packed = bitpack(&vals).unwrap();
+        if let EncodedInts::BitPacked { bit_width, .. } = &packed {
+            assert_eq!(*bit_width, 0);
+        } else {
+            panic!("expected bitpacked");
+        }
+        assert_eq!(packed.decode(), vals);
+    }
+
+    #[test]
+    fn for_each_visits_all_values_in_order() {
+        let vals = vec![1i64, 1, 2, 2, 2, 3];
+        let e = EncodedInts::Rle(rle_encode(&vals));
+        let mut seen = Vec::new();
+        e.for_each(|v| seen.push(v));
+        assert_eq!(seen, vals);
+    }
+
+    #[test]
+    fn run_count_matches_definition() {
+        let vals = vec![5i64, 5, 1, 1, 1, 5];
+        assert_eq!(count_runs_of(&vals), 3);
+        let e = encode_i64s(&vals);
+        assert_eq!(e.run_count(), 3);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let e = encode_i64s(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.decode(), Vec::<i64>::new());
+        assert_eq!(e.run_count(), 0);
+    }
+
+    #[test]
+    fn len_is_preserved_by_all_encodings() {
+        for vals in [
+            vec![1i64; 100],
+            (0..100).collect::<Vec<i64>>(),
+            (0..100).map(|i| i * i64::from(i32::MAX)).collect(),
+        ] {
+            let e = encode_i64s(&vals);
+            assert_eq!(e.len(), vals.len());
+        }
+    }
+}

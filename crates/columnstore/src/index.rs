@@ -1,0 +1,603 @@
+//! The columnstore index: compressed row groups + delta store + delete
+//! handling, with the primary/secondary split described in paper §2.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+
+use hpd_btree::{BTree, BTreeConfig};
+use hpd_common::{Batch, Interval, Key, Row, Schema, Value};
+use hpd_storage::{BufferPool, IoTracker, StorageAllocator};
+
+use crate::delta::DeltaStore;
+use crate::rowgroup::{RowGroup, SortMode};
+
+/// Primary (main storage, delete bitmap only) vs. secondary (redundant,
+/// delete buffer + bitmap) columnstore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsiKind {
+    Primary,
+    Secondary,
+}
+
+/// Tuning knobs of a columnstore index.
+#[derive(Debug, Clone, Copy)]
+pub struct CsiConfig {
+    /// Rows per compressed row group (SQL Server: 100 K–1 M; scaled down by
+    /// default to keep laptop-scale experiments meaningful).
+    pub rowgroup_capacity: usize,
+    /// Row ordering before compression.
+    pub sort_mode: SortMode,
+    /// Buffered logical deletes beyond which the "background" compaction
+    /// resolves the delete buffer into delete bitmaps (the paper's periodic
+    /// process, made deterministic and synchronous).
+    pub delete_buffer_compact_threshold: usize,
+}
+
+impl Default for CsiConfig {
+    fn default() -> Self {
+        CsiConfig {
+            rowgroup_capacity: 65_536,
+            sort_mode: SortMode::Greedy,
+            delete_buffer_compact_threshold: 2_048,
+        }
+    }
+}
+
+/// A columnstore index over a fixed subset of a table's columns.
+///
+/// `key_ordinals` locate the table's row-identifying key inside this index's
+/// stored schema; they drive delete-buffer anti-joins and primary-CSI
+/// physical row location. Keys are assumed unique per row (the engine passes
+/// the table's primary key).
+pub struct ColumnStoreIndex {
+    schema: Schema,
+    kind: CsiKind,
+    key_ordinals: Vec<usize>,
+    config: CsiConfig,
+    row_groups: Vec<RowGroup>,
+    delta: DeltaStore,
+    /// Secondary CSIs buffer logical deletes here (keyed by the row key).
+    delete_buffer: Option<BTree>,
+    alloc: StorageAllocator,
+}
+
+impl ColumnStoreIndex {
+    /// Bulk load a columnstore ("bulk loaded data is transformed directly
+    /// into the compressed row groups"). Charges segment writes to
+    /// `tracker`.
+    pub fn build(
+        schema: Schema,
+        kind: CsiKind,
+        key_ordinals: Vec<usize>,
+        config: CsiConfig,
+        rows: &[Row],
+        alloc: StorageAllocator,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> ColumnStoreIndex {
+        let mut index = ColumnStoreIndex::new_empty(schema, kind, key_ordinals, config, alloc);
+        for chunk in rows.chunks(config.rowgroup_capacity.max(1)) {
+            index.compress_chunk(chunk, pool, tracker);
+        }
+        index
+    }
+
+    fn new_empty(
+        schema: Schema,
+        kind: CsiKind,
+        key_ordinals: Vec<usize>,
+        config: CsiConfig,
+        alloc: StorageAllocator,
+    ) -> ColumnStoreIndex {
+        debug_assert!(key_ordinals.iter().all(|&k| k < schema.len()));
+        let delta = DeltaStore::new(schema.row_width(), alloc.clone());
+        let delete_buffer = match kind {
+            CsiKind::Secondary => Some(BTree::new(
+                BTreeConfig::for_entry_width(32),
+                alloc.clone(),
+            )),
+            CsiKind::Primary => None,
+        };
+        ColumnStoreIndex {
+            schema,
+            kind,
+            key_ordinals,
+            config,
+            row_groups: Vec::new(),
+            delta,
+            delete_buffer,
+            alloc,
+        }
+    }
+
+    fn compress_chunk(&mut self, rows: &[Row], pool: &BufferPool, tracker: &IoTracker) {
+        if rows.is_empty() {
+            return;
+        }
+        let dtypes: Vec<_> = self.schema.columns().iter().map(|c| c.dtype).collect();
+        let batch = Batch::from_rows(&dtypes, rows).expect("rows match csi schema");
+        let rg = RowGroup::build(batch.into_columns(), self.config.sort_mode, &self.alloc);
+        for c in 0..rg.num_columns() {
+            let seg = rg.segment(c);
+            pool.write_blob(seg.blob(), seg.encoded_bytes() as u64, tracker);
+        }
+        self.row_groups.push(rg);
+    }
+
+    pub fn kind(&self) -> CsiKind {
+        self.kind
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn key_ordinals(&self) -> &[usize] {
+        &self.key_ordinals
+    }
+
+    pub fn config(&self) -> &CsiConfig {
+        &self.config
+    }
+
+    pub fn num_rowgroups(&self) -> usize {
+        self.row_groups.len()
+    }
+
+    pub fn rowgroup(&self, idx: usize) -> &RowGroup {
+        &self.row_groups[idx]
+    }
+
+    /// Rows visible to scans: live compressed rows + delta rows − buffered
+    /// deletes.
+    pub fn active_rows(&self) -> usize {
+        let compressed: usize = self.row_groups.iter().map(RowGroup::active_rows).sum();
+        compressed + self.delta.len() - self.delete_buffer_len()
+    }
+
+    pub fn delta_rows(&self) -> usize {
+        self.delta.len()
+    }
+
+    pub fn delete_buffer_len(&self) -> usize {
+        self.delete_buffer.as_ref().map_or(0, BTree::len)
+    }
+
+    /// Compressed bytes per stored column (delta and dictionaries included
+    /// in the column shares). This is the quantity the advisor's size
+    /// estimators predict.
+    pub fn column_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.schema.len()];
+        for rg in &self.row_groups {
+            for (c, size) in sizes.iter_mut().enumerate() {
+                *size += rg.segment(c).encoded_bytes();
+            }
+        }
+        // Attribute delta-store bytes proportionally to column widths.
+        let delta_bytes = self.delta.size_bytes().min(self.delta.len() * self.schema.row_width());
+        let total_width: usize = self.schema.row_width().max(1);
+        for (c, size) in sizes.iter_mut().enumerate() {
+            *size += delta_bytes * self.schema.column(c).dtype.fixed_width() / total_width;
+        }
+        sizes
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.column_sizes().iter().sum()
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Insert a row (into the delta store). When the delta reaches the row
+    /// group capacity, the tuple mover compresses it synchronously — a
+    /// deterministic stand-in for SQL Server's background process.
+    pub fn insert(&mut self, row: Row, pool: &BufferPool, tracker: &IoTracker) {
+        debug_assert_eq!(row.len(), self.schema.len());
+        let key = row.key(&self.key_ordinals);
+        self.delta.insert(key, row, pool, tracker);
+        if self.delta.len() >= self.config.rowgroup_capacity {
+            self.tuple_move(pool, tracker);
+        }
+    }
+
+    /// Delete the row with this (unique) key. Returns true if a row was
+    /// deleted.
+    ///
+    /// * Secondary CSI: append to the delete buffer — fast, O(B+ tree
+    ///   insert); scans pay the anti-join until compaction.
+    /// * Primary CSI: locate the physical row by scanning key segments
+    ///   (segment elimination applies) and set the delete bitmap bit —
+    ///   slow deletes, fast scans.
+    pub fn delete(&mut self, key: &Key, pool: &BufferPool, tracker: &IoTracker) -> bool {
+        // Rows still in the delta store are deleted directly in both kinds.
+        if self.delta.delete_by_key(key, pool, tracker).is_some() {
+            return true;
+        }
+        match self.kind {
+            CsiKind::Secondary => {
+                let buffer = self
+                    .delete_buffer
+                    .as_mut()
+                    .expect("secondary CSI has delete buffer");
+                // Logical delete: no existence check (the engine only deletes
+                // rows it has located through the primary index).
+                buffer.insert(key.clone(), Row::new(Vec::new()), pool, tracker);
+                if self.delete_buffer_len() >= self.config.delete_buffer_compact_threshold {
+                    self.compact_delete_buffer(pool, tracker);
+                }
+                true
+            }
+            CsiKind::Primary => self.mark_deleted_physical(key, pool, tracker),
+        }
+    }
+
+    /// Like [`ColumnStoreIndex::delete`], but returns the deleted row's full
+    /// contents, decoding the victim row group once. Callers performing
+    /// read-modify-write (UPDATE) use this to avoid a second locating scan.
+    pub fn delete_returning(
+        &mut self,
+        key: &Key,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Option<Row> {
+        let key_ords = self.key_ordinals.clone();
+        if let Some(row) = self.delta.delete_by_key(key, pool, tracker) {
+            return Some(row);
+        }
+        match self.kind {
+            CsiKind::Secondary => {
+                // Secondary CSIs buffer the delete; the caller already has
+                // the row from the primary index, so nothing to return.
+                let buffer = self
+                    .delete_buffer
+                    .as_mut()
+                    .expect("secondary CSI has delete buffer");
+                buffer.insert(key.clone(), Row::new(Vec::new()), pool, tracker);
+                if self.delete_buffer_len() >= self.config.delete_buffer_compact_threshold {
+                    self.compact_delete_buffer(pool, tracker);
+                }
+                None
+            }
+            CsiKind::Primary => {
+                let pos = self.locate_physical(key, pool, tracker)?;
+                let (rg_idx, row_pos) = pos;
+                // Decode the full row at that position before killing it.
+                let rg = &self.row_groups[rg_idx];
+                let all: Vec<usize> = (0..rg.num_columns()).collect();
+                for &c in &all {
+                    if !key_ords.contains(&c) {
+                        rg.segment(c).charge_io(pool, tracker);
+                    }
+                }
+                let row = Row::new(
+                    all.iter()
+                        .map(|&c| rg.segment(c).decode().value(row_pos))
+                        .collect(),
+                );
+                self.row_groups[rg_idx].mark_deleted(row_pos);
+                Some(row)
+            }
+        }
+    }
+
+    /// Find the physical position of the live row with this key, charging
+    /// the key-segment scans.
+    fn locate_physical(
+        &self,
+        key: &Key,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Option<(usize, usize)> {
+        let intervals: HashMap<usize, Interval> = self
+            .key_ordinals
+            .iter()
+            .zip(key.values())
+            .map(|(&c, v)| (c, Interval::point(v.clone())))
+            .collect();
+        for rg_idx in 0..self.row_groups.len() {
+            if self.rowgroup_eliminated(rg_idx, &intervals) {
+                continue;
+            }
+            let rg = &self.row_groups[rg_idx];
+            for &c in &self.key_ordinals {
+                rg.segment(c).charge_io(pool, tracker);
+            }
+            let key_cols: Vec<_> = self
+                .key_ordinals
+                .iter()
+                .map(|&c| rg.segment(c).decode())
+                .collect();
+            'row: for pos in 0..rg.rows() {
+                if rg.is_deleted(pos) {
+                    continue;
+                }
+                for (kc, kv) in key_cols.iter().zip(key.values()) {
+                    if &kc.value(pos) != kv {
+                        continue 'row;
+                    }
+                }
+                return Some((rg_idx, pos));
+            }
+        }
+        None
+    }
+
+    /// Locate `key` in the compressed row groups and set its delete bitmap
+    /// bit. Charges reads of the key column segments it has to scan.
+    fn mark_deleted_physical(&mut self, key: &Key, pool: &BufferPool, tracker: &IoTracker) -> bool {
+        match self.locate_physical(key, pool, tracker) {
+            Some((rg_idx, pos)) => {
+                self.row_groups[rg_idx].mark_deleted(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Update = delete + insert (paper §2: "smaller point updates are
+    /// handled as a delete followed by an insert"). The caller provides the
+    /// new full row.
+    pub fn update(&mut self, key: &Key, new_row: Row, pool: &BufferPool, tracker: &IoTracker) -> bool {
+        let deleted = self.delete(key, pool, tracker);
+        if deleted {
+            self.insert(new_row, pool, tracker);
+        }
+        deleted
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance (tuple mover)
+    // ------------------------------------------------------------------
+
+    /// Compress all full delta chunks into row groups.
+    ///
+    /// Buffered deletes are compacted first: the delete buffer anti-joins
+    /// against *compressed row groups only*, so rows moving from the delta
+    /// into a row group must never collide with a stale buffered key.
+    pub fn tuple_move(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+        if self.delete_buffer_len() > 0 && self.delta.len() >= self.config.rowgroup_capacity {
+            self.compact_delete_buffer(pool, tracker);
+        }
+        while self.delta.len() >= self.config.rowgroup_capacity {
+            let rows = self.delta.drain(self.config.rowgroup_capacity, pool, tracker);
+            self.compress_chunk(&rows, pool, tracker);
+        }
+    }
+
+    /// Force-compress the remaining delta rows (index reorganize).
+    pub fn compress_all_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+        self.tuple_move(pool, tracker);
+        let rows = self.delta.drain(usize::MAX, pool, tracker);
+        self.compress_chunk(&rows, pool, tracker);
+    }
+
+    /// Resolve buffered logical deletes into delete-bitmap bits (the
+    /// background compaction of paper §2). Clears the delete buffer.
+    ///
+    /// One pass: every row group's key segments are scanned once and all
+    /// buffered keys matched together, rather than one locating scan per
+    /// buffered key.
+    pub fn compact_delete_buffer(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+        let Some(buffer) = self.delete_buffer.as_mut() else {
+            return;
+        };
+        if buffer.is_empty() {
+            return;
+        }
+        let mut pending: HashSet<Key> = buffer
+            .scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        // Replace with an empty buffer.
+        *buffer = BTree::new(BTreeConfig::for_entry_width(32), self.alloc.clone());
+
+        let key_ords = self.key_ordinals.clone();
+        for rg_idx in 0..self.row_groups.len() {
+            if pending.is_empty() {
+                break;
+            }
+            let rg = &self.row_groups[rg_idx];
+            for &c in &key_ords {
+                rg.segment(c).charge_io(pool, tracker);
+            }
+            let key_cols: Vec<_> = key_ords.iter().map(|&c| rg.segment(c).decode()).collect();
+            let mut hits: Vec<usize> = Vec::new();
+            for pos in 0..rg.rows() {
+                if rg.is_deleted(pos) {
+                    continue;
+                }
+                let key = Key::new(key_cols.iter().map(|kc| kc.value(pos)).collect());
+                if pending.remove(&key) {
+                    hits.push(pos);
+                }
+            }
+            for pos in hits {
+                self.row_groups[rg_idx].mark_deleted(pos);
+            }
+        }
+        // Keys not found in any row group referred to rows that no longer
+        // exist (defensive; the engine only buffers existing rows).
+    }
+
+    // ------------------------------------------------------------------
+    // Scans
+    // ------------------------------------------------------------------
+
+    /// True if the row group cannot contain rows matching the intervals
+    /// (segment elimination via per-segment min/max).
+    pub fn rowgroup_eliminated(&self, rg_idx: usize, intervals: &HashMap<usize, Interval>) -> bool {
+        let rg = &self.row_groups[rg_idx];
+        intervals
+            .iter()
+            .any(|(&c, iv)| c < rg.num_columns() && rg.segment(c).eliminated_by(iv))
+    }
+
+    /// Snapshot the delete buffer into a probe set for anti-joins. Charges
+    /// one scan of the buffer. Returns `None` when no anti-join is needed.
+    pub fn antijoin_probe(&self, pool: &BufferPool, tracker: &IoTracker) -> Option<HashSet<Key>> {
+        let buffer = self.delete_buffer.as_ref()?;
+        if buffer.is_empty() {
+            return None;
+        }
+        Some(
+            buffer
+                .scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect(),
+        )
+    }
+
+    /// Scan one row group: decode `projection` columns, drop deleted rows
+    /// (bitmap + optional anti-join probe), return the surviving batch.
+    /// Returns `None` if the row group was eliminated. Predicates beyond
+    /// elimination are applied by the executor.
+    pub fn scan_rowgroup(
+        &self,
+        rg_idx: usize,
+        projection: &[usize],
+        intervals: &HashMap<usize, Interval>,
+        antijoin: Option<&HashSet<Key>>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Option<Batch> {
+        if self.rowgroup_eliminated(rg_idx, intervals) {
+            return None;
+        }
+        let rg = &self.row_groups[rg_idx];
+        // Columns we must decode: the projection, plus key columns if an
+        // anti-join is required.
+        let mut needed: Vec<usize> = projection.to_vec();
+        if antijoin.is_some() {
+            for &k in &self.key_ordinals {
+                if !needed.contains(&k) {
+                    needed.push(k);
+                }
+            }
+        }
+        for &c in &needed {
+            rg.segment(c).charge_io(pool, tracker);
+        }
+        let decoded = rg.decode_columns(&needed);
+        let mut mask = rg.live_mask();
+        if let Some(probe) = antijoin {
+            let key_pos: Vec<usize> = self
+                .key_ordinals
+                .iter()
+                .map(|k| needed.iter().position(|n| n == k).expect("keys decoded"))
+                .collect();
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    let key = Key::new(
+                        key_pos
+                            .iter()
+                            .map(|&p| decoded.column(p).value(i))
+                            .collect::<Vec<Value>>(),
+                    );
+                    if probe.contains(&key) {
+                        *m = false;
+                    }
+                }
+            }
+        }
+        let filtered = decoded.filter(&mask);
+        // Project away any anti-join-only columns.
+        let out_ords: Vec<usize> = projection
+            .iter()
+            .map(|p| needed.iter().position(|n| n == p).expect("projection decoded"))
+            .collect();
+        Some(filtered.project(&out_ords))
+    }
+
+    /// Scan the delta store (predicates applied downstream). The delete
+    /// buffer does *not* apply here: deletes of delta-resident rows are
+    /// performed directly on the delta, so the anti-join only concerns
+    /// compressed row groups.
+    pub fn scan_delta(&self, projection: &[usize], pool: &BufferPool, tracker: &IoTracker) -> Batch {
+        let rows = self.delta.scan(pool, tracker);
+        let dtypes: Vec<_> = projection
+            .iter()
+            .map(|&c| self.schema.column(c).dtype)
+            .collect();
+        let kept: Vec<Row> = rows.into_iter().map(|r| r.project(projection)).collect();
+        Batch::from_rows(&dtypes, &kept).expect("delta rows match csi schema")
+    }
+
+    /// Begin a sequential scan over all row groups then the delta store.
+    pub fn begin_scan<'a>(
+        &'a self,
+        projection: Vec<usize>,
+        intervals: HashMap<usize, Interval>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> CsiScan<'a> {
+        let antijoin = self.antijoin_probe(pool, tracker);
+        CsiScan {
+            index: self,
+            projection,
+            intervals,
+            antijoin,
+            next_rg: 0,
+            delta_done: false,
+        }
+    }
+
+    /// Convenience: materialize a full scan (tests / small data).
+    pub fn scan_collect(
+        &self,
+        projection: &[usize],
+        intervals: &HashMap<usize, Interval>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Vec<Batch> {
+        let mut scan = self.begin_scan(projection.to_vec(), intervals.clone(), pool, tracker);
+        let mut out = Vec::new();
+        while let Some(b) = scan.next_batch(pool, tracker) {
+            if b.num_rows() > 0 {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+/// Sequential scan state over a [`ColumnStoreIndex`].
+pub struct CsiScan<'a> {
+    index: &'a ColumnStoreIndex,
+    projection: Vec<usize>,
+    intervals: HashMap<usize, Interval>,
+    antijoin: Option<HashSet<Key>>,
+    next_rg: usize,
+    delta_done: bool,
+}
+
+impl CsiScan<'_> {
+    /// Next batch (one per surviving row group, then one for the delta).
+    /// `None` when exhausted. Eliminated row groups are skipped silently.
+    pub fn next_batch(&mut self, pool: &BufferPool, tracker: &IoTracker) -> Option<Batch> {
+        while self.next_rg < self.index.num_rowgroups() {
+            let rg = self.next_rg;
+            self.next_rg += 1;
+            if let Some(batch) = self.index.scan_rowgroup(
+                rg,
+                &self.projection,
+                &self.intervals,
+                self.antijoin.as_ref(),
+                pool,
+                tracker,
+            ) {
+                return Some(batch);
+            }
+        }
+        if !self.delta_done {
+            self.delta_done = true;
+            if self.index.delta_rows() > 0 {
+                return Some(self.index.scan_delta(&self.projection, pool, tracker));
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,34 @@
+//! Columnstore index (CSI), modelled on SQL Server's columnstores (paper §2).
+//!
+//! Structure:
+//!
+//! * data is split into [`rowgroup::RowGroup`]s of up to
+//!   [`index::CsiConfig::rowgroup_capacity`] rows, each compressed
+//!   *independently*;
+//! * within a row group, rows are sorted by a greedily chosen column order
+//!   (fewest-distinct first) to maximize run-length compression — the
+//!   algorithm of the paper's Figure 8;
+//! * each column of a row group forms a [`segment::Segment`], compressed
+//!   with run-length encoding, bit-packing, or dictionary encoding
+//!   (whichever is smallest), and carrying `min`/`max` small materialized
+//!   aggregates that enable *segment elimination* for predicates;
+//! * inserts land in a B+ tree **delta store**; a *tuple mover* compresses
+//!   full delta chunks into new row groups;
+//! * deletes: a **primary** CSI locates the physical row by scanning key
+//!   segments and sets a bit in the row group's **delete bitmap** (slow
+//!   deletes, fast scans); a **secondary** CSI appends the logical key to a
+//!   B+ tree **delete buffer** (fast deletes), which every scan must
+//!   anti-semi-join against until the buffer is compacted into bitmaps —
+//!   exactly the asymmetry measured in the paper's Figure 5.
+
+pub mod delta;
+pub mod encoding;
+pub mod index;
+pub mod rowgroup;
+pub mod segment;
+
+pub use delta::DeltaStore;
+pub use encoding::{encode_i64s, EncodedInts, IntEncoding};
+pub use index::{ColumnStoreIndex, CsiConfig, CsiKind, CsiScan};
+pub use rowgroup::{RowGroup, SortMode};
+pub use segment::Segment;

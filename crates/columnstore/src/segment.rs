@@ -1,0 +1,332 @@
+//! Column segments: one column of one row group, compressed, with min/max
+//! small materialized aggregates.
+
+use std::sync::Arc;
+
+use hpd_common::{ColumnVector, DataType, Interval, Value};
+use hpd_storage::{BlobId, BufferPool, IoTracker, StorageAllocator};
+
+use crate::encoding::{encode_i64s, EncodedInts, IntEncoding};
+
+/// A compressed column segment.
+///
+/// Non-string columns are normalized to an `i64` stream and encoded
+/// directly. String columns are dictionary-encoded: sorted distinct strings
+/// plus an encoded code stream (dictionary order makes codes order-preserving
+/// so min/max elimination still works on the original values).
+#[derive(Debug, Clone)]
+pub struct Segment {
+    dtype: DataType,
+    ints: EncodedInts,
+    /// Dictionary for `Utf8` columns, sorted ascending.
+    dict: Option<Arc<[Arc<str>]>>,
+    min: Value,
+    max: Value,
+    rows: usize,
+    blob: BlobId,
+}
+
+impl Segment {
+    /// Compress one column. `values` must be non-empty.
+    pub fn build(column: &ColumnVector, alloc: &StorageAllocator) -> Segment {
+        assert!(!column.is_empty(), "segments are never empty");
+        let rows = column.len();
+        let dtype = column.data_type();
+        let blob = alloc.alloc_blob();
+        match column {
+            ColumnVector::Str(vals) => {
+                let mut dict: Vec<Arc<str>> = vals.to_vec();
+                dict.sort_unstable();
+                dict.dedup();
+                let codes: Vec<i64> = vals
+                    .iter()
+                    .map(|s| dict.binary_search(s).expect("value in dict") as i64)
+                    .collect();
+                let min = Value::Str(Arc::clone(&dict[0]));
+                let max = Value::Str(Arc::clone(&dict[dict.len() - 1]));
+                Segment {
+                    dtype,
+                    ints: encode_i64s(&codes),
+                    dict: Some(dict.into()),
+                    min,
+                    max,
+                    rows,
+                    blob,
+                }
+            }
+            ColumnVector::Float64(vals) => {
+                // Order-preserving normalization keeps min/max correct.
+                let ints: Vec<i64> = vals.iter().map(|&f| f.to_bits_i64()).collect();
+                let (min_i, max_i) = (
+                    *ints.iter().min().expect("non-empty"),
+                    *ints.iter().max().expect("non-empty"),
+                );
+                Segment {
+                    dtype,
+                    ints: encode_i64s(&ints),
+                    dict: None,
+                    min: raw_to_value(dtype, min_i),
+                    max: raw_to_value(dtype, max_i),
+                    rows,
+                    blob,
+                }
+            }
+            _ => {
+                let ints: Vec<i64> = (0..rows)
+                    .map(|i| column.value(i).as_i64().expect("numeric column"))
+                    .collect();
+                let (min_i, max_i) = (
+                    *ints.iter().min().expect("non-empty"),
+                    *ints.iter().max().expect("non-empty"),
+                );
+                Segment {
+                    dtype,
+                    ints: encode_i64s(&ints),
+                    dict: None,
+                    min: raw_to_value(dtype, min_i),
+                    max: raw_to_value(dtype, max_i),
+                    rows,
+                    blob,
+                }
+            }
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.dtype
+    }
+
+    pub fn min(&self) -> &Value {
+        &self.min
+    }
+
+    pub fn max(&self) -> &Value {
+        &self.max
+    }
+
+    pub fn blob(&self) -> BlobId {
+        self.blob
+    }
+
+    pub fn encoding(&self) -> IntEncoding {
+        self.ints.encoding()
+    }
+
+    /// Number of maximal runs in the encoded stream (validation hook for the
+    /// advisor's size-estimation models).
+    pub fn run_count(&self) -> usize {
+        self.ints.run_count()
+    }
+
+    /// Compressed size in bytes, including the dictionary.
+    pub fn encoded_bytes(&self) -> usize {
+        let dict_bytes: usize = self
+            .dict
+            .as_ref()
+            .map(|d| d.iter().map(|s| s.len() + 4).sum())
+            .unwrap_or(0);
+        self.ints.encoded_bytes() + dict_bytes
+    }
+
+    /// Charge the segment's I/O (one blob access) without decoding. Scans
+    /// call this once per segment they touch.
+    pub fn charge_io(&self, pool: &BufferPool, tracker: &IoTracker) {
+        pool.access_blob(self.blob, self.encoded_bytes() as u64, tracker);
+    }
+
+    /// Decode the segment into a column vector (does *not* charge I/O; call
+    /// [`Segment::charge_io`] first).
+    pub fn decode(&self) -> ColumnVector {
+        let ints = self.ints.decode();
+        match self.dtype {
+            DataType::Int32 => ColumnVector::Int32(ints.into_iter().map(|v| v as i32).collect()),
+            DataType::Date => ColumnVector::Date(ints.into_iter().map(|v| v as i32).collect()),
+            DataType::Int64 => ColumnVector::Int64(ints),
+            DataType::Decimal => ColumnVector::Decimal(ints),
+            DataType::Float64 => {
+                ColumnVector::Float64(ints.into_iter().map(f64::from_bits_i64).collect())
+            }
+            DataType::Utf8 => {
+                let dict = self.dict.as_ref().expect("utf8 segment has dictionary");
+                ColumnVector::Str(
+                    ints.into_iter()
+                        .map(|c| Arc::clone(&dict[c as usize]))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// True if this segment can be skipped for a predicate interval on this
+    /// column (segment elimination via min/max).
+    pub fn eliminated_by(&self, interval: &Interval) -> bool {
+        !interval.overlaps_range(&self.min, &self.max)
+    }
+}
+
+/// Convert the normalized `i64` representation back to a typed value.
+fn raw_to_value(dtype: DataType, raw: i64) -> Value {
+    match dtype {
+        DataType::Int32 => Value::Int32(raw as i32),
+        DataType::Date => Value::Date(raw as i32),
+        DataType::Int64 => Value::Int64(raw),
+        DataType::Decimal => Value::Decimal(raw),
+        DataType::Float64 => Value::Float64(f64::from_bits_i64(raw)),
+        DataType::Utf8 => unreachable!("strings use the dictionary path"),
+    }
+}
+
+/// Order-preserving i64 <-> f64 mapping so floats share the integer encoding
+/// machinery. The transform flips the sign-magnitude representation into a
+/// monotone two's-complement integer.
+trait FloatBits {
+    fn to_bits_i64(self) -> i64;
+    fn from_bits_i64(v: i64) -> f64;
+}
+
+impl FloatBits for f64 {
+    fn to_bits_i64(self) -> i64 {
+        let b = self.to_bits();
+        if b >> 63 == 1 {
+            // Negative float: flip all bits, then move into i64's negative
+            // half. The mapping is monotone w.r.t. `total_cmp`.
+            (!b ^ (1u64 << 63)) as i64
+        } else {
+            b as i64
+        }
+    }
+
+    fn from_bits_i64(v: i64) -> f64 {
+        if v >= 0 {
+            f64::from_bits(v as u64)
+        } else {
+            f64::from_bits(!((v as u64) ^ (1u64 << 63)))
+        }
+    }
+}
+
+/// Public hook used by [`Segment::build`]'s float path.
+impl Segment {
+    /// Normalize a single value to the segment's `i64` domain (tests).
+    pub fn normalize_value(v: &Value) -> i64 {
+        match v {
+            Value::Float64(f) => f.to_bits_i64(),
+            other => other.as_i64().expect("numeric"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> StorageAllocator {
+        StorageAllocator::new()
+    }
+
+    #[test]
+    fn int_segment_round_trip_with_minmax() {
+        let col = ColumnVector::Int32(vec![5, 1, 9, 3]);
+        let s = Segment::build(&col, &alloc());
+        assert_eq!(s.decode(), col);
+        assert_eq!(s.min(), &Value::Int32(1));
+        assert_eq!(s.max(), &Value::Int32(9));
+        assert_eq!(s.rows(), 4);
+    }
+
+    #[test]
+    fn string_segment_dictionary_round_trip() {
+        let col = ColumnVector::Str(vec![
+            Arc::from("pear"),
+            Arc::from("apple"),
+            Arc::from("pear"),
+            Arc::from("fig"),
+        ]);
+        let s = Segment::build(&col, &alloc());
+        assert_eq!(s.decode(), col);
+        assert_eq!(s.min(), &Value::str("apple"));
+        assert_eq!(s.max(), &Value::str("pear"));
+        assert!(s.encoded_bytes() > 0);
+    }
+
+    #[test]
+    fn decimal_and_date_round_trip() {
+        let col = ColumnVector::Decimal(vec![10_000, -25_000, 0]);
+        let s = Segment::build(&col, &alloc());
+        assert_eq!(s.decode(), col);
+        assert_eq!(s.min(), &Value::Decimal(-25_000));
+        let col = ColumnVector::Date(vec![10, 20, 15]);
+        let s = Segment::build(&col, &alloc());
+        assert_eq!(s.decode(), col);
+        assert_eq!(s.max(), &Value::Date(20));
+    }
+
+    #[test]
+    fn float_round_trip_including_negatives() {
+        let col = ColumnVector::Float64(vec![1.5, -2.25, 0.0, 1e300, -1e-300]);
+        let s = Segment::build(&col, &alloc());
+        assert_eq!(s.decode(), col);
+        assert_eq!(s.min(), &Value::Float64(-2.25));
+        assert_eq!(s.max(), &Value::Float64(1e300));
+    }
+
+    #[test]
+    fn float_normalization_is_monotone() {
+        let floats = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -1e-300,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        let mono: Vec<i64> = floats.iter().map(|&f| f.to_bits_i64()).collect();
+        assert!(mono.windows(2).all(|w| w[0] <= w[1]), "{mono:?}");
+        for &f in &floats {
+            assert_eq!(f64::from_bits_i64(f.to_bits_i64()).to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn elimination_uses_minmax() {
+        let col = ColumnVector::Int32(vec![100, 150, 120]);
+        let s = Segment::build(&col, &alloc());
+        assert!(s.eliminated_by(&Interval::less_than(Value::Int32(100), false)));
+        assert!(!s.eliminated_by(&Interval::less_than(Value::Int32(101), false)));
+        assert!(s.eliminated_by(&Interval::point(Value::Int32(99))));
+        assert!(!s.eliminated_by(&Interval::all()));
+    }
+
+    #[test]
+    fn charge_io_hits_pool_cache_second_time() {
+        let col = ColumnVector::Int32((0..10_000).collect());
+        let s = Segment::build(&col, &alloc());
+        let pool = BufferPool::unbounded(hpd_storage::DeviceProfile::hdd_raid());
+        let t = IoTracker::new();
+        s.charge_io(&pool, &t);
+        s.charge_io(&pool, &t);
+        let snap = t.snapshot();
+        assert_eq!(snap.logical_reads, 2);
+        assert_eq!(snap.physical_reads, 1);
+        assert_eq!(snap.bytes_read, s.encoded_bytes() as u64);
+    }
+
+    #[test]
+    fn low_cardinality_column_compresses_well() {
+        // 25 distinct values over 100k rows, sorted: tiny RLE.
+        let mut vals: Vec<i32> = (0..100_000).map(|i| i % 25).collect();
+        vals.sort_unstable();
+        let s = Segment::build(&ColumnVector::Int32(vals), &alloc());
+        assert_eq!(s.encoding(), IntEncoding::Rle);
+        assert_eq!(s.run_count(), 25);
+        assert!(s.encoded_bytes() < 1000);
+    }
+}

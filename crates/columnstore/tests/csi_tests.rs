@@ -1,0 +1,363 @@
+//! Integration and property tests for the columnstore index.
+
+use std::collections::HashMap;
+
+use hpd_columnstore::{ColumnStoreIndex, CsiConfig, CsiKind, SortMode};
+use hpd_common::{DataType, Interval, Key, Row, Schema, Value};
+use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
+use proptest::prelude::*;
+
+fn schema2() -> Schema {
+    Schema::from_pairs(&[("id", DataType::Int32), ("val", DataType::Int32)])
+}
+
+fn rows2(n: i32) -> Vec<Row> {
+    (0..n)
+        .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i * 7 % 100)]))
+        .collect()
+}
+
+fn small_config() -> CsiConfig {
+    CsiConfig {
+        rowgroup_capacity: 100,
+        sort_mode: SortMode::Greedy,
+        ..CsiConfig::default()
+    }
+}
+
+fn setup(kind: CsiKind, n: i32) -> (ColumnStoreIndex, BufferPool, IoTracker) {
+    let pool = BufferPool::unbounded(DeviceProfile::ram());
+    let t = IoTracker::new();
+    let idx = ColumnStoreIndex::build(
+        schema2(),
+        kind,
+        vec![0],
+        small_config(),
+        &rows2(n),
+        StorageAllocator::new(),
+        &pool,
+        &t,
+    );
+    (idx, pool, t)
+}
+
+fn all_ids(idx: &ColumnStoreIndex, pool: &BufferPool) -> Vec<i32> {
+    let t = IoTracker::new();
+    let mut ids: Vec<i32> = idx
+        .scan_collect(&[0], &HashMap::new(), pool, &t)
+        .iter()
+        .flat_map(|b| {
+            (0..b.num_rows())
+                .map(|i| b.column(0).value(i).as_i32().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn build_splits_into_rowgroups() {
+    let (idx, _, _) = setup(CsiKind::Primary, 1000);
+    assert_eq!(idx.num_rowgroups(), 10);
+    assert_eq!(idx.active_rows(), 1000);
+    assert_eq!(idx.delta_rows(), 0);
+}
+
+#[test]
+fn scan_returns_all_rows() {
+    let (idx, pool, _) = setup(CsiKind::Primary, 500);
+    assert_eq!(all_ids(&idx, &pool), (0..500).collect::<Vec<_>>());
+}
+
+#[test]
+fn segment_elimination_skips_rowgroups() {
+    // Data arrives sorted by id, so per-rowgroup id ranges are disjoint.
+    let (idx, pool, _) = setup(CsiKind::Primary, 1000);
+    let t = IoTracker::new();
+    let mut intervals = HashMap::new();
+    intervals.insert(0usize, Interval::less_than(Value::Int32(150), false));
+    let batches = idx.scan_collect(&[0], &intervals, &pool, &t);
+    let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
+    // Row groups 0 and 1 survive (ids 0..200); elimination is conservative.
+    assert_eq!(rows, 200);
+    let eliminated: usize = (0..idx.num_rowgroups())
+        .filter(|&i| idx.rowgroup_eliminated(i, &intervals))
+        .count();
+    assert_eq!(eliminated, 8);
+}
+
+#[test]
+fn elimination_reduces_bytes_read() {
+    let (idx, _, _) = setup(CsiKind::Primary, 2000);
+    let pool = BufferPool::unbounded(DeviceProfile::hdd_raid());
+    let sel = {
+        let t = IoTracker::new();
+        let mut iv = HashMap::new();
+        iv.insert(0usize, Interval::point(Value::Int32(42)));
+        idx.scan_collect(&[0, 1], &iv, &pool, &t);
+        t.snapshot().bytes_read
+    };
+    pool.clear();
+    let full = {
+        let t = IoTracker::new();
+        idx.scan_collect(&[0, 1], &HashMap::new(), &pool, &t);
+        t.snapshot().bytes_read
+    };
+    assert!(
+        sel * 5 < full,
+        "selective scan read {sel} bytes vs full {full}"
+    );
+}
+
+#[test]
+fn inserts_go_to_delta_then_tuple_move() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 150);
+    assert_eq!(idx.num_rowgroups(), 2);
+    for i in 1000..1049 {
+        idx.insert(Row::new(vec![Value::Int32(i), Value::Int32(0)]), &pool, &t);
+    }
+    assert_eq!(idx.delta_rows(), 49, "delta below capacity stays");
+    assert_eq!(idx.active_rows(), 199);
+    // Scanning sees delta rows.
+    assert_eq!(all_ids(&idx, &pool).len(), 199);
+    // Push delta to capacity: triggers synchronous tuple move.
+    for i in 2000..2051 {
+        idx.insert(Row::new(vec![Value::Int32(i), Value::Int32(0)]), &pool, &t);
+    }
+    assert!(idx.delta_rows() < 100);
+    assert_eq!(idx.num_rowgroups(), 3);
+    assert_eq!(idx.active_rows(), 250);
+}
+
+#[test]
+fn secondary_delete_buffers_and_hides_rows() {
+    let (mut idx, pool, t) = setup(CsiKind::Secondary, 300);
+    assert!(idx.delete(&Key::single(Value::Int32(42)), &pool, &t));
+    assert_eq!(idx.delete_buffer_len(), 1);
+    assert_eq!(idx.active_rows(), 299);
+    let ids = all_ids(&idx, &pool);
+    assert_eq!(ids.len(), 299);
+    assert!(!ids.contains(&42), "anti-join hides buffered delete");
+}
+
+#[test]
+fn secondary_delete_is_cheaper_than_primary_delete() {
+    // Shuffled keys defeat segment elimination, so a primary-CSI delete must
+    // scan key segments across row groups; a secondary-CSI delete is one
+    // delete-buffer insert. Compare simulated HDD time (the paper's Fig. 5
+    // asymmetry).
+    let mut keys: Vec<i32> = (0..5000).collect();
+    let mut state = 99u64;
+    for i in (1..keys.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        keys.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    let rows: Vec<Row> = keys
+        .iter()
+        .map(|&k| Row::new(vec![Value::Int32(k), Value::Int32(k % 10)]))
+        .collect();
+    let build = |kind| {
+        let pool = BufferPool::unbounded(DeviceProfile::hdd_raid());
+        let t = IoTracker::new();
+        let idx = ColumnStoreIndex::build(
+            schema2(),
+            kind,
+            vec![0],
+            small_config(),
+            &rows,
+            StorageAllocator::new(),
+            &pool,
+            &t,
+        );
+        pool.clear();
+        (idx, pool)
+    };
+    let (mut pri, pool_p) = build(CsiKind::Primary);
+    let (mut sec, pool_s) = build(CsiKind::Secondary);
+    let tp = IoTracker::new();
+    assert!(pri.delete(&Key::single(Value::Int32(2500)), &pool_p, &tp));
+    let ts = IoTracker::new();
+    assert!(sec.delete(&Key::single(Value::Int32(2500)), &pool_s, &ts));
+    assert!(
+        tp.snapshot().sim_io_us() > 5.0 * ts.snapshot().sim_io_us(),
+        "primary delete {}us vs secondary {}us",
+        tp.snapshot().sim_io_us(),
+        ts.snapshot().sim_io_us()
+    );
+    assert_eq!(pri.active_rows(), 4999);
+    assert_eq!(sec.active_rows(), 4999);
+}
+
+#[test]
+fn primary_delete_marks_bitmap() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 250);
+    assert!(idx.delete(&Key::single(Value::Int32(99)), &pool, &t));
+    assert!(!idx.delete(&Key::single(Value::Int32(99)), &pool, &t), "already gone");
+    assert!(!idx.delete(&Key::single(Value::Int32(9_999)), &pool, &t), "never existed");
+    let ids = all_ids(&idx, &pool);
+    assert_eq!(ids.len(), 249);
+    assert!(!ids.contains(&99));
+}
+
+#[test]
+fn delete_from_delta_store_directly() {
+    let (mut idx, pool, t) = setup(CsiKind::Secondary, 150);
+    idx.insert(Row::new(vec![Value::Int32(7_000), Value::Int32(1)]), &pool, &t);
+    assert_eq!(idx.delta_rows(), 1);
+    assert!(idx.delete(&Key::single(Value::Int32(7_000)), &pool, &t));
+    assert_eq!(idx.delta_rows(), 0);
+    assert_eq!(idx.delete_buffer_len(), 0, "delta delete bypasses buffer");
+}
+
+#[test]
+fn compact_delete_buffer_resolves_to_bitmap() {
+    let (mut idx, pool, t) = setup(CsiKind::Secondary, 300);
+    for k in [10, 20, 30] {
+        idx.delete(&Key::single(Value::Int32(k)), &pool, &t);
+    }
+    assert_eq!(idx.delete_buffer_len(), 3);
+    idx.compact_delete_buffer(&pool, &t);
+    assert_eq!(idx.delete_buffer_len(), 0);
+    assert_eq!(idx.active_rows(), 297);
+    let ids = all_ids(&idx, &pool);
+    assert!(!ids.contains(&10) && !ids.contains(&20) && !ids.contains(&30));
+    // After compaction scans no longer pay the anti-join probe.
+    assert!(idx.antijoin_probe(&pool, &t).is_none());
+}
+
+#[test]
+fn update_is_delete_plus_insert() {
+    let (mut idx, pool, t) = setup(CsiKind::Secondary, 200);
+    let updated = idx.update(
+        &Key::single(Value::Int32(5)),
+        Row::new(vec![Value::Int32(5), Value::Int32(999)]),
+        &pool,
+        &t,
+    );
+    assert!(updated);
+    assert_eq!(idx.active_rows(), 200);
+    assert_eq!(idx.delta_rows(), 1);
+    // The new version is visible, the old hidden.
+    let t2 = IoTracker::new();
+    let mut iv = HashMap::new();
+    iv.insert(0usize, Interval::point(Value::Int32(5)));
+    let batches = idx.scan_collect(&[0, 1], &iv, &pool, &t2);
+    let vals: Vec<i32> = batches
+        .iter()
+        .flat_map(|b| {
+            (0..b.num_rows())
+                .filter(|&i| b.column(0).value(i) == Value::Int32(5))
+                .map(|i| b.column(1).value(i).as_i32().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert_eq!(vals, vec![999]);
+}
+
+#[test]
+fn projection_decodes_only_needed_columns() {
+    let (idx, _, _) = setup(CsiKind::Primary, 1000);
+    let pool = BufferPool::unbounded(DeviceProfile::hdd_raid());
+    let one_col = {
+        let t = IoTracker::new();
+        idx.scan_collect(&[1], &HashMap::new(), &pool, &t);
+        t.snapshot().bytes_read
+    };
+    pool.clear();
+    let both = {
+        let t = IoTracker::new();
+        idx.scan_collect(&[0, 1], &HashMap::new(), &pool, &t);
+        t.snapshot().bytes_read
+    };
+    assert!(one_col < both, "column pruning must reduce I/O");
+}
+
+#[test]
+fn column_sizes_sum_to_total() {
+    let (idx, _, _) = setup(CsiKind::Primary, 1000);
+    let sizes = idx.column_sizes();
+    assert_eq!(sizes.len(), 2);
+    assert_eq!(sizes.iter().sum::<usize>(), idx.size_bytes());
+    assert!(sizes.iter().all(|&s| s > 0));
+}
+
+#[test]
+fn compress_all_delta_flushes_remainder() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 0);
+    for i in 0..42 {
+        idx.insert(Row::new(vec![Value::Int32(i), Value::Int32(0)]), &pool, &t);
+    }
+    assert_eq!(idx.num_rowgroups(), 0);
+    idx.compress_all_delta(&pool, &t);
+    assert_eq!(idx.delta_rows(), 0);
+    assert_eq!(idx.num_rowgroups(), 1);
+    assert_eq!(all_ids(&idx, &pool), (0..42).collect::<Vec<_>>());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_inserts_deletes_match_model(
+        ops in prop::collection::vec((0i32..100, prop::bool::ANY), 1..120)
+    ) {
+        let pool = BufferPool::unbounded(DeviceProfile::ram());
+        let t = IoTracker::new();
+        let mut idx = ColumnStoreIndex::build(
+            schema2(),
+            CsiKind::Secondary,
+            vec![0],
+            CsiConfig { rowgroup_capacity: 16, sort_mode: SortMode::Greedy, ..CsiConfig::default() },
+            &[],
+            StorageAllocator::new(),
+            &pool,
+            &t,
+        );
+        let mut model: Vec<i32> = Vec::new();
+        for (k, is_insert) in ops {
+            if is_insert {
+                if !model.contains(&k) { // keys stay unique
+                    idx.insert(Row::new(vec![Value::Int32(k), Value::Int32(k)]), &pool, &t);
+                    model.push(k);
+                }
+            } else if let Some(pos) = model.iter().position(|&x| x == k) {
+                prop_assert!(idx.delete(&Key::single(Value::Int32(k)), &pool, &t));
+                model.remove(pos);
+            }
+        }
+        model.sort_unstable();
+        prop_assert_eq!(all_ids(&idx, &pool), model.clone());
+        prop_assert_eq!(idx.active_rows(), model.len());
+        // Compaction must not change visible contents.
+        idx.compact_delete_buffer(&pool, &t);
+        prop_assert_eq!(all_ids(&idx, &pool), model);
+    }
+
+    #[test]
+    fn prop_scan_with_interval_superset_of_exact_filter(
+        n in 1i32..400,
+        lo in 0i32..400,
+        width in 0i32..100,
+    ) {
+        let (idx, pool, _) = setup(CsiKind::Primary, n);
+        let t = IoTracker::new();
+        let mut iv = HashMap::new();
+        iv.insert(0usize, Interval::between(Value::Int32(lo), Value::Int32(lo + width)));
+        let batches = idx.scan_collect(&[0], &iv, &pool, &t);
+        let mut got: Vec<i32> = batches.iter().flat_map(|b| {
+            (0..b.num_rows()).map(|i| b.column(0).value(i).as_i32().unwrap()).collect::<Vec<_>>()
+        }).collect();
+        got.sort_unstable();
+        // Elimination is conservative: every truly matching row must appear.
+        let expected: Vec<i32> = (0..n).filter(|&i| i >= lo && i <= lo + width).collect();
+        for e in &expected {
+            prop_assert!(got.contains(e));
+        }
+        // And everything returned is within the surviving rowgroups (no
+        // correctness requirement beyond superset, but ids must be valid).
+        for g in &got {
+            prop_assert!(*g >= 0 && *g < n);
+        }
+    }
+}

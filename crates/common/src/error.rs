@@ -1,0 +1,93 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all `hpd-*` crates.
+pub type Result<T> = std::result::Result<T, HpdError>;
+
+/// Errors surfaced by the storage engine, executor, optimizer, and advisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HpdError {
+    /// A value had a different [`crate::DataType`] than the operation expected.
+    TypeMismatch {
+        expected: &'static str,
+        found: String,
+    },
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced index does not exist.
+    UnknownIndex(String),
+    /// An index with this name already exists.
+    DuplicateIndex(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// The operation violates a structural constraint (e.g. two columnstore
+    /// indexes on one table).
+    Constraint(String),
+    /// A query referenced something invalid (bad column ordinal, empty
+    /// group-by for a streaming aggregate, ...).
+    InvalidQuery(String),
+    /// The executor ran out of its memory grant and the operator cannot spill.
+    OutOfMemoryGrant { needed: usize, grant: usize },
+    /// A transaction was chosen as a deadlock victim or timed out on a lock.
+    LockTimeout(String),
+    /// Serialization failure under snapshot / serializable isolation.
+    SerializationFailure(String),
+    /// Internal invariant violation — indicates a bug, not bad input.
+    Internal(String),
+}
+
+impl fmt::Display for HpdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HpdError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            HpdError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            HpdError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            HpdError::UnknownIndex(i) => write!(f, "unknown index: {i}"),
+            HpdError::DuplicateIndex(i) => write!(f, "index already exists: {i}"),
+            HpdError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            HpdError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            HpdError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            HpdError::OutOfMemoryGrant { needed, grant } => {
+                write!(f, "out of memory grant: needed {needed} bytes, grant {grant} bytes")
+            }
+            HpdError::LockTimeout(m) => write!(f, "lock timeout: {m}"),
+            HpdError::SerializationFailure(m) => write!(f, "serialization failure: {m}"),
+            HpdError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HpdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = HpdError::TypeMismatch {
+            expected: "Int32",
+            found: "Utf8".into(),
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected Int32, found Utf8");
+        assert_eq!(
+            HpdError::UnknownColumn("x".into()).to_string(),
+            "unknown column: x"
+        );
+        assert_eq!(
+            HpdError::OutOfMemoryGrant { needed: 10, grant: 5 }.to_string(),
+            "out of memory grant: needed 10 bytes, grant 5 bytes"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<HpdError>();
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared foundation types for the hybrid-physical-designs workspace.
+//!
+//! This crate defines the type system ([`DataType`], [`Value`]), tabular
+//! metadata ([`Schema`], [`ColumnDef`]), row- and column-oriented data
+//! containers ([`Row`], [`Batch`], [`ColumnVector`]), the scalar expression
+//! language ([`Expr`]) with both row-at-a-time and vectorized evaluation, and
+//! the common error type [`HpdError`].
+//!
+//! Everything in the workspace — the B+ tree, the columnstore, the execution
+//! engine, and the tuning advisor — speaks these types.
+
+pub mod batch;
+pub mod error;
+pub mod expr;
+pub mod interval;
+pub mod row;
+pub mod schema;
+pub mod types;
+
+pub use batch::{Batch, ColumnVector};
+pub use error::{HpdError, Result};
+pub use expr::{AggFunc, BinOp, CmpOp, Expr};
+pub use interval::Interval;
+pub use row::{Key, Row};
+pub use schema::{ColumnDef, Schema};
+pub use types::{DataType, Value};

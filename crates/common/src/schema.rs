@@ -1,0 +1,167 @@
+//! Table schemas: ordered, named, typed columns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DataType, HpdError, Result, Row};
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+    /// Whether this column's type may be stored in a columnstore index.
+    ///
+    /// SQL Server excludes several data types from columnstores (paper §4.3);
+    /// workload generators can mark columns ineligible to exercise the
+    /// advisor's fallback to secondary CSIs that exclude such columns.
+    pub csi_eligible: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            csi_eligible: dtype.csi_supported(),
+        }
+    }
+
+    /// Mark the column as ineligible for inclusion in a columnstore index.
+    pub fn csi_ineligible(mut self) -> ColumnDef {
+        self.csi_eligible = false;
+        self
+    }
+}
+
+/// An ordered list of columns describing a table or intermediate result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> Schema {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Schema {
+        Schema {
+            columns: pairs
+                .iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Ordinal of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| HpdError::UnknownColumn(name.to_string()))
+    }
+
+    /// Schema containing only the given column ordinals, in that order.
+    pub fn project(&self, ordinals: &[usize]) -> Schema {
+        Schema {
+            columns: ordinals.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+
+    /// Planning-time width in bytes of one row of this schema.
+    pub fn row_width(&self) -> usize {
+        self.columns.iter().map(|c| c.dtype.fixed_width()).sum()
+    }
+
+    /// Verify that a row matches this schema's arity and column types.
+    pub fn validate_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(HpdError::Internal(format!(
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.values().iter().zip(&self.columns) {
+            if v.data_type() != c.dtype {
+                return Err(HpdError::TypeMismatch {
+                    expected: c.dtype.name(),
+                    found: format!("{} in column {}", v.data_type(), c.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("a", DataType::Int32),
+            ("b", DataType::Utf8),
+            ("c", DataType::Decimal),
+        ])
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = sample();
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("c").unwrap(), 2);
+        assert!(matches!(s.index_of("zz"), Err(HpdError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample().project(&[2, 0]);
+        assert_eq!(s.column(0).name, "c");
+        assert_eq!(s.column(1).name, "a");
+    }
+
+    #[test]
+    fn row_width_sums_fixed_widths() {
+        assert_eq!(sample().row_width(), 4 + 16 + 8);
+    }
+
+    #[test]
+    fn validate_row_checks_types_and_arity() {
+        let s = sample();
+        let good = Row::new(vec![Value::Int32(1), Value::str("x"), Value::Decimal(0)]);
+        assert!(s.validate_row(&good).is_ok());
+        let short = Row::new(vec![Value::Int32(1)]);
+        assert!(s.validate_row(&short).is_err());
+        let bad = Row::new(vec![Value::Int64(1), Value::str("x"), Value::Decimal(0)]);
+        assert!(matches!(
+            s.validate_row(&bad),
+            Err(HpdError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn csi_eligibility_flag() {
+        let c = ColumnDef::new("x", DataType::Utf8).csi_ineligible();
+        assert!(!c.csi_eligible);
+        assert!(ColumnDef::new("y", DataType::Int32).csi_eligible);
+    }
+}

@@ -1,0 +1,260 @@
+//! The advisor facade: analyze a workload, recommend a physical design.
+
+use std::collections::HashMap;
+
+use hpd_common::Result;
+use hpd_engine::{
+    cost::CostModel, Configuration, Database, IndexDescriptor, TableContext, TableDesign,
+};
+
+use crate::candidates::{generate_candidates, prune_candidates};
+use crate::enumerate::{greedy_search, statement_cost, Chosen};
+use crate::merge::merge_candidates;
+use crate::size::{BlackBoxEstimator, CsiSizeEstimator, RunModelEstimator, SampleSet};
+use crate::workload::Workload;
+
+/// Which parts of the design space the advisor may use — the three
+/// alternatives compared throughout the paper's §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignMode {
+    /// B+ tree and columnstore indexes (the paper's extended DTA).
+    Hybrid,
+    /// B+ tree indexes only (classic DTA).
+    BTreeOnly,
+    /// Columnstore candidates only.
+    CsiOnly,
+}
+
+impl DesignMode {
+    pub fn allows_btree(self) -> bool {
+        !matches!(self, DesignMode::CsiOnly)
+    }
+
+    pub fn allows_csi(self) -> bool {
+        !matches!(self, DesignMode::BTreeOnly)
+    }
+}
+
+/// Which size estimator to use for hypothetical columnstores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    BlackBox,
+    RunModel,
+}
+
+/// Advisor knobs.
+#[derive(Debug, Clone)]
+pub struct AdvisorOptions {
+    pub mode: DesignMode,
+    /// Storage cap for new indexes (None = unconstrained).
+    pub storage_budget_bytes: Option<usize>,
+    /// Block-sampling fraction for size estimation.
+    pub sample_fraction: f64,
+    pub estimator: EstimatorKind,
+    pub seed: u64,
+}
+
+impl Default for AdvisorOptions {
+    fn default() -> AdvisorOptions {
+        AdvisorOptions {
+            mode: DesignMode::Hybrid,
+            storage_budget_bytes: None,
+            sample_fraction: 0.1,
+            estimator: EstimatorKind::RunModel,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A recommended physical design with its estimated impact.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Full per-table designs (existing primary + recommended secondaries).
+    pub configuration: Configuration,
+    pub est_cost_before_us: f64,
+    pub est_cost_after_us: f64,
+    /// Per-statement `(label, cost before, cost after)`.
+    pub per_statement: Vec<(String, f64, f64)>,
+    pub new_index_bytes: usize,
+}
+
+impl Recommendation {
+    pub fn speedup(&self) -> f64 {
+        if self.est_cost_after_us <= 0.0 {
+            return 1.0;
+        }
+        self.est_cost_before_us / self.est_cost_after_us
+    }
+
+    /// Human-readable report.
+    pub fn report(&self, db: &Database) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Estimated workload cost: {:.0}us -> {:.0}us ({:.1}x)",
+            self.est_cost_before_us,
+            self.est_cost_after_us,
+            self.speedup()
+        );
+        let _ = writeln!(out, "New index bytes: {}", self.new_index_bytes);
+        for design in &self.configuration.tables {
+            if design.indexes.len() <= 1 {
+                continue;
+            }
+            let schema = db
+                .with_table(&design.table, |t| t.schema().clone())
+                .ok();
+            let _ = writeln!(out, "table {}:", design.table);
+            for d in &design.indexes[1..] {
+                match &schema {
+                    Some(s) => {
+                        let _ = writeln!(out, "  CREATE {}", d.display(s));
+                    }
+                    None => {
+                        let _ = writeln!(out, "  CREATE {d:?}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The tuning advisor (DTA stand-in).
+pub struct Advisor<'db> {
+    db: &'db Database,
+    options: AdvisorOptions,
+}
+
+impl<'db> Advisor<'db> {
+    pub fn new(db: &'db Database, options: AdvisorOptions) -> Advisor<'db> {
+        Advisor { db, options }
+    }
+
+    fn estimator(&self) -> Box<dyn CsiSizeEstimator> {
+        match self.options.estimator {
+            EstimatorKind::BlackBox => Box::new(BlackBoxEstimator),
+            EstimatorKind::RunModel => Box::new(RunModelEstimator),
+        }
+    }
+
+    /// Analyze the workload and recommend a configuration.
+    pub fn recommend(&self, workload: &Workload) -> Result<Recommendation> {
+        let estimator = self.estimator();
+        let csi_config = self.db.config().csi;
+        let cost = CostModel::new(
+            self.db.config().device,
+            self.db.config().max_dop,
+            self.db.config().grant_bytes,
+        );
+
+        // Contexts and block samples per referenced table.
+        let mut contexts: HashMap<String, TableContext> = HashMap::new();
+        let mut samples: HashMap<String, SampleSet> = HashMap::new();
+        for name in workload.referenced_tables() {
+            let ctx = self.db.context_for(&name)?;
+            let rows = self.db.with_table(&name, |t| {
+                t.scan_all_rows(
+                    self.db.pool(),
+                    &hpd_storage::IoTracker::new(),
+                )
+            })?;
+            samples.insert(
+                name.clone(),
+                SampleSet::block_sample(&rows, self.options.sample_fraction, self.options.seed),
+            );
+            contexts.insert(name, ctx);
+        }
+
+        // Candidate selection → what-if pruning → merging.
+        let raw = generate_candidates(workload, &contexts, self.options.mode);
+        let pruned = prune_candidates(
+            self.db,
+            workload,
+            &contexts,
+            &raw,
+            &samples,
+            estimator.as_ref(),
+            &csi_config,
+        )?;
+        let pool = merge_candidates(&pruned);
+
+        // Greedy enumeration.
+        let result = greedy_search(
+            self.db,
+            workload,
+            &contexts,
+            &pool,
+            &samples,
+            estimator.as_ref(),
+            &csi_config,
+            &cost,
+            self.options.storage_budget_bytes,
+        )?;
+
+        // Per-statement before/after costs.
+        let empty: Chosen = HashMap::new();
+        let mut per_statement = Vec::with_capacity(workload.len());
+        for ws in &workload.statements {
+            let before = statement_cost(
+                self.db, &ws.statement, &contexts, &empty, &samples,
+                estimator.as_ref(), &csi_config, &cost,
+            )?;
+            let after = statement_cost(
+                self.db, &ws.statement, &contexts, &result.chosen, &samples,
+                estimator.as_ref(), &csi_config, &cost,
+            )?;
+            per_statement.push((ws.label.clone(), before, after));
+        }
+
+        // Assemble the configuration: existing primary + chosen secondaries.
+        let mut tables = Vec::new();
+        for name in workload.referenced_tables() {
+            let primary = contexts[&name]
+                .metas
+                .first()
+                .map(|m| m.descriptor.clone())
+                .unwrap_or(IndexDescriptor::PrimaryBTree {
+                    keys: contexts[&name].pk.clone(),
+                });
+            let mut indexes = vec![primary];
+            if let Some(list) = result.chosen.get(&name) {
+                indexes.extend(list.iter().cloned());
+            }
+            tables.push(TableDesign::new(name, indexes));
+        }
+        let configuration = Configuration { tables };
+        configuration.validate()?;
+
+        Ok(Recommendation {
+            configuration,
+            est_cost_before_us: result.initial_cost_us,
+            est_cost_after_us: result.final_cost_us,
+            per_statement,
+            new_index_bytes: result.new_index_bytes,
+        })
+    }
+}
+
+/// The paper's non-advisor baseline: "a secondary (non-clustered)
+/// columnstore is built on all tables in the database" — plus the existing
+/// primaries.
+pub fn csi_everywhere_configuration(db: &Database, tables: &[String]) -> Result<Configuration> {
+    let mut designs = Vec::new();
+    for name in tables {
+        let (primary, eligible) = db.with_table(name, |t| {
+            let primary = t.metas()[0].descriptor.clone();
+            let eligible: Vec<usize> = (0..t.schema().len())
+                .filter(|&c| t.schema().column(c).csi_eligible)
+                .collect();
+            (primary, eligible)
+        })?;
+        let mut indexes = vec![primary.clone()];
+        if !primary.is_csi() && !eligible.is_empty() {
+            indexes.push(IndexDescriptor::SecondaryCsi { columns: eligible });
+        }
+        designs.push(TableDesign::new(name.clone(), indexes));
+    }
+    Ok(Configuration { tables: designs })
+}

@@ -1,0 +1,214 @@
+//! Hypothetical index metadata — the advisor's side of the what-if API.
+//!
+//! Mirrors the paper's §4.2: the engine was extended so the optimizer can
+//! (a) recognize metadata-only columnstores, and (b) accept *per-column
+//! sizes* for them. Here we construct [`IndexMeta`] records for indexes that
+//! do not exist, using the size estimators of [`crate::size`].
+
+use hpd_columnstore::CsiConfig;
+use hpd_engine::{IndexDescriptor, IndexMeta, TableContext};
+
+use crate::size::{btree_size_estimate, CsiSizeEstimator, SampleSet};
+
+/// Build the what-if metadata for `descriptor` on the table described by
+/// `ctx`, using `sample` for columnstore size estimation.
+pub fn hypothetical_meta(
+    descriptor: &IndexDescriptor,
+    ctx: &TableContext,
+    sample: &SampleSet,
+    estimator: &dyn CsiSizeEstimator,
+    csi_config: &CsiConfig,
+) -> IndexMeta {
+    let rows = ctx.stats.rows;
+    match descriptor {
+        IndexDescriptor::PrimaryBTree { .. } => {
+            let (leaf_pages, height) = btree_size_estimate(rows, ctx.schema.row_width() + 16);
+            IndexMeta {
+                descriptor: descriptor.clone(),
+                rows,
+                leaf_pages,
+                height,
+                column_bytes: vec![],
+                rowgroups: 0,
+                delta_rows: 0,
+                delete_buffer_rows: 0,
+                hypothetical: true,
+            }
+        }
+        IndexDescriptor::SecondaryBTree { keys, includes } => {
+            let mut stored: Vec<usize> = keys.clone();
+            for &c in includes.iter().chain(&ctx.pk) {
+                if !stored.contains(&c) {
+                    stored.push(c);
+                }
+            }
+            let entry_width: usize = stored
+                .iter()
+                .map(|&c| ctx.schema.column(c).dtype.fixed_width())
+                .sum::<usize>()
+                + keys.len() * 8;
+            let (leaf_pages, height) = btree_size_estimate(rows, entry_width);
+            IndexMeta {
+                descriptor: descriptor.clone(),
+                rows,
+                leaf_pages,
+                height,
+                column_bytes: vec![],
+                rowgroups: 0,
+                delta_rows: 0,
+                delete_buffer_rows: 0,
+                hypothetical: true,
+            }
+        }
+        IndexDescriptor::PrimaryCsi => {
+            let bytes = estimator.estimate_column_bytes(&ctx.schema, sample, rows, csi_config);
+            IndexMeta {
+                descriptor: descriptor.clone(),
+                rows,
+                leaf_pages: 0,
+                height: 0,
+                column_bytes: bytes.into_iter().enumerate().collect(),
+                rowgroups: rows.div_ceil(csi_config.rowgroup_capacity.max(1)),
+                delta_rows: 0,
+                delete_buffer_rows: 0,
+                hypothetical: true,
+            }
+        }
+        IndexDescriptor::SecondaryCsi { columns } => {
+            // Build a projected schema + sample for the stored columns
+            // (always including the primary key, as the engine does).
+            let mut stored = columns.clone();
+            for &k in &ctx.pk {
+                if !stored.contains(&k) {
+                    stored.push(k);
+                }
+            }
+            let proj_schema = ctx.schema.project(&stored);
+            let proj_sample = SampleSet {
+                rows: sample.rows.iter().map(|r| r.project(&stored)).collect(),
+                fraction: sample.fraction,
+            };
+            let proj_bytes =
+                estimator.estimate_column_bytes(&proj_schema, &proj_sample, rows, csi_config);
+            IndexMeta {
+                descriptor: IndexDescriptor::SecondaryCsi { columns: stored.clone() },
+                rows,
+                leaf_pages: 0,
+                height: 0,
+                column_bytes: stored.iter().copied().zip(proj_bytes).collect(),
+                rowgroups: rows.div_ceil(csi_config.rowgroup_capacity.max(1)),
+                delta_rows: 0,
+                delete_buffer_rows: 0,
+                hypothetical: true,
+            }
+        }
+    }
+}
+
+/// Hypothetical-size sanity helper used by reports: total bytes of a meta.
+pub fn meta_size_bytes(meta: &IndexMeta) -> usize {
+    meta.size_bytes()
+}
+
+/// Build a projected sample once per table (avoids repeated cloning).
+pub fn table_sample(ctx: &TableContext, rows: &[hpd_common::Row], fraction: f64, seed: u64) -> SampleSet {
+    let _ = ctx;
+    SampleSet::block_sample(rows, fraction, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::RunModelEstimator;
+    use hpd_common::{DataType, Row, Schema, Value};
+    use hpd_engine::TableStats;
+
+    fn ctx(rows: Vec<Row>) -> (TableContext, Vec<Row>) {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int32),
+            ("grp", DataType::Int32),
+            ("val", DataType::Int32),
+        ]);
+        let stats = TableStats::analyze(&rows, 3, 4096);
+        (
+            TableContext {
+                name: "t".into(),
+                schema,
+                pk: vec![0],
+                stats,
+                metas: vec![],
+            },
+            rows,
+        )
+    }
+
+    fn rows(n: i32) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i % 5), Value::Int32(i * 7)]))
+            .collect()
+    }
+
+    #[test]
+    fn secondary_btree_meta_sized_by_stored_width() {
+        let (ctx, data) = ctx(rows(10_000));
+        let sample = SampleSet::full(&data);
+        let narrow = hypothetical_meta(
+            &IndexDescriptor::SecondaryBTree {
+                keys: vec![1],
+                includes: vec![],
+            },
+            &ctx,
+            &sample,
+            &RunModelEstimator,
+            &CsiConfig::default(),
+        );
+        let wide = hypothetical_meta(
+            &IndexDescriptor::SecondaryBTree {
+                keys: vec![1],
+                includes: vec![2],
+            },
+            &ctx,
+            &sample,
+            &RunModelEstimator,
+            &CsiConfig::default(),
+        );
+        assert!(narrow.leaf_pages < wide.leaf_pages);
+        assert!(narrow.hypothetical);
+        assert_eq!(narrow.rows, 10_000);
+    }
+
+    #[test]
+    fn secondary_csi_meta_includes_pk_and_maps_ordinals() {
+        let (ctx, data) = ctx(rows(5_000));
+        let sample = SampleSet::full(&data);
+        let meta = hypothetical_meta(
+            &IndexDescriptor::SecondaryCsi { columns: vec![1, 2] },
+            &ctx,
+            &sample,
+            &RunModelEstimator,
+            &CsiConfig::default(),
+        );
+        let cols: Vec<usize> = meta.column_bytes.iter().map(|&(c, _)| c).collect();
+        assert!(cols.contains(&0), "pk appended: {cols:?}");
+        assert!(cols.contains(&1) && cols.contains(&2));
+        assert!(meta.size_bytes() > 0);
+        assert!(meta.rowgroups >= 1);
+        // Covers exactly the stored columns.
+        assert!(meta.covers(&[0, 1, 2], 3, &[0]));
+    }
+
+    #[test]
+    fn primary_csi_meta_covers_everything() {
+        let (ctx, data) = ctx(rows(2_000));
+        let sample = SampleSet::full(&data);
+        let meta = hypothetical_meta(
+            &IndexDescriptor::PrimaryCsi,
+            &ctx,
+            &sample,
+            &RunModelEstimator,
+            &CsiConfig::default(),
+        );
+        assert_eq!(meta.column_bytes.len(), 3);
+        assert!(meta.covers(&[0, 1, 2], 3, &[0]));
+    }
+}

@@ -1,0 +1,108 @@
+//! Index merging (paper §4.3 / Chaudhuri & Narasayya's "Index Merging").
+//!
+//! Two B+ tree candidates on the same table merge when one's key list is a
+//! prefix of the other's: the merged index keeps the longer key list and the
+//! union of included columns, serving both source queries at slightly higher
+//! width. "Since columnstore and B+ tree cannot be merged, and we are
+//! considering one columnstore with all allowed columns, when merging two
+//! indexes, if at least one of the indexes is a columnstore, then the
+//! candidates are not merged."
+
+use hpd_engine::IndexDescriptor;
+
+use crate::candidates::CandidateSet;
+
+/// Try to merge two descriptors. Returns the merged descriptor, or `None`
+/// if they cannot merge.
+pub fn merge_pair(a: &IndexDescriptor, b: &IndexDescriptor) -> Option<IndexDescriptor> {
+    let (IndexDescriptor::SecondaryBTree { keys: k1, includes: i1 },
+         IndexDescriptor::SecondaryBTree { keys: k2, includes: i2 }) = (a, b)
+    else {
+        return None; // at least one is a columnstore (or a primary)
+    };
+    let (long, short) = if k1.len() >= k2.len() { (k1, k2) } else { (k2, k1) };
+    if !long.starts_with(short) {
+        return None;
+    }
+    let mut includes: Vec<usize> = i1.iter().chain(i2).chain(k1).chain(k2).copied().collect();
+    includes.sort_unstable();
+    includes.dedup();
+    includes.retain(|c| !long.contains(c));
+    Some(IndexDescriptor::SecondaryBTree {
+        keys: long.clone(),
+        includes,
+    })
+}
+
+/// One merging pass: add every pairwise merge to the pool (originals are
+/// kept; enumeration decides which survive).
+pub fn merge_candidates(set: &CandidateSet) -> CandidateSet {
+    let mut out = set.clone();
+    for (table, cands) in &set.per_table {
+        for i in 0..cands.len() {
+            for j in (i + 1)..cands.len() {
+                if let Some(m) = merge_pair(&cands[i], &cands[j]) {
+                    out.add(table, m);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bt(keys: Vec<usize>, includes: Vec<usize>) -> IndexDescriptor {
+        IndexDescriptor::SecondaryBTree { keys, includes }
+    }
+
+    #[test]
+    fn prefix_keys_merge_with_union_includes() {
+        let m = merge_pair(&bt(vec![1], vec![3]), &bt(vec![1, 2], vec![4])).unwrap();
+        assert_eq!(
+            m,
+            bt(vec![1, 2], vec![3, 4]),
+            "longer key list wins, includes unioned"
+        );
+    }
+
+    #[test]
+    fn identical_keys_merge() {
+        let m = merge_pair(&bt(vec![2], vec![0]), &bt(vec![2], vec![5])).unwrap();
+        assert_eq!(m, bt(vec![2], vec![0, 5]));
+    }
+
+    #[test]
+    fn non_prefix_keys_do_not_merge() {
+        assert!(merge_pair(&bt(vec![1, 2], vec![]), &bt(vec![2, 1], vec![])).is_none());
+        assert!(merge_pair(&bt(vec![1], vec![]), &bt(vec![2], vec![])).is_none());
+    }
+
+    #[test]
+    fn columnstores_never_merge() {
+        let csi = IndexDescriptor::SecondaryCsi { columns: vec![0, 1] };
+        assert!(merge_pair(&csi, &bt(vec![1], vec![])).is_none());
+        assert!(merge_pair(&bt(vec![1], vec![]), &csi).is_none());
+        assert!(merge_pair(&csi, &csi).is_none());
+    }
+
+    #[test]
+    fn merge_pass_adds_merged_candidates() {
+        let mut set = CandidateSet::default();
+        set.add("t", bt(vec![1], vec![3]));
+        set.add("t", bt(vec![1, 2], vec![]));
+        let merged = merge_candidates(&set);
+        assert_eq!(merged.per_table["t"].len(), 3);
+        assert!(merged.per_table["t"].contains(&bt(vec![1, 2], vec![3])));
+    }
+
+    #[test]
+    fn keys_absorbed_into_merged_key_list_leave_includes() {
+        // Merging ([1],[2]) with ([1,2],[]) — column 2 is in the long key
+        // list, so it must not re-appear as an include.
+        let m = merge_pair(&bt(vec![1], vec![2]), &bt(vec![1, 2], vec![])).unwrap();
+        assert_eq!(m, bt(vec![1, 2], vec![]));
+    }
+}

@@ -1,0 +1,411 @@
+//! Columnstore size estimation (paper §4.4).
+//!
+//! To cost a hypothetical columnstore, the what-if API needs *per-column
+//! sizes* without building the index. Two estimators over a block-level
+//! sample:
+//!
+//! * [`BlackBoxEstimator`] — build a real columnstore over the sample and
+//!   scale each column's bytes by the inverse sampling fraction. Simple and
+//!   compression-algorithm-agnostic, but the linearity assumption
+//!   overestimates low-cardinality columns (the paper's `n_nationkey`
+//!   example) and the sample build pays the compression sorts.
+//! * [`RunModelEstimator`] — model the run-length encoding analytically:
+//!   estimate per-column distinct counts with the **GEE** estimator, mimic
+//!   the engine's greedy sort-order choice, bound each column's run count by
+//!   the GEE estimate of the distinct *prefix combinations*, and convert
+//!   runs to bytes per encoding. Row groups being compressed independently
+//!   is modelled explicitly (the paper lists this as an accuracy
+//!   improvement).
+
+use std::collections::HashMap;
+
+use hpd_columnstore::CsiConfig;
+use hpd_common::{DataType, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Rows per sampling block (models block/page-level sampling: whole blocks
+/// are taken, which is what introduces the bias the paper corrects for).
+pub const SAMPLE_BLOCK_ROWS: usize = 1024;
+
+/// A block-level sample of a table.
+#[derive(Debug, Clone)]
+pub struct SampleSet {
+    pub rows: Vec<Row>,
+    /// Achieved sampling fraction (sampled rows / total rows).
+    pub fraction: f64,
+}
+
+impl SampleSet {
+    /// Sample whole blocks of `all_rows` until roughly `fraction` of the
+    /// rows are covered. Deterministic in `seed`.
+    pub fn block_sample(all_rows: &[Row], fraction: f64, seed: u64) -> SampleSet {
+        if all_rows.is_empty() {
+            return SampleSet {
+                rows: Vec::new(),
+                fraction: 1.0,
+            };
+        }
+        let n_blocks = all_rows.len().div_ceil(SAMPLE_BLOCK_ROWS);
+        let want_blocks = ((n_blocks as f64 * fraction).ceil() as usize).clamp(1, n_blocks);
+        let mut ids: Vec<usize> = (0..n_blocks).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        ids.truncate(want_blocks);
+        ids.sort_unstable();
+        let mut rows = Vec::with_capacity(want_blocks * SAMPLE_BLOCK_ROWS);
+        for b in ids {
+            let start = b * SAMPLE_BLOCK_ROWS;
+            let end = (start + SAMPLE_BLOCK_ROWS).min(all_rows.len());
+            rows.extend_from_slice(&all_rows[start..end]);
+        }
+        let fraction = rows.len() as f64 / all_rows.len() as f64;
+        SampleSet { rows, fraction }
+    }
+
+    /// The whole table as a "sample" (exact estimation baseline).
+    pub fn full(all_rows: &[Row]) -> SampleSet {
+        SampleSet {
+            rows: all_rows.to_vec(),
+            fraction: 1.0,
+        }
+    }
+}
+
+/// The GEE (Guaranteed Error Estimator) distinct-value estimator:
+/// `sqrt(1/q) * f1 + Σ_{j≥2} f_j`, where `f_j` is the number of values
+/// occurring exactly `j` times in the sample and `q` the sampling fraction.
+/// Values seen once may represent many more; values seen repeatedly are
+/// counted once.
+pub fn gee_distinct<I, T>(values: I, fraction: f64) -> usize
+where
+    I: IntoIterator<Item = T>,
+    T: std::hash::Hash + Eq,
+{
+    let mut freq: HashMap<T, usize> = HashMap::new();
+    for v in values {
+        *freq.entry(v).or_insert(0) += 1;
+    }
+    let f1 = freq.values().filter(|&&c| c == 1).count();
+    let rest = freq.len() - f1;
+    let scale = (1.0 / fraction.max(1e-9)).sqrt();
+    (f1 as f64 * scale).round() as usize + rest
+}
+
+/// Estimates the per-column compressed bytes of a columnstore over a table.
+pub trait CsiSizeEstimator {
+    /// Returns one byte estimate per schema column.
+    fn estimate_column_bytes(
+        &self,
+        schema: &Schema,
+        sample: &SampleSet,
+        total_rows: usize,
+        config: &CsiConfig,
+    ) -> Vec<usize>;
+
+    fn name(&self) -> &'static str;
+
+    /// Total size estimate.
+    fn estimate_total_bytes(
+        &self,
+        schema: &Schema,
+        sample: &SampleSet,
+        total_rows: usize,
+        config: &CsiConfig,
+    ) -> usize {
+        self.estimate_column_bytes(schema, sample, total_rows, config)
+            .iter()
+            .sum()
+    }
+}
+
+/// Build a real columnstore over the sample; scale per-column bytes by the
+/// inverse sampling fraction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlackBoxEstimator;
+
+impl CsiSizeEstimator for BlackBoxEstimator {
+    fn estimate_column_bytes(
+        &self,
+        schema: &Schema,
+        sample: &SampleSet,
+        total_rows: usize,
+        config: &CsiConfig,
+    ) -> Vec<usize> {
+        if sample.rows.is_empty() || total_rows == 0 {
+            return vec![0; schema.len()];
+        }
+        let pool = hpd_storage::BufferPool::unbounded(hpd_storage::DeviceProfile::ram());
+        let tracker = hpd_storage::IoTracker::new();
+        let csi = hpd_columnstore::ColumnStoreIndex::build(
+            schema.clone(),
+            hpd_columnstore::CsiKind::Secondary,
+            vec![0],
+            *config,
+            &sample.rows,
+            hpd_storage::StorageAllocator::new(),
+            &pool,
+            &tracker,
+        );
+        let scale = 1.0 / sample.fraction.max(1e-9);
+        csi.column_sizes()
+            .into_iter()
+            .map(|b| (b as f64 * scale).round() as usize)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "black-box"
+    }
+}
+
+/// Model runs via GEE distinct estimates of greedy-order prefixes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunModelEstimator;
+
+impl RunModelEstimator {
+    /// Normalized representation for hashing sample values.
+    fn norm(v: &Value) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl CsiSizeEstimator for RunModelEstimator {
+    fn estimate_column_bytes(
+        &self,
+        schema: &Schema,
+        sample: &SampleSet,
+        total_rows: usize,
+        config: &CsiConfig,
+    ) -> Vec<usize> {
+        let ncols = schema.len();
+        if sample.rows.is_empty() || total_rows == 0 {
+            return vec![0; ncols];
+        }
+        let q = sample.fraction;
+
+        // Per-column GEE distinct estimates → greedy sort order
+        // (fewest-distinct first), mimicking the engine.
+        let distinct: Vec<usize> = (0..ncols)
+            .map(|c| gee_distinct(sample.rows.iter().map(|r| Self::norm(&r[c])), q))
+            .collect();
+        let mut order: Vec<usize> = (0..ncols).collect();
+        order.sort_by_key(|&c| (distinct[c], c));
+
+        // Prefix combination distinct estimates (the run-count upper bound).
+        let mut prefix_distinct: Vec<usize> = Vec::with_capacity(ncols);
+        let mut prefix: Vec<usize> = Vec::new();
+        for &c in &order {
+            prefix.push(c);
+            let d = gee_distinct(
+                sample.rows.iter().map(|r| {
+                    prefix
+                        .iter()
+                        .map(|&pc| Self::norm(&r[pc]))
+                        .fold(0u64, |acc, h| {
+                            acc.wrapping_mul(1_000_000_007).wrapping_add(h)
+                        })
+                }),
+                q,
+            );
+            prefix_distinct.push(d);
+        }
+
+        // Row groups compress independently: estimate per row group, then
+        // multiply by the number of row groups.
+        let rg = config.rowgroup_capacity.max(1);
+        let n_rowgroups = total_rows.div_ceil(rg).max(1);
+        let rows_per_rg = (total_rows as f64 / n_rowgroups as f64).ceil() as usize;
+
+        let mut out = vec![0usize; ncols];
+        for (pos, &c) in order.iter().enumerate() {
+            let d_prefix = prefix_distinct[pos].max(1);
+            // Runs per row group bounded by both rows and distinct prefixes.
+            let runs_per_rg = d_prefix.min(rows_per_rg).max(1);
+            let rle_bytes = runs_per_rg * 12;
+
+            // Bit-packed alternative from the sample's value range.
+            let d_col = distinct[c].max(1);
+            let bits = (usize::BITS - (d_col - 1).leading_zeros()).max(1) as usize;
+            let packed_bytes = rows_per_rg * bits / 8 + 9;
+
+            let raw_bytes = rows_per_rg * 8;
+            let payload = rle_bytes.min(packed_bytes).min(raw_bytes);
+
+            // Dictionary overhead for strings.
+            let dict_bytes = if schema.column(c).dtype == DataType::Utf8 {
+                let avg_len = sample
+                    .rows
+                    .iter()
+                    .filter_map(|r| r[c].as_str().map(str::len))
+                    .sum::<usize>() as f64
+                    / sample.rows.len().max(1) as f64;
+                // Distinct strings per row group.
+                (d_col.min(rows_per_rg) as f64 * (avg_len + 4.0)) as usize
+            } else {
+                0
+            };
+            out[c] = (payload + dict_bytes) * n_rowgroups;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "run-model(GEE)"
+    }
+}
+
+/// Estimated B+ tree size for hypothetical indexes: leaf pages and height
+/// from rows × entry width.
+pub fn btree_size_estimate(rows: usize, entry_width: usize) -> (usize, usize) {
+    let per_leaf = (hpd_storage::PAGE_SIZE / (entry_width + 10).max(1)).clamp(8, 4096);
+    let leaf_pages = rows.div_ceil(per_leaf).max(1);
+    let fanout = 256usize;
+    let mut height = 1;
+    let mut level = leaf_pages;
+    while level > 1 {
+        level = level.div_ceil(fanout);
+        height += 1;
+    }
+    (leaf_pages, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpd_common::{ColumnDef, Value};
+
+    fn int_schema(n: usize) -> Schema {
+        Schema::new(
+            (0..n)
+                .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int32))
+                .collect(),
+        )
+    }
+
+    fn rows_mod(n: i32, m: i32) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i % m)]))
+            .collect()
+    }
+
+    #[test]
+    fn gee_counts_frequent_values_once() {
+        // 10 distinct values each appearing 100 times in a 10% sample:
+        // estimate stays ~10, not 100.
+        let sample: Vec<i32> = (0..1000).map(|i| i % 10).collect();
+        let d = gee_distinct(sample, 0.1);
+        assert_eq!(d, 10);
+        // All-unique sample scales up by sqrt(1/q).
+        let sample: Vec<i32> = (0..100).collect();
+        let d = gee_distinct(sample, 0.01);
+        assert_eq!(d, 1000);
+    }
+
+    #[test]
+    fn block_sample_hits_target_fraction() {
+        let rows = rows_mod(100_000, 7);
+        let s = SampleSet::block_sample(&rows, 0.05, 42);
+        assert!((s.fraction - 0.05).abs() < 0.02, "{}", s.fraction);
+        assert_eq!(s.rows.len() % SAMPLE_BLOCK_ROWS, 0);
+        // Deterministic.
+        let s2 = SampleSet::block_sample(&rows, 0.05, 42);
+        assert_eq!(s.rows.len(), s2.rows.len());
+    }
+
+    #[test]
+    fn estimators_close_to_actual_on_low_cardinality() {
+        let rows = rows_mod(100_000, 25);
+        let schema = int_schema(2);
+        let config = CsiConfig::default();
+        // Actual build.
+        let pool = hpd_storage::BufferPool::unbounded(hpd_storage::DeviceProfile::ram());
+        let t = hpd_storage::IoTracker::new();
+        let csi = hpd_columnstore::ColumnStoreIndex::build(
+            schema.clone(),
+            hpd_columnstore::CsiKind::Secondary,
+            vec![0],
+            config,
+            &rows,
+            hpd_storage::StorageAllocator::new(),
+            &pool,
+            &t,
+        );
+        let actual = csi.column_sizes();
+
+        let sample = SampleSet::block_sample(&rows, 0.1, 7);
+        let run_est = RunModelEstimator.estimate_column_bytes(&schema, &sample, rows.len(), &config);
+        let bb_est = BlackBoxEstimator.estimate_column_bytes(&schema, &sample, rows.len(), &config);
+
+        // The low-cardinality column (1): run model within 4x; black box
+        // overestimates it more (the paper's n_nationkey effect).
+        let ratio_run = run_est[1] as f64 / actual[1] as f64;
+        let ratio_bb = bb_est[1] as f64 / actual[1] as f64;
+        assert!(
+            ratio_run < 4.0 && ratio_run > 0.25,
+            "run model ratio {ratio_run} (est {} vs actual {})",
+            run_est[1],
+            actual[1]
+        );
+        assert!(
+            ratio_bb > ratio_run,
+            "black box should overestimate low-cardinality more: bb {ratio_bb} vs run {ratio_run}"
+        );
+    }
+
+    #[test]
+    fn run_model_reasonable_on_unique_column() {
+        let rows = rows_mod(50_000, 50_000);
+        let schema = int_schema(2);
+        let config = CsiConfig::default();
+        let pool = hpd_storage::BufferPool::unbounded(hpd_storage::DeviceProfile::ram());
+        let t = hpd_storage::IoTracker::new();
+        let csi = hpd_columnstore::ColumnStoreIndex::build(
+            schema.clone(),
+            hpd_columnstore::CsiKind::Secondary,
+            vec![0],
+            config,
+            &rows,
+            hpd_storage::StorageAllocator::new(),
+            &pool,
+            &t,
+        );
+        let actual: usize = csi.column_sizes().iter().sum();
+        let sample = SampleSet::block_sample(&rows, 0.1, 9);
+        let est: usize = RunModelEstimator
+            .estimate_column_bytes(&schema, &sample, rows.len(), &config)
+            .iter()
+            .sum();
+        let ratio = est as f64 / actual as f64;
+        assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn btree_size_estimate_monotone() {
+        let (lp1, h1) = btree_size_estimate(1000, 16);
+        let (lp2, h2) = btree_size_estimate(1_000_000, 16);
+        assert!(lp2 > lp1 * 500);
+        assert!(h2 >= h1);
+        let (lp_wide, _) = btree_size_estimate(1000, 160);
+        assert!(lp_wide > lp1);
+    }
+
+    #[test]
+    fn empty_sample_estimates_zero() {
+        let schema = int_schema(1);
+        let s = SampleSet::full(&[]);
+        assert_eq!(
+            RunModelEstimator.estimate_column_bytes(&schema, &s, 0, &CsiConfig::default()),
+            vec![0]
+        );
+        assert_eq!(
+            BlackBoxEstimator.estimate_column_bytes(&schema, &s, 0, &CsiConfig::default()),
+            vec![0]
+        );
+    }
+}

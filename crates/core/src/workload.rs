@@ -1,0 +1,96 @@
+//! Workload model: weighted statements.
+
+use hpd_engine::Statement;
+
+/// One statement with its weight (frequency / importance).
+#[derive(Debug, Clone)]
+pub struct WorkloadStatement {
+    pub statement: Statement,
+    pub weight: f64,
+    /// Optional label for reports (e.g. "Q54").
+    pub label: String,
+}
+
+impl WorkloadStatement {
+    pub fn new(statement: Statement, weight: f64) -> WorkloadStatement {
+        WorkloadStatement {
+            statement,
+            weight,
+            label: String::new(),
+        }
+    }
+
+    pub fn labeled(statement: Statement, weight: f64, label: impl Into<String>) -> WorkloadStatement {
+        WorkloadStatement {
+            statement,
+            weight,
+            label: label.into(),
+        }
+    }
+}
+
+/// A user-specified workload: a set of SQL statements with weights (the "W"
+/// of the paper's Figure 7).
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub statements: Vec<WorkloadStatement>,
+}
+
+impl Workload {
+    pub fn new(statements: Vec<WorkloadStatement>) -> Workload {
+        Workload { statements }
+    }
+
+    /// A read-only workload with uniform weights.
+    pub fn read_only(queries: Vec<hpd_engine::SelectQuery>) -> Workload {
+        Workload {
+            statements: queries
+                .into_iter()
+                .map(|q| WorkloadStatement::new(Statement::Select(q), 1.0))
+                .collect(),
+        }
+    }
+
+    /// Names of every table referenced anywhere in the workload.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .statements
+            .iter()
+            .flat_map(|s| {
+                s.statement
+                    .table_names()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpd_engine::SelectQuery;
+
+    #[test]
+    fn referenced_tables_dedup() {
+        let w = Workload::read_only(vec![
+            SelectQuery::single_table("b", None, vec![0]),
+            SelectQuery::single_table("a", None, vec![0]),
+            SelectQuery::single_table("b", None, vec![0]),
+        ]);
+        assert_eq!(w.referenced_tables(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(w.len(), 3);
+    }
+}

@@ -1,0 +1,686 @@
+//! The database: catalog, configuration, sessions, transactions, and the
+//! what-if planning API.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hpd_columnstore::CsiConfig;
+use hpd_common::{HpdError, Key, Result, Row, Schema, Value};
+use hpd_exec::ExecMetrics;
+use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
+use parking_lot::RwLock;
+
+use crate::cost::CostModel;
+use crate::design::{Configuration, IndexDescriptor, IndexMeta, TableDesign};
+use crate::executor::{ExecutionResult, QueryRunner, TableOverlay};
+use crate::optimizer::{Optimizer, TableContext};
+use crate::plan::PhysicalPlan;
+use crate::query::{DeleteStmt, InsertStmt, SelectQuery, Statement, UpdateStmt};
+use crate::table::Table;
+use crate::txn::{IsolationLevel, LockKey, LockMode, TxnManager, WriteOp};
+
+/// Database-wide configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    pub device: DeviceProfile,
+    /// Buffer pool capacity; `u64::MAX / 4` means effectively unbounded.
+    pub buffer_pool_bytes: u64,
+    pub csi: CsiConfig,
+    /// Maximum degree of parallelism the optimizer may pick.
+    pub max_dop: usize,
+    /// Default per-query working-memory grant in bytes.
+    pub grant_bytes: usize,
+    pub lock_timeout: Duration,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            device: DeviceProfile::ram(),
+            buffer_pool_bytes: u64::MAX / 4,
+            csi: CsiConfig::default(),
+            max_dop: 8,
+            grant_bytes: 256 << 20,
+            lock_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl DbConfig {
+    /// The paper's cold-storage setup: HDD RAID with a bounded pool.
+    pub fn hdd(buffer_pool_bytes: u64) -> DbConfig {
+        DbConfig {
+            device: DeviceProfile::hdd_raid(),
+            buffer_pool_bytes,
+            ..DbConfig::default()
+        }
+    }
+}
+
+struct TableSlot {
+    name: String,
+    table: RwLock<Table>,
+}
+
+/// The database instance.
+pub struct Database {
+    config: DbConfig,
+    pool: BufferPool,
+    alloc: StorageAllocator,
+    tables: RwLock<Vec<Arc<TableSlot>>>,
+    txns: TxnManager,
+    commit_counter: AtomicU64,
+}
+
+impl Database {
+    pub fn new(config: DbConfig) -> Database {
+        let pool = BufferPool::new(config.buffer_pool_bytes, config.device);
+        Database {
+            txns: TxnManager::new(config.lock_timeout),
+            pool,
+            alloc: StorageAllocator::new(),
+            tables: RwLock::new(Vec::new()),
+            commit_counter: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Drop all buffer pool contents — the next run is cold.
+    pub fn clear_cache(&self) {
+        self.pool.clear();
+    }
+
+    fn cost_model(&self, grant: usize) -> CostModel {
+        CostModel::new(self.config.device, self.config.max_dop, grant)
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Create an empty table with the given primary index descriptor.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        pk: Vec<usize>,
+        primary: IndexDescriptor,
+    ) -> Result<()> {
+        let name = name.into();
+        let mut tables = self.tables.write();
+        if tables.iter().any(|s| s.name == name) {
+            return Err(HpdError::DuplicateTable(name));
+        }
+        let table = Table::create(
+            name.clone(),
+            schema,
+            pk,
+            &primary,
+            self.config.csi,
+            self.alloc.clone(),
+        )?;
+        tables.push(Arc::new(TableSlot {
+            name,
+            table: RwLock::new(table),
+        }));
+        Ok(())
+    }
+
+    /// Bulk load rows (replacing current contents) and refresh statistics.
+    pub fn load_table(&self, name: &str, rows: Vec<Row>) -> Result<()> {
+        let slot = self.slot(name)?;
+        let t = IoTracker::new();
+        let mut guard = slot.table.write();
+        guard.bulk_load(rows, &self.pool, &t)
+    }
+
+    /// Add a secondary index.
+    pub fn create_index(&self, table: &str, descriptor: &IndexDescriptor) -> Result<()> {
+        let slot = self.slot(table)?;
+        let t = IoTracker::new();
+        let mut guard = slot.table.write();
+        guard.build_index(descriptor, &self.pool, &t).map(|_| ())
+    }
+
+    /// Replace a table's entire physical design: rebuilds the primary (if it
+    /// changed) and all secondary indexes from the design's descriptors.
+    pub fn apply_design(&self, design: &TableDesign) -> Result<()> {
+        design.validate()?;
+        let slot = self.slot(&design.table)?;
+        let t = IoTracker::new();
+        let mut table = slot.table.write();
+        let rows = table.scan_all_rows(&self.pool, &t);
+        let schema = table.schema().clone();
+        let pk = table.pk().to_vec();
+        let mut fresh = Table::create(
+            design.table.clone(),
+            schema,
+            pk,
+            &design.indexes[0],
+            self.config.csi,
+            self.alloc.clone(),
+        )?;
+        fresh.bulk_load(rows, &self.pool, &t)?;
+        for d in &design.indexes[1..] {
+            fresh.build_index(d, &self.pool, &t)?;
+        }
+        *table = fresh;
+        Ok(())
+    }
+
+    /// Apply a full configuration across tables.
+    pub fn apply_configuration(&self, configuration: &Configuration) -> Result<()> {
+        configuration.validate()?;
+        for design in &configuration.tables {
+            self.apply_design(design)?;
+        }
+        Ok(())
+    }
+
+    fn slot(&self, name: &str) -> Result<Arc<TableSlot>> {
+        self.tables
+            .read()
+            .iter()
+            .find(|s| s.name == name)
+            .cloned()
+            .ok_or_else(|| HpdError::UnknownTable(name.to_string()))
+    }
+
+    fn slot_id(&self, name: &str) -> Result<usize> {
+        self.tables
+            .read()
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| HpdError::UnknownTable(name.to_string()))
+    }
+
+    /// Run `f` with shared access to the named table.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R> {
+        let slot = self.slot(name)?;
+        let guard = slot.table.read();
+        Ok(f(&guard))
+    }
+
+    /// Run `f` with exclusive access to the named table.
+    pub fn with_table_mut<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> Result<R> {
+        let slot = self.slot(name)?;
+        let mut guard = slot.table.write();
+        Ok(f(&mut guard))
+    }
+
+    // ------------------------------------------------------------------
+    // Planning / what-if
+    // ------------------------------------------------------------------
+
+    /// Optimizer context for one table under its *materialized* design.
+    pub fn context_for(&self, name: &str) -> Result<TableContext> {
+        self.with_table(name, |t| TableContext {
+            name: name.to_string(),
+            schema: t.schema().clone(),
+            pk: t.pk().to_vec(),
+            stats: t.stats().clone(),
+            metas: t.metas(),
+        })
+    }
+
+    /// Plan a query against the materialized designs.
+    pub fn plan(&self, query: &SelectQuery) -> Result<PhysicalPlan> {
+        self.plan_with_grant(query, self.config.grant_bytes)
+    }
+
+    pub fn plan_with_grant(&self, query: &SelectQuery, grant: usize) -> Result<PhysicalPlan> {
+        let contexts = query
+            .tables
+            .iter()
+            .map(|t| self.context_for(&t.name))
+            .collect::<Result<Vec<_>>>()?;
+        Optimizer::new(self.cost_model(grant)).plan(query, &contexts)
+    }
+
+    /// The **what-if API**: plan the query as if each table in `overrides`
+    /// had the given (possibly hypothetical) index metadata instead of its
+    /// materialized indexes. Hypothetical columnstore metas carry per-column
+    /// size estimates (paper §4.2).
+    pub fn what_if_plan(
+        &self,
+        query: &SelectQuery,
+        overrides: &HashMap<String, Vec<IndexMeta>>,
+    ) -> Result<PhysicalPlan> {
+        let contexts = query
+            .tables
+            .iter()
+            .map(|t| {
+                let mut ctx = self.context_for(&t.name)?;
+                if let Some(metas) = overrides.get(&t.name) {
+                    ctx.metas = metas.clone();
+                }
+                Ok(ctx)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Optimizer::new(self.cost_model(self.config.grant_bytes)).plan(query, &contexts)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Autocommit execution under Read Committed with the default grant.
+    pub fn execute(&self, stmt: &Statement) -> Result<ExecutionResult> {
+        self.session(IsolationLevel::ReadCommitted).run(stmt)
+    }
+
+    /// Autocommit execution with an explicit memory grant (the paper's
+    /// constrained-grant experiments).
+    pub fn execute_with_grant(&self, stmt: &Statement, grant: usize) -> Result<ExecutionResult> {
+        self.session(IsolationLevel::ReadCommitted)
+            .with_grant(grant)
+            .run(stmt)
+    }
+
+    pub fn session(&self, isolation: IsolationLevel) -> Session<'_> {
+        Session {
+            db: self,
+            isolation,
+            grant: self.config.grant_bytes,
+        }
+    }
+}
+
+/// A connection-like handle binding an isolation level and grant.
+#[derive(Clone, Copy)]
+pub struct Session<'db> {
+    db: &'db Database,
+    isolation: IsolationLevel,
+    grant: usize,
+}
+
+impl<'db> Session<'db> {
+    pub fn with_grant(mut self, grant: usize) -> Session<'db> {
+        self.grant = grant;
+        self
+    }
+
+    pub fn begin(&self) -> Txn<'db> {
+        let (txn_id, start_ts) = self.db.txns.begin();
+        Txn {
+            db: self.db,
+            isolation: self.isolation,
+            grant: self.grant,
+            txn_id,
+            start_ts,
+            writes: Vec::new(),
+            write_io: IoTracker::new(),
+            finished: false,
+        }
+    }
+
+    /// Execute one statement in its own transaction. The returned metrics
+    /// cover the full statement including commit-time index maintenance.
+    pub fn run(&self, stmt: &Statement) -> Result<ExecutionResult> {
+        let start = Instant::now();
+        let mut txn = self.begin();
+        let result = txn.execute(stmt);
+        match result {
+            Ok(mut r) => {
+                let commit_io = txn.commit()?;
+                let wall = start.elapsed();
+                // Time outside the query executor (locking, write apply) is
+                // serial: extend cpu and critical path by it.
+                let extra = wall.saturating_sub(r.metrics.wall);
+                r.metrics.wall = wall;
+                r.metrics.cpu += extra;
+                r.metrics.critical_path += extra;
+                // Merge write-phase I/O into the statement's snapshot.
+                r.metrics.io.bytes_written += commit_io.bytes_written;
+                r.metrics.io.bytes_read += commit_io.bytes_read;
+                r.metrics.io.physical_reads += commit_io.physical_reads;
+                r.metrics.io.logical_reads += commit_io.logical_reads;
+                r.metrics.io.sim_seek_us += commit_io.sim_seek_us;
+                r.metrics.io.sim_bw_us += commit_io.sim_bw_us;
+                Ok(r)
+            }
+            Err(e) => {
+                txn.abort();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// An open transaction.
+pub struct Txn<'db> {
+    db: &'db Database,
+    isolation: IsolationLevel,
+    grant: usize,
+    txn_id: u64,
+    start_ts: u64,
+    writes: Vec<WriteOp>,
+    write_io: IoTracker,
+    finished: bool,
+}
+
+impl<'db> Txn<'db> {
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecutionResult> {
+        match stmt {
+            Statement::Select(q) => self.select(q),
+            Statement::Update(u) => self.update(u),
+            Statement::Delete(d) => self.delete(d),
+            Statement::Insert(i) => self.insert(i),
+        }
+    }
+
+    /// Execute a select, applying isolation-level read behaviour.
+    pub fn select(&mut self, query: &SelectQuery) -> Result<ExecutionResult> {
+        // Serializable readers hold shared table locks to commit.
+        if self.isolation == IsolationLevel::Serializable {
+            for t in &query.tables {
+                let id = self.db.slot_id(&t.name)?;
+                self.db.txns.locks.acquire(
+                    self.txn_id,
+                    &LockKey::Table(id),
+                    LockMode::S,
+                    self.db.txns.lock_timeout,
+                )?;
+            }
+        }
+        // Take read guards on all tables (registry order avoids deadlock).
+        let mut named: Vec<(usize, &crate::query::TableInput)> = Vec::new();
+        for (i, t) in query.tables.iter().enumerate() {
+            named.push((i, t));
+        }
+        let slots: Vec<Arc<TableSlot>> = query
+            .tables
+            .iter()
+            .map(|t| self.db.slot(&t.name))
+            .collect::<Result<Vec<_>>>()?;
+        let guards: Vec<parking_lot::RwLockReadGuard<'_, Table>> =
+            slots.iter().map(|s| s.table.read()).collect();
+        let table_refs: Vec<&Table> = guards.iter().map(|g| &**g).collect();
+
+        // Plan against the guarded tables' current metadata.
+        let contexts: Vec<TableContext> = named
+            .iter()
+            .map(|&(i, t)| TableContext {
+                name: t.name.clone(),
+                schema: table_refs[i].schema().clone(),
+                pk: table_refs[i].pk().to_vec(),
+                stats: table_refs[i].stats().clone(),
+                metas: table_refs[i].metas(),
+            })
+            .collect();
+        let plan = Optimizer::new(self.db.cost_model(self.grant)).plan(query, &contexts)?;
+
+        // Snapshot overlays.
+        let mut overlays = HashMap::new();
+        if self.isolation == IsolationLevel::Snapshot {
+            for (i, table) in table_refs.iter().enumerate() {
+                let overlay = snapshot_overlay(table, self.start_ts, self.db.pool());
+                if !overlay.is_empty() {
+                    overlays.insert(i, overlay);
+                }
+            }
+        }
+
+        QueryRunner::new(table_refs, self.db.pool(), self.grant)
+            .with_overlays(overlays)
+            .run(&plan)
+    }
+
+    /// UPDATE: identify target rows through the optimizer, lock them, and
+    /// buffer the writes for commit.
+    pub fn update(&mut self, stmt: &UpdateStmt) -> Result<ExecutionResult> {
+        let rows = self.write_target_rows(&stmt.table, &stmt.predicate, stmt.top)?;
+        let table_id = self.db.slot_id(&stmt.table)?;
+        let pk = self.db.with_table(&stmt.table, |t| t.pk().to_vec())?;
+        let mut result_rows = 0usize;
+        for row in &rows.rows {
+            let key = row.key(&pk);
+            self.lock_row(table_id, key.clone())?;
+            self.check_si_conflict(&stmt.table, &key)?;
+            self.writes.push(WriteOp::Update {
+                table: table_id,
+                key,
+                set: stmt.set.clone(),
+            });
+            result_rows += 1;
+        }
+        Ok(ExecutionResult {
+            rows: vec![Row::new(vec![Value::Int64(result_rows as i64)])],
+            metrics: rows.metrics,
+        })
+    }
+
+    /// DELETE: same two-phase shape as update.
+    pub fn delete(&mut self, stmt: &DeleteStmt) -> Result<ExecutionResult> {
+        let rows = self.write_target_rows(&stmt.table, &stmt.predicate, stmt.top)?;
+        let table_id = self.db.slot_id(&stmt.table)?;
+        let pk = self.db.with_table(&stmt.table, |t| t.pk().to_vec())?;
+        let mut n = 0usize;
+        for row in &rows.rows {
+            let key = row.key(&pk);
+            self.lock_row(table_id, key.clone())?;
+            self.check_si_conflict(&stmt.table, &key)?;
+            self.writes.push(WriteOp::Delete {
+                table: table_id,
+                key,
+            });
+            n += 1;
+        }
+        Ok(ExecutionResult {
+            rows: vec![Row::new(vec![Value::Int64(n as i64)])],
+            metrics: rows.metrics,
+        })
+    }
+
+    /// INSERT: lock the new keys and buffer.
+    pub fn insert(&mut self, stmt: &InsertStmt) -> Result<ExecutionResult> {
+        let table_id = self.db.slot_id(&stmt.table)?;
+        let (pk, schema) =
+            self.db
+                .with_table(&stmt.table, |t| (t.pk().to_vec(), t.schema().clone()))?;
+        self.db.txns.locks.acquire(
+            self.txn_id,
+            &LockKey::Table(table_id),
+            LockMode::IX,
+            self.db.txns.lock_timeout,
+        )?;
+        let n = stmt.rows.len();
+        for row in &stmt.rows {
+            schema.validate_row(row)?;
+            let key = row.key(&pk);
+            self.lock_row(table_id, key)?;
+            self.writes.push(WriteOp::Insert {
+                table: table_id,
+                row: row.clone(),
+            });
+        }
+        Ok(ExecutionResult {
+            rows: vec![Row::new(vec![Value::Int64(n as i64)])],
+            metrics: empty_metrics(),
+        })
+    }
+
+    /// Read phase of a write statement: full rows matching the predicate.
+    fn write_target_rows(
+        &mut self,
+        table: &str,
+        predicate: &hpd_common::Expr,
+        top: Option<usize>,
+    ) -> Result<ExecutionResult> {
+        let table_id = self.db.slot_id(table)?;
+        self.db.txns.locks.acquire(
+            self.txn_id,
+            &LockKey::Table(table_id),
+            LockMode::IX,
+            self.db.txns.lock_timeout,
+        )?;
+        let arity = self.db.with_table(table, |t| t.schema().len())?;
+        let query = SelectQuery {
+            tables: vec![crate::query::TableInput::with_predicate(
+                table,
+                predicate.clone(),
+            )],
+            select: (0..arity)
+                .map(|c| crate::query::ColRef::new(0, c))
+                .collect(),
+            limit: top,
+            ..Default::default()
+        };
+        self.select(&query)
+    }
+
+    fn lock_row(&mut self, table_id: usize, key: Key) -> Result<()> {
+        self.db.txns.locks.acquire(
+            self.txn_id,
+            &LockKey::Row(table_id, key),
+            LockMode::X,
+            self.db.txns.lock_timeout,
+        )
+    }
+
+    /// Early first-committer-wins check under snapshot isolation.
+    fn check_si_conflict(&self, table: &str, key: &Key) -> Result<()> {
+        if self.isolation != IsolationLevel::Snapshot {
+            return Ok(());
+        }
+        let conflicted = self.db.with_table(table, |t| t.last_write_ts(key) > self.start_ts)?;
+        if conflicted {
+            return Err(HpdError::SerializationFailure(format!(
+                "row {key:?} of {table} was modified after this snapshot began"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Apply buffered writes and release locks. Returns the write-phase I/O.
+    pub fn commit(mut self) -> Result<hpd_storage::IoSnapshot> {
+        let commit_ts = self.db.txns.commit_ts();
+        let writes = std::mem::take(&mut self.writes);
+        let pool = self.db.pool();
+        let tracker = self.write_io.clone();
+
+        // Final first-committer-wins validation under snapshot isolation.
+        if self.isolation == IsolationLevel::Snapshot {
+            let tables = self.db.tables.read().clone();
+            for op in &writes {
+                if let Some(key) = op.key() {
+                    let slot = &tables[op.table()];
+                    if slot.table.read().last_write_ts(key) > self.start_ts {
+                        self.finish();
+                        return Err(HpdError::SerializationFailure(format!(
+                            "row {key:?} modified concurrently"
+                        )));
+                    }
+                }
+            }
+        }
+
+        let tables = self.db.tables.read().clone();
+        let mut apply_result: Result<()> = Ok(());
+        'outer: for op in &writes {
+            let slot = &tables[op.table()];
+            let mut t = slot.table.write();
+            let r = match op {
+                WriteOp::Insert { row, .. } => {
+                    let key = row.key(t.pk());
+                    t.insert_row(row.clone(), pool, &tracker).map(|()| {
+                        t.record_version(key, None, commit_ts);
+                    })
+                }
+                WriteOp::Delete { key, .. } => {
+                    let old = t.fetch_by_pk(key, pool, &tracker);
+                    t.delete_by_pk(key, pool, &tracker).map(|deleted| {
+                        if deleted {
+                            t.record_version(key.clone(), old, commit_ts);
+                        }
+                    })
+                }
+                WriteOp::Update { key, set, .. } => {
+                    let old = t.fetch_by_pk(key, pool, &tracker);
+                    t.update_by_pk(key, set, pool, &tracker).map(|updated| {
+                        if updated {
+                            t.record_version(key.clone(), old, commit_ts);
+                        }
+                    })
+                }
+            };
+            if let Err(e) = r {
+                apply_result = Err(e);
+                break 'outer;
+            }
+        }
+
+        // Periodic version GC.
+        let commits = self.db.commit_counter.fetch_add(1, Ordering::Relaxed);
+        if commits % 256 == 255 {
+            let oldest = self.db.txns.oldest_active().min(self.start_ts);
+            for slot in tables.iter() {
+                slot.table.write().prune_versions(oldest);
+            }
+        }
+
+        self.finish();
+        apply_result.map(|()| tracker.snapshot())
+    }
+
+    pub fn abort(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.db.txns.locks.release_all(self.txn_id);
+            self.db.txns.finish(self.start_ts);
+        }
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Compute the snapshot overlay for one table at `ts`: rows rewritten after
+/// the snapshot are hidden and their old versions shown. Walking the
+/// write-timestamp map per query is the (real) CPU overhead snapshot reads
+/// pay relative to serializable reads.
+fn snapshot_overlay(table: &Table, ts: u64, pool: &BufferPool) -> TableOverlay {
+    let _ = pool;
+    let mut overlay = TableOverlay::default();
+    for key in table.rewritten_since(ts) {
+        overlay.removed.insert(key.clone());
+        if let Some(old) = table.version_at(&key, ts) {
+            overlay.added.push(old.clone());
+        }
+    }
+    overlay
+}
+
+fn empty_metrics() -> ExecMetrics {
+    ExecMetrics {
+        wall: Duration::ZERO,
+        cpu: Duration::ZERO,
+        critical_path: Duration::ZERO,
+        io: hpd_storage::IoSnapshot::default(),
+        io_dop: 1,
+        dop: 1,
+        rows_returned: 0,
+        memory_peak_bytes: 0,
+    }
+}

@@ -1,0 +1,324 @@
+//! Physical design descriptors and what-if metadata.
+//!
+//! An [`IndexDescriptor`] names a possible index; a [`Configuration`] is a
+//! full physical design (one descriptor set per table). The optimizer never
+//! touches index structures directly during costing — it sees [`IndexMeta`]
+//! records, which can come from materialized indexes *or* from hypothetical
+//! ones. Hypothetical metas carry per-column size estimates: the paper's
+//! §4.2 extension of the what-if API ("the optimizer needs the per-column
+//! sizes for columnstore indexes").
+
+use hpd_common::{HpdError, Result, Schema};
+use hpd_storage::PAGE_SIZE;
+
+/// Identifies an index within its table: the primary index is 0, secondary
+/// indexes follow in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexId(pub usize);
+
+impl IndexId {
+    pub const PRIMARY: IndexId = IndexId(0);
+}
+
+/// One possible index on one table. Column references are ordinals into the
+/// table's schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexDescriptor {
+    /// Clustered B+ tree: full rows at the leaves, ordered by `keys`.
+    PrimaryBTree { keys: Vec<usize> },
+    /// Secondary B+ tree: `keys` ordered, `includes` stored at the leaves,
+    /// plus the table's primary key as the row locator.
+    SecondaryBTree {
+        keys: Vec<usize>,
+        includes: Vec<usize>,
+    },
+    /// Clustered columnstore over all columns.
+    PrimaryCsi,
+    /// Secondary (nonclustered) columnstore over a column subset.
+    SecondaryCsi { columns: Vec<usize> },
+}
+
+impl IndexDescriptor {
+    pub fn is_csi(&self) -> bool {
+        matches!(
+            self,
+            IndexDescriptor::PrimaryCsi | IndexDescriptor::SecondaryCsi { .. }
+        )
+    }
+
+    pub fn is_primary(&self) -> bool {
+        matches!(
+            self,
+            IndexDescriptor::PrimaryBTree { .. } | IndexDescriptor::PrimaryCsi
+        )
+    }
+
+    /// Human-readable form for recommendations and plan printouts.
+    pub fn display(&self, schema: &Schema) -> String {
+        let names = |cols: &[usize]| {
+            cols.iter()
+                .map(|&c| schema.column(c).name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        match self {
+            IndexDescriptor::PrimaryBTree { keys } => {
+                format!("PRIMARY B+TREE ({})", names(keys))
+            }
+            IndexDescriptor::SecondaryBTree { keys, includes } => {
+                if includes.is_empty() {
+                    format!("B+TREE ({})", names(keys))
+                } else {
+                    format!("B+TREE ({}) INCLUDE ({})", names(keys), names(includes))
+                }
+            }
+            IndexDescriptor::PrimaryCsi => "PRIMARY COLUMNSTORE".to_string(),
+            IndexDescriptor::SecondaryCsi { columns } => {
+                format!("COLUMNSTORE ({})", names(columns))
+            }
+        }
+    }
+}
+
+/// The physical design of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDesign {
+    pub table: String,
+    /// `indexes[0]` must be a primary descriptor.
+    pub indexes: Vec<IndexDescriptor>,
+}
+
+impl TableDesign {
+    pub fn new(table: impl Into<String>, indexes: Vec<IndexDescriptor>) -> TableDesign {
+        TableDesign {
+            table: table.into(),
+            indexes,
+        }
+    }
+
+    /// Enforce structural constraints: exactly one primary (first), and at
+    /// most one columnstore per table (SQL Server's restriction, paper §2).
+    pub fn validate(&self) -> Result<()> {
+        if self.indexes.is_empty() || !self.indexes[0].is_primary() {
+            return Err(HpdError::Constraint(format!(
+                "table {}: indexes[0] must be a primary index",
+                self.table
+            )));
+        }
+        if self.indexes[1..].iter().any(|d| d.is_primary()) {
+            return Err(HpdError::Constraint(format!(
+                "table {}: multiple primary indexes",
+                self.table
+            )));
+        }
+        let csi_count = self.indexes.iter().filter(|d| d.is_csi()).count();
+        if csi_count > 1 {
+            return Err(HpdError::Constraint(format!(
+                "table {}: at most one columnstore index per table",
+                self.table
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A complete physical design across tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Configuration {
+    pub tables: Vec<TableDesign>,
+}
+
+impl Configuration {
+    pub fn validate(&self) -> Result<()> {
+        for t in &self.tables {
+            t.validate()?;
+        }
+        Ok(())
+    }
+
+    pub fn design_for(&self, table: &str) -> Option<&TableDesign> {
+        self.tables.iter().find(|t| t.table == table)
+    }
+}
+
+/// What the optimizer knows about one (possibly hypothetical) index.
+#[derive(Debug, Clone)]
+pub struct IndexMeta {
+    pub descriptor: IndexDescriptor,
+    pub rows: usize,
+    /// B+ tree leaf page count (0 for columnstores).
+    pub leaf_pages: usize,
+    /// B+ tree height (0 for columnstores).
+    pub height: usize,
+    /// Per-table-column compressed bytes (columnstores only): pairs of
+    /// `(table column ordinal, bytes)`.
+    pub column_bytes: Vec<(usize, usize)>,
+    /// Number of compressed row groups (columnstores only).
+    pub rowgroups: usize,
+    /// Rows currently in the delta store (columnstores only).
+    pub delta_rows: usize,
+    /// Buffered logical deletes awaiting compaction (secondary CSI only).
+    pub delete_buffer_rows: usize,
+    pub hypothetical: bool,
+}
+
+impl IndexMeta {
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        if self.descriptor.is_csi() {
+            self.column_bytes.iter().map(|&(_, b)| b).sum()
+        } else {
+            self.leaf_pages * PAGE_SIZE
+        }
+    }
+
+    /// Bytes a columnstore scan of `columns` must read.
+    pub fn csi_scan_bytes(&self, columns: &[usize]) -> usize {
+        self.column_bytes
+            .iter()
+            .filter(|(c, _)| columns.contains(c))
+            .map(|&(_, b)| b)
+            .sum()
+    }
+
+    /// Columns physically present in this index, as table ordinals.
+    /// `table_arity` and `pk` describe the owning table.
+    pub fn stored_columns(&self, table_arity: usize, pk: &[usize]) -> Vec<usize> {
+        match &self.descriptor {
+            IndexDescriptor::PrimaryBTree { .. } | IndexDescriptor::PrimaryCsi => {
+                (0..table_arity).collect()
+            }
+            IndexDescriptor::SecondaryBTree { keys, includes } => {
+                let mut cols: Vec<usize> = keys.clone();
+                cols.extend(includes.iter().copied());
+                cols.extend(pk.iter().copied());
+                cols.sort_unstable();
+                cols.dedup();
+                cols
+            }
+            IndexDescriptor::SecondaryCsi { columns } => columns.clone(),
+        }
+    }
+
+    /// True if the index physically contains every column in `needed`.
+    pub fn covers(&self, needed: &[usize], table_arity: usize, pk: &[usize]) -> bool {
+        let stored = self.stored_columns(table_arity, pk);
+        needed.iter().all(|c| stored.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpd_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("a", DataType::Int32),
+            ("b", DataType::Int32),
+            ("c", DataType::Int32),
+        ])
+    }
+
+    #[test]
+    fn validate_requires_primary_first() {
+        let bad = TableDesign::new(
+            "t",
+            vec![IndexDescriptor::SecondaryBTree {
+                keys: vec![0],
+                includes: vec![],
+            }],
+        );
+        assert!(bad.validate().is_err());
+        let good = TableDesign::new(
+            "t",
+            vec![
+                IndexDescriptor::PrimaryBTree { keys: vec![0] },
+                IndexDescriptor::SecondaryBTree {
+                    keys: vec![1],
+                    includes: vec![2],
+                },
+            ],
+        );
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_two_columnstores() {
+        let bad = TableDesign::new(
+            "t",
+            vec![
+                IndexDescriptor::PrimaryCsi,
+                IndexDescriptor::SecondaryCsi { columns: vec![0] },
+            ],
+        );
+        assert!(matches!(bad.validate(), Err(HpdError::Constraint(_))));
+        let ok = TableDesign::new(
+            "t",
+            vec![
+                IndexDescriptor::PrimaryBTree { keys: vec![0] },
+                IndexDescriptor::SecondaryCsi {
+                    columns: vec![0, 1, 2],
+                },
+            ],
+        );
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn covering_logic() {
+        let meta = IndexMeta {
+            descriptor: IndexDescriptor::SecondaryBTree {
+                keys: vec![1],
+                includes: vec![2],
+            },
+            rows: 100,
+            leaf_pages: 4,
+            height: 2,
+            column_bytes: vec![],
+            rowgroups: 0,
+            delta_rows: 0,
+            delete_buffer_rows: 0,
+            hypothetical: true,
+        };
+        // Secondary carries keys + includes + pk (0).
+        assert!(meta.covers(&[0, 1, 2], 3, &[0]));
+        let narrow = IndexMeta {
+            descriptor: IndexDescriptor::SecondaryBTree {
+                keys: vec![1],
+                includes: vec![],
+            },
+            ..meta.clone()
+        };
+        assert!(!narrow.covers(&[2], 3, &[0]));
+        assert!(narrow.covers(&[0, 1], 3, &[0]));
+    }
+
+    #[test]
+    fn csi_scan_bytes_filters_columns() {
+        let meta = IndexMeta {
+            descriptor: IndexDescriptor::PrimaryCsi,
+            rows: 100,
+            leaf_pages: 0,
+            height: 0,
+            column_bytes: vec![(0, 1000), (1, 2000), (2, 4000)],
+            rowgroups: 1,
+            delta_rows: 0,
+            delete_buffer_rows: 0,
+            hypothetical: false,
+        };
+        assert_eq!(meta.csi_scan_bytes(&[0, 2]), 5000);
+        assert_eq!(meta.size_bytes(), 7000);
+    }
+
+    #[test]
+    fn display_descriptor() {
+        let s = schema();
+        let d = IndexDescriptor::SecondaryBTree {
+            keys: vec![1],
+            includes: vec![2],
+        };
+        assert_eq!(d.display(&s), "B+TREE (b) INCLUDE (c)");
+        assert_eq!(IndexDescriptor::PrimaryCsi.display(&s), "PRIMARY COLUMNSTORE");
+    }
+}

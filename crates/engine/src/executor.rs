@@ -1,0 +1,620 @@
+//! Lowers physical plans onto `hpd-exec` operators and runs them.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hpd_common::{Batch, DataType, HpdError, Interval, Key, Result, Row, Value};
+use hpd_exec::ops::sort::SortKey;
+use hpd_exec::ops::PlanNode as ExecNode;
+use hpd_exec::{
+    collect_rows, AggSpec, BTreeRangeScanOp, CsiScanOp, ExecCtx, FilterOp, HashAggOp, HashJoinOp,
+    IndexLookupJoinOp, LimitOp, MergeJoinOp, Mode, Operator, ParallelOp, ProjectOp, SortOp,
+    StreamAggOp,
+};
+use hpd_storage::BufferPool;
+
+use crate::plan::{PhysicalPlan, PlanMode, PlanNode, PlanNodeKind};
+use crate::table::Table;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    pub rows: Vec<Row>,
+    pub metrics: hpd_exec::ExecMetrics,
+}
+
+impl ExecutionResult {
+    /// Convenience: first value of the first row (scalar aggregates).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().map(|r| &r[0])
+    }
+}
+
+/// Per-table snapshot correction for reads under snapshot isolation: rows
+/// rewritten after the snapshot are removed from scan output (by primary
+/// key) and their old versions appended. The residual predicate above the
+/// scan re-checks appended rows, so this is correct for seeks as well.
+#[derive(Debug, Clone, Default)]
+pub struct TableOverlay {
+    /// Primary keys whose current version must be hidden.
+    pub removed: std::collections::HashSet<Key>,
+    /// Old row versions (full table rows) visible at the snapshot.
+    pub added: Vec<Row>,
+}
+
+impl TableOverlay {
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+}
+
+/// Executes plans against materialized tables.
+pub struct QueryRunner<'a> {
+    tables: Vec<&'a Table>,
+    pool: &'a BufferPool,
+    grant_bytes: usize,
+    overlays: HashMap<usize, TableOverlay>,
+}
+
+impl<'a> QueryRunner<'a> {
+    /// `tables` must align with the plan's query table indices.
+    pub fn new(tables: Vec<&'a Table>, pool: &'a BufferPool, grant_bytes: usize) -> QueryRunner<'a> {
+        QueryRunner {
+            tables,
+            pool,
+            grant_bytes,
+            overlays: HashMap::new(),
+        }
+    }
+
+    /// Attach snapshot-isolation overlays (keyed by query table index).
+    pub fn with_overlays(mut self, overlays: HashMap<usize, TableOverlay>) -> QueryRunner<'a> {
+        self.overlays.retain(|_, _| true);
+        self.overlays = overlays;
+        self
+    }
+
+    /// Execute the plan and gather rows + metrics.
+    pub fn run(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
+        let ctx = ExecCtx::with_grant(self.pool, self.grant_bytes);
+        let start = Instant::now();
+        let mut op = self.lower(&plan.root)?;
+        let rows = collect_rows(op.as_mut(), &ctx)?;
+        let wall = start.elapsed();
+        let cpu = ctx.cpu_time(wall);
+        let critical_path = ctx.critical_path(wall);
+        // Simulated device time only parallelizes across independent
+        // streams: columnstore segment reads scale with DOP, B+ tree page
+        // chains do not.
+        let io_dop = if plan
+            .leaf_kinds()
+            .contains(&crate::plan::LeafKind::Columnstore)
+        {
+            plan.max_dop()
+        } else {
+            1
+        };
+        let metrics = hpd_exec::ExecMetrics {
+            wall,
+            cpu,
+            critical_path,
+            io: ctx.tracker.snapshot(),
+            io_dop,
+            dop: plan.max_dop(),
+            rows_returned: rows.len(),
+            memory_peak_bytes: ctx.grant.peak_bytes(),
+        };
+        Ok(ExecutionResult { rows, metrics })
+    }
+
+    fn table(&self, ti: usize) -> Result<&'a Table> {
+        self.tables
+            .get(ti)
+            .copied()
+            .ok_or_else(|| HpdError::Internal(format!("table index {ti} out of range")))
+    }
+
+    fn resolve_btree(&self, ti: usize, index: crate::design::IndexId) -> Result<&'a hpd_btree::BTree> {
+        let table = self.table(ti)?;
+        if index.0 == 0 {
+            table.primary().as_btree().ok_or_else(|| {
+                HpdError::Internal("plan expects a primary B+ tree but table has a CSI".into())
+            })
+        } else {
+            table
+                .secondaries()
+                .get(index.0 - 1)
+                .map(|s| &s.tree)
+                .ok_or_else(|| HpdError::Internal(format!("no secondary index {}", index.0)))
+        }
+    }
+
+    fn resolve_csi(
+        &self,
+        ti: usize,
+        index: crate::design::IndexId,
+    ) -> Result<(&'a hpd_columnstore::ColumnStoreIndex, Vec<usize>)> {
+        let table = self.table(ti)?;
+        if index.0 == 0 {
+            let csi = table.primary().as_csi().ok_or_else(|| {
+                HpdError::Internal("plan expects a primary CSI but table has a B+ tree".into())
+            })?;
+            Ok((csi, (0..table.schema().len()).collect()))
+        } else {
+            let csi = table
+                .secondary_csi()
+                .ok_or_else(|| HpdError::Internal("no secondary CSI".into()))?;
+            Ok((csi, table.secondary_csi_columns().to_vec()))
+        }
+    }
+
+    /// Build the partitioned scan operators for a leaf node (one operator
+    /// when the effective DOP is 1). `out_cols` selects the produced
+    /// columns (normally `node.out_cols`; extended with the primary key
+    /// when a snapshot overlay must identify rows).
+    fn scan_partitions(
+        &self,
+        node: &PlanNode,
+        out_cols: &[crate::plan::PlanCol],
+    ) -> Result<Vec<ExecNode<'a>>> {
+        match &node.kind {
+            PlanNodeKind::BTreeScan { table, index, dop } => {
+                let tree = self.resolve_btree(*table, *index)?;
+                self.btree_partitions(
+                    tree,
+                    *table,
+                    node,
+                    Bound::Unbounded,
+                    Bound::Unbounded,
+                    *dop,
+                )
+            }
+            PlanNodeKind::BTreeSeek {
+                table,
+                index,
+                lo,
+                hi,
+                dop,
+            } => {
+                let tree = self.resolve_btree(*table, *index)?;
+                self.btree_partitions(tree, *table, node, lo.clone(), hi.clone(), *dop)
+            }
+            PlanNodeKind::CsiScan {
+                table,
+                index,
+                intervals,
+                dop,
+            } => {
+                let (csi, stored) = self.resolve_csi(*table, *index)?;
+                // Translate table-ordinal projection & intervals to the
+                // CSI's schema ordinals.
+                let to_csi = |c: usize| -> Result<usize> {
+                    stored
+                        .iter()
+                        .position(|&s| s == c)
+                        .ok_or_else(|| HpdError::Internal(format!("column {c} not in CSI")))
+                };
+                let projection: Vec<usize> = out_cols
+                    .iter()
+                    .map(|pc| match pc {
+                        crate::plan::PlanCol::Base(_, c) => to_csi(*c),
+                        crate::plan::PlanCol::Computed => {
+                            Err(HpdError::Internal("computed column in scan".into()))
+                        }
+                    })
+                    .collect::<Result<_>>()?;
+                let csi_intervals: HashMap<usize, Interval> = intervals
+                    .iter()
+                    .filter_map(|(&c, iv)| to_csi(c).ok().map(|cc| (cc, iv.clone())))
+                    .collect();
+                let dop = (*dop).clamp(1, csi.num_rowgroups().max(1));
+                if dop <= 1 {
+                    return Ok(vec![Box::new(CsiScanOp::full(
+                        csi,
+                        projection,
+                        csi_intervals,
+                    ))]);
+                }
+                // Shared anti-join probe built once.
+                let ctx = ExecCtx::new(self.pool);
+                let probe = csi.antijoin_probe(self.pool, &ctx.tracker).map(Arc::new);
+                let mut parts: Vec<ExecNode<'a>> = Vec::with_capacity(dop);
+                for w in 0..dop {
+                    let rgs: Vec<usize> = (0..csi.num_rowgroups())
+                        .filter(|rg| rg % dop == w)
+                        .collect();
+                    parts.push(Box::new(CsiScanOp::over_rowgroups(
+                        csi,
+                        rgs,
+                        projection.clone(),
+                        csi_intervals.clone(),
+                        w == 0,
+                        probe.clone(),
+                    )));
+                }
+                Ok(parts)
+            }
+            _ => Err(HpdError::Internal("not a scan node".into())),
+        }
+    }
+
+    fn btree_partitions(
+        &self,
+        tree: &'a hpd_btree::BTree,
+        ti: usize,
+        node: &PlanNode,
+        lo: Bound<Key>,
+        hi: Bound<Key>,
+        dop: usize,
+    ) -> Result<Vec<ExecNode<'a>>> {
+        let types: Vec<DataType> = node.out_types.clone();
+        if dop <= 1 {
+            return Ok(vec![Box::new(BTreeRangeScanOp::new(tree, types, lo, hi))]);
+        }
+        // Split points from the first key column's histogram.
+        let table = self.table(ti)?;
+        let first_key_col = match &node.kind {
+            PlanNodeKind::BTreeScan { index, .. } | PlanNodeKind::BTreeSeek { index, .. } => {
+                if index.0 == 0 {
+                    table.pk().first().copied().unwrap_or(0)
+                } else {
+                    table.secondaries()[index.0 - 1].keys[0]
+                }
+            }
+            _ => 0,
+        };
+        let bounds = &table.stats().columns[first_key_col].bucket_bounds;
+        let in_range = |v: &Value| -> bool {
+            let k = Key::single(v.clone());
+            let above = match &lo {
+                Bound::Unbounded => true,
+                Bound::Included(b) | Bound::Excluded(b) => &k > b,
+            };
+            let below = match &hi {
+                Bound::Unbounded => true,
+                Bound::Included(b) | Bound::Excluded(b) => &k < b,
+            };
+            above && below
+        };
+        let candidates: Vec<&Value> = bounds.iter().filter(|v| in_range(v)).collect();
+        let step = (candidates.len() / dop).max(1);
+        let mut splits: Vec<Value> = candidates
+            .iter()
+            .step_by(step)
+            .skip(1)
+            .take(dop - 1)
+            .map(|v| (*v).clone())
+            .collect();
+        splits.dedup();
+        let mut parts: Vec<ExecNode<'a>> = Vec::with_capacity(splits.len() + 1);
+        let mut cur_lo = lo;
+        for s in splits {
+            let boundary = Key::single(s);
+            parts.push(Box::new(BTreeRangeScanOp::new(
+                tree,
+                types.clone(),
+                cur_lo.clone(),
+                Bound::Excluded(boundary.clone()),
+            )));
+            cur_lo = Bound::Included(boundary);
+        }
+        parts.push(Box::new(BTreeRangeScanOp::new(tree, types, cur_lo, hi)));
+        Ok(parts)
+    }
+
+    /// Query table index a scan node reads.
+    fn scan_table_idx(node: &PlanNode) -> usize {
+        match &node.kind {
+            PlanNodeKind::BTreeScan { table, .. }
+            | PlanNodeKind::BTreeSeek { table, .. }
+            | PlanNodeKind::CsiScan { table, .. } => *table,
+            _ => usize::MAX,
+        }
+    }
+
+    fn overlay_for(&self, node: &PlanNode) -> Option<&TableOverlay> {
+        self.overlays
+            .get(&Self::scan_table_idx(node))
+            .filter(|o| !o.is_empty())
+    }
+
+    /// Lower a scan node, applying its snapshot overlay if one is active
+    /// and not suppressed (a parent `PkLookup` applies the overlay itself,
+    /// above the lookup: probing the primary tree would resurface the
+    /// *current* row version and undo the snapshot correction).
+    fn lower_scan(&self, node: &PlanNode, with_overlay: bool) -> Result<ExecNode<'a>> {
+        let overlay = if with_overlay { self.overlay_for(node) } else { None };
+        let Some(overlay) = overlay else {
+            return Ok(gather(self.scan_partitions(node, &node.out_cols)?));
+        };
+        let ti = Self::scan_table_idx(node);
+        let table = self.table(ti)?;
+        // Extend the output with any missing primary-key columns so rows
+        // can be identified.
+        let mut ext_cols = node.out_cols.clone();
+        let mut ext_types = node.out_types.clone();
+        for &k in table.pk() {
+            if node.find_col(ti, k).is_none() {
+                ext_cols.push(crate::plan::PlanCol::Base(ti, k));
+                ext_types.push(table.schema().column(k).dtype);
+            }
+        }
+        let scan = gather(self.scan_partitions(node, &ext_cols)?);
+        // Project the overlay's full-table rows to the scan's columns.
+        let table_ords: Vec<usize> = ext_cols
+            .iter()
+            .map(|c| match c {
+                crate::plan::PlanCol::Base(_, cc) => *cc,
+                crate::plan::PlanCol::Computed => unreachable!("scan emits base columns"),
+            })
+            .collect();
+        let op = self.wrap_overlay(scan, ti, &table_ords, ext_types, overlay)?;
+        if ext_cols.len() > node.out_cols.len() {
+            let keep: Vec<usize> = (0..node.out_cols.len()).collect();
+            Ok(Box::new(ProjectOp::columns(op, &keep, Mode::Batch)))
+        } else {
+            Ok(op)
+        }
+    }
+
+    /// Wrap `op` (whose output columns are the given table ordinals of
+    /// query table `ti`) with the snapshot-correction operator.
+    fn wrap_overlay(
+        &self,
+        op: ExecNode<'a>,
+        ti: usize,
+        table_ords: &[usize],
+        types: Vec<DataType>,
+        overlay: &TableOverlay,
+    ) -> Result<ExecNode<'a>> {
+        let table = self.table(ti)?;
+        let pk_pos: Vec<usize> = table
+            .pk()
+            .iter()
+            .map(|&k| {
+                table_ords
+                    .iter()
+                    .position(|&c| c == k)
+                    .ok_or_else(|| HpdError::Internal("overlay output lacks the pk".into()))
+            })
+            .collect::<Result<_>>()?;
+        let added: Vec<Row> = overlay.added.iter().map(|r| r.project(table_ords)).collect();
+        Ok(Box::new(OverlayOp {
+            child: op,
+            types,
+            pk_pos,
+            removed: overlay.removed.clone(),
+            added: Some(added),
+        }))
+    }
+
+    /// Lower a plan node to an operator tree.
+    fn lower(&self, node: &PlanNode) -> Result<ExecNode<'a>> {
+        match &node.kind {
+            PlanNodeKind::BTreeScan { .. }
+            | PlanNodeKind::BTreeSeek { .. }
+            | PlanNodeKind::CsiScan { .. } => self.lower_scan(node, true),
+            PlanNodeKind::Filter {
+                child,
+                predicate,
+                mode,
+            } => {
+                // Push the filter into parallel scan workers so predicate
+                // CPU parallelizes like the scan itself (not when a snapshot
+                // overlay must be applied once above the gather).
+                if is_scan(child) && scan_dop(child) > 1 && self.overlay_for(child).is_none() {
+                    let parts = self.scan_partitions(child, &child.out_cols)?;
+                    let workers: Vec<ExecNode<'a>> = parts
+                        .into_iter()
+                        .map(|p| {
+                            Box::new(FilterOp::new(p, predicate.clone(), exec_mode(*mode)))
+                                as ExecNode<'a>
+                        })
+                        .collect();
+                    return Ok(gather(workers));
+                }
+                let c = self.lower(child)?;
+                Ok(Box::new(FilterOp::new(c, predicate.clone(), exec_mode(*mode))))
+            }
+            PlanNodeKind::Project { child, exprs, mode } => {
+                let c = self.lower(child)?;
+                Ok(Box::new(ProjectOp::new(
+                    c,
+                    exprs.clone(),
+                    node.out_types.clone(),
+                    exec_mode(*mode),
+                )))
+            }
+            PlanNodeKind::PkLookup {
+                child,
+                table,
+                locator,
+            } => {
+                // Suppress the child scan's overlay: the lookup re-fetches
+                // rows from the primary tree, so the snapshot correction
+                // must wrap the *lookup output* (full rows) instead.
+                let overlay = self.overlays.get(table).filter(|o| !o.is_empty()).cloned();
+                let c = if is_scan(child) {
+                    self.lower_scan(child, false)?
+                } else {
+                    self.lower(child)?
+                };
+                let t = self.table(*table)?;
+                let tree = t.primary().as_btree().ok_or_else(|| {
+                    HpdError::Internal("PkLookup requires a primary B+ tree".into())
+                })?;
+                let payload_types: Vec<DataType> =
+                    t.schema().columns().iter().map(|c| c.dtype).collect();
+                let child_arity = child.out_types.len();
+                let join: ExecNode<'a> = Box::new(IndexLookupJoinOp::new(
+                    c,
+                    tree,
+                    locator.clone(),
+                    payload_types.clone(),
+                ));
+                // Drop the secondary-index prefix, keep the full rows.
+                let ords: Vec<usize> =
+                    (child_arity..child_arity + payload_types.len()).collect();
+                let full: ExecNode<'a> =
+                    Box::new(ProjectOp::columns(join, &ords, Mode::Row));
+                match overlay {
+                    Some(ov) => {
+                        let all: Vec<usize> = (0..t.schema().len()).collect();
+                        self.wrap_overlay(full, *table, &all, payload_types, &ov)
+                    }
+                    None => Ok(full),
+                }
+            }
+            PlanNodeKind::HashAgg { child, group, aggs } => {
+                let c = self.lower(child)?;
+                let specs = aggs.iter().map(|a| AggSpec::new(a.func, a.input)).collect();
+                Ok(Box::new(HashAggOp::new(c, group.clone(), specs)))
+            }
+            PlanNodeKind::StreamAgg { child, group, aggs } => {
+                let c = self.lower(child)?;
+                let specs = aggs.iter().map(|a| AggSpec::new(a.func, a.input)).collect();
+                Ok(Box::new(StreamAggOp::new(c, group.clone(), specs)))
+            }
+            PlanNodeKind::Sort { child, keys } => {
+                let c = self.lower(child)?;
+                let sort_keys = keys
+                    .iter()
+                    .map(|&(col, asc)| {
+                        if asc {
+                            SortKey::asc(col)
+                        } else {
+                            SortKey::desc(col)
+                        }
+                    })
+                    .collect();
+                Ok(Box::new(SortOp::new(c, sort_keys)))
+            }
+            PlanNodeKind::Limit { child, n } => {
+                let c = self.lower(child)?;
+                Ok(Box::new(LimitOp::new(c, *n)))
+            }
+            PlanNodeKind::HashJoin { left, right, keys } => {
+                let l = self.lower(left)?;
+                let r = self.lower(right)?;
+                Ok(Box::new(HashJoinOp::new(l, r, keys.clone())))
+            }
+            PlanNodeKind::MergeJoin { left, right, keys } => {
+                let l = self.lower(left)?;
+                let r = self.lower(right)?;
+                Ok(Box::new(MergeJoinOp::new(l, r, keys.clone())))
+            }
+            PlanNodeKind::IndexNLJoin {
+                outer,
+                table,
+                index,
+                outer_key,
+            } => {
+                let o = self.lower(outer)?;
+                let tree = self.resolve_btree(*table, *index)?;
+                let outer_arity = outer.out_types.len();
+                let payload_types: Vec<DataType> = node.out_types[outer_arity..].to_vec();
+                Ok(Box::new(IndexLookupJoinOp::new(
+                    o,
+                    tree,
+                    outer_key.clone(),
+                    payload_types,
+                )))
+            }
+        }
+    }
+}
+
+/// Snapshot-correction operator: hides rows whose primary key was rewritten
+/// after the snapshot, then appends the old versions once the child is
+/// exhausted.
+struct OverlayOp<'a> {
+    child: ExecNode<'a>,
+    types: Vec<DataType>,
+    pk_pos: Vec<usize>,
+    removed: std::collections::HashSet<Key>,
+    added: Option<Vec<Row>>,
+}
+
+impl Operator for OverlayOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if let Some(batch) = self.child.next(ctx)? {
+            if self.removed.is_empty() {
+                return Ok(Some(batch));
+            }
+            let mask: Vec<bool> = (0..batch.num_rows())
+                .map(|i| {
+                    let key = Key::new(
+                        self.pk_pos
+                            .iter()
+                            .map(|&p| batch.column(p).value(i))
+                            .collect(),
+                    );
+                    !self.removed.contains(&key)
+                })
+                .collect();
+            return Ok(Some(batch.filter(&mask)));
+        }
+        if let Some(rows) = self.added.take() {
+            if !rows.is_empty() {
+                return Ok(Some(Batch::from_rows(&self.types, &rows)?));
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn is_scan(node: &PlanNode) -> bool {
+    matches!(
+        node.kind,
+        PlanNodeKind::BTreeScan { .. } | PlanNodeKind::BTreeSeek { .. } | PlanNodeKind::CsiScan { .. }
+    )
+}
+
+fn scan_dop(node: &PlanNode) -> usize {
+    match &node.kind {
+        PlanNodeKind::BTreeScan { dop, .. }
+        | PlanNodeKind::BTreeSeek { dop, .. }
+        | PlanNodeKind::CsiScan { dop, .. } => *dop,
+        _ => 1,
+    }
+}
+
+fn exec_mode(m: PlanMode) -> Mode {
+    match m {
+        PlanMode::Row => Mode::Row,
+        PlanMode::Batch => Mode::Batch,
+    }
+}
+
+/// Wrap partitions in a ParallelOp (or return the single partition).
+fn gather(mut parts: Vec<ExecNode<'_>>) -> ExecNode<'_> {
+    if parts.len() == 1 {
+        parts.pop().expect("one element")
+    } else {
+        Box::new(ParallelOp::new(parts))
+    }
+}
+
+/// Helper used by DML paths: run a sub-plan and return its rows without
+/// metrics plumbing.
+pub fn run_plan_rows(
+    tables: Vec<&Table>,
+    pool: &BufferPool,
+    grant: usize,
+    plan: &PhysicalPlan,
+) -> Result<Vec<Row>> {
+    QueryRunner::new(tables, pool, grant)
+        .run(plan)
+        .map(|r| r.rows)
+}
+
+/// Convert result rows into a batch (utility for callers/tests).
+pub fn rows_to_batch(types: &[DataType], rows: &[Row]) -> Result<Batch> {
+    Batch::from_rows(types, rows)
+}

@@ -1,0 +1,34 @@
+//! The mini-DBMS: catalog, tables with hybrid physical designs, DML routed
+//! through every index, statistics, a cost-based optimizer with a "what-if"
+//! API for hypothetical indexes, an executor lowering plans onto the
+//! `hpd-exec` operators, and lock-based transactions with Read Committed /
+//! Snapshot / Serializable isolation.
+//!
+//! This crate is the stand-in for Microsoft SQL Server in the reproduction:
+//! it supports any combination of primary index (B+ tree or columnstore)
+//! and secondary indexes (B+ trees plus at most one columnstore) on the same
+//! table — the hybrid physical design space the paper studies.
+
+pub mod catalog;
+pub mod cost;
+pub mod design;
+pub mod executor;
+pub mod optimizer;
+pub mod plan;
+pub mod query;
+pub mod stats;
+pub mod table;
+pub mod txn;
+
+pub use catalog::{Database, DbConfig, Session, Txn};
+pub use design::{Configuration, IndexDescriptor, IndexId, IndexMeta, TableDesign};
+pub use executor::{ExecutionResult, QueryRunner, TableOverlay};
+pub use optimizer::{Optimizer, TableContext};
+pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
+pub use query::{
+    AggItem, ColRef, DeleteStmt, EquiJoin, InsertStmt, SelectQuery, Statement, TableInput,
+    UpdateStmt,
+};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{PrimaryIndex, SecondaryBTree, Table};
+pub use txn::{IsolationLevel, LockManager, TxnManager};

@@ -1,0 +1,1268 @@
+//! The cost-based optimizer.
+//!
+//! Plans select queries over a set of [`TableContext`]s — descriptions of
+//! each table's schema, statistics, and index metadata. Because contexts
+//! carry [`IndexMeta`]s rather than index structures, the same planner works
+//! for *materialized* and *hypothetical* designs; the latter is the "what-if"
+//! API (paper §4.2) the tuning advisor drives.
+//!
+//! Scope: single-table plans enumerate every access path (B+ tree seek/scan,
+//! covering secondary, primary-key lookup plans, columnstore scan with
+//! estimated segment elimination), pick aggregation strategy (streaming when
+//! the access order allows, hash with spill costing otherwise), sort
+//! placement, and degree of parallelism. Multi-table plans use a greedy
+//! smallest-cardinality-first left-deep join order choosing between index
+//! nested-loop, hash, and (via sorted access paths) merge joins.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use hpd_common::{DataType, Expr, HpdError, Interval, Key, Result, Schema, Value};
+
+use crate::cost::CostModel;
+use crate::design::{IndexDescriptor, IndexId, IndexMeta};
+use crate::plan::{PhysicalPlan, PlanAgg, PlanCol, PlanMode, PlanNode, PlanNodeKind};
+use crate::query::SelectQuery;
+use crate::stats::TableStats;
+
+/// Everything the optimizer knows about one input table.
+#[derive(Debug, Clone)]
+pub struct TableContext {
+    pub name: String,
+    pub schema: Schema,
+    pub pk: Vec<usize>,
+    pub stats: TableStats,
+    pub metas: Vec<IndexMeta>,
+}
+
+/// One costed way of producing (a superset of) a table's needed columns.
+struct AccessOption {
+    node: PlanNode,
+    /// Sort order provided, as table column ordinals (empty = none).
+    order: Vec<usize>,
+}
+
+pub struct Optimizer {
+    pub cost: CostModel,
+}
+
+impl Optimizer {
+    /// Elapsed-cost estimate of a subtree under its best DOP (split-I/O
+    /// model); the comparison key used throughout plan enumeration.
+    fn node_cost(&self, node: &PlanNode) -> f64 {
+        let (d, s) = split_io(node);
+        self.cost.choose_dop_split(total_cpu(node), d, s).1
+    }
+}
+
+impl Optimizer {
+    pub fn new(cost: CostModel) -> Optimizer {
+        Optimizer { cost }
+    }
+
+    /// Produce the cheapest plan for `query`.
+    pub fn plan(&self, query: &SelectQuery, tables: &[TableContext]) -> Result<PhysicalPlan> {
+        if query.tables.is_empty() {
+            return Err(HpdError::InvalidQuery("query has no tables".into()));
+        }
+        if query.tables.len() != tables.len() {
+            return Err(HpdError::Internal(
+                "table contexts do not match query tables".into(),
+            ));
+        }
+        let root = if tables.len() == 1 {
+            self.plan_single_table(query, tables)?
+        } else {
+            self.plan_joins(query, tables)?
+        };
+        let root = self.finish_plan(root, query, tables)?;
+        let (io_div, io_serial) = split_io(&root);
+        let (dop, elapsed) = self
+            .cost
+            .choose_dop_split(total_cpu(&root), io_div, io_serial);
+        let root = set_scan_dop(root, dop);
+        Ok(PhysicalPlan {
+            est_cost_us: elapsed,
+            est_cpu_us: total_cpu(&root),
+            table_names: query.tables.iter().map(|t| t.name.clone()).collect(),
+            root,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Access paths
+    // ------------------------------------------------------------------
+
+    /// Enumerate costed access options for query table `ti` producing at
+    /// least `needed` columns, with the local predicate applied.
+    fn access_options(
+        &self,
+        ti: usize,
+        needed: &[usize],
+        predicate: Option<&Expr>,
+        ctx: &TableContext,
+    ) -> Vec<AccessOption> {
+        let intervals = predicate
+            .map(Expr::column_intervals)
+            .unwrap_or_default();
+        let rows = ctx.stats.rows as f64;
+        let mut options = Vec::new();
+
+        let primary_btree_meta = ctx
+            .metas
+            .first()
+            .filter(|m| matches!(m.descriptor, IndexDescriptor::PrimaryBTree { .. }));
+
+        for (idx, meta) in ctx.metas.iter().enumerate() {
+            let index = IndexId(idx);
+            match &meta.descriptor {
+                IndexDescriptor::PrimaryBTree { keys } => {
+                    options.extend(self.btree_options(
+                        ti, index, keys, None, meta, &intervals, rows, ctx, true,
+                    ));
+                }
+                IndexDescriptor::SecondaryBTree { keys, includes } => {
+                    let covering = meta.covers(needed, ctx.schema.len(), &ctx.pk);
+                    if covering {
+                        options.extend(self.btree_options(
+                            ti,
+                            index,
+                            keys,
+                            Some(includes),
+                            meta,
+                            &intervals,
+                            rows,
+                            ctx,
+                            false,
+                        ));
+                    } else if let Some(pmeta) = primary_btree_meta {
+                        // Seek the secondary, then look up full rows in the
+                        // primary B+ tree per qualifying row.
+                        for opt in self.btree_options(
+                            ti,
+                            index,
+                            keys,
+                            Some(includes),
+                            meta,
+                            &intervals,
+                            rows,
+                            ctx,
+                            false,
+                        ) {
+                            // Lookups only pay off for selective seeks.
+                            let lookups = opt.node.est_rows;
+                            let lookup_io = self.cost.random_pages_us(lookups)
+                                * pmeta.height.max(1) as f64
+                                / 2.0;
+                            let lookup_cpu = lookups * self.cost.cpu_row_us * 2.0;
+                            let locator: Vec<usize> = ctx
+                                .pk
+                                .iter()
+                                .map(|&k| {
+                                    opt.node
+                                        .find_col(ti, k)
+                                        .expect("secondary stores the pk locator")
+                                })
+                                .collect();
+                            let est_rows = opt.node.est_rows;
+                            let node = PlanNode {
+                                out_cols: (0..ctx.schema.len())
+                                    .map(|c| PlanCol::Base(ti, c))
+                                    .collect(),
+                                out_types: ctx.schema.columns().iter().map(|c| c.dtype).collect(),
+                                est_rows,
+                                est_cpu_us: lookup_cpu,
+                                est_io_us: lookup_io,
+                                est_io_div_us: 0.0,
+                                kind: PlanNodeKind::PkLookup {
+                                    child: Box::new(opt.node),
+                                    table: ti,
+                                    locator,
+                                },
+                            };
+                            options.push(AccessOption {
+                                node,
+                                order: opt.order,
+                            });
+                        }
+                    }
+                }
+                IndexDescriptor::PrimaryCsi | IndexDescriptor::SecondaryCsi { .. } => {
+                    if meta.covers(needed, ctx.schema.len(), &ctx.pk) {
+                        options.push(self.csi_option(ti, index, meta, needed, &intervals, rows, ctx));
+                    }
+                }
+            }
+        }
+        options
+    }
+
+    /// Seek (when an interval constrains a key prefix) and full-scan options
+    /// for one B+ tree index.
+    #[allow(clippy::too_many_arguments)]
+    fn btree_options(
+        &self,
+        ti: usize,
+        index: IndexId,
+        keys: &[usize],
+        includes: Option<&[usize]>,
+        meta: &IndexMeta,
+        intervals: &HashMap<usize, Interval>,
+        rows: f64,
+        ctx: &TableContext,
+        is_primary: bool,
+    ) -> Vec<AccessOption> {
+        let (out_cols, out_types) = btree_output(ti, keys, includes, ctx, is_primary);
+        let mut options = Vec::new();
+
+        // Full leaf scan.
+        let scan_io = self.cost.sequential_pages_us(meta.leaf_pages as f64);
+        let scan_cpu = rows * self.cost.cpu_row_us;
+        options.push(AccessOption {
+            node: PlanNode {
+                kind: PlanNodeKind::BTreeScan {
+                    table: ti,
+                    index,
+                    dop: 1,
+                },
+                out_cols: out_cols.clone(),
+                out_types: out_types.clone(),
+                est_rows: rows,
+                est_cpu_us: scan_cpu,
+                est_io_us: scan_io,
+                est_io_div_us: 0.0,
+            },
+            order: keys.to_vec(),
+        });
+
+        // Prefix seek: consume equality intervals, then at most one range.
+        let (bounds, consumed_sel, full_prefix) =
+            prefix_bounds(keys, intervals, &ctx.stats, keys.len());
+        if let Some((lo, hi)) = bounds {
+            let sel = consumed_sel.clamp(0.0, 1.0);
+            let rows_scanned = (rows * sel).max(1.0);
+            let pages = (meta.leaf_pages as f64 * sel).max(1.0);
+            // One random leaf access (internal pages are effectively
+            // cached: bandwidth only) plus a mostly-sequential walk of the
+            // qualifying leaves.
+            let io = self.cost.random_pages_us(1.0)
+                + (meta.height.max(1) as f64 - 1.0 + (pages - 1.0).max(0.0))
+                    * self.cost.page_bandwidth_us();
+            let cpu = rows_scanned * self.cost.cpu_row_us;
+            options.push(AccessOption {
+                node: PlanNode {
+                    kind: PlanNodeKind::BTreeSeek {
+                        table: ti,
+                        index,
+                        lo,
+                        hi,
+                        dop: 1,
+                    },
+                    out_cols: out_cols.clone(),
+                    out_types: out_types.clone(),
+                    est_rows: rows_scanned,
+                    est_cpu_us: cpu,
+                    est_io_us: io,
+                    est_io_div_us: 0.0,
+                },
+                // A seek with a full-prefix equality still yields residual
+                // order on the remaining key columns; report full key order.
+                order: if full_prefix { keys.to_vec() } else { keys.to_vec() },
+            });
+        }
+        options
+    }
+
+    /// Columnstore scan option with estimated segment elimination.
+    fn csi_option(
+        &self,
+        ti: usize,
+        index: IndexId,
+        meta: &IndexMeta,
+        needed: &[usize],
+        intervals: &HashMap<usize, Interval>,
+        rows: f64,
+        ctx: &TableContext,
+    ) -> AccessOption {
+        // Surviving row-group fraction: best eliminator wins.
+        let mut fraction: f64 = 1.0;
+        for (&c, iv) in intervals {
+            if meta.covers(&[c], ctx.schema.len(), &ctx.pk) {
+                let sel = ctx.stats.columns[c].selectivity(iv, ctx.stats.rows);
+                let cluster = ctx.stats.columns[c].clustering_fraction;
+                fraction = fraction.min((sel + cluster).clamp(0.0, 1.0));
+            }
+        }
+        let bytes = meta.csi_scan_bytes(needed) as f64 * fraction;
+        let requests = (meta.rowgroups as f64 * fraction).ceil() * needed.len().max(1) as f64;
+        // Positioning overlaps across parallel row-group streams; transfer
+        // shares the device bandwidth.
+        let io_seek = requests * self.cost.device.seek_latency_us;
+        let mut io = self.cost.segment_read_us(bytes, requests);
+        let ncols = needed.len().max(1) as f64;
+        let mut cpu = rows * fraction * self.cost.cpu_batch_us * (1.0 + 0.3 * (ncols - 1.0));
+        // Delta store rows are row-mode.
+        cpu += meta.delta_rows as f64 * self.cost.cpu_row_us;
+        // Delete-buffer anti-join: probe per scanned row + buffer scan.
+        if meta.delete_buffer_rows > 0 {
+            cpu += rows * fraction * self.cost.cpu_hash_us * 0.5;
+            io += self.cost.random_pages_us((meta.delete_buffer_rows as f64 / 200.0).ceil());
+        }
+        let out_cols: Vec<PlanCol> = needed.iter().map(|&c| PlanCol::Base(ti, c)).collect();
+        let out_types: Vec<DataType> = needed
+            .iter()
+            .map(|&c| ctx.schema.column(c).dtype)
+            .collect();
+        AccessOption {
+            node: PlanNode {
+                kind: PlanNodeKind::CsiScan {
+                    table: ti,
+                    index,
+                    intervals: intervals.clone(),
+                    dop: 1,
+                },
+                out_cols,
+                out_types,
+                est_rows: rows * fraction,
+                est_cpu_us: cpu,
+                est_io_us: io,
+                est_io_div_us: io_seek.min(io),
+            },
+            order: Vec::new(),
+        }
+    }
+
+    /// Apply the residual predicate on top of an access option.
+    fn with_filter(
+        &self,
+        mut opt: AccessOption,
+        ti: usize,
+        predicate: Option<&Expr>,
+        sel: f64,
+    ) -> Result<AccessOption> {
+        let Some(pred) = predicate else {
+            return Ok(opt);
+        };
+        let mode = node_mode(&opt.node);
+        let bound = bind_expr(pred, ti, &opt.node)?;
+        let in_rows = opt.node.est_rows;
+        let cpu = in_rows
+            * match mode {
+                PlanMode::Row => self.cost.cpu_row_us,
+                PlanMode::Batch => self.cost.cpu_batch_us,
+            };
+        let out_rows = (self.relative_filter_rows(sel, in_rows, ti)).min(in_rows);
+        let out_cols = opt.node.out_cols.clone();
+        let out_types = opt.node.out_types.clone();
+        opt.node = PlanNode {
+            kind: PlanNodeKind::Filter {
+                child: Box::new(opt.node),
+                predicate: bound,
+                mode,
+            },
+            out_cols,
+            out_types,
+            est_rows: out_rows,
+            est_cpu_us: cpu,
+            est_io_us: 0.0,
+            est_io_div_us: 0.0,
+        };
+        Ok(opt)
+    }
+
+    fn relative_filter_rows(&self, table_sel: f64, in_rows: f64, _ti: usize) -> f64 {
+        // The access path may already have reduced rows (seek/elimination);
+        // the filter keeps at most `table_sel` of the *table*, so cap.
+        (in_rows * table_sel.max(1e-9).min(1.0)).max(0.0)
+    }
+
+    /// Best single-table subplan (access + filter), choosing by estimated
+    /// elapsed time under the best DOP. If `want_order` is non-empty, an
+    /// option providing that order gets a sort-free bonus comparison by the
+    /// caller instead; here we simply return the best of all options.
+    fn best_table_plan(
+        &self,
+        query: &SelectQuery,
+        ti: usize,
+        ctx: &TableContext,
+        extra_needed: &[usize],
+    ) -> Result<Vec<AccessOption>> {
+        let mut needed = query.referenced_columns(ti);
+        for &c in extra_needed {
+            if !needed.contains(&c) {
+                needed.push(c);
+            }
+        }
+        needed.sort_unstable();
+        if needed.is_empty() {
+            needed.push(ctx.pk.first().copied().unwrap_or(0));
+        }
+        let predicate = query.tables[ti].predicate.as_ref();
+        let intervals = predicate.map(Expr::column_intervals).unwrap_or_default();
+        let sel = ctx.stats.intervals_selectivity(&intervals);
+        let opts = self.access_options(ti, &needed, predicate, ctx);
+        if opts.is_empty() {
+            return Err(HpdError::Internal(format!(
+                "no access path for table {} (needed columns {needed:?})",
+                ctx.name
+            )));
+        }
+        opts.into_iter()
+            .map(|o| self.with_filter(o, ti, predicate, sel))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Single table
+    // ------------------------------------------------------------------
+
+    fn plan_single_table(&self, query: &SelectQuery, tables: &[TableContext]) -> Result<PlanNode> {
+        let options = self.best_table_plan(query, 0, &tables[0], &[])?;
+        let mut best: Option<(f64, PlanNode)> = None;
+        for opt in options {
+            let node = self.add_agg_and_order(opt, query, tables)?;
+            let elapsed = self.node_cost(&node);
+            if best.as_ref().is_none_or(|(c, _)| elapsed < *c) {
+                best = Some((elapsed, node));
+            }
+        }
+        Ok(best.expect("at least one option").1)
+    }
+
+    /// Attach aggregation / projection / sort / limit to a chosen access
+    /// subplan (single-table case; `opt.order` enables streaming).
+    fn add_agg_and_order(
+        &self,
+        opt: AccessOption,
+        query: &SelectQuery,
+        tables: &[TableContext],
+    ) -> Result<PlanNode> {
+        let order = opt.order.clone();
+        let mut node = opt.node;
+        let mut output_sorted_by: Vec<(usize, usize)> =
+            order.iter().map(|&c| (0usize, c)).collect();
+
+        if query.is_aggregate() {
+            node = self.build_aggregate(node, query, tables, &output_sorted_by)?;
+            // Stream agg output is sorted by group cols; hash agg is not.
+            output_sorted_by = if matches!(node.kind, PlanNodeKind::StreamAgg { .. }) {
+                query.group_by.iter().map(|g| (g.table, g.column)).collect()
+            } else {
+                Vec::new()
+            };
+        } else {
+            node = self.build_projection(node, query)?;
+            output_sorted_by.retain(|_| true);
+        }
+        node = self.build_order_limit(node, query, &output_sorted_by)?;
+        Ok(node)
+    }
+
+    /// Project to the query's select list (non-aggregate queries).
+    fn build_projection(&self, node: PlanNode, query: &SelectQuery) -> Result<PlanNode> {
+        let mode = node_mode(&node);
+        let mut exprs = Vec::with_capacity(query.select.len());
+        let mut out_cols = Vec::with_capacity(query.select.len());
+        let mut out_types = Vec::with_capacity(query.select.len());
+        for s in &query.select {
+            let pos = node.find_col(s.table, s.column).ok_or_else(|| {
+                HpdError::Internal(format!("select column {s:?} missing from access path"))
+            })?;
+            exprs.push(Expr::Col(pos));
+            out_cols.push(PlanCol::Base(s.table, s.column));
+            out_types.push(node.out_types[pos]);
+        }
+        let est_rows = node.est_rows;
+        let cpu = est_rows * self.cost.cpu_batch_us * 0.2;
+        Ok(PlanNode {
+            kind: PlanNodeKind::Project {
+                child: Box::new(node),
+                exprs,
+                mode,
+            },
+            out_cols,
+            out_types,
+            est_rows,
+            est_cpu_us: cpu,
+            est_io_us: 0.0,
+            est_io_div_us: 0.0,
+        })
+    }
+
+    /// Aggregate: project inputs, then stream (if sorted on the group
+    /// prefix) or hash.
+    fn build_aggregate(
+        &self,
+        node: PlanNode,
+        query: &SelectQuery,
+        tables: &[TableContext],
+        input_order: &[(usize, usize)],
+    ) -> Result<PlanNode> {
+        let mode = node_mode(&node);
+        // Project [group cols ..., agg input exprs ...].
+        let mut exprs = Vec::new();
+        let mut out_cols = Vec::new();
+        let mut out_types = Vec::new();
+        for g in &query.group_by {
+            let pos = node.find_col(g.table, g.column).ok_or_else(|| {
+                HpdError::Internal(format!("group column {g:?} missing from access path"))
+            })?;
+            exprs.push(Expr::Col(pos));
+            out_cols.push(PlanCol::Base(g.table, g.column));
+            out_types.push(node.out_types[pos]);
+        }
+        for a in &query.aggregates {
+            let bound = bind_expr(&a.expr, a.table, &node)?;
+            let t = expr_type(&bound, &node.out_types)?;
+            exprs.push(bound);
+            out_cols.push(PlanCol::Computed);
+            out_types.push(t);
+        }
+        let est_rows = node.est_rows;
+        let project_cpu = est_rows
+            * exprs.len() as f64
+            * match mode {
+                PlanMode::Row => self.cost.cpu_row_us * 0.5,
+                PlanMode::Batch => self.cost.cpu_batch_us * 0.5,
+            };
+        let projected = PlanNode {
+            kind: PlanNodeKind::Project {
+                child: Box::new(node),
+                exprs,
+                mode,
+            },
+            out_cols: out_cols.clone(),
+            out_types: out_types.clone(),
+            est_rows,
+            est_cpu_us: project_cpu,
+            est_io_us: 0.0,
+            est_io_div_us: 0.0,
+        };
+
+        let group_ords: Vec<usize> = (0..query.group_by.len()).collect();
+        let aggs: Vec<PlanAgg> = query
+            .aggregates
+            .iter()
+            .enumerate()
+            .map(|(i, a)| PlanAgg {
+                func: a.func,
+                input: query.group_by.len() + i,
+            })
+            .collect();
+        // Output schema of the aggregate.
+        let mut agg_out_cols: Vec<PlanCol> = query
+            .group_by
+            .iter()
+            .map(|g| PlanCol::Base(g.table, g.column))
+            .collect();
+        agg_out_cols.extend(std::iter::repeat(PlanCol::Computed).take(aggs.len()));
+        let mut agg_out_types: Vec<DataType> = out_types[..query.group_by.len()].to_vec();
+        for (i, a) in query.aggregates.iter().enumerate() {
+            let input_t = out_types[query.group_by.len() + i];
+            agg_out_types.push(agg_result_type(a.func, input_t));
+        }
+
+        // Streaming possible if the input order starts with the group cols.
+        let group_pairs: Vec<(usize, usize)> = query
+            .group_by
+            .iter()
+            .map(|g| (g.table, g.column))
+            .collect();
+        let stream_ok = !group_pairs.is_empty()
+            && group_pairs.len() <= input_order.len()
+            && group_pairs
+                .iter()
+                .zip(input_order)
+                .all(|(a, b)| a == b);
+
+        let groups = if query.group_by.is_empty() {
+            1.0
+        } else if query.group_by.iter().all(|g| g.table == 0) && tables.len() == 1 {
+            let cols: Vec<usize> = query.group_by.iter().map(|g| g.column).collect();
+            tables[0].stats.joint_distinct(&cols) as f64
+        } else {
+            // Multi-table group-by: product of per-table joint distincts,
+            // capped by input rows.
+            let mut p = 1.0;
+            for (t, ctx) in tables.iter().enumerate() {
+                let cols: Vec<usize> = query
+                    .group_by
+                    .iter()
+                    .filter(|g| g.table == t)
+                    .map(|g| g.column)
+                    .collect();
+                if !cols.is_empty() {
+                    p *= ctx.stats.joint_distinct(&cols) as f64;
+                }
+            }
+            p.min(est_rows.max(1.0))
+        };
+
+        if stream_ok || query.group_by.is_empty() {
+            let cpu = est_rows * self.cost.cpu_row_us * 0.4;
+            Ok(PlanNode {
+                kind: PlanNodeKind::StreamAgg {
+                    child: Box::new(projected),
+                    group: group_ords,
+                    aggs,
+                },
+                out_cols: agg_out_cols,
+                out_types: agg_out_types,
+                est_rows: groups,
+                est_cpu_us: cpu,
+                est_io_us: 0.0,
+                est_io_div_us: 0.0,
+            })
+        } else {
+            let row_bytes: f64 = 48.0 + 16.0 * group_ords.len() as f64;
+            let (cpu, io) =
+                self.cost
+                    .hash_agg_cost(est_rows, groups, row_bytes, est_rows * row_bytes);
+            Ok(PlanNode {
+                kind: PlanNodeKind::HashAgg {
+                    child: Box::new(projected),
+                    group: group_ords,
+                    aggs,
+                },
+                out_cols: agg_out_cols,
+                out_types: agg_out_types,
+                est_rows: groups,
+                est_cpu_us: cpu,
+                est_io_us: io,
+                est_io_div_us: 0.0,
+            })
+        }
+    }
+
+    /// Sort (if the required order is not already provided) and limit.
+    fn build_order_limit(
+        &self,
+        mut node: PlanNode,
+        query: &SelectQuery,
+        sorted_by: &[(usize, usize)],
+    ) -> Result<PlanNode> {
+        if !query.order_by.is_empty() {
+            // Does the current order satisfy the request?
+            let satisfied = query.order_by.iter().enumerate().all(|(i, &(ord, asc))| {
+                asc && sorted_by.get(i).is_some_and(|&(t, c)| {
+                    matches!(node.out_cols.get(ord), Some(PlanCol::Base(tt, cc)) if *tt == t && *cc == c)
+                })
+            });
+            if !satisfied {
+                let est_rows = node.est_rows;
+                let bytes = est_rows * node.out_types.iter().map(|t| t.fixed_width()).sum::<usize>() as f64;
+                let (cpu, io) = self.cost.sort_cost(est_rows, bytes);
+                let keys: Vec<(usize, bool)> = query.order_by.clone();
+                let out_cols = node.out_cols.clone();
+                let out_types = node.out_types.clone();
+                node = PlanNode {
+                    kind: PlanNodeKind::Sort {
+                        child: Box::new(node),
+                        keys,
+                    },
+                    out_cols,
+                    out_types,
+                    est_rows,
+                    est_cpu_us: cpu,
+                    est_io_us: io,
+                    est_io_div_us: 0.0,
+                };
+            }
+        }
+        if let Some(n) = query.limit {
+            let out_cols = node.out_cols.clone();
+            let out_types = node.out_types.clone();
+            let est_rows = node.est_rows.min(n as f64);
+            node = PlanNode {
+                kind: PlanNodeKind::Limit {
+                    child: Box::new(node),
+                    n,
+                },
+                out_cols,
+                out_types,
+                est_rows,
+                est_cpu_us: 0.0,
+                est_io_us: 0.0,
+                est_io_div_us: 0.0,
+            };
+        }
+        Ok(node)
+    }
+
+    fn finish_plan(
+        &self,
+        node: PlanNode,
+        _query: &SelectQuery,
+        _tables: &[TableContext],
+    ) -> Result<PlanNode> {
+        Ok(node)
+    }
+
+    // ------------------------------------------------------------------
+    // Joins
+    // ------------------------------------------------------------------
+
+    fn plan_joins(&self, query: &SelectQuery, tables: &[TableContext]) -> Result<PlanNode> {
+        // Best standalone subplan per table.
+        let mut best_single: Vec<PlanNode> = Vec::with_capacity(tables.len());
+        for (ti, ctx) in tables.iter().enumerate() {
+            let opts = self.best_table_plan(query, ti, ctx, &[])?;
+            let node = opts
+                .into_iter()
+                .map(|o| o.node)
+                .min_by(|a, b| self.node_cost(a).total_cmp(&self.node_cost(b)))
+                .expect("non-empty options");
+            best_single.push(node);
+        }
+
+        // Greedy left-deep order starting from the smallest filtered table.
+        let start = (0..tables.len())
+            .min_by(|&a, &b| best_single[a].est_rows.total_cmp(&best_single[b].est_rows))
+            .expect("at least two tables");
+        let mut joined: Vec<usize> = vec![start];
+        let mut current = best_single[start].clone();
+
+        while joined.len() < tables.len() {
+            // Candidate next tables connected to the current set.
+            let mut candidates: Vec<usize> = query
+                .joins
+                .iter()
+                .filter_map(|j| {
+                    let (a, b) = (j.left.table, j.right.table);
+                    match (joined.contains(&a), joined.contains(&b)) {
+                        (true, false) => Some(b),
+                        (false, true) => Some(a),
+                        _ => None,
+                    }
+                })
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            if candidates.is_empty() {
+                // Disconnected query: pick the smallest remaining table.
+                let next = (0..tables.len())
+                    .filter(|t| !joined.contains(t))
+                    .min_by(|&a, &b| best_single[a].est_rows.total_cmp(&best_single[b].est_rows))
+                    .expect("tables remain");
+                candidates.push(next);
+            }
+
+            // Choose the candidate + join method with the lowest added cost.
+            let mut best: Option<(f64, PlanNode, usize)> = None;
+            for &next in &candidates {
+                let join_keys = join_keys_between(query, &joined, next);
+                let node =
+                    self.join_candidate(query, tables, &current, next, &join_keys, &best_single)?;
+                let cost = self.node_cost(&node);
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    best = Some((cost, node, next));
+                }
+            }
+            let (_, node, next) = best.expect("candidate list non-empty");
+            current = node;
+            joined.push(next);
+        }
+
+        // Aggregation / projection / sort on top.
+        let opt = AccessOption {
+            node: current,
+            order: Vec::new(),
+        };
+        // Reuse the single-table finishing logic (order is unknown after
+        // joins, so streaming aggregation is not considered).
+        let mut node = opt.node;
+        if query.is_aggregate() {
+            node = self.build_aggregate(node, query, tables, &[])?;
+        } else {
+            node = self.build_projection(node, query)?;
+        }
+        node = self.build_order_limit(node, query, &[])?;
+        Ok(node)
+    }
+
+    /// Build the best join of `current` with table `next`.
+    fn join_candidate(
+        &self,
+        query: &SelectQuery,
+        tables: &[TableContext],
+        current: &PlanNode,
+        next: usize,
+        join_keys: &[(crate::query::ColRef, crate::query::ColRef)],
+        best_single: &[PlanNode],
+    ) -> Result<PlanNode> {
+        let ctx = &tables[next];
+        let mut options: Vec<PlanNode> = Vec::new();
+
+        // Estimated join cardinality.
+        let inner_rows = best_single[next].est_rows;
+        let mut join_card = current.est_rows * inner_rows;
+        for (lc, rc) in join_keys {
+            let (outer_col, inner_col) = if lc.table == next { (rc, lc) } else { (lc, rc) };
+            let d_out = if outer_col.table < tables.len() {
+                tables[outer_col.table].stats.columns[outer_col.column]
+                    .distinct
+                    .max(1)
+            } else {
+                1
+            };
+            let d_in = tables[next].stats.columns[inner_col.column].distinct.max(1);
+            join_card /= d_out.max(d_in) as f64;
+        }
+        join_card = join_card.max(1.0);
+
+        // Option A: hash join with the standalone subplan as build side.
+        {
+            let right = best_single[next].clone();
+            let keys: Vec<(usize, usize)> = join_keys
+                .iter()
+                .map(|(l, r)| {
+                    let (o, i) = if l.table == next { (r, l) } else { (l, r) };
+                    let op = current.find_col(o.table, o.column).ok_or_else(|| {
+                        HpdError::Internal("outer join column missing".into())
+                    })?;
+                    let ip = right.find_col(i.table, i.column).ok_or_else(|| {
+                        HpdError::Internal("inner join column missing".into())
+                    })?;
+                    Ok((op, ip))
+                })
+                .collect::<Result<_>>()?;
+            let build_bytes =
+                right.est_rows * right.out_types.iter().map(|t| t.fixed_width()).sum::<usize>() as f64;
+            let mut cpu =
+                (right.est_rows + current.est_rows) * self.cost.cpu_hash_us + join_card * 0.02;
+            let mut io = 0.0;
+            if build_bytes > self.cost.grant_bytes as f64 {
+                io += self.cost.spill_round_trip_us(build_bytes);
+                cpu *= 1.3;
+            }
+            let mut out_cols = current.out_cols.clone();
+            out_cols.extend(right.out_cols.iter().copied());
+            let mut out_types = current.out_types.clone();
+            out_types.extend(right.out_types.iter().copied());
+            options.push(PlanNode {
+                kind: PlanNodeKind::HashJoin {
+                    left: Box::new(current.clone()),
+                    right: Box::new(right),
+                    keys,
+                },
+                out_cols,
+                out_types,
+                est_rows: join_card,
+                est_cpu_us: cpu,
+                est_io_us: io,
+                est_io_div_us: 0.0,
+            });
+        }
+
+        // Option B: index nested-loop join when an index on `next` has a key
+        // prefix equal to the join columns.
+        let inner_cols: Vec<usize> = join_keys
+            .iter()
+            .map(|(l, r)| if l.table == next { l.column } else { r.column })
+            .collect();
+        for (idx, meta) in ctx.metas.iter().enumerate() {
+            let keys = match &meta.descriptor {
+                IndexDescriptor::PrimaryBTree { keys } => keys,
+                IndexDescriptor::SecondaryBTree { keys, .. } => keys,
+                _ => continue,
+            };
+            if keys.len() < inner_cols.len()
+                || !keys[..inner_cols.len()]
+                    .iter()
+                    .all(|k| inner_cols.contains(k))
+            {
+                continue;
+            }
+            // Covering check for the inner side's needed columns.
+            let needed = query.referenced_columns(next);
+            if !meta.covers(&needed, ctx.schema.len(), &ctx.pk) {
+                continue;
+            }
+            // Outer key ordinals aligned with the index key order.
+            let outer_key: Result<Vec<usize>> = keys[..inner_cols.len()]
+                .iter()
+                .map(|&kcol| {
+                    let (l, r) = join_keys
+                        .iter()
+                        .find(|(l, r)| {
+                            (l.table == next && l.column == kcol)
+                                || (r.table == next && r.column == kcol)
+                        })
+                        .ok_or_else(|| HpdError::Internal("key col not in join".into()))?;
+                    let o = if l.table == next { r } else { l };
+                    current.find_col(o.table, o.column).ok_or_else(|| {
+                        HpdError::Internal("outer join column missing from plan".into())
+                    })
+                })
+                .collect();
+            let Ok(outer_key) = outer_key else { continue };
+
+            let matches_per = (ctx.stats.rows as f64
+                / tables[next].stats.joint_distinct(&inner_cols).max(1) as f64)
+                .max(1.0);
+            let io = current.est_rows * self.cost.random_pages_us(1.0) * meta.height.max(1) as f64
+                / 2.0;
+            let cpu = current.est_rows * matches_per * self.cost.cpu_row_us * 1.5;
+
+            let is_primary = matches!(meta.descriptor, IndexDescriptor::PrimaryBTree { .. });
+            let (inner_out_cols, inner_out_types) = match &meta.descriptor {
+                IndexDescriptor::PrimaryBTree { .. } => btree_output(next, keys, None, ctx, true),
+                IndexDescriptor::SecondaryBTree { keys: k, includes } => {
+                    btree_output(next, k, Some(includes), ctx, false)
+                }
+                _ => unreachable!(),
+            };
+            let _ = is_primary;
+            let mut out_cols = current.out_cols.clone();
+            out_cols.extend(inner_out_cols);
+            let mut out_types = current.out_types.clone();
+            out_types.extend(inner_out_types);
+
+            let mut node = PlanNode {
+                kind: PlanNodeKind::IndexNLJoin {
+                    outer: Box::new(current.clone()),
+                    table: next,
+                    index: IndexId(idx),
+                    outer_key,
+                },
+                out_cols,
+                out_types,
+                est_rows: join_card,
+                est_cpu_us: cpu,
+                est_io_us: io,
+                est_io_div_us: 0.0,
+            };
+            // Residual local predicate of the inner table.
+            if let Some(pred) = &query.tables[next].predicate {
+                let bound = bind_expr(pred, next, &node)?;
+                let sel = tables[next]
+                    .stats
+                    .intervals_selectivity(&pred.column_intervals());
+                let est_rows = (node.est_rows * sel).max(1.0);
+                let cpu = node.est_rows * self.cost.cpu_row_us;
+                let out_cols = node.out_cols.clone();
+                let out_types = node.out_types.clone();
+                node = PlanNode {
+                    kind: PlanNodeKind::Filter {
+                        child: Box::new(node),
+                        predicate: bound,
+                        mode: PlanMode::Row,
+                    },
+                    out_cols,
+                    out_types,
+                    est_rows,
+                    est_cpu_us: cpu,
+                    est_io_us: 0.0,
+                    est_io_div_us: 0.0,
+                };
+            }
+            options.push(node);
+        }
+
+        options
+            .into_iter()
+            .min_by(|a, b| self.node_cost(a).total_cmp(&self.node_cost(b)))
+            .ok_or_else(|| HpdError::Internal("no join option".into()))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Helpers
+// ----------------------------------------------------------------------
+
+/// Output description for a B+ tree access: all table columns (primary) or
+/// the stored payload columns (secondary).
+fn btree_output(
+    ti: usize,
+    keys: &[usize],
+    includes: Option<&[usize]>,
+    ctx: &TableContext,
+    is_primary: bool,
+) -> (Vec<PlanCol>, Vec<DataType>) {
+    let cols: Vec<usize> = if is_primary {
+        (0..ctx.schema.len()).collect()
+    } else {
+        let mut stored: Vec<usize> = keys.to_vec();
+        for &c in includes.unwrap_or(&[]).iter().chain(&ctx.pk) {
+            if !stored.contains(&c) {
+                stored.push(c);
+            }
+        }
+        stored
+    };
+    let out_cols = cols.iter().map(|&c| PlanCol::Base(ti, c)).collect();
+    let out_types = cols
+        .iter()
+        .map(|&c| ctx.schema.column(c).dtype)
+        .collect();
+    (out_cols, out_types)
+}
+
+/// Consume a key prefix from the predicate intervals: equality columns, then
+/// at most one range column. Returns the key-space bounds, the combined
+/// selectivity of the consumed columns, and whether the whole prefix was
+/// equalities.
+fn prefix_bounds(
+    keys: &[usize],
+    intervals: &HashMap<usize, Interval>,
+    stats: &TableStats,
+    _max: usize,
+) -> (Option<(Bound<Key>, Bound<Key>)>, f64, bool) {
+    use hpd_common::interval::Bound as IvBound;
+    let mut lo_vals: Vec<Value> = Vec::new();
+    let mut hi_vals: Vec<Value> = Vec::new();
+    let mut sel = 1.0;
+    let mut consumed = 0usize;
+    let mut lo_exclusive = false;
+    let mut hi_exclusive = false;
+    let mut lo_open = false; // range had no lower bound
+    let mut hi_open = false;
+    for &k in keys {
+        let Some(iv) = intervals.get(&k) else { break };
+        sel *= stats.columns[k].selectivity(iv, stats.rows);
+        // Equality?
+        if let (IvBound::Inclusive(a), IvBound::Inclusive(b)) = (&iv.lo, &iv.hi) {
+            if a == b {
+                lo_vals.push(a.clone());
+                hi_vals.push(a.clone());
+                consumed += 1;
+                continue;
+            }
+        }
+        // Range column: consume and stop.
+        match &iv.lo {
+            IvBound::Unbounded => lo_open = true,
+            IvBound::Inclusive(v) => lo_vals.push(v.clone()),
+            IvBound::Exclusive(v) => {
+                lo_vals.push(v.clone());
+                lo_exclusive = true;
+            }
+        }
+        match &iv.hi {
+            IvBound::Unbounded => hi_open = true,
+            IvBound::Inclusive(v) => hi_vals.push(v.clone()),
+            IvBound::Exclusive(v) => {
+                hi_vals.push(v.clone());
+                hi_exclusive = true;
+            }
+        }
+        consumed += 1;
+        break;
+    }
+    if consumed == 0 {
+        return (None, 1.0, false);
+    }
+    let full_prefix = consumed == keys.len();
+    // Lower bound.
+    let lo = if lo_open && lo_vals.len() < consumed {
+        if lo_vals.is_empty() {
+            Bound::Unbounded
+        } else {
+            Bound::Included(Key::new(lo_vals))
+        }
+    } else if lo_exclusive {
+        // (v, ...]: exclusive on the last component. With deeper keys this
+        // must skip all composites starting with v: append the sentinel.
+        let mut vals = lo_vals;
+        if !full_prefix {
+            vals.push(Value::sentinel_max());
+        }
+        Bound::Excluded(Key::new(vals))
+    } else if lo_vals.is_empty() {
+        Bound::Unbounded
+    } else {
+        Bound::Included(Key::new(lo_vals))
+    };
+    // Upper bound.
+    let hi = if hi_open && hi_vals.len() < consumed {
+        if hi_vals.is_empty() {
+            Bound::Unbounded
+        } else {
+            let mut vals = hi_vals;
+            vals.push(Value::sentinel_max());
+            Bound::Included(Key::new(vals))
+        }
+    } else if hi_vals.is_empty() {
+        Bound::Unbounded
+    } else if hi_exclusive {
+        Bound::Excluded(Key::new(hi_vals))
+    } else {
+        let mut vals = hi_vals;
+        if !full_prefix {
+            vals.push(Value::sentinel_max());
+        }
+        Bound::Included(Key::new(vals))
+    };
+    (Some((lo, hi)), sel, full_prefix)
+}
+
+/// Bind a table-ordinal expression to a node's output ordinals.
+fn bind_expr(expr: &Expr, table: usize, node: &PlanNode) -> Result<Expr> {
+    let mut map = HashMap::new();
+    for c in expr.referenced_columns() {
+        let pos = node.find_col(table, c).ok_or_else(|| {
+            HpdError::Internal(format!(
+                "column {c} of table {table} not available in plan node"
+            ))
+        })?;
+        map.insert(c, pos);
+    }
+    expr.remap_columns(&map)
+}
+
+/// Execution mode implied by the access path under this node.
+fn node_mode(node: &PlanNode) -> PlanMode {
+    match &node.kind {
+        PlanNodeKind::CsiScan { .. } => PlanMode::Batch,
+        PlanNodeKind::Filter { mode, .. } | PlanNodeKind::Project { mode, .. } => *mode,
+        PlanNodeKind::PkLookup { .. }
+        | PlanNodeKind::BTreeSeek { .. }
+        | PlanNodeKind::BTreeScan { .. }
+        | PlanNodeKind::IndexNLJoin { .. } => PlanMode::Row,
+        PlanNodeKind::HashAgg { child, .. }
+        | PlanNodeKind::StreamAgg { child, .. }
+        | PlanNodeKind::Sort { child, .. }
+        | PlanNodeKind::Limit { child, .. } => node_mode(child),
+        PlanNodeKind::HashJoin { .. } | PlanNodeKind::MergeJoin { .. } => PlanMode::Row,
+    }
+}
+
+/// Static type of a bound expression.
+fn expr_type(expr: &Expr, input_types: &[DataType]) -> Result<DataType> {
+    Ok(match expr {
+        Expr::Col(i) => input_types[*i],
+        Expr::Lit(v) => v.data_type(),
+        Expr::Cmp { .. } | Expr::And(_) | Expr::Or(_) | Expr::Not(_) => DataType::Int32,
+        Expr::Arith { lhs, rhs, .. } => {
+            let l = expr_type(lhs, input_types)?;
+            let r = expr_type(rhs, input_types)?;
+            match (l, r) {
+                (DataType::Decimal, DataType::Decimal) => DataType::Decimal,
+                (DataType::Int32, DataType::Int32)
+                | (DataType::Int64, DataType::Int64)
+                | (DataType::Int32, DataType::Int64)
+                | (DataType::Int64, DataType::Int32) => DataType::Int64,
+                _ => DataType::Float64,
+            }
+        }
+    })
+}
+
+fn agg_result_type(func: hpd_common::AggFunc, input: DataType) -> DataType {
+    use hpd_common::AggFunc;
+    match func {
+        AggFunc::Count => DataType::Int64,
+        AggFunc::Avg => DataType::Float64,
+        AggFunc::Min | AggFunc::Max => input,
+        AggFunc::Sum => match input {
+            DataType::Int32 | DataType::Int64 | DataType::Date => DataType::Int64,
+            DataType::Decimal => DataType::Decimal,
+            _ => DataType::Float64,
+        },
+    }
+}
+
+fn join_keys_between(
+    query: &SelectQuery,
+    joined: &[usize],
+    next: usize,
+) -> Vec<(crate::query::ColRef, crate::query::ColRef)> {
+    query
+        .joins
+        .iter()
+        .filter(|j| {
+            (joined.contains(&j.left.table) && j.right.table == next)
+                || (joined.contains(&j.right.table) && j.left.table == next)
+        })
+        .map(|j| (j.left, j.right))
+        .collect()
+}
+
+/// Sum of estimated CPU microseconds over a subtree.
+pub fn total_cpu(node: &PlanNode) -> f64 {
+    node.est_cpu_us + children(node).iter().map(|c| total_cpu(c)).sum::<f64>()
+}
+
+/// Sum of estimated IO microseconds over a subtree.
+pub fn total_io(node: &PlanNode) -> f64 {
+    node.est_io_us + children(node).iter().map(|c| total_io(c)).sum::<f64>()
+}
+
+/// Split estimated I/O into (parallelizable, latency-bound): columnstore
+/// segment reads are independent requests that scale with DOP; B+ tree page
+/// chains and everything else do not.
+pub fn split_io(node: &PlanNode) -> (f64, f64) {
+    let mut divisible = node.est_io_div_us;
+    let mut serial = node.est_io_us - node.est_io_div_us;
+    for c in children(node) {
+        let (d, s) = split_io(c);
+        divisible += d;
+        serial += s;
+    }
+    (divisible, serial)
+}
+
+fn children(node: &PlanNode) -> Vec<&PlanNode> {
+    match &node.kind {
+        PlanNodeKind::BTreeSeek { .. }
+        | PlanNodeKind::BTreeScan { .. }
+        | PlanNodeKind::CsiScan { .. } => vec![],
+        PlanNodeKind::PkLookup { child, .. }
+        | PlanNodeKind::Filter { child, .. }
+        | PlanNodeKind::Project { child, .. }
+        | PlanNodeKind::HashAgg { child, .. }
+        | PlanNodeKind::StreamAgg { child, .. }
+        | PlanNodeKind::Sort { child, .. }
+        | PlanNodeKind::Limit { child, .. } => vec![child],
+        PlanNodeKind::IndexNLJoin { outer, .. } => vec![outer],
+        PlanNodeKind::HashJoin { left, right, .. }
+        | PlanNodeKind::MergeJoin { left, right, .. } => vec![left, right],
+    }
+}
+
+/// Propagate the chosen DOP to the scan leaves.
+fn set_scan_dop(mut node: PlanNode, dop: usize) -> PlanNode {
+    match &mut node.kind {
+        PlanNodeKind::BTreeSeek { dop: d, .. }
+        | PlanNodeKind::BTreeScan { dop: d, .. }
+        | PlanNodeKind::CsiScan { dop: d, .. } => *d = dop,
+        PlanNodeKind::PkLookup { child, .. }
+        | PlanNodeKind::Filter { child, .. }
+        | PlanNodeKind::Project { child, .. }
+        | PlanNodeKind::HashAgg { child, .. }
+        | PlanNodeKind::StreamAgg { child, .. }
+        | PlanNodeKind::Sort { child, .. }
+        | PlanNodeKind::Limit { child, .. } => {
+            let c = std::mem::replace(child.as_mut(), dummy_node());
+            **child = set_scan_dop(c, dop);
+        }
+        PlanNodeKind::IndexNLJoin { outer, .. } => {
+            let c = std::mem::replace(outer.as_mut(), dummy_node());
+            **outer = set_scan_dop(c, dop);
+        }
+        PlanNodeKind::HashJoin { left, right, .. }
+        | PlanNodeKind::MergeJoin { left, right, .. } => {
+            let l = std::mem::replace(left.as_mut(), dummy_node());
+            **left = set_scan_dop(l, dop);
+            let r = std::mem::replace(right.as_mut(), dummy_node());
+            **right = set_scan_dop(r, dop);
+        }
+    }
+    node
+}
+
+fn dummy_node() -> PlanNode {
+    PlanNode {
+        kind: PlanNodeKind::BTreeScan {
+            table: 0,
+            index: IndexId(0),
+            dop: 1,
+        },
+        out_cols: vec![],
+        out_types: vec![],
+        est_rows: 0.0,
+        est_cpu_us: 0.0,
+        est_io_us: 0.0,
+        est_io_div_us: 0.0,
+    }
+}

@@ -1,0 +1,356 @@
+//! Physical plans: the optimizer's output and the executor's input.
+//!
+//! A plan is a tree of [`PlanNode`]s. Each node tracks its output columns as
+//! `(query table index, table column ordinal)` pairs so predicates written
+//! against table schemas can be bound to operator ordinals, plus estimated
+//! rows/CPU/IO from the cost model. Plans are inspectable: Figure 10 of the
+//! paper counts B+ tree vs. columnstore leaf nodes in chosen plans, and
+//! [`PhysicalPlan::leaf_kinds`] exposes exactly that.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use hpd_common::{AggFunc, DataType, Expr, Interval, Key};
+
+use crate::design::IndexId;
+
+/// Which kind of index a plan leaf reads — the unit Figure 10 counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafKind {
+    BTree,
+    Columnstore,
+}
+
+/// One output column of a plan node: where it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanCol {
+    /// A base-table column: (query table index, table column ordinal).
+    Base(usize, usize),
+    /// A computed value (projection expression, aggregate result).
+    Computed,
+}
+
+/// Aggregate spec at plan level (the executor maps it onto exec `AggSpec`).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanAgg {
+    pub func: AggFunc,
+    /// Child output ordinal holding the aggregate input.
+    pub input: usize,
+}
+
+/// Execution mode tag mirrored from the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    Row,
+    Batch,
+}
+
+/// Scalar expression bound to child output ordinals.
+pub type PlanExpr = Expr;
+
+/// The operator variants of a physical plan.
+#[derive(Debug, Clone)]
+pub enum PlanNodeKind {
+    /// B+ tree range seek: key-space interval over the index's key order.
+    BTreeSeek {
+        table: usize,
+        index: IndexId,
+        lo: Bound<Key>,
+        hi: Bound<Key>,
+        dop: usize,
+    },
+    /// Full B+ tree leaf scan (provides the index key sort order).
+    BTreeScan {
+        table: usize,
+        index: IndexId,
+        dop: usize,
+    },
+    /// Columnstore scan with segment-elimination intervals (keyed by *index
+    /// schema* ordinals).
+    CsiScan {
+        table: usize,
+        index: IndexId,
+        intervals: HashMap<usize, Interval>,
+        dop: usize,
+    },
+    /// Fetch full rows from the primary B+ tree using the primary-key
+    /// locator carried in the child's output.
+    PkLookup {
+        child: Box<PlanNode>,
+        table: usize,
+        /// Child output ordinals holding the primary key values.
+        locator: Vec<usize>,
+    },
+    Filter {
+        child: Box<PlanNode>,
+        predicate: PlanExpr,
+        mode: PlanMode,
+    },
+    Project {
+        child: Box<PlanNode>,
+        exprs: Vec<PlanExpr>,
+        mode: PlanMode,
+    },
+    HashAgg {
+        child: Box<PlanNode>,
+        group: Vec<usize>,
+        aggs: Vec<PlanAgg>,
+    },
+    StreamAgg {
+        child: Box<PlanNode>,
+        group: Vec<usize>,
+        aggs: Vec<PlanAgg>,
+    },
+    Sort {
+        child: Box<PlanNode>,
+        keys: Vec<(usize, bool)>,
+    },
+    Limit {
+        child: Box<PlanNode>,
+        n: usize,
+    },
+    HashJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        keys: Vec<(usize, usize)>,
+    },
+    MergeJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        keys: Vec<(usize, usize)>,
+    },
+    /// Index nested-loop join: for each outer row, seek the inner table's
+    /// B+ tree with a key built from outer output ordinals.
+    IndexNLJoin {
+        outer: Box<PlanNode>,
+        table: usize,
+        index: IndexId,
+        /// Outer output ordinals forming the seek key prefix.
+        outer_key: Vec<usize>,
+    },
+}
+
+/// A plan node with its cost annotations and output description.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    pub kind: PlanNodeKind,
+    pub out_cols: Vec<PlanCol>,
+    pub out_types: Vec<DataType>,
+    pub est_rows: f64,
+    /// Estimated CPU work in microseconds (total, not divided by DOP).
+    pub est_cpu_us: f64,
+    /// Estimated device time in microseconds (total).
+    pub est_io_us: f64,
+    /// The portion of `est_io_us` that overlaps across parallel streams
+    /// (columnstore segment positioning); the rest is bandwidth- or
+    /// latency-bound and unaffected by DOP.
+    pub est_io_div_us: f64,
+}
+
+impl PlanNode {
+    /// Output ordinal of base column `(table, column)`, if present.
+    pub fn find_col(&self, table: usize, column: usize) -> Option<usize> {
+        self.out_cols
+            .iter()
+            .position(|c| matches!(c, PlanCol::Base(t, cc) if *t == table && *cc == column))
+    }
+
+    /// Recursively collect leaf access kinds.
+    pub fn collect_leaves(&self, out: &mut Vec<LeafKind>) {
+        match &self.kind {
+            PlanNodeKind::BTreeSeek { .. } | PlanNodeKind::BTreeScan { .. } => {
+                out.push(LeafKind::BTree)
+            }
+            PlanNodeKind::CsiScan { .. } => out.push(LeafKind::Columnstore),
+            PlanNodeKind::PkLookup { child, .. } => {
+                child.collect_leaves(out);
+                out.push(LeafKind::BTree); // the primary tree it probes
+            }
+            PlanNodeKind::IndexNLJoin { outer, .. } => {
+                outer.collect_leaves(out);
+                out.push(LeafKind::BTree); // the inner index it seeks
+            }
+            PlanNodeKind::Filter { child, .. }
+            | PlanNodeKind::Project { child, .. }
+            | PlanNodeKind::HashAgg { child, .. }
+            | PlanNodeKind::StreamAgg { child, .. }
+            | PlanNodeKind::Sort { child, .. }
+            | PlanNodeKind::Limit { child, .. } => child.collect_leaves(out),
+            PlanNodeKind::HashJoin { left, right, .. }
+            | PlanNodeKind::MergeJoin { left, right, .. } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Recursively collect `(query table, index id)` pairs for every index
+    /// access in the subtree — how the advisor learns which hypothetical
+    /// indexes the optimizer actually referenced.
+    pub fn collect_index_refs(&self, out: &mut Vec<(usize, IndexId)>) {
+        match &self.kind {
+            PlanNodeKind::BTreeSeek { table, index, .. }
+            | PlanNodeKind::BTreeScan { table, index, .. }
+            | PlanNodeKind::CsiScan { table, index, .. } => out.push((*table, *index)),
+            PlanNodeKind::PkLookup { child, table, .. } => {
+                child.collect_index_refs(out);
+                out.push((*table, IndexId::PRIMARY));
+            }
+            PlanNodeKind::IndexNLJoin {
+                outer,
+                table,
+                index,
+                ..
+            } => {
+                outer.collect_index_refs(out);
+                out.push((*table, *index));
+            }
+            PlanNodeKind::Filter { child, .. }
+            | PlanNodeKind::Project { child, .. }
+            | PlanNodeKind::HashAgg { child, .. }
+            | PlanNodeKind::StreamAgg { child, .. }
+            | PlanNodeKind::Sort { child, .. }
+            | PlanNodeKind::Limit { child, .. } => child.collect_index_refs(out),
+            PlanNodeKind::HashJoin { left, right, .. }
+            | PlanNodeKind::MergeJoin { left, right, .. } => {
+                left.collect_index_refs(out);
+                right.collect_index_refs(out);
+            }
+        }
+    }
+
+    /// Maximum DOP of any scan in the subtree.
+    pub fn max_dop(&self) -> usize {
+        match &self.kind {
+            PlanNodeKind::BTreeSeek { dop, .. }
+            | PlanNodeKind::BTreeScan { dop, .. }
+            | PlanNodeKind::CsiScan { dop, .. } => *dop,
+            PlanNodeKind::PkLookup { child, .. }
+            | PlanNodeKind::Filter { child, .. }
+            | PlanNodeKind::Project { child, .. }
+            | PlanNodeKind::HashAgg { child, .. }
+            | PlanNodeKind::StreamAgg { child, .. }
+            | PlanNodeKind::Sort { child, .. }
+            | PlanNodeKind::Limit { child, .. } => child.max_dop(),
+            PlanNodeKind::IndexNLJoin { outer, .. } => outer.max_dop(),
+            PlanNodeKind::HashJoin { left, right, .. }
+            | PlanNodeKind::MergeJoin { left, right, .. } => left.max_dop().max(right.max_dop()),
+        }
+    }
+
+    fn explain_into(&self, depth: usize, table_names: &[String], out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let tname = |t: &usize| {
+            table_names
+                .get(*t)
+                .cloned()
+                .unwrap_or_else(|| format!("t{t}"))
+        };
+        let line = match &self.kind {
+            PlanNodeKind::BTreeSeek { table, index, dop, .. } => format!(
+                "BTreeSeek {} idx#{} (dop {dop})",
+                tname(table), index.0
+            ),
+            PlanNodeKind::BTreeScan { table, index, dop } => {
+                format!("BTreeScan {} idx#{} (dop {dop})", tname(table), index.0)
+            }
+            PlanNodeKind::CsiScan {
+                table,
+                index,
+                intervals,
+                dop,
+            } => format!(
+                "CsiScan {} idx#{} [{} elim cols] (dop {dop})",
+                tname(table),
+                index.0,
+                intervals.len()
+            ),
+            PlanNodeKind::PkLookup { table, .. } => format!("PkLookup {}", tname(table)),
+            PlanNodeKind::Filter { mode, .. } => format!("Filter ({mode:?} mode)"),
+            PlanNodeKind::Project { .. } => "Project".to_string(),
+            PlanNodeKind::HashAgg { group, aggs, .. } => {
+                format!("HashAgg groups={} aggs={}", group.len(), aggs.len())
+            }
+            PlanNodeKind::StreamAgg { group, aggs, .. } => {
+                format!("StreamAgg groups={} aggs={}", group.len(), aggs.len())
+            }
+            PlanNodeKind::Sort { keys, .. } => format!("Sort keys={}", keys.len()),
+            PlanNodeKind::Limit { n, .. } => format!("Limit {n}"),
+            PlanNodeKind::HashJoin { keys, .. } => format!("HashJoin keys={}", keys.len()),
+            PlanNodeKind::MergeJoin { keys, .. } => format!("MergeJoin keys={}", keys.len()),
+            PlanNodeKind::IndexNLJoin { table, index, .. } => {
+                format!("IndexNLJoin inner={} idx#{}", tname(table), index.0)
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{pad}{line}  (rows≈{:.0}, cpu≈{:.0}us, io≈{:.0}us)",
+            self.est_rows, self.est_cpu_us, self.est_io_us
+        );
+        match &self.kind {
+            PlanNodeKind::PkLookup { child, .. }
+            | PlanNodeKind::Filter { child, .. }
+            | PlanNodeKind::Project { child, .. }
+            | PlanNodeKind::HashAgg { child, .. }
+            | PlanNodeKind::StreamAgg { child, .. }
+            | PlanNodeKind::Sort { child, .. }
+            | PlanNodeKind::Limit { child, .. } => child.explain_into(depth + 1, table_names, out),
+            PlanNodeKind::IndexNLJoin { outer, .. } => {
+                outer.explain_into(depth + 1, table_names, out)
+            }
+            PlanNodeKind::HashJoin { left, right, .. }
+            | PlanNodeKind::MergeJoin { left, right, .. } => {
+                left.explain_into(depth + 1, table_names, out);
+                right.explain_into(depth + 1, table_names, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A complete plan with its total estimated cost.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    pub root: PlanNode,
+    /// Names of the query's input tables (for explain output).
+    pub table_names: Vec<String>,
+    /// Optimizer-estimated elapsed cost in microseconds.
+    pub est_cost_us: f64,
+    /// Optimizer-estimated total CPU microseconds.
+    pub est_cpu_us: f64,
+}
+
+impl PhysicalPlan {
+    /// Leaf access kinds, in plan order (Figure 10's unit of measurement).
+    pub fn leaf_kinds(&self) -> Vec<LeafKind> {
+        let mut out = Vec::new();
+        self.root.collect_leaves(&mut out);
+        out
+    }
+
+    /// Every `(query table, index id)` the plan references.
+    pub fn index_refs(&self) -> Vec<(usize, IndexId)> {
+        let mut out = Vec::new();
+        self.root.collect_index_refs(&mut out);
+        out
+    }
+
+    /// True if the plan mixes B+ tree and columnstore accesses ("hybrid
+    /// plan" in Figure 10).
+    pub fn is_hybrid(&self) -> bool {
+        let leaves = self.leaf_kinds();
+        leaves.contains(&LeafKind::BTree) && leaves.contains(&LeafKind::Columnstore)
+    }
+
+    pub fn max_dop(&self) -> usize {
+        self.root.max_dop()
+    }
+
+    /// Readable plan tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.root.explain_into(0, &self.table_names, &mut out);
+        out
+    }
+}

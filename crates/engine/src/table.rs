@@ -1,0 +1,743 @@
+//! Tables: a primary index (B+ tree or columnstore), secondary B+ trees,
+//! and at most one secondary columnstore — the hybrid design space.
+//!
+//! Every DML operation is routed through *all* indexes, so index maintenance
+//! cost is physical, not modelled: updating a table with a secondary CSI
+//! really does pay the delete-buffer insert, and updating a primary CSI
+//! really does scan segments to locate the row (the Figure 5 asymmetry).
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use hpd_btree::{BTree, BTreeConfig};
+use hpd_columnstore::{ColumnStoreIndex, CsiConfig, CsiKind};
+use hpd_common::{Expr, HpdError, Key, Result, Row, Schema};
+use hpd_storage::{BufferPool, IoTracker, StorageAllocator};
+
+use crate::design::{IndexDescriptor, IndexId, IndexMeta};
+use crate::stats::TableStats;
+
+/// The table's main storage.
+pub enum PrimaryIndex {
+    /// Clustered B+ tree: key = `Table::pk` values, payload = full row.
+    BTree(BTree),
+    /// Clustered columnstore over all columns.
+    Csi(ColumnStoreIndex),
+}
+
+impl PrimaryIndex {
+    pub fn as_btree(&self) -> Option<&BTree> {
+        match self {
+            PrimaryIndex::BTree(t) => Some(t),
+            PrimaryIndex::Csi(_) => None,
+        }
+    }
+
+    pub fn as_csi(&self) -> Option<&ColumnStoreIndex> {
+        match self {
+            PrimaryIndex::Csi(c) => Some(c),
+            PrimaryIndex::BTree(_) => None,
+        }
+    }
+}
+
+/// A secondary B+ tree. The leaf payload stores the values of
+/// [`SecondaryBTree::stored`] (table ordinals, in that order): key columns,
+/// then includes, then the primary key locator.
+pub struct SecondaryBTree {
+    pub keys: Vec<usize>,
+    pub includes: Vec<usize>,
+    /// All physically stored columns, in payload order.
+    pub stored: Vec<usize>,
+    pub tree: BTree,
+}
+
+impl SecondaryBTree {
+    /// Position of table column `col` within the payload row, if stored.
+    pub fn payload_position(&self, col: usize) -> Option<usize> {
+        self.stored.iter().position(|&c| c == col)
+    }
+}
+
+/// One table with its full physical design.
+pub struct Table {
+    pub name: String,
+    schema: Schema,
+    pk: Vec<usize>,
+    primary: PrimaryIndex,
+    secondaries: Vec<SecondaryBTree>,
+    secondary_csi: Option<ColumnStoreIndex>,
+    /// Table ordinals stored in the secondary CSI (its schema order).
+    csi_columns: Vec<usize>,
+    stats: TableStats,
+    alloc: StorageAllocator,
+    csi_config: CsiConfig,
+    /// Last committed write timestamp per primary key (snapshot isolation).
+    row_write_ts: HashMap<Key, u64>,
+    /// Prior versions: pk → list of (start_ts, end_ts, row), end-exclusive.
+    version_store: HashMap<Key, Vec<(u64, u64, Row)>>,
+}
+
+fn stored_columns(keys: &[usize], includes: &[usize], pk: &[usize]) -> Vec<usize> {
+    let mut stored: Vec<usize> = keys.to_vec();
+    for &c in includes.iter().chain(pk) {
+        if !stored.contains(&c) {
+            stored.push(c);
+        }
+    }
+    stored
+}
+
+impl Table {
+    /// Create an empty table with the given primary index.
+    pub fn create(
+        name: impl Into<String>,
+        schema: Schema,
+        pk: Vec<usize>,
+        primary: &IndexDescriptor,
+        csi_config: CsiConfig,
+        alloc: StorageAllocator,
+    ) -> Result<Table> {
+        let primary = match primary {
+            IndexDescriptor::PrimaryBTree { keys } => {
+                if keys != &pk {
+                    return Err(HpdError::Constraint(
+                        "primary B+ tree keys must equal the table primary key".into(),
+                    ));
+                }
+                let entry_width = schema.row_width() + 16;
+                PrimaryIndex::BTree(BTree::new(
+                    BTreeConfig::for_entry_width(entry_width),
+                    alloc.clone(),
+                ))
+            }
+            IndexDescriptor::PrimaryCsi => PrimaryIndex::Csi(ColumnStoreIndex::build(
+                schema.clone(),
+                CsiKind::Primary,
+                pk.clone(),
+                csi_config,
+                &[],
+                alloc.clone(),
+                &BufferPool::unbounded(hpd_storage::DeviceProfile::ram()),
+                &IoTracker::new(),
+            )),
+            other => {
+                return Err(HpdError::Constraint(format!(
+                    "not a primary index descriptor: {other:?}"
+                )))
+            }
+        };
+        let n = schema.len();
+        Ok(Table {
+            name: name.into(),
+            schema,
+            pk,
+            primary,
+            secondaries: Vec::new(),
+            secondary_csi: None,
+            csi_columns: Vec::new(),
+            stats: TableStats::empty(n),
+            alloc,
+            csi_config,
+            row_write_ts: HashMap::new(),
+            version_store: HashMap::new(),
+        })
+    }
+
+    /// Bulk load rows into the primary index (existing secondaries are
+    /// rebuilt) and refresh statistics.
+    pub fn bulk_load(&mut self, mut rows: Vec<Row>, pool: &BufferPool, tracker: &IoTracker) -> Result<()> {
+        for r in &rows {
+            self.schema.validate_row(r)?;
+        }
+        self.stats = TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
+        match &mut self.primary {
+            PrimaryIndex::BTree(tree) => {
+                let pk = self.pk.clone();
+                let mut entries: Vec<(Key, Row)> =
+                    rows.iter().map(|r| (r.key(&pk), r.clone())).collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                let entry_width = self.schema.row_width() + 16;
+                *tree = BTree::bulk_load(
+                    BTreeConfig::for_entry_width(entry_width),
+                    self.alloc.clone(),
+                    entries,
+                    pool,
+                    tracker,
+                )?;
+            }
+            PrimaryIndex::Csi(csi) => {
+                *csi = ColumnStoreIndex::build(
+                    self.schema.clone(),
+                    CsiKind::Primary,
+                    self.pk.clone(),
+                    self.csi_config,
+                    &rows,
+                    self.alloc.clone(),
+                    pool,
+                    tracker,
+                );
+            }
+        }
+        // Rebuild secondaries.
+        let descriptors: Vec<(Vec<usize>, Vec<usize>)> = self
+            .secondaries
+            .iter()
+            .map(|s| (s.keys.clone(), s.includes.clone()))
+            .collect();
+        self.secondaries.clear();
+        for (keys, includes) in descriptors {
+            self.build_secondary_btree_from(&rows, keys, includes, pool, tracker)?;
+        }
+        if self.secondary_csi.is_some() {
+            let columns = self.csi_columns.clone();
+            self.secondary_csi = None;
+            self.build_secondary_csi_from(&rows, columns, pool, tracker)?;
+        }
+        rows.clear();
+        Ok(())
+    }
+
+    /// Build a secondary index described by `descriptor` from current data.
+    pub fn build_index(
+        &mut self,
+        descriptor: &IndexDescriptor,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<IndexId> {
+        let rows = self.scan_all_rows(pool, tracker);
+        match descriptor {
+            IndexDescriptor::SecondaryBTree { keys, includes } => {
+                self.build_secondary_btree_from(&rows, keys.clone(), includes.clone(), pool, tracker)?;
+                Ok(IndexId(self.secondaries.len()))
+            }
+            IndexDescriptor::SecondaryCsi { columns } => {
+                if self.has_csi() {
+                    return Err(HpdError::Constraint(format!(
+                        "table {}: at most one columnstore index",
+                        self.name
+                    )));
+                }
+                self.build_secondary_csi_from(&rows, columns.clone(), pool, tracker)?;
+                Ok(IndexId(self.secondaries.len() + 1))
+            }
+            other => Err(HpdError::Constraint(format!(
+                "cannot add a primary index after creation: {other:?}"
+            ))),
+        }
+    }
+
+    /// Drop all secondary indexes (used when re-tuning a design).
+    pub fn drop_secondaries(&mut self) {
+        self.secondaries.clear();
+        self.secondary_csi = None;
+    }
+
+    fn build_secondary_btree_from(
+        &mut self,
+        rows: &[Row],
+        keys: Vec<usize>,
+        includes: Vec<usize>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
+        let stored = stored_columns(&keys, &includes, &self.pk);
+        let mut entries: Vec<(Key, Row)> = rows
+            .iter()
+            .map(|r| (r.key(&keys), r.project(&stored)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let entry_width: usize = stored
+            .iter()
+            .map(|&c| self.schema.column(c).dtype.fixed_width())
+            .sum::<usize>()
+            + keys.len() * 8;
+        let tree = BTree::bulk_load(
+            BTreeConfig::for_entry_width(entry_width),
+            self.alloc.clone(),
+            entries,
+            pool,
+            tracker,
+        )?;
+        self.secondaries.push(SecondaryBTree {
+            keys,
+            includes,
+            stored,
+            tree,
+        });
+        Ok(())
+    }
+
+    fn build_secondary_csi_from(
+        &mut self,
+        rows: &[Row],
+        columns: Vec<usize>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
+        // The secondary CSI must contain the primary key for delete handling.
+        let mut cols = columns;
+        for &k in &self.pk {
+            if !cols.contains(&k) {
+                cols.push(k);
+            }
+        }
+        let csi_schema = self.schema.project(&cols);
+        let key_ordinals: Vec<usize> = self
+            .pk
+            .iter()
+            .map(|k| cols.iter().position(|c| c == k).expect("pk included above"))
+            .collect();
+        let projected: Vec<Row> = rows.iter().map(|r| r.project(&cols)).collect();
+        let csi = ColumnStoreIndex::build(
+            csi_schema,
+            CsiKind::Secondary,
+            key_ordinals,
+            self.csi_config,
+            &projected,
+            self.alloc.clone(),
+            pool,
+            tracker,
+        );
+        self.secondary_csi = Some(csi);
+        self.csi_columns = cols;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn pk(&self) -> &[usize] {
+        &self.pk
+    }
+
+    pub fn primary(&self) -> &PrimaryIndex {
+        &self.primary
+    }
+
+    pub fn secondaries(&self) -> &[SecondaryBTree] {
+        &self.secondaries
+    }
+
+    pub fn secondary_csi(&self) -> Option<&ColumnStoreIndex> {
+        self.secondary_csi.as_ref()
+    }
+
+    /// Table ordinals stored in the secondary CSI, in its schema order.
+    pub fn secondary_csi_columns(&self) -> &[usize] {
+        &self.csi_columns
+    }
+
+    pub fn has_csi(&self) -> bool {
+        matches!(self.primary, PrimaryIndex::Csi(_)) || self.secondary_csi.is_some()
+    }
+
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    pub fn row_count(&self) -> usize {
+        match &self.primary {
+            PrimaryIndex::BTree(t) => t.len(),
+            PrimaryIndex::Csi(c) => c.active_rows(),
+        }
+    }
+
+    /// Refresh statistics from current contents.
+    pub fn analyze(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+        let rows = self.scan_all_rows(pool, tracker);
+        self.stats = TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
+    }
+
+    /// What-if metadata for every materialized index: primary first, then
+    /// secondary B+ trees, then the secondary CSI.
+    pub fn metas(&self) -> Vec<IndexMeta> {
+        let mut metas = Vec::new();
+        match &self.primary {
+            PrimaryIndex::BTree(t) => {
+                let s = t.stats();
+                metas.push(IndexMeta {
+                    descriptor: IndexDescriptor::PrimaryBTree {
+                        keys: self.pk.clone(),
+                    },
+                    rows: s.entries,
+                    leaf_pages: s.leaf_pages,
+                    height: s.height,
+                    column_bytes: vec![],
+                    rowgroups: 0,
+                    delta_rows: 0,
+                    delete_buffer_rows: 0,
+                    hypothetical: false,
+                });
+            }
+            PrimaryIndex::Csi(c) => {
+                metas.push(IndexMeta {
+                    descriptor: IndexDescriptor::PrimaryCsi,
+                    rows: c.active_rows(),
+                    leaf_pages: 0,
+                    height: 0,
+                    column_bytes: c.column_sizes().into_iter().enumerate().collect(),
+                    rowgroups: c.num_rowgroups(),
+                    delta_rows: c.delta_rows(),
+                    delete_buffer_rows: 0,
+                    hypothetical: false,
+                });
+            }
+        }
+        for s in &self.secondaries {
+            let st = s.tree.stats();
+            metas.push(IndexMeta {
+                descriptor: IndexDescriptor::SecondaryBTree {
+                    keys: s.keys.clone(),
+                    includes: s.includes.clone(),
+                },
+                rows: st.entries,
+                leaf_pages: st.leaf_pages,
+                height: st.height,
+                column_bytes: vec![],
+                rowgroups: 0,
+                delta_rows: 0,
+                delete_buffer_rows: 0,
+                hypothetical: false,
+            });
+        }
+        if let Some(c) = &self.secondary_csi {
+            let sizes = c.column_sizes();
+            metas.push(IndexMeta {
+                descriptor: IndexDescriptor::SecondaryCsi {
+                    columns: self.csi_columns.clone(),
+                },
+                rows: c.active_rows(),
+                leaf_pages: 0,
+                height: 0,
+                column_bytes: self
+                    .csi_columns
+                    .iter()
+                    .copied()
+                    .zip(sizes)
+                    .collect(),
+                rowgroups: c.num_rowgroups(),
+                delta_rows: c.delta_rows(),
+                delete_buffer_rows: c.delete_buffer_len(),
+                hypothetical: false,
+            });
+        }
+        metas
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Insert one row through every index.
+    pub fn insert_row(&mut self, row: Row, pool: &BufferPool, tracker: &IoTracker) -> Result<()> {
+        self.schema.validate_row(&row)?;
+        let pk_key = row.key(&self.pk);
+        match &mut self.primary {
+            PrimaryIndex::BTree(tree) => tree.insert(pk_key.clone(), row.clone(), pool, tracker),
+            PrimaryIndex::Csi(csi) => csi.insert(row.clone(), pool, tracker),
+        }
+        for s in &mut self.secondaries {
+            s.tree
+                .insert(row.key(&s.keys), row.project(&s.stored), pool, tracker);
+        }
+        if let Some(csi) = &mut self.secondary_csi {
+            csi.insert(row.project(&self.csi_columns), pool, tracker);
+        }
+        self.stats.rows += 1;
+        Ok(())
+    }
+
+    /// Fetch the current row with this primary key. Cheap for a B+ tree
+    /// primary (seek); expensive for a primary CSI (segment scan of the key
+    /// columns with elimination).
+    pub fn fetch_by_pk(&self, key: &Key, pool: &BufferPool, tracker: &IoTracker) -> Option<Row> {
+        match &self.primary {
+            PrimaryIndex::BTree(tree) => tree.seek_exact(key, pool, tracker).into_iter().next(),
+            PrimaryIndex::Csi(csi) => {
+                let intervals: std::collections::HashMap<usize, hpd_common::Interval> = self
+                    .pk
+                    .iter()
+                    .zip(key.values())
+                    .map(|(&c, v)| (c, hpd_common::Interval::point(v.clone())))
+                    .collect();
+                let all: Vec<usize> = (0..self.schema.len()).collect();
+                let pk = self.pk.clone();
+                for batch in csi.scan_collect(&all, &intervals, pool, tracker) {
+                    for i in 0..batch.num_rows() {
+                        let row = batch.row(i);
+                        if &row.key(&pk) == key {
+                            return Some(row);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Delete the row with this primary key from every index.
+    pub fn delete_by_pk(&mut self, key: &Key, pool: &BufferPool, tracker: &IoTracker) -> Result<bool> {
+        // Fetch + delete from the primary in one pass where possible: a
+        // primary CSI locates the physical row by scanning key segments, so
+        // a separate fetch would double that cost.
+        let old = match &mut self.primary {
+            PrimaryIndex::BTree(tree) => {
+                let old = tree.seek_exact(key, pool, tracker).into_iter().next();
+                if old.is_some() {
+                    tree.delete_first_where(key, |_| true, pool, tracker);
+                }
+                old
+            }
+            PrimaryIndex::Csi(csi) => csi.delete_returning(key, pool, tracker),
+        };
+        let Some(old) = old else {
+            return Ok(false);
+        };
+        let pk = self.pk.clone();
+        for s in &mut self.secondaries {
+            let skey = old.key(&s.keys);
+            let locator_positions: Vec<usize> = pk
+                .iter()
+                .map(|&k| s.payload_position(k).expect("pk stored in secondary"))
+                .collect();
+            s.tree.delete_first_where(
+                &skey,
+                |payload| {
+                    locator_positions
+                        .iter()
+                        .zip(key.values())
+                        .all(|(&p, v)| &payload[p] == v)
+                },
+                pool,
+                tracker,
+            );
+        }
+        if let Some(csi) = &mut self.secondary_csi {
+            csi.delete(key, pool, tracker);
+        }
+        self.stats.rows = self.stats.rows.saturating_sub(1);
+        Ok(true)
+    }
+
+    /// Update the row with this primary key: `set` expressions are evaluated
+    /// over the old row. The primary key itself must not change.
+    pub fn update_by_pk(
+        &mut self,
+        key: &Key,
+        set: &[(usize, Expr)],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<bool> {
+        // Primary CSI: fetch + delete in one locating pass, then re-insert.
+        if let PrimaryIndex::Csi(csi) = &mut self.primary {
+            let Some(old) = csi.delete_returning(key, pool, tracker) else {
+                return Ok(false);
+            };
+            let mut new_row = old.clone();
+            for (col, expr) in set {
+                if self.pk.contains(col) {
+                    return Err(HpdError::Constraint(
+                        "updating primary key columns is not supported".into(),
+                    ));
+                }
+                let dtype = self.schema.column(*col).dtype;
+                let v = expr.eval_row(&old)?;
+                let v = v.coerce_to(dtype).ok_or(HpdError::TypeMismatch {
+                    expected: dtype.name(),
+                    found: v.data_type().name().to_string(),
+                })?;
+                new_row.set(*col, v);
+            }
+            if let PrimaryIndex::Csi(csi) = &mut self.primary {
+                csi.insert(new_row.clone(), pool, tracker);
+            }
+            self.finish_update_secondaries(key, &old, new_row, set, pool, tracker)?;
+            return Ok(true);
+        }
+        let Some(old) = self.fetch_by_pk(key, pool, tracker) else {
+            return Ok(false);
+        };
+        let mut new_row = old.clone();
+        for (col, expr) in set {
+            if self.pk.contains(col) {
+                return Err(HpdError::Constraint(
+                    "updating primary key columns is not supported".into(),
+                ));
+            }
+            let dtype = self.schema.column(*col).dtype;
+            let v = expr.eval_row(&old)?;
+            let v = v.coerce_to(dtype).ok_or(HpdError::TypeMismatch {
+                expected: dtype.name(),
+                found: v.data_type().name().to_string(),
+            })?;
+            new_row.set(*col, v);
+        }
+        self.apply_update(key, &old, new_row, set, pool, tracker)?;
+        Ok(true)
+    }
+
+    /// Apply a precomputed update (used by the transaction manager, which
+    /// evaluates `set` at statement time but applies at commit).
+    pub fn apply_update(
+        &mut self,
+        key: &Key,
+        old: &Row,
+        new_row: Row,
+        set: &[(usize, Expr)],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
+        match &mut self.primary {
+            PrimaryIndex::BTree(tree) => {
+                let nr = new_row.clone();
+                tree.update_where(
+                    key,
+                    |row| {
+                        *row = nr.clone();
+                        true
+                    },
+                    pool,
+                    tracker,
+                );
+            }
+            PrimaryIndex::Csi(csi) => {
+                csi.update(key, new_row.clone(), pool, tracker);
+            }
+        }
+        self.finish_update_secondaries(key, old, new_row, set, pool, tracker)
+    }
+
+    /// Propagate an already-applied primary update into the secondary
+    /// indexes (B+ trees touched by the change, and the secondary CSI).
+    fn finish_update_secondaries(
+        &mut self,
+        key: &Key,
+        old: &Row,
+        new_row: Row,
+        set: &[(usize, Expr)],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
+        let changed: Vec<usize> = set.iter().map(|(c, _)| *c).collect();
+        let pk = self.pk.clone();
+        for s in &mut self.secondaries {
+            if !changed.iter().any(|c| s.stored.contains(c)) {
+                continue; // index untouched by this update
+            }
+            let locator_positions: Vec<usize> = pk
+                .iter()
+                .map(|&k| s.payload_position(k).expect("pk stored in secondary"))
+                .collect();
+            let old_key = old.key(&s.keys);
+            s.tree.delete_first_where(
+                &old_key,
+                |payload| {
+                    locator_positions
+                        .iter()
+                        .zip(key.values())
+                        .all(|(&p, v)| &payload[p] == v)
+                },
+                pool,
+                tracker,
+            );
+            s.tree.insert(
+                new_row.key(&s.keys),
+                new_row.project(&s.stored),
+                pool,
+                tracker,
+            );
+        }
+        if let Some(csi) = &mut self.secondary_csi {
+            if changed
+                .iter()
+                .any(|c| self.csi_columns.contains(c))
+            {
+                csi.update(key, new_row.project(&self.csi_columns), pool, tracker);
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize all current rows (index builds, analyze).
+    pub fn scan_all_rows(&self, pool: &BufferPool, tracker: &IoTracker) -> Vec<Row> {
+        match &self.primary {
+            PrimaryIndex::BTree(tree) => tree
+                .scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker)
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect(),
+            PrimaryIndex::Csi(csi) => {
+                let all: Vec<usize> = (0..self.schema.len()).collect();
+                let mut rows = Vec::new();
+                for batch in csi.scan_collect(&all, &std::collections::HashMap::new(), pool, tracker)
+                {
+                    rows.extend(batch.to_rows());
+                }
+                rows
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Version store (snapshot isolation)
+    // ------------------------------------------------------------------
+
+    /// Record that a write at commit timestamp `ts` replaced `old` (or
+    /// created the row, if `old` is `None`).
+    pub fn record_version(&mut self, key: Key, old: Option<Row>, ts: u64) {
+        let start = self.row_write_ts.get(&key).copied().unwrap_or(0);
+        if let Some(old_row) = old {
+            self.version_store
+                .entry(key.clone())
+                .or_default()
+                .push((start, ts, old_row));
+        }
+        self.row_write_ts.insert(key, ts);
+    }
+
+    /// Timestamp of the last committed write to this row (0 if never
+    /// rewritten since load).
+    pub fn last_write_ts(&self, key: &Key) -> u64 {
+        self.row_write_ts.get(key).copied().unwrap_or(0)
+    }
+
+    /// The row version visible at snapshot `ts`, when the current version is
+    /// too new. `None` means the row did not exist at `ts`.
+    pub fn version_at(&self, key: &Key, ts: u64) -> Option<&Row> {
+        self.version_store.get(key).and_then(|versions| {
+            versions
+                .iter()
+                .find(|(start, end, _)| *start <= ts && ts < *end)
+                .map(|(_, _, row)| row)
+        })
+    }
+
+    /// Primary keys whose last committed write is newer than `ts` (the rows
+    /// a snapshot reader at `ts` must correct).
+    pub fn rewritten_since(&self, ts: u64) -> Vec<Key> {
+        self.row_write_ts
+            .iter()
+            .filter(|(_, &w)| w > ts)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Discard versions no snapshot older than `oldest_active` can need.
+    pub fn prune_versions(&mut self, oldest_active: u64) {
+        self.version_store.retain(|_, versions| {
+            versions.retain(|(_, end, _)| *end > oldest_active);
+            !versions.is_empty()
+        });
+    }
+
+    /// Number of retained old versions (diagnostics / SI overhead tests).
+    pub fn version_count(&self) -> usize {
+        self.version_store.values().map(Vec::len).sum()
+    }
+}

@@ -1,0 +1,192 @@
+//! Property test: the full engine (planner + executor, across physical
+//! designs) must agree with a naive reference evaluator on randomly
+//! generated single-table SPJA queries.
+
+use std::collections::HashMap;
+
+use hpd_common::{AggFunc, CmpOp, DataType, Expr, Row, Schema, Value};
+use hpd_engine::{
+    AggItem, ColRef, Database, DbConfig, IndexDescriptor, SelectQuery, Statement, TableInput,
+};
+use proptest::prelude::*;
+
+const COLS: usize = 3;
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("a", DataType::Int32),
+        ("b", DataType::Int32),
+        ("c", DataType::Int32),
+    ])
+}
+
+/// Reference evaluation: filter + (aggregate | project) + sort + limit over
+/// plain vectors.
+fn reference(rows: &[Vec<i32>], q: &QuerySpec) -> Vec<Vec<i64>> {
+    let filtered: Vec<&Vec<i32>> = rows
+        .iter()
+        .filter(|r| {
+            q.predicate
+                .iter()
+                .all(|&(col, op, v)| match op {
+                    0 => r[col] == v,
+                    1 => r[col] < v,
+                    _ => r[col] >= v,
+                })
+        })
+        .collect();
+    let mut out: Vec<Vec<i64>> = match q.group_by {
+        Some(g) => {
+            let mut groups: HashMap<i32, (i64, i64)> = HashMap::new();
+            for r in &filtered {
+                let e = groups.entry(r[g]).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += i64::from(r[q.agg_col]);
+            }
+            groups
+                .into_iter()
+                .map(|(k, (cnt, sum))| vec![i64::from(k), cnt, sum])
+                .collect()
+        }
+        None => filtered
+            .iter()
+            .map(|r| r.iter().map(|&v| i64::from(v)).collect())
+            .collect(),
+    };
+    out.sort();
+    if let Some(n) = q.limit {
+        out.truncate(n);
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    /// (column, op: 0 eq / 1 lt / 2 ge, literal)
+    predicate: Vec<(usize, u8, i32)>,
+    group_by: Option<usize>,
+    agg_col: usize,
+    limit: Option<usize>,
+}
+
+impl QuerySpec {
+    fn to_query(&self) -> SelectQuery {
+        let pred = if self.predicate.is_empty() {
+            None
+        } else {
+            Some(Expr::And(
+                self.predicate
+                    .iter()
+                    .map(|&(col, op, v)| {
+                        let cmp = match op {
+                            0 => CmpOp::Eq,
+                            1 => CmpOp::Lt,
+                            _ => CmpOp::Ge,
+                        };
+                        Expr::col_cmp(col, cmp, Value::Int32(v))
+                    })
+                    .collect(),
+            ))
+        };
+        match self.group_by {
+            Some(g) => SelectQuery {
+                tables: vec![match &pred {
+                    Some(p) => TableInput::with_predicate("t", p.clone()),
+                    None => TableInput::new("t"),
+                }],
+                group_by: vec![ColRef::new(0, g)],
+                aggregates: vec![
+                    AggItem::column(AggFunc::Count, ColRef::new(0, 0)),
+                    AggItem::column(AggFunc::Sum, ColRef::new(0, self.agg_col)),
+                ],
+                ..Default::default()
+            },
+            None => SelectQuery {
+                tables: vec![match &pred {
+                    Some(p) => TableInput::with_predicate("t", p.clone()),
+                    None => TableInput::new("t"),
+                }],
+                select: (0..COLS).map(|c| ColRef::new(0, c)).collect(),
+                // The reference sorts output; limit only with a total order,
+                // which we do not request — so apply limit post-hoc there.
+                ..Default::default()
+            },
+        }
+    }
+}
+
+fn engine_rows(db: &Database, q: &QuerySpec) -> Vec<Vec<i64>> {
+    let result = db
+        .execute(&Statement::Select(q.to_query()))
+        .expect("query execution");
+    let mut rows: Vec<Vec<i64>> = result
+        .rows
+        .iter()
+        .map(|r| r.values().iter().map(|v| v.as_i64().unwrap()).collect())
+        .collect();
+    rows.sort();
+    if let Some(n) = q.limit {
+        rows.truncate(n);
+    }
+    rows
+}
+
+fn query_strategy() -> impl Strategy<Value = QuerySpec> {
+    (
+        prop::collection::vec((0..COLS, 0u8..3, -5i32..30), 0..3),
+        prop::option::of(0..COLS),
+        0..COLS,
+        prop::option::of(1usize..20),
+    )
+        .prop_map(|(predicate, group_by, agg_col, limit)| QuerySpec {
+            predicate,
+            group_by,
+            agg_col,
+            limit,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_reference_on_random_queries(
+        data in prop::collection::vec((0i32..25, 0i32..25, 0i32..25), 1..400),
+        queries in prop::collection::vec(query_strategy(), 1..4),
+    ) {
+        let raw: Vec<Vec<i32>> = data.iter().map(|&(a, b, c)| vec![a, b, c]).collect();
+        // Keys must be unique for DML-capable tables; uniquify column a.
+        let raw: Vec<Vec<i32>> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r[0] = i as i32; // pk column
+                r
+            })
+            .collect();
+        let rows: Vec<Row> = raw
+            .iter()
+            .map(|r| Row::new(r.iter().map(|&v| Value::Int32(v)).collect()))
+            .collect();
+
+        let mut cfg = DbConfig::default();
+        cfg.csi.rowgroup_capacity = 64;
+        let db_bt = Database::new(cfg.clone());
+        db_bt.create_table("t", schema(), vec![0], IndexDescriptor::PrimaryBTree { keys: vec![0] }).unwrap();
+        db_bt.load_table("t", rows.clone()).unwrap();
+        // Secondary index on b to exercise seek + lookup plans.
+        db_bt.create_index("t", &IndexDescriptor::SecondaryBTree { keys: vec![1], includes: vec![] }).unwrap();
+
+        let db_cs = Database::new(cfg);
+        db_cs.create_table("t", schema(), vec![0], IndexDescriptor::PrimaryCsi).unwrap();
+        db_cs.load_table("t", rows).unwrap();
+
+        for q in &queries {
+            let expected = reference(&raw, q);
+            let got_bt = engine_rows(&db_bt, q);
+            let got_cs = engine_rows(&db_cs, q);
+            prop_assert_eq!(&got_bt, &expected, "btree design diverged on {:?}", q);
+            prop_assert_eq!(&got_cs, &expected, "csi design diverged on {:?}", q);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Query working-memory grants.
+//!
+//! SQL Server grants each query a bounded working memory; hash and sort
+//! operators that exceed it fall back to disk-based algorithms. Operators
+//! here reserve bytes against a shared [`MemoryGrant`]; a failed reservation
+//! is the spill signal.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared, thread-safe memory budget for one query execution.
+#[derive(Debug, Clone)]
+pub struct MemoryGrant {
+    inner: Arc<GrantInner>,
+}
+
+#[derive(Debug)]
+struct GrantInner {
+    limit: usize,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemoryGrant {
+    pub fn new(limit_bytes: usize) -> MemoryGrant {
+        MemoryGrant {
+            inner: Arc::new(GrantInner {
+                limit: limit_bytes,
+                used: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    pub fn limit_bytes(&self) -> usize {
+        self.inner.limit
+    }
+
+    /// Try to reserve `bytes`; returns false (reserving nothing) if the
+    /// grant would be exceeded.
+    pub fn try_reserve(&self, bytes: usize) -> bool {
+        let mut cur = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = cur.checked_add(bytes) else {
+                return false;
+            };
+            if next > self.inner.limit {
+                return false;
+            }
+            match self.inner.used.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(next, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release previously reserved bytes.
+    pub fn release(&self, bytes: usize) {
+        let prev = self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "releasing more than reserved");
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark — the "memory used" series of the paper's Fig. 3(b).
+    pub fn peak_bytes(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_until_limit() {
+        let g = MemoryGrant::new(100);
+        assert!(g.try_reserve(60));
+        assert!(!g.try_reserve(50));
+        assert!(g.try_reserve(40));
+        assert_eq!(g.used_bytes(), 100);
+        assert_eq!(g.peak_bytes(), 100);
+        g.release(100);
+        assert_eq!(g.used_bytes(), 0);
+        assert_eq!(g.peak_bytes(), 100, "peak persists");
+    }
+
+    #[test]
+    fn clones_share_budget() {
+        let g = MemoryGrant::new(10);
+        let g2 = g.clone();
+        assert!(g.try_reserve(8));
+        assert!(!g2.try_reserve(5));
+        g.release(8);
+        assert!(g2.try_reserve(5));
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_limit() {
+        let g = MemoryGrant::new(1000);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut held = 0usize;
+                for _ in 0..1000 {
+                    if g.try_reserve(3) {
+                        held += 3;
+                    }
+                }
+                held
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total <= 1000);
+        assert_eq!(g.used_bytes(), total);
+    }
+}

@@ -1,0 +1,457 @@
+//! Join operators: hash join (grace spill), merge join (sorted inputs,
+//! streaming), nested-loop join, and index-lookup join (the "index seek +
+//! nested loops" pattern of the paper's hybrid plans, §5.3).
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use hpd_btree::BTree;
+use hpd_common::{Batch, DataType, Expr, Key, Result, Row, Value};
+
+use crate::ctx::ExecCtx;
+use crate::ops::{Operator, PlanNode};
+
+/// Bytes charged per build-side hash table entry beyond the row payload.
+const HASH_ENTRY_OVERHEAD: usize = 48;
+const SPILL_PARTITIONS: usize = 16;
+
+fn concat_rows(left: &Row, right: &Row) -> Row {
+    let mut vals: Vec<Value> = Vec::with_capacity(left.len() + right.len());
+    vals.extend_from_slice(left.values());
+    vals.extend_from_slice(right.values());
+    Row::new(vals)
+}
+
+/// Inner equi hash join. The **right** child is the build side.
+///
+/// Build entries accumulate against the memory grant; once exhausted, the
+/// remaining build rows are hash-partitioned to spill files, and probe rows
+/// falling in spilled partitions are spilled alongside and joined in a
+/// second pass (hybrid grace hash join).
+pub struct HashJoinOp<'a> {
+    left: PlanNode<'a>,
+    right: PlanNode<'a>,
+    /// Pairs of (left column, right column) equality keys.
+    keys: Vec<(usize, usize)>,
+    types: Vec<DataType>,
+    output: Option<std::vec::IntoIter<Batch>>,
+}
+
+impl<'a> HashJoinOp<'a> {
+    pub fn new(
+        left: PlanNode<'a>,
+        right: PlanNode<'a>,
+        keys: Vec<(usize, usize)>,
+    ) -> HashJoinOp<'a> {
+        let mut types = left.out_types();
+        types.extend(right.out_types());
+        HashJoinOp {
+            left,
+            right,
+            keys,
+            types,
+            output: None,
+        }
+    }
+
+    fn run(&mut self, ctx: &ExecCtx<'_>) -> Result<Vec<Batch>> {
+        let right_keys: Vec<usize> = self.keys.iter().map(|&(_, r)| r).collect();
+        let left_keys: Vec<usize> = self.keys.iter().map(|&(l, _)| l).collect();
+
+        // Build phase.
+        let mut table: HashMap<Key, Vec<Row>> = HashMap::new();
+        let mut reserved = 0usize;
+        let mut spilled_build: Option<Vec<(hpd_storage::SpillFile, Vec<Row>)>> = None;
+        while let Some(batch) = self.right.next(ctx)? {
+            for i in 0..batch.num_rows() {
+                let row = batch.row(i);
+                let key = row.key(&right_keys);
+                let bytes = row.byte_width() + HASH_ENTRY_OVERHEAD;
+                if spilled_build.is_none() && !ctx.grant.try_reserve(bytes) {
+                    spilled_build = Some(
+                        (0..SPILL_PARTITIONS)
+                            .map(|_| (ctx.spill.create_file(), Vec::new()))
+                            .collect(),
+                    );
+                }
+                match spilled_build.as_mut() {
+                    Some(parts) => {
+                        let p = partition_of(&key);
+                        parts[p].0.write(row.byte_width() as u64, &ctx.tracker);
+                        parts[p].1.push(row);
+                    }
+                    None => {
+                        reserved += bytes;
+                        table.entry(key).or_default().push(row);
+                    }
+                }
+            }
+        }
+
+        // Probe phase.
+        let mut out_rows: Vec<Row> = Vec::new();
+        let mut spilled_probe: Vec<Vec<Row>> = vec![Vec::new(); SPILL_PARTITIONS];
+        let mut probe_files: Vec<Option<hpd_storage::SpillFile>> =
+            (0..SPILL_PARTITIONS).map(|_| None).collect();
+        while let Some(batch) = self.left.next(ctx)? {
+            for i in 0..batch.num_rows() {
+                let row = batch.row(i);
+                let key = row.key(&left_keys);
+                if let Some(matches) = table.get(&key) {
+                    for m in matches {
+                        out_rows.push(concat_rows(&row, m));
+                    }
+                }
+                if let Some(parts) = spilled_build.as_ref() {
+                    let p = partition_of(&key);
+                    if !parts[p].1.is_empty() {
+                        probe_files[p]
+                            .get_or_insert_with(|| ctx.spill.create_file())
+                            .write(row.byte_width() as u64, &ctx.tracker);
+                        spilled_probe[p].push(row);
+                    }
+                }
+            }
+        }
+        ctx.grant.release(reserved);
+        drop(table);
+
+        // Second pass over spilled partitions.
+        if let Some(parts) = spilled_build {
+            for (p, (build_file, build_rows)) in parts.into_iter().enumerate() {
+                if build_rows.is_empty() {
+                    continue;
+                }
+                build_file.read_all(&ctx.tracker);
+                if let Some(f) = &probe_files[p] {
+                    f.read_all(&ctx.tracker);
+                }
+                let mut part_table: HashMap<Key, Vec<Row>> = HashMap::new();
+                for row in build_rows {
+                    part_table.entry(row.key(&right_keys)).or_default().push(row);
+                }
+                for row in std::mem::take(&mut spilled_probe[p]) {
+                    if let Some(matches) = part_table.get(&row.key(&left_keys)) {
+                        for m in matches {
+                            out_rows.push(concat_rows(&row, m));
+                        }
+                    }
+                }
+            }
+        }
+
+        rows_to_batches(&self.types, out_rows)
+    }
+}
+
+fn partition_of(key: &Key) -> usize {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SPILL_PARTITIONS
+}
+
+fn rows_to_batches(types: &[DataType], rows: Vec<Row>) -> Result<Vec<Batch>> {
+    let mut batches = Vec::new();
+    for chunk in rows.chunks(4096) {
+        batches.push(Batch::from_rows(types, chunk)?);
+    }
+    Ok(batches)
+}
+
+impl Operator for HashJoinOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let batches = self.run(ctx)?;
+            self.output = Some(batches.into_iter());
+        }
+        Ok(self.output.as_mut().expect("initialized above").next())
+    }
+}
+
+/// Streaming merge join over inputs sorted ascending on their join keys.
+/// Only the current duplicate group of each side is buffered.
+pub struct MergeJoinOp<'a> {
+    left: RowFeed<'a>,
+    right: RowFeed<'a>,
+    keys: Vec<(usize, usize)>,
+    types: Vec<DataType>,
+    pending: Vec<Row>,
+    done: bool,
+}
+
+/// Pull-side adapter turning batches into a row stream with lookahead.
+struct RowFeed<'a> {
+    child: PlanNode<'a>,
+    buf: std::collections::VecDeque<Row>,
+    exhausted: bool,
+}
+
+impl<'a> RowFeed<'a> {
+    fn new(child: PlanNode<'a>) -> RowFeed<'a> {
+        RowFeed {
+            child,
+            buf: std::collections::VecDeque::new(),
+            exhausted: false,
+        }
+    }
+
+    fn peek(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<&Row>> {
+        while self.buf.is_empty() && !self.exhausted {
+            match self.child.next(ctx)? {
+                None => self.exhausted = true,
+                Some(b) => self.buf.extend(b.to_rows()),
+            }
+        }
+        Ok(self.buf.front())
+    }
+
+    fn pop(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        self.peek(ctx)?;
+        Ok(self.buf.pop_front())
+    }
+
+    /// Pop every leading row whose key equals `key`.
+    fn pop_group(&mut self, key: &Key, ords: &[usize], ctx: &ExecCtx<'_>) -> Result<Vec<Row>> {
+        let mut group = Vec::new();
+        while let Some(row) = self.peek(ctx)? {
+            if &row.key(ords) != key {
+                break;
+            }
+            group.push(self.pop(ctx)?.expect("peeked"));
+        }
+        Ok(group)
+    }
+}
+
+impl<'a> MergeJoinOp<'a> {
+    pub fn new(
+        left: PlanNode<'a>,
+        right: PlanNode<'a>,
+        keys: Vec<(usize, usize)>,
+    ) -> MergeJoinOp<'a> {
+        let mut types = left.out_types();
+        types.extend(right.out_types());
+        MergeJoinOp {
+            left: RowFeed::new(left),
+            right: RowFeed::new(right),
+            keys,
+            types,
+            pending: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+impl Operator for MergeJoinOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        let lk: Vec<usize> = self.keys.iter().map(|&(l, _)| l).collect();
+        let rk: Vec<usize> = self.keys.iter().map(|&(_, r)| r).collect();
+        while self.pending.is_empty() && !self.done {
+            let (Some(l), Some(r)) = ({
+                // Split borrows: peek both sides.
+                let l = self.left.peek(ctx)?.cloned();
+                let r = self.right.peek(ctx)?.cloned();
+                (l, r)
+            }) else {
+                self.done = true;
+                break;
+            };
+            let (lkey, rkey) = (l.key(&lk), r.key(&rk));
+            match lkey.cmp(&rkey) {
+                std::cmp::Ordering::Less => {
+                    self.left.pop(ctx)?;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.right.pop(ctx)?;
+                }
+                std::cmp::Ordering::Equal => {
+                    let lgroup = self.left.pop_group(&lkey, &lk, ctx)?;
+                    let rgroup = self.right.pop_group(&rkey, &rk, ctx)?;
+                    for a in &lgroup {
+                        for b in &rgroup {
+                            self.pending.push(concat_rows(a, b));
+                        }
+                    }
+                }
+            }
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let rows = std::mem::take(&mut self.pending);
+        Ok(Some(Batch::from_rows(&self.types, &rows)?))
+    }
+}
+
+/// Nested-loop join with an arbitrary residual predicate evaluated over the
+/// concatenated row (`left ++ right` ordinals). The right side is
+/// materialized once.
+pub struct NestedLoopJoinOp<'a> {
+    left: PlanNode<'a>,
+    right: PlanNode<'a>,
+    predicate: Option<Expr>,
+    types: Vec<DataType>,
+    inner: Option<Vec<Row>>,
+    pending: Vec<Row>,
+    done: bool,
+}
+
+impl<'a> NestedLoopJoinOp<'a> {
+    pub fn new(
+        left: PlanNode<'a>,
+        right: PlanNode<'a>,
+        predicate: Option<Expr>,
+    ) -> NestedLoopJoinOp<'a> {
+        let mut types = left.out_types();
+        types.extend(right.out_types());
+        NestedLoopJoinOp {
+            left,
+            right,
+            predicate,
+            types,
+            inner: None,
+            pending: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+impl Operator for NestedLoopJoinOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.inner.is_none() {
+            let mut rows = Vec::new();
+            while let Some(b) = self.right.next(ctx)? {
+                rows.extend(b.to_rows());
+            }
+            self.inner = Some(rows);
+        }
+        let inner = self.inner.as_ref().expect("materialized above");
+        while self.pending.is_empty() && !self.done {
+            match self.left.next(ctx)? {
+                None => self.done = true,
+                Some(batch) => {
+                    for i in 0..batch.num_rows() {
+                        let l = batch.row(i);
+                        for r in inner {
+                            let joined = concat_rows(&l, r);
+                            let keep = match &self.predicate {
+                                Some(p) => p.eval_bool_row(&joined)?,
+                                None => true,
+                            };
+                            if keep {
+                                self.pending.push(joined);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let rows = std::mem::take(&mut self.pending);
+        Ok(Some(Batch::from_rows(&self.types, &rows)?))
+    }
+}
+
+/// Index nested-loop join: for each outer row, seek a B+ tree on a key
+/// formed from outer columns and emit `outer ++ payload` for every match.
+/// This is the plan shape DTA's hybrid recommendations exploit: selective
+/// dimension predicates drive cheap seeks into a large fact-table index.
+pub struct IndexLookupJoinOp<'a> {
+    outer: PlanNode<'a>,
+    tree: &'a BTree,
+    /// Outer column ordinals forming the seek key (a prefix of the tree key).
+    key_columns: Vec<usize>,
+    types: Vec<DataType>,
+    pending: Vec<Row>,
+    done: bool,
+}
+
+impl<'a> IndexLookupJoinOp<'a> {
+    pub fn new(
+        outer: PlanNode<'a>,
+        tree: &'a BTree,
+        key_columns: Vec<usize>,
+        payload_types: Vec<DataType>,
+    ) -> IndexLookupJoinOp<'a> {
+        let mut types = outer.out_types();
+        types.extend(payload_types.iter().copied());
+        IndexLookupJoinOp {
+            outer,
+            tree,
+            key_columns,
+            types,
+            pending: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Seek every payload whose tree key starts with `prefix`. The scan is
+    /// bounded above by `prefix ++ sentinel`, so exactly the matching
+    /// entries are pulled (a probe that matches one row touches one row).
+    fn seek_prefix(&self, prefix: &Key, ctx: &ExecCtx<'_>) -> Vec<Row> {
+        let mut out = Vec::new();
+        let mut cursor = self
+            .tree
+            .cursor_seek(Bound::Included(prefix), ctx.pool, &ctx.tracker);
+        let mut hi_vals = prefix.values().to_vec();
+        hi_vals.push(hpd_common::Value::sentinel_max());
+        let hi = Key::new(hi_vals);
+        loop {
+            let exhausted = self.tree.cursor_fill_rows(
+                &mut cursor,
+                Bound::Included(&hi),
+                64,
+                &mut out,
+                ctx.pool,
+                &ctx.tracker,
+            );
+            if exhausted {
+                return out;
+            }
+        }
+    }
+}
+
+impl Operator for IndexLookupJoinOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        while self.pending.is_empty() && !self.done {
+            match self.outer.next(ctx)? {
+                None => self.done = true,
+                Some(batch) => {
+                    for i in 0..batch.num_rows() {
+                        let outer_row = batch.row(i);
+                        let key = outer_row.key(&self.key_columns);
+                        for payload in self.seek_prefix(&key, ctx) {
+                            self.pending.push(concat_rows(&outer_row, &payload));
+                        }
+                    }
+                }
+            }
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let rows = std::mem::take(&mut self.pending);
+        Ok(Some(Batch::from_rows(&self.types, &rows)?))
+    }
+}

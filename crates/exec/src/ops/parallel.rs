@@ -1,0 +1,91 @@
+//! Intra-query parallelism: run N worker sub-plans on real threads and
+//! gather their batches.
+//!
+//! The planner chooses the degree of parallelism (DOP); a serial plan skips
+//! this operator entirely. Each worker's busy time is accumulated into the
+//! context so "CPU time" counts total work while wall time reflects the
+//! parallel speedup — the split visible between Figures 1(a) and 1(b) of the
+//! paper, where switching to a parallel plan drops execution time but jumps
+//! CPU time.
+
+use std::time::Instant;
+
+use hpd_common::{Batch, DataType, HpdError, Result};
+
+use crate::ctx::ExecCtx;
+use crate::ops::{collect, Operator, PlanNode};
+
+/// Executes worker sub-plans concurrently and yields their output batches.
+pub struct ParallelOp<'a> {
+    workers: Vec<PlanNode<'a>>,
+    types: Vec<DataType>,
+    output: Option<std::vec::IntoIter<Batch>>,
+}
+
+impl<'a> ParallelOp<'a> {
+    /// `workers` must all produce the same output schema.
+    pub fn new(workers: Vec<PlanNode<'a>>) -> ParallelOp<'a> {
+        assert!(!workers.is_empty(), "ParallelOp needs at least one worker");
+        let types = workers[0].out_types();
+        debug_assert!(workers.iter().all(|w| w.out_types() == types));
+        ParallelOp {
+            workers,
+            types,
+            output: None,
+        }
+    }
+
+    pub fn dop(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn run(&mut self, ctx: &ExecCtx<'_>) -> Result<Vec<Batch>> {
+        let workers = std::mem::take(&mut self.workers);
+        if workers.len() == 1 {
+            // Degenerate DOP 1: run inline.
+            let mut w = workers;
+            return collect(w[0].as_mut(), ctx);
+        }
+        let scope_start = Instant::now();
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|mut w| {
+                    let wctx = ctx.clone();
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let out = collect(w.as_mut(), &wctx);
+                        wctx.add_worker_cpu(start.elapsed());
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect::<Vec<Result<Vec<Batch>>>>()
+        })
+        .map_err(|_| HpdError::Internal("parallel scope panicked".into()))?;
+        ctx.add_parallel_wall(scope_start.elapsed());
+
+        let mut batches = Vec::new();
+        for r in results {
+            batches.extend(r?);
+        }
+        Ok(batches)
+    }
+}
+
+impl Operator for ParallelOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let batches = self.run(ctx)?;
+            self.output = Some(batches.into_iter());
+        }
+        Ok(self.output.as_mut().expect("initialized above").next())
+    }
+}

@@ -1,0 +1,220 @@
+//! Access-path operators: B+ tree range scans (row mode), columnstore scans
+//! (batch mode), and an in-memory values source.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+use std::sync::Arc;
+
+use hpd_btree::{BTree, Cursor};
+use hpd_columnstore::ColumnStoreIndex;
+use hpd_common::{Batch, DataType, Interval, Key, Result, Row};
+
+use crate::ctx::ExecCtx;
+use crate::ops::Operator;
+
+/// Rows a row-mode operator materializes per output batch.
+pub const ROW_MODE_BATCH: usize = 512;
+
+/// An in-memory batch source (materialized inputs, tests, VALUES lists).
+pub struct ValuesOp {
+    types: Vec<DataType>,
+    batches: std::vec::IntoIter<Batch>,
+}
+
+impl ValuesOp {
+    pub fn new(types: Vec<DataType>, batches: Vec<Batch>) -> ValuesOp {
+        ValuesOp {
+            types,
+            batches: batches.into_iter(),
+        }
+    }
+
+    pub fn from_rows(types: Vec<DataType>, rows: &[Row]) -> Result<ValuesOp> {
+        let batch = Batch::from_rows(&types, rows)?;
+        Ok(ValuesOp::new(types, vec![batch]))
+    }
+}
+
+impl Operator for ValuesOp {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, _ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        Ok(self.batches.next())
+    }
+}
+
+/// Row-mode range scan over a B+ tree. Emits the tree's payload rows for
+/// keys in `[lo, hi]`; the payload is the full row for a primary index or a
+/// locator row for a secondary index.
+pub struct BTreeRangeScanOp<'a> {
+    tree: &'a BTree,
+    types: Vec<DataType>,
+    lo: Bound<Key>,
+    hi: Bound<Key>,
+    cursor: Option<Cursor>,
+    done: bool,
+}
+
+impl<'a> BTreeRangeScanOp<'a> {
+    pub fn new(
+        tree: &'a BTree,
+        types: Vec<DataType>,
+        lo: Bound<Key>,
+        hi: Bound<Key>,
+    ) -> BTreeRangeScanOp<'a> {
+        BTreeRangeScanOp {
+            tree,
+            types,
+            lo,
+            hi,
+            cursor: None,
+            done: false,
+        }
+    }
+
+    /// Full scan of the leaf level.
+    pub fn full(tree: &'a BTree, types: Vec<DataType>) -> BTreeRangeScanOp<'a> {
+        BTreeRangeScanOp::new(tree, types, Bound::Unbounded, Bound::Unbounded)
+    }
+}
+
+impl Operator for BTreeRangeScanOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.cursor.is_none() {
+            self.cursor = Some(
+                self.tree
+                    .cursor_seek(bound_ref(&self.lo), ctx.pool, &ctx.tracker),
+            );
+        }
+        let cursor = self.cursor.as_mut().expect("cursor initialized above");
+        let mut rows: Vec<Row> = Vec::with_capacity(ROW_MODE_BATCH);
+        let exhausted = self.tree.cursor_fill_rows(
+            cursor,
+            bound_ref(&self.hi),
+            ROW_MODE_BATCH,
+            &mut rows,
+            ctx.pool,
+            &ctx.tracker,
+        );
+        if exhausted {
+            self.done = true;
+        }
+        if rows.is_empty() {
+            return Ok(if exhausted { None } else { Some(Batch::empty(&self.types)) });
+        }
+        Ok(Some(Batch::from_rows(&self.types, &rows)?))
+    }
+}
+
+/// Batch-mode scan over a columnstore index: a subset of row groups (for
+/// parallel partitioning) plus optionally the delta store, with segment
+/// elimination and delete handling.
+pub struct CsiScanOp<'a> {
+    index: &'a ColumnStoreIndex,
+    rowgroups: std::vec::IntoIter<usize>,
+    projection: Vec<usize>,
+    types: Vec<DataType>,
+    intervals: HashMap<usize, Interval>,
+    probe: Option<Arc<HashSet<Key>>>,
+    probe_built: bool,
+    include_delta: bool,
+    delta_done: bool,
+}
+
+impl<'a> CsiScanOp<'a> {
+    /// Scan everything: all row groups plus the delta store. The anti-join
+    /// probe is built lazily on first pull.
+    pub fn full(
+        index: &'a ColumnStoreIndex,
+        projection: Vec<usize>,
+        intervals: HashMap<usize, Interval>,
+    ) -> CsiScanOp<'a> {
+        let all: Vec<usize> = (0..index.num_rowgroups()).collect();
+        CsiScanOp::over_rowgroups(index, all, projection, intervals, true, None)
+    }
+
+    /// Scan a specific row-group subset — the unit of parallel partitioning.
+    /// A shared probe must be supplied when the index has buffered deletes
+    /// (pass the result of [`ColumnStoreIndex::antijoin_probe`]).
+    pub fn over_rowgroups(
+        index: &'a ColumnStoreIndex,
+        rowgroups: Vec<usize>,
+        projection: Vec<usize>,
+        intervals: HashMap<usize, Interval>,
+        include_delta: bool,
+        probe: Option<Arc<HashSet<Key>>>,
+    ) -> CsiScanOp<'a> {
+        let types = projection
+            .iter()
+            .map(|&c| index.schema().column(c).dtype)
+            .collect();
+        let probe_built = probe.is_some();
+        CsiScanOp {
+            index,
+            rowgroups: rowgroups.into_iter(),
+            projection,
+            types,
+            intervals,
+            probe,
+            probe_built,
+            include_delta,
+            delta_done: false,
+        }
+    }
+}
+
+impl Operator for CsiScanOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if !self.probe_built {
+            self.probe_built = true;
+            self.probe = self
+                .index
+                .antijoin_probe(ctx.pool, &ctx.tracker)
+                .map(Arc::new);
+        }
+        for rg in self.rowgroups.by_ref() {
+            if let Some(batch) = self.index.scan_rowgroup(
+                rg,
+                &self.projection,
+                &self.intervals,
+                self.probe.as_deref(),
+                ctx.pool,
+                &ctx.tracker,
+            ) {
+                return Ok(Some(batch));
+            }
+        }
+        if self.include_delta && !self.delta_done {
+            self.delta_done = true;
+            if self.index.delta_rows() > 0 {
+                return Ok(Some(self.index.scan_delta(
+                    &self.projection,
+                    ctx.pool,
+                    &ctx.tracker,
+                )));
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn bound_ref(b: &Bound<Key>) -> Bound<&Key> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+    }
+}

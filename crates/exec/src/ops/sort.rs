@@ -1,0 +1,224 @@
+//! Sorting: grant-aware external merge sort, plus LIMIT.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use hpd_common::{Batch, DataType, Result, Row};
+use hpd_storage::SpillFile;
+
+use crate::ctx::ExecCtx;
+use crate::ops::{Operator, PlanNode};
+
+/// One sort key: child column ordinal + direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    pub column: usize,
+    pub ascending: bool,
+}
+
+impl SortKey {
+    pub fn asc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            ascending: true,
+        }
+    }
+
+    pub fn desc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            ascending: false,
+        }
+    }
+}
+
+fn compare_rows(a: &Row, b: &Row, keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let ord = a[k.column].cmp(&b[k.column]);
+        let ord = if k.ascending { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sorts its input. Rows accumulate against the memory grant; when it is
+/// exhausted the current run is sorted and spilled, and the runs are merged
+/// at the end — a classic external merge sort whose extra I/O reproduces the
+/// memory-constrained sort behaviour of the paper's Figure 3.
+pub struct SortOp<'a> {
+    child: PlanNode<'a>,
+    keys: Vec<SortKey>,
+    types: Vec<DataType>,
+    output: Option<std::vec::IntoIter<Batch>>,
+}
+
+impl<'a> SortOp<'a> {
+    pub fn new(child: PlanNode<'a>, keys: Vec<SortKey>) -> SortOp<'a> {
+        let types = child.out_types();
+        SortOp {
+            child,
+            keys,
+            types,
+            output: None,
+        }
+    }
+
+    fn run(&mut self, ctx: &ExecCtx<'_>) -> Result<Vec<Batch>> {
+        let mut runs: Vec<(SpillFile, Vec<Row>)> = Vec::new();
+        let mut current: Vec<Row> = Vec::new();
+        let mut reserved = 0usize;
+
+        while let Some(batch) = self.child.next(ctx)? {
+            for i in 0..batch.num_rows() {
+                let row = batch.row(i);
+                let bytes = row.byte_width() + 24;
+                if !ctx.grant.try_reserve(bytes) {
+                    // Spill the current run.
+                    if !current.is_empty() {
+                        current.sort_unstable_by(|a, b| compare_rows(a, b, &self.keys));
+                        let mut file = ctx.spill.create_file();
+                        let run_bytes: u64 =
+                            current.iter().map(|r| r.byte_width() as u64).sum();
+                        file.write(run_bytes, &ctx.tracker);
+                        runs.push((file, std::mem::take(&mut current)));
+                        ctx.grant.release(reserved);
+                        reserved = 0;
+                    }
+                    // The row itself must be admitted; a single row always
+                    // fits conceptually even under a tiny grant.
+                    let _ = ctx.grant.try_reserve(bytes);
+                }
+                reserved += bytes;
+                current.push(row);
+            }
+        }
+
+        let sorted: Vec<Row> = if runs.is_empty() {
+            current.sort_unstable_by(|a, b| compare_rows(a, b, &self.keys));
+            ctx.grant.release(reserved);
+            current
+        } else {
+            // Final in-memory run joins the merge without spilling.
+            current.sort_unstable_by(|a, b| compare_rows(a, b, &self.keys));
+            for (file, _) in &runs {
+                file.read_all(&ctx.tracker);
+            }
+            let merged = merge_runs(
+                runs.into_iter()
+                    .map(|(_, rows)| rows)
+                    .chain(std::iter::once(current))
+                    .collect(),
+                &self.keys,
+            );
+            ctx.grant.release(reserved);
+            merged
+        };
+
+        let mut batches = Vec::new();
+        for chunk in sorted.chunks(4096) {
+            batches.push(Batch::from_rows(&self.types, chunk)?);
+        }
+        Ok(batches)
+    }
+}
+
+/// K-way merge of sorted runs.
+fn merge_runs(runs: Vec<Vec<Row>>, keys: &[SortKey]) -> Vec<Row> {
+    struct HeapItem<'k> {
+        row: Row,
+        run: usize,
+        keys: &'k [SortKey],
+    }
+    impl PartialEq for HeapItem<'_> {
+        fn eq(&self, other: &Self) -> bool {
+            compare_rows(&self.row, &other.row, self.keys) == Ordering::Equal
+        }
+    }
+    impl Eq for HeapItem<'_> {}
+    impl PartialOrd for HeapItem<'_> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for HeapItem<'_> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reverse for a min-heap on top of BinaryHeap's max-heap.
+            compare_rows(&other.row, &self.row, self.keys)
+        }
+    }
+
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<Row>> =
+        runs.into_iter().map(|r| r.into_iter()).collect();
+    let mut heap = BinaryHeap::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        if let Some(row) = it.next() {
+            heap.push(HeapItem { row, run: i, keys });
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(HeapItem { row, run, .. }) = heap.pop() {
+        out.push(row);
+        if let Some(next) = iters[run].next() {
+            heap.push(HeapItem {
+                row: next,
+                run,
+                keys,
+            });
+        }
+    }
+    out
+}
+
+impl Operator for SortOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let batches = self.run(ctx)?;
+            self.output = Some(batches.into_iter());
+        }
+        Ok(self.output.as_mut().expect("initialized above").next())
+    }
+}
+
+/// Pass through the first `n` rows (TOP / LIMIT).
+pub struct LimitOp<'a> {
+    child: PlanNode<'a>,
+    remaining: usize,
+}
+
+impl<'a> LimitOp<'a> {
+    pub fn new(child: PlanNode<'a>, n: usize) -> LimitOp<'a> {
+        LimitOp {
+            child,
+            remaining: n,
+        }
+    }
+}
+
+impl Operator for LimitOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.child.out_types()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let Some(batch) = self.child.next(ctx)? else {
+            return Ok(None);
+        };
+        if batch.num_rows() <= self.remaining {
+            self.remaining -= batch.num_rows();
+            return Ok(Some(batch));
+        }
+        let mask: Vec<bool> = (0..batch.num_rows()).map(|i| i < self.remaining).collect();
+        self.remaining = 0;
+        Ok(Some(batch.filter(&mask)))
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-query I/O accounting.
+//!
+//! An [`IoTracker`] is carried through an entire query execution (cloned
+//! into parallel workers — counters are atomic) and accumulates logical and
+//! physical I/O plus simulated I/O time. Benchmarks read an [`IoSnapshot`]
+//! at the end of a run; "data read" in Figure 2(b) is
+//! [`IoSnapshot::bytes_read`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe accumulator of I/O activity for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct IoTracker {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    /// Pages/blobs touched regardless of residency (logical reads).
+    logical_reads: AtomicU64,
+    /// Requests that missed the buffer pool (physical reads).
+    physical_reads: AtomicU64,
+    /// Bytes physically read from the device.
+    bytes_read: AtomicU64,
+    /// Bytes physically written to the device (spills, index writes).
+    bytes_written: AtomicU64,
+    /// Simulated positioning (seek) time in nanoseconds.
+    sim_seek_nanos: AtomicU64,
+    /// Simulated transfer (bandwidth) time in nanoseconds.
+    sim_bw_nanos: AtomicU64,
+}
+
+impl IoTracker {
+    pub fn new() -> IoTracker {
+        IoTracker::default()
+    }
+
+    pub fn record_logical(&self, requests: u64) {
+        self.inner.logical_reads.fetch_add(requests, Ordering::Relaxed);
+    }
+
+    /// Record a physical read: `(seek_us, bw_us)` are the positioning and
+    /// transfer components of the simulated device time. Positioning can
+    /// overlap across parallel streams; transfer shares the device's one
+    /// bandwidth.
+    pub fn record_physical_read(&self, requests: u64, bytes: u64, seek_us: f64, bw_us: f64) {
+        self.inner.physical_reads.fetch_add(requests, Ordering::Relaxed);
+        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.add_sim_us(seek_us, bw_us);
+    }
+
+    pub fn record_write(&self, bytes: u64, seek_us: f64, bw_us: f64) {
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.add_sim_us(seek_us, bw_us);
+    }
+
+    fn add_sim_us(&self, seek_us: f64, bw_us: f64) {
+        self.inner
+            .sim_seek_nanos
+            .fetch_add((seek_us * 1_000.0).round() as u64, Ordering::Relaxed);
+        self.inner
+            .sim_bw_nanos
+            .fetch_add((bw_us * 1_000.0).round() as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.inner.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.inner.physical_reads.load(Ordering::Relaxed),
+            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
+            sim_seek_us: self.inner.sim_seek_nanos.load(Ordering::Relaxed) as f64 / 1_000.0,
+            sim_bw_us: self.inner.sim_bw_nanos.load(Ordering::Relaxed) as f64 / 1_000.0,
+        }
+    }
+
+    /// Reset all counters (between repeated runs).
+    pub fn reset(&self) {
+        self.inner.logical_reads.store(0, Ordering::Relaxed);
+        self.inner.physical_reads.store(0, Ordering::Relaxed);
+        self.inner.bytes_read.store(0, Ordering::Relaxed);
+        self.inner.bytes_written.store(0, Ordering::Relaxed);
+        self.inner.sim_seek_nanos.store(0, Ordering::Relaxed);
+        self.inner.sim_bw_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of an [`IoTracker`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoSnapshot {
+    pub logical_reads: u64,
+    pub physical_reads: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Simulated positioning time in microseconds.
+    pub sim_seek_us: f64,
+    /// Simulated transfer (bandwidth) time in microseconds.
+    pub sim_bw_us: f64,
+}
+
+impl IoSnapshot {
+    /// Difference of two snapshots (self - earlier).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            sim_seek_us: self.sim_seek_us - earlier.sim_seek_us,
+            sim_bw_us: self.sim_bw_us - earlier.sim_bw_us,
+        }
+    }
+
+    /// Total simulated device time (positioning + transfer).
+    pub fn sim_io_us(&self) -> f64 {
+        self.sim_seek_us + self.sim_bw_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = IoTracker::new();
+        t.record_logical(3);
+        t.record_physical_read(2, 16_384, 80.0, 20.0);
+        t.record_write(512, 0.5, 10.0);
+        let s = t.snapshot();
+        assert_eq!(s.logical_reads, 3);
+        assert_eq!(s.physical_reads, 2);
+        assert_eq!(s.bytes_read, 16_384);
+        assert_eq!(s.bytes_written, 512);
+        assert!((s.sim_io_us() - 110.5).abs() < 1e-6);
+        assert!((s.sim_seek_us - 80.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let t = IoTracker::new();
+        let t2 = t.clone();
+        t2.record_logical(5);
+        assert_eq!(t.snapshot().logical_reads, 5);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let t = IoTracker::new();
+        t.record_physical_read(1, 100, 1.0, 0.0);
+        t.reset();
+        assert_eq!(t.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let t = IoTracker::new();
+        t.record_logical(2);
+        let a = t.snapshot();
+        t.record_logical(3);
+        t.record_physical_read(1, 8, 2.0, 0.0);
+        let d = t.snapshot().since(&a);
+        assert_eq!(d.logical_reads, 3);
+        assert_eq!(d.physical_reads, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let t = IoTracker::new();
+        let mut hs = Vec::new();
+        for _ in 0..8 {
+            let t = t.clone();
+            hs.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    t.record_logical(1);
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(t.snapshot().logical_reads, 80_000);
+    }
+}

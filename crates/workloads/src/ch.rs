@@ -1,0 +1,1246 @@
+//! The CH-benCHmark: TPC-C transactional schema + transactions, plus
+//! TPC-H-like analytic queries over the same data (Cole et al., DBTest'11).
+//!
+//! This drives the paper's mixed-workload evaluation (Figure 11): C-threads
+//! run the five TPC-C transactions while H-threads run analytic queries,
+//! under different isolation levels and physical designs.
+//!
+//! Scaled for laptop runs; deviations from the spec are structural
+//! simplifications, not behavioural ones: order ids allocate from a global
+//! counter, `order_line` carries an explicit `ol_supplier` foreign key (the
+//! CH paper derives it arithmetically), and a representative twenty of the
+//! 22 analytic queries are implemented in the engine's SPJA query shape.
+
+use std::sync::atomic::{AtomicI32, AtomicI64, Ordering};
+
+use hpd_common::{
+    AggFunc, BinOp, CmpOp, DataType, Expr, HpdError, Result, Row, Schema, Value,
+};
+use hpd_engine::{
+    AggItem, ColRef, Database, DeleteStmt, EquiJoin, IndexDescriptor, InsertStmt, SelectQuery,
+    Statement, TableInput, Txn, UpdateStmt,
+};
+use rand::Rng;
+
+/// Scale parameters (TPC-C uses 10 districts/warehouse, 3000
+/// customers/district, 100k items; we scale down).
+#[derive(Debug, Clone, Copy)]
+pub struct ChScale {
+    pub warehouses: i32,
+    pub districts_per_warehouse: i32,
+    pub customers_per_district: i32,
+    pub initial_orders_per_district: i32,
+    pub items: i32,
+    pub suppliers: i32,
+    pub seed: u64,
+}
+
+impl Default for ChScale {
+    fn default() -> ChScale {
+        ChScale {
+            warehouses: 2,
+            districts_per_warehouse: 10,
+            customers_per_district: 300,
+            initial_orders_per_district: 300,
+            items: 1_000,
+            suppliers: 100,
+            seed: 0xC4,
+        }
+    }
+}
+
+impl ChScale {
+    pub fn tiny() -> ChScale {
+        ChScale {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            customers_per_district: 30,
+            initial_orders_per_district: 30,
+            items: 100,
+            suppliers: 10,
+            ..ChScale::default()
+        }
+    }
+}
+
+/// All CH tables.
+pub const TABLES: [&str; 11] = [
+    "warehouse",
+    "district",
+    "customer",
+    "orders",
+    "new_order",
+    "order_line",
+    "item",
+    "stock",
+    "history",
+    "supplier",
+    "nation",
+];
+
+/// Create and bulk-load the CH schema.
+pub fn load(db: &Database, scale: ChScale) -> Result<()> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+
+    db.create_table(
+        "warehouse",
+        Schema::from_pairs(&[
+            ("w_id", DataType::Int32),
+            ("w_tax", DataType::Decimal),
+            ("w_ytd", DataType::Decimal),
+        ]),
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )?;
+    db.load_table(
+        "warehouse",
+        (0..scale.warehouses)
+            .map(|w| {
+                Row::new(vec![
+                    Value::Int32(w),
+                    Value::Decimal(rng.gen_range(0..2000)),
+                    Value::Decimal(3_000_000_000),
+                ])
+            })
+            .collect(),
+    )?;
+
+    db.create_table(
+        "district",
+        Schema::from_pairs(&[
+            ("d_w_id", DataType::Int32),
+            ("d_id", DataType::Int32),
+            ("d_tax", DataType::Decimal),
+            ("d_ytd", DataType::Decimal),
+            ("d_next_o_id", DataType::Int32),
+        ]),
+        vec![0, 1],
+        IndexDescriptor::PrimaryBTree { keys: vec![0, 1] },
+    )?;
+    let mut district_rows = Vec::new();
+    for w in 0..scale.warehouses {
+        for d in 0..scale.districts_per_warehouse {
+            district_rows.push(Row::new(vec![
+                Value::Int32(w),
+                Value::Int32(d),
+                Value::Decimal(rng.gen_range(0..2000)),
+                Value::Decimal(300_000_000),
+                Value::Int32(scale.initial_orders_per_district),
+            ]));
+        }
+    }
+    db.load_table("district", district_rows)?;
+
+    db.create_table(
+        "customer",
+        Schema::from_pairs(&[
+            ("c_w_id", DataType::Int32),
+            ("c_d_id", DataType::Int32),
+            ("c_id", DataType::Int32),
+            ("c_balance", DataType::Decimal),
+            ("c_ytd_payment", DataType::Decimal),
+            ("c_payment_cnt", DataType::Int32),
+            ("c_delivery_cnt", DataType::Int32),
+            ("c_last", DataType::Utf8),
+            ("c_credit", DataType::Int32),
+        ]),
+        vec![0, 1, 2],
+        IndexDescriptor::PrimaryBTree { keys: vec![0, 1, 2] },
+    )?;
+    const LAST_NAMES: [&str; 10] = [
+        "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+    ];
+    let mut customer_rows = Vec::new();
+    for w in 0..scale.warehouses {
+        for d in 0..scale.districts_per_warehouse {
+            for c in 0..scale.customers_per_district {
+                customer_rows.push(Row::new(vec![
+                    Value::Int32(w),
+                    Value::Int32(d),
+                    Value::Int32(c),
+                    Value::Decimal(-100_000),
+                    Value::Decimal(100_000),
+                    Value::Int32(1),
+                    Value::Int32(0),
+                    Value::str(LAST_NAMES[(c % 10) as usize]),
+                    Value::Int32((c % 5 != 0) as i32), // 1 = good credit
+                ]));
+            }
+        }
+    }
+    db.load_table("customer", customer_rows)?;
+
+    db.create_table(
+        "orders",
+        Schema::from_pairs(&[
+            ("o_w_id", DataType::Int32),
+            ("o_d_id", DataType::Int32),
+            ("o_id", DataType::Int32),
+            ("o_c_id", DataType::Int32),
+            ("o_entry_d", DataType::Date),
+            ("o_carrier_id", DataType::Int32), // 0 = undelivered
+            ("o_ol_cnt", DataType::Int32),
+        ]),
+        vec![0, 1, 2],
+        IndexDescriptor::PrimaryBTree { keys: vec![0, 1, 2] },
+    )?;
+    db.create_table(
+        "new_order",
+        Schema::from_pairs(&[
+            ("no_w_id", DataType::Int32),
+            ("no_d_id", DataType::Int32),
+            ("no_o_id", DataType::Int32),
+        ]),
+        vec![0, 1, 2],
+        IndexDescriptor::PrimaryBTree { keys: vec![0, 1, 2] },
+    )?;
+    db.create_table(
+        "order_line",
+        Schema::from_pairs(&[
+            ("ol_w_id", DataType::Int32),
+            ("ol_d_id", DataType::Int32),
+            ("ol_o_id", DataType::Int32),
+            ("ol_number", DataType::Int32),
+            ("ol_i_id", DataType::Int32),
+            ("ol_supplier", DataType::Int32),
+            ("ol_delivery_d", DataType::Date), // 0 = undelivered
+            ("ol_quantity", DataType::Int32),
+            ("ol_amount", DataType::Decimal),
+        ]),
+        vec![0, 1, 2, 3],
+        IndexDescriptor::PrimaryBTree {
+            keys: vec![0, 1, 2, 3],
+        },
+    )?;
+
+    let mut orders_rows = Vec::new();
+    let mut new_order_rows = Vec::new();
+    let mut order_line_rows = Vec::new();
+    for w in 0..scale.warehouses {
+        for d in 0..scale.districts_per_warehouse {
+            for o in 0..scale.initial_orders_per_district {
+                let delivered = o < scale.initial_orders_per_district * 7 / 10;
+                let ol_cnt = rng.gen_range(5..=15);
+                orders_rows.push(Row::new(vec![
+                    Value::Int32(w),
+                    Value::Int32(d),
+                    Value::Int32(o),
+                    Value::Int32(rng.gen_range(0..scale.customers_per_district)),
+                    Value::Date(o % 365),
+                    Value::Int32(if delivered { rng.gen_range(1..=10) } else { 0 }),
+                    Value::Int32(ol_cnt),
+                ]));
+                if !delivered {
+                    new_order_rows.push(Row::new(vec![
+                        Value::Int32(w),
+                        Value::Int32(d),
+                        Value::Int32(o),
+                    ]));
+                }
+                for n in 0..ol_cnt {
+                    let item = rng.gen_range(0..scale.items);
+                    order_line_rows.push(Row::new(vec![
+                        Value::Int32(w),
+                        Value::Int32(d),
+                        Value::Int32(o),
+                        Value::Int32(n),
+                        Value::Int32(item),
+                        Value::Int32(item % scale.suppliers),
+                        Value::Date(if delivered { o % 365 + 1 } else { 0 }),
+                        Value::Int32(rng.gen_range(1..=10)),
+                        Value::Decimal(rng.gen_range(10_000i64..10_000_000)),
+                    ]));
+                }
+            }
+        }
+    }
+    db.load_table("orders", orders_rows)?;
+    db.load_table("new_order", new_order_rows)?;
+    db.load_table("order_line", order_line_rows)?;
+
+    db.create_table(
+        "item",
+        Schema::from_pairs(&[
+            ("i_id", DataType::Int32),
+            ("i_im_id", DataType::Int32),
+            ("i_price", DataType::Decimal),
+            ("i_name", DataType::Utf8),
+        ]),
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )?;
+    db.load_table(
+        "item",
+        (0..scale.items)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int32(i),
+                    Value::Int32(i % 1000),
+                    Value::Decimal(rng.gen_range(10_000i64..1_000_000)),
+                    Value::str(format!("item-{i}")),
+                ])
+            })
+            .collect(),
+    )?;
+
+    db.create_table(
+        "stock",
+        Schema::from_pairs(&[
+            ("s_w_id", DataType::Int32),
+            ("s_i_id", DataType::Int32),
+            ("s_quantity", DataType::Int32),
+            ("s_ytd", DataType::Int32),
+            ("s_order_cnt", DataType::Int32),
+            ("s_remote_cnt", DataType::Int32),
+        ]),
+        vec![0, 1],
+        IndexDescriptor::PrimaryBTree { keys: vec![0, 1] },
+    )?;
+    let mut stock_rows = Vec::new();
+    for w in 0..scale.warehouses {
+        for i in 0..scale.items {
+            stock_rows.push(Row::new(vec![
+                Value::Int32(w),
+                Value::Int32(i),
+                Value::Int32(rng.gen_range(10..=100)),
+                Value::Int32(0),
+                Value::Int32(0),
+                Value::Int32(0),
+            ]));
+        }
+    }
+    db.load_table("stock", stock_rows)?;
+
+    db.create_table(
+        "history",
+        Schema::from_pairs(&[
+            ("h_id", DataType::Int64),
+            ("h_c_w_id", DataType::Int32),
+            ("h_c_d_id", DataType::Int32),
+            ("h_c_id", DataType::Int32),
+            ("h_amount", DataType::Decimal),
+            ("h_date", DataType::Date),
+        ]),
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )?;
+    db.load_table("history", Vec::new())?;
+
+    db.create_table(
+        "supplier",
+        Schema::from_pairs(&[
+            ("su_suppkey", DataType::Int32),
+            ("su_nationkey", DataType::Int32),
+            ("su_acctbal", DataType::Decimal),
+        ]),
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )?;
+    db.load_table(
+        "supplier",
+        (0..scale.suppliers)
+            .map(|s| {
+                Row::new(vec![
+                    Value::Int32(s),
+                    Value::Int32(s % 25),
+                    Value::Decimal(rng.gen_range(-990_000i64..9_990_000)),
+                ])
+            })
+            .collect(),
+    )?;
+
+    db.create_table(
+        "nation",
+        Schema::from_pairs(&[
+            ("n_nationkey", DataType::Int32),
+            ("n_regionkey", DataType::Int32),
+        ]),
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )?;
+    db.load_table(
+        "nation",
+        (0..25)
+            .map(|n| Row::new(vec![Value::Int32(n), Value::Int32(n % 5)]))
+            .collect(),
+    )?;
+
+    Ok(())
+}
+
+/// Runtime state shared by concurrent C-threads: id allocators.
+pub struct ChRuntime {
+    pub scale: ChScale,
+    next_order_id: AtomicI32,
+    next_history_id: AtomicI64,
+}
+
+impl ChRuntime {
+    pub fn new(scale: ChScale) -> ChRuntime {
+        ChRuntime {
+            scale,
+            next_order_id: AtomicI32::new(scale.initial_orders_per_district),
+            next_history_id: AtomicI64::new(0),
+        }
+    }
+
+    fn alloc_order_id(&self) -> i32 {
+        self.next_order_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn alloc_history_id(&self) -> i64 {
+        self.next_history_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// **NewOrder**: read customer & district, insert the order, its
+    /// new-order entry and 5–15 order lines, update the stock rows.
+    pub fn new_order(&self, txn: &mut Txn<'_>, rng: &mut impl Rng) -> Result<()> {
+        let w = rng.gen_range(0..self.scale.warehouses);
+        let d = rng.gen_range(0..self.scale.districts_per_warehouse);
+        let c = rng.gen_range(0..self.scale.customers_per_district);
+        let o_id = self.alloc_order_id();
+
+        // Read customer credit + district tax.
+        txn.execute(&Statement::Select(point_customer(w, d, c, vec![3, 8])))?;
+        txn.execute(&Statement::Select(SelectQuery::single_table(
+            "district",
+            Some(Expr::And(vec![
+                Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+            ])),
+            vec![2, 4],
+        )))?;
+
+        let ol_cnt = rng.gen_range(5..=15);
+        txn.execute(&Statement::Insert(InsertStmt {
+            table: "orders".into(),
+            rows: vec![Row::new(vec![
+                Value::Int32(w),
+                Value::Int32(d),
+                Value::Int32(o_id),
+                Value::Int32(c),
+                Value::Date(365),
+                Value::Int32(0),
+                Value::Int32(ol_cnt),
+            ])],
+        }))?;
+        txn.execute(&Statement::Insert(InsertStmt {
+            table: "new_order".into(),
+            rows: vec![Row::new(vec![
+                Value::Int32(w),
+                Value::Int32(d),
+                Value::Int32(o_id),
+            ])],
+        }))?;
+
+        let mut lines = Vec::with_capacity(ol_cnt as usize);
+        for n in 0..ol_cnt {
+            let item = rng.gen_range(0..self.scale.items);
+            lines.push(Row::new(vec![
+                Value::Int32(w),
+                Value::Int32(d),
+                Value::Int32(o_id),
+                Value::Int32(n),
+                Value::Int32(item),
+                Value::Int32(item % self.scale.suppliers),
+                Value::Date(0),
+                Value::Int32(rng.gen_range(1..=10)),
+                Value::Decimal(rng.gen_range(10_000i64..10_000_000)),
+            ]));
+            // Stock decrement for this item.
+            txn.execute(&Statement::Update(UpdateStmt {
+                table: "stock".into(),
+                predicate: Expr::And(vec![
+                    Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                    Expr::col_cmp(1, CmpOp::Eq, Value::Int32(item)),
+                ]),
+                top: None,
+                set: vec![
+                    (
+                        2,
+                        Expr::arith(BinOp::Sub, Expr::Col(2), Expr::lit(Value::Int32(1))),
+                    ),
+                    (
+                        3,
+                        Expr::arith(BinOp::Add, Expr::Col(3), Expr::lit(Value::Int32(1))),
+                    ),
+                ],
+            }))?;
+        }
+        txn.execute(&Statement::Insert(InsertStmt {
+            table: "order_line".into(),
+            rows: lines,
+        }))?;
+        Ok(())
+    }
+
+    /// **Payment**: bump warehouse/district YTD and the customer balance,
+    /// insert a history row.
+    pub fn payment(&self, txn: &mut Txn<'_>, rng: &mut impl Rng) -> Result<()> {
+        let w = rng.gen_range(0..self.scale.warehouses);
+        let d = rng.gen_range(0..self.scale.districts_per_warehouse);
+        let c = rng.gen_range(0..self.scale.customers_per_district);
+        let amount = rng.gen_range(10_000i64..50_000_000);
+
+        txn.execute(&Statement::Update(UpdateStmt {
+            table: "warehouse".into(),
+            predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+            top: None,
+            set: vec![(
+                2,
+                Expr::arith(BinOp::Add, Expr::Col(2), Expr::lit(Value::Decimal(amount))),
+            )],
+        }))?;
+        txn.execute(&Statement::Update(UpdateStmt {
+            table: "district".into(),
+            predicate: Expr::And(vec![
+                Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+            ]),
+            top: None,
+            set: vec![(
+                3,
+                Expr::arith(BinOp::Add, Expr::Col(3), Expr::lit(Value::Decimal(amount))),
+            )],
+        }))?;
+        txn.execute(&Statement::Update(UpdateStmt {
+            table: "customer".into(),
+            predicate: Expr::And(vec![
+                Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+                Expr::col_cmp(2, CmpOp::Eq, Value::Int32(c)),
+            ]),
+            top: None,
+            set: vec![
+                (
+                    3,
+                    Expr::arith(BinOp::Sub, Expr::Col(3), Expr::lit(Value::Decimal(amount))),
+                ),
+                (
+                    4,
+                    Expr::arith(BinOp::Add, Expr::Col(4), Expr::lit(Value::Decimal(amount))),
+                ),
+                (
+                    5,
+                    Expr::arith(BinOp::Add, Expr::Col(5), Expr::lit(Value::Int32(1))),
+                ),
+            ],
+        }))?;
+        txn.execute(&Statement::Insert(InsertStmt {
+            table: "history".into(),
+            rows: vec![Row::new(vec![
+                Value::Int64(self.alloc_history_id()),
+                Value::Int32(w),
+                Value::Int32(d),
+                Value::Int32(c),
+                Value::Decimal(amount),
+                Value::Date(365),
+            ])],
+        }))?;
+        Ok(())
+    }
+
+    /// **OrderStatus** (read-only): customer, their latest order, its lines.
+    pub fn order_status(&self, txn: &mut Txn<'_>, rng: &mut impl Rng) -> Result<()> {
+        let w = rng.gen_range(0..self.scale.warehouses);
+        let d = rng.gen_range(0..self.scale.districts_per_warehouse);
+        let c = rng.gen_range(0..self.scale.customers_per_district);
+        txn.execute(&Statement::Select(point_customer(w, d, c, vec![3, 7])))?;
+        let latest = txn.execute(&Statement::Select(SelectQuery {
+            tables: vec![TableInput::with_predicate(
+                "orders",
+                Expr::And(vec![
+                    Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                    Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+                    Expr::col_cmp(3, CmpOp::Eq, Value::Int32(c)),
+                ]),
+            )],
+            select: vec![ColRef::new(0, 2), ColRef::new(0, 5)],
+            order_by: vec![(0, false)],
+            limit: Some(1),
+            ..Default::default()
+        }))?;
+        if let Some(row) = latest.rows.first() {
+            let o_id = row[0].as_i32().ok_or(HpdError::Internal("o_id".into()))?;
+            txn.execute(&Statement::Select(SelectQuery::single_table(
+                "order_line",
+                Some(Expr::And(vec![
+                    Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                    Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+                    Expr::col_cmp(2, CmpOp::Eq, Value::Int32(o_id)),
+                ])),
+                vec![4, 7, 8, 6],
+            )))?;
+        }
+        Ok(())
+    }
+
+    /// **Delivery**: deliver the oldest new order of one district.
+    pub fn delivery(&self, txn: &mut Txn<'_>, rng: &mut impl Rng) -> Result<()> {
+        let w = rng.gen_range(0..self.scale.warehouses);
+        let d = rng.gen_range(0..self.scale.districts_per_warehouse);
+        let oldest = txn.execute(&Statement::Select(SelectQuery {
+            tables: vec![TableInput::with_predicate(
+                "new_order",
+                Expr::And(vec![
+                    Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                    Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+                ]),
+            )],
+            select: vec![ColRef::new(0, 2)],
+            order_by: vec![(0, true)],
+            limit: Some(1),
+            ..Default::default()
+        }))?;
+        let Some(row) = oldest.rows.first() else {
+            return Ok(()); // nothing to deliver
+        };
+        let o_id = row[0].as_i32().ok_or(HpdError::Internal("no_o_id".into()))?;
+        let key_pred = Expr::And(vec![
+            Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+            Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+            Expr::col_cmp(2, CmpOp::Eq, Value::Int32(o_id)),
+        ]);
+        txn.execute(&Statement::Delete(DeleteStmt {
+            table: "new_order".into(),
+            predicate: key_pred.clone(),
+            top: None,
+        }))?;
+        txn.execute(&Statement::Update(UpdateStmt {
+            table: "orders".into(),
+            predicate: key_pred.clone(),
+            top: None,
+            set: vec![(5, Expr::lit(Value::Int32(5)))],
+        }))?;
+        txn.execute(&Statement::Update(UpdateStmt {
+            table: "order_line".into(),
+            predicate: key_pred,
+            top: None,
+            set: vec![(6, Expr::lit(Value::Date(366)))],
+        }))?;
+        Ok(())
+    }
+
+    /// **StockLevel** (read-only): low-stock items among recent orders.
+    pub fn stock_level(&self, txn: &mut Txn<'_>, rng: &mut impl Rng) -> Result<()> {
+        let w = rng.gen_range(0..self.scale.warehouses);
+        let d = rng.gen_range(0..self.scale.districts_per_warehouse);
+        let threshold = rng.gen_range(10..=20);
+        let recent = self.next_order_id.load(Ordering::Relaxed) - 20;
+        txn.execute(&Statement::Select(SelectQuery {
+            tables: vec![
+                TableInput::with_predicate(
+                    "order_line",
+                    Expr::And(vec![
+                        Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                        Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+                        Expr::col_cmp(2, CmpOp::Ge, Value::Int32(recent)),
+                    ]),
+                ),
+                TableInput::with_predicate(
+                    "stock",
+                    Expr::And(vec![
+                        Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+                        Expr::col_cmp(2, CmpOp::Lt, Value::Int32(threshold)),
+                    ]),
+                ),
+            ],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 4),
+                right: ColRef::new(1, 1),
+            }],
+            aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(1, 1))],
+            ..Default::default()
+        }))?;
+        Ok(())
+    }
+}
+
+fn point_customer(w: i32, d: i32, c: i32, cols: Vec<usize>) -> SelectQuery {
+    SelectQuery::single_table(
+        "customer",
+        Some(Expr::And(vec![
+            Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
+            Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
+            Expr::col_cmp(2, CmpOp::Eq, Value::Int32(c)),
+        ])),
+        cols,
+    )
+}
+
+/// The analytic (H) queries: a representative twenty of the CH-benCHmark's
+/// 22, expressed in the engine's SPJA shape. Labels keep the CH numbering.
+pub fn analytic_queries() -> Vec<(String, SelectQuery)> {
+    let mut out: Vec<(String, SelectQuery)> = Vec::new();
+
+    // Q1: pricing summary by line number over delivered lines.
+    out.push((
+        "CH-Q1".into(),
+        SelectQuery {
+            tables: vec![TableInput::with_predicate(
+                "order_line",
+                Expr::col_cmp(6, CmpOp::Gt, Value::Date(0)),
+            )],
+            group_by: vec![ColRef::new(0, 3)],
+            aggregates: vec![
+                AggItem::column(AggFunc::Sum, ColRef::new(0, 7)),
+                AggItem::column(AggFunc::Sum, ColRef::new(0, 8)),
+                AggItem::column(AggFunc::Avg, ColRef::new(0, 8)),
+                AggItem::column(AggFunc::Count, ColRef::new(0, 3)),
+            ],
+            ..Default::default()
+        },
+    ));
+
+    // Q3: unshipped-order revenue per order (customer ⋈ orders ⋈ lines).
+    out.push((
+        "CH-Q3".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::with_predicate(
+                    "orders",
+                    Expr::col_cmp(5, CmpOp::Eq, Value::Int32(0)),
+                ),
+                TableInput::new("order_line"),
+                TableInput::with_predicate(
+                    "customer",
+                    Expr::col_cmp(8, CmpOp::Eq, Value::Int32(0)),
+                ),
+            ],
+            joins: vec![
+                EquiJoin {
+                    left: ColRef::new(0, 0),
+                    right: ColRef::new(1, 0),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 1),
+                    right: ColRef::new(1, 1),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 2),
+                    right: ColRef::new(1, 2),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 0),
+                    right: ColRef::new(2, 0),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 1),
+                    right: ColRef::new(2, 1),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 3),
+                    right: ColRef::new(2, 2),
+                },
+            ],
+            group_by: vec![ColRef::new(0, 2), ColRef::new(0, 4)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(1, 8))],
+            ..Default::default()
+        },
+    ));
+
+    // Q4: order count by carrier for a date window.
+    out.push((
+        "CH-Q4".into(),
+        SelectQuery {
+            tables: vec![TableInput::with_predicate(
+                "orders",
+                Expr::between(4, Value::Date(0), Value::Date(180)),
+            )],
+            group_by: vec![ColRef::new(0, 5)],
+            aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 2))],
+            ..Default::default()
+        },
+    ));
+
+    // Q5: revenue by supplier nation.
+    out.push((
+        "CH-Q5".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::new("order_line"),
+                TableInput::new("supplier"),
+                TableInput::new("nation"),
+            ],
+            joins: vec![
+                EquiJoin {
+                    left: ColRef::new(0, 5),
+                    right: ColRef::new(1, 0),
+                },
+                EquiJoin {
+                    left: ColRef::new(1, 1),
+                    right: ColRef::new(2, 0),
+                },
+            ],
+            group_by: vec![ColRef::new(2, 1)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 8))],
+            ..Default::default()
+        },
+    ));
+
+    // Q6: big-scan revenue with quantity & date filters.
+    out.push((
+        "CH-Q6".into(),
+        SelectQuery {
+            tables: vec![TableInput::with_predicate(
+                "order_line",
+                Expr::And(vec![
+                    Expr::col_cmp(6, CmpOp::Ge, Value::Date(1)),
+                    Expr::between(7, Value::Int32(2), Value::Int32(8)),
+                ]),
+            )],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 8))],
+            ..Default::default()
+        },
+    ));
+
+    // Q7-ish: volume by supplier nation x order year (two groups).
+    out.push((
+        "CH-Q7".into(),
+        SelectQuery {
+            tables: vec![TableInput::new("order_line"), TableInput::new("supplier")],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 5),
+                right: ColRef::new(1, 0),
+            }],
+            group_by: vec![ColRef::new(1, 1), ColRef::new(0, 3)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 8))],
+            ..Default::default()
+        },
+    ));
+
+    // Q9-ish: profit by item class.
+    out.push((
+        "CH-Q9".into(),
+        SelectQuery {
+            tables: vec![TableInput::new("order_line"), TableInput::new("item")],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 4),
+                right: ColRef::new(1, 0),
+            }],
+            group_by: vec![ColRef::new(1, 1)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 8))],
+            ..Default::default()
+        },
+    ));
+
+    // Q12: shipping modes / carrier split by delivery status.
+    out.push((
+        "CH-Q12".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::new("orders"),
+                TableInput::with_predicate(
+                    "order_line",
+                    Expr::col_cmp(6, CmpOp::Gt, Value::Date(0)),
+                ),
+            ],
+            joins: vec![
+                EquiJoin {
+                    left: ColRef::new(0, 0),
+                    right: ColRef::new(1, 0),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 1),
+                    right: ColRef::new(1, 1),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 2),
+                    right: ColRef::new(1, 2),
+                },
+            ],
+            group_by: vec![ColRef::new(0, 6)],
+            aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 2))],
+            ..Default::default()
+        },
+    ));
+
+    // Q14-ish: revenue share of promo-ish items (low i_im_id).
+    out.push((
+        "CH-Q14".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::new("order_line"),
+                TableInput::with_predicate(
+                    "item",
+                    Expr::col_cmp(1, CmpOp::Lt, Value::Int32(100)),
+                ),
+            ],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 4),
+                right: ColRef::new(1, 0),
+            }],
+            aggregates: vec![
+                AggItem::column(AggFunc::Sum, ColRef::new(0, 8)),
+                AggItem::column(AggFunc::Count, ColRef::new(0, 8)),
+            ],
+            ..Default::default()
+        },
+    ));
+
+    // Q15-ish: top supplier by revenue.
+    out.push((
+        "CH-Q15".into(),
+        SelectQuery {
+            tables: vec![TableInput::new("order_line")],
+            group_by: vec![ColRef::new(0, 5)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 8))],
+            order_by: vec![(1, false)],
+            limit: Some(10),
+            ..Default::default()
+        },
+    ));
+
+    // Q18: large-volume customers.
+    out.push((
+        "CH-Q18".into(),
+        SelectQuery {
+            tables: vec![TableInput::new("orders"), TableInput::new("order_line")],
+            joins: vec![
+                EquiJoin {
+                    left: ColRef::new(0, 0),
+                    right: ColRef::new(1, 0),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 1),
+                    right: ColRef::new(1, 1),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 2),
+                    right: ColRef::new(1, 2),
+                },
+            ],
+            group_by: vec![ColRef::new(0, 3)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(1, 8))],
+            order_by: vec![(1, false)],
+            limit: Some(100),
+            ..Default::default()
+        },
+    ));
+
+    // Q19-ish: discounted revenue for mid-range quantities on cheap items.
+    out.push((
+        "CH-Q19".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::with_predicate(
+                    "order_line",
+                    Expr::between(7, Value::Int32(1), Value::Int32(5)),
+                ),
+                TableInput::with_predicate(
+                    "item",
+                    Expr::col_cmp(2, CmpOp::Le, Value::Decimal(500_000)),
+                ),
+            ],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 4),
+                right: ColRef::new(1, 0),
+            }],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 8))],
+            ..Default::default()
+        },
+    ));
+
+    // Q2-ish: lowest-stock supplier per item class (stock ⋈ supplier).
+    out.push((
+        "CH-Q2".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::with_predicate(
+                    "stock",
+                    Expr::col_cmp(2, CmpOp::Lt, Value::Int32(40)),
+                ),
+                TableInput::new("item"),
+            ],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 1),
+                right: ColRef::new(1, 0),
+            }],
+            group_by: vec![ColRef::new(1, 1)],
+            aggregates: vec![
+                AggItem::column(AggFunc::Min, ColRef::new(0, 2)),
+                AggItem::column(AggFunc::Count, ColRef::new(0, 1)),
+            ],
+            ..Default::default()
+        },
+    ));
+
+    // Q8-ish: market share proxy — average line amount per supplier nation
+    // for cheap items.
+    out.push((
+        "CH-Q8".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::new("order_line"),
+                TableInput::with_predicate(
+                    "item",
+                    Expr::col_cmp(2, CmpOp::Lt, Value::Decimal(300_000)),
+                ),
+                TableInput::new("supplier"),
+            ],
+            joins: vec![
+                EquiJoin {
+                    left: ColRef::new(0, 4),
+                    right: ColRef::new(1, 0),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 5),
+                    right: ColRef::new(2, 0),
+                },
+            ],
+            group_by: vec![ColRef::new(2, 1)],
+            aggregates: vec![AggItem::column(AggFunc::Avg, ColRef::new(0, 8))],
+            ..Default::default()
+        },
+    ));
+
+    // Q10-ish: returned-ish amounts per customer (balance < 0) over a date
+    // window.
+    out.push((
+        "CH-Q10".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::with_predicate(
+                    "customer",
+                    Expr::col_cmp(3, CmpOp::Lt, Value::Decimal(0)),
+                ),
+                TableInput::with_predicate(
+                    "orders",
+                    Expr::between(4, Value::Date(30), Value::Date(120)),
+                ),
+                TableInput::new("order_line"),
+            ],
+            joins: vec![
+                EquiJoin {
+                    left: ColRef::new(0, 0),
+                    right: ColRef::new(1, 0),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 1),
+                    right: ColRef::new(1, 1),
+                },
+                EquiJoin {
+                    left: ColRef::new(0, 2),
+                    right: ColRef::new(1, 3),
+                },
+                EquiJoin {
+                    left: ColRef::new(1, 0),
+                    right: ColRef::new(2, 0),
+                },
+                EquiJoin {
+                    left: ColRef::new(1, 1),
+                    right: ColRef::new(2, 1),
+                },
+                EquiJoin {
+                    left: ColRef::new(1, 2),
+                    right: ColRef::new(2, 2),
+                },
+            ],
+            group_by: vec![ColRef::new(0, 2)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(2, 8))],
+            order_by: vec![(1, false)],
+            limit: Some(20),
+            ..Default::default()
+        },
+    ));
+
+    // Q11-ish: most valuable stock positions.
+    out.push((
+        "CH-Q11".into(),
+        SelectQuery {
+            tables: vec![TableInput::new("stock")],
+            group_by: vec![ColRef::new(0, 1)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 3))],
+            order_by: vec![(1, false)],
+            limit: Some(50),
+            ..Default::default()
+        },
+    ));
+
+    // Q16-ish: item/supplier relationship counts for non-premium items.
+    out.push((
+        "CH-Q16".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::new("stock"),
+                TableInput::with_predicate(
+                    "item",
+                    Expr::col_cmp(1, CmpOp::Ge, Value::Int32(100)),
+                ),
+            ],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 1),
+                right: ColRef::new(1, 0),
+            }],
+            group_by: vec![ColRef::new(1, 1)],
+            aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 1))],
+            ..Default::default()
+        },
+    ));
+
+    // Q17-ish: average yearly revenue proxy for small-quantity lines of
+    // cheap items.
+    out.push((
+        "CH-Q17".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::with_predicate(
+                    "order_line",
+                    Expr::col_cmp(7, CmpOp::Lt, Value::Int32(4)),
+                ),
+                TableInput::with_predicate(
+                    "item",
+                    Expr::col_cmp(2, CmpOp::Lt, Value::Decimal(200_000)),
+                ),
+            ],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 4),
+                right: ColRef::new(1, 0),
+            }],
+            aggregates: vec![
+                AggItem::column(AggFunc::Sum, ColRef::new(0, 8)),
+                AggItem::column(AggFunc::Count, ColRef::new(0, 8)),
+            ],
+            ..Default::default()
+        },
+    ));
+
+    // Q20-ish: suppliers with healthy balances supplying low stock.
+    out.push((
+        "CH-Q20".into(),
+        SelectQuery {
+            tables: vec![
+                TableInput::with_predicate(
+                    "supplier",
+                    Expr::col_cmp(2, CmpOp::Gt, Value::Decimal(0)),
+                ),
+                TableInput::new("order_line"),
+            ],
+            joins: vec![EquiJoin {
+                left: ColRef::new(0, 0),
+                right: ColRef::new(1, 5),
+            }],
+            group_by: vec![ColRef::new(0, 0)],
+            aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(1, 7))],
+            ..Default::default()
+        },
+    ));
+
+    // Q21-ish: per-warehouse undelivered order lines (suppliers who kept
+    // orders waiting).
+    out.push((
+        "CH-Q21".into(),
+        SelectQuery {
+            tables: vec![TableInput::with_predicate(
+                "order_line",
+                Expr::col_cmp(6, CmpOp::Eq, Value::Date(0)),
+            )],
+            group_by: vec![ColRef::new(0, 5)],
+            aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 2))],
+            order_by: vec![(1, false)],
+            limit: Some(20),
+            ..Default::default()
+        },
+    ));
+
+    // Q22-ish: customers with positive balance by last-name bucket.
+    out.push((
+        "CH-Q22".into(),
+        SelectQuery {
+            tables: vec![TableInput::with_predicate(
+                "customer",
+                Expr::col_cmp(3, CmpOp::Gt, Value::Decimal(0)),
+            )],
+            group_by: vec![ColRef::new(0, 7)],
+            aggregates: vec![
+                AggItem::column(AggFunc::Count, ColRef::new(0, 2)),
+                AggItem::column(AggFunc::Sum, ColRef::new(0, 3)),
+            ],
+            ..Default::default()
+        },
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpd_engine::{DbConfig, IsolationLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn load_and_run_all_transactions() {
+        let db = Database::new(DbConfig::default());
+        let scale = ChScale::tiny();
+        load(&db, scale).unwrap();
+        let rt = ChRuntime::new(scale);
+        let mut rng = StdRng::seed_from_u64(1);
+        let session = db.session(IsolationLevel::ReadCommitted);
+        for _ in 0..5 {
+            let mut txn = session.begin();
+            rt.new_order(&mut txn, &mut rng).unwrap();
+            txn.commit().unwrap();
+            let mut txn = session.begin();
+            rt.payment(&mut txn, &mut rng).unwrap();
+            txn.commit().unwrap();
+            let mut txn = session.begin();
+            rt.order_status(&mut txn, &mut rng).unwrap();
+            txn.commit().unwrap();
+            let mut txn = session.begin();
+            rt.delivery(&mut txn, &mut rng).unwrap();
+            txn.commit().unwrap();
+            let mut txn = session.begin();
+            rt.stock_level(&mut txn, &mut rng).unwrap();
+            txn.commit().unwrap();
+        }
+        // NewOrder inserted orders beyond the initial ones.
+        let count = db
+            .execute(&Statement::Select(SelectQuery {
+                tables: vec![TableInput::new("orders")],
+                aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 2))],
+                ..Default::default()
+            }))
+            .unwrap();
+        let initial =
+            scale.warehouses * scale.districts_per_warehouse * scale.initial_orders_per_district;
+        assert_eq!(count.rows[0][0], Value::Int64(initial as i64 + 5));
+        // History got payment rows.
+        let hist = db
+            .execute(&Statement::Select(SelectQuery {
+                tables: vec![TableInput::new("history")],
+                aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 0))],
+                ..Default::default()
+            }))
+            .unwrap();
+        assert_eq!(hist.rows[0][0], Value::Int64(5));
+    }
+
+    #[test]
+    fn all_analytic_queries_execute() {
+        let db = Database::new(DbConfig::default());
+        load(&db, ChScale::tiny()).unwrap();
+        for (label, q) in analytic_queries() {
+            let r = db.execute(&Statement::Select(q));
+            assert!(r.is_ok(), "{label} failed: {r:?}");
+        }
+    }
+
+    #[test]
+    fn analytic_q1_matches_manual_sum() {
+        let db = Database::new(DbConfig::default());
+        let scale = ChScale::tiny();
+        load(&db, scale).unwrap();
+        let (label, q1) = analytic_queries().into_iter().next().unwrap();
+        assert_eq!(label, "CH-Q1");
+        let rows = db.execute(&Statement::Select(q1)).unwrap().rows;
+        // Grouped by ol_number (5..15 possible), counts positive.
+        assert!(!rows.is_empty());
+        for r in rows {
+            assert!(r[4].as_i64().unwrap() > 0);
+        }
+    }
+}

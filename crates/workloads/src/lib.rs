@@ -1,0 +1,23 @@
+//! Workload and data generators for the reproduction.
+//!
+//! * [`micro`] — the §3 micro-benchmarks: uniform synthetic tables (after
+//!   Kester et al.) and queries Q1–Q3;
+//! * [`tpch`] — a scaled TPC-H `lineitem` with the paper's Q4 (update) and
+//!   Q5 (analytic) statements and the three §3.4 physical designs;
+//! * [`tpcds`] — a TPC-DS-like star schema with a 97-query parameterized
+//!   decision-support workload;
+//! * [`ch`] — the CH-benCHmark: TPC-C tables + transactions plus analytic
+//!   queries over the shared schema;
+//! * [`customer`] — a synthesizer for "real customer workload"-shaped
+//!   schemas and query sets, parameterized by the aggregate statistics the
+//!   paper publishes in Table 2.
+//!
+//! Every generator is deterministic in its seed.
+
+pub mod ch;
+pub mod customer;
+pub mod micro;
+pub mod tpcds;
+pub mod tpch;
+
+pub use micro::{MicroTable, SortedLoad};

@@ -1,0 +1,88 @@
+//! Quickstart: create a table, load data, let the advisor pick a hybrid
+//! design, apply it, and observe the effect on two very different queries.
+//!
+//! ```console
+//! $ cargo run --release --example quickstart
+//! ```
+
+use hybrid_physical_designs::advisor::{Advisor, AdvisorOptions, Workload};
+use hybrid_physical_designs::common::{
+    AggFunc, CmpOp, DataType, Expr, HpdError, Row, Schema, Value,
+};
+use hybrid_physical_designs::engine::{
+    AggItem, ColRef, Database, DbConfig, IndexDescriptor, SelectQuery, Statement, TableInput,
+};
+
+fn main() -> Result<(), HpdError> {
+    let db = Database::new(DbConfig::default());
+
+    // orders(id, customer, status, amount)
+    db.create_table(
+        "orders",
+        Schema::from_pairs(&[
+            ("id", DataType::Int32),
+            ("customer", DataType::Int32),
+            ("status", DataType::Int32),
+            ("amount", DataType::Decimal),
+        ]),
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )?;
+    db.load_table(
+        "orders",
+        (0..200_000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int32(i),
+                    Value::Int32(i % 5_000),
+                    Value::Int32(i % 7),
+                    Value::Decimal((i as i64 % 900 + 100) * 10_000),
+                ])
+            })
+            .collect(),
+    )?;
+
+    // Two query shapes: a selective point lookup and a full-table rollup.
+    let point = SelectQuery::single_table(
+        "orders",
+        Some(Expr::col_cmp(1, CmpOp::Eq, Value::Int32(4_242))),
+        vec![0, 3],
+    );
+    let rollup = SelectQuery {
+        tables: vec![TableInput::new("orders")],
+        group_by: vec![ColRef::new(0, 2)],
+        aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 3))],
+        ..Default::default()
+    };
+
+    println!("== before tuning ==");
+    for (name, q) in [("point lookup", &point), ("rollup", &rollup)] {
+        let r = db.execute(&Statement::Select(q.clone()))?;
+        println!(
+            "{name:>14}: {:>6} rows, {:>8.0} us elapsed, {:>9} bytes read",
+            r.rows.len(),
+            r.metrics.elapsed_us(),
+            r.metrics.bytes_read()
+        );
+    }
+
+    // Ask the advisor for a hybrid design.
+    let workload = Workload::read_only(vec![point.clone(), rollup.clone()]);
+    let rec = Advisor::new(&db, AdvisorOptions::default()).recommend(&workload)?;
+    println!("\n== recommendation ==\n{}", rec.report(&db));
+    db.apply_configuration(&rec.configuration)?;
+
+    println!("== after tuning ==");
+    for (name, q) in [("point lookup", &point), ("rollup", &rollup)] {
+        let plan = db.plan(q)?;
+        let r = db.execute(&Statement::Select(q.clone()))?;
+        println!(
+            "{name:>14}: {:>6} rows, {:>8.0} us elapsed, {:>9} bytes read  (leaves: {:?})",
+            r.rows.len(),
+            r.metrics.elapsed_us(),
+            r.metrics.bytes_read(),
+            plan.leaf_kinds()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Tune a TPC-DS-like star schema three ways — B+ tree-only, columnstore-
+//! only, and hybrid — and compare measured execution costs, echoing the
+//! paper's §5 evaluation in miniature.
+//!
+//! ```console
+//! $ cargo run --release --example tune_star_schema
+//! ```
+
+use hybrid_physical_designs::advisor::{Advisor, AdvisorOptions, DesignMode, Workload};
+use hybrid_physical_designs::common::HpdError;
+use hybrid_physical_designs::engine::{Database, DbConfig, Statement};
+use hybrid_physical_designs::workloads::tpcds;
+
+fn fresh_db() -> Result<Database, HpdError> {
+    let mut cfg = DbConfig::default();
+    cfg.csi.rowgroup_capacity = 8_192;
+    let db = Database::new(cfg);
+    tpcds::load(&db, tpcds::DsScale::small())?;
+    Ok(db)
+}
+
+fn main() -> Result<(), HpdError> {
+    let queries = tpcds::queries(12, 99);
+    let workload = Workload::read_only(queries.iter().map(|(_, q)| q.clone()).collect());
+
+    println!("tuning a TPC-DS-like star schema for {} queries...\n", queries.len());
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>14}",
+        "mode", "est before", "est after", "est speedup", "measured cpu"
+    );
+
+    for (mode, label) in [
+        (DesignMode::BTreeOnly, "btree-only"),
+        (DesignMode::CsiOnly, "csi-only"),
+        (DesignMode::Hybrid, "hybrid"),
+    ] {
+        // Fresh database per mode so designs do not interfere.
+        let db = fresh_db()?;
+        let rec = Advisor::new(
+            &db,
+            AdvisorOptions {
+                mode,
+                ..Default::default()
+            },
+        )
+        .recommend(&workload)?;
+        db.apply_configuration(&rec.configuration)?;
+
+        // Measure actual CPU time for the whole workload.
+        let mut cpu_us = 0.0;
+        for (_, q) in &queries {
+            let r = db.execute(&Statement::Select(q.clone()))?;
+            cpu_us += r.metrics.cpu_us();
+        }
+        println!(
+            "{label:<12} {:>14.0} {:>14.0} {:>11.1}x {:>12.0}us",
+            rec.est_cost_before_us,
+            rec.est_cost_after_us,
+            rec.speedup(),
+            cpu_us
+        );
+        if mode == DesignMode::Hybrid {
+            println!("\nhybrid recommendation:\n{}", rec.report(&db));
+            // Show one example plan mixing both index kinds, if any.
+            for (lbl, q) in &queries {
+                let plan = db.plan(q)?;
+                if plan.is_hybrid() {
+                    println!("example hybrid plan ({lbl}):\n{}", plan.explain());
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,353 @@
+//! Cross-crate integration tests: end-to-end flows through workloads,
+//! engine, executor, and advisor, checking both correctness (answers agree
+//! across physical designs) and the paper's qualitative trade-offs.
+
+use hybrid_physical_designs::advisor::{Advisor, AdvisorOptions, Workload};
+use hybrid_physical_designs::common::{CmpOp, Expr, Row, Value};
+use hybrid_physical_designs::engine::{
+    Database, DbConfig, IndexDescriptor, IsolationLevel, SelectQuery, Statement,
+};
+use hybrid_physical_designs::workloads::micro::MicroTable;
+use hybrid_physical_designs::workloads::tpch::{load_lineitem, q4_update, q5_scan, MixedDesign};
+use hybrid_physical_designs::workloads::{ch, tpcds};
+
+fn sorted_rows(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+/// The same query must produce identical answers no matter which physical
+/// design executes it — across the full selectivity grid.
+#[test]
+fn answers_agree_across_designs() {
+    let rows = 30_000;
+    let mut cfg = DbConfig::default();
+    cfg.csi.rowgroup_capacity = 4_096;
+
+    let db_bt = Database::new(cfg.clone());
+    let t = MicroTable::new("m", 2, rows);
+    t.load(&db_bt, IndexDescriptor::PrimaryBTree { keys: vec![0] })
+        .unwrap();
+
+    let db_cs = Database::new(cfg.clone());
+    t.load(&db_cs, IndexDescriptor::PrimaryCsi).unwrap();
+
+    let db_hybrid = Database::new(cfg);
+    t.load(&db_hybrid, IndexDescriptor::PrimaryBTree { keys: vec![0] })
+        .unwrap();
+    db_hybrid
+        .create_index("m", &IndexDescriptor::SecondaryCsi { columns: vec![0, 1] })
+        .unwrap();
+
+    for sel in [0.0, 1e-4, 0.01, 0.3, 1.0] {
+        for q in [t.q1(sel), t.q2(sel), t.q3()] {
+            let stmt = Statement::Select(q);
+            let a = sorted_rows(db_bt.execute(&stmt).unwrap().rows);
+            let b = sorted_rows(db_cs.execute(&stmt).unwrap().rows);
+            let c = sorted_rows(db_hybrid.execute(&stmt).unwrap().rows);
+            assert_eq!(a, b, "btree vs csi disagree at sel {sel}");
+            assert_eq!(a, c, "btree vs hybrid disagree at sel {sel}");
+        }
+    }
+}
+
+/// The Figure 1 trade-off: under the HDD device model, a selective query is
+/// far cheaper on the B+ tree, a full scan far cheaper on the columnstore.
+#[test]
+fn selectivity_tradeoff_shape() {
+    let rows = 100_000;
+    let mut cfg = DbConfig {
+        device: hybrid_physical_designs::storage::DeviceProfile::hdd_scaled(40.0),
+        ..DbConfig::default()
+    };
+    cfg.csi.rowgroup_capacity = 8_192;
+
+    let db_bt = Database::new(cfg.clone());
+    let t = MicroTable::new("m", 1, rows);
+    t.load(&db_bt, IndexDescriptor::PrimaryBTree { keys: vec![0] })
+        .unwrap();
+    let db_cs = Database::new(cfg);
+    t.load(&db_cs, IndexDescriptor::PrimaryCsi).unwrap();
+
+    let run_cold = |db: &Database, sel: f64| {
+        db.clear_cache();
+        db.execute(&Statement::Select(t.q1(sel)))
+            .unwrap()
+            .metrics
+            .elapsed_us()
+    };
+
+    let selective_bt = run_cold(&db_bt, 1e-5);
+    let selective_cs = run_cold(&db_cs, 1e-5);
+    assert!(
+        selective_bt * 5.0 < selective_cs,
+        "selective: btree {selective_bt}us vs csi {selective_cs}us"
+    );
+
+    let full_bt = run_cold(&db_bt, 1.0);
+    let full_cs = run_cold(&db_cs, 1.0);
+    assert!(
+        full_cs * 2.0 < full_bt,
+        "full scan: csi {full_cs}us vs btree {full_bt}us"
+    );
+}
+
+/// The Figure 5 trade-off: updates are cheapest on the B+ tree-only design
+/// and most expensive on the primary columnstore.
+#[test]
+fn update_cost_ordering() {
+    let measure = |design: MixedDesign| {
+        let mut cfg = DbConfig::default();
+        cfg.csi.rowgroup_capacity = 4_096;
+        let db = Database::new(cfg);
+        load_lineitem(&db, 30_000, 5, design).unwrap();
+        // Warm, then take the median of five 10-row updates (sub-millisecond
+        // wall timings are noisy on loaded machines).
+        db.execute(&q4_update(10, 50)).unwrap();
+        let mut runs: Vec<f64> = (51..56)
+            .map(|day| db.execute(&q4_update(10, day)).unwrap().metrics.elapsed_us())
+            .collect();
+        runs.sort_by(|a, b| a.total_cmp(b));
+        runs[2]
+    };
+    let bt = measure(MixedDesign::BTreeOnly);
+    let hybrid = measure(MixedDesign::BTreeWithSecondaryCsi);
+    let pri_csi = measure(MixedDesign::PrimaryCsi);
+    assert!(bt <= hybrid * 3.0, "btree {bt} vs hybrid {hybrid}");
+    assert!(
+        hybrid < pri_csi,
+        "hybrid {hybrid} must beat primary csi {pri_csi} on updates"
+    );
+}
+
+/// Mixed-workload correctness: Q5 returns the same totals before/after the
+/// engine processes interleaved updates on every design.
+#[test]
+fn mixed_statements_consistent_across_designs() {
+    let mut totals = Vec::new();
+    for design in [
+        MixedDesign::BTreeOnly,
+        MixedDesign::BTreeWithSecondaryCsi,
+        MixedDesign::PrimaryCsi,
+    ] {
+        let mut cfg = DbConfig::default();
+        cfg.csi.rowgroup_capacity = 4_096;
+        let db = Database::new(cfg);
+        load_lineitem(&db, 20_000, 9, design).unwrap();
+        for day in 0..5 {
+            db.execute(&q4_update(5, day)).unwrap();
+        }
+        let r = db.execute(&q5_scan(2)).unwrap();
+        totals.push(r.rows[0].clone());
+    }
+    assert_eq!(totals[0], totals[1]);
+    assert_eq!(totals[0], totals[2]);
+}
+
+/// Advisor end-to-end on the star schema: the hybrid recommendation must
+/// reduce measured total CPU time vs. the untuned database.
+#[test]
+fn advisor_improves_measured_star_workload() {
+    let mut cfg = DbConfig::default();
+    cfg.csi.rowgroup_capacity = 4_096;
+    let db = Database::new(cfg);
+    tpcds::load(
+        &db,
+        tpcds::DsScale {
+            store_sales_rows: 20_000,
+            web_sales_rows: 10_000,
+            items: 200,
+            dates: 200,
+            addresses: 500,
+            stores: 10,
+            households: 72,
+            seed: 3,
+        },
+    )
+    .unwrap();
+    let queries = tpcds::queries(8, 5);
+
+    let measure = |db: &Database| -> f64 {
+        queries
+            .iter()
+            .map(|(_, q)| {
+                let _ = db.execute(&Statement::Select(q.clone()));
+                db.execute(&Statement::Select(q.clone()))
+                    .unwrap()
+                    .metrics
+                    .cpu_us()
+            })
+            .sum()
+    };
+    let before = measure(&db);
+
+    let workload = Workload::read_only(queries.iter().map(|(_, q)| q.clone()).collect());
+    let rec = Advisor::new(&db, AdvisorOptions::default())
+        .recommend(&workload)
+        .unwrap();
+    db.apply_configuration(&rec.configuration).unwrap();
+    let after = measure(&db);
+    assert!(
+        after < before,
+        "tuning must help: before {before}us, after {after}us"
+    );
+}
+
+/// CH transactions preserve cross-table invariants under every isolation
+/// level: every order has its order lines, and delivered new-orders vanish.
+#[test]
+fn ch_transactions_keep_invariants() {
+    use hybrid_physical_designs::engine::{AggItem, ColRef, TableInput};
+    use hybrid_physical_designs::common::AggFunc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::Snapshot,
+        IsolationLevel::Serializable,
+    ] {
+        let db = Database::new(DbConfig::default());
+        let scale = ch::ChScale::tiny();
+        ch::load(&db, scale).unwrap();
+        let rt = ch::ChRuntime::new(scale);
+        let mut rng = StdRng::seed_from_u64(7);
+        let session = db.session(isolation);
+        for _ in 0..8 {
+            let mut txn = session.begin();
+            rt.new_order(&mut txn, &mut rng).unwrap();
+            txn.commit().unwrap();
+            let mut txn = session.begin();
+            rt.delivery(&mut txn, &mut rng).unwrap();
+            txn.commit().unwrap();
+        }
+        // sum(o_ol_cnt) == count(order_line) — line counts stay consistent.
+        let order_lines = db
+            .execute(&Statement::Select(SelectQuery {
+                tables: vec![TableInput::new("order_line")],
+                aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 0))],
+                ..Default::default()
+            }))
+            .unwrap()
+            .rows[0][0]
+            .clone();
+        let ol_cnt_sum = db
+            .execute(&Statement::Select(SelectQuery {
+                tables: vec![TableInput::new("orders")],
+                aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 6))],
+                ..Default::default()
+            }))
+            .unwrap()
+            .rows[0][0]
+            .clone();
+        assert_eq!(
+            order_lines.as_i64(),
+            ol_cnt_sum.as_i64(),
+            "{isolation:?}: order_line count vs sum(o_ol_cnt)"
+        );
+    }
+}
+
+/// Snapshot isolation across the whole stack: a long snapshot reader sees a
+/// frozen aggregate while concurrent committed updates change it for others.
+#[test]
+fn snapshot_aggregate_stability() {
+    let db = Database::new(DbConfig::default());
+    load_lineitem(&db, 10_000, 11, MixedDesign::BTreeOnly).unwrap();
+
+    let si = db.session(IsolationLevel::Snapshot);
+    let mut reader = si.begin();
+    let q5 = match q5_scan(7) {
+        Statement::Select(q) => q,
+        _ => unreachable!(),
+    };
+    let frozen = reader.select(&q5).unwrap().rows;
+
+    db.execute(&q4_update(1_000, 7)).unwrap();
+
+    let fresh = db.execute(&Statement::Select(q5.clone())).unwrap().rows;
+    let still_frozen = reader.select(&q5).unwrap().rows;
+    assert_eq!(frozen, still_frozen, "snapshot must not move");
+    assert_ne!(frozen, fresh, "committed update must be visible outside");
+    reader.abort();
+}
+
+/// Size estimation cross-check at workspace level: estimates land within an
+/// order of magnitude of actually-built columnstores for the TPC-H schema.
+#[test]
+fn size_estimates_track_actual_lineitem() {
+    use hybrid_physical_designs::advisor::{CsiSizeEstimator, RunModelEstimator, SampleSet};
+    use hybrid_physical_designs::columnstore::{ColumnStoreIndex, CsiConfig, CsiKind};
+    use hybrid_physical_designs::storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
+    use hybrid_physical_designs::workloads::tpch::{lineitem_rows, lineitem_schema};
+
+    let rows = lineitem_rows(50_000, 1);
+    let config = CsiConfig {
+        rowgroup_capacity: 8_192,
+        sort_mode: hybrid_physical_designs::columnstore::SortMode::Greedy,
+        ..CsiConfig::default()
+    };
+    let pool = BufferPool::unbounded(DeviceProfile::ram());
+    let csi = ColumnStoreIndex::build(
+        lineitem_schema(),
+        CsiKind::Secondary,
+        vec![0, 1],
+        config,
+        &rows,
+        StorageAllocator::new(),
+        &pool,
+        &IoTracker::new(),
+    );
+    let actual: usize = csi.column_sizes().iter().sum();
+    let sample = SampleSet::block_sample(&rows, 0.1, 3);
+    let est: usize = RunModelEstimator
+        .estimate_column_bytes(&lineitem_schema(), &sample, rows.len(), &config)
+        .iter()
+        .sum();
+    let ratio = est as f64 / actual as f64;
+    assert!(
+        (0.1..10.0).contains(&ratio),
+        "estimate {est} vs actual {actual} (ratio {ratio})"
+    );
+}
+
+/// What-if costs must rank designs the same way real measurements do for
+/// the canonical scan-vs-seek pair.
+#[test]
+fn estimated_costs_rank_like_measurements() {
+    let rows = 50_000;
+    let mut cfg = DbConfig {
+        device: hybrid_physical_designs::storage::DeviceProfile::hdd_scaled(40.0),
+        ..DbConfig::default()
+    };
+    cfg.csi.rowgroup_capacity = 8_192;
+    let db = Database::new(cfg);
+    let t = MicroTable::new("m", 2, rows);
+    t.load(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] })
+        .unwrap();
+    db.create_index("m", &IndexDescriptor::SecondaryCsi { columns: vec![0, 1] })
+        .unwrap();
+
+    let selective = SelectQuery::single_table(
+        "m",
+        Some(Expr::col_cmp(
+            0,
+            CmpOp::Lt,
+            Value::Int32(MicroTable::cutoff(1e-4)),
+        )),
+        vec![0],
+    );
+    let scan = t.q3();
+
+    // Plans must pick different leaves for the two shapes.
+    let p_sel = db.plan(&selective).unwrap();
+    let p_scan = db.plan(&scan).unwrap();
+    assert!(p_sel
+        .leaf_kinds()
+        .contains(&hybrid_physical_designs::engine::LeafKind::BTree));
+    assert!(p_scan
+        .leaf_kinds()
+        .contains(&hybrid_physical_designs::engine::LeafKind::Columnstore));
+    // And estimated costs must be finite and positive.
+    assert!(p_sel.est_cost_us > 0.0 && p_scan.est_cost_us > 0.0);
+}

@@ -19,7 +19,9 @@ fn bench_encoding(c: &mut Criterion) {
         v.sort_unstable();
         v
     };
-    let random_small: Vec<i64> = (0..100_000).map(|i| (i * 2_654_435_761i64) % 1024).collect();
+    let random_small: Vec<i64> = (0..100_000)
+        .map(|i| (i * 2_654_435_761i64) % 1024)
+        .collect();
     let wide: Vec<i64> = (0..100_000).map(|i| i * 1_000_000_007).collect();
 
     let mut g = c.benchmark_group("encoding");
@@ -41,18 +43,14 @@ fn bench_encoding(c: &mut Criterion) {
 
 fn bench_sort_order_ablation(c: &mut Criterion) {
     // DESIGN.md ablation: greedy compression sort order vs arrival order.
-    let data: Vec<i32> = (0..65_536).map(|i| ((i * 2_654_435_761u64 as i64) % 16) as i32).collect();
+    let data: Vec<i32> = (0..65_536)
+        .map(|i| ((i * 2_654_435_761u64 as i64) % 16) as i32)
+        .collect();
     let alloc = StorageAllocator::new();
     let mut g = c.benchmark_group("rowgroup_build");
     for (name, mode) in [("arrival", SortMode::Arrival), ("greedy", SortMode::Greedy)] {
         g.bench_function(name, |b| {
-            b.iter(|| {
-                RowGroup::build(
-                    vec![ColumnVector::Int32(data.clone())],
-                    mode,
-                    &alloc,
-                )
-            })
+            b.iter(|| RowGroup::build(vec![ColumnVector::Int32(data.clone())], mode, &alloc))
         });
     }
     g.finish();

@@ -4,11 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpd_common::{AggFunc, Batch, CmpOp, ColumnVector, DataType, Expr, Value};
-use hpd_exec::{
-    collect, AggSpec, ExecCtx, FilterOp, HashAggOp, HashJoinOp, Mode, SortOp, StreamAggOp,
-    ValuesOp,
-};
 use hpd_exec::ops::sort::SortKey;
+use hpd_exec::{
+    collect, AggSpec, ExecCtx, FilterOp, HashAggOp, HashJoinOp, Mode, SortOp, StreamAggOp, ValuesOp,
+};
 use hpd_storage::{BufferPool, DeviceProfile};
 
 const N: i32 = 200_000;
@@ -57,9 +56,7 @@ fn bench_aggregation(c: &mut Criterion) {
     let sorted_src = || {
         let mut rows = batch().to_rows();
         rows.sort_by(|a, b| a[1].cmp(&b[1]));
-        Box::new(
-            ValuesOp::from_rows(vec![DataType::Int32, DataType::Int32], &rows).unwrap(),
-        )
+        Box::new(ValuesOp::from_rows(vec![DataType::Int32, DataType::Int32], &rows).unwrap())
     };
     g.bench_function("stream_presorted", |b| {
         b.iter(|| {
@@ -87,8 +84,9 @@ fn bench_sort_and_join(c: &mut Criterion) {
             .collect();
         b.iter(|| {
             let ctx = ExecCtx::new(&pool);
-            let right =
-                Box::new(ValuesOp::from_rows(vec![DataType::Int32, DataType::Int32], &dim).unwrap());
+            let right = Box::new(
+                ValuesOp::from_rows(vec![DataType::Int32, DataType::Int32], &dim).unwrap(),
+            );
             let mut op = HashJoinOp::new(source(), right, vec![(1, 0)]);
             collect(&mut op, &ctx).unwrap()
         })

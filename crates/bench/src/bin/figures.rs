@@ -5,6 +5,7 @@ use hpd_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    #[allow(clippy::type_complexity)]
     let sections: Vec<(&str, fn(Scale) -> String)> = vec![
         ("fig1", figs::fig1_selectivity::run),
         ("fig2+fig12", figs::fig2_data_skipping::run),

@@ -127,7 +127,9 @@ pub fn run_hot_with_grant(db: &Database, stmt: &Statement, grant: usize) -> RunR
     db.execute_with_grant(stmt, grant).expect("warm-up failed");
     let mut runs: Vec<(f64, RunResult)> = (0..3)
         .map(|_| {
-            let r = db.execute_with_grant(stmt, grant).expect("statement failed");
+            let r = db
+                .execute_with_grant(stmt, grant)
+                .expect("statement failed");
             let rr = RunResult::from(&r);
             (rr.elapsed_us, rr)
         })

@@ -19,7 +19,10 @@ pub fn run(scale: Scale) -> String {
         for (_, q) in &bundle.queries {
             let plan = db.plan(q).expect("plan");
             let leaves = plan.leaf_kinds();
-            csi_leaves += leaves.iter().filter(|&&k| k == LeafKind::Columnstore).count();
+            csi_leaves += leaves
+                .iter()
+                .filter(|&&k| k == LeafKind::Columnstore)
+                .count();
             bt_leaves += leaves.iter().filter(|&&k| k == LeafKind::BTree).count();
             if plan.is_hybrid() {
                 hybrid_plans += 1;
@@ -38,7 +41,13 @@ pub fn run(scale: Scale) -> String {
     let mut out = String::new();
     out.push_str("Figure 10 — index usage in plans chosen under the hybrid design\n\n");
     out.push_str(&render_table(
-        &["workload", "CSI leaves", "B+tree leaves", "hybrid plans", "#queries"],
+        &[
+            "workload",
+            "CSI leaves",
+            "B+tree leaves",
+            "hybrid plans",
+            "#queries",
+        ],
         &rows_out,
     ));
     out.push_str(

@@ -40,7 +40,12 @@ fn ch_db(design: &Configuration, scale: ChScale) -> Database {
 
 /// Run the mixed C+H workload for `seconds`, returning median latencies per
 /// operation label.
-fn run_mixed(db: Arc<Database>, scale: ChScale, isolation: IsolationLevel, seconds: f64) -> Latencies {
+fn run_mixed(
+    db: Arc<Database>,
+    scale: ChScale,
+    isolation: IsolationLevel,
+    seconds: f64,
+) -> Latencies {
     let samples: Arc<Mutex<HashMap<String, Vec<f64>>>> = Arc::new(Mutex::new(HashMap::new()));
     let stop = Arc::new(AtomicBool::new(false));
     let rt = Arc::new(ChRuntime::new(scale));

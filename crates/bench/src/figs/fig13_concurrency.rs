@@ -37,11 +37,16 @@ pub fn run(scale: Scale) -> String {
         .expect("load");
     let db_cs = Database::new(cfg);
     let t_cs = MicroTable::new("t1", 1, rows);
-    t_cs.load(&db_cs, IndexDescriptor::PrimaryCsi).expect("load");
+    t_cs.load(&db_cs, IndexDescriptor::PrimaryCsi)
+        .expect("load");
 
     // Dense selectivity grid for crossover detection.
     let grid: Vec<f64> = (0..=40)
-        .map(|i| 10f64.powf(-7.0 + i as f64 * (7.0f64.log10() + 7.0) / 40.0).min(1.0))
+        .map(|i| {
+            10f64
+                .powf(-7.0 + i as f64 * (7.0f64.log10() + 7.0) / 40.0)
+                .min(1.0)
+        })
         .collect();
     let costs: Vec<(f64, f64, f64)> = grid
         .iter()
@@ -55,7 +60,7 @@ pub fn run(scale: Scale) -> String {
     let mut rows_out = Vec::new();
     for exp in 0..=8u32 {
         let n = (1usize << exp) as f64; // 1..256 concurrent queries
-        // Crossover: first selectivity where the CSI plan is faster.
+                                        // Crossover: first selectivity where the CSI plan is faster.
         let crossover = costs
             .iter()
             .find(|&&(_, bt_cpu, cs_cpu)| elapsed_csi(cs_cpu, n) < elapsed_btree(bt_cpu, n))
@@ -73,7 +78,10 @@ pub fn run(scale: Scale) -> String {
     out.push_str(&format!(
         "Figure 13 — selectivity crossover vs concurrency ({rows} rows, {CORES:.0}-core model, DOP {DOP:.0})\n\n"
     ));
-    out.push_str(&render_table(&["# concurrent", "crossover sel (%)"], &rows_out));
+    out.push_str(&render_table(
+        &["# concurrent", "crossover sel (%)"],
+        &rows_out,
+    ));
     out.push_str(
         "\nExpected shape: low at small concurrency (CSI has idle cores),\n\
          rising as parallel scans contend for CPU, then falling back toward\n\

@@ -21,7 +21,9 @@ pub fn run(scale: Scale) -> String {
 
     let db_rand = Database::new(db(scale));
     let t_rand = MicroTable::new("t1", 1, scale.micro_rows);
-    t_rand.load(&db_rand, IndexDescriptor::PrimaryCsi).expect("load");
+    t_rand
+        .load(&db_rand, IndexDescriptor::PrimaryCsi)
+        .expect("load");
 
     let db_sorted = Database::new(db(scale));
     let t_sorted = MicroTable::new("t1", 1, scale.micro_rows).sorted();

@@ -15,7 +15,9 @@ pub fn run(scale: Scale) -> String {
 
     let db_csi = Database::new(cfg.clone());
     let t_csi = MicroTable::new("t2", 2, rows);
-    t_csi.load(&db_csi, IndexDescriptor::PrimaryCsi).expect("load");
+    t_csi
+        .load(&db_csi, IndexDescriptor::PrimaryCsi)
+        .expect("load");
 
     let db_k1 = Database::new(cfg.clone());
     let t_k1 = MicroTable::new("t2", 2, rows);

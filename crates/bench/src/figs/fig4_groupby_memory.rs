@@ -33,7 +33,8 @@ pub fn run(scale: Scale) -> String {
 
         let db_cs = Database::new(cfg);
         let t_cs = MicroTable::new("t3", 2, rows).with_col0_distinct(groups);
-        t_cs.load(&db_cs, IndexDescriptor::PrimaryCsi).expect("load");
+        t_cs.load(&db_cs, IndexDescriptor::PrimaryCsi)
+            .expect("load");
 
         let bt = run_hot_with_grant(&db_bt, &Statement::Select(t.q3()), grant);
         let cs = run_hot_with_grant(&db_cs, &Statement::Select(t_cs.q3()), grant);

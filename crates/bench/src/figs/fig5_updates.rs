@@ -77,7 +77,12 @@ pub fn run(scale: Scale) -> String {
         "Figure 5 — Q4 update cost vs. updated fraction, {rows} lineitem rows\n\n"
     ));
     out.push_str(&render_table(
-        &["% rows", "pri B+tree (ms)", "B+tree + sec CSI (ms)", "pri CSI (ms)"],
+        &[
+            "% rows",
+            "pri B+tree (ms)",
+            "B+tree + sec CSI (ms)",
+            "pri CSI (ms)",
+        ],
         &table,
     ));
     out.push_str(

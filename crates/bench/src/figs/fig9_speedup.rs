@@ -45,7 +45,9 @@ pub fn bundles(scale: Scale) -> Vec<Bundle> {
         out.push(Bundle {
             name,
             load: Box::new(move |db| {
-                customer::load(db, profile.clone()).map(|_| ()).expect("load customer")
+                customer::load(db, profile.clone())
+                    .map(|_| ())
+                    .expect("load customer")
             }),
             queries,
         });
@@ -78,11 +80,22 @@ pub fn tuned_configurations(
     queries: &[(String, SelectQuery)],
 ) -> (Configuration, Configuration, Configuration) {
     use std::sync::{Mutex, OnceLock};
-    static MEMO: OnceLock<Mutex<std::collections::HashMap<String, (Configuration, Configuration, Configuration)>>> =
-        OnceLock::new();
+    #[allow(clippy::type_complexity)]
+    static MEMO: OnceLock<
+        Mutex<std::collections::HashMap<String, (Configuration, Configuration, Configuration)>>,
+    > = OnceLock::new();
     let fingerprint = queries
         .iter()
-        .map(|(l, q)| format!("{l}:{}", q.tables.iter().map(|t| t.name.as_str()).collect::<Vec<_>>().join(",")))
+        .map(|(l, q)| {
+            format!(
+                "{l}:{}",
+                q.tables
+                    .iter()
+                    .map(|t| t.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        })
         .collect::<Vec<_>>()
         .join(";");
     if let Some(hit) = MEMO

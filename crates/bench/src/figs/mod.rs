@@ -3,6 +3,7 @@
 
 pub mod ablation_device;
 pub mod example_plans;
+pub mod fig10_plan_mix;
 pub mod fig11_ch_mixed;
 pub mod fig13_concurrency;
 pub mod fig1_selectivity;
@@ -12,6 +13,5 @@ pub mod fig4_groupby_memory;
 pub mod fig5_updates;
 pub mod fig6_mixed;
 pub mod fig9_speedup;
-pub mod fig10_plan_mix;
 pub mod table1_matrix;
 pub mod table2_stats;

@@ -41,12 +41,20 @@ pub fn run(scale: Scale) -> String {
         let t = MicroTable::new("t1", 1, rows);
         match design {
             MixedDesign::BTreeOnly => t
-                .load(&db, hpd_engine::IndexDescriptor::PrimaryBTree { keys: vec![0] })
+                .load(
+                    &db,
+                    hpd_engine::IndexDescriptor::PrimaryBTree { keys: vec![0] },
+                )
                 .unwrap(),
-            MixedDesign::PrimaryCsi => t.load(&db, hpd_engine::IndexDescriptor::PrimaryCsi).unwrap(),
+            MixedDesign::PrimaryCsi => t
+                .load(&db, hpd_engine::IndexDescriptor::PrimaryCsi)
+                .unwrap(),
             MixedDesign::BTreeWithSecondaryCsi => {
-                t.load(&db, hpd_engine::IndexDescriptor::PrimaryBTree { keys: vec![0] })
-                    .unwrap();
+                t.load(
+                    &db,
+                    hpd_engine::IndexDescriptor::PrimaryBTree { keys: vec![0] },
+                )
+                .unwrap();
                 db.create_index(
                     "t1",
                     &hpd_engine::IndexDescriptor::SecondaryCsi { columns: vec![0] },

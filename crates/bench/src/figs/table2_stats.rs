@@ -37,7 +37,10 @@ pub fn run(scale: Scale) -> String {
             })
             .unwrap();
         }
-        let avg_joins: f64 = queries.iter().map(|(_, q)| q.joins.len() as f64).sum::<f64>()
+        let avg_joins: f64 = queries
+            .iter()
+            .map(|(_, q)| q.joins.len() as f64)
+            .sum::<f64>()
             / queries.len() as f64;
         let avg_ops: f64 = queries
             .iter()

@@ -95,7 +95,10 @@ impl BTree {
         pool: &BufferPool,
         tracker: &IoTracker,
     ) -> Result<BTree> {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0), "bulk_load requires sorted input");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_load requires sorted input"
+        );
         if entries.is_empty() {
             return Ok(BTree::new(config, alloc));
         }
@@ -219,7 +222,6 @@ impl BTree {
         self.nodes.len() * PAGE_SIZE
     }
 
-
     // ------------------------------------------------------------------
     // Descend helpers
     // ------------------------------------------------------------------
@@ -238,7 +240,11 @@ impl BTree {
                     pool.access_page(*page, tracker);
                     return node;
                 }
-                Node::Internal { keys, children, page } => {
+                Node::Internal {
+                    keys,
+                    children,
+                    page,
+                } => {
                     pool.access_page_seq(*page, tracker);
                     // Go left on equality so duplicates in the left sibling
                     // are not skipped.
@@ -261,7 +267,11 @@ impl BTree {
                     pool.access_page(*page, tracker);
                     return path;
                 }
-                Node::Internal { keys, children, page } => {
+                Node::Internal {
+                    keys,
+                    children,
+                    page,
+                } => {
                     pool.access_page_seq(*page, tracker);
                     let idx = keys.partition_point(|k| k <= key);
                     node = children[idx];
@@ -348,7 +358,11 @@ impl BTree {
     ) -> Option<(Key, NodeId)> {
         let fanout = self.config.internal_fanout;
         let (overflow, page) = match &mut self.nodes[node] {
-            Node::Internal { keys, children, page } => {
+            Node::Internal {
+                keys,
+                children,
+                page,
+            } => {
                 let pos = children
                     .iter()
                     .position(|&c| c == left_child)
@@ -386,7 +400,12 @@ impl BTree {
         Some((promoted, right_id))
     }
 
-    fn split_leaf(&mut self, leaf: NodeId, pool: &BufferPool, tracker: &IoTracker) -> (Key, NodeId) {
+    fn split_leaf(
+        &mut self,
+        leaf: NodeId,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> (Key, NodeId) {
         let page = self.alloc.alloc_page();
         let right_id = self.nodes.len();
         let (right_entries, old_next) = match &mut self.nodes[leaf] {
@@ -419,7 +438,11 @@ impl BTree {
         let mut first = true;
         loop {
             let (found, next, page) = match &mut self.nodes[leaf] {
-                Node::Leaf { entries, next, page } => {
+                Node::Leaf {
+                    entries,
+                    next,
+                    page,
+                } => {
                     if !first {
                         pool.access_page(*page, tracker);
                     }
@@ -473,7 +496,11 @@ impl BTree {
         let mut first = true;
         loop {
             let (dirty, next, page, past_end) = match &mut self.nodes[leaf] {
-                Node::Leaf { entries, next, page } => {
+                Node::Leaf {
+                    entries,
+                    next,
+                    page,
+                } => {
                     if !first {
                         pool.access_page(*page, tracker);
                     }
@@ -753,4 +780,3 @@ impl BTree {
         Ok(())
     }
 }
-

@@ -32,14 +32,8 @@ fn build_bulk(keys: &[i32]) -> (BTree, BufferPool, IoTracker) {
     let entries: Vec<(Key, Row)> = sorted.iter().map(|&k| kv(k)).collect();
     let pool = pool();
     let t = IoTracker::new();
-    let tree = BTree::bulk_load(
-        small_config(),
-        StorageAllocator::new(),
-        entries,
-        &pool,
-        &t,
-    )
-    .unwrap();
+    let tree =
+        BTree::bulk_load(small_config(), StorageAllocator::new(), entries, &pool, &t).unwrap();
     (tree, pool, t)
 }
 
@@ -150,9 +144,7 @@ fn delete_removes_single_match() {
     assert!(removed.is_some());
     assert_eq!(tree.len(), 99);
     assert!(tree.seek_exact(&key, &pool, &t).is_empty());
-    assert!(tree
-        .delete_first_where(&key, |_| true, &pool, &t)
-        .is_none());
+    assert!(tree.delete_first_where(&key, |_| true, &pool, &t).is_none());
     tree.check_invariants().unwrap();
 }
 

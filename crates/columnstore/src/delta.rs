@@ -40,6 +40,7 @@ impl DeltaStore {
     /// Stage a row under its row key (B+ tree insert cost — cheap, the
     /// point of the delta store).
     pub fn insert(&mut self, key: Key, row: Row, pool: &BufferPool, tracker: &IoTracker) {
+        hpd_obs::global().counter("columnstore.delta_insert").inc();
         self.tree.insert(key, row, pool, tracker);
     }
 
@@ -65,6 +66,7 @@ impl DeltaStore {
     /// Remove and return up to `n` rows, smallest keys first (tuple-mover
     /// drain; draining in key order also compresses well).
     pub fn drain(&mut self, n: usize, pool: &BufferPool, tracker: &IoTracker) -> Vec<Row> {
+        hpd_obs::global().counter("columnstore.delta_drain").inc();
         let mut out = Vec::with_capacity(n.min(self.tree.len()));
         let keys: Vec<Key> = {
             let mut cur = self.tree.cursor_seek(Bound::Unbounded, pool, tracker);
@@ -109,7 +111,10 @@ mod tests {
     }
 
     fn kv(v: i32) -> (Key, Row) {
-        (Key::single(Value::Int32(v)), Row::new(vec![Value::Int32(v)]))
+        (
+            Key::single(Value::Int32(v)),
+            Row::new(vec![Value::Int32(v)]),
+        )
     }
 
     #[test]

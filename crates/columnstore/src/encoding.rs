@@ -81,7 +81,7 @@ impl EncodedInts {
                 let n = self.len();
                 let mut out = Vec::with_capacity(n);
                 for &(v, c) in runs {
-                    out.extend(std::iter::repeat(v).take(c as usize));
+                    out.extend(std::iter::repeat_n(v, c as usize));
                 }
                 out
             }
@@ -94,7 +94,7 @@ impl EncodedInts {
                 let mut out = Vec::with_capacity(*len);
                 let bw = *bit_width as usize;
                 if bw == 0 {
-                    out.extend(std::iter::repeat(*base).take(*len));
+                    out.extend(std::iter::repeat_n(*base, *len));
                     return out;
                 }
                 let mask: u64 = if bw == 64 { u64::MAX } else { (1u64 << bw) - 1 };

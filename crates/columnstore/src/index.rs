@@ -65,6 +65,7 @@ impl ColumnStoreIndex {
     /// Bulk load a columnstore ("bulk loaded data is transformed directly
     /// into the compressed row groups"). Charges segment writes to
     /// `tracker`.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         schema: Schema,
         kind: CsiKind,
@@ -92,10 +93,7 @@ impl ColumnStoreIndex {
         debug_assert!(key_ordinals.iter().all(|&k| k < schema.len()));
         let delta = DeltaStore::new(schema.row_width(), alloc.clone());
         let delete_buffer = match kind {
-            CsiKind::Secondary => Some(BTree::new(
-                BTreeConfig::for_entry_width(32),
-                alloc.clone(),
-            )),
+            CsiKind::Secondary => Some(BTree::new(BTreeConfig::for_entry_width(32), alloc.clone())),
             CsiKind::Primary => None,
         };
         ColumnStoreIndex {
@@ -174,7 +172,10 @@ impl ColumnStoreIndex {
             }
         }
         // Attribute delta-store bytes proportionally to column widths.
-        let delta_bytes = self.delta.size_bytes().min(self.delta.len() * self.schema.row_width());
+        let delta_bytes = self
+            .delta
+            .size_bytes()
+            .min(self.delta.len() * self.schema.row_width());
         let total_width: usize = self.schema.row_width().max(1);
         for (c, size) in sizes.iter_mut().enumerate() {
             *size += delta_bytes * self.schema.column(c).dtype.fixed_width() / total_width;
@@ -339,7 +340,13 @@ impl ColumnStoreIndex {
     /// Update = delete + insert (paper §2: "smaller point updates are
     /// handled as a delete followed by an insert"). The caller provides the
     /// new full row.
-    pub fn update(&mut self, key: &Key, new_row: Row, pool: &BufferPool, tracker: &IoTracker) -> bool {
+    pub fn update(
+        &mut self,
+        key: &Key,
+        new_row: Row,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> bool {
         let deleted = self.delete(key, pool, tracker);
         if deleted {
             self.insert(new_row, pool, tracker);
@@ -361,7 +368,10 @@ impl ColumnStoreIndex {
             self.compact_delete_buffer(pool, tracker);
         }
         while self.delta.len() >= self.config.rowgroup_capacity {
-            let rows = self.delta.drain(self.config.rowgroup_capacity, pool, tracker);
+            hpd_obs::global().counter("columnstore.tuple_move").inc();
+            let rows = self
+                .delta
+                .drain(self.config.rowgroup_capacity, pool, tracker);
             self.compress_chunk(&rows, pool, tracker);
         }
     }
@@ -386,6 +396,9 @@ impl ColumnStoreIndex {
         if buffer.is_empty() {
             return;
         }
+        hpd_obs::global()
+            .counter("columnstore.delete_buffer_compact")
+            .inc();
         let mut pending: HashSet<Key> = buffer
             .scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker)
             .into_iter()
@@ -507,7 +520,12 @@ impl ColumnStoreIndex {
         // Project away any anti-join-only columns.
         let out_ords: Vec<usize> = projection
             .iter()
-            .map(|p| needed.iter().position(|n| n == p).expect("projection decoded"))
+            .map(|p| {
+                needed
+                    .iter()
+                    .position(|n| n == p)
+                    .expect("projection decoded")
+            })
             .collect();
         Some(filtered.project(&out_ords))
     }
@@ -516,7 +534,12 @@ impl ColumnStoreIndex {
     /// buffer does *not* apply here: deletes of delta-resident rows are
     /// performed directly on the delta, so the anti-join only concerns
     /// compressed row groups.
-    pub fn scan_delta(&self, projection: &[usize], pool: &BufferPool, tracker: &IoTracker) -> Batch {
+    pub fn scan_delta(
+        &self,
+        projection: &[usize],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Batch {
         let rows = self.delta.scan(pool, tracker);
         let dtypes: Vec<_> = projection
             .iter()

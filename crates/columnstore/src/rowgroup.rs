@@ -45,10 +45,7 @@ impl RowGroup {
             }
         };
 
-        let segments = columns
-            .iter()
-            .map(|c| Segment::build(c, alloc))
-            .collect();
+        let segments = columns.iter().map(|c| Segment::build(c, alloc)).collect();
         RowGroup {
             segments,
             rows,
@@ -194,7 +191,10 @@ mod tests {
     fn greedy_order_prefers_fewest_distinct() {
         let many = ColumnVector::Int32((0..100).collect());
         let few = ColumnVector::Int32((0..100).map(|i| i % 3).collect());
-        assert_eq!(greedy_column_order(&[many.clone(), few.clone()]), vec![1, 0]);
+        assert_eq!(
+            greedy_column_order(&[many.clone(), few.clone()]),
+            vec![1, 0]
+        );
         assert_eq!(greedy_column_order(&[few, many]), vec![0, 1]);
     }
 
@@ -202,7 +202,9 @@ mod tests {
     fn greedy_sort_improves_compression() {
         // Random-ish low-cardinality data: arrival order compresses poorly,
         // greedy sort turns it into a handful of runs.
-        let vals: Vec<i32> = (0..10_000).map(|i| (i * 2_654_435_761u64 as i64 % 8) as i32).collect();
+        let vals: Vec<i32> = (0..10_000)
+            .map(|i| (i * 2_654_435_761u64 as i64 % 8) as i32)
+            .collect();
         let arrival = RowGroup::build(
             vec![ColumnVector::Int32(vals.clone())],
             SortMode::Arrival,

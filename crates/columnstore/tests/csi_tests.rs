@@ -193,8 +193,14 @@ fn secondary_delete_is_cheaper_than_primary_delete() {
 fn primary_delete_marks_bitmap() {
     let (mut idx, pool, t) = setup(CsiKind::Primary, 250);
     assert!(idx.delete(&Key::single(Value::Int32(99)), &pool, &t));
-    assert!(!idx.delete(&Key::single(Value::Int32(99)), &pool, &t), "already gone");
-    assert!(!idx.delete(&Key::single(Value::Int32(9_999)), &pool, &t), "never existed");
+    assert!(
+        !idx.delete(&Key::single(Value::Int32(99)), &pool, &t),
+        "already gone"
+    );
+    assert!(
+        !idx.delete(&Key::single(Value::Int32(9_999)), &pool, &t),
+        "never existed"
+    );
     let ids = all_ids(&idx, &pool);
     assert_eq!(ids.len(), 249);
     assert!(!ids.contains(&99));
@@ -203,7 +209,11 @@ fn primary_delete_marks_bitmap() {
 #[test]
 fn delete_from_delta_store_directly() {
     let (mut idx, pool, t) = setup(CsiKind::Secondary, 150);
-    idx.insert(Row::new(vec![Value::Int32(7_000), Value::Int32(1)]), &pool, &t);
+    idx.insert(
+        Row::new(vec![Value::Int32(7_000), Value::Int32(1)]),
+        &pool,
+        &t,
+    );
     assert_eq!(idx.delta_rows(), 1);
     assert!(idx.delete(&Key::single(Value::Int32(7_000)), &pool, &t));
     assert_eq!(idx.delta_rows(), 0);

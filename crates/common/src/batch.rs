@@ -105,7 +105,8 @@ impl ColumnVector {
         fn keep<T: Clone>(vals: &[T], mask: &[bool]) -> Vec<T> {
             vals.iter()
                 .zip(mask)
-                .filter_map(|(v, &m)| m.then(|| v.clone()))
+                .filter(|&(_v, &m)| m)
+                .map(|(v, &_m)| v.clone())
                 .collect()
         }
         match self {
@@ -243,12 +244,7 @@ impl Batch {
 
     /// Keep only the given columns, in that order.
     pub fn project(&self, ordinals: &[usize]) -> Batch {
-        Batch::new(
-            ordinals
-                .iter()
-                .map(|&i| self.columns[i].clone())
-                .collect(),
-        )
+        Batch::new(ordinals.iter().map(|&i| self.columns[i].clone()).collect())
     }
 
     /// Total payload bytes across all columns.

@@ -53,7 +53,10 @@ impl fmt::Display for HpdError {
             HpdError::Constraint(m) => write!(f, "constraint violation: {m}"),
             HpdError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             HpdError::OutOfMemoryGrant { needed, grant } => {
-                write!(f, "out of memory grant: needed {needed} bytes, grant {grant} bytes")
+                write!(
+                    f,
+                    "out of memory grant: needed {needed} bytes, grant {grant} bytes"
+                )
             }
             HpdError::LockTimeout(m) => write!(f, "lock timeout: {m}"),
             HpdError::SerializationFailure(m) => write!(f, "serialization failure: {m}"),
@@ -80,7 +83,11 @@ mod tests {
             "unknown column: x"
         );
         assert_eq!(
-            HpdError::OutOfMemoryGrant { needed: 10, grant: 5 }.to_string(),
+            HpdError::OutOfMemoryGrant {
+                needed: 10,
+                grant: 5
+            }
+            .to_string(),
             "out of memory grant: needed 10 bytes, grant 5 bytes"
         );
     }

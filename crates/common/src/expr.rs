@@ -422,20 +422,25 @@ impl Expr {
     /// Render the expression for plan printouts, resolving ordinals through
     /// `names` when available.
     pub fn display(&self, names: &[String]) -> String {
-        let name = |i: usize| {
-            names
-                .get(i)
-                .cloned()
-                .unwrap_or_else(|| format!("col{i}"))
-        };
+        let name = |i: usize| names.get(i).cloned().unwrap_or_else(|| format!("col{i}"));
         match self {
             Expr::Col(i) => name(*i),
             Expr::Lit(v) => v.to_string(),
             Expr::Cmp { op, lhs, rhs } => {
-                format!("({} {} {})", lhs.display(names), op.symbol(), rhs.display(names))
+                format!(
+                    "({} {} {})",
+                    lhs.display(names),
+                    op.symbol(),
+                    rhs.display(names)
+                )
             }
             Expr::Arith { op, lhs, rhs } => {
-                format!("({} {} {})", lhs.display(names), op.symbol(), rhs.display(names))
+                format!(
+                    "({} {} {})",
+                    lhs.display(names),
+                    op.symbol(),
+                    rhs.display(names)
+                )
             }
             Expr::And(es) => {
                 if es.is_empty() {
@@ -484,9 +489,11 @@ fn arith_values(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
             out.map(Value::Int64)
                 .ok_or_else(|| HpdError::Internal("integer arithmetic overflow".into()))
         }
-        (Value::Int32(a), Value::Int32(b)) => {
-            arith_values(op, &Value::Int64(i64::from(*a)), &Value::Int64(i64::from(*b)))
-        }
+        (Value::Int32(a), Value::Int32(b)) => arith_values(
+            op,
+            &Value::Int64(i64::from(*a)),
+            &Value::Int64(i64::from(*b)),
+        ),
         (Value::Decimal(a), Value::Decimal(b)) => {
             let out = match op {
                 BinOp::Add => a.checked_add(*b),

@@ -208,7 +208,8 @@ mod tests {
     fn emptiness() {
         assert!(Interval::between(i32v(5), i32v(4)).is_empty());
         assert!(!Interval::point(i32v(5)).is_empty());
-        let e = Interval::greater_than(i32v(5), false).intersect(&Interval::less_than(i32v(5), true));
+        let e =
+            Interval::greater_than(i32v(5), false).intersect(&Interval::less_than(i32v(5), true));
         assert!(e.is_empty());
     }
 

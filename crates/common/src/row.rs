@@ -145,10 +145,7 @@ mod tests {
             r.project(&[2, 0]).values(),
             &[Value::Int32(30), Value::Int32(10)]
         );
-        assert_eq!(
-            r.key(&[1]),
-            Key::new(vec![Value::str("x")])
-        );
+        assert_eq!(r.key(&[1]), Key::new(vec![Value::str("x")]));
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! Table schemas: ordered, named, typed columns.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{DataType, HpdError, Result, Row};
 
 /// Definition of a single column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     pub name: String,
     pub dtype: DataType,
@@ -34,7 +32,7 @@ impl ColumnDef {
 }
 
 /// An ordered list of columns describing a table or intermediate result.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<ColumnDef>,
 }
@@ -47,10 +45,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Schema {
         Schema {
-            columns: pairs
-                .iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
+            columns: pairs.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
         }
     }
 

@@ -8,14 +8,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// The data types supported by the engine.
 ///
 /// `Date` is stored as days since 1970-01-01 (like an `i32` with calendar
 /// helpers); `Decimal` is a fixed-point `i64` scaled by 10^4, which covers the
 /// TPC-H money columns (`l_extendedprice`, `l_discount`) without float drift.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Int32,
     Int64,

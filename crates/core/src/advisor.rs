@@ -102,9 +102,7 @@ impl Recommendation {
             if design.indexes.len() <= 1 {
                 continue;
             }
-            let schema = db
-                .with_table(&design.table, |t| t.schema().clone())
-                .ok();
+            let schema = db.with_table(&design.table, |t| t.schema().clone()).ok();
             let _ = writeln!(out, "table {}:", design.table);
             for d in &design.indexes[1..] {
                 match &schema {
@@ -155,10 +153,7 @@ impl<'db> Advisor<'db> {
         for name in workload.referenced_tables() {
             let ctx = self.db.context_for(&name)?;
             let rows = self.db.with_table(&name, |t| {
-                t.scan_all_rows(
-                    self.db.pool(),
-                    &hpd_storage::IoTracker::new(),
-                )
+                t.scan_all_rows(self.db.pool(), &hpd_storage::IoTracker::new())
             })?;
             samples.insert(
                 name.clone(),
@@ -198,12 +193,24 @@ impl<'db> Advisor<'db> {
         let mut per_statement = Vec::with_capacity(workload.len());
         for ws in &workload.statements {
             let before = statement_cost(
-                self.db, &ws.statement, &contexts, &empty, &samples,
-                estimator.as_ref(), &csi_config, &cost,
+                self.db,
+                &ws.statement,
+                &contexts,
+                &empty,
+                &samples,
+                estimator.as_ref(),
+                &csi_config,
+                &cost,
             )?;
             let after = statement_cost(
-                self.db, &ws.statement, &contexts, &result.chosen, &samples,
-                estimator.as_ref(), &csi_config, &cost,
+                self.db,
+                &ws.statement,
+                &contexts,
+                &result.chosen,
+                &samples,
+                estimator.as_ref(),
+                &csi_config,
+                &cost,
             )?;
             per_statement.push((ws.label.clone(), before, after));
         }

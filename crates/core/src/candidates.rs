@@ -5,9 +5,7 @@ use std::collections::HashMap;
 
 use hpd_columnstore::CsiConfig;
 use hpd_common::{Expr, Result};
-use hpd_engine::{
-    Database, IndexDescriptor, IndexMeta, SelectQuery, Statement, TableContext,
-};
+use hpd_engine::{Database, IndexDescriptor, IndexMeta, SelectQuery, Statement, TableContext};
 
 use crate::advisor::DesignMode;
 use crate::hypothetical::hypothetical_meta;
@@ -145,7 +143,10 @@ pub fn select_candidates(
                 .filter(|&c| ctx.schema.column(c).csi_eligible)
                 .collect();
             if !eligible.is_empty() {
-                out.add(&tref.name, IndexDescriptor::SecondaryCsi { columns: eligible });
+                out.add(
+                    &tref.name,
+                    IndexDescriptor::SecondaryCsi { columns: eligible },
+                );
             }
         }
     }
@@ -225,13 +226,10 @@ pub fn prune_candidates(
         let mut overrides: HashMap<String, Vec<IndexMeta>> = HashMap::new();
         let mut cand_offset: HashMap<String, usize> = HashMap::new();
         for t in &query.tables {
-            let Some(ctx) = contexts.get(&t.name) else { continue };
-            let mut metas: Vec<IndexMeta> = ctx
-                .metas
-                .first()
-                .cloned()
-                .into_iter()
-                .collect();
+            let Some(ctx) = contexts.get(&t.name) else {
+                continue;
+            };
+            let mut metas: Vec<IndexMeta> = ctx.metas.first().cloned().into_iter().collect();
             cand_offset.insert(t.name.clone(), metas.len());
             if let Some(cands) = candidates.per_table.get(&t.name) {
                 let sample = samples.get(&t.name).cloned().unwrap_or(SampleSet {
@@ -247,7 +245,9 @@ pub fn prune_candidates(
         let plan = db.what_if_plan(&query, &overrides)?;
         for (ti, idx) in plan.index_refs() {
             let name = &query.tables[ti].name;
-            let Some(&offset) = cand_offset.get(name) else { continue };
+            let Some(&offset) = cand_offset.get(name) else {
+                continue;
+            };
             if idx.0 >= offset {
                 if let Some(cands) = candidates.per_table.get(name) {
                     if let Some(c) = cands.get(idx.0 - offset) {
@@ -305,7 +305,10 @@ mod tests {
                 ]),
             )],
             group_by: vec![ColRef::new(0, 1)],
-            aggregates: vec![AggItem::column(hpd_common::AggFunc::Count, ColRef::new(0, 0))],
+            aggregates: vec![AggItem::column(
+                hpd_common::AggFunc::Count,
+                ColRef::new(0, 0),
+            )],
             ..Default::default()
         };
         let mut set = CandidateSet::default();

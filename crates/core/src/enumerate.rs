@@ -37,8 +37,7 @@ pub fn maintenance_cost_us(meta: &IndexMeta, rows: f64, cost: &CostModel) -> f64
             // Locate the physical row: scan the key segments of the
             // surviving row groups.
             let key_cols: Vec<usize> = meta.column_bytes.iter().map(|&(c, _)| c).take(1).collect();
-            let bytes = meta.csi_scan_bytes(&key_cols).max(1) as f64
-                / meta.rowgroups.max(1) as f64;
+            let bytes = meta.csi_scan_bytes(&key_cols).max(1) as f64 / meta.rowgroups.max(1) as f64;
             rows * (cost.segment_read_us(bytes, 1.0) + cost.cpu_batch_us * bytes / 8.0)
         }
     }
@@ -68,7 +67,12 @@ pub fn metas_for(
 }
 
 /// Estimated rows a write statement touches.
-fn write_rows(stmt_table: &str, predicate: &hpd_common::Expr, top: Option<usize>, contexts: &HashMap<String, TableContext>) -> f64 {
+fn write_rows(
+    stmt_table: &str,
+    predicate: &hpd_common::Expr,
+    top: Option<usize>,
+    contexts: &HashMap<String, TableContext>,
+) -> f64 {
     let Some(ctx) = contexts.get(stmt_table) else {
         return 1.0;
     };
@@ -83,6 +87,7 @@ fn write_rows(stmt_table: &str, predicate: &hpd_common::Expr, top: Option<usize>
 }
 
 /// Optimizer-estimated cost (µs) of one statement under a configuration.
+#[allow(clippy::too_many_arguments)]
 pub fn statement_cost(
     db: &Database,
     stmt: &Statement,
@@ -130,8 +135,7 @@ pub fn statement_cost(
         }
         Statement::Delete(d) => {
             let rows = write_rows(&d.table, &d.predicate, d.top, contexts);
-            what_if(&locate_query(&d.table, &d.predicate, contexts))?
-                + maintenance(&d.table, rows)
+            what_if(&locate_query(&d.table, &d.predicate, contexts))? + maintenance(&d.table, rows)
         }
         Statement::Insert(i) => maintenance(&i.table, i.rows.len() as f64),
     })
@@ -153,7 +157,14 @@ pub fn workload_cost(
     for ws in &workload.statements {
         total += ws.weight
             * statement_cost(
-                db, &ws.statement, contexts, chosen, samples, estimator, csi_config, cost,
+                db,
+                &ws.statement,
+                contexts,
+                chosen,
+                samples,
+                estimator,
+                csi_config,
+                cost,
             )?;
     }
     Ok(total)
@@ -213,7 +224,14 @@ pub fn greedy_search(
         .iter()
         .map(|ws| {
             statement_cost(
-                db, &ws.statement, contexts, &chosen, samples, estimator, csi_config, cost,
+                db,
+                &ws.statement,
+                contexts,
+                &chosen,
+                samples,
+                estimator,
+                csi_config,
+                cost,
             )
         })
         .collect::<Result<_>>()?;
@@ -229,9 +247,19 @@ pub fn greedy_search(
     let mut used_bytes = 0usize;
 
     loop {
-        let mut best: Option<(f64, f64, Vec<(usize, f64)>, String, IndexDescriptor, usize)> = None;
+        #[allow(clippy::type_complexity)]
+        let mut best: Option<(
+            f64,
+            f64,
+            Vec<(usize, f64)>,
+            String,
+            IndexDescriptor,
+            usize,
+        )> = None;
         for (table, cands) in &pool.per_table {
-            let Some(ctx) = contexts.get(table) else { continue };
+            let Some(ctx) = contexts.get(table) else {
+                continue;
+            };
             let table_has_csi = ctx.metas.first().is_some_and(|m| m.descriptor.is_csi())
                 || chosen
                     .get(table)
@@ -254,8 +282,7 @@ pub fn greedy_search(
                 if d.is_csi() && table_has_csi {
                     continue;
                 }
-                let size =
-                    descriptor_size(table, d, contexts, samples, estimator, csi_config);
+                let size = descriptor_size(table, d, contexts, samples, estimator, csi_config);
                 if let Some(budget) = storage_budget {
                     if used_bytes + size > budget {
                         continue;

@@ -19,6 +19,7 @@ pub fn hypothetical_meta(
     estimator: &dyn CsiSizeEstimator,
     csi_config: &CsiConfig,
 ) -> IndexMeta {
+    hpd_obs::global().counter("advisor.whatif_calls").inc();
     let rows = ctx.stats.rows;
     match descriptor {
         IndexDescriptor::PrimaryBTree { .. } => {
@@ -91,7 +92,9 @@ pub fn hypothetical_meta(
             let proj_bytes =
                 estimator.estimate_column_bytes(&proj_schema, &proj_sample, rows, csi_config);
             IndexMeta {
-                descriptor: IndexDescriptor::SecondaryCsi { columns: stored.clone() },
+                descriptor: IndexDescriptor::SecondaryCsi {
+                    columns: stored.clone(),
+                },
                 rows,
                 leaf_pages: 0,
                 height: 0,
@@ -111,7 +114,12 @@ pub fn meta_size_bytes(meta: &IndexMeta) -> usize {
 }
 
 /// Build a projected sample once per table (avoids repeated cloning).
-pub fn table_sample(ctx: &TableContext, rows: &[hpd_common::Row], fraction: f64, seed: u64) -> SampleSet {
+pub fn table_sample(
+    ctx: &TableContext,
+    rows: &[hpd_common::Row],
+    fraction: f64,
+    seed: u64,
+) -> SampleSet {
     let _ = ctx;
     SampleSet::block_sample(rows, fraction, seed)
 }
@@ -144,7 +152,13 @@ mod tests {
 
     fn rows(n: i32) -> Vec<Row> {
         (0..n)
-            .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i % 5), Value::Int32(i * 7)]))
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int32(i),
+                    Value::Int32(i % 5),
+                    Value::Int32(i * 7),
+                ])
+            })
             .collect()
     }
 
@@ -182,7 +196,9 @@ mod tests {
         let (ctx, data) = ctx(rows(5_000));
         let sample = SampleSet::full(&data);
         let meta = hypothetical_meta(
-            &IndexDescriptor::SecondaryCsi { columns: vec![1, 2] },
+            &IndexDescriptor::SecondaryCsi {
+                columns: vec![1, 2],
+            },
             &ctx,
             &sample,
             &RunModelEstimator,

@@ -15,12 +15,24 @@ use crate::candidates::CandidateSet;
 /// Try to merge two descriptors. Returns the merged descriptor, or `None`
 /// if they cannot merge.
 pub fn merge_pair(a: &IndexDescriptor, b: &IndexDescriptor) -> Option<IndexDescriptor> {
-    let (IndexDescriptor::SecondaryBTree { keys: k1, includes: i1 },
-         IndexDescriptor::SecondaryBTree { keys: k2, includes: i2 }) = (a, b)
+    let (
+        IndexDescriptor::SecondaryBTree {
+            keys: k1,
+            includes: i1,
+        },
+        IndexDescriptor::SecondaryBTree {
+            keys: k2,
+            includes: i2,
+        },
+    ) = (a, b)
     else {
         return None; // at least one is a columnstore (or a primary)
     };
-    let (long, short) = if k1.len() >= k2.len() { (k1, k2) } else { (k2, k1) };
+    let (long, short) = if k1.len() >= k2.len() {
+        (k1, k2)
+    } else {
+        (k2, k1)
+    };
     if !long.starts_with(short) {
         return None;
     }
@@ -82,7 +94,9 @@ mod tests {
 
     #[test]
     fn columnstores_never_merge() {
-        let csi = IndexDescriptor::SecondaryCsi { columns: vec![0, 1] };
+        let csi = IndexDescriptor::SecondaryCsi {
+            columns: vec![0, 1],
+        };
         assert!(merge_pair(&csi, &bt(vec![1], vec![])).is_none());
         assert!(merge_pair(&bt(vec![1], vec![]), &csi).is_none());
         assert!(merge_pair(&csi, &csi).is_none());

@@ -20,7 +20,11 @@ impl WorkloadStatement {
         }
     }
 
-    pub fn labeled(statement: Statement, weight: f64, label: impl Into<String>) -> WorkloadStatement {
+    pub fn labeled(
+        statement: Statement,
+        weight: f64,
+        label: impl Into<String>,
+    ) -> WorkloadStatement {
         WorkloadStatement {
             statement,
             weight,
@@ -90,7 +94,10 @@ mod tests {
             SelectQuery::single_table("a", None, vec![0]),
             SelectQuery::single_table("b", None, vec![0]),
         ]);
-        assert_eq!(w.referenced_tables(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            w.referenced_tables(),
+            vec!["a".to_string(), "b".to_string()]
+        );
         assert_eq!(w.len(), 3);
     }
 }

@@ -1,11 +1,11 @@
 //! End-to-end advisor tests: recommendations over realistic mini-workloads,
 //! applied to the engine and verified by execution.
 
-use hpd_common::{AggFunc, CmpOp, DataType, Expr, Row, Schema, Value};
 use hpd_advisor::{
     advisor::csi_everywhere_configuration, Advisor, AdvisorOptions, DesignMode, Workload,
     WorkloadStatement,
 };
+use hpd_common::{AggFunc, CmpOp, DataType, Expr, Row, Schema, Value};
 use hpd_engine::{
     AggItem, ColRef, Database, DbConfig, EquiJoin, IndexDescriptor, SelectQuery, Statement,
     TableInput, UpdateStmt,
@@ -71,7 +71,10 @@ fn hybrid_mode_recommends_both_kinds() {
         .recommend(&workload)
         .unwrap();
 
-    let design = rec.configuration.design_for("orders").expect("orders design");
+    let design = rec
+        .configuration
+        .design_for("orders")
+        .expect("orders design");
     let has_btree = design.indexes[1..]
         .iter()
         .any(|d| matches!(d, IndexDescriptor::SecondaryBTree { keys, .. } if keys.contains(&1)));
@@ -135,21 +138,25 @@ fn hybrid_beats_single_mode_designs_on_mixed_query_shapes() {
     let db = db();
     setup_orders(&db, 50_000);
     let workload = Workload::read_only(vec![point_query(), scan_query()]);
-    let costs: Vec<f64> = [DesignMode::Hybrid, DesignMode::BTreeOnly, DesignMode::CsiOnly]
-        .into_iter()
-        .map(|mode| {
-            Advisor::new(
-                &db,
-                AdvisorOptions {
-                    mode,
-                    ..Default::default()
-                },
-            )
-            .recommend(&workload)
-            .unwrap()
-            .est_cost_after_us
-        })
-        .collect();
+    let costs: Vec<f64> = [
+        DesignMode::Hybrid,
+        DesignMode::BTreeOnly,
+        DesignMode::CsiOnly,
+    ]
+    .into_iter()
+    .map(|mode| {
+        Advisor::new(
+            &db,
+            AdvisorOptions {
+                mode,
+                ..Default::default()
+            },
+        )
+        .recommend(&workload)
+        .unwrap()
+        .est_cost_after_us
+    })
+    .collect();
     let (hybrid, btree, csi) = (costs[0], costs[1], costs[2]);
     assert!(
         hybrid <= btree * 1.001 && hybrid <= csi * 1.001,
@@ -270,7 +277,13 @@ fn join_workload_gets_fact_table_btree_on_join_key() {
     db.load_table(
         "fact",
         (0..60_000)
-            .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i % 2000), Value::Int32(1)]))
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int32(i),
+                    Value::Int32(i % 2000),
+                    Value::Int32(1),
+                ])
+            })
             .collect(),
     )
     .unwrap();

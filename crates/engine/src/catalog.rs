@@ -18,6 +18,7 @@ use crate::executor::{ExecutionResult, QueryRunner, TableOverlay};
 use crate::optimizer::{Optimizer, TableContext};
 use crate::plan::PhysicalPlan;
 use crate::query::{DeleteStmt, InsertStmt, SelectQuery, Statement, UpdateStmt};
+use crate::querystore::{plan_fingerprint, QueryStore, StoredStatement};
 use crate::table::Table;
 use crate::txn::{IsolationLevel, LockKey, LockMode, TxnManager, WriteOp};
 
@@ -33,6 +34,8 @@ pub struct DbConfig {
     /// Default per-query working-memory grant in bytes.
     pub grant_bytes: usize,
     pub lock_timeout: Duration,
+    /// Statements retained by the query store ring buffer.
+    pub query_store_capacity: usize,
 }
 
 impl Default for DbConfig {
@@ -44,6 +47,7 @@ impl Default for DbConfig {
             max_dop: 8,
             grant_bytes: 256 << 20,
             lock_timeout: Duration::from_secs(5),
+            query_store_capacity: 256,
         }
     }
 }
@@ -72,6 +76,7 @@ pub struct Database {
     tables: RwLock<Vec<Arc<TableSlot>>>,
     txns: TxnManager,
     commit_counter: AtomicU64,
+    query_store: QueryStore,
 }
 
 impl Database {
@@ -83,6 +88,7 @@ impl Database {
             alloc: StorageAllocator::new(),
             tables: RwLock::new(Vec::new()),
             commit_counter: AtomicU64::new(0),
+            query_store: QueryStore::new(config.query_store_capacity),
             config,
         }
     }
@@ -93,6 +99,42 @@ impl Database {
 
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// The ring of recently executed statements (query-store-lite).
+    pub fn query_store(&self) -> &QueryStore {
+        &self.query_store
+    }
+
+    /// Record one executed statement into the query store and the global
+    /// metrics registry.
+    fn record_statement(&self, kind: &'static str, plan: &PhysicalPlan, result: &ExecutionResult) {
+        let metrics = hpd_obs::global();
+        metrics.counter("query.statements").inc();
+        metrics
+            .histogram("query.latency_us")
+            .record(result.metrics.elapsed_us() as u64);
+        let actual = result.metrics.rows_returned as u64;
+        let spilled = result
+            .analyze
+            .as_ref()
+            .map(|a| a.spilled_bytes())
+            .unwrap_or(0);
+        self.query_store.record(StoredStatement {
+            seq: self.query_store.next_seq(),
+            kind,
+            plan_fingerprint: plan_fingerprint(plan),
+            plan_root: plan.root.describe(&plan.table_names),
+            est_rows: plan.root.est_rows,
+            est_cost_us: plan.est_cost_us,
+            actual_rows: actual,
+            elapsed_us: result.metrics.elapsed_us(),
+            cpu_us: result.metrics.cpu_us(),
+            bytes_read: result.metrics.bytes_read(),
+            memory_peak_bytes: result.metrics.memory_peak_bytes as u64,
+            spilled_bytes: spilled,
+            estimate_error: actual.max(1) as f64 / plan.root.est_rows.max(1.0),
+        });
     }
 
     /// Drop all buffer pool contents — the next run is cold.
@@ -287,6 +329,36 @@ impl Database {
             .run(stmt)
     }
 
+    /// Execute a select with per-operator instrumentation; the result's
+    /// `analyze` report carries estimated-vs-actual rows, per-node wall
+    /// time, memory, and spill activity (render with
+    /// [`crate::profile::AnalyzeReport::render`]).
+    pub fn explain_analyze(&self, query: &SelectQuery) -> Result<ExecutionResult> {
+        self.explain_analyze_with_grant(query, self.config.grant_bytes)
+    }
+
+    pub fn explain_analyze_with_grant(
+        &self,
+        query: &SelectQuery,
+        grant: usize,
+    ) -> Result<ExecutionResult> {
+        let mut txn = self
+            .session(IsolationLevel::ReadCommitted)
+            .with_grant(grant)
+            .begin();
+        let result = txn.select_analyzed(query);
+        match result {
+            Ok(r) => {
+                txn.commit()?;
+                Ok(r)
+            }
+            Err(e) => {
+                txn.abort();
+                Err(e)
+            }
+        }
+    }
+
     pub fn session(&self, isolation: IsolationLevel) -> Session<'_> {
         Session {
             db: self,
@@ -385,6 +457,16 @@ impl<'db> Txn<'db> {
 
     /// Execute a select, applying isolation-level read behaviour.
     pub fn select(&mut self, query: &SelectQuery) -> Result<ExecutionResult> {
+        self.select_impl(query, false)
+    }
+
+    /// Execute a select with per-operator instrumentation (the result's
+    /// `analyze` field is always populated).
+    pub fn select_analyzed(&mut self, query: &SelectQuery) -> Result<ExecutionResult> {
+        self.select_impl(query, true)
+    }
+
+    fn select_impl(&mut self, query: &SelectQuery, profile: bool) -> Result<ExecutionResult> {
         // Serializable readers hold shared table locks to commit.
         if self.isolation == IsolationLevel::Serializable {
             for t in &query.tables {
@@ -435,9 +517,14 @@ impl<'db> Txn<'db> {
             }
         }
 
-        QueryRunner::new(table_refs, self.db.pool(), self.grant)
-            .with_overlays(overlays)
-            .run(&plan)
+        let mut runner =
+            QueryRunner::new(table_refs, self.db.pool(), self.grant).with_overlays(overlays);
+        if profile {
+            runner = runner.with_profile();
+        }
+        let result = runner.run(&plan)?;
+        self.db.record_statement("select", &plan, &result);
+        Ok(result)
     }
 
     /// UPDATE: identify target rows through the optimizer, lock them, and
@@ -461,6 +548,7 @@ impl<'db> Txn<'db> {
         Ok(ExecutionResult {
             rows: vec![Row::new(vec![Value::Int64(result_rows as i64)])],
             metrics: rows.metrics,
+            analyze: rows.analyze,
         })
     }
 
@@ -483,15 +571,16 @@ impl<'db> Txn<'db> {
         Ok(ExecutionResult {
             rows: vec![Row::new(vec![Value::Int64(n as i64)])],
             metrics: rows.metrics,
+            analyze: rows.analyze,
         })
     }
 
     /// INSERT: lock the new keys and buffer.
     pub fn insert(&mut self, stmt: &InsertStmt) -> Result<ExecutionResult> {
         let table_id = self.db.slot_id(&stmt.table)?;
-        let (pk, schema) =
-            self.db
-                .with_table(&stmt.table, |t| (t.pk().to_vec(), t.schema().clone()))?;
+        let (pk, schema) = self
+            .db
+            .with_table(&stmt.table, |t| (t.pk().to_vec(), t.schema().clone()))?;
         self.db.txns.locks.acquire(
             self.txn_id,
             &LockKey::Table(table_id),
@@ -511,6 +600,7 @@ impl<'db> Txn<'db> {
         Ok(ExecutionResult {
             rows: vec![Row::new(vec![Value::Int64(n as i64)])],
             metrics: empty_metrics(),
+            analyze: None,
         })
     }
 
@@ -557,7 +647,9 @@ impl<'db> Txn<'db> {
         if self.isolation != IsolationLevel::Snapshot {
             return Ok(());
         }
-        let conflicted = self.db.with_table(table, |t| t.last_write_ts(key) > self.start_ts)?;
+        let conflicted = self
+            .db
+            .with_table(table, |t| t.last_write_ts(key) > self.start_ts)?;
         if conflicted {
             return Err(HpdError::SerializationFailure(format!(
                 "row {key:?} of {table} was modified after this snapshot began"

@@ -76,7 +76,9 @@ impl CostModel {
 
     /// Device time to spill `bytes` out and read them back once.
     pub fn spill_round_trip_us(&self, bytes: f64) -> f64 {
-        bytes / self.device.write_bw + bytes / self.device.read_bw + 2.0 * self.device.seek_latency_us
+        bytes / self.device.write_bw
+            + bytes / self.device.read_bw
+            + 2.0 * self.device.seek_latency_us
     }
 
     /// Elapsed estimate for a plan fragment given total cpu/io and a DOP.
@@ -109,7 +111,13 @@ impl CostModel {
     /// independent columnstore segment reads) from latency-bound device
     /// time (root-to-leaf page chains, sequential leaf runs), which no
     /// degree of parallelism shortens.
-    pub fn elapsed_split_us(&self, cpu_us: f64, io_div_us: f64, io_serial_us: f64, dop: usize) -> f64 {
+    pub fn elapsed_split_us(
+        &self,
+        cpu_us: f64,
+        io_div_us: f64,
+        io_serial_us: f64,
+        dop: usize,
+    ) -> f64 {
         let d = dop.max(1) as f64;
         let startup = if dop > 1 {
             self.parallel_startup_us + self.parallel_per_worker_us * d
@@ -148,7 +156,13 @@ impl CostModel {
 
     /// Hash aggregation cost over `rows` inputs into `groups` groups of
     /// `group_bytes` each; spills when the table exceeds the grant.
-    pub fn hash_agg_cost(&self, rows: f64, groups: f64, group_bytes: f64, input_bytes: f64) -> (f64, f64) {
+    pub fn hash_agg_cost(
+        &self,
+        rows: f64,
+        groups: f64,
+        group_bytes: f64,
+        input_bytes: f64,
+    ) -> (f64, f64) {
         let cpu = rows * self.cpu_hash_us;
         let table_bytes = groups * group_bytes;
         let io = if table_bytes > self.grant_bytes as f64 {

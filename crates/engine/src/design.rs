@@ -319,6 +319,9 @@ mod tests {
             includes: vec![2],
         };
         assert_eq!(d.display(&s), "B+TREE (b) INCLUDE (c)");
-        assert_eq!(IndexDescriptor::PrimaryCsi.display(&s), "PRIMARY COLUMNSTORE");
+        assert_eq!(
+            IndexDescriptor::PrimaryCsi.display(&s),
+            "PRIMARY COLUMNSTORE"
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Lowers physical plans onto `hpd-exec` operators and runs them.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::sync::Arc;
@@ -10,12 +11,13 @@ use hpd_exec::ops::sort::SortKey;
 use hpd_exec::ops::PlanNode as ExecNode;
 use hpd_exec::{
     collect_rows, AggSpec, BTreeRangeScanOp, CsiScanOp, ExecCtx, FilterOp, HashAggOp, HashJoinOp,
-    IndexLookupJoinOp, LimitOp, MergeJoinOp, Mode, Operator, ParallelOp, ProjectOp, SortOp,
-    StreamAggOp,
+    IndexLookupJoinOp, LimitOp, MergeJoinOp, Mode, Operator, ParallelOp, ProfiledOp, ProjectOp,
+    SortOp, StreamAggOp,
 };
 use hpd_storage::BufferPool;
 
 use crate::plan::{PhysicalPlan, PlanMode, PlanNode, PlanNodeKind};
+use crate::profile::{AnalyzeReport, ProfileMap};
 use crate::table::Table;
 
 /// Result of executing one statement.
@@ -23,6 +25,9 @@ use crate::table::Table;
 pub struct ExecutionResult {
     pub rows: Vec<Row>,
     pub metrics: hpd_exec::ExecMetrics,
+    /// Per-node actuals, present when the runner profiled the execution
+    /// (see [`QueryRunner::with_profile`]).
+    pub analyze: Option<Box<AnalyzeReport>>,
 }
 
 impl ExecutionResult {
@@ -56,16 +61,26 @@ pub struct QueryRunner<'a> {
     pool: &'a BufferPool,
     grant_bytes: usize,
     overlays: HashMap<usize, TableOverlay>,
+    profile_requested: bool,
+    /// Node→stats map for the plan currently being lowered/run; populated
+    /// by [`run`](QueryRunner::run) when profiling is on.
+    profile: RefCell<Option<ProfileMap>>,
 }
 
 impl<'a> QueryRunner<'a> {
     /// `tables` must align with the plan's query table indices.
-    pub fn new(tables: Vec<&'a Table>, pool: &'a BufferPool, grant_bytes: usize) -> QueryRunner<'a> {
+    pub fn new(
+        tables: Vec<&'a Table>,
+        pool: &'a BufferPool,
+        grant_bytes: usize,
+    ) -> QueryRunner<'a> {
         QueryRunner {
             tables,
             pool,
             grant_bytes,
             overlays: HashMap::new(),
+            profile_requested: false,
+            profile: RefCell::new(None),
         }
     }
 
@@ -76,8 +91,31 @@ impl<'a> QueryRunner<'a> {
         self
     }
 
+    /// Record per-operator actuals while executing; the result's `analyze`
+    /// field carries the report.
+    pub fn with_profile(mut self) -> QueryRunner<'a> {
+        self.profile_requested = true;
+        self
+    }
+
+    /// Wrap `op` with the instrumentation cell for `node`, if profiling.
+    fn wrap_node(&self, node: &PlanNode, op: ExecNode<'a>) -> ExecNode<'a> {
+        match self
+            .profile
+            .borrow()
+            .as_ref()
+            .and_then(|m| m.stats_for(node))
+        {
+            Some(stats) => Box::new(ProfiledOp::new(op, stats)),
+            None => op,
+        }
+    }
+
     /// Execute the plan and gather rows + metrics.
     pub fn run(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
+        if self.profile_requested {
+            *self.profile.borrow_mut() = Some(ProfileMap::build(plan));
+        }
         let ctx = ExecCtx::with_grant(self.pool, self.grant_bytes);
         let start = Instant::now();
         let mut op = self.lower(&plan.root)?;
@@ -106,7 +144,16 @@ impl<'a> QueryRunner<'a> {
             rows_returned: rows.len(),
             memory_peak_bytes: ctx.grant.peak_bytes(),
         };
-        Ok(ExecutionResult { rows, metrics })
+        let analyze = self
+            .profile
+            .borrow()
+            .as_ref()
+            .map(|m| Box::new(m.report(plan)));
+        Ok(ExecutionResult {
+            rows,
+            metrics,
+            analyze,
+        })
     }
 
     fn table(&self, ti: usize) -> Result<&'a Table> {
@@ -116,7 +163,11 @@ impl<'a> QueryRunner<'a> {
             .ok_or_else(|| HpdError::Internal(format!("table index {ti} out of range")))
     }
 
-    fn resolve_btree(&self, ti: usize, index: crate::design::IndexId) -> Result<&'a hpd_btree::BTree> {
+    fn resolve_btree(
+        &self,
+        ti: usize,
+        index: crate::design::IndexId,
+    ) -> Result<&'a hpd_btree::BTree> {
         let table = self.table(ti)?;
         if index.0 == 0 {
             table.primary().as_btree().ok_or_else(|| {
@@ -162,14 +213,7 @@ impl<'a> QueryRunner<'a> {
         match &node.kind {
             PlanNodeKind::BTreeScan { table, index, dop } => {
                 let tree = self.resolve_btree(*table, *index)?;
-                self.btree_partitions(
-                    tree,
-                    *table,
-                    node,
-                    Bound::Unbounded,
-                    Bound::Unbounded,
-                    *dop,
-                )
+                self.btree_partitions(tree, *table, node, Bound::Unbounded, Bound::Unbounded, *dop)
             }
             PlanNodeKind::BTreeSeek {
                 table,
@@ -325,7 +369,11 @@ impl<'a> QueryRunner<'a> {
     /// above the lookup: probing the primary tree would resurface the
     /// *current* row version and undo the snapshot correction).
     fn lower_scan(&self, node: &PlanNode, with_overlay: bool) -> Result<ExecNode<'a>> {
-        let overlay = if with_overlay { self.overlay_for(node) } else { None };
+        let overlay = if with_overlay {
+            self.overlay_for(node)
+        } else {
+            None
+        };
         let Some(overlay) = overlay else {
             return Ok(gather(self.scan_partitions(node, &node.out_cols)?));
         };
@@ -380,7 +428,11 @@ impl<'a> QueryRunner<'a> {
                     .ok_or_else(|| HpdError::Internal("overlay output lacks the pk".into()))
             })
             .collect::<Result<_>>()?;
-        let added: Vec<Row> = overlay.added.iter().map(|r| r.project(table_ords)).collect();
+        let added: Vec<Row> = overlay
+            .added
+            .iter()
+            .map(|r| r.project(table_ords))
+            .collect();
         Ok(Box::new(OverlayOp {
             child: op,
             types,
@@ -390,8 +442,13 @@ impl<'a> QueryRunner<'a> {
         }))
     }
 
-    /// Lower a plan node to an operator tree.
+    /// Lower a plan node to an operator tree (instrumented when profiling).
     fn lower(&self, node: &PlanNode) -> Result<ExecNode<'a>> {
+        let op = self.lower_inner(node)?;
+        Ok(self.wrap_node(node, op))
+    }
+
+    fn lower_inner(&self, node: &PlanNode) -> Result<ExecNode<'a>> {
         match &node.kind {
             PlanNodeKind::BTreeScan { .. }
             | PlanNodeKind::BTreeSeek { .. }
@@ -406,9 +463,13 @@ impl<'a> QueryRunner<'a> {
                 // overlay must be applied once above the gather).
                 if is_scan(child) && scan_dop(child) > 1 && self.overlay_for(child).is_none() {
                     let parts = self.scan_partitions(child, &child.out_cols)?;
+                    // All partitions of the scan report into the scan node's
+                    // single stats cell, pre-filter, so actual rows reflect
+                    // what the scan produced.
                     let workers: Vec<ExecNode<'a>> = parts
                         .into_iter()
                         .map(|p| {
+                            let p = self.wrap_node(child, p);
                             Box::new(FilterOp::new(p, predicate.clone(), exec_mode(*mode)))
                                 as ExecNode<'a>
                         })
@@ -416,7 +477,11 @@ impl<'a> QueryRunner<'a> {
                     return Ok(gather(workers));
                 }
                 let c = self.lower(child)?;
-                Ok(Box::new(FilterOp::new(c, predicate.clone(), exec_mode(*mode))))
+                Ok(Box::new(FilterOp::new(
+                    c,
+                    predicate.clone(),
+                    exec_mode(*mode),
+                )))
             }
             PlanNodeKind::Project { child, exprs, mode } => {
                 let c = self.lower(child)?;
@@ -437,7 +502,7 @@ impl<'a> QueryRunner<'a> {
                 // must wrap the *lookup output* (full rows) instead.
                 let overlay = self.overlays.get(table).filter(|o| !o.is_empty()).cloned();
                 let c = if is_scan(child) {
-                    self.lower_scan(child, false)?
+                    self.wrap_node(child, self.lower_scan(child, false)?)
                 } else {
                     self.lower(child)?
                 };
@@ -455,10 +520,8 @@ impl<'a> QueryRunner<'a> {
                     payload_types.clone(),
                 ));
                 // Drop the secondary-index prefix, keep the full rows.
-                let ords: Vec<usize> =
-                    (child_arity..child_arity + payload_types.len()).collect();
-                let full: ExecNode<'a> =
-                    Box::new(ProjectOp::columns(join, &ords, Mode::Row));
+                let ords: Vec<usize> = (child_arity..child_arity + payload_types.len()).collect();
+                let full: ExecNode<'a> = Box::new(ProjectOp::columns(join, &ords, Mode::Row));
                 match overlay {
                     Some(ov) => {
                         let all: Vec<usize> = (0..t.schema().len()).collect();
@@ -572,7 +635,9 @@ impl Operator for OverlayOp<'_> {
 fn is_scan(node: &PlanNode) -> bool {
     matches!(
         node.kind,
-        PlanNodeKind::BTreeScan { .. } | PlanNodeKind::BTreeSeek { .. } | PlanNodeKind::CsiScan { .. }
+        PlanNodeKind::BTreeScan { .. }
+            | PlanNodeKind::BTreeSeek { .. }
+            | PlanNodeKind::CsiScan { .. }
     )
 }
 

@@ -15,7 +15,9 @@ pub mod design;
 pub mod executor;
 pub mod optimizer;
 pub mod plan;
+pub mod profile;
 pub mod query;
+pub mod querystore;
 pub mod stats;
 pub mod table;
 pub mod txn;
@@ -25,10 +27,12 @@ pub use design::{Configuration, IndexDescriptor, IndexId, IndexMeta, TableDesign
 pub use executor::{ExecutionResult, QueryRunner, TableOverlay};
 pub use optimizer::{Optimizer, TableContext};
 pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
+pub use profile::{AnalyzeReport, NodeProfile};
 pub use query::{
     AggItem, ColRef, DeleteStmt, EquiJoin, InsertStmt, SelectQuery, Statement, TableInput,
     UpdateStmt,
 };
+pub use querystore::{QueryStore, StoredStatement};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{PrimaryIndex, SecondaryBTree, Table};
 pub use txn::{IsolationLevel, LockManager, TxnManager};

@@ -81,6 +81,7 @@ impl Optimizer {
             .cost
             .choose_dop_split(total_cpu(&root), io_div, io_serial);
         let root = set_scan_dop(root, dop);
+        record_plan_choice(&root);
         Ok(PhysicalPlan {
             est_cost_us: elapsed,
             est_cpu_us: total_cpu(&root),
@@ -102,9 +103,7 @@ impl Optimizer {
         predicate: Option<&Expr>,
         ctx: &TableContext,
     ) -> Vec<AccessOption> {
-        let intervals = predicate
-            .map(Expr::column_intervals)
-            .unwrap_or_default();
+        let intervals = predicate.map(Expr::column_intervals).unwrap_or_default();
         let rows = ctx.stats.rows as f64;
         let mut options = Vec::new();
 
@@ -117,9 +116,11 @@ impl Optimizer {
             let index = IndexId(idx);
             match &meta.descriptor {
                 IndexDescriptor::PrimaryBTree { keys } => {
-                    options.extend(self.btree_options(
-                        ti, index, keys, None, meta, &intervals, rows, ctx, true,
-                    ));
+                    options.extend(
+                        self.btree_options(
+                            ti, index, keys, None, meta, &intervals, rows, ctx, true,
+                        ),
+                    );
                 }
                 IndexDescriptor::SecondaryBTree { keys, includes } => {
                     let covering = meta.covers(needed, ctx.schema.len(), &ctx.pk);
@@ -189,7 +190,8 @@ impl Optimizer {
                 }
                 IndexDescriptor::PrimaryCsi | IndexDescriptor::SecondaryCsi { .. } => {
                     if meta.covers(needed, ctx.schema.len(), &ctx.pk) {
-                        options.push(self.csi_option(ti, index, meta, needed, &intervals, rows, ctx));
+                        options
+                            .push(self.csi_option(ti, index, meta, needed, &intervals, rows, ctx));
                     }
                 }
             }
@@ -236,7 +238,7 @@ impl Optimizer {
         });
 
         // Prefix seek: consume equality intervals, then at most one range.
-        let (bounds, consumed_sel, full_prefix) =
+        let (bounds, consumed_sel, _full_prefix) =
             prefix_bounds(keys, intervals, &ctx.stats, keys.len());
         if let Some((lo, hi)) = bounds {
             let sel = consumed_sel.clamp(0.0, 1.0);
@@ -265,15 +267,16 @@ impl Optimizer {
                     est_io_us: io,
                     est_io_div_us: 0.0,
                 },
-                // A seek with a full-prefix equality still yields residual
-                // order on the remaining key columns; report full key order.
-                order: if full_prefix { keys.to_vec() } else { keys.to_vec() },
+                // A seek yields key order whether or not the prefix is a
+                // full equality (residual order covers the remaining keys).
+                order: keys.to_vec(),
             });
         }
         options
     }
 
     /// Columnstore scan option with estimated segment elimination.
+    #[allow(clippy::too_many_arguments)]
     fn csi_option(
         &self,
         ti: usize,
@@ -306,13 +309,12 @@ impl Optimizer {
         // Delete-buffer anti-join: probe per scanned row + buffer scan.
         if meta.delete_buffer_rows > 0 {
             cpu += rows * fraction * self.cost.cpu_hash_us * 0.5;
-            io += self.cost.random_pages_us((meta.delete_buffer_rows as f64 / 200.0).ceil());
+            io += self
+                .cost
+                .random_pages_us((meta.delete_buffer_rows as f64 / 200.0).ceil());
         }
         let out_cols: Vec<PlanCol> = needed.iter().map(|&c| PlanCol::Base(ti, c)).collect();
-        let out_types: Vec<DataType> = needed
-            .iter()
-            .map(|&c| ctx.schema.column(c).dtype)
-            .collect();
+        let out_types: Vec<DataType> = needed.iter().map(|&c| ctx.schema.column(c).dtype).collect();
         AccessOption {
             node: PlanNode {
                 kind: PlanNodeKind::CsiScan {
@@ -373,7 +375,7 @@ impl Optimizer {
     fn relative_filter_rows(&self, table_sel: f64, in_rows: f64, _ti: usize) -> f64 {
         // The access path may already have reduced rows (seek/elimination);
         // the filter keeps at most `table_sel` of the *table*, so cap.
-        (in_rows * table_sel.max(1e-9).min(1.0)).max(0.0)
+        (in_rows * table_sel.clamp(1e-9, 1.0)).max(0.0)
     }
 
     /// Best single-table subplan (access + filter), choosing by estimated
@@ -555,7 +557,7 @@ impl Optimizer {
             .iter()
             .map(|g| PlanCol::Base(g.table, g.column))
             .collect();
-        agg_out_cols.extend(std::iter::repeat(PlanCol::Computed).take(aggs.len()));
+        agg_out_cols.extend(std::iter::repeat_n(PlanCol::Computed, aggs.len()));
         let mut agg_out_types: Vec<DataType> = out_types[..query.group_by.len()].to_vec();
         for (i, a) in query.aggregates.iter().enumerate() {
             let input_t = out_types[query.group_by.len() + i];
@@ -563,17 +565,11 @@ impl Optimizer {
         }
 
         // Streaming possible if the input order starts with the group cols.
-        let group_pairs: Vec<(usize, usize)> = query
-            .group_by
-            .iter()
-            .map(|g| (g.table, g.column))
-            .collect();
+        let group_pairs: Vec<(usize, usize)> =
+            query.group_by.iter().map(|g| (g.table, g.column)).collect();
         let stream_ok = !group_pairs.is_empty()
             && group_pairs.len() <= input_order.len()
-            && group_pairs
-                .iter()
-                .zip(input_order)
-                .all(|(a, b)| a == b);
+            && group_pairs.iter().zip(input_order).all(|(a, b)| a == b);
 
         let groups = if query.group_by.is_empty() {
             1.0
@@ -650,7 +646,12 @@ impl Optimizer {
             });
             if !satisfied {
                 let est_rows = node.est_rows;
-                let bytes = est_rows * node.out_types.iter().map(|t| t.fixed_width()).sum::<usize>() as f64;
+                let bytes = est_rows
+                    * node
+                        .out_types
+                        .iter()
+                        .map(|t| t.fixed_width())
+                        .sum::<usize>() as f64;
                 let (cpu, io) = self.cost.sort_cost(est_rows, bytes);
                 let keys: Vec<(usize, bool)> = query.order_by.clone();
                 let out_cols = node.out_cols.clone();
@@ -817,17 +818,21 @@ impl Optimizer {
                 .iter()
                 .map(|(l, r)| {
                     let (o, i) = if l.table == next { (r, l) } else { (l, r) };
-                    let op = current.find_col(o.table, o.column).ok_or_else(|| {
-                        HpdError::Internal("outer join column missing".into())
-                    })?;
-                    let ip = right.find_col(i.table, i.column).ok_or_else(|| {
-                        HpdError::Internal("inner join column missing".into())
-                    })?;
+                    let op = current
+                        .find_col(o.table, o.column)
+                        .ok_or_else(|| HpdError::Internal("outer join column missing".into()))?;
+                    let ip = right
+                        .find_col(i.table, i.column)
+                        .ok_or_else(|| HpdError::Internal("inner join column missing".into()))?;
                     Ok((op, ip))
                 })
                 .collect::<Result<_>>()?;
-            let build_bytes =
-                right.est_rows * right.out_types.iter().map(|t| t.fixed_width()).sum::<usize>() as f64;
+            let build_bytes = right.est_rows
+                * right
+                    .out_types
+                    .iter()
+                    .map(|t| t.fixed_width())
+                    .sum::<usize>() as f64;
             let mut cpu =
                 (right.est_rows + current.est_rows) * self.cost.cpu_hash_us + join_card * 0.02;
             let mut io = 0.0;
@@ -900,8 +905,8 @@ impl Optimizer {
             let matches_per = (ctx.stats.rows as f64
                 / tables[next].stats.joint_distinct(&inner_cols).max(1) as f64)
                 .max(1.0);
-            let io = current.est_rows * self.cost.random_pages_us(1.0) * meta.height.max(1) as f64
-                / 2.0;
+            let io =
+                current.est_rows * self.cost.random_pages_us(1.0) * meta.height.max(1) as f64 / 2.0;
             let cpu = current.est_rows * matches_per * self.cost.cpu_row_us * 1.5;
 
             let is_primary = matches!(meta.descriptor, IndexDescriptor::PrimaryBTree { .. });
@@ -991,10 +996,7 @@ fn btree_output(
         stored
     };
     let out_cols = cols.iter().map(|&c| PlanCol::Base(ti, c)).collect();
-    let out_types = cols
-        .iter()
-        .map(|&c| ctx.schema.column(c).dtype)
-        .collect();
+    let out_types = cols.iter().map(|&c| ctx.schema.column(c).dtype).collect();
     (out_cols, out_types)
 }
 
@@ -1002,12 +1004,14 @@ fn btree_output(
 /// at most one range column. Returns the key-space bounds, the combined
 /// selectivity of the consumed columns, and whether the whole prefix was
 /// equalities.
+type KeyBounds = (Bound<Key>, Bound<Key>);
+
 fn prefix_bounds(
     keys: &[usize],
     intervals: &HashMap<usize, Interval>,
     stats: &TableStats,
     _max: usize,
-) -> (Option<(Bound<Key>, Bound<Key>)>, f64, bool) {
+) -> (Option<KeyBounds>, f64, bool) {
     use hpd_common::interval::Bound as IvBound;
     let mut lo_vals: Vec<Value> = Vec::new();
     let mut hi_vals: Vec<Value> = Vec::new();
@@ -1176,6 +1180,31 @@ fn join_keys_between(
         })
         .map(|j| (j.left, j.right))
         .collect()
+}
+
+/// Record the chosen plan's leaf access paths in the global metrics
+/// registry: how often the optimizer picks B+ tree vs columnstore leaves,
+/// and how often one plan mixes both (the hybrid designs the paper studies).
+fn record_plan_choice(root: &PlanNode) {
+    fn walk(node: &PlanNode, btree: &mut u64, csi: &mut u64) {
+        match &node.kind {
+            PlanNodeKind::BTreeSeek { .. } | PlanNodeKind::BTreeScan { .. } => *btree += 1,
+            PlanNodeKind::CsiScan { .. } => *csi += 1,
+            _ => {}
+        }
+        for c in children(node) {
+            walk(c, btree, csi);
+        }
+    }
+    let (mut btree, mut csi) = (0u64, 0u64);
+    walk(root, &mut btree, &mut csi);
+    let reg = hpd_obs::global();
+    reg.counter("optimizer.plans").inc();
+    reg.counter("optimizer.leaf_btree").add(btree);
+    reg.counter("optimizer.leaf_csi").add(csi);
+    if btree > 0 && csi > 0 {
+        reg.counter("optimizer.hybrid_plans").inc();
+    }
 }
 
 /// Sum of estimated CPU microseconds over a subtree.

@@ -238,20 +238,38 @@ impl PlanNode {
         }
     }
 
-    fn explain_into(&self, depth: usize, table_names: &[String], out: &mut String) {
-        use std::fmt::Write;
-        let pad = "  ".repeat(depth);
+    /// Borrowed children in plan order (left before right).
+    pub fn children(&self) -> Vec<&PlanNode> {
+        match &self.kind {
+            PlanNodeKind::BTreeSeek { .. }
+            | PlanNodeKind::BTreeScan { .. }
+            | PlanNodeKind::CsiScan { .. } => Vec::new(),
+            PlanNodeKind::PkLookup { child, .. }
+            | PlanNodeKind::Filter { child, .. }
+            | PlanNodeKind::Project { child, .. }
+            | PlanNodeKind::HashAgg { child, .. }
+            | PlanNodeKind::StreamAgg { child, .. }
+            | PlanNodeKind::Sort { child, .. }
+            | PlanNodeKind::Limit { child, .. } => vec![child],
+            PlanNodeKind::IndexNLJoin { outer, .. } => vec![outer],
+            PlanNodeKind::HashJoin { left, right, .. }
+            | PlanNodeKind::MergeJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// One-line operator description (no costs), e.g. `CsiScan lineitem
+    /// idx#0 [2 elim cols] (dop 8)`.
+    pub fn describe(&self, table_names: &[String]) -> String {
         let tname = |t: &usize| {
             table_names
                 .get(*t)
                 .cloned()
                 .unwrap_or_else(|| format!("t{t}"))
         };
-        let line = match &self.kind {
-            PlanNodeKind::BTreeSeek { table, index, dop, .. } => format!(
-                "BTreeSeek {} idx#{} (dop {dop})",
-                tname(table), index.0
-            ),
+        match &self.kind {
+            PlanNodeKind::BTreeSeek {
+                table, index, dop, ..
+            } => format!("BTreeSeek {} idx#{} (dop {dop})", tname(table), index.0),
             PlanNodeKind::BTreeScan { table, index, dop } => {
                 format!("BTreeScan {} idx#{} (dop {dop})", tname(table), index.0)
             }
@@ -282,29 +300,22 @@ impl PlanNode {
             PlanNodeKind::IndexNLJoin { table, index, .. } => {
                 format!("IndexNLJoin inner={} idx#{}", tname(table), index.0)
             }
-        };
+        }
+    }
+
+    fn explain_into(&self, depth: usize, table_names: &[String], out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
         let _ = writeln!(
             out,
-            "{pad}{line}  (rows≈{:.0}, cpu≈{:.0}us, io≈{:.0}us)",
-            self.est_rows, self.est_cpu_us, self.est_io_us
+            "{pad}{}  (rows≈{:.0}, cpu≈{:.0}us, io≈{:.0}us)",
+            self.describe(table_names),
+            self.est_rows,
+            self.est_cpu_us,
+            self.est_io_us
         );
-        match &self.kind {
-            PlanNodeKind::PkLookup { child, .. }
-            | PlanNodeKind::Filter { child, .. }
-            | PlanNodeKind::Project { child, .. }
-            | PlanNodeKind::HashAgg { child, .. }
-            | PlanNodeKind::StreamAgg { child, .. }
-            | PlanNodeKind::Sort { child, .. }
-            | PlanNodeKind::Limit { child, .. } => child.explain_into(depth + 1, table_names, out),
-            PlanNodeKind::IndexNLJoin { outer, .. } => {
-                outer.explain_into(depth + 1, table_names, out)
-            }
-            PlanNodeKind::HashJoin { left, right, .. }
-            | PlanNodeKind::MergeJoin { left, right, .. } => {
-                left.explain_into(depth + 1, table_names, out);
-                right.explain_into(depth + 1, table_names, out);
-            }
-            _ => {}
+        for child in self.children() {
+            child.explain_into(depth + 1, table_names, out);
         }
     }
 }

@@ -1,0 +1,189 @@
+//! `EXPLAIN ANALYZE` support: maps plan nodes to shared [`OpStats`] cells,
+//! collects actuals after execution, and renders estimated-vs-actual plans.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpd_exec::OpStats;
+use hpd_obs::json_string;
+
+use crate::plan::{PhysicalPlan, PlanNode};
+
+/// Pre-order map from plan-node identity (address within the plan tree,
+/// stable for the plan's lifetime) to a stats cell the executor's wrappers
+/// report into.
+pub struct ProfileMap {
+    ids: HashMap<*const PlanNode, usize>,
+    stats: Vec<Arc<OpStats>>,
+}
+
+impl ProfileMap {
+    pub fn build(plan: &PhysicalPlan) -> ProfileMap {
+        let mut map = ProfileMap {
+            ids: HashMap::new(),
+            stats: Vec::new(),
+        };
+        fn visit(node: &PlanNode, map: &mut ProfileMap) {
+            map.ids.insert(node as *const PlanNode, map.stats.len());
+            map.stats.push(Arc::new(OpStats::default()));
+            for child in node.children() {
+                visit(child, map);
+            }
+        }
+        visit(&plan.root, &mut map);
+        map
+    }
+
+    /// Stats cell for a node of the plan this map was built from.
+    pub fn stats_for(&self, node: &PlanNode) -> Option<Arc<OpStats>> {
+        self.ids
+            .get(&(node as *const PlanNode))
+            .map(|&i| Arc::clone(&self.stats[i]))
+    }
+
+    /// Freeze the accumulated actuals into a report (call after the query
+    /// has drained).
+    pub fn report(&self, plan: &PhysicalPlan) -> AnalyzeReport {
+        let mut nodes = Vec::with_capacity(self.stats.len());
+        fn visit(
+            node: &PlanNode,
+            depth: usize,
+            map: &ProfileMap,
+            plan: &PhysicalPlan,
+            out: &mut Vec<NodeProfile>,
+        ) {
+            let idx = map.ids[&(node as *const PlanNode)];
+            let s = &map.stats[idx];
+            out.push(NodeProfile {
+                label: node.describe(&plan.table_names),
+                depth,
+                est_rows: node.est_rows,
+                est_cost_us: node.est_cpu_us + node.est_io_us,
+                actual_rows: s.rows.load(Ordering::Relaxed),
+                batches: s.batches.load(Ordering::Relaxed),
+                next_calls: s.next_calls.load(Ordering::Relaxed),
+                wall: Duration::from_nanos(s.wall_ns.load(Ordering::Relaxed)),
+                spilled_bytes: s.spilled_bytes.load(Ordering::Relaxed),
+                spill_events: s.spill_events.load(Ordering::Relaxed),
+                mem_peak_bytes: s.mem_peak_bytes.load(Ordering::Relaxed),
+            });
+            for child in node.children() {
+                visit(child, depth + 1, map, plan, out);
+            }
+        }
+        visit(&plan.root, 0, self, plan, &mut nodes);
+        AnalyzeReport {
+            nodes,
+            est_cost_us: plan.est_cost_us,
+        }
+    }
+}
+
+/// Actuals for one plan node, in pre-order plan position.
+#[derive(Debug, Clone)]
+pub struct NodeProfile {
+    pub label: String,
+    pub depth: usize,
+    pub est_rows: f64,
+    /// Node's estimated cpu+io cost in microseconds.
+    pub est_cost_us: f64,
+    pub actual_rows: u64,
+    pub batches: u64,
+    pub next_calls: u64,
+    /// Inclusive wall time inside the node (total busy time across workers
+    /// for parallel partitions).
+    pub wall: Duration,
+    pub spilled_bytes: u64,
+    pub spill_events: u64,
+    pub mem_peak_bytes: u64,
+}
+
+impl NodeProfile {
+    /// actual/estimated row ratio, with both sides floored at one row so
+    /// empty results don't divide by zero.
+    pub fn estimate_error(&self) -> f64 {
+        (self.actual_rows.max(1)) as f64 / self.est_rows.max(1.0)
+    }
+}
+
+/// Per-node actuals for one executed statement.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// Pre-order, matching the plan tree.
+    pub nodes: Vec<NodeProfile>,
+    pub est_cost_us: f64,
+}
+
+impl AnalyzeReport {
+    /// The root node's actuals (every plan has at least one node).
+    pub fn root(&self) -> &NodeProfile {
+        &self.nodes[0]
+    }
+
+    /// Total bytes spilled by any node.
+    pub fn spilled_bytes(&self) -> u64 {
+        // Spill deltas are observed inclusively at every enclosing node, so
+        // the maximum (not the sum) is the query's total.
+        self.nodes
+            .iter()
+            .map(|n| n.spilled_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Render the estimated-vs-actual plan tree.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for n in &self.nodes {
+            let pad = "  ".repeat(n.depth);
+            let _ = write!(
+                out,
+                "{pad}{}  (rows est={:.0} act={} x{:.2}, time={:.1}ms",
+                n.label,
+                n.est_rows,
+                n.actual_rows,
+                n.estimate_error(),
+                n.wall.as_secs_f64() * 1e3,
+            );
+            if n.mem_peak_bytes > 0 {
+                let _ = write!(out, ", mem={}KB", n.mem_peak_bytes / 1024);
+            }
+            if n.spilled_bytes > 0 {
+                let _ = write!(
+                    out,
+                    ", spilled={}KB/{} events",
+                    n.spilled_bytes / 1024,
+                    n.spill_events
+                );
+            }
+            out.push_str(")\n");
+        }
+        out
+    }
+
+    /// Render as one JSON object (for the query store dump).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"op\":{},\"depth\":{},\"est_rows\":{:.0},\"act_rows\":{},\"wall_us\":{},\"spilled_bytes\":{}}}",
+                json_string(&n.label),
+                n.depth,
+                n.est_rows,
+                n.actual_rows,
+                n.wall.as_micros(),
+                n.spilled_bytes
+            );
+        }
+        out.push(']');
+        out
+    }
+}

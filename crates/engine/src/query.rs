@@ -97,7 +97,11 @@ pub struct SelectQuery {
 
 impl SelectQuery {
     /// Single-table scan+filter+project query.
-    pub fn single_table(name: impl Into<String>, predicate: Option<Expr>, select: Vec<usize>) -> SelectQuery {
+    pub fn single_table(
+        name: impl Into<String>,
+        predicate: Option<Expr>,
+        select: Vec<usize>,
+    ) -> SelectQuery {
         SelectQuery {
             tables: vec![TableInput {
                 name: name.into(),

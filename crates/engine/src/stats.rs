@@ -39,8 +39,10 @@ impl ColumnStats {
             return 0.0;
         }
         // Point predicate: 1/distinct.
-        if let (hpd_common::interval::Bound::Inclusive(a), hpd_common::interval::Bound::Inclusive(b)) =
-            (&interval.lo, &interval.hi)
+        if let (
+            hpd_common::interval::Bound::Inclusive(a),
+            hpd_common::interval::Bound::Inclusive(b),
+        ) = (&interval.lo, &interval.hi)
         {
             if a == b {
                 return if self
@@ -185,16 +187,13 @@ impl TableStats {
 
 /// Average fraction of the total value domain spanned by each arrival block.
 fn clustering_fraction(vals: &[Value], block_rows: usize) -> f64 {
-    let Some((total_min, total_max)) = vals
-        .iter()
-        .fold(None::<(f64, f64)>, |acc, v| {
-            let f = v.as_f64().unwrap_or(0.0);
-            Some(match acc {
-                None => (f, f),
-                Some((lo, hi)) => (lo.min(f), hi.max(f)),
-            })
+    let Some((total_min, total_max)) = vals.iter().fold(None::<(f64, f64)>, |acc, v| {
+        let f = v.as_f64().unwrap_or(0.0);
+        Some(match acc {
+            None => (f, f),
+            Some((lo, hi)) => (lo.min(f), hi.max(f)),
         })
-    else {
+    }) else {
         return 1.0;
     };
     let total_span = total_max - total_min;
@@ -230,10 +229,8 @@ mod tests {
     fn selectivity_of_range_on_uniform_data() {
         let rows = rows_of((0..10_000).collect());
         let stats = TableStats::analyze(&rows, 1, 1000);
-        let sel = stats.columns[0].selectivity(
-            &Interval::less_than(Value::Int32(1000), false),
-            stats.rows,
-        );
+        let sel = stats.columns[0]
+            .selectivity(&Interval::less_than(Value::Int32(1000), false), stats.rows);
         assert!((sel - 0.1).abs() < 0.05, "got {sel}");
         let sel = stats.columns[0].selectivity(
             &Interval::between(Value::Int32(2500), Value::Int32(7500)),
@@ -293,10 +290,7 @@ mod tests {
         let stats = TableStats::analyze(&[], 3, 100);
         assert_eq!(stats.rows, 0);
         assert_eq!(stats.columns.len(), 3);
-        assert_eq!(
-            stats.columns[0].selectivity(&Interval::all(), 0),
-            0.0
-        );
+        assert_eq!(stats.columns[0].selectivity(&Interval::all(), 0), 0.0);
     }
 
     #[test]

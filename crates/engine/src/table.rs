@@ -146,11 +146,17 @@ impl Table {
 
     /// Bulk load rows into the primary index (existing secondaries are
     /// rebuilt) and refresh statistics.
-    pub fn bulk_load(&mut self, mut rows: Vec<Row>, pool: &BufferPool, tracker: &IoTracker) -> Result<()> {
+    pub fn bulk_load(
+        &mut self,
+        mut rows: Vec<Row>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
         for r in &rows {
             self.schema.validate_row(r)?;
         }
-        self.stats = TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
+        self.stats =
+            TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
         match &mut self.primary {
             PrimaryIndex::BTree(tree) => {
                 let pk = self.pk.clone();
@@ -208,7 +214,13 @@ impl Table {
         let rows = self.scan_all_rows(pool, tracker);
         match descriptor {
             IndexDescriptor::SecondaryBTree { keys, includes } => {
-                self.build_secondary_btree_from(&rows, keys.clone(), includes.clone(), pool, tracker)?;
+                self.build_secondary_btree_from(
+                    &rows,
+                    keys.clone(),
+                    includes.clone(),
+                    pool,
+                    tracker,
+                )?;
                 Ok(IndexId(self.secondaries.len()))
             }
             IndexDescriptor::SecondaryCsi { columns } => {
@@ -351,7 +363,8 @@ impl Table {
     /// Refresh statistics from current contents.
     pub fn analyze(&mut self, pool: &BufferPool, tracker: &IoTracker) {
         let rows = self.scan_all_rows(pool, tracker);
-        self.stats = TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
+        self.stats =
+            TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
     }
 
     /// What-if metadata for every materialized index: primary first, then
@@ -415,12 +428,7 @@ impl Table {
                 rows: c.active_rows(),
                 leaf_pages: 0,
                 height: 0,
-                column_bytes: self
-                    .csi_columns
-                    .iter()
-                    .copied()
-                    .zip(sizes)
-                    .collect(),
+                column_bytes: self.csi_columns.iter().copied().zip(sizes).collect(),
                 rowgroups: c.num_rowgroups(),
                 delta_rows: c.delta_rows(),
                 delete_buffer_rows: c.delete_buffer_len(),
@@ -482,7 +490,12 @@ impl Table {
     }
 
     /// Delete the row with this primary key from every index.
-    pub fn delete_by_pk(&mut self, key: &Key, pool: &BufferPool, tracker: &IoTracker) -> Result<bool> {
+    pub fn delete_by_pk(
+        &mut self,
+        key: &Key,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<bool> {
         // Fetch + delete from the primary in one pass where possible: a
         // primary CSI locates the physical row by scanning key segments, so
         // a separate fetch would double that cost.
@@ -654,10 +667,7 @@ impl Table {
             );
         }
         if let Some(csi) = &mut self.secondary_csi {
-            if changed
-                .iter()
-                .any(|c| self.csi_columns.contains(c))
-            {
+            if changed.iter().any(|c| self.csi_columns.contains(c)) {
                 csi.update(key, new_row.project(&self.csi_columns), pool, tracker);
             }
         }
@@ -675,7 +685,8 @@ impl Table {
             PrimaryIndex::Csi(csi) => {
                 let all: Vec<usize> = (0..self.schema.len()).collect();
                 let mut rows = Vec::new();
-                for batch in csi.scan_collect(&all, &std::collections::HashMap::new(), pool, tracker)
+                for batch in
+                    csi.scan_collect(&all, &std::collections::HashMap::new(), pool, tracker)
                 {
                     rows.extend(batch.to_rows());
                 }

@@ -65,6 +65,9 @@ struct LockTable {
 pub struct LockManager {
     table: Mutex<LockTable>,
     cv: Condvar,
+    acquires: hpd_obs::Counter,
+    waits: hpd_obs::Counter,
+    timeouts: hpd_obs::Counter,
 }
 
 impl Default for LockManager {
@@ -72,6 +75,9 @@ impl Default for LockManager {
         LockManager {
             table: Mutex::new(LockTable::default()),
             cv: Condvar::new(),
+            acquires: hpd_obs::global().counter("lock.acquire"),
+            waits: hpd_obs::global().counter("lock.wait"),
+            timeouts: hpd_obs::global().counter("lock.timeout"),
         }
     }
 }
@@ -84,9 +90,17 @@ impl LockManager {
     /// Acquire `mode` on `key` for transaction `txn`, waiting up to
     /// `timeout`. Re-entrant; upgrades (S→X) succeed when `txn` is the sole
     /// holder.
-    pub fn acquire(&self, txn: u64, key: &LockKey, mode: LockMode, timeout: Duration) -> Result<()> {
+    pub fn acquire(
+        &self,
+        txn: u64,
+        key: &LockKey,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> Result<()> {
+        self.acquires.inc();
         let deadline = Instant::now() + timeout;
         let mut table = self.table.lock();
+        let mut waited = false;
         loop {
             let holders = table.granted.entry(key.clone()).or_default();
             // Already held in a covering mode?
@@ -107,13 +121,16 @@ impl LockManager {
             }
             let now = Instant::now();
             if now >= deadline {
+                self.timeouts.inc();
                 return Err(HpdError::LockTimeout(format!("{key:?} in mode {mode:?}")));
             }
-            if self
-                .cv
-                .wait_until(&mut table, deadline)
-                .timed_out()
-            {
+            if !waited {
+                // Count each blocked acquire once, however many wakeups.
+                waited = true;
+                self.waits.inc();
+            }
+            if self.cv.wait_until(&mut table, deadline).timed_out() {
+                self.timeouts.inc();
                 return Err(HpdError::LockTimeout(format!("{key:?} in mode {mode:?}")));
             }
         }

@@ -29,7 +29,13 @@ fn setup_table(db: &Database, primary: IndexDescriptor, n: i32) {
     ]);
     db.create_table("t", schema, vec![0], primary).unwrap();
     let rows: Vec<Row> = (0..n)
-        .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i % 20), Value::Int32(i * 3 % 1000)]))
+        .map(|i| {
+            Row::new(vec![
+                Value::Int32(i),
+                Value::Int32(i % 20),
+                Value::Int32(i * 3 % 1000),
+            ])
+        })
         .collect();
     db.load_table("t", rows).unwrap();
 }
@@ -266,7 +272,13 @@ fn join_two_tables() {
     )
     .unwrap();
     let fact_rows: Vec<Row> = (0..5000)
-        .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i % 100), Value::Int32(1)]))
+        .map(|i| {
+            Row::new(vec![
+                Value::Int32(i),
+                Value::Int32(i % 100),
+                Value::Int32(1),
+            ])
+        })
         .collect();
     let dim_rows: Vec<Row> = (0..100)
         .map(|i| Row::new(vec![Value::Int32(i), Value::Int32(i % 5)]))
@@ -326,7 +338,11 @@ fn dml_insert_update_delete_roundtrip() {
         top: None,
         set: vec![(
             2,
-            Expr::arith(hpd_common::BinOp::Add, Expr::Col(2), Expr::lit(Value::Int32(1))),
+            Expr::arith(
+                hpd_common::BinOp::Add,
+                Expr::Col(2),
+                Expr::lit(Value::Int32(1)),
+            ),
         )],
     });
     let r = db.execute(&upd).unwrap();
@@ -350,10 +366,7 @@ fn dml_insert_update_delete_roundtrip() {
         vec![0],
     );
     let r = db.execute(&Statement::Select(by_grp)).unwrap();
-    assert!(r
-        .rows
-        .iter()
-        .any(|row| row[0] == Value::Int32(1000)));
+    assert!(r.rows.iter().any(|row| row[0] == Value::Int32(1000)));
 
     // Delete.
     let del = Statement::Delete(DeleteStmt {
@@ -402,9 +415,7 @@ fn what_if_hypothetical_index_changes_plan() {
     assert!(base_plan.explain().contains("BTreeScan"));
 
     // Hypothetical secondary B+ tree on val.
-    let mut metas = db
-        .with_table("t", |t| t.metas())
-        .unwrap();
+    let mut metas = db.with_table("t", |t| t.metas()).unwrap();
     metas.push(IndexMeta {
         descriptor: IndexDescriptor::SecondaryBTree {
             keys: vec![2],
@@ -455,11 +466,7 @@ fn snapshot_isolation_sees_old_version() {
     .unwrap();
 
     // RC sees the new value; the snapshot reader still sees the old one.
-    let rc_val = rc
-        .run(&Statement::Select(q.clone()))
-        .unwrap()
-        .rows[0][0]
-        .clone();
+    let rc_val = rc.run(&Statement::Select(q.clone())).unwrap().rows[0][0].clone();
     assert_eq!(rc_val, Value::Int32(-777));
     let after = reader.select(&q).unwrap().rows[0][0].clone();
     assert_eq!(after, before, "snapshot read must be stable");
@@ -691,10 +698,10 @@ fn concurrent_increments_are_not_lost() {
         let v = db.execute(&Statement::Select(q)).unwrap().rows[0][0]
             .as_i32()
             .unwrap();
-        let initial = 1 * 3 % 1000;
+        let initial = 3;
         assert_eq!(
             v,
-            initial + (threads * per_thread) as i32,
+            initial + (threads * per_thread),
             "{isolation:?}: increments lost"
         );
     }

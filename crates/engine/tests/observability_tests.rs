@@ -1,0 +1,148 @@
+//! End-to-end observability tests: `explain_analyze` actuals, spill
+//! visibility under small grants, the query store ring, and optimizer
+//! plan-choice counters.
+
+use hpd_common::{CmpOp, DataType, Expr, Row, Schema, Value};
+use hpd_engine::{Database, DbConfig, IndexDescriptor, SelectQuery, Statement};
+
+/// `t(id, grp, val)`: id unique 0..n, grp = id % 20, val = id * 3 % 1000.
+fn setup_table(db: &Database, primary: IndexDescriptor, n: i32) {
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int32),
+        ("grp", DataType::Int32),
+        ("val", DataType::Int32),
+    ]);
+    db.create_table("t", schema, vec![0], primary).unwrap();
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int32(i),
+                Value::Int32(i % 20),
+                Value::Int32(i * 3 % 1000),
+            ])
+        })
+        .collect();
+    db.load_table("t", rows).unwrap();
+}
+
+fn btree_primary() -> IndexDescriptor {
+    IndexDescriptor::PrimaryBTree { keys: vec![0] }
+}
+
+#[test]
+fn explain_analyze_actual_rows_match_result() {
+    let db = Database::new(DbConfig::default());
+    setup_table(&db, btree_primary(), 5000);
+    let q = SelectQuery::single_table(
+        "t",
+        Some(Expr::col_cmp(2, CmpOp::Lt, Value::Int32(300))),
+        vec![0, 2],
+    );
+    let r = db.explain_analyze(&q).unwrap();
+    let report = r.analyze.as_ref().expect("explain_analyze sets analyze");
+    assert_eq!(
+        report.root().actual_rows,
+        r.rows.len() as u64,
+        "root actuals track returned rows:\n{}",
+        report.render()
+    );
+    // Every node carries an estimate and a wall-clock reading.
+    for node in &report.nodes {
+        assert!(node.est_rows >= 0.0);
+        assert!(node.next_calls > 0, "node never pulled: {}", node.label);
+    }
+    let rendered = report.render();
+    assert!(rendered.contains("est="), "{rendered}");
+    assert!(rendered.contains("act="), "{rendered}");
+}
+
+#[test]
+fn explain_analyze_csi_scan_reports_per_node_actuals() {
+    let mut cfg = DbConfig::default();
+    cfg.csi.rowgroup_capacity = 512;
+    let db = Database::new(cfg);
+    setup_table(&db, IndexDescriptor::PrimaryCsi, 4000);
+    let q = SelectQuery::single_table(
+        "t",
+        Some(Expr::col_cmp(0, CmpOp::Lt, Value::Int32(1000))),
+        vec![0, 1],
+    );
+    let r = db.explain_analyze(&q).unwrap();
+    let report = r.analyze.as_ref().unwrap();
+    assert_eq!(r.rows.len(), 1000);
+    assert_eq!(report.root().actual_rows, 1000);
+    // The scan leaf is the last pre-order node; segment elimination means it
+    // may read fewer than the full table but at least the matching rows.
+    let leaf = report.nodes.last().unwrap();
+    assert!(leaf.label.contains("CsiScan"), "{}", leaf.label);
+    assert!(leaf.actual_rows >= 1000, "{}", report.render());
+}
+
+#[test]
+fn sort_spills_under_small_grant_and_is_visible() {
+    let db = Database::new(DbConfig::default());
+    setup_table(&db, btree_primary(), 20_000);
+    let mut q = SelectQuery::single_table("t", None, vec![0, 1, 2]);
+    // Sort on a non-key output so the B+ tree order doesn't satisfy it.
+    q.order_by = vec![(2, true)];
+    // A few KB of grant forces the external sort to spill runs.
+    let r = db.explain_analyze_with_grant(&q, 16 << 10).unwrap();
+    let report = r.analyze.as_ref().unwrap();
+    assert_eq!(r.rows.len(), 20_000);
+    assert!(
+        report.spilled_bytes() > 0,
+        "expected spill under a 16KB grant:\n{}",
+        report.render()
+    );
+    let rendered = report.render();
+    assert!(rendered.contains("spilled="), "{rendered}");
+    // The same query under the default grant stays in memory.
+    let r2 = db.explain_analyze(&q).unwrap();
+    assert_eq!(r2.analyze.as_ref().unwrap().spilled_bytes(), 0);
+}
+
+#[test]
+fn query_store_retains_recent_statements() {
+    let db = Database::new(DbConfig {
+        query_store_capacity: 4,
+        ..DbConfig::default()
+    });
+    setup_table(&db, btree_primary(), 1000);
+    for hi in [10, 20, 30, 40, 50, 60] {
+        let q = SelectQuery::single_table(
+            "t",
+            Some(Expr::col_cmp(0, CmpOp::Lt, Value::Int32(hi))),
+            vec![0],
+        );
+        db.execute(&Statement::Select(q)).unwrap();
+    }
+    let store = db.query_store();
+    assert_eq!(store.len(), 4, "ring capped at capacity");
+    let recent = store.recent();
+    // Oldest-first, and the oldest two statements fell off.
+    assert_eq!(recent.first().unwrap().actual_rows, 30);
+    assert_eq!(recent.last().unwrap().actual_rows, 60);
+    for (a, b) in recent.iter().zip(recent.iter().skip(1)) {
+        assert!(a.seq < b.seq);
+    }
+    // Same plan shape => same fingerprint across different constants.
+    assert_eq!(recent[0].plan_fingerprint, recent[1].plan_fingerprint);
+    let dump = store.dump_jsonl();
+    assert_eq!(dump.lines().count(), 4);
+    assert!(dump.contains("\"fingerprint\""), "{dump}");
+    assert!(dump.contains("\"estimate_error\""), "{dump}");
+}
+
+#[test]
+fn optimizer_choice_counters_advance() {
+    let base = hpd_obs::global().snapshot();
+    let db = Database::new(DbConfig::default());
+    setup_table(&db, btree_primary(), 1000);
+    let q = SelectQuery::single_table("t", None, vec![0]);
+    db.execute(&Statement::Select(q)).unwrap();
+    let delta = hpd_obs::global().snapshot().delta(&base);
+    // Parallel tests share the global registry, so assert growth not equality.
+    assert!(delta.counter("optimizer.plans") >= 1);
+    assert!(delta.counter("optimizer.leaf_btree") >= 1);
+    assert!(delta.counter("query.statements") >= 1);
+}

@@ -28,7 +28,9 @@ fn setup_composite(db: &Database, n: i32) {
             ("v", DataType::Int32),
         ]),
         vec![0, 1, 2],
-        IndexDescriptor::PrimaryBTree { keys: vec![0, 1, 2] },
+        IndexDescriptor::PrimaryBTree {
+            keys: vec![0, 1, 2],
+        },
     )
     .unwrap();
     let rows: Vec<Row> = (0..n)
@@ -66,7 +68,10 @@ fn composite_equality_prefix_seek() {
     );
     let r = db.execute(&Statement::Select(q)).unwrap();
     assert_eq!(r.rows.len(), 1);
-    assert!(r.metrics.io.logical_reads < 10, "prefix seek touches few pages");
+    assert!(
+        r.metrics.io.logical_reads < 10,
+        "prefix seek touches few pages"
+    );
 }
 
 #[test]
@@ -94,12 +99,10 @@ fn equality_prefix_plus_range_seek() {
         .filter(|i| i % 4 == 1 && (2..5).contains(&(i / 4 % 10)))
         .count();
     assert_eq!(r.rows.len(), expected);
-    assert!(
-        r.rows
-            .iter()
-            .all(|row| row[0] == Value::Int32(1)
-                && (2..5).contains(&row[1].as_i32().unwrap()))
-    );
+    assert!(r
+        .rows
+        .iter()
+        .all(|row| row[0] == Value::Int32(1) && (2..5).contains(&row[1].as_i32().unwrap())));
 }
 
 #[test]

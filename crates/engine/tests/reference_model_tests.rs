@@ -26,13 +26,11 @@ fn reference(rows: &[Vec<i32>], q: &QuerySpec) -> Vec<Vec<i64>> {
     let filtered: Vec<&Vec<i32>> = rows
         .iter()
         .filter(|r| {
-            q.predicate
-                .iter()
-                .all(|&(col, op, v)| match op {
-                    0 => r[col] == v,
-                    1 => r[col] < v,
-                    _ => r[col] >= v,
-                })
+            q.predicate.iter().all(|&(col, op, v)| match op {
+                0 => r[col] == v,
+                1 => r[col] < v,
+                _ => r[col] >= v,
+            })
         })
         .collect();
     let mut out: Vec<Vec<i64>> = match q.group_by {

@@ -15,6 +15,7 @@
 pub mod ctx;
 pub mod memory;
 pub mod ops;
+pub mod profile;
 
 pub use ctx::{ExecCtx, ExecMetrics};
 pub use memory::MemoryGrant;
@@ -25,3 +26,4 @@ pub use ops::parallel::ParallelOp;
 pub use ops::scan::{BTreeRangeScanOp, CsiScanOp, ValuesOp};
 pub use ops::sort::{LimitOp, SortKey, SortOp};
 pub use ops::{collect, collect_rows, Operator};
+pub use profile::{OpStats, ProfiledOp};

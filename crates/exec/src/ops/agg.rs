@@ -437,15 +437,13 @@ impl Operator for StreamAggOp<'_> {
                                 .map(|&g| batch.column(g).value(i))
                                 .collect(),
                         );
-                        let same = self
-                            .current
-                            .as_ref()
-                            .is_some_and(|(cur, _)| cur == &key);
+                        let same = self.current.as_ref().is_some_and(|(cur, _)| cur == &key);
                         if !same {
                             self.close_current();
                             let mut states = Vec::with_capacity(self.aggs.len());
                             for spec in &self.aggs {
-                                states.push(AggState::new(spec.func, self.child_types[spec.input])?);
+                                states
+                                    .push(AggState::new(spec.func, self.child_types[spec.input])?);
                             }
                             self.current = Some((key, states));
                         }

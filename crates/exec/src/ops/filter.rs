@@ -72,7 +72,12 @@ pub struct ProjectOp<'a> {
 }
 
 impl<'a> ProjectOp<'a> {
-    pub fn new(child: PlanNode<'a>, exprs: Vec<Expr>, types: Vec<DataType>, mode: Mode) -> ProjectOp<'a> {
+    pub fn new(
+        child: PlanNode<'a>,
+        exprs: Vec<Expr>,
+        types: Vec<DataType>,
+        mode: Mode,
+    ) -> ProjectOp<'a> {
         ProjectOp {
             child,
             exprs,

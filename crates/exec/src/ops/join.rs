@@ -128,7 +128,10 @@ impl<'a> HashJoinOp<'a> {
                 }
                 let mut part_table: HashMap<Key, Vec<Row>> = HashMap::new();
                 for row in build_rows {
-                    part_table.entry(row.key(&right_keys)).or_default().push(row);
+                    part_table
+                        .entry(row.key(&right_keys))
+                        .or_default()
+                        .push(row);
                 }
                 for row in std::mem::take(&mut spilled_probe[p]) {
                     if let Some(matches) = part_table.get(&row.key(&left_keys)) {

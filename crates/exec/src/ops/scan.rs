@@ -109,7 +109,11 @@ impl Operator for BTreeRangeScanOp<'_> {
             self.done = true;
         }
         if rows.is_empty() {
-            return Ok(if exhausted { None } else { Some(Batch::empty(&self.types)) });
+            return Ok(if exhausted {
+                None
+            } else {
+                Some(Batch::empty(&self.types))
+            });
         }
         Ok(Some(Batch::from_rows(&self.types, &rows)?))
     }

@@ -79,8 +79,7 @@ impl<'a> SortOp<'a> {
                     if !current.is_empty() {
                         current.sort_unstable_by(|a, b| compare_rows(a, b, &self.keys));
                         let mut file = ctx.spill.create_file();
-                        let run_bytes: u64 =
-                            current.iter().map(|r| r.byte_width() as u64).sum();
+                        let run_bytes: u64 = current.iter().map(|r| r.byte_width() as u64).sum();
                         file.write(run_bytes, &ctx.tracker);
                         runs.push((file, std::mem::take(&mut current)));
                         ctx.grant.release(reserved);
@@ -150,8 +149,7 @@ fn merge_runs(runs: Vec<Vec<Row>>, keys: &[SortKey]) -> Vec<Row> {
     }
 
     let total: usize = runs.iter().map(Vec::len).sum();
-    let mut iters: Vec<std::vec::IntoIter<Row>> =
-        runs.into_iter().map(|r| r.into_iter()).collect();
+    let mut iters: Vec<std::vec::IntoIter<Row>> = runs.into_iter().map(|r| r.into_iter()).collect();
     let mut heap = BinaryHeap::with_capacity(iters.len());
     for (i, it) in iters.iter_mut().enumerate() {
         if let Some(row) = it.next() {

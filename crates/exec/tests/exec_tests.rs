@@ -11,9 +11,9 @@ use hpd_common::{
 };
 use hpd_exec::ops::sort::SortKey;
 use hpd_exec::{
-    collect_rows, AggSpec, BTreeRangeScanOp, CsiScanOp, ExecCtx, FilterOp, HashAggOp,
-    HashJoinOp, IndexLookupJoinOp, LimitOp, MergeJoinOp, Mode, NestedLoopJoinOp, Operator,
-    ParallelOp, ProjectOp, SortOp, StreamAggOp, ValuesOp,
+    collect_rows, AggSpec, BTreeRangeScanOp, CsiScanOp, ExecCtx, FilterOp, HashAggOp, HashJoinOp,
+    IndexLookupJoinOp, LimitOp, MergeJoinOp, Mode, NestedLoopJoinOp, Operator, ParallelOp,
+    ProjectOp, SortOp, StreamAggOp, ValuesOp,
 };
 use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
 use proptest::prelude::*;
@@ -215,10 +215,7 @@ fn sort_in_memory_and_external_agree() {
     let p = pool();
     let sorted_with = |grant: usize| {
         let ctx = ExecCtx::with_grant(&p, grant);
-        let mut op = SortOp::new(
-            values_op(&data),
-            vec![SortKey::asc(0), SortKey::desc(1)],
-        );
+        let mut op = SortOp::new(values_op(&data), vec![SortKey::asc(0), SortKey::desc(1)]);
         let rows = collect_rows(&mut op, &ctx).unwrap();
         (rows_to_pairs(rows), ctx.tracker.snapshot())
     };
@@ -276,7 +273,10 @@ fn hash_join_spills_and_stays_correct() {
     let mut rows = collect_rows(&mut op, &ctx).unwrap();
     rows.sort();
     assert_eq!(rows, expected);
-    assert!(ctx.tracker.snapshot().bytes_written > 0, "grace partitions spill");
+    assert!(
+        ctx.tracker.snapshot().bytes_written > 0,
+        "grace partitions spill"
+    );
 }
 
 #[test]
@@ -382,7 +382,9 @@ fn btree_scan_operator_respects_bounds() {
     );
     let rows = collect_rows(&mut op, &ctx).unwrap();
     assert_eq!(
-        rows.iter().map(|r| r[0].as_i32().unwrap()).collect::<Vec<_>>(),
+        rows.iter()
+            .map(|r| r[0].as_i32().unwrap())
+            .collect::<Vec<_>>(),
         vec![10, 11, 12, 13, 14]
     );
 }
@@ -443,7 +445,9 @@ fn parallel_csi_scan_equals_serial() {
     let dop = 4;
     let workers: Vec<Box<dyn Operator + '_>> = (0..dop)
         .map(|w| {
-            let rgs: Vec<usize> = (0..idx.num_rowgroups()).filter(|rg| rg % dop == w).collect();
+            let rgs: Vec<usize> = (0..idx.num_rowgroups())
+                .filter(|rg| rg % dop == w)
+                .collect();
             Box::new(CsiScanOp::over_rowgroups(
                 &idx,
                 rgs,

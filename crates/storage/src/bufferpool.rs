@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use hpd_obs::Counter;
 use parking_lot::Mutex;
 
 use crate::device::DeviceProfile;
@@ -33,6 +34,11 @@ struct PoolInner {
     queue: VecDeque<(CacheKey, u64)>,
     used_bytes: u64,
     next_generation: u64,
+    /// Global registry handles, fetched once at pool construction so the
+    /// hot path is a relaxed atomic add with no name lookup.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl PoolInner {
@@ -44,9 +50,11 @@ impl PoolInner {
         if let Some(e) = self.entries.get_mut(&key) {
             e.generation = generation;
             self.queue.push_back((key, generation));
+            self.hits.inc();
             return true;
         }
         // Miss: admit (unless larger than the whole pool) and evict.
+        self.misses.inc();
         if bytes <= capacity {
             self.entries.insert(key, Entry { bytes, generation });
             self.queue.push_back((key, generation));
@@ -58,6 +66,7 @@ impl PoolInner {
                         if current == Some(g) {
                             let e = self.entries.remove(&k).expect("entry exists");
                             self.used_bytes -= e.bytes;
+                            self.evictions.inc();
                         }
                     }
                     None => break,
@@ -87,6 +96,9 @@ impl BufferPool {
                 queue: VecDeque::new(),
                 used_bytes: 0,
                 next_generation: 0,
+                hits: hpd_obs::global().counter("bufferpool.hit"),
+                misses: hpd_obs::global().counter("bufferpool.miss"),
+                evictions: hpd_obs::global().counter("bufferpool.evict"),
             }),
             device,
             capacity_bytes,
@@ -111,10 +123,11 @@ impl BufferPool {
     /// one page of bandwidth. Used for B+ tree root-to-leaf traversals.
     pub fn access_page(&self, page: PageId, tracker: &IoTracker) {
         tracker.record_logical(1);
-        let hit = self
-            .inner
-            .lock()
-            .touch(CacheKey::Page(page.0), PAGE_SIZE as u64, self.capacity_bytes);
+        let hit = self.inner.lock().touch(
+            CacheKey::Page(page.0),
+            PAGE_SIZE as u64,
+            self.capacity_bytes,
+        );
         if !hit {
             let (seek, bw) = self.device.read_cost_parts(PAGE_SIZE as u64, 1);
             tracker.record_physical_read(1, PAGE_SIZE as u64, seek, bw);
@@ -127,10 +140,11 @@ impl BufferPool {
     /// accessed page, e.g. walking contiguously allocated B+ tree leaves.
     pub fn access_page_seq(&self, page: PageId, tracker: &IoTracker) {
         tracker.record_logical(1);
-        let hit = self
-            .inner
-            .lock()
-            .touch(CacheKey::Page(page.0), PAGE_SIZE as u64, self.capacity_bytes);
+        let hit = self.inner.lock().touch(
+            CacheKey::Page(page.0),
+            PAGE_SIZE as u64,
+            self.capacity_bytes,
+        );
         if !hit {
             // Part of an ongoing sequential request: bandwidth only, and no
             // new request is counted.
@@ -193,9 +207,11 @@ impl BufferPool {
     /// Charge a write of `bytes` in `requests` requests and mark the given
     /// page as resident (write-back caching of dirtied pages).
     pub fn write_page(&self, page: PageId, tracker: &IoTracker) {
-        self.inner
-            .lock()
-            .touch(CacheKey::Page(page.0), PAGE_SIZE as u64, self.capacity_bytes);
+        self.inner.lock().touch(
+            CacheKey::Page(page.0),
+            PAGE_SIZE as u64,
+            self.capacity_bytes,
+        );
         let (seek, bw) = self.device.write_cost_parts(PAGE_SIZE as u64, 1);
         tracker.record_write(PAGE_SIZE as u64, seek, bw);
     }
@@ -363,6 +379,23 @@ mod tests {
         p.invalidate_blob(BlobId(3));
         assert_eq!(p.used_bytes(), 0);
         assert!(!p.is_blob_resident(BlobId(3)));
+    }
+
+    #[test]
+    fn global_counters_track_hits_misses_evictions() {
+        // Other tests share the global registry, so assert on deltas with
+        // `>=` rather than exact counts.
+        let before = hpd_obs::global().snapshot();
+        let p = pool(2 * PAGE_SIZE as u64);
+        let t = IoTracker::new();
+        p.access_page(PageId(900_001), &t); // miss
+        p.access_page(PageId(900_001), &t); // hit
+        p.access_page(PageId(900_002), &t); // miss
+        p.access_page(PageId(900_003), &t); // miss, evicts LRU
+        let d = hpd_obs::global().snapshot().delta(&before);
+        assert!(d.counter("bufferpool.hit") >= 1);
+        assert!(d.counter("bufferpool.miss") >= 3);
+        assert!(d.counter("bufferpool.evict") >= 1);
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl IoTracker {
     }
 
     pub fn record_logical(&self, requests: u64) {
-        self.inner.logical_reads.fetch_add(requests, Ordering::Relaxed);
+        self.inner
+            .logical_reads
+            .fetch_add(requests, Ordering::Relaxed);
     }
 
     /// Record a physical read: `(seek_us, bw_us)` are the positioning and
@@ -45,7 +47,9 @@ impl IoTracker {
     /// overlap across parallel streams; transfer shares the device's one
     /// bandwidth.
     pub fn record_physical_read(&self, requests: u64, bytes: u64, seek_us: f64, bw_us: f64) {
-        self.inner.physical_reads.fetch_add(requests, Ordering::Relaxed);
+        self.inner
+            .physical_reads
+            .fetch_add(requests, Ordering::Relaxed);
         self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         self.add_sim_us(seek_us, bw_us);
     }

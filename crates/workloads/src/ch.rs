@@ -13,9 +13,7 @@
 
 use std::sync::atomic::{AtomicI32, AtomicI64, Ordering};
 
-use hpd_common::{
-    AggFunc, BinOp, CmpOp, DataType, Expr, HpdError, Result, Row, Schema, Value,
-};
+use hpd_common::{AggFunc, BinOp, CmpOp, DataType, Expr, HpdError, Result, Row, Schema, Value};
 use hpd_engine::{
     AggItem, ColRef, Database, DeleteStmt, EquiJoin, IndexDescriptor, InsertStmt, SelectQuery,
     Statement, TableInput, Txn, UpdateStmt,
@@ -147,7 +145,9 @@ pub fn load(db: &Database, scale: ChScale) -> Result<()> {
             ("c_credit", DataType::Int32),
         ]),
         vec![0, 1, 2],
-        IndexDescriptor::PrimaryBTree { keys: vec![0, 1, 2] },
+        IndexDescriptor::PrimaryBTree {
+            keys: vec![0, 1, 2],
+        },
     )?;
     const LAST_NAMES: [&str; 10] = [
         "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
@@ -184,7 +184,9 @@ pub fn load(db: &Database, scale: ChScale) -> Result<()> {
             ("o_ol_cnt", DataType::Int32),
         ]),
         vec![0, 1, 2],
-        IndexDescriptor::PrimaryBTree { keys: vec![0, 1, 2] },
+        IndexDescriptor::PrimaryBTree {
+            keys: vec![0, 1, 2],
+        },
     )?;
     db.create_table(
         "new_order",
@@ -194,7 +196,9 @@ pub fn load(db: &Database, scale: ChScale) -> Result<()> {
             ("no_o_id", DataType::Int32),
         ]),
         vec![0, 1, 2],
-        IndexDescriptor::PrimaryBTree { keys: vec![0, 1, 2] },
+        IndexDescriptor::PrimaryBTree {
+            keys: vec![0, 1, 2],
+        },
     )?;
     db.create_table(
         "order_line",
@@ -597,7 +601,9 @@ impl ChRuntime {
         let Some(row) = oldest.rows.first() else {
             return Ok(()); // nothing to deliver
         };
-        let o_id = row[0].as_i32().ok_or(HpdError::Internal("no_o_id".into()))?;
+        let o_id = row[0]
+            .as_i32()
+            .ok_or(HpdError::Internal("no_o_id".into()))?;
         let key_pred = Expr::And(vec![
             Expr::col_cmp(0, CmpOp::Eq, Value::Int32(w)),
             Expr::col_cmp(1, CmpOp::Eq, Value::Int32(d)),
@@ -672,6 +678,7 @@ fn point_customer(w: i32, d: i32, c: i32, cols: Vec<usize>) -> SelectQuery {
 
 /// The analytic (H) queries: a representative twenty of the CH-benCHmark's
 /// 22, expressed in the engine's SPJA shape. Labels keep the CH numbering.
+#[allow(clippy::vec_init_then_push)] // one labeled push per CH query reads best
 pub fn analytic_queries() -> Vec<(String, SelectQuery)> {
     let mut out: Vec<(String, SelectQuery)> = Vec::new();
 
@@ -699,10 +706,7 @@ pub fn analytic_queries() -> Vec<(String, SelectQuery)> {
         "CH-Q3".into(),
         SelectQuery {
             tables: vec![
-                TableInput::with_predicate(
-                    "orders",
-                    Expr::col_cmp(5, CmpOp::Eq, Value::Int32(0)),
-                ),
+                TableInput::with_predicate("orders", Expr::col_cmp(5, CmpOp::Eq, Value::Int32(0))),
                 TableInput::new("order_line"),
                 TableInput::with_predicate(
                     "customer",
@@ -863,10 +867,7 @@ pub fn analytic_queries() -> Vec<(String, SelectQuery)> {
         SelectQuery {
             tables: vec![
                 TableInput::new("order_line"),
-                TableInput::with_predicate(
-                    "item",
-                    Expr::col_cmp(1, CmpOp::Lt, Value::Int32(100)),
-                ),
+                TableInput::with_predicate("item", Expr::col_cmp(1, CmpOp::Lt, Value::Int32(100))),
             ],
             joins: vec![EquiJoin {
                 left: ColRef::new(0, 4),
@@ -948,10 +949,7 @@ pub fn analytic_queries() -> Vec<(String, SelectQuery)> {
         "CH-Q2".into(),
         SelectQuery {
             tables: vec![
-                TableInput::with_predicate(
-                    "stock",
-                    Expr::col_cmp(2, CmpOp::Lt, Value::Int32(40)),
-                ),
+                TableInput::with_predicate("stock", Expr::col_cmp(2, CmpOp::Lt, Value::Int32(40))),
                 TableInput::new("item"),
             ],
             joins: vec![EquiJoin {
@@ -1065,10 +1063,7 @@ pub fn analytic_queries() -> Vec<(String, SelectQuery)> {
         SelectQuery {
             tables: vec![
                 TableInput::new("stock"),
-                TableInput::with_predicate(
-                    "item",
-                    Expr::col_cmp(1, CmpOp::Ge, Value::Int32(100)),
-                ),
+                TableInput::with_predicate("item", Expr::col_cmp(1, CmpOp::Ge, Value::Int32(100))),
             ],
             joins: vec![EquiJoin {
                 left: ColRef::new(0, 1),

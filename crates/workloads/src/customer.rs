@@ -10,9 +10,7 @@
 //! published averages.
 
 use hpd_common::{AggFunc, CmpOp, ColumnDef, DataType, Expr, Result, Row, Schema, Value};
-use hpd_engine::{
-    AggItem, ColRef, Database, EquiJoin, IndexDescriptor, SelectQuery, TableInput,
-};
+use hpd_engine::{AggItem, ColRef, Database, EquiJoin, IndexDescriptor, SelectQuery, TableInput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -103,10 +101,14 @@ fn table_spec(
 ) -> (usize, usize, Vec<usize>) {
     // Geometric size falloff: table 0 is the biggest.
     let rows = (profile.max_table_rows as f64 * 0.75f64.powi(idx as i32)).max(200.0) as usize;
-    let n_cols = rng
-        .gen_range(profile.avg_columns.saturating_sub(2).max(3)..=profile.avg_columns + 3);
+    let n_cols =
+        rng.gen_range(profile.avg_columns.saturating_sub(2).max(3)..=profile.avg_columns + 3);
     // Later tables reference up to three earlier tables.
-    let n_fk = if idx == 0 { 0 } else { rng.gen_range(1..=3.min(idx)) };
+    let n_fk = if idx == 0 {
+        0
+    } else {
+        rng.gen_range(1..=3.min(idx))
+    };
     let mut refs: Vec<usize> = Vec::new();
     for _ in 0..n_fk {
         refs.push(rng.gen_range(0..idx));
@@ -162,8 +164,8 @@ pub fn load(db: &Database, profile: CustomerProfile) -> Result<CustomerDb> {
                 for (k, _) in fks.iter().enumerate() {
                     vals.push(Value::Int64(rng.gen_range(0..ref_rows[k].max(1) as i64)));
                 }
-                for c in (1 + fks.len())..defs.len() {
-                    vals.push(match defs[c].dtype {
+                for def in defs.iter().skip(1 + fks.len()) {
+                    vals.push(match def.dtype {
                         DataType::Int32 => Value::Int32(rng.gen_range(0..200)),
                         DataType::Decimal => Value::Decimal(rng.gen_range(0..100_000_000)),
                         DataType::Date => Value::Date(rng.gen_range(0..1461)),
@@ -309,7 +311,10 @@ impl CustomerDb {
     /// Aggregate statistics in Table 2's shape:
     /// (total bytes, #tables, max table rows, avg columns, #queries,
     /// avg joins/query).
-    pub fn table2_stats(&self, queries: &[(String, SelectQuery)]) -> (usize, usize, usize, f64, usize, f64) {
+    pub fn table2_stats(
+        &self,
+        queries: &[(String, SelectQuery)],
+    ) -> (usize, usize, usize, f64, usize, f64) {
         let total_bytes: usize = self
             .rows
             .iter()

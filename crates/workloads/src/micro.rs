@@ -108,7 +108,9 @@ impl MicroTable {
             &self.name,
             self.schema(),
             vec![key_col],
-            IndexDescriptor::PrimaryBTree { keys: vec![key_col] },
+            IndexDescriptor::PrimaryBTree {
+                keys: vec![key_col],
+            },
         )?;
         db.load_table(&self.name, self.rows())
     }
@@ -229,10 +231,7 @@ mod tests {
             };
             let n = db.execute(&Statement::Select(q)).unwrap().rows.len();
             let frac = n as f64 / 20_000.0;
-            assert!(
-                (frac - sel).abs() < 0.02,
-                "sel {sel}: got fraction {frac}"
-            );
+            assert!((frac - sel).abs() < 0.02, "sel {sel}: got fraction {frac}");
         }
     }
 

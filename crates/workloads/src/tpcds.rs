@@ -8,9 +8,7 @@
 //! of full-scan rollups — the mix that makes hybrid designs win.
 
 use hpd_common::{AggFunc, CmpOp, DataType, Expr, Result, Row, Schema, Value};
-use hpd_engine::{
-    AggItem, ColRef, Database, EquiJoin, IndexDescriptor, SelectQuery, TableInput,
-};
+use hpd_engine::{AggItem, ColRef, Database, EquiJoin, IndexDescriptor, SelectQuery, TableInput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -189,7 +187,13 @@ pub fn load(db: &Database, scale: DsScale) -> Result<()> {
     db.load_table(
         "store",
         (0..scale.stores as i32)
-            .map(|s| Row::new(vec![Value::Int32(s), Value::Int32(s % 50), Value::Int32(s % 10)]))
+            .map(|s| {
+                Row::new(vec![
+                    Value::Int32(s),
+                    Value::Int32(s % 50),
+                    Value::Int32(s % 10),
+                ])
+            })
             .collect(),
     )?;
 
@@ -197,7 +201,7 @@ pub fn load(db: &Database, scale: DsScale) -> Result<()> {
         "household_demographics",
         Schema::from_pairs(&[
             ("hd_demo_sk", DataType::Int32),
-            ("hd_dep_count", DataType::Int32),   // 0..9
+            ("hd_dep_count", DataType::Int32),     // 0..9
             ("hd_vehicle_count", DataType::Int32), // 0..4
         ]),
         vec![0],
@@ -206,7 +210,13 @@ pub fn load(db: &Database, scale: DsScale) -> Result<()> {
     db.load_table(
         "household_demographics",
         (0..scale.households as i32)
-            .map(|h| Row::new(vec![Value::Int32(h), Value::Int32(h % 10), Value::Int32(h % 5)]))
+            .map(|h| {
+                Row::new(vec![
+                    Value::Int32(h),
+                    Value::Int32(h % 10),
+                    Value::Int32(h % 5),
+                ])
+            })
             .collect(),
     )?;
 
@@ -223,7 +233,13 @@ pub fn load(db: &Database, scale: DsScale) -> Result<()> {
     db.load_table(
         "promotion",
         (0..300i32)
-            .map(|p| Row::new(vec![Value::Int32(p), Value::Int32(p % 4), Value::Int32(p % 20)]))
+            .map(|p| {
+                Row::new(vec![
+                    Value::Int32(p),
+                    Value::Int32(p % 4),
+                    Value::Int32(p % 20),
+                ])
+            })
             .collect(),
     )?;
 

@@ -47,7 +47,7 @@ pub fn lineitem_rows(rows: usize, seed: u64) -> Vec<Row> {
     let mut orderkey = 0i32;
     while out.len() < rows {
         orderkey += 1;
-        let lines = rng.gen_range(1..=7).min(rows - out.len());
+        let lines = rng.gen_range(1usize..=7).min(rows - out.len());
         for line in 1..=lines {
             let quantity = rng.gen_range(1..=50) as i64 * 10_000;
             let price = rng.gen_range(90_000i64..=10_490_000) * 100; // 900.00..104900.00 in 1e-4

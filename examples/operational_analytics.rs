@@ -42,7 +42,7 @@ fn run_design(design: MixedDesign) -> Result<(f64, f64), HpdError> {
                 let (mut upd_us, mut upd_n, mut scan_us, mut scan_n) = (0.0, 0, 0.0, 0);
                 for _ in 0..OPS_PER_THREAD {
                     let day = rng.gen_range(0..SHIPDATE_DAYS / 2);
-                    let is_scan = rng.gen_range(0..100) < SCAN_PERCENT;
+                    let is_scan = rng.gen_range(0u32..100) < SCAN_PERCENT;
                     let stmt = if is_scan {
                         q5_scan_range(day, day + SHIPDATE_DAYS / 2)
                     } else {
@@ -95,7 +95,10 @@ fn main() -> Result<(), HpdError> {
     );
     for (design, label) in [
         (MixedDesign::BTreeOnly, "A: primary B+ tree"),
-        (MixedDesign::BTreeWithSecondaryCsi, "B: B+ tree + secondary CSI"),
+        (
+            MixedDesign::BTreeWithSecondaryCsi,
+            "B: B+ tree + secondary CSI",
+        ),
         (MixedDesign::PrimaryCsi, "C: primary CSI"),
     ] {
         let (upd, scan) = run_design(design)?;

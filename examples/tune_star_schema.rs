@@ -23,7 +23,10 @@ fn main() -> Result<(), HpdError> {
     let queries = tpcds::queries(12, 99);
     let workload = Workload::read_only(queries.iter().map(|(_, q)| q.clone()).collect());
 
-    println!("tuning a TPC-DS-like star schema for {} queries...\n", queries.len());
+    println!(
+        "tuning a TPC-DS-like star schema for {} queries...\n",
+        queries.len()
+    );
     println!(
         "{:<12} {:>14} {:>14} {:>12} {:>14}",
         "mode", "est before", "est after", "est speedup", "measured cpu"

@@ -6,6 +6,7 @@
 //! This umbrella crate re-exports the workspace's public API:
 //!
 //! * [`common`] — values, schemas, rows, batches, expressions;
+//! * [`obs`] — the metrics registry (counters, histograms, snapshots);
 //! * [`storage`] — the storage simulator (pages, buffer pool, device models);
 //! * [`btree`] — the B+ tree index;
 //! * [`columnstore`] — the columnstore index (row groups, compressed
@@ -28,5 +29,6 @@ pub use hpd_columnstore as columnstore;
 pub use hpd_common as common;
 pub use hpd_engine as engine;
 pub use hpd_exec as exec;
+pub use hpd_obs as obs;
 pub use hpd_storage as storage;
 pub use hpd_workloads as workloads;

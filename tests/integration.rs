@@ -36,7 +36,12 @@ fn answers_agree_across_designs() {
     t.load(&db_hybrid, IndexDescriptor::PrimaryBTree { keys: vec![0] })
         .unwrap();
     db_hybrid
-        .create_index("m", &IndexDescriptor::SecondaryCsi { columns: vec![0, 1] })
+        .create_index(
+            "m",
+            &IndexDescriptor::SecondaryCsi {
+                columns: vec![0, 1],
+            },
+        )
         .unwrap();
 
     for sel in [0.0, 1e-4, 0.01, 0.3, 1.0] {
@@ -105,7 +110,12 @@ fn update_cost_ordering() {
         // wall timings are noisy on loaded machines).
         db.execute(&q4_update(10, 50)).unwrap();
         let mut runs: Vec<f64> = (51..56)
-            .map(|day| db.execute(&q4_update(10, day)).unwrap().metrics.elapsed_us())
+            .map(|day| {
+                db.execute(&q4_update(10, day))
+                    .unwrap()
+                    .metrics
+                    .elapsed_us()
+            })
             .collect();
         runs.sort_by(|a, b| a.total_cmp(b));
         runs[2]
@@ -197,8 +207,8 @@ fn advisor_improves_measured_star_workload() {
 /// level: every order has its order lines, and delivered new-orders vanish.
 #[test]
 fn ch_transactions_keep_invariants() {
-    use hybrid_physical_designs::engine::{AggItem, ColRef, TableInput};
     use hybrid_physical_designs::common::AggFunc;
+    use hybrid_physical_designs::engine::{AggItem, ColRef, TableInput};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -278,7 +288,9 @@ fn snapshot_aggregate_stability() {
 fn size_estimates_track_actual_lineitem() {
     use hybrid_physical_designs::advisor::{CsiSizeEstimator, RunModelEstimator, SampleSet};
     use hybrid_physical_designs::columnstore::{ColumnStoreIndex, CsiConfig, CsiKind};
-    use hybrid_physical_designs::storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
+    use hybrid_physical_designs::storage::{
+        BufferPool, DeviceProfile, IoTracker, StorageAllocator,
+    };
     use hybrid_physical_designs::workloads::tpch::{lineitem_rows, lineitem_schema};
 
     let rows = lineitem_rows(50_000, 1);
@@ -325,8 +337,13 @@ fn estimated_costs_rank_like_measurements() {
     let t = MicroTable::new("m", 2, rows);
     t.load(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] })
         .unwrap();
-    db.create_index("m", &IndexDescriptor::SecondaryCsi { columns: vec![0, 1] })
-        .unwrap();
+    db.create_index(
+        "m",
+        &IndexDescriptor::SecondaryCsi {
+            columns: vec![0, 1],
+        },
+    )
+    .unwrap();
 
     let selective = SelectQuery::single_table(
         "m",
@@ -350,4 +367,38 @@ fn estimated_costs_rank_like_measurements() {
         .contains(&hybrid_physical_designs::engine::LeafKind::Columnstore));
     // And estimated costs must be finite and positive.
     assert!(p_sel.est_cost_us > 0.0 && p_scan.est_cost_us > 0.0);
+}
+
+/// The ISSUE-1 acceptance flow: `explain_analyze` on a lineitem select shows
+/// per-node estimated-vs-actual rows and elapsed time, and spilling under a
+/// small grant surfaces as a nonzero spill counter in the same output.
+#[test]
+fn explain_analyze_lineitem_with_spill() {
+    let db = Database::new(DbConfig::default());
+    load_lineitem(&db, 30_000, 42, MixedDesign::BTreeOnly).unwrap();
+
+    // A wide scan sorted by a non-key column so the sort does real work.
+    let mut q = SelectQuery::single_table("lineitem", None, (0..8).collect());
+    q.order_by = vec![(3, true)]; // l_extendedprice
+
+    let r = db.explain_analyze_with_grant(&q, 32 << 10).unwrap();
+    let report = r.analyze.as_ref().unwrap();
+    assert_eq!(report.root().actual_rows, r.rows.len() as u64);
+    assert!(report.spilled_bytes() > 0, "{}", report.render());
+
+    let rendered = report.render();
+    // Every node line carries estimated vs actual rows and a time reading.
+    for line in rendered.lines() {
+        assert!(line.contains("est="), "{rendered}");
+        assert!(line.contains("act="), "{rendered}");
+        assert!(line.contains("time="), "{rendered}");
+    }
+    assert!(rendered.contains("spilled="), "{rendered}");
+    assert!(rendered.contains("Sort"), "{rendered}");
+
+    // The run landed in the query store with its estimate-error ratio.
+    let last = db.query_store().recent().last().cloned().unwrap();
+    assert_eq!(last.actual_rows, r.rows.len() as u64);
+    assert!(last.spilled_bytes > 0);
+    assert!(last.estimate_error > 0.0);
 }

@@ -1,0 +1,96 @@
+//! Minimal `bytes`-compatible buffer types so the workspace builds offline
+//! without the real crate: a cheaply clonable immutable [`Bytes`]
+//! (`Arc<[u8]>`) and a growable [`BytesMut`] that freezes into it. Both
+//! deref to `[u8]`, so slicing and indexing work as with the upstream crate.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Immutable shared byte buffer; `Clone` is a reference-count bump.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(&[] as &[u8]))
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+/// Mutable byte buffer that can be frozen into [`Bytes`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> BytesMut {
+        BytesMut(vec![0u8; len])
+    }
+
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::from(self.0))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_freeze_roundtrip() {
+        let mut m = BytesMut::zeroed(16);
+        m[0..8].copy_from_slice(&42u64.to_le_bytes());
+        let b = m.freeze();
+        assert_eq!(b.len(), 16);
+        assert_eq!(u64::from_le_bytes(b[0..8].try_into().unwrap()), 42);
+        let b2 = b.clone();
+        assert_eq!(&b[..], &b2[..]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal `crossbeam`-compatible scoped-thread API over
+//! `std::thread::scope`, so the workspace builds offline without the real
+//! crate. Only `crossbeam::thread::scope` / `Scope::spawn` /
+//! `ScopedJoinHandle::join` are provided; the closure passed to `spawn`
+//! receives a unit placeholder instead of a nested scope handle (the
+//! workspace never spawns from inside workers).
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a panicked scope or thread.
+    pub type Panic = Box<dyn Any + Send + 'static>;
+
+    /// Scoped-thread handle wrapping the std scope.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. The closure's argument is a placeholder for
+        /// crossbeam's nested-scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.0.spawn(move || f(())))
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Panic> {
+            self.0.join()
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. A panic escaping the scope is captured as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope(s)))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_workers() {
+        let data = [1, 2, 3];
+        let total = crate::thread::scope(|s| {
+            let hs: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn worker_panic_is_captured_by_join() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        });
+        assert!(r.unwrap());
+    }
+}

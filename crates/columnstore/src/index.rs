@@ -3,13 +3,41 @@
 
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
+use std::sync::{Arc, OnceLock};
 
 use hpd_btree::{BTree, BTreeConfig};
-use hpd_common::{Batch, Interval, Key, Row, Schema, Value};
+use hpd_common::{Batch, ColumnVector, Interval, Key, Row, Schema, Value};
+use hpd_obs::Counter;
 use hpd_storage::{BufferPool, IoTracker, StorageAllocator};
 
+use crate::cache::SegmentCache;
 use crate::delta::DeltaStore;
+use crate::encoding::IntEncoding;
 use crate::rowgroup::{RowGroup, SortMode};
+
+/// `columnstore.scan.*` pruning counters, surfaced by `EXPLAIN ANALYZE`.
+/// Row counts are attributed to the granularity at which the scan skipped
+/// them: whole row groups (min/max elimination), whole runs (RLE kernels),
+/// or individual rows (bit-packed/raw kernels and value fallbacks).
+struct ScanCounters {
+    pruned_rowgroup: Counter,
+    pruned_run: Counter,
+    pruned_row: Counter,
+    rows_selected: Counter,
+}
+
+fn scan_counters() -> &'static ScanCounters {
+    static C: OnceLock<ScanCounters> = OnceLock::new();
+    C.get_or_init(|| {
+        let r = hpd_obs::global();
+        ScanCounters {
+            pruned_rowgroup: r.counter("columnstore.scan.rows_pruned_rowgroup"),
+            pruned_run: r.counter("columnstore.scan.rows_pruned_run"),
+            pruned_row: r.counter("columnstore.scan.rows_pruned_row"),
+            rows_selected: r.counter("columnstore.scan.rows_selected"),
+        }
+    })
+}
 
 /// Primary (main storage, delete bitmap only) vs. secondary (redundant,
 /// delete buffer + bitmap) columnstore.
@@ -31,6 +59,10 @@ pub struct CsiConfig {
     /// resolves the delete buffer into delete bitmaps (the paper's periodic
     /// process, made deterministic and synchronous).
     pub delete_buffer_compact_threshold: usize,
+    /// Byte cap of the decoded-segment cache (0 disables it). Repeated
+    /// scans and point lookups reuse decoded columns instead of paying the
+    /// decode again.
+    pub decoded_cache_bytes: usize,
 }
 
 impl Default for CsiConfig {
@@ -39,6 +71,7 @@ impl Default for CsiConfig {
             rowgroup_capacity: 65_536,
             sort_mode: SortMode::Greedy,
             delete_buffer_compact_threshold: 2_048,
+            decoded_cache_bytes: 8 << 20,
         }
     }
 }
@@ -58,6 +91,10 @@ pub struct ColumnStoreIndex {
     delta: DeltaStore,
     /// Secondary CSIs buffer logical deletes here (keyed by the row key).
     delete_buffer: Option<BTree>,
+    /// Decoded segments, keyed by (row group, column) — safe to cache
+    /// because row groups are immutable once built (deletes only flip
+    /// bitmap bits; the tuple mover only appends new row groups).
+    cache: SegmentCache,
     alloc: StorageAllocator,
 }
 
@@ -104,6 +141,7 @@ impl ColumnStoreIndex {
             row_groups: Vec::new(),
             delta,
             delete_buffer,
+            cache: SegmentCache::new(config.decoded_cache_bytes),
             alloc,
         }
     }
@@ -264,17 +302,17 @@ impl ColumnStoreIndex {
             CsiKind::Primary => {
                 let pos = self.locate_physical(key, pool, tracker)?;
                 let (rg_idx, row_pos) = pos;
-                // Decode the full row at that position before killing it.
+                // Read the single victim row via point decodes — never a
+                // full-segment decode per column.
                 let rg = &self.row_groups[rg_idx];
-                let all: Vec<usize> = (0..rg.num_columns()).collect();
-                for &c in &all {
-                    if !key_ords.contains(&c) {
-                        rg.segment(c).charge_io(pool, tracker);
-                    }
-                }
                 let row = Row::new(
-                    all.iter()
-                        .map(|&c| rg.segment(c).decode().value(row_pos))
+                    (0..rg.num_columns())
+                        .map(|c| {
+                            if !key_ords.contains(&c) {
+                                rg.segment(c).charge_io(pool, tracker);
+                            }
+                            rg.segment(c).value_at(row_pos)
+                        })
                         .collect(),
                 );
                 self.row_groups[rg_idx].mark_deleted(row_pos);
@@ -302,23 +340,24 @@ impl ColumnStoreIndex {
                 continue;
             }
             let rg = &self.row_groups[rg_idx];
-            for &c in &self.key_ordinals {
-                rg.segment(c).charge_io(pool, tracker);
+            // Equality kernels on the encoded key segments: no decode at
+            // all on the common path, O(#runs) or a word-wise code scan.
+            let mut sel = rg.live_mask();
+            for (&c, kv) in self.key_ordinals.iter().zip(key.values()) {
+                if sel.is_none_set() {
+                    break;
+                }
+                let seg = rg.segment(c);
+                seg.charge_io(pool, tracker);
+                if !seg.eval_interval(&Interval::point(kv.clone()), &mut sel) {
+                    // Bound type outside the encoded domain: compare
+                    // materialized values (cached decode, not per-position
+                    // full decodes).
+                    let dec = self.cache.get_or_decode(rg_idx, c, seg);
+                    sel.retain(|pos| &dec.value(pos) == kv);
+                }
             }
-            let key_cols: Vec<_> = self
-                .key_ordinals
-                .iter()
-                .map(|&c| rg.segment(c).decode())
-                .collect();
-            'row: for pos in 0..rg.rows() {
-                if rg.is_deleted(pos) {
-                    continue;
-                }
-                for (kc, kv) in key_cols.iter().zip(key.values()) {
-                    if &kc.value(pos) != kv {
-                        continue 'row;
-                    }
-                }
+            if let Some(pos) = sel.first_set() {
                 return Some((rg_idx, pos));
             }
         }
@@ -413,20 +452,20 @@ impl ColumnStoreIndex {
                 break;
             }
             let rg = &self.row_groups[rg_idx];
-            for &c in &key_ords {
-                rg.segment(c).charge_io(pool, tracker);
-            }
-            let key_cols: Vec<_> = key_ords.iter().map(|&c| rg.segment(c).decode()).collect();
+            let key_cols: Vec<Arc<ColumnVector>> = key_ords
+                .iter()
+                .map(|&c| {
+                    rg.segment(c).charge_io(pool, tracker);
+                    self.cache.get_or_decode(rg_idx, c, rg.segment(c))
+                })
+                .collect();
             let mut hits: Vec<usize> = Vec::new();
-            for pos in 0..rg.rows() {
-                if rg.is_deleted(pos) {
-                    continue;
-                }
+            rg.live_mask().for_each_set(|pos| {
                 let key = Key::new(key_cols.iter().map(|kc| kc.value(pos)).collect());
                 if pending.remove(&key) {
                     hits.push(pos);
                 }
-            }
+            });
             for pos in hits {
                 self.row_groups[rg_idx].mark_deleted(pos);
             }
@@ -464,10 +503,14 @@ impl ColumnStoreIndex {
         )
     }
 
-    /// Scan one row group: decode `projection` columns, drop deleted rows
-    /// (bitmap + optional anti-join probe), return the surviving batch.
-    /// Returns `None` if the row group was eliminated. Predicates beyond
-    /// elimination are applied by the executor.
+    /// Scan one row group with predicate pushdown and late materialization:
+    /// every interval is evaluated **on the encoded segments** (falling back
+    /// to materialized-value comparison only for untranslatable bound
+    /// types), AND-ed into a packed selection bitmap seeded from the delete
+    /// bitmap, and only the projected columns at *surviving* positions are
+    /// decoded. Returns `None` if the row group was eliminated or no row
+    /// survived. The output satisfies all `intervals` exactly, so a planner
+    /// whose predicate is fully covered by them needs no residual filter.
     pub fn scan_rowgroup(
         &self,
         rg_idx: usize,
@@ -477,12 +520,14 @@ impl ColumnStoreIndex {
         pool: &BufferPool,
         tracker: &IoTracker,
     ) -> Option<Batch> {
+        let counters = scan_counters();
+        let rg = &self.row_groups[rg_idx];
         if self.rowgroup_eliminated(rg_idx, intervals) {
+            counters.pruned_rowgroup.add(rg.active_rows() as u64);
             return None;
         }
-        let rg = &self.row_groups[rg_idx];
-        // Columns we must decode: the projection, plus key columns if an
-        // anti-join is required.
+        // Segments the scan reads: projection, anti-join keys, predicate
+        // columns. Each pays its I/O once.
         let mut needed: Vec<usize> = projection.to_vec();
         if antijoin.is_some() {
             for &k in &self.key_ordinals {
@@ -491,52 +536,113 @@ impl ColumnStoreIndex {
                 }
             }
         }
+        for &c in intervals.keys() {
+            if c < rg.num_columns() && !needed.contains(&c) {
+                needed.push(c);
+            }
+        }
         for &c in &needed {
             rg.segment(c).charge_io(pool, tracker);
         }
-        let decoded = rg.decode_columns(&needed);
-        let mut mask = rg.live_mask();
+
+        // Start from the live rows and AND in each predicate, evaluated in
+        // the encoded domain.
+        let mut sel = rg.live_mask();
+        let mut fallback: Vec<(usize, &Interval)> = Vec::new();
+        for (&c, iv) in intervals {
+            if c >= rg.num_columns() {
+                continue;
+            }
+            if sel.is_none_set() {
+                break;
+            }
+            let seg = rg.segment(c);
+            let before = sel.count();
+            if seg.eval_interval(iv, &mut sel) {
+                let pruned = (before - sel.count()) as u64;
+                match seg.encoding() {
+                    IntEncoding::Rle => counters.pruned_run.add(pruned),
+                    _ => counters.pruned_row.add(pruned),
+                }
+            } else {
+                fallback.push((c, iv));
+            }
+        }
+        // Untranslatable bounds: gather the column at surviving positions
+        // only and compare typed values.
+        for (c, iv) in fallback {
+            if sel.is_none_set() {
+                break;
+            }
+            let positions = sel.positions();
+            let vals = rg.segment(c).gather(&positions);
+            let before = sel.count();
+            for (i, &p) in positions.iter().enumerate() {
+                if !iv.contains(&vals.value(i)) {
+                    sel.clear(p);
+                }
+            }
+            counters.pruned_row.add((before - sel.count()) as u64);
+        }
+        // Anti-join against buffered deletes, probing keys gathered at
+        // surviving positions.
         if let Some(probe) = antijoin {
-            let key_pos: Vec<usize> = self
-                .key_ordinals
-                .iter()
-                .map(|k| needed.iter().position(|n| n == k).expect("keys decoded"))
-                .collect();
-            for (i, m) in mask.iter_mut().enumerate() {
-                if *m {
+            if !sel.is_none_set() {
+                let positions = sel.positions();
+                let key_cols: Vec<ColumnVector> = self
+                    .key_ordinals
+                    .iter()
+                    .map(|&k| rg.segment(k).gather(&positions))
+                    .collect();
+                for (i, &p) in positions.iter().enumerate() {
                     let key = Key::new(
-                        key_pos
+                        key_cols
                             .iter()
-                            .map(|&p| decoded.column(p).value(i))
+                            .map(|kc| kc.value(i))
                             .collect::<Vec<Value>>(),
                     );
                     if probe.contains(&key) {
-                        *m = false;
+                        sel.clear(p);
                     }
                 }
             }
         }
-        let filtered = decoded.filter(&mask);
-        // Project away any anti-join-only columns.
-        let out_ords: Vec<usize> = projection
+
+        let selected = sel.count();
+        counters.rows_selected.add(selected as u64);
+        if selected == 0 {
+            return None;
+        }
+        // Late materialization: decode projected columns at surviving
+        // positions only. Full survivals go through the decoded-segment
+        // cache; sparse ones gather (reusing a cached decode when present).
+        let full = selected == rg.rows();
+        let positions = if full { Vec::new() } else { sel.positions() };
+        let columns: Vec<ColumnVector> = projection
             .iter()
-            .map(|p| {
-                needed
-                    .iter()
-                    .position(|n| n == p)
-                    .expect("projection decoded")
+            .map(|&c| {
+                let seg = rg.segment(c);
+                if full {
+                    (*self.cache.get_or_decode(rg_idx, c, seg)).clone()
+                } else if let Some(dec) = self.cache.peek(rg_idx, c) {
+                    dec.take(&positions)
+                } else {
+                    seg.gather(&positions)
+                }
             })
             .collect();
-        Some(filtered.project(&out_ords))
+        Some(Batch::new(columns))
     }
 
-    /// Scan the delta store (predicates applied downstream). The delete
-    /// buffer does *not* apply here: deletes of delta-resident rows are
-    /// performed directly on the delta, so the anti-join only concerns
-    /// compressed row groups.
+    /// Scan the delta store, applying the same pushed-down intervals as the
+    /// compressed scan (delta rows are uncompressed, so this is a plain
+    /// value comparison). The delete buffer does *not* apply here: deletes
+    /// of delta-resident rows are performed directly on the delta, so the
+    /// anti-join only concerns compressed row groups.
     pub fn scan_delta(
         &self,
         projection: &[usize],
+        intervals: &HashMap<usize, Interval>,
         pool: &BufferPool,
         tracker: &IoTracker,
     ) -> Batch {
@@ -545,8 +651,21 @@ impl ColumnStoreIndex {
             .iter()
             .map(|&c| self.schema.column(c).dtype)
             .collect();
-        let kept: Vec<Row> = rows.into_iter().map(|r| r.project(projection)).collect();
+        let kept: Vec<Row> = rows
+            .into_iter()
+            .filter(|r| {
+                intervals
+                    .iter()
+                    .all(|(&c, iv)| c >= r.len() || iv.contains(&r.values()[c]))
+            })
+            .map(|r| r.project(projection))
+            .collect();
         Batch::from_rows(&dtypes, &kept).expect("delta rows match csi schema")
+    }
+
+    /// Bytes currently held by the decoded-segment cache (tests/metrics).
+    pub fn decoded_cache_bytes_used(&self) -> usize {
+        self.cache.bytes_used()
     }
 
     /// Begin a sequential scan over all row groups then the delta store.
@@ -618,7 +737,12 @@ impl CsiScan<'_> {
         if !self.delta_done {
             self.delta_done = true;
             if self.index.delta_rows() > 0 {
-                return Some(self.index.scan_delta(&self.projection, pool, tracker));
+                return Some(self.index.scan_delta(
+                    &self.projection,
+                    &self.intervals,
+                    pool,
+                    tracker,
+                ));
             }
         }
         None

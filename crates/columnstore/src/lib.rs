@@ -19,16 +19,25 @@
 //!   deletes, fast scans); a **secondary** CSI appends the logical key to a
 //!   B+ tree **delete buffer** (fast deletes), which every scan must
 //!   anti-semi-join against until the buffer is compacted into bitmaps —
-//!   exactly the asymmetry measured in the paper's Figure 5.
+//!   exactly the asymmetry measured in the paper's Figure 5;
+//! * scans push interval predicates into [`kernels`] that run **on the
+//!   encoded segments** (per-run on RLE, word-wise code comparison on
+//!   bit-packed data), producing a packed selection bitmap; only projected
+//!   columns at surviving positions are materialized, and a bytes-capped
+//!   [`cache::SegmentCache`] reuses decoded segments across scans.
 
+pub mod cache;
 pub mod delta;
 pub mod encoding;
 pub mod index;
+pub mod kernels;
 pub mod rowgroup;
 pub mod segment;
 
+pub use cache::SegmentCache;
 pub use delta::DeltaStore;
 pub use encoding::{encode_i64s, EncodedInts, IntEncoding};
 pub use index::{ColumnStoreIndex, CsiConfig, CsiKind, CsiScan};
+pub use kernels::Translated;
 pub use rowgroup::{RowGroup, SortMode};
 pub use segment::Segment;

@@ -2,7 +2,7 @@
 
 use std::collections::HashSet;
 
-use hpd_common::{Batch, ColumnVector};
+use hpd_common::{Batch, ColumnVector, SelBitmap};
 use hpd_storage::StorageAllocator;
 
 use crate::segment::Segment;
@@ -93,9 +93,15 @@ impl RowGroup {
         self.deleted[w] & (1u64 << b) != 0
     }
 
-    /// Liveness mask (true = row visible).
-    pub fn live_mask(&self) -> Vec<bool> {
-        (0..self.rows).map(|i| !self.is_deleted(i)).collect()
+    /// Liveness bitmap (bit set = row visible), built by inverting the
+    /// packed delete-bitmap words directly — no per-row work.
+    pub fn live_mask(&self) -> SelBitmap {
+        SelBitmap::from_inverted_words(&self.deleted, self.rows)
+    }
+
+    /// The packed delete-bitmap words (bit set ⇔ deleted).
+    pub fn deleted_words(&self) -> &[u64] {
+        &self.deleted
     }
 
     /// Decode the projected columns into a batch, *without* applying the
@@ -228,7 +234,8 @@ mod tests {
         assert!(rg.is_deleted(5));
         assert!(!rg.is_deleted(6));
         let mask = rg.live_mask();
-        assert!(!mask[5] && !mask[99] && mask[0]);
+        assert!(!mask.get(5) && !mask.get(99) && mask.get(0));
+        assert_eq!(mask.count(), 98);
     }
 
     #[test]

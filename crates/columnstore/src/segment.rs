@@ -3,10 +3,12 @@
 
 use std::sync::Arc;
 
-use hpd_common::{ColumnVector, DataType, Interval, Value};
+use hpd_common::interval::Bound;
+use hpd_common::{ColumnVector, DataType, Interval, SelBitmap, Value};
 use hpd_storage::{BlobId, BufferPool, IoTracker, StorageAllocator};
 
 use crate::encoding::{encode_i64s, EncodedInts, IntEncoding};
+use crate::kernels::{self, Translated};
 
 /// A compressed column segment.
 ///
@@ -141,7 +143,29 @@ impl Segment {
     /// Decode the segment into a column vector (does *not* charge I/O; call
     /// [`Segment::charge_io`] first).
     pub fn decode(&self) -> ColumnVector {
-        let ints = self.ints.decode();
+        self.raws_to_column(self.ints.decode())
+    }
+
+    /// Decode only the values at `positions` (ascending) — late
+    /// materialization after predicate evaluation selected them.
+    pub fn gather(&self, positions: &[usize]) -> ColumnVector {
+        self.raws_to_column(kernels::gather(&self.ints, positions))
+    }
+
+    /// Decode the single value at `pos` without materializing the segment.
+    pub fn value_at(&self, pos: usize) -> Value {
+        let raw = kernels::value_at(&self.ints, pos);
+        match self.dtype {
+            DataType::Utf8 => {
+                let dict = self.dict.as_ref().expect("utf8 segment has dictionary");
+                Value::Str(Arc::clone(&dict[raw as usize]))
+            }
+            _ => raw_to_value(self.dtype, raw),
+        }
+    }
+
+    /// Map normalized `i64`s back to the segment's logical type.
+    fn raws_to_column(&self, ints: Vec<i64>) -> ColumnVector {
         match self.dtype {
             DataType::Int32 => ColumnVector::Int32(ints.into_iter().map(|v| v as i32).collect()),
             DataType::Date => ColumnVector::Date(ints.into_iter().map(|v| v as i32).collect()),
@@ -161,10 +185,128 @@ impl Segment {
         }
     }
 
+    /// Translate `interval` into this segment's encoded `i64` /
+    /// dictionary-code domain, so kernels can evaluate it without decoding.
+    ///
+    /// Translation preserves [`Value`]'s comparison semantics exactly: bound
+    /// types whose comparison against the column type is not a plain numeric
+    /// promotion (e.g. a float bound on an integer column, which `Value`
+    /// compares through f64 promotion) come back [`Translated::Unsupported`]
+    /// and the caller falls back to comparing materialized values.
+    pub fn translate_interval(&self, interval: &Interval) -> Translated {
+        if self.dtype == DataType::Utf8 {
+            return self.translate_str_interval(interval);
+        }
+        let lo = match &interval.lo {
+            Bound::Unbounded => i64::MIN,
+            Bound::Inclusive(v) => match normalize_bound(self.dtype, v) {
+                Some(x) => x,
+                None => return Translated::Unsupported,
+            },
+            Bound::Exclusive(v) => match normalize_bound(self.dtype, v) {
+                // `> MAX` selects nothing; otherwise the exclusive bound is
+                // the next representable point in the normalized domain
+                // (for floats the bit-domain successor is the next float in
+                // `total_cmp` order, so +1 stays exact).
+                Some(i64::MAX) => return Translated::Empty,
+                Some(x) => x + 1,
+                None => return Translated::Unsupported,
+            },
+        };
+        let hi = match &interval.hi {
+            Bound::Unbounded => i64::MAX,
+            Bound::Inclusive(v) => match normalize_bound(self.dtype, v) {
+                Some(x) => x,
+                None => return Translated::Unsupported,
+            },
+            Bound::Exclusive(v) => match normalize_bound(self.dtype, v) {
+                Some(i64::MIN) => return Translated::Empty,
+                Some(x) => x - 1,
+                None => return Translated::Unsupported,
+            },
+        };
+        if lo > hi {
+            Translated::Empty
+        } else if lo == i64::MIN && hi == i64::MAX {
+            Translated::All
+        } else {
+            Translated::Range { lo, hi }
+        }
+    }
+
+    /// String intervals translate to dictionary-code ranges: the dictionary
+    /// is sorted, so codes are order-preserving and a binary search finds
+    /// the qualifying code span.
+    fn translate_str_interval(&self, interval: &Interval) -> Translated {
+        let dict = self.dict.as_ref().expect("utf8 segment has dictionary");
+        let lo = match &interval.lo {
+            Bound::Unbounded => 0i64,
+            Bound::Inclusive(Value::Str(s)) => {
+                dict.partition_point(|d| d.as_ref() < s.as_ref()) as i64
+            }
+            Bound::Exclusive(Value::Str(s)) => {
+                dict.partition_point(|d| d.as_ref() <= s.as_ref()) as i64
+            }
+            _ => return Translated::Unsupported,
+        };
+        let hi = match &interval.hi {
+            Bound::Unbounded => dict.len() as i64 - 1,
+            Bound::Inclusive(Value::Str(s)) => {
+                dict.partition_point(|d| d.as_ref() <= s.as_ref()) as i64 - 1
+            }
+            Bound::Exclusive(Value::Str(s)) => {
+                dict.partition_point(|d| d.as_ref() < s.as_ref()) as i64 - 1
+            }
+            _ => return Translated::Unsupported,
+        };
+        if lo > hi {
+            Translated::Empty
+        } else if lo == 0 && hi == dict.len() as i64 - 1 {
+            Translated::All
+        } else {
+            Translated::Range { lo, hi }
+        }
+    }
+
+    /// AND "this column satisfies `interval`" into `sel`, evaluated on the
+    /// encoded stream. Returns `false` when the interval's bounds don't
+    /// translate into this segment's domain — the caller must then apply
+    /// the interval to materialized values instead.
+    pub fn eval_interval(&self, interval: &Interval, sel: &mut SelBitmap) -> bool {
+        match self.translate_interval(interval) {
+            Translated::Unsupported => false,
+            Translated::All => true,
+            Translated::Empty => {
+                sel.clear_range(0, self.rows);
+                true
+            }
+            Translated::Range { lo, hi } => {
+                kernels::filter_range(&self.ints, lo, hi, sel);
+                true
+            }
+        }
+    }
+
     /// True if this segment can be skipped for a predicate interval on this
     /// column (segment elimination via min/max).
     pub fn eliminated_by(&self, interval: &Interval) -> bool {
         !interval.overlaps_range(&self.min, &self.max)
+    }
+}
+
+/// Normalize a comparison bound into the column's encoded `i64` domain.
+/// Returns `None` when `Value`'s comparison of this bound type against the
+/// column type is not a plain order-preserving numeric mapping.
+fn normalize_bound(dtype: DataType, v: &Value) -> Option<i64> {
+    match (dtype, v) {
+        (DataType::Int32 | DataType::Int64, Value::Int32(_) | Value::Int64(_)) => v.as_i64(),
+        (DataType::Date, Value::Date(d)) => Some(i64::from(*d)),
+        (DataType::Decimal, Value::Decimal(x)) => Some(*x),
+        (DataType::Float64, Value::Float64(f)) => Some(f.to_bits_i64()),
+        // `Value` compares int-vs-float through f64 promotion; translate the
+        // bound through the identical promotion so semantics match.
+        (DataType::Float64, Value::Int32(_) | Value::Int64(_)) => v.as_f64().map(f64::to_bits_i64),
+        _ => None,
     }
 }
 

@@ -79,8 +79,9 @@ fn segment_elimination_skips_rowgroups() {
     intervals.insert(0usize, Interval::less_than(Value::Int32(150), false));
     let batches = idx.scan_collect(&[0], &intervals, &pool, &t);
     let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
-    // Row groups 0 and 1 survive (ids 0..200); elimination is conservative.
-    assert_eq!(rows, 200);
+    // Row groups 0 and 1 survive elimination (ids 0..200); within them the
+    // pushed-down interval prunes rows 150..200 in the encoded domain.
+    assert_eq!(rows, 150);
     let eliminated: usize = (0..idx.num_rowgroups())
         .filter(|&i| idx.rowgroup_eliminated(i, &intervals))
         .count();

@@ -419,6 +419,24 @@ impl Expr {
         }
     }
 
+    /// True when the predicate is *exactly* the conjunction of the intervals
+    /// [`Expr::column_intervals`] extracts from it — i.e. every conjunct is a
+    /// simple `col <op> literal` (or flipped) with a contiguous interval, so
+    /// a scan that applies those intervals needs no residual filter.
+    pub fn covered_by_intervals(&self) -> bool {
+        match self {
+            Expr::And(es) => es.iter().all(Expr::covered_by_intervals),
+            Expr::Cmp { op, lhs, rhs } => {
+                !matches!(op, CmpOp::Ne)
+                    && matches!(
+                        (lhs.as_ref(), rhs.as_ref()),
+                        (Expr::Col(_), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(_))
+                    )
+            }
+            _ => false,
+        }
+    }
+
     /// Render the expression for plan printouts, resolving ordinals through
     /// `names` when available.
     pub fn display(&self, names: &[String]) -> String {

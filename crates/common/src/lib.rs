@@ -10,6 +10,7 @@
 //! engine, and the tuning advisor — speaks these types.
 
 pub mod batch;
+pub mod bitmap;
 pub mod error;
 pub mod expr;
 pub mod interval;
@@ -18,6 +19,7 @@ pub mod schema;
 pub mod types;
 
 pub use batch::{Batch, ColumnVector};
+pub use bitmap::SelBitmap;
 pub use error::{HpdError, Result};
 pub use expr::{AggFunc, BinOp, CmpOp, Expr};
 pub use interval::Interval;

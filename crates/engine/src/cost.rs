@@ -18,6 +18,16 @@ pub struct CostModel {
     pub cpu_row_us: f64,
     /// CPU microseconds to process one row in batch (vectorized) mode.
     pub cpu_batch_us: f64,
+    /// CPU microseconds per row for encoded-domain predicate kernels
+    /// (interval checks on compressed segments — cheaper than batch-mode
+    /// materialization because RLE evaluates whole runs and bit-packed
+    /// codes compare without decoding).
+    pub cpu_kernel_us: f64,
+    /// Fixed CPU microseconds per scanned row group: selection-bitmap and
+    /// column-vector allocation, zone-map checks, batch assembly and
+    /// operator dispatch. Keeps a one-row point query from looking free on
+    /// a columnstore (the B+ tree seek should still win those).
+    pub cpu_batch_setup_us: f64,
     /// CPU microseconds per hash-table probe/insert.
     pub cpu_hash_us: f64,
     /// CPU microseconds per comparison in a sort.
@@ -41,6 +51,8 @@ impl CostModel {
             // batch mode ~0.012 µs/row, hash probes ~0.35 µs.
             cpu_row_us: 0.55,
             cpu_batch_us: 0.012,
+            cpu_kernel_us: 0.003,
+            cpu_batch_setup_us: 3.0,
             cpu_hash_us: 0.35,
             cpu_cmp_us: 0.05,
             parallel_startup_us: 300.0,

@@ -117,6 +117,7 @@ impl<'a> QueryRunner<'a> {
             *self.profile.borrow_mut() = Some(ProfileMap::build(plan));
         }
         let ctx = ExecCtx::with_grant(self.pool, self.grant_bytes);
+        let obs_before = self.profile_requested.then(|| hpd_obs::global().snapshot());
         let start = Instant::now();
         let mut op = self.lower(&plan.root)?;
         let rows = collect_rows(op.as_mut(), &ctx)?;
@@ -144,11 +145,17 @@ impl<'a> QueryRunner<'a> {
             rows_returned: rows.len(),
             memory_peak_bytes: ctx.grant.peak_bytes(),
         };
-        let analyze = self
-            .profile
-            .borrow()
-            .as_ref()
-            .map(|m| Box::new(m.report(plan)));
+        let analyze = self.profile.borrow().as_ref().map(|m| {
+            let mut report = m.report(plan);
+            if let Some(before) = &obs_before {
+                let delta = hpd_obs::global().snapshot().delta(before);
+                let pruning = crate::profile::ScanPruning::from_snapshot(&delta);
+                if !pruning.is_empty() {
+                    report.pruning = Some(pruning);
+                }
+            }
+            Box::new(report)
+        });
         Ok(ExecutionResult {
             rows,
             metrics,
@@ -376,6 +383,30 @@ impl<'a> QueryRunner<'a> {
         };
         let Some(overlay) = overlay else {
             return Ok(gather(self.scan_partitions(node, &node.out_cols)?));
+        };
+        // A CsiScan applies its intervals exactly inside the scan, and the
+        // planner drops the residual filter when the intervals cover the
+        // whole predicate — so overlay rows (old versions added back for
+        // snapshot correction) must honor the same intervals here.
+        let filtered;
+        let overlay = match &node.kind {
+            PlanNodeKind::CsiScan { intervals, .. } if !intervals.is_empty() => {
+                filtered = TableOverlay {
+                    removed: overlay.removed.clone(),
+                    added: overlay
+                        .added
+                        .iter()
+                        .filter(|r| {
+                            intervals
+                                .iter()
+                                .all(|(&c, iv)| c >= r.len() || iv.contains(&r.values()[c]))
+                        })
+                        .cloned()
+                        .collect(),
+                };
+                &filtered
+            }
+            _ => overlay,
         };
         let ti = Self::scan_table_idx(node);
         let table = self.table(ti)?;

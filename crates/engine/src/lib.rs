@@ -27,7 +27,7 @@ pub use design::{Configuration, IndexDescriptor, IndexId, IndexMeta, TableDesign
 pub use executor::{ExecutionResult, QueryRunner, TableOverlay};
 pub use optimizer::{Optimizer, TableContext};
 pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
-pub use profile::{AnalyzeReport, NodeProfile};
+pub use profile::{AnalyzeReport, NodeProfile, ScanPruning};
 pub use query::{
     AggItem, ColRef, DeleteStmt, EquiJoin, InsertStmt, SelectQuery, Statement, TableInput,
     UpdateStmt,

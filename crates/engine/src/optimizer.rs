@@ -287,15 +287,21 @@ impl Optimizer {
         rows: f64,
         ctx: &TableContext,
     ) -> AccessOption {
-        // Surviving row-group fraction: best eliminator wins.
+        // Surviving row-group fraction: best eliminator wins. Alongside it,
+        // row-level selectivity — the scan pushes every covered interval
+        // into encoded-domain kernels, so *materialization* cost scales
+        // with the rows that survive, not the rows scanned.
         let mut fraction: f64 = 1.0;
+        let mut row_sel: f64 = 1.0;
         for (&c, iv) in intervals {
             if meta.covers(&[c], ctx.schema.len(), &ctx.pk) {
                 let sel = ctx.stats.columns[c].selectivity(iv, ctx.stats.rows);
                 let cluster = ctx.stats.columns[c].clustering_fraction;
                 fraction = fraction.min((sel + cluster).clamp(0.0, 1.0));
+                row_sel *= sel.clamp(0.0, 1.0);
             }
         }
+        let row_sel = row_sel.min(fraction);
         let bytes = meta.csi_scan_bytes(needed) as f64 * fraction;
         let requests = (meta.rowgroups as f64 * fraction).ceil() * needed.len().max(1) as f64;
         // Positioning overlaps across parallel row-group streams; transfer
@@ -303,12 +309,20 @@ impl Optimizer {
         let io_seek = requests * self.cost.device.seek_latency_us;
         let mut io = self.cost.segment_read_us(bytes, requests);
         let ncols = needed.len().max(1) as f64;
-        let mut cpu = rows * fraction * self.cost.cpu_batch_us * (1.0 + 0.3 * (ncols - 1.0));
+        let scanned = rows * fraction;
+        let selected = rows * row_sel;
+        // Kernel pass over every non-eliminated row, then late
+        // materialization of only the surviving rows, plus a fixed setup
+        // cost per surviving row group (bitmaps, vectors, dispatch).
+        let rg_scanned = (meta.rowgroups as f64 * fraction).ceil();
+        let mut cpu = rg_scanned * self.cost.cpu_batch_setup_us
+            + scanned * self.cost.cpu_kernel_us
+            + selected * self.cost.cpu_batch_us * (1.0 + 0.3 * (ncols - 1.0));
         // Delta store rows are row-mode.
         cpu += meta.delta_rows as f64 * self.cost.cpu_row_us;
-        // Delete-buffer anti-join: probe per scanned row + buffer scan.
+        // Delete-buffer anti-join: probe per surviving row + buffer scan.
         if meta.delete_buffer_rows > 0 {
-            cpu += rows * fraction * self.cost.cpu_hash_us * 0.5;
+            cpu += selected * self.cost.cpu_hash_us * 0.5;
             io += self
                 .cost
                 .random_pages_us((meta.delete_buffer_rows as f64 / 200.0).ceil());
@@ -325,7 +339,7 @@ impl Optimizer {
                 },
                 out_cols,
                 out_types,
-                est_rows: rows * fraction,
+                est_rows: selected.max(1.0),
                 est_cpu_us: cpu,
                 est_io_us: io,
                 est_io_div_us: io_seek.min(io),
@@ -345,6 +359,14 @@ impl Optimizer {
         let Some(pred) = predicate else {
             return Ok(opt);
         };
+        let is_csi = matches!(opt.node.kind, PlanNodeKind::CsiScan { .. });
+        // The columnstore scan applies every pushed-down interval exactly
+        // (encoded-domain kernels with a value-comparison fallback), so a
+        // predicate that is nothing but those intervals needs no residual
+        // filter node at all.
+        if is_csi && pred.covered_by_intervals() {
+            return Ok(opt);
+        }
         let mode = node_mode(&opt.node);
         let bound = bind_expr(pred, ti, &opt.node)?;
         let in_rows = opt.node.est_rows;
@@ -353,7 +375,13 @@ impl Optimizer {
                 PlanMode::Row => self.cost.cpu_row_us,
                 PlanMode::Batch => self.cost.cpu_batch_us,
             };
-        let out_rows = (self.relative_filter_rows(sel, in_rows, ti)).min(in_rows);
+        // CSI scans already reduced est_rows by the interval selectivity;
+        // only non-CSI children still carry the full table cardinality.
+        let out_rows = if is_csi {
+            in_rows
+        } else {
+            (self.relative_filter_rows(sel, in_rows, ti)).min(in_rows)
+        };
         let out_cols = opt.node.out_cols.clone();
         let out_types = opt.node.out_types.clone();
         opt.node = PlanNode {

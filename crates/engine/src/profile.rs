@@ -77,7 +77,55 @@ impl ProfileMap {
         AnalyzeReport {
             nodes,
             est_cost_us: plan.est_cost_us,
+            pruning: None,
         }
+    }
+}
+
+/// Columnstore pushdown work avoided during one statement, taken from the
+/// `columnstore.scan.*` / `columnstore.segcache.*` counter deltas around
+/// execution. Granularities are disjoint: a row is counted at the coarsest
+/// level that eliminated it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanPruning {
+    /// Rows skipped by whole-rowgroup (zone-map) elimination.
+    pub rows_pruned_rowgroup: u64,
+    /// Rows cleared run-at-a-time by the RLE kernel.
+    pub rows_pruned_run: u64,
+    /// Rows cleared individually (bit-packed/raw kernels or fallback).
+    pub rows_pruned_row: u64,
+    /// Rows that survived all pushed-down intervals and were materialized.
+    pub rows_selected: u64,
+    /// Decoded-segment cache hits / misses / evictions.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+}
+
+impl ScanPruning {
+    /// Build from a counter-delta snapshot (see `hpd_obs::Snapshot::delta`).
+    pub fn from_snapshot(d: &hpd_obs::Snapshot) -> ScanPruning {
+        ScanPruning {
+            rows_pruned_rowgroup: d.counter("columnstore.scan.rows_pruned_rowgroup"),
+            rows_pruned_run: d.counter("columnstore.scan.rows_pruned_run"),
+            rows_pruned_row: d.counter("columnstore.scan.rows_pruned_row"),
+            rows_selected: d.counter("columnstore.scan.rows_selected"),
+            cache_hits: d.counter("columnstore.segcache.hit"),
+            cache_misses: d.counter("columnstore.segcache.miss"),
+            cache_evictions: d.counter("columnstore.segcache.evict"),
+        }
+    }
+
+    /// Total rows eliminated before materialization, across granularities.
+    pub fn rows_pruned_total(&self) -> u64 {
+        self.rows_pruned_rowgroup + self.rows_pruned_run + self.rows_pruned_row
+    }
+
+    /// True when no columnstore scan ran (nothing to report).
+    pub fn is_empty(&self) -> bool {
+        self.rows_pruned_total() == 0
+            && self.rows_selected == 0
+            && self.cache_hits + self.cache_misses == 0
     }
 }
 
@@ -114,6 +162,9 @@ pub struct AnalyzeReport {
     /// Pre-order, matching the plan tree.
     pub nodes: Vec<NodeProfile>,
     pub est_cost_us: f64,
+    /// Columnstore pushdown counters for this statement (None when the
+    /// process-wide registry could not attribute any scan work to it).
+    pub pruning: Option<ScanPruning>,
 }
 
 impl AnalyzeReport {
@@ -160,6 +211,21 @@ impl AnalyzeReport {
                 );
             }
             out.push_str(")\n");
+        }
+        if let Some(p) = &self.pruning {
+            let _ = write!(
+                out,
+                "pruning: rowgroup={} run={} row={} selected={}",
+                p.rows_pruned_rowgroup, p.rows_pruned_run, p.rows_pruned_row, p.rows_selected
+            );
+            if p.cache_hits + p.cache_misses > 0 {
+                let _ = write!(
+                    out,
+                    "; segcache hit={} miss={} evict={}",
+                    p.cache_hits, p.cache_misses, p.cache_evictions
+                );
+            }
+            out.push('\n');
         }
         out
     }

@@ -18,6 +18,9 @@ use crate::design::{IndexDescriptor, IndexId, IndexMeta};
 use crate::stats::TableStats;
 
 /// The table's main storage.
+// One instance per table, never moved after creation: the size skew
+// between the variants doesn't matter.
+#[allow(clippy::large_enum_variant)]
 pub enum PrimaryIndex {
     /// Clustered B+ tree: key = `Table::pk` values, payload = full row.
     BTree(BTree),

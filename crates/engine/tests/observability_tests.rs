@@ -79,6 +79,37 @@ fn explain_analyze_csi_scan_reports_per_node_actuals() {
 }
 
 #[test]
+fn explain_analyze_reports_rows_pruned_by_pushdown() {
+    let mut cfg = DbConfig::default();
+    cfg.csi.rowgroup_capacity = 512;
+    let db = Database::new(cfg);
+    setup_table(&db, IndexDescriptor::PrimaryCsi, 4000);
+    // `val` cycles every 1000 ids, so rowgroup elimination cannot help and
+    // the encoded-domain kernels must do the pruning row by row.
+    let q = SelectQuery::single_table(
+        "t",
+        Some(Expr::col_cmp(2, CmpOp::Lt, Value::Int32(30))),
+        vec![0, 2],
+    );
+    let r = db.explain_analyze(&q).unwrap();
+    let matching = (0..4000).filter(|i| i * 3 % 1000 < 30).count() as u64;
+    assert_eq!(r.rows.len() as u64, matching);
+    let report = r.analyze.as_ref().unwrap();
+    let p = report.pruning.expect("CSI scan records pruning counters");
+    // The obs registry is process-global and tests run concurrently, so
+    // assert lower bounds only.
+    assert!(p.rows_selected >= matching, "{p:?}");
+    assert!(
+        p.rows_pruned_total() >= 4000 - matching,
+        "kernels should prune the non-matching rows: {p:?}"
+    );
+    assert!(p.rows_pruned_run + p.rows_pruned_row > 0, "{p:?}");
+    let rendered = report.render();
+    assert!(rendered.contains("pruning:"), "{rendered}");
+    assert!(rendered.contains("selected="), "{rendered}");
+}
+
+#[test]
 fn sort_spills_under_small_grant_and_is_visible() {
     let db = Database::new(DbConfig::default());
     setup_table(&db, btree_primary(), 20_000);

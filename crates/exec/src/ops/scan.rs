@@ -206,6 +206,7 @@ impl Operator for CsiScanOp<'_> {
             if self.index.delta_rows() > 0 {
                 return Ok(Some(self.index.scan_delta(
                     &self.projection,
+                    &self.intervals,
                     ctx.pool,
                     &ctx.tracker,
                 )));

@@ -84,8 +84,11 @@ fn selectivity_tradeoff_shape() {
 
     let selective_bt = run_cold(&db_bt, 1e-5);
     let selective_cs = run_cold(&db_cs, 1e-5);
+    // Encoded-domain predicate pushdown narrowed this gap (the CSI no
+    // longer decodes whole segments for selective scans), but the B+ tree
+    // seek must still win by a wide margin on a cold selective lookup.
     assert!(
-        selective_bt * 5.0 < selective_cs,
+        selective_bt * 3.0 < selective_cs,
         "selective: btree {selective_bt}us vs csi {selective_cs}us"
     );
 

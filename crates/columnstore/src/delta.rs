@@ -9,7 +9,7 @@
 use std::ops::Bound;
 
 use hpd_btree::{BTree, BTreeConfig};
-use hpd_common::{Key, Row};
+use hpd_common::{faults, Key, Row};
 use hpd_storage::{BufferPool, IoTracker, StorageAllocator};
 
 /// B+ tree-backed staging area for uncompressed columnstore rows.
@@ -67,6 +67,13 @@ impl DeltaStore {
     /// drain; draining in key order also compresses well).
     pub fn drain(&mut self, n: usize, pool: &BufferPool, tracker: &IoTracker) -> Vec<Row> {
         hpd_obs::global().counter("columnstore.delta_drain").inc();
+        // Injected interruption: hand back a short chunk, as if the mover
+        // were preempted mid-drain. Callers must cope with partial drains.
+        let n = if faults::fire(faults::sites::DELTA_DRAIN_PARTIAL) {
+            (n / 2).max(1)
+        } else {
+            n
+        };
         let mut out = Vec::with_capacity(n.min(self.tree.len()));
         let keys: Vec<Key> = {
             let mut cur = self.tree.cursor_seek(Bound::Unbounded, pool, tracker);

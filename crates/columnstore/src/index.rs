@@ -6,7 +6,7 @@ use std::ops::Bound;
 use std::sync::{Arc, OnceLock};
 
 use hpd_btree::{BTree, BTreeConfig};
-use hpd_common::{Batch, ColumnVector, Interval, Key, Row, Schema, Value};
+use hpd_common::{faults, Batch, ColumnVector, Interval, Key, Row, Schema, Value};
 use hpd_obs::Counter;
 use hpd_storage::{BufferPool, IoTracker, StorageAllocator};
 
@@ -236,7 +236,13 @@ impl ColumnStoreIndex {
         debug_assert_eq!(row.len(), self.schema.len());
         let key = row.key(&self.key_ordinals);
         self.delta.insert(key, row, pool, tracker);
-        if self.delta.len() >= self.config.rowgroup_capacity {
+        if faults::fire(faults::sites::TUPLE_MOVE_FORCE) {
+            // Injected early trigger: compress whatever the delta holds,
+            // capacity notwithstanding (an eager background mover).
+            self.compress_all_delta(pool, tracker);
+        } else if self.delta.len() >= self.config.rowgroup_capacity
+            && !faults::fire(faults::sites::TUPLE_MOVE_DEFER)
+        {
             self.tuple_move(pool, tracker);
         }
     }
@@ -263,7 +269,9 @@ impl ColumnStoreIndex {
                 // Logical delete: no existence check (the engine only deletes
                 // rows it has located through the primary index).
                 buffer.insert(key.clone(), Row::new(Vec::new()), pool, tracker);
-                if self.delete_buffer_len() >= self.config.delete_buffer_compact_threshold {
+                if self.delete_buffer_len() >= self.config.delete_buffer_compact_threshold
+                    || faults::fire(faults::sites::DELETE_BUFFER_COMPACT)
+                {
                     self.compact_delete_buffer(pool, tracker);
                 }
                 true
@@ -294,7 +302,9 @@ impl ColumnStoreIndex {
                     .as_mut()
                     .expect("secondary CSI has delete buffer");
                 buffer.insert(key.clone(), Row::new(Vec::new()), pool, tracker);
-                if self.delete_buffer_len() >= self.config.delete_buffer_compact_threshold {
+                if self.delete_buffer_len() >= self.config.delete_buffer_compact_threshold
+                    || faults::fire(faults::sites::DELETE_BUFFER_COMPACT)
+                {
                     self.compact_delete_buffer(pool, tracker);
                 }
                 None
@@ -417,6 +427,16 @@ impl ColumnStoreIndex {
 
     /// Force-compress the remaining delta rows (index reorganize).
     pub fn compress_all_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+        // Same invariant as `tuple_move`, but unconditional on delta size:
+        // every delta row is about to become a compressed row, so no
+        // buffered delete may be left to anti-join against it. An UPDATE
+        // leaves exactly that pair behind (buffered delete of the old
+        // version + delta insert of the new), and compressing the new
+        // version with the stale delete still buffered makes the row
+        // vanish from scans.
+        if self.delete_buffer_len() > 0 && !self.delta.is_empty() {
+            self.compact_delete_buffer(pool, tracker);
+        }
         self.tuple_move(pool, tracker);
         let rows = self.delta.drain(usize::MAX, pool, tracker);
         self.compress_chunk(&rows, pool, tracker);

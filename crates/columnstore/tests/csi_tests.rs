@@ -372,3 +372,20 @@ proptest! {
         }
     }
 }
+
+/// The checked-in `csi_tests.proptest-regressions` file must actually be
+/// found and parsed by the harness (its entries replay before novel cases
+/// in every `proptest!` block above). Guards the `file!()`-relative path
+/// resolution against cwd changes in cargo.
+#[test]
+fn checked_in_regressions_are_live() {
+    let recorded = proptest::regressions::load(file!());
+    assert!(
+        !recorded.is_empty(),
+        "csi_tests.proptest-regressions was not loaded"
+    );
+    assert!(
+        matches!(recorded[0], proptest::regressions::Recorded::Seed(_)),
+        "the legacy hex token must parse as a hashed seed"
+    );
+}

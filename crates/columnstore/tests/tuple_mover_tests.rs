@@ -1,0 +1,200 @@
+//! Tuple-mover boundary tests (ISSUE 3 satellite): exact-capacity delta
+//! fills, compaction of fully-deleted row groups, and scans interleaved
+//! with mover activity driven through the fault-injection points.
+
+use std::collections::HashMap;
+
+use hpd_columnstore::{ColumnStoreIndex, CsiConfig, CsiKind, SortMode};
+use hpd_common::{faults, DataType, Key, Row, Schema, Value};
+use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
+
+const CAP: usize = 64;
+
+fn schema2() -> Schema {
+    Schema::from_pairs(&[("id", DataType::Int32), ("val", DataType::Int32)])
+}
+
+fn row(i: i32) -> Row {
+    Row::new(vec![Value::Int32(i), Value::Int32(i * 3 % 50)])
+}
+
+fn setup(kind: CsiKind, n: i32) -> (ColumnStoreIndex, BufferPool, IoTracker) {
+    let pool = BufferPool::unbounded(DeviceProfile::ram());
+    let t = IoTracker::new();
+    let idx = ColumnStoreIndex::build(
+        schema2(),
+        kind,
+        vec![0],
+        CsiConfig {
+            rowgroup_capacity: CAP,
+            sort_mode: SortMode::Greedy,
+            // Keep deletes buffered unless a test compacts explicitly.
+            delete_buffer_compact_threshold: 1_000_000,
+            ..CsiConfig::default()
+        },
+        &(0..n).map(row).collect::<Vec<_>>(),
+        StorageAllocator::new(),
+        &pool,
+        &t,
+    );
+    (idx, pool, t)
+}
+
+fn visible_ids(idx: &ColumnStoreIndex, pool: &BufferPool) -> Vec<i32> {
+    let t = IoTracker::new();
+    let mut ids: Vec<i32> = idx
+        .scan_collect(&[0], &HashMap::new(), pool, &t)
+        .iter()
+        .flat_map(|b| {
+            (0..b.num_rows())
+                .map(|i| b.column(0).value(i).as_i32().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// The mover must fire exactly at capacity: `CAP - 1` inserts stay in the
+/// delta store, the `CAP`-th drains all of them into one new row group,
+/// and the very next insert starts a fresh delta generation.
+#[test]
+fn delta_fill_to_exact_capacity_triggers_one_move() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 0);
+    assert_eq!(idx.num_rowgroups(), 0);
+
+    for i in 0..(CAP as i32 - 1) {
+        idx.insert(row(i), &pool, &t);
+    }
+    assert_eq!(idx.num_rowgroups(), 0, "below capacity: no move yet");
+    assert_eq!(idx.delta_rows(), CAP - 1);
+
+    idx.insert(row(CAP as i32 - 1), &pool, &t);
+    assert_eq!(idx.num_rowgroups(), 1, "capacity reached: exactly one move");
+    assert_eq!(idx.delta_rows(), 0, "the move drains the full delta");
+
+    idx.insert(row(CAP as i32), &pool, &t);
+    assert_eq!(idx.num_rowgroups(), 1);
+    assert_eq!(idx.delta_rows(), 1, "next insert opens a new delta");
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (0..=CAP as i32).collect::<Vec<_>>()
+    );
+}
+
+/// Deleting 100% of a primary CSI's rows must leave scans empty without
+/// disturbing the row-group structure (bitmap-only deletes), and rows
+/// inserted afterwards must come back alone.
+#[test]
+fn fully_deleted_primary_rowgroups_scan_empty() {
+    let n = 2 * CAP as i32;
+    let (mut idx, pool, t) = setup(CsiKind::Primary, n);
+    assert_eq!(idx.num_rowgroups(), 2);
+
+    for i in 0..n {
+        assert!(idx.delete(&Key::single(Value::Int32(i)), &pool, &t));
+    }
+    assert_eq!(idx.active_rows(), 0);
+    assert_eq!(idx.num_rowgroups(), 2, "deletes are logical, groups remain");
+    assert!(visible_ids(&idx, &pool).is_empty());
+
+    idx.insert(row(n), &pool, &t);
+    assert_eq!(visible_ids(&idx, &pool), vec![n]);
+}
+
+/// Compacting a delete buffer that covers 100% of a secondary CSI's rows:
+/// every buffered key resolves to a bitmap bit, the buffer empties, and
+/// scans agree before and after compaction (anti-join vs. bitmap paths).
+#[test]
+fn fully_deleted_secondary_compaction_resolves_all_keys() {
+    let n = 2 * CAP as i32;
+    let (mut idx, pool, t) = setup(CsiKind::Secondary, n);
+
+    for i in 0..n {
+        idx.delete(&Key::single(Value::Int32(i)), &pool, &t);
+    }
+    assert_eq!(idx.delete_buffer_len(), n as usize);
+    assert!(
+        visible_ids(&idx, &pool).is_empty(),
+        "anti-join must hide every buffered delete"
+    );
+
+    idx.compact_delete_buffer(&pool, &t);
+    assert_eq!(idx.delete_buffer_len(), 0);
+    assert_eq!(idx.active_rows(), 0);
+    assert!(visible_ids(&idx, &pool).is_empty());
+}
+
+/// A deferred mover (TUPLE_MOVE_DEFER) lets the delta grow past capacity;
+/// scans taken mid-backlog must still see every row, and the next
+/// unhindered insert drains the whole backlog in capacity-sized chunks.
+#[test]
+fn scan_sees_all_rows_while_mover_deferred() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 0);
+
+    faults::arm(faults::sites::TUPLE_MOVE_DEFER, u32::MAX);
+    let backlog = 3 * CAP as i32 + 7;
+    for i in 0..backlog {
+        idx.insert(row(i), &pool, &t);
+    }
+    assert_eq!(idx.num_rowgroups(), 0, "mover deferred: nothing compressed");
+    assert_eq!(idx.delta_rows(), backlog as usize);
+    // Scan during the (simulated) mover outage: delta-only reads.
+    assert_eq!(visible_ids(&idx, &pool), (0..backlog).collect::<Vec<_>>());
+    faults::reset_charges();
+
+    idx.insert(row(backlog), &pool, &t);
+    assert_eq!(idx.num_rowgroups(), 3, "backlog drained in capacity chunks");
+    assert!(idx.delta_rows() < CAP);
+    assert_eq!(visible_ids(&idx, &pool), (0..=backlog).collect::<Vec<_>>());
+}
+
+/// An eager mover (TUPLE_MOVE_FORCE) compresses undersized row groups on
+/// every insert; interleaved scans must agree with the logical contents at
+/// each step. This is the scan-during-compaction schedule the harness
+/// exercises, reduced to the columnstore layer.
+#[test]
+fn scan_agrees_across_forced_early_compactions() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 0);
+    let mut expect = Vec::new();
+    for i in 0..10i32 {
+        // Every other insert is immediately force-compacted.
+        if i % 2 == 0 {
+            faults::arm(faults::sites::TUPLE_MOVE_FORCE, 1);
+        }
+        idx.insert(row(i), &pool, &t);
+        faults::reset_charges();
+        expect.push(i);
+        assert_eq!(visible_ids(&idx, &pool), expect, "after insert {i}");
+    }
+    assert!(idx.num_rowgroups() >= 5, "forced moves made tiny rowgroups");
+}
+
+/// Regression (harness seed 55) at the columnstore layer: an UPDATE leaves
+/// a buffered delete of the old version and a delta insert of the new one.
+/// `compress_all_delta` must compact the delete buffer *before* draining
+/// the delta, or the stale buffered delete anti-joins away the freshly
+/// compressed new version and the row vanishes.
+#[test]
+fn compress_all_delta_compacts_stale_buffered_deletes_first() {
+    let n = CAP as i32;
+    let (mut idx, pool, t) = setup(CsiKind::Secondary, n);
+    assert_eq!(idx.num_rowgroups(), 1);
+
+    // UPDATE id=5: buffered delete of the compressed version, delta insert
+    // of the new version (same key).
+    idx.delete(&Key::single(Value::Int32(5)), &pool, &t);
+    idx.insert(row(5), &pool, &t);
+    assert_eq!(idx.delete_buffer_len(), 1);
+    assert_eq!(idx.delta_rows(), 1);
+    assert_eq!(visible_ids(&idx, &pool), (0..n).collect::<Vec<_>>());
+
+    idx.compress_all_delta(&pool, &t);
+    assert_eq!(idx.delta_rows(), 0);
+    assert_eq!(idx.delete_buffer_len(), 0);
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (0..n).collect::<Vec<_>>(),
+        "the updated row must survive reorganization"
+    );
+}

@@ -35,6 +35,10 @@ pub enum HpdError {
     LockTimeout(String),
     /// Serialization failure under snapshot / serializable isolation.
     SerializationFailure(String),
+    /// An armed [`crate::faults`] injection site fired. Only produced under
+    /// test harnesses; lets callers distinguish injected failures from
+    /// organic ones.
+    FaultInjected(String),
     /// Internal invariant violation — indicates a bug, not bad input.
     Internal(String),
 }
@@ -60,6 +64,7 @@ impl fmt::Display for HpdError {
             }
             HpdError::LockTimeout(m) => write!(f, "lock timeout: {m}"),
             HpdError::SerializationFailure(m) => write!(f, "serialization failure: {m}"),
+            HpdError::FaultInjected(m) => write!(f, "fault injected: {m}"),
             HpdError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -89,6 +94,10 @@ mod tests {
             }
             .to_string(),
             "out of memory grant: needed 10 bytes, grant 5 bytes"
+        );
+        assert_eq!(
+            HpdError::FaultInjected("spill".into()).to_string(),
+            "fault injected: spill"
         );
     }
 

@@ -13,6 +13,7 @@ pub mod batch;
 pub mod bitmap;
 pub mod error;
 pub mod expr;
+pub mod faults;
 pub mod interval;
 pub mod row;
 pub mod schema;

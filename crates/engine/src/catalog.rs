@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hpd_columnstore::CsiConfig;
-use hpd_common::{HpdError, Key, Result, Row, Schema, Value};
+use hpd_common::{faults, HpdError, Key, Result, Row, Schema, Value};
 use hpd_exec::ExecMetrics;
 use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
 use parking_lot::RwLock;
@@ -260,6 +260,18 @@ impl Database {
         Ok(f(&mut guard))
     }
 
+    /// Run columnstore maintenance (tuple mover + delete-buffer compaction)
+    /// on the named table now, as the background processes would. Takes the
+    /// table's write latch, so it serializes with statements but can land
+    /// between any two of them — exactly the interleavings the differential
+    /// harness schedules.
+    pub fn force_csi_maintenance(&self, name: &str) -> Result<()> {
+        let t = IoTracker::new();
+        self.with_table_mut(name, |table| {
+            table.force_csi_maintenance(&self.pool, &t);
+        })
+    }
+
     // ------------------------------------------------------------------
     // Planning / what-if
     // ------------------------------------------------------------------
@@ -446,6 +458,17 @@ impl<'db> Txn<'db> {
         self.isolation
     }
 
+    /// This transaction's lock-owner id.
+    pub fn id(&self) -> u64 {
+        self.txn_id
+    }
+
+    /// Start timestamp (snapshot reads see state as of this point). Exposed
+    /// so oracles can mirror the engine's timestamp allocation.
+    pub fn start_ts(&self) -> u64 {
+        self.start_ts
+    }
+
     pub fn execute(&mut self, stmt: &Statement) -> Result<ExecutionResult> {
         match stmt {
             Statement::Select(q) => self.select(q),
@@ -530,9 +553,15 @@ impl<'db> Txn<'db> {
     /// UPDATE: identify target rows through the optimizer, lock them, and
     /// buffer the writes for commit.
     pub fn update(&mut self, stmt: &UpdateStmt) -> Result<ExecutionResult> {
-        let rows = self.write_target_rows(&stmt.table, &stmt.predicate, stmt.top)?;
+        let mut rows = self.write_target_rows(&stmt.table, &stmt.predicate, stmt.top)?;
         let table_id = self.db.slot_id(&stmt.table)?;
         let pk = self.db.with_table(&stmt.table, |t| t.pk().to_vec())?;
+        // Lock targets in primary-key order regardless of the access path
+        // that found them, so lock acquisition (and thus which conflict
+        // surfaces first under contention) does not depend on the physical
+        // design, and concurrent writers cannot deadlock by locking the
+        // same rows in opposite orders.
+        rows.rows.sort_by_key(|r| r.key(&pk));
         let mut result_rows = 0usize;
         for row in &rows.rows {
             let key = row.key(&pk);
@@ -554,9 +583,11 @@ impl<'db> Txn<'db> {
 
     /// DELETE: same two-phase shape as update.
     pub fn delete(&mut self, stmt: &DeleteStmt) -> Result<ExecutionResult> {
-        let rows = self.write_target_rows(&stmt.table, &stmt.predicate, stmt.top)?;
+        let mut rows = self.write_target_rows(&stmt.table, &stmt.predicate, stmt.top)?;
         let table_id = self.db.slot_id(&stmt.table)?;
         let pk = self.db.with_table(&stmt.table, |t| t.pk().to_vec())?;
+        // Same deterministic lock order as `update` (see there).
+        rows.rows.sort_by_key(|r| r.key(&pk));
         let mut n = 0usize;
         for row in &rows.rows {
             let key = row.key(&pk);
@@ -681,6 +712,13 @@ impl<'db> Txn<'db> {
             }
         }
 
+        if faults::fire(faults::sites::COMMIT_FAIL) {
+            // Injected failure between validation and apply: the transaction
+            // must vanish without a trace — locks released, no write visible.
+            self.finish();
+            return Err(HpdError::FaultInjected("commit failed before apply".into()));
+        }
+
         let tables = self.db.tables.read().clone();
         let mut apply_result: Result<()> = Ok(());
         'outer: for op in &writes {
@@ -754,6 +792,12 @@ impl Drop for Txn<'_> {
 /// pay relative to serializable reads.
 fn snapshot_overlay(table: &Table, ts: u64, pool: &BufferPool) -> TableOverlay {
     let _ = pool;
+    if faults::fire(faults::sites::OVERLAY_SKIP) {
+        // Deliberate-bug knob: pretend no row was rewritten since `ts`, so
+        // snapshot reads leak committed-after-snapshot state. Exists to
+        // prove the harness detects and shrinks an isolation violation.
+        return TableOverlay::default();
+    }
     let mut overlay = TableOverlay::default();
     for key in table.rewritten_since(ts) {
         overlay.removed.insert(key.clone());

@@ -410,15 +410,40 @@ impl<'a> QueryRunner<'a> {
         };
         let ti = Self::scan_table_idx(node);
         let table = self.table(ti)?;
-        // Extend the output with any missing primary-key columns so rows
-        // can be identified.
+        // B+ tree access paths promise the index key order to the optimizer
+        // (which may elide a Sort, stream an aggregate, or merge-join on the
+        // strength of it), but the overlay operator appends old row versions
+        // at the end of the stream. Re-establish the claimed order below.
+        let order_keys: Vec<usize> = match &node.kind {
+            PlanNodeKind::BTreeScan { index, .. } | PlanNodeKind::BTreeSeek { index, .. } => {
+                if index.0 == 0 {
+                    table.pk().to_vec()
+                } else {
+                    table.secondaries()[index.0 - 1].keys.clone()
+                }
+            }
+            _ => Vec::new(),
+        };
+        // Extend the output with any missing primary-key columns (so rows
+        // can be identified) and missing order-key columns (so the order
+        // can be restored).
         let mut ext_cols = node.out_cols.clone();
         let mut ext_types = node.out_types.clone();
-        for &k in table.pk() {
-            if node.find_col(ti, k).is_none() {
+        let mut ensure_col = |k: usize| {
+            if node.find_col(ti, k).is_none()
+                && !ext_cols
+                    .iter()
+                    .any(|c| matches!(c, crate::plan::PlanCol::Base(t, cc) if *t == ti && *cc == k))
+            {
                 ext_cols.push(crate::plan::PlanCol::Base(ti, k));
                 ext_types.push(table.schema().column(k).dtype);
             }
+        };
+        for &k in table.pk() {
+            ensure_col(k);
+        }
+        for &k in &order_keys {
+            ensure_col(k);
         }
         let scan = gather(self.scan_partitions(node, &ext_cols)?);
         // Project the overlay's full-table rows to the scan's columns.
@@ -429,7 +454,21 @@ impl<'a> QueryRunner<'a> {
                 crate::plan::PlanCol::Computed => unreachable!("scan emits base columns"),
             })
             .collect();
-        let op = self.wrap_overlay(scan, ti, &table_ords, ext_types, overlay)?;
+        let mut op = self.wrap_overlay(scan, ti, &table_ords, ext_types, overlay)?;
+        if !order_keys.is_empty() {
+            let sort_keys: Vec<SortKey> = order_keys
+                .iter()
+                .map(|&k| {
+                    SortKey::asc(
+                        table_ords
+                            .iter()
+                            .position(|&c| c == k)
+                            .expect("order key column was extended into the scan output"),
+                    )
+                })
+                .collect();
+            op = Box::new(SortOp::new(op, sort_keys));
+        }
         if ext_cols.len() > node.out_cols.len() {
             let keep: Vec<usize> = (0..node.out_cols.len()).collect();
             Ok(Box::new(ProjectOp::columns(op, &keep, Mode::Batch)))

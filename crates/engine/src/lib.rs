@@ -25,6 +25,7 @@ pub mod txn;
 pub use catalog::{Database, DbConfig, Session, Txn};
 pub use design::{Configuration, IndexDescriptor, IndexId, IndexMeta, TableDesign};
 pub use executor::{ExecutionResult, QueryRunner, TableOverlay};
+pub use hpd_columnstore::CsiConfig;
 pub use optimizer::{Optimizer, TableContext};
 pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
 pub use profile::{AnalyzeReport, NodeProfile, ScanPruning};

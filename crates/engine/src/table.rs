@@ -363,6 +363,20 @@ impl Table {
         }
     }
 
+    /// Run columnstore maintenance now: compress all delta rows into row
+    /// groups and resolve buffered deletes. Deterministic stand-in for the
+    /// background tuple mover / compaction, schedulable by tests and the
+    /// differential harness at arbitrary points. No-op without a CSI.
+    pub fn force_csi_maintenance(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+        if let PrimaryIndex::Csi(csi) = &mut self.primary {
+            csi.compress_all_delta(pool, tracker);
+        }
+        if let Some(csi) = self.secondary_csi.as_mut() {
+            csi.compact_delete_buffer(pool, tracker);
+            csi.compress_all_delta(pool, tracker);
+        }
+    }
+
     /// Refresh statistics from current contents.
     pub fn analyze(&mut self, pool: &BufferPool, tracker: &IoTracker) {
         let rows = self.scan_all_rows(pool, tracker);

@@ -16,7 +16,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use hpd_common::{Expr, HpdError, Key, Result, Row};
+use hpd_common::{faults, Expr, HpdError, Key, Result, Row};
 use parking_lot::{Condvar, Mutex};
 
 /// Supported isolation levels.
@@ -98,6 +98,13 @@ impl LockManager {
         timeout: Duration,
     ) -> Result<()> {
         self.acquires.inc();
+        if faults::fire(faults::sites::LOCK_TIMEOUT) {
+            // Injected contention: behave exactly like a timed-out wait.
+            self.timeouts.inc();
+            return Err(HpdError::LockTimeout(format!(
+                "{key:?} in mode {mode:?} (injected)"
+            )));
+        }
         let deadline = Instant::now() + timeout;
         let mut table = self.table.lock();
         let mut waited = false;
@@ -174,8 +181,15 @@ impl TxnManager {
 
     pub fn begin(&self) -> (u64, u64) {
         let id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        // The timestamp draw and the active-set insert must be atomic with
+        // respect to `oldest_active`: with the draw outside the lock, a
+        // concurrent `oldest_active` call sees neither the new timestamp in
+        // `active` nor the bumped `next_ts` floor, reports too-new an
+        // horizon, and version GC can reclaim versions this transaction's
+        // snapshot still needs (regression: `begin_vs_oldest_active_race`).
+        let mut active = self.active.lock();
         let start_ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
-        self.active.lock().insert(start_ts);
+        active.insert(start_ts);
         (id, start_ts)
     }
 

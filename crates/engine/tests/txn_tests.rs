@@ -1,0 +1,66 @@
+//! Transaction-manager concurrency regressions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpd_engine::TxnManager;
+
+/// Regression for a GC-horizon race: `TxnManager::begin` used to draw its
+/// start timestamp *before* inserting it into the active set. A concurrent
+/// `oldest_active` call in that window saw neither the new timestamp in the
+/// set nor (necessarily) an active floor below it, and could report a
+/// horizon *newer* than the beginning transaction — letting version GC
+/// reclaim row versions that transaction's snapshot still needs.
+///
+/// Detection protocol, sound for the fixed code and sensitive to the bug:
+/// each worker publishes its start timestamp to `done` (a running maximum)
+/// *before* calling `finish`. Every timestamp below `oldest_active()`'s
+/// return value must therefore already be published, so the observer's
+/// invariant is `oldest_active() <= done + 1`. With the unsynchronized
+/// draw, an observer running between draw and insert reads `next_ts` two
+/// past the last finished timestamp and the assertion fires.
+#[test]
+fn begin_vs_oldest_active_race() {
+    let tm = Arc::new(TxnManager::new(Duration::from_millis(100)));
+    let done = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut workers = Vec::new();
+    for _ in 0..2 {
+        let tm = Arc::clone(&tm);
+        let done = Arc::clone(&done);
+        workers.push(std::thread::spawn(move || {
+            for _ in 0..30_000 {
+                let (_, ts) = tm.begin();
+                // Publish before finish: the horizon may only pass `ts`
+                // once this store is visible.
+                done.fetch_max(ts, Ordering::SeqCst);
+                tm.finish(ts);
+            }
+        }));
+    }
+
+    let observer = {
+        let tm = Arc::clone(&tm);
+        let done = Arc::clone(&done);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let h = tm.oldest_active();
+                let d = done.load(Ordering::SeqCst);
+                assert!(
+                    h <= d + 1,
+                    "oldest_active horizon {h} passed an in-flight begin \
+                     (highest finished start_ts {d})"
+                );
+            }
+        })
+    };
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::SeqCst);
+    observer.join().unwrap();
+}

@@ -264,7 +264,7 @@ impl<'a> HashAggOp<'a> {
                 let row = batch.row(i);
                 let p = partition_of(&key);
                 let (file, rows) = &mut partitions[p];
-                file.write(row.byte_width() as u64, &ctx.tracker);
+                file.write(row.byte_width() as u64, &ctx.tracker)?;
                 rows.push(row);
             } else {
                 *reserved += entry_bytes;
@@ -334,7 +334,7 @@ impl<'a> HashAggOp<'a> {
             // Re-spill the overflow once (charging another disk round trip).
             let mut file = ctx.spill.create_file();
             let bytes: u64 = overflow.iter().map(|r| r.byte_width() as u64).sum();
-            file.write(bytes, &ctx.tracker);
+            file.write(bytes, &ctx.tracker)?;
             file.read_all(&ctx.tracker);
             self.aggregate_partition(overflow, out, ctx, depth + 1)?;
         }

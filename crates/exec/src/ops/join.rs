@@ -77,7 +77,7 @@ impl<'a> HashJoinOp<'a> {
                 match spilled_build.as_mut() {
                     Some(parts) => {
                         let p = partition_of(&key);
-                        parts[p].0.write(row.byte_width() as u64, &ctx.tracker);
+                        parts[p].0.write(row.byte_width() as u64, &ctx.tracker)?;
                         parts[p].1.push(row);
                     }
                     None => {
@@ -107,7 +107,7 @@ impl<'a> HashJoinOp<'a> {
                     if !parts[p].1.is_empty() {
                         probe_files[p]
                             .get_or_insert_with(|| ctx.spill.create_file())
-                            .write(row.byte_width() as u64, &ctx.tracker);
+                            .write(row.byte_width() as u64, &ctx.tracker)?;
                         spilled_probe[p].push(row);
                     }
                 }

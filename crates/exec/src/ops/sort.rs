@@ -80,7 +80,7 @@ impl<'a> SortOp<'a> {
                         current.sort_unstable_by(|a, b| compare_rows(a, b, &self.keys));
                         let mut file = ctx.spill.create_file();
                         let run_bytes: u64 = current.iter().map(|r| r.byte_width() as u64).sum();
-                        file.write(run_bytes, &ctx.tracker);
+                        file.write(run_bytes, &ctx.tracker)?;
                         runs.push((file, std::mem::take(&mut current)));
                         ctx.grant.release(reserved);
                         reserved = 0;

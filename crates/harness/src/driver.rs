@@ -1,0 +1,503 @@
+//! Lockstep differential execution of a [`Plan`] over the three physical
+//! designs, checked statement-by-statement against the [`RefModel`].
+//!
+//! The driver materializes the same logical table under a B+ tree primary,
+//! a clustered columnstore primary, and a hybrid (B+ tree primary plus
+//! secondary columnstore), then replays the plan's schedule on a single OS
+//! thread: each schedule step runs the next statement of one transaction on
+//! all three databases back-to-back. Because every database sees the exact
+//! same sequence of `begin`/`commit` calls, their timestamp streams are
+//! identical — which is what lets the reference model predict every read.
+//!
+//! Faults from the plan are armed with one charge around *each* design's
+//! execution of the step and any unfired charges are cleared afterwards, so
+//! a fault either hits all designs at the same point or none, and never
+//! leaks into a later statement.
+
+use hpd_common::{faults, Expr, HpdError, Value};
+use hpd_engine::{
+    CsiConfig, Database, DbConfig, IndexDescriptor, IsolationLevel, SelectQuery, Statement,
+    TableInput, Txn,
+};
+use hpd_workloads::history::{self, MixedOp, COL_K};
+use std::time::Duration;
+
+use crate::plan::Plan;
+use crate::refmodel::{Expected, RefModel};
+
+/// The logical table every design materializes.
+pub const TABLE: &str = "t";
+
+/// Display names of the three designs, index-aligned with the databases.
+pub const DESIGNS: [&str; 3] = ["btree", "csi", "hybrid"];
+
+/// Counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Statements attempted (per logical statement, not per design).
+    pub ops_attempted: u64,
+    pub txns_committed: u64,
+    /// Deliberate aborts plus aborts forced by statement/commit failures.
+    pub txns_aborted: u64,
+    /// Injection-site firings across all designs (delta of the registry).
+    pub faults_fired: u64,
+}
+
+/// A detected disagreement, with everything needed to report it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Schedule index at which the disagreement surfaced (`usize::MAX` for
+    /// the end-of-run quiescent check).
+    pub step: usize,
+    /// Transaction involved (`usize::MAX` for the quiescent check).
+    pub txn: usize,
+    pub detail: String,
+}
+
+/// Did the run agree everywhere?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    Pass,
+    Divergence(Box<Divergence>),
+}
+
+impl Verdict {
+    pub fn diverged(&self) -> bool {
+        matches!(self, Verdict::Divergence(_))
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    pub verdict: Verdict,
+    pub stats: RunStats,
+    /// FNV-1a digest of every statement result and the final table states;
+    /// equal fingerprints mean bit-identical runs.
+    pub fingerprint: u64,
+}
+
+/// Normalized result of one statement on one design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StmtOut {
+    Rows(Vec<Vec<i64>>),
+    Err(&'static str),
+}
+
+/// Stable error classifier: same variant ⇒ same kind, message ignored
+/// (messages embed keys and may legitimately differ in formatting).
+fn err_kind(e: &HpdError) -> &'static str {
+    match e {
+        HpdError::TypeMismatch { .. } => "TypeMismatch",
+        HpdError::UnknownColumn(_) => "UnknownColumn",
+        HpdError::UnknownTable(_) => "UnknownTable",
+        HpdError::UnknownIndex(_) => "UnknownIndex",
+        HpdError::DuplicateIndex(_) => "DuplicateIndex",
+        HpdError::DuplicateTable(_) => "DuplicateTable",
+        HpdError::Constraint(_) => "Constraint",
+        HpdError::InvalidQuery(_) => "InvalidQuery",
+        HpdError::OutOfMemoryGrant { .. } => "OutOfMemoryGrant",
+        HpdError::LockTimeout(_) => "LockTimeout",
+        HpdError::SerializationFailure(_) => "SerializationFailure",
+        HpdError::FaultInjected(_) => "FaultInjected",
+        HpdError::Internal(_) => "Internal",
+    }
+}
+
+fn normalize_rows(rows: &[hpd_common::Row]) -> Vec<Vec<i64>> {
+    let mut out: Vec<Vec<i64>> = rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(|v| v.as_i64().unwrap_or(i64::MIN))
+                .collect()
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn expected_rows(e: &Expected) -> Vec<Vec<i64>> {
+    match e {
+        Expected::Rows(rows) => {
+            let mut rows = rows.clone();
+            rows.sort_unstable();
+            rows
+        }
+        Expected::Count(n) => vec![vec![*n]],
+    }
+}
+
+/// A small, deterministic database: tiny rowgroups and an aggressive
+/// delete-buffer threshold so harness-sized histories cross tuple-mover and
+/// compaction boundaries, serial plans, and a short lock timeout so the
+/// single-threaded driver resolves genuine lock conflicts quickly instead
+/// of stalling.
+fn harness_db_config() -> DbConfig {
+    DbConfig {
+        csi: CsiConfig {
+            rowgroup_capacity: 32,
+            delete_buffer_compact_threshold: 8,
+            ..CsiConfig::default()
+        },
+        max_dop: 1,
+        lock_timeout: Duration::from_millis(2),
+        ..DbConfig::default()
+    }
+}
+
+fn build_database(design: usize, plan: &Plan) -> Database {
+    let db = Database::new(harness_db_config());
+    let schema = history::history_schema();
+    let primary = match design {
+        1 => IndexDescriptor::PrimaryCsi,
+        _ => IndexDescriptor::PrimaryBTree { keys: vec![COL_K] },
+    };
+    db.create_table(TABLE, schema, vec![COL_K], primary)
+        .expect("create harness table");
+    if design == 2 {
+        db.create_index(
+            TABLE,
+            &IndexDescriptor::SecondaryCsi {
+                columns: vec![0, 1, 2],
+            },
+        )
+        .expect("create secondary CSI");
+    }
+    db.load_table(TABLE, history::initial_rows(plan.seed, &plan.history))
+        .expect("load initial rows");
+    db
+}
+
+/// Full-table scan used by the end-of-run quiescent check.
+fn full_scan() -> Statement {
+    Statement::Select(SelectQuery {
+        tables: vec![TableInput::with_predicate(
+            TABLE,
+            Expr::between(COL_K, Value::Int32(i32::MIN), Value::Int32(i32::MAX)),
+        )],
+        select: vec![
+            hpd_engine::ColRef::new(0, 0),
+            hpd_engine::ColRef::new(0, 1),
+            hpd_engine::ColRef::new(0, 2),
+        ],
+        order_by: vec![(0, true)],
+        ..Default::default()
+    })
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fnv_rows(hash: &mut u64, rows: &[Vec<i64>]) {
+    for row in rows {
+        for v in row {
+            fnv1a(hash, &v.to_le_bytes());
+        }
+        fnv1a(hash, b";");
+    }
+}
+
+fn fnv_out(hash: &mut u64, out: &StmtOut) {
+    match out {
+        StmtOut::Rows(rows) => fnv_rows(hash, rows),
+        StmtOut::Err(k) => fnv1a(hash, k.as_bytes()),
+    }
+}
+
+/// Execute a plan and differentially check it. Deterministic: the same plan
+/// (and the same always-on fault sites) produces the same [`Outcome`],
+/// fingerprint included.
+pub fn run_plan(plan: &Plan) -> Outcome {
+    // A previous run may have left unfired charges behind if it stopped at
+    // a divergence; always-on sites (deliberate-bug knobs) are preserved.
+    faults::reset_charges();
+    let fired_before = faults::fired_total();
+
+    let dbs: Vec<Database> = (0..3).map(|d| build_database(d, plan)).collect();
+    let mut refm = RefModel::new(
+        history::initial_rows(plan.seed, &plan.history)
+            .iter()
+            .map(|r| {
+                let v = r.values();
+                (
+                    v[0].as_i32().unwrap(),
+                    v[1].as_i32().unwrap(),
+                    v[2].as_i32().unwrap(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // handles[txn][design]; declared after `dbs` so borrows drop first.
+    let mut handles: Vec<Vec<Option<Txn<'_>>>> = (0..plan.txns.len())
+        .map(|_| (0..3).map(|_| None).collect())
+        .collect();
+    let mut next_step = vec![0usize; plan.txns.len()];
+    let mut dead = vec![false; plan.txns.len()];
+    let mut stats = RunStats::default();
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut verdict = Verdict::Pass;
+
+    'schedule: for (pos, &t) in plan.schedule.iter().enumerate() {
+        let step = next_step[t];
+        next_step[t] += 1;
+        if dead[t] {
+            // The transaction failed earlier; its remaining occurrences are
+            // skipped on every design equally, keeping timestamps aligned.
+            continue;
+        }
+        let spec = &plan.txns[t];
+
+        if step == 0 {
+            refm.begin(t, spec.isolation);
+            for (d, db) in dbs.iter().enumerate() {
+                handles[t][d] = Some(db.session(spec.isolation).begin());
+            }
+        }
+
+        if step < spec.ops.len() {
+            let op = &spec.ops[step];
+            if matches!(op, MixedOp::Maintenance) {
+                for db in &dbs {
+                    for f in plan.faults_at(pos) {
+                        faults::arm(f.site(), 1);
+                    }
+                    db.force_csi_maintenance(TABLE).expect("maintenance");
+                    faults::reset_charges();
+                }
+                continue;
+            }
+
+            stats.ops_attempted += 1;
+            let expected = refm.execute(t, op);
+            let stmt = op.to_statement(TABLE).expect("non-maintenance op");
+            let mut outs: Vec<StmtOut> = Vec::with_capacity(3);
+            for h in handles[t].iter_mut() {
+                for f in plan.faults_at(pos) {
+                    faults::arm(f.site(), 1);
+                }
+                let r = h.as_mut().expect("open txn").execute(&stmt);
+                faults::reset_charges();
+                outs.push(match r {
+                    Ok(res) => StmtOut::Rows(normalize_rows(&res.rows)),
+                    Err(e) => StmtOut::Err(err_kind(&e)),
+                });
+            }
+            for o in &outs {
+                fnv_out(&mut hash, o);
+            }
+
+            let all_err = outs.iter().all(|o| matches!(o, StmtOut::Err(_)));
+            if outs.iter().any(|o| o != &outs[0]) {
+                verdict = divergence(pos, t, cross_design_report(op, &outs, Some(&expected)));
+                break 'schedule;
+            }
+            if all_err {
+                // Same failure everywhere (lock timeout, SI conflict,
+                // injected fault): a legitimate outcome, not a divergence.
+                // The transaction dies on every design and in the model.
+                abort_txn(&mut handles[t]);
+                refm.discard(t);
+                dead[t] = true;
+                stats.txns_aborted += 1;
+                continue;
+            }
+            let exp = expected_rows(&expected);
+            if outs[0] != StmtOut::Rows(exp.clone()) {
+                verdict = divergence(
+                    pos,
+                    t,
+                    format!(
+                        "designs agree but disagree with the reference model\n  op: {op:?}\n  \
+                         designs: {:?}\n  reference: {exp:?}",
+                        outs[0]
+                    ),
+                );
+                break 'schedule;
+            }
+        } else {
+            // Finale.
+            if spec.commit {
+                // Mirror the engines: a commit attempt burns a timestamp
+                // even when validation or an injected fault rejects it.
+                let commit_ts = refm.commit_ts();
+                let mut results: Vec<Result<(), &'static str>> = Vec::with_capacity(3);
+                for h in handles[t].iter_mut() {
+                    for f in plan.faults_at(pos) {
+                        faults::arm(f.site(), 1);
+                    }
+                    let r = h.take().expect("open txn").commit();
+                    faults::reset_charges();
+                    results.push(r.map(|_| ()).map_err(|e| err_kind(&e)));
+                }
+                for r in &results {
+                    fnv1a(&mut hash, r.err().unwrap_or("ok").as_bytes());
+                }
+                if results.iter().any(|r| r != &results[0]) {
+                    verdict = divergence(
+                        pos,
+                        t,
+                        format!("commit outcomes differ across designs: {results:?}"),
+                    );
+                    break 'schedule;
+                }
+                if results[0].is_ok() {
+                    refm.apply_commit(t, commit_ts);
+                    stats.txns_committed += 1;
+                } else {
+                    refm.discard(t);
+                    stats.txns_aborted += 1;
+                }
+            } else {
+                abort_txn(&mut handles[t]);
+                refm.discard(t);
+                stats.txns_aborted += 1;
+            }
+        }
+    }
+
+    // Quiescent check: with every transaction finished, the committed table
+    // state must be byte-identical across designs and equal to the model.
+    if !verdict.diverged() {
+        let stmt = full_scan();
+        let finals: Vec<Vec<Vec<i64>>> = dbs
+            .iter()
+            .map(|db| {
+                let r = db
+                    .session(IsolationLevel::ReadCommitted)
+                    .run(&stmt)
+                    .expect("quiescent scan");
+                normalize_rows(&r.rows)
+            })
+            .collect();
+        let expected = refm.committed_rows();
+        for (d, rows) in finals.iter().enumerate() {
+            fnv_rows(&mut hash, rows);
+            if verdict.diverged() {
+                continue;
+            }
+            if rows != &expected {
+                verdict = divergence(
+                    usize::MAX,
+                    usize::MAX,
+                    format!(
+                        "final state of design `{}` differs from the reference model\n  \
+                         design has {} rows, reference {}\n  design:    {:?}\n  reference: {:?}",
+                        DESIGNS[d],
+                        rows.len(),
+                        expected.len(),
+                        diff_sample(rows, &expected),
+                        diff_sample(&expected, rows),
+                    ),
+                );
+            }
+        }
+    }
+
+    stats.faults_fired = faults::fired_total() - fired_before;
+    publish(&stats, verdict.diverged());
+
+    Outcome {
+        verdict,
+        stats,
+        fingerprint: hash,
+    }
+}
+
+fn divergence(step: usize, txn: usize, detail: String) -> Verdict {
+    Verdict::Divergence(Box::new(Divergence { step, txn, detail }))
+}
+
+fn abort_txn(handles: &mut [Option<Txn<'_>>]) {
+    for h in handles.iter_mut() {
+        if let Some(txn) = h.take() {
+            txn.abort();
+        }
+    }
+}
+
+/// Rows present in `a` but not `b` (first few), to keep reports readable.
+fn diff_sample(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    a.iter()
+        .filter(|r| !b.contains(r))
+        .take(8)
+        .cloned()
+        .collect()
+}
+
+fn cross_design_report(op: &MixedOp, outs: &[StmtOut], expected: Option<&Expected>) -> String {
+    use std::fmt::Write;
+    let mut s = format!("designs disagree on statement result\n  op: {op:?}\n");
+    for (d, o) in outs.iter().enumerate() {
+        let _ = writeln!(s, "  {:>6}: {o:?}", DESIGNS[d]);
+    }
+    if let Some(e) = expected {
+        let _ = writeln!(s, "  reference: {:?}", expected_rows(e));
+    }
+    s
+}
+
+/// Surface run counters through the engine-wide observability registry.
+fn publish(stats: &RunStats, diverged: bool) {
+    let reg = hpd_obs::global();
+    reg.counter("harness.runs").inc();
+    reg.counter("harness.ops.attempted")
+        .add(stats.ops_attempted);
+    reg.counter("harness.txns.committed")
+        .add(stats.txns_committed);
+    reg.counter("harness.txns.aborted").add(stats.txns_aborted);
+    reg.counter("harness.faults.fired").add(stats.faults_fired);
+    if diverged {
+        reg.counter("harness.divergences").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanConfig;
+
+    #[test]
+    fn small_plan_runs_clean() {
+        let cfg = PlanConfig {
+            history: hpd_workloads::HistoryConfig {
+                txns: 4,
+                max_ops: 4,
+                initial_rows: 24,
+                ..Default::default()
+            },
+            concurrency: 2,
+            fault_rate: 0.0,
+        };
+        let plan = Plan::generate(42, &cfg);
+        let out = run_plan(&plan);
+        assert_eq!(out.verdict, Verdict::Pass, "{:?}", out.verdict);
+        assert!(out.stats.ops_attempted > 0);
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let cfg = PlanConfig {
+            history: hpd_workloads::HistoryConfig {
+                txns: 6,
+                max_ops: 4,
+                initial_rows: 32,
+                ..Default::default()
+            },
+            concurrency: 3,
+            fault_rate: 0.1,
+        };
+        let plan = Plan::generate(7, &cfg);
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.stats, b.stats);
+    }
+}

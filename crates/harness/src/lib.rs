@@ -1,0 +1,27 @@
+//! Deterministic concurrent differential-testing harness.
+//!
+//! One seed determines an entire run: a mixed OLTP/OLAP transaction history
+//! (`hpd-workloads::history`), an explicit interleaving schedule, and a set
+//! of fault placements ([`plan`]). The [`driver`] replays that schedule on
+//! a single OS thread against the same logical table under all three
+//! physical designs the paper compares — B+ tree only, columnstore only,
+//! and hybrid — checking after every statement that the designs agree with
+//! each other and with a single-threaded reference model ([`refmodel`])
+//! replayed in commit-timestamp order. Faults (lock timeouts, commit
+//! failures, forced tuple moves, spill-write failures, buffer-pool
+//! evictions) are armed from the plan through `hpd_common::faults`
+//! injection sites threaded through the engine, columnstore, and storage
+//! layers. On divergence, [`shrink`] reduces the history to a minimal
+//! replayable repro.
+//!
+//! Replay any reported run with `HARNESS_SEED=<n> cargo run -p hpd-harness`.
+
+pub mod driver;
+pub mod plan;
+pub mod refmodel;
+pub mod shrink;
+
+pub use driver::{run_plan, Divergence, Outcome, RunStats, Verdict};
+pub use plan::{FaultSpec, Plan, PlanConfig};
+pub use refmodel::{Expected, RefModel};
+pub use shrink::{diverges, shrink};

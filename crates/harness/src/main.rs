@@ -1,0 +1,142 @@
+//! Command-line driver: run seeded differential histories and report.
+//!
+//! ```text
+//! hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] [--rows N]
+//!             [--concurrency N] [--fault-rate F] [--no-shrink] [--quiet]
+//! HARNESS_SEED=<n> hpd-harness          # replay exactly one seed
+//! ```
+//!
+//! Exits non-zero on the first divergence, after printing the shrunk
+//! minimal repro and the replay instruction.
+
+use std::ops::Range;
+use std::process::ExitCode;
+
+use hpd_harness::{run_plan, shrink, Plan, PlanConfig, Verdict};
+
+struct Args {
+    seeds: Range<u64>,
+    cfg: PlanConfig,
+    do_shrink: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 0..16,
+        cfg: PlanConfig::default(),
+        do_shrink: true,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match a.as_str() {
+            "--seeds" => {
+                let v = val("--seeds")?;
+                let (lo, hi) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds expects LO..HI, got {v}"))?;
+                args.seeds = lo.parse().map_err(|e| format!("bad LO: {e}"))?
+                    ..hi.parse().map_err(|e| format!("bad HI: {e}"))?;
+            }
+            "--txns" => {
+                args.cfg.history.txns = val("--txns")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--max-ops" => {
+                args.cfg.history.max_ops = val("--max-ops")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--rows" => {
+                args.cfg.history.initial_rows =
+                    val("--rows")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--concurrency" => {
+                args.cfg.concurrency = val("--concurrency")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--fault-rate" => {
+                args.cfg.fault_rate = val("--fault-rate")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--no-shrink" => args.do_shrink = false,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] \
+                            [--rows N] [--concurrency N] [--fault-rate F] [--no-shrink] [--quiet]\n\
+                            env: HARNESS_SEED=<n> replays exactly one seed"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if let Ok(s) = std::env::var("HARNESS_SEED") {
+        let n: u64 = s
+            .parse()
+            .map_err(|e| format!("bad HARNESS_SEED {s:?}: {e}"))?;
+        args.seeds = n..n + 1;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut totals = hpd_harness::RunStats::default();
+    for seed in args.seeds.clone() {
+        let plan = Plan::generate(seed, &args.cfg);
+        let out = run_plan(&plan);
+        totals.ops_attempted += out.stats.ops_attempted;
+        totals.txns_committed += out.stats.txns_committed;
+        totals.txns_aborted += out.stats.txns_aborted;
+        totals.faults_fired += out.stats.faults_fired;
+        match out.verdict {
+            Verdict::Pass => {
+                if !args.quiet {
+                    println!(
+                        "seed {seed:>6}: ok  ops={} committed={} aborted={} faults={} fp={:016x}",
+                        out.stats.ops_attempted,
+                        out.stats.txns_committed,
+                        out.stats.txns_aborted,
+                        out.stats.faults_fired,
+                        out.fingerprint
+                    );
+                }
+            }
+            Verdict::Divergence(d) => {
+                eprintln!("seed {seed}: DIVERGENCE at step {} (txn {})", d.step, d.txn);
+                eprintln!("{}", d.detail);
+                eprintln!("--- full plan ---\n{}", plan.render());
+                if args.do_shrink {
+                    eprintln!("shrinking...");
+                    let min = shrink(&plan);
+                    eprintln!(
+                        "--- minimal repro ({} ops, {} txns, {} faults) ---\n{}",
+                        min.op_count(),
+                        min.txns.len(),
+                        min.faults.len(),
+                        min.render()
+                    );
+                }
+                eprintln!("replay: HARNESS_SEED={seed} cargo run -p hpd-harness");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "all {} seed(s) agree: ops={} committed={} aborted={} faults fired={}",
+        args.seeds.end - args.seeds.start,
+        totals.ops_attempted,
+        totals.txns_committed,
+        totals.txns_aborted,
+        totals.faults_fired
+    );
+    println!("obs: {}", hpd_obs::global().snapshot().to_json());
+    ExitCode::SUCCESS
+}

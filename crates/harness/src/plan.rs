@@ -1,0 +1,229 @@
+//! Executable plans: a transaction history plus an explicit interleaving
+//! schedule and fault placements, all deterministic in one seed.
+//!
+//! The schedule is a flat list of transaction indices. The j-th occurrence
+//! of index `i` executes transaction `i`'s j-th *step*: its statements in
+//! order, then its finale (commit or abort). Making the interleaving an
+//! explicit value — rather than OS thread timing — is what lets a run
+//! replay bit-identically from `HARNESS_SEED` and lets the shrinker edit
+//! the interleaving like any other input.
+
+use hpd_common::faults;
+use hpd_workloads::history::{self, HistoryConfig, TxnSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fault palette: one variant per injection site the harness arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    LockTimeout,
+    CommitFail,
+    SpillWriteFail,
+    BufferPoolEvict,
+    TupleMoveForce,
+    TupleMoveDefer,
+    DeleteBufferCompact,
+    DeltaDrainPartial,
+}
+
+impl FaultSpec {
+    pub const ALL: [FaultSpec; 8] = [
+        FaultSpec::LockTimeout,
+        FaultSpec::CommitFail,
+        FaultSpec::SpillWriteFail,
+        FaultSpec::BufferPoolEvict,
+        FaultSpec::TupleMoveForce,
+        FaultSpec::TupleMoveDefer,
+        FaultSpec::DeleteBufferCompact,
+        FaultSpec::DeltaDrainPartial,
+    ];
+
+    pub fn site(self) -> &'static str {
+        match self {
+            FaultSpec::LockTimeout => faults::sites::LOCK_TIMEOUT,
+            FaultSpec::CommitFail => faults::sites::COMMIT_FAIL,
+            FaultSpec::SpillWriteFail => faults::sites::SPILL_WRITE_FAIL,
+            FaultSpec::BufferPoolEvict => faults::sites::BUFFERPOOL_EVICT,
+            FaultSpec::TupleMoveForce => faults::sites::TUPLE_MOVE_FORCE,
+            FaultSpec::TupleMoveDefer => faults::sites::TUPLE_MOVE_DEFER,
+            FaultSpec::DeleteBufferCompact => faults::sites::DELETE_BUFFER_COMPACT,
+            FaultSpec::DeltaDrainPartial => faults::sites::DELTA_DRAIN_PARTIAL,
+        }
+    }
+}
+
+/// Harness-level generation knobs on top of [`HistoryConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    pub history: HistoryConfig,
+    /// Maximum transactions interleaved at once (window of open lanes).
+    pub concurrency: usize,
+    /// Probability that a schedule step gets a fault armed on it.
+    pub fault_rate: f64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> PlanConfig {
+        PlanConfig {
+            history: HistoryConfig::default(),
+            concurrency: 3,
+            fault_rate: 0.08,
+        }
+    }
+}
+
+/// A fully determined run: history + schedule + fault placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub seed: u64,
+    pub history: HistoryConfig,
+    pub txns: Vec<TxnSpec>,
+    /// Flat interleaving; the j-th occurrence of txn `i` is its j-th step.
+    pub schedule: Vec<usize>,
+    /// `(schedule index, fault)` pairs; the fault is armed with one charge
+    /// around every design's execution of that step.
+    pub faults: Vec<(usize, FaultSpec)>,
+}
+
+impl Plan {
+    /// Generate a plan. Everything — history, interleaving, fault spots —
+    /// derives from `seed`, so the same seed is the same run.
+    pub fn generate(seed: u64, cfg: &PlanConfig) -> Plan {
+        let txns = history::generate(seed, &cfg.history);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5C4E_D01E);
+
+        // Weave: keep up to `concurrency` transactions open; each tick
+        // advances a uniformly chosen open lane by one step.
+        let mut remaining: Vec<usize> = txns.iter().map(|t| t.ops.len() + 1).collect();
+        let total: usize = remaining.iter().sum();
+        let mut open: Vec<usize> = Vec::new();
+        let mut next_admit = 0usize;
+        let mut schedule = Vec::with_capacity(total);
+        while schedule.len() < total {
+            while open.len() < cfg.concurrency.max(1) && next_admit < txns.len() {
+                open.push(next_admit);
+                next_admit += 1;
+            }
+            let lane = rng.gen_range(0..open.len());
+            let t = open[lane];
+            schedule.push(t);
+            remaining[t] -= 1;
+            if remaining[t] == 0 {
+                open.swap_remove(lane);
+            }
+        }
+
+        let mut plan_faults = Vec::new();
+        for step in 0..schedule.len() {
+            if rng.gen_bool(cfg.fault_rate) {
+                let f = FaultSpec::ALL[rng.gen_range(0..FaultSpec::ALL.len())];
+                plan_faults.push((step, f));
+            }
+        }
+
+        Plan {
+            seed,
+            history: cfg.history,
+            txns,
+            schedule,
+            faults: plan_faults,
+        }
+    }
+
+    /// Total statements across all transactions (the "op count" quoted when
+    /// a shrunk repro is reported).
+    pub fn op_count(&self) -> usize {
+        self.txns.iter().map(|t| t.ops.len()).sum()
+    }
+
+    /// Faults armed for one schedule step.
+    pub fn faults_at(&self, step: usize) -> impl Iterator<Item = FaultSpec> + '_ {
+        self.faults
+            .iter()
+            .filter(move |&&(s, _)| s == step)
+            .map(|&(_, f)| f)
+    }
+
+    /// Internal consistency: occurrence counts match step counts and fault
+    /// indices are in range. Shrink candidates must stay valid.
+    pub fn is_valid(&self) -> bool {
+        let mut counts = vec![0usize; self.txns.len()];
+        for &t in &self.schedule {
+            if t >= self.txns.len() {
+                return false;
+            }
+            counts[t] += 1;
+        }
+        counts
+            .iter()
+            .zip(&self.txns)
+            .all(|(&c, t)| c == t.ops.len() + 1)
+            && self.faults.iter().all(|&(s, _)| s < self.schedule.len())
+    }
+
+    /// Human-readable replayable form, printed with divergence reports.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan seed={} txns={} steps={} (replay: HARNESS_SEED={})",
+            self.seed,
+            self.txns.len(),
+            self.schedule.len(),
+            self.seed
+        );
+        for (i, t) in self.txns.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  T{i} {:?} {}:",
+                t.isolation,
+                if t.commit { "commit" } else { "abort" }
+            );
+            for (j, op) in t.ops.iter().enumerate() {
+                let _ = writeln!(out, "    op{j}: {op:?}");
+            }
+        }
+        let _ = writeln!(out, "  schedule: {:?}", self.schedule);
+        if !self.faults.is_empty() {
+            let _ = writeln!(out, "  faults: {:?}", self.faults);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_plans_are_valid_and_deterministic() {
+        let cfg = PlanConfig::default();
+        for seed in 0..20 {
+            let p = Plan::generate(seed, &cfg);
+            assert!(p.is_valid(), "seed {seed} generated an invalid plan");
+            assert_eq!(p, Plan::generate(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn concurrency_window_bounds_interleaving() {
+        let cfg = PlanConfig {
+            concurrency: 1,
+            ..Default::default()
+        };
+        let p = Plan::generate(11, &cfg);
+        // With one lane the schedule is strictly sequential: all of T0's
+        // steps, then all of T1's, ... — i.e. non-decreasing txn indices.
+        assert!(p.schedule.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fault_lookup_by_step() {
+        let mut p = Plan::generate(1, &PlanConfig::default());
+        p.faults = vec![(2, FaultSpec::LockTimeout), (2, FaultSpec::CommitFail)];
+        let at2: Vec<_> = p.faults_at(2).collect();
+        assert_eq!(at2.len(), 2);
+        assert_eq!(p.faults_at(3).count(), 0);
+    }
+}

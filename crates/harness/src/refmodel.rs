@@ -1,0 +1,366 @@
+//! The single-threaded reference model (oracle).
+//!
+//! A versioned `BTreeMap` over the history table's rows, replayed in the
+//! exact timestamp order the engines allocate: `begin` and `commit` each
+//! draw one timestamp from a shared counter, mirroring
+//! `TxnManager::{begin, commit_ts}`. Because the harness issues the same
+//! begin/commit calls to all three designs in the same order, all four
+//! timestamp streams (three engines + model) are identical, and the model
+//! can predict every read exactly:
+//!
+//! * Read Committed / Serializable statements see the latest committed
+//!   version of each row (the engines apply writes only at commit, so even
+//!   a transaction's own writes stay invisible until then — the model
+//!   deliberately has no read-your-own-writes either);
+//! * Snapshot statements see each row's latest version with
+//!   `commit_ts <= start_ts`.
+//!
+//! Writes buffer per transaction and replay at commit in statement order,
+//! mirroring the engine's buffered `WriteOp` apply loop, including its
+//! quirks: an update whose target was deleted earlier in the same
+//! transaction silently no-ops, and `UPDATE SET b = b + d` re-evaluates
+//! over the row as of commit time (safe — the statement's X row locks keep
+//! the row frozen from statement to commit).
+
+use std::collections::{BTreeMap, HashMap};
+
+use hpd_engine::IsolationLevel;
+use hpd_workloads::history::MixedOp;
+
+/// Row payload: `(a, b)`; the map key is `k`.
+type Payload = (i32, i32);
+
+/// What the model expects a statement to produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expected {
+    /// Normalized result rows (each cell widened to `i64`), sorted.
+    Rows(Vec<Vec<i64>>),
+    /// Affected-row count, as write statements report.
+    Count(i64),
+}
+
+#[derive(Debug, Clone)]
+enum RefWrite {
+    Insert { k: i32, a: i32, b: i32 },
+    Delete { k: i32 },
+    AddB { k: i32, delta: i32 },
+}
+
+#[derive(Debug)]
+struct RefTxn {
+    start_ts: u64,
+    isolation: IsolationLevel,
+    writes: Vec<RefWrite>,
+}
+
+/// The oracle. One instance per run.
+pub struct RefModel {
+    next_ts: u64,
+    /// `k` → versions `(commit_ts, Some((a, b)) | None-for-deleted)`, in
+    /// ascending timestamp order.
+    versions: BTreeMap<i32, Vec<(u64, Option<Payload>)>>,
+    open: HashMap<usize, RefTxn>,
+}
+
+impl RefModel {
+    /// Model preloaded with the initial rows (they exist "at timestamp 0").
+    pub fn new(initial: impl IntoIterator<Item = (i32, i32, i32)>) -> RefModel {
+        let mut versions = BTreeMap::new();
+        for (k, a, b) in initial {
+            versions.insert(k, vec![(0, Some((a, b)))]);
+        }
+        RefModel {
+            next_ts: 1, // TxnManager's counter starts at 1
+            versions,
+            open: HashMap::new(),
+        }
+    }
+
+    /// Mirror `TxnManager::begin`: draw a start timestamp.
+    pub fn begin(&mut self, txn: usize, isolation: IsolationLevel) -> u64 {
+        let start_ts = self.next_ts;
+        self.next_ts += 1;
+        self.open.insert(
+            txn,
+            RefTxn {
+                start_ts,
+                isolation,
+                writes: Vec::new(),
+            },
+        );
+        start_ts
+    }
+
+    /// Latest version of `k` visible at `ts`.
+    fn version_at(&self, k: i32, ts: u64) -> Option<Payload> {
+        self.versions
+            .get(&k)?
+            .iter()
+            .rev()
+            .find(|&&(vts, _)| vts <= ts)
+            .and_then(|&(_, p)| p)
+    }
+
+    /// The full table state visible at `ts`, keyed by `k`.
+    fn state_at(&self, ts: u64) -> BTreeMap<i32, Payload> {
+        self.versions
+            .keys()
+            .filter_map(|&k| self.version_at(k, ts).map(|p| (k, p)))
+            .collect()
+    }
+
+    fn read_ts(&self, txn: usize) -> u64 {
+        let t = &self.open[&txn];
+        match t.isolation {
+            IsolationLevel::Snapshot => t.start_ts,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Predict the statement's result and buffer its write effects.
+    /// [`MixedOp::Maintenance`] is not a statement; callers skip it.
+    pub fn execute(&mut self, txn: usize, op: &MixedOp) -> Expected {
+        let view = self.state_at(self.read_ts(txn));
+        let in_range = |lo: i32, hi: i32| {
+            view.range(lo..=hi.max(lo))
+                .map(|(&k, &p)| (k, p))
+                .collect::<Vec<_>>()
+        };
+        match *op {
+            MixedOp::PointUpdate { key, delta } => {
+                let hit = view.contains_key(&key);
+                if hit {
+                    self.buffer(txn, RefWrite::AddB { k: key, delta });
+                }
+                Expected::Count(hit as i64)
+            }
+            MixedOp::RangeUpdate { lo, hi, delta } => {
+                let targets = in_range(lo, hi);
+                for &(k, _) in &targets {
+                    self.buffer(txn, RefWrite::AddB { k, delta });
+                }
+                Expected::Count(targets.len() as i64)
+            }
+            MixedOp::PointDelete { key } => {
+                let hit = view.contains_key(&key);
+                if hit {
+                    self.buffer(txn, RefWrite::Delete { k: key });
+                }
+                Expected::Count(hit as i64)
+            }
+            MixedOp::RangeDelete { lo, hi } => {
+                let targets = in_range(lo, hi);
+                for &(k, _) in &targets {
+                    self.buffer(txn, RefWrite::Delete { k });
+                }
+                Expected::Count(targets.len() as i64)
+            }
+            MixedOp::Insert { key, a, b } => {
+                // The engine buffers the insert without an existence check
+                // and reports the row count it was handed.
+                self.buffer(txn, RefWrite::Insert { k: key, a, b });
+                Expected::Count(1)
+            }
+            MixedOp::RangeScan { lo, hi, limit } => {
+                let mut rows: Vec<Vec<i64>> = in_range(lo, hi)
+                    .into_iter()
+                    .map(|(k, (a, b))| vec![i64::from(k), i64::from(a), i64::from(b)])
+                    .collect();
+                if let Some(n) = limit {
+                    rows.truncate(n);
+                }
+                Expected::Rows(rows)
+            }
+            MixedOp::Agg { lo, hi } => {
+                let bs: Vec<i64> = view
+                    .values()
+                    .filter(|&&(a, _)| a >= lo && a <= hi.max(lo))
+                    .map(|&(_, b)| i64::from(b))
+                    .collect();
+                // Empty global aggregates yield zero values: the engine has
+                // no NULLs (see AggState::finish).
+                Expected::Rows(vec![vec![
+                    bs.len() as i64,
+                    bs.iter().sum(),
+                    bs.iter().min().copied().unwrap_or(0),
+                    bs.iter().max().copied().unwrap_or(0),
+                ]])
+            }
+            MixedOp::GroupAgg { lo, hi } => {
+                let mut groups: BTreeMap<i32, (i64, i64)> = BTreeMap::new();
+                for (_, (a, b)) in in_range(lo, hi) {
+                    let g = groups.entry(a).or_insert((0, 0));
+                    g.0 += 1;
+                    g.1 += i64::from(b);
+                }
+                Expected::Rows(
+                    groups
+                        .into_iter()
+                        .map(|(a, (c, s))| vec![i64::from(a), c, s])
+                        .collect(),
+                )
+            }
+            MixedOp::Maintenance => Expected::Count(0),
+        }
+    }
+
+    fn buffer(&mut self, txn: usize, w: RefWrite) {
+        self.open
+            .get_mut(&txn)
+            .expect("write in an open transaction")
+            .writes
+            .push(w);
+    }
+
+    /// Mirror the timestamp draw at the top of `Txn::commit` — it happens
+    /// before validation, so even a commit that subsequently fails burns a
+    /// timestamp. Call exactly once per commit attempt.
+    pub fn commit_ts(&mut self) -> u64 {
+        let ts = self.next_ts;
+        self.next_ts += 1;
+        ts
+    }
+
+    /// Apply the transaction's buffered writes at `commit_ts` (from
+    /// [`RefModel::commit_ts`]), in statement order over the current state.
+    pub fn apply_commit(&mut self, txn: usize, commit_ts: u64) {
+        let t = self.open.remove(&txn).expect("commit of an open txn");
+        for w in t.writes {
+            match w {
+                RefWrite::Insert { k, a, b } => {
+                    self.push_version(k, commit_ts, Some((a, b)));
+                }
+                RefWrite::Delete { k } => {
+                    if self.version_at(k, u64::MAX).is_some() {
+                        self.push_version(k, commit_ts, None);
+                    }
+                }
+                RefWrite::AddB { k, delta } => {
+                    if let Some((a, b)) = self.version_at(k, u64::MAX) {
+                        self.push_version(k, commit_ts, Some((a, b + delta)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Discard an aborted (or failed-to-commit) transaction.
+    pub fn discard(&mut self, txn: usize) {
+        self.open.remove(&txn);
+    }
+
+    fn push_version(&mut self, k: i32, ts: u64, p: Option<Payload>) {
+        self.versions.entry(k).or_default().push((ts, p));
+    }
+
+    /// Committed state now, as normalized sorted rows — the end-of-run
+    /// ground truth.
+    pub fn committed_rows(&self) -> Vec<Vec<i64>> {
+        self.state_at(u64::MAX)
+            .into_iter()
+            .map(|(k, (a, b))| vec![i64::from(k), i64::from(a), i64::from(b)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RefModel {
+        RefModel::new([(1, 0, 10), (2, 1, 20), (3, 0, 30)])
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let mut m = model();
+        m.begin(0, IsolationLevel::Snapshot); // ts 1
+        m.begin(1, IsolationLevel::ReadCommitted); // ts 2
+        m.execute(1, &MixedOp::PointUpdate { key: 1, delta: 5 });
+        let ts = m.commit_ts(); // ts 3
+        m.apply_commit(1, ts);
+
+        // RC sees the new value, the snapshot does not.
+        m.begin(2, IsolationLevel::ReadCommitted);
+        let rc = m.execute(
+            2,
+            &MixedOp::RangeScan {
+                lo: 1,
+                hi: 1,
+                limit: None,
+            },
+        );
+        assert_eq!(rc, Expected::Rows(vec![vec![1, 0, 15]]));
+        let si = m.execute(
+            0,
+            &MixedOp::RangeScan {
+                lo: 1,
+                hi: 1,
+                limit: None,
+            },
+        );
+        assert_eq!(si, Expected::Rows(vec![vec![1, 0, 10]]));
+    }
+
+    #[test]
+    fn no_read_your_own_writes() {
+        let mut m = model();
+        m.begin(0, IsolationLevel::ReadCommitted);
+        m.execute(0, &MixedOp::PointDelete { key: 2 });
+        let r = m.execute(
+            0,
+            &MixedOp::RangeScan {
+                lo: 2,
+                hi: 2,
+                limit: None,
+            },
+        );
+        // The buffered delete is not visible to the transaction itself.
+        assert_eq!(r, Expected::Rows(vec![vec![2, 1, 20]]));
+    }
+
+    #[test]
+    fn delete_then_update_in_one_txn_noops_the_update() {
+        let mut m = model();
+        m.begin(0, IsolationLevel::ReadCommitted);
+        assert_eq!(
+            m.execute(0, &MixedOp::PointDelete { key: 3 }),
+            Expected::Count(1)
+        );
+        // Statement still sees the committed row (no read-your-writes) and
+        // matches it...
+        assert_eq!(
+            m.execute(0, &MixedOp::PointUpdate { key: 3, delta: 1 }),
+            Expected::Count(1)
+        );
+        let ts = m.commit_ts();
+        m.apply_commit(0, ts);
+        // ...but at commit the delete lands first, so the update no-ops.
+        assert_eq!(m.committed_rows(), vec![vec![1, 0, 10], vec![2, 1, 20]],);
+    }
+
+    #[test]
+    fn failed_commit_burns_a_timestamp() {
+        let mut m = model();
+        m.begin(0, IsolationLevel::Snapshot); // ts 1
+        let t1 = m.commit_ts(); // ts 2 — commit attempt that will "fail"
+        m.discard(0);
+        m.begin(1, IsolationLevel::ReadCommitted);
+        assert_eq!(m.open[&1].start_ts, t1 + 1);
+    }
+
+    #[test]
+    fn aggregates_mirror_no_null_semantics() {
+        let mut m = model();
+        m.begin(0, IsolationLevel::ReadCommitted);
+        // No row has a in [5, 5]: count 0 and zero (not NULL) extremes.
+        assert_eq!(
+            m.execute(0, &MixedOp::Agg { lo: 5, hi: 5 }),
+            Expected::Rows(vec![vec![0, 0, 0, 0]])
+        );
+        assert_eq!(
+            m.execute(0, &MixedOp::Agg { lo: 0, hi: 0 }),
+            Expected::Rows(vec![vec![2, 40, 10, 30]])
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! History shrinking: reduce a diverging [`Plan`] to a minimal replayable
+//! repro, delta-debugging style.
+//!
+//! Candidates, tried greedily from most to least aggressive until a fixed
+//! point: drop a whole transaction (with its schedule occurrences), drop a
+//! single statement, drop a fault placement, and finally simplify statement
+//! values via [`MixedOp::shrunk`]. A candidate is kept only if it still
+//! diverges; every candidate is validity-checked before running, so the
+//! shrinker can never hand back an inconsistent plan.
+//!
+//! The vendored `proptest` shim deliberately has no shrinking support —
+//! plans carry an explicit interleaving schedule that a generic value
+//! shrinker could not keep consistent, so the harness owns this logic.
+
+use hpd_workloads::history::MixedOp;
+
+use crate::driver::run_plan;
+use crate::plan::Plan;
+
+/// Does this plan still reproduce a divergence?
+pub fn diverges(plan: &Plan) -> bool {
+    run_plan(plan).verdict.diverged()
+}
+
+/// Remove schedule positions for which `keep` is false, remapping fault
+/// step indices and dropping faults whose position vanished.
+fn prune_schedule(plan: &mut Plan, keep: &[bool]) {
+    let mut remap = vec![usize::MAX; plan.schedule.len()];
+    let mut next = 0usize;
+    for (i, &k) in keep.iter().enumerate() {
+        if k {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    plan.faults = plan
+        .faults
+        .iter()
+        .filter(|&&(s, _)| remap[s] != usize::MAX)
+        .map(|&(s, f)| (remap[s], f))
+        .collect();
+    let mut i = 0;
+    plan.schedule.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+}
+
+/// Plan with transaction `t` removed entirely.
+fn drop_txn(plan: &Plan, t: usize) -> Plan {
+    let mut p = plan.clone();
+    let keep: Vec<bool> = p.schedule.iter().map(|&s| s != t).collect();
+    prune_schedule(&mut p, &keep);
+    p.txns.remove(t);
+    for s in &mut p.schedule {
+        if *s > t {
+            *s -= 1;
+        }
+    }
+    p
+}
+
+/// Plan with statement `op` of transaction `t` removed (its schedule
+/// occurrence — the `op`-th of `t` — goes with it).
+fn drop_op(plan: &Plan, t: usize, op: usize) -> Plan {
+    let mut p = plan.clone();
+    let mut seen = 0usize;
+    let keep: Vec<bool> = p
+        .schedule
+        .iter()
+        .map(|&s| {
+            if s == t {
+                let here = seen;
+                seen += 1;
+                here != op
+            } else {
+                true
+            }
+        })
+        .collect();
+    prune_schedule(&mut p, &keep);
+    p.txns[t].ops.remove(op);
+    p
+}
+
+fn drop_fault(plan: &Plan, idx: usize) -> Plan {
+    let mut p = plan.clone();
+    p.faults.remove(idx);
+    p
+}
+
+fn replace_op(plan: &Plan, t: usize, op: usize, with: MixedOp) -> Plan {
+    let mut p = plan.clone();
+    p.txns[t].ops[op] = with;
+    p
+}
+
+/// Shrink `plan` to a (locally) minimal plan that still diverges. The input
+/// must itself diverge. Deterministic, like everything else in the harness.
+pub fn shrink(plan: &Plan) -> Plan {
+    let mut cur = plan.clone();
+    debug_assert!(cur.is_valid());
+    loop {
+        let mut improved = false;
+
+        // Whole transactions, largest first (biggest single reduction).
+        let mut order: Vec<usize> = (0..cur.txns.len()).collect();
+        order.sort_by_key(|&t| std::cmp::Reverse(cur.txns[t].ops.len()));
+        for t in order {
+            if cur.txns.len() <= 1 {
+                break;
+            }
+            let cand = drop_txn(&cur, t);
+            if cand.is_valid() && diverges(&cand) {
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Single statements.
+        'ops: for t in 0..cur.txns.len() {
+            for op in (0..cur.txns[t].ops.len()).rev() {
+                let cand = drop_op(&cur, t, op);
+                if cand.is_valid() && diverges(&cand) {
+                    cur = cand;
+                    improved = true;
+                    break 'ops;
+                }
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Fault placements.
+        for i in (0..cur.faults.len()).rev() {
+            let cand = drop_fault(&cur, i);
+            if diverges(&cand) {
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Value-level simplification of the surviving statements.
+        'vals: for t in 0..cur.txns.len() {
+            for op in 0..cur.txns[t].ops.len() {
+                for simpler in cur.txns[t].ops[op].shrunk() {
+                    let cand = replace_op(&cur, t, op, simpler);
+                    if diverges(&cand) {
+                        cur = cand;
+                        improved = true;
+                        break 'vals;
+                    }
+                }
+            }
+        }
+
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultSpec, PlanConfig};
+
+    #[test]
+    fn drop_txn_keeps_plans_valid() {
+        let plan = Plan::generate(5, &PlanConfig::default());
+        for t in 0..plan.txns.len() {
+            assert!(drop_txn(&plan, t).is_valid(), "dropping txn {t}");
+        }
+    }
+
+    #[test]
+    fn drop_op_keeps_plans_valid() {
+        let plan = Plan::generate(9, &PlanConfig::default());
+        for t in 0..plan.txns.len() {
+            for op in 0..plan.txns[t].ops.len() {
+                assert!(drop_op(&plan, t, op).is_valid(), "dropping T{t}.op{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn prune_remaps_fault_steps() {
+        let mut plan = Plan::generate(2, &PlanConfig::default());
+        plan.faults = vec![(0, FaultSpec::LockTimeout), (3, FaultSpec::CommitFail)];
+        let mut keep = vec![true; plan.schedule.len()];
+        keep[1] = false; // dropping position 1 shifts step 3 to step 2
+        let before = plan.schedule.len();
+        prune_schedule(&mut plan, &keep);
+        assert_eq!(plan.schedule.len(), before - 1);
+        assert_eq!(
+            plan.faults,
+            vec![(0, FaultSpec::LockTimeout), (2, FaultSpec::CommitFail)]
+        );
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use hpd_common::faults;
 use hpd_obs::Counter;
 use parking_lot::Mutex;
 
@@ -119,9 +120,20 @@ impl BufferPool {
         self.capacity_bytes
     }
 
+    /// Honour the forced-eviction injection site: when armed, the next read
+    /// access finds a cold pool. Results are unaffected — only simulated I/O
+    /// cost changes — which lets the harness assert that eviction pressure
+    /// at arbitrary schedule points never alters query answers.
+    fn maybe_force_evict(&self) {
+        if faults::fire(faults::sites::BUFFERPOOL_EVICT) {
+            self.clear();
+        }
+    }
+
     /// Access one page with *random* access cost: a miss pays one seek plus
     /// one page of bandwidth. Used for B+ tree root-to-leaf traversals.
     pub fn access_page(&self, page: PageId, tracker: &IoTracker) {
+        self.maybe_force_evict();
         tracker.record_logical(1);
         let hit = self.inner.lock().touch(
             CacheKey::Page(page.0),
@@ -139,6 +151,7 @@ impl BufferPool {
     /// Callers use this when the page id immediately follows the previously
     /// accessed page, e.g. walking contiguously allocated B+ tree leaves.
     pub fn access_page_seq(&self, page: PageId, tracker: &IoTracker) {
+        self.maybe_force_evict();
         tracker.record_logical(1);
         let hit = self.inner.lock().touch(
             CacheKey::Page(page.0),
@@ -160,6 +173,7 @@ impl BufferPool {
         if count == 0 {
             return;
         }
+        self.maybe_force_evict();
         tracker.record_logical(count);
         let mut inner = self.inner.lock();
         let mut miss_runs = 0u64;
@@ -193,6 +207,7 @@ impl BufferPool {
     /// plus the blob's bytes at sequential bandwidth — the megabyte-granular
     /// access pattern of columnstore scans.
     pub fn access_blob(&self, blob: BlobId, bytes: u64, tracker: &IoTracker) {
+        self.maybe_force_evict();
         tracker.record_logical(1);
         let hit = self
             .inner

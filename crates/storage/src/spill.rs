@@ -11,6 +11,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use hpd_common::{faults, HpdError, Result};
+
 use crate::device::DeviceProfile;
 use crate::tracker::IoTracker;
 
@@ -54,11 +56,20 @@ pub struct SpillFile {
 
 impl SpillFile {
     /// Append `bytes` to the file, charging sequential write cost.
-    pub fn write(&mut self, bytes: u64, tracker: &IoTracker) {
+    ///
+    /// Fails only when the [`faults::sites::SPILL_WRITE_FAIL`] injection site
+    /// is armed — the simulated device itself never errors. Nothing is
+    /// charged or appended on failure, as if the write were rejected up
+    /// front by a full spill volume.
+    pub fn write(&mut self, bytes: u64, tracker: &IoTracker) -> Result<()> {
+        if faults::fire(faults::sites::SPILL_WRITE_FAIL) {
+            return Err(HpdError::FaultInjected("spill write failed".into()));
+        }
         self.bytes += bytes;
         self.total_spilled.fetch_add(bytes, Ordering::Relaxed);
         let (seek, bw) = self.device.write_cost_parts(bytes, 1);
         tracker.record_write(bytes, seek, bw);
+        Ok(())
     }
 
     /// Read `bytes` back, charging sequential read cost.
@@ -88,7 +99,7 @@ mod tests {
         let mgr = SpillManager::new(DeviceProfile::hdd_raid());
         let t = IoTracker::new();
         let mut f = mgr.create_file();
-        f.write(1 << 20, &t);
+        f.write(1 << 20, &t).unwrap();
         f.read_all(&t);
         let s = t.snapshot();
         assert_eq!(s.bytes_written, 1 << 20);
@@ -112,9 +123,26 @@ mod tests {
         let t = IoTracker::new();
         let mut a = mgr.create_file();
         let mut b = mgr.create_file();
-        a.write(100, &t);
-        b.write(50, &t);
+        a.write(100, &t).unwrap();
+        b.write(50, &t).unwrap();
         assert_eq!(mgr.total_spilled_bytes(), 150);
         assert_eq!(a.len_bytes(), 100);
+    }
+
+    #[test]
+    fn injected_write_failure_charges_nothing() {
+        let mgr = SpillManager::new(DeviceProfile::ssd());
+        let t = IoTracker::new();
+        let mut f = mgr.create_file();
+        faults::arm(faults::sites::SPILL_WRITE_FAIL, 1);
+        let err = f.write(100, &t).unwrap_err();
+        assert!(matches!(err, HpdError::FaultInjected(_)));
+        assert_eq!(f.len_bytes(), 0);
+        assert_eq!(mgr.total_spilled_bytes(), 0);
+        assert_eq!(t.snapshot().bytes_written, 0);
+        // The site ran dry; subsequent writes succeed.
+        f.write(100, &t).unwrap();
+        assert_eq!(f.len_bytes(), 100);
+        faults::clear_all();
     }
 }

@@ -10,14 +10,18 @@
 //!   queries over the shared schema;
 //! * [`customer`] — a synthesizer for "real customer workload"-shaped
 //!   schemas and query sets, parameterized by the aggregate statistics the
-//!   paper publishes in Table 2.
+//!   paper publishes in Table 2;
+//! * [`history`] — mixed OLTP/OLAP transaction histories for the
+//!   differential concurrency harness (`crates/harness`).
 //!
 //! Every generator is deterministic in its seed.
 
 pub mod ch;
 pub mod customer;
+pub mod history;
 pub mod micro;
 pub mod tpcds;
 pub mod tpch;
 
+pub use history::{HistoryConfig, MixedOp, TxnSpec};
 pub use micro::{MicroTable, SortedLoad};

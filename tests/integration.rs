@@ -372,6 +372,309 @@ fn estimated_costs_rank_like_measurements() {
     assert!(p_sel.est_cost_us > 0.0 && p_scan.est_cost_us > 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Table-driven cross-design differential suite (ISSUE 3).
+//
+// Every query in `differential_cases` must return *identical* answers on the
+// three physical designs the paper compares — B+ tree only, primary
+// columnstore, and B+ tree with a secondary CSI — both on a freshly loaded
+// table and after a mutation batch that leaves inserts sitting in the delta
+// store and deletes pending in the delete buffer (no compaction in between).
+// ---------------------------------------------------------------------------
+
+mod differential {
+    use super::*;
+    use hybrid_physical_designs::common::{AggFunc, BinOp, Schema};
+    use hybrid_physical_designs::engine::{
+        AggItem, ColRef, DeleteStmt, EquiJoin, TableInput, UpdateStmt,
+    };
+
+    const DESIGNS: [&str; 3] = ["btree", "csi", "hybrid"];
+
+    fn schema(cols: &[&str]) -> Schema {
+        use hybrid_physical_designs::common::{ColumnDef, DataType};
+        Schema::new(
+            cols.iter()
+                .map(|c| ColumnDef::new(*c, DataType::Int32))
+                .collect(),
+        )
+    }
+
+    /// fact(k, g, v): 2 000 rows, 40 groups, signed values.
+    fn fact_rows() -> Vec<Row> {
+        (0..2_000i32)
+            .map(|k| {
+                Row::new(vec![
+                    Value::Int32(k),
+                    Value::Int32(k % 40),
+                    Value::Int32((k * 37) % 1_000 - 300),
+                ])
+            })
+            .collect()
+    }
+
+    /// dim(g, w): one row per group.
+    fn dim_rows() -> Vec<Row> {
+        (0..40i32)
+            .map(|g| Row::new(vec![Value::Int32(g), Value::Int32((g * 13) % 7)]))
+            .collect()
+    }
+
+    /// Build one database per design over the same logical fact/dim pair.
+    /// A small rowgroup capacity forces several compressed row groups, and a
+    /// delete-buffer threshold above anything the mutation batch produces
+    /// keeps deletes *pending* rather than compacted away.
+    fn build_designs() -> Vec<(&'static str, Database)> {
+        DESIGNS
+            .iter()
+            .map(|&name| {
+                let mut cfg = DbConfig::default();
+                cfg.csi.rowgroup_capacity = 256;
+                cfg.csi.delete_buffer_compact_threshold = 1_000_000;
+                let db = Database::new(cfg);
+                let primary = |keys: Vec<usize>| match name {
+                    "csi" => IndexDescriptor::PrimaryCsi,
+                    _ => IndexDescriptor::PrimaryBTree { keys },
+                };
+                db.create_table("fact", schema(&["k", "g", "v"]), vec![0], primary(vec![0]))
+                    .unwrap();
+                db.create_table("dim", schema(&["g", "w"]), vec![0], primary(vec![0]))
+                    .unwrap();
+                if name == "hybrid" {
+                    db.create_index(
+                        "fact",
+                        &IndexDescriptor::SecondaryCsi {
+                            columns: vec![0, 1, 2],
+                        },
+                    )
+                    .unwrap();
+                }
+                db.load_table("fact", fact_rows()).unwrap();
+                db.load_table("dim", dim_rows()).unwrap();
+                (name, db)
+            })
+            .collect()
+    }
+
+    /// Point the databases at the same post-mutation logical state: fresh
+    /// inserts (landing in the delta store on CSI designs), point and range
+    /// deletes (landing in the delete buffer), and an update (a buffered
+    /// delete of the old version plus a delta insert of the new one).
+    fn apply_mutations(db: &Database) {
+        let inserts: Vec<Row> = (2_000..2_080i32)
+            .map(|k| {
+                Row::new(vec![
+                    Value::Int32(k),
+                    Value::Int32(k % 40),
+                    Value::Int32(-k),
+                ])
+            })
+            .collect();
+        db.execute(&Statement::Insert(
+            hybrid_physical_designs::engine::InsertStmt {
+                table: "fact".into(),
+                rows: inserts,
+            },
+        ))
+        .unwrap();
+        db.execute(&Statement::Delete(DeleteStmt {
+            table: "fact".into(),
+            predicate: Expr::between(0, Value::Int32(100), Value::Int32(140)),
+            top: None,
+        }))
+        .unwrap();
+        db.execute(&Statement::Delete(DeleteStmt {
+            table: "fact".into(),
+            predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(1_999)),
+            top: None,
+        }))
+        .unwrap();
+        db.execute(&Statement::Update(UpdateStmt {
+            table: "fact".into(),
+            predicate: Expr::between(0, Value::Int32(300), Value::Int32(320)),
+            top: None,
+            set: vec![(
+                2,
+                Expr::arith(BinOp::Add, Expr::col(2), Expr::lit(Value::Int32(7))),
+            )],
+        }))
+        .unwrap();
+    }
+
+    /// `(name, query, ordered)` — when `ordered`, the row *order* must also
+    /// agree (the query carries an ORDER BY); otherwise rows are compared as
+    /// sorted multisets.
+    fn differential_cases() -> Vec<(&'static str, SelectQuery, bool)> {
+        let agg = |func, col| AggItem::column(func, ColRef::new(0, col));
+        vec![
+            (
+                "global_aggregates",
+                SelectQuery {
+                    tables: vec![TableInput::with_predicate(
+                        "fact",
+                        Expr::between(1, Value::Int32(5), Value::Int32(25)),
+                    )],
+                    aggregates: vec![
+                        agg(AggFunc::Count, 0),
+                        agg(AggFunc::Sum, 2),
+                        agg(AggFunc::Min, 2),
+                        agg(AggFunc::Max, 2),
+                    ],
+                    ..Default::default()
+                },
+                true,
+            ),
+            (
+                "empty_aggregate",
+                SelectQuery {
+                    tables: vec![TableInput::with_predicate(
+                        "fact",
+                        Expr::col_cmp(1, CmpOp::Gt, Value::Int32(1_000)),
+                    )],
+                    aggregates: vec![agg(AggFunc::Count, 0), agg(AggFunc::Sum, 2)],
+                    ..Default::default()
+                },
+                true,
+            ),
+            (
+                "group_by_aggregate",
+                SelectQuery {
+                    tables: vec![TableInput::new("fact")],
+                    group_by: vec![ColRef::new(0, 1)],
+                    aggregates: vec![agg(AggFunc::Count, 0), agg(AggFunc::Sum, 2)],
+                    ..Default::default()
+                },
+                false,
+            ),
+            (
+                "join_filtered_aggregate",
+                SelectQuery {
+                    tables: vec![
+                        TableInput::new("fact"),
+                        TableInput::with_predicate(
+                            "dim",
+                            Expr::col_cmp(1, CmpOp::Lt, Value::Int32(3)),
+                        ),
+                    ],
+                    joins: vec![EquiJoin {
+                        left: ColRef::new(0, 1),
+                        right: ColRef::new(1, 0),
+                    }],
+                    aggregates: vec![agg(AggFunc::Count, 0), agg(AggFunc::Sum, 2)],
+                    ..Default::default()
+                },
+                true,
+            ),
+            (
+                "join_group_by",
+                SelectQuery {
+                    tables: vec![TableInput::new("fact"), TableInput::new("dim")],
+                    joins: vec![EquiJoin {
+                        left: ColRef::new(0, 1),
+                        right: ColRef::new(1, 0),
+                    }],
+                    group_by: vec![ColRef::new(1, 1)],
+                    aggregates: vec![agg(AggFunc::Count, 0), agg(AggFunc::Sum, 2)],
+                    ..Default::default()
+                },
+                false,
+            ),
+            (
+                "order_by_key_with_limit",
+                SelectQuery {
+                    tables: vec![TableInput::with_predicate(
+                        "fact",
+                        Expr::between(0, Value::Int32(90), Value::Int32(350)),
+                    )],
+                    select: vec![ColRef::new(0, 0), ColRef::new(0, 2)],
+                    order_by: vec![(0, true)],
+                    limit: Some(25),
+                    ..Default::default()
+                },
+                true,
+            ),
+            (
+                "order_by_value_desc",
+                SelectQuery {
+                    tables: vec![TableInput::with_predicate(
+                        "fact",
+                        Expr::col_cmp(1, CmpOp::Eq, Value::Int32(7)),
+                    )],
+                    select: vec![ColRef::new(0, 2), ColRef::new(0, 0)],
+                    order_by: vec![(0, false), (1, true)],
+                    ..Default::default()
+                },
+                true,
+            ),
+            (
+                "full_projection",
+                SelectQuery {
+                    tables: vec![TableInput::new("fact")],
+                    select: vec![ColRef::new(0, 0), ColRef::new(0, 1), ColRef::new(0, 2)],
+                    ..Default::default()
+                },
+                false,
+            ),
+        ]
+    }
+
+    fn assert_all_agree(dbs: &[(&'static str, Database)], phase: &str) {
+        for (case, query, ordered) in differential_cases() {
+            let stmt = Statement::Select(query);
+            let mut results: Vec<(&str, Vec<Row>)> = dbs
+                .iter()
+                .map(|(name, db)| {
+                    let mut rows = db.execute(&stmt).unwrap().rows;
+                    if !ordered {
+                        rows.sort();
+                    }
+                    (*name, rows)
+                })
+                .collect();
+            let (base_name, base) = results.remove(0);
+            for (name, rows) in results {
+                assert_eq!(
+                    base, rows,
+                    "{phase}/{case}: {base_name} and {name} disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_design_suite_fresh_and_with_pending_deletes() {
+        let dbs = build_designs();
+        assert_all_agree(&dbs, "fresh");
+
+        for (_, db) in &dbs {
+            apply_mutations(db);
+        }
+        // The mutation batch must actually be *pending* on the CSI designs:
+        // rows in the delta store and deletes buffered, not compacted.
+        for (name, db) in &dbs {
+            if *name == "btree" {
+                continue;
+            }
+            let metas = db.with_table("fact", |t| t.metas()).unwrap();
+            let csi = metas
+                .iter()
+                .find(|m| m.rowgroups > 0)
+                .expect("a CSI design must have compressed rowgroups");
+            assert!(
+                csi.delta_rows > 0,
+                "{name}: delta store should be non-empty"
+            );
+            if *name == "hybrid" {
+                assert!(
+                    csi.delete_buffer_rows > 0,
+                    "hybrid: deletes should be pending in the delete buffer"
+                );
+            }
+        }
+        assert_all_agree(&dbs, "mutated");
+    }
+}
+
 /// The ISSUE-1 acceptance flow: `explain_analyze` on a lineitem select shows
 /// per-node estimated-vs-actual rows and elapsed time, and spilling under a
 /// small grant surfaces as a nonzero spill counter in the same output.

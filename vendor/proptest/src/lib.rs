@@ -5,6 +5,13 @@
 //! surface used by the workspace: integer ranges, tuples, `collection::vec`,
 //! `option::of`, `bool::ANY`, and `prop_map`. Failing cases are reported
 //! with their case number (re-run deterministically); there is no shrinking.
+//!
+//! Like upstream, `<test-file>.proptest-regressions` files are honoured:
+//! their recorded `cc <token>` cases run *before* any novel cases, and a
+//! novel failing case is appended so the failure replays on the next run.
+//! Decimal tokens name one of this harness's case numbers; hex tokens
+//! (upstream's persisted seeds) are FNV-hashed into a seed so checked-in
+//! upstream regressions still exercise a deterministic case.
 
 use std::ops::Range;
 
@@ -40,6 +47,11 @@ pub mod test_runner {
             }
         }
 
+        /// Seed the stream directly (persisted upstream-style regressions).
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
             let mut z = self.state;
@@ -62,6 +74,108 @@ pub mod test_runner {
 }
 
 use test_runner::TestRng;
+
+/// Persistence of failing cases, compatible with upstream's
+/// `*.proptest-regressions` files.
+pub mod regressions {
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+    /// One recorded regression: either a case number of this harness's
+    /// deterministic stream (decimal token) or a raw seed derived from an
+    /// upstream hex token.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Recorded {
+        Case(u64),
+        Seed(u64),
+    }
+
+    impl Recorded {
+        pub fn rng(self) -> crate::test_runner::TestRng {
+            match self {
+                Recorded::Case(c) => crate::test_runner::TestRng::for_case(c),
+                Recorded::Seed(s) => crate::test_runner::TestRng::from_seed(s),
+            }
+        }
+    }
+
+    fn fnv1a64(s: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Parse one `cc <token> ...` line. Decimal tokens are case numbers;
+    /// anything else (upstream's hex seeds) hashes to a raw seed.
+    pub fn parse_line(line: &str) -> Option<Recorded> {
+        let rest = line.trim().strip_prefix("cc ")?;
+        let token = rest.split_whitespace().next()?;
+        Some(match token.parse::<u64>() {
+            Ok(case) => Recorded::Case(case),
+            Err(_) => Recorded::Seed(fnv1a64(token)),
+        })
+    }
+
+    /// Resolve `file!()` (workspace-root relative) against the test
+    /// binary's working directory (the package root) or its ancestors.
+    fn resolve_source(source_file: &str) -> Option<PathBuf> {
+        let direct = Path::new(source_file);
+        if direct.exists() {
+            return Some(direct.to_path_buf());
+        }
+        let cwd = std::env::current_dir().ok()?;
+        cwd.ancestors()
+            .map(|a| a.join(source_file))
+            .find(|p| p.exists())
+    }
+
+    fn regressions_path(source_file: &str) -> Option<PathBuf> {
+        Some(resolve_source(source_file)?.with_extension("proptest-regressions"))
+    }
+
+    /// All recorded cases for the test source file, in file order.
+    pub fn load(source_file: &str) -> Vec<Recorded> {
+        let Some(path) = regressions_path(source_file) else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        text.lines().filter_map(parse_line).collect()
+    }
+
+    /// Append a freshly failed case so the next run replays it first.
+    pub fn record(source_file: &str, case: u64) {
+        let Some(path) = regressions_path(source_file) else {
+            return;
+        };
+        if load(source_file).contains(&Recorded::Case(case)) {
+            return;
+        }
+        let mut text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => HEADER.to_string(),
+        };
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&format!("cc {case}\n"));
+        if std::fs::write(&path, text).is_ok() {
+            eprintln!("proptest: persisted failing case to {}", path.display());
+        }
+    }
+}
 
 /// A generator of values for one property input.
 pub trait Strategy {
@@ -238,10 +352,35 @@ macro_rules! __proptest_impl {
             #[test]
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let __src = file!();
+                let mut __run = |__rng: &mut $crate::test_runner::TestRng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                };
+                // Recorded regressions replay before any novel case.
+                for (__i, __rec) in $crate::regressions::load(__src).into_iter().enumerate() {
+                    let __ok = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| __run(&mut __rec.rng())),
+                    );
+                    if let Err(__e) = __ok {
+                        eprintln!(
+                            "proptest: recorded regression #{} ({:?}) failed",
+                            __i + 1,
+                            __rec
+                        );
+                        ::std::panic::resume_unwind(__e);
+                    }
+                }
                 for __case in 0..config.cases as u64 {
                     let mut __rng = $crate::test_runner::TestRng::for_case(__case);
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                    $body
+                    let __ok = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| __run(&mut __rng)),
+                    );
+                    if let Err(__e) = __ok {
+                        eprintln!("proptest: case {__case} failed");
+                        $crate::regressions::record(__src, __case);
+                        ::std::panic::resume_unwind(__e);
+                    }
                 }
             }
         )*
@@ -288,5 +427,43 @@ mod tests {
             prop_assert!(xs.len() <= 5);
             prop_assert_eq!(xs.last().copied().unwrap() <= 1, true);
         }
+    }
+
+    #[test]
+    fn regression_tokens_parse() {
+        use crate::regressions::{parse_line, Recorded};
+        assert_eq!(
+            parse_line("cc 17 # shrinks to x = 3"),
+            Some(Recorded::Case(17))
+        );
+        assert!(matches!(
+            parse_line("cc b8bfade721a555df # upstream seed"),
+            Some(Recorded::Seed(_))
+        ));
+        assert_eq!(parse_line("# comment"), None);
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("cc deadbeef"), parse_line("cc deadbeef"));
+        assert_ne!(parse_line("cc deadbeef"), parse_line("cc deadbeee"));
+    }
+
+    #[test]
+    fn record_and_load_roundtrip() {
+        use crate::regressions::{load, record, Recorded};
+        let dir = std::env::temp_dir().join("hpd-proptest-regress-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("demo_test.rs");
+        std::fs::write(&src, "// test source stand-in\n").unwrap();
+        let src_str = src.to_str().unwrap();
+        let regress = src.with_extension("proptest-regressions");
+        let _ = std::fs::remove_file(&regress);
+
+        assert!(load(src_str).is_empty());
+        record(src_str, 42);
+        record(src_str, 42); // idempotent
+        assert_eq!(load(src_str), vec![Recorded::Case(42)]);
+        let text = std::fs::read_to_string(&regress).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"));
+        assert_eq!(text.matches("cc 42").count(), 1);
+        let _ = std::fs::remove_file(&regress);
     }
 }

@@ -1,0 +1,6 @@
+//! Run the §3.6-style concurrent-clients sweep against the workload
+//! manager (shared worker pool + grant broker). Scale via HPD_SCALE=quick|full.
+fn main() {
+    let scale = hpd_bench::Scale::from_env();
+    print!("{}", hpd_bench::figs::concurrent_clients::run(scale));
+}

@@ -19,6 +19,7 @@ fn main() {
         ("fig10", figs::fig10_plan_mix::run),
         ("fig11", figs::fig11_ch_mixed::run),
         ("fig13", figs::fig13_concurrency::run),
+        ("concurrent-clients", figs::concurrent_clients::run),
         ("example-plans", figs::example_plans::run),
         ("ablation-device", figs::ablation_device::run),
     ];

@@ -72,7 +72,7 @@ fn main() {
     println!(
         "db.execute: {:.1}us",
         timed(n, || {
-            db.execute(&Statement::Select(q.clone())).unwrap();
+            db.query(&Statement::Select(q.clone())).run().unwrap();
         })
     );
 
@@ -94,7 +94,7 @@ fn main() {
     }
 
     println!("\n-- explain analyze of the probe statement --");
-    let r = db.explain_analyze(&q).unwrap();
+    let r = db.query(&q).analyze().run().unwrap();
     print!("{}", r.analyze.unwrap().render());
 
     println!("\n-- query store tail --");

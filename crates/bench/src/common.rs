@@ -104,16 +104,16 @@ impl From<&ExecutionResult> for RunResult {
 /// Cold run: empty the buffer pool first.
 pub fn run_cold(db: &Database, stmt: &Statement) -> RunResult {
     db.clear_cache();
-    let r = db.execute(stmt).expect("statement failed");
+    let r = db.query(stmt).run().expect("statement failed");
     RunResult::from(&r)
 }
 
 /// Hot run: warm once, then report the median of three measured runs.
 pub fn run_hot(db: &Database, stmt: &Statement) -> RunResult {
-    db.execute(stmt).expect("warm-up failed");
+    db.query(stmt).run().expect("warm-up failed");
     let mut runs: Vec<(f64, RunResult)> = (0..3)
         .map(|_| {
-            let r = db.execute(stmt).expect("statement failed");
+            let r = db.query(stmt).run().expect("statement failed");
             let rr = RunResult::from(&r);
             (rr.elapsed_us, rr)
         })
@@ -124,11 +124,16 @@ pub fn run_hot(db: &Database, stmt: &Statement) -> RunResult {
 
 /// Hot run with a bounded working-memory grant.
 pub fn run_hot_with_grant(db: &Database, stmt: &Statement, grant: usize) -> RunResult {
-    db.execute_with_grant(stmt, grant).expect("warm-up failed");
+    db.query(stmt)
+        .grant_bytes(grant)
+        .run()
+        .expect("warm-up failed");
     let mut runs: Vec<(f64, RunResult)> = (0..3)
         .map(|_| {
             let r = db
-                .execute_with_grant(stmt, grant)
+                .query(stmt)
+                .grant_bytes(grant)
+                .run()
                 .expect("statement failed");
             let rr = RunResult::from(&r);
             (rr.elapsed_us, rr)

@@ -65,7 +65,7 @@ pub fn run(scale: Scale) -> String {
             let db = Database::new(cfg);
             load_lineitem(&db, rows, 42, design).expect("load lineitem");
             let stmt = update_fraction(frac, rows);
-            let r = db.execute(&stmt).expect("update");
+            let r = db.query(&stmt).run().expect("update");
             let rr = RunResult::from(&r);
             cells.push(ms(rr.elapsed_us));
         }

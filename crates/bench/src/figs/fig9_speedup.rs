@@ -62,8 +62,9 @@ fn measure(db: &Database, config: &Configuration, queries: &[(String, SelectQuer
         .iter()
         .map(|(_, q)| {
             // Warm + single measured run (CPU time is stable).
-            let _ = db.execute(&Statement::Select(q.clone()));
-            db.execute(&Statement::Select(q.clone()))
+            let _ = db.query(&Statement::Select(q.clone())).run();
+            db.query(&Statement::Select(q.clone()))
+                .run()
                 .expect("query")
                 .metrics
                 .cpu_us()

@@ -2,6 +2,7 @@
 //! returning the rendered result table(s).
 
 pub mod ablation_device;
+pub mod concurrent_clients;
 pub mod example_plans;
 pub mod fig10_plan_mix;
 pub mod fig11_ch_mixed;

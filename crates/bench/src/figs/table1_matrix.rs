@@ -89,7 +89,7 @@ pub fn run(scale: Scale) -> String {
             } else {
                 crate::figs::fig5_updates::update_fraction(frac, li_rows)
             };
-            let r = db.execute(&stmt).expect("update");
+            let r = db.query(&stmt).run().expect("update");
             let rr = RunResult::from(&r);
             if slot == 0 {
                 upd_short[i] = rr.elapsed_us;

@@ -31,6 +31,9 @@ pub enum HpdError {
     InvalidQuery(String),
     /// The executor ran out of its memory grant and the operator cannot spill.
     OutOfMemoryGrant { needed: usize, grant: usize },
+    /// A query waited on the shared memory-grant broker past the configured
+    /// admission timeout without being granted workspace memory.
+    GrantWaitTimeout { requested: usize, waited_ms: u64 },
     /// A transaction was chosen as a deadlock victim or timed out on a lock.
     LockTimeout(String),
     /// Serialization failure under snapshot / serializable isolation.
@@ -60,6 +63,15 @@ impl fmt::Display for HpdError {
                 write!(
                     f,
                     "out of memory grant: needed {needed} bytes, grant {grant} bytes"
+                )
+            }
+            HpdError::GrantWaitTimeout {
+                requested,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "memory grant wait timeout: requested {requested} bytes, waited {waited_ms} ms"
                 )
             }
             HpdError::LockTimeout(m) => write!(f, "lock timeout: {m}"),
@@ -94,6 +106,14 @@ mod tests {
             }
             .to_string(),
             "out of memory grant: needed 10 bytes, grant 5 bytes"
+        );
+        assert_eq!(
+            HpdError::GrantWaitTimeout {
+                requested: 64,
+                waited_ms: 10
+            }
+            .to_string(),
+            "memory grant wait timeout: requested 64 bytes, waited 10 ms"
         );
         assert_eq!(
             HpdError::FaultInjected("spill".into()).to_string(),

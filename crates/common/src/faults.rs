@@ -133,6 +133,9 @@ pub mod sites {
     pub const DELTA_DRAIN_PARTIAL: &str = "columnstore.delta.drain_partial";
     /// `SpillFile::write` fails as if the spill device were full.
     pub const SPILL_WRITE_FAIL: &str = "storage.spill.write_fail";
+    /// `GrantBroker::acquire` fails as if the admission wait timed out,
+    /// regardless of how much budget is actually free.
+    pub const GRANT_TIMEOUT: &str = "exec.grant.inject_timeout";
     /// Buffer pool drops every cached page/blob before the next access.
     pub const BUFFERPOOL_EVICT: &str = "storage.bufferpool.force_evict";
 }

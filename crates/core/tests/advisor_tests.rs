@@ -219,7 +219,8 @@ fn applying_recommendation_speeds_up_execution() {
 
     // Measure the point query before: full scan.
     let before = db
-        .execute(&Statement::Select(point_query()))
+        .query(&Statement::Select(point_query()))
+        .run()
         .unwrap()
         .metrics
         .io
@@ -230,7 +231,7 @@ fn applying_recommendation_speeds_up_execution() {
         .unwrap();
     db.apply_configuration(&rec.configuration).unwrap();
 
-    let r = db.execute(&Statement::Select(point_query())).unwrap();
+    let r = db.query(&Statement::Select(point_query())).run().unwrap();
     assert_eq!(r.rows.len(), 50); // 50_000 / 1000 per customer
     assert!(
         r.metrics.io.logical_reads * 10 < before,
@@ -248,7 +249,7 @@ fn csi_everywhere_baseline_configuration() {
     assert_eq!(cfg.tables.len(), 1);
     assert!(cfg.tables[0].indexes[1].is_csi());
     db.apply_configuration(&cfg).unwrap();
-    let r = db.execute(&Statement::Select(scan_query())).unwrap();
+    let r = db.query(&Statement::Select(scan_query())).run().unwrap();
     assert_eq!(r.rows.len(), 7);
 }
 
@@ -321,7 +322,7 @@ fn join_workload_gets_fact_table_btree_on_join_key() {
     );
 
     db.apply_configuration(&rec.configuration).unwrap();
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     // 4 dims with attr=3, each with 30 fact rows.
     assert_eq!(r.scalar(), Some(&Value::Int64(120)));
 }

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use hpd_columnstore::CsiConfig;
 use hpd_common::{faults, HpdError, Key, Result, Row, Schema, Value};
-use hpd_exec::ExecMetrics;
+use hpd_exec::{ExecMetrics, GrantBroker, WorkerPool};
 use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
 use parking_lot::RwLock;
 
@@ -31,8 +31,23 @@ pub struct DbConfig {
     pub csi: CsiConfig,
     /// Maximum degree of parallelism the optimizer may pick.
     pub max_dop: usize,
-    /// Default per-query working-memory grant in bytes.
+    /// Default per-query working-memory grant in bytes — the *ceiling* a
+    /// single query may request from the shared grant budget.
     pub grant_bytes: usize,
+    /// Extra worker threads shared by every parallel query (the workload
+    /// manager's engine-wide thread budget; the coordinating thread of each
+    /// query is not counted). Parallel plans degrade their effective DOP
+    /// when the pool runs dry instead of spawning unpooled threads.
+    pub worker_threads: usize,
+    /// Total workspace memory shared by all concurrently admitted queries.
+    /// The grant broker queues queries FIFO when it is exhausted.
+    pub total_grant_bytes: usize,
+    /// How long a query waits for admission before taking a reduced grant
+    /// (if anything useful is free) or failing with
+    /// [`hpd_common::HpdError::GrantWaitTimeout`].
+    pub grant_wait_timeout: Duration,
+    /// Smallest reduced grant the broker will admit a waiter with.
+    pub min_grant_bytes: usize,
     pub lock_timeout: Duration,
     /// Statements retained by the query store ring buffer.
     pub query_store_capacity: usize,
@@ -46,6 +61,10 @@ impl Default for DbConfig {
             csi: CsiConfig::default(),
             max_dop: 8,
             grant_bytes: 256 << 20,
+            worker_threads: 8,
+            total_grant_bytes: 1 << 30,
+            grant_wait_timeout: Duration::from_secs(5),
+            min_grant_bytes: 64 << 10,
             lock_timeout: Duration::from_secs(5),
             query_store_capacity: 256,
         }
@@ -77,6 +96,10 @@ pub struct Database {
     txns: TxnManager,
     commit_counter: AtomicU64,
     query_store: QueryStore,
+    /// Workload manager: the engine-wide worker-thread budget...
+    workers: WorkerPool,
+    /// ...and the shared memory-grant admission controller.
+    grants: GrantBroker,
 }
 
 impl Database {
@@ -89,6 +112,8 @@ impl Database {
             tables: RwLock::new(Vec::new()),
             commit_counter: AtomicU64::new(0),
             query_store: QueryStore::new(config.query_store_capacity),
+            workers: WorkerPool::new(config.worker_threads),
+            grants: GrantBroker::new(config.total_grant_bytes, config.min_grant_bytes),
             config,
         }
     }
@@ -99,6 +124,16 @@ impl Database {
 
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// The shared worker-thread pool parallel queries draw from.
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.workers
+    }
+
+    /// The memory-grant broker admission-controlling every query.
+    pub fn grant_broker(&self) -> &GrantBroker {
+        &self.grants
     }
 
     /// The ring of recently executed statements (query-store-lite).
@@ -143,7 +178,14 @@ impl Database {
     }
 
     fn cost_model(&self, grant: usize) -> CostModel {
-        CostModel::new(self.config.device, self.config.max_dop, grant)
+        self.cost_model_with(grant, None)
+    }
+
+    /// Cost model with an optional per-query DOP cap overriding the
+    /// configured `max_dop`.
+    fn cost_model_with(&self, grant: usize, dop: Option<usize>) -> CostModel {
+        let max_dop = dop.unwrap_or(self.config.max_dop).max(1);
+        CostModel::new(self.config.device, max_dop, grant)
     }
 
     // ------------------------------------------------------------------
@@ -328,47 +370,53 @@ impl Database {
     // Execution
     // ------------------------------------------------------------------
 
+    /// The unified execution entry point: build options fluently, then
+    /// [`run`](QueryBuilder::run).
+    ///
+    /// ```ignore
+    /// db.query(&stmt).run()?;                            // autocommit
+    /// db.query(&select).grant_bytes(16 << 10).run()?;    // constrained grant
+    /// db.query(&select).dop(4).analyze().run()?;         // EXPLAIN ANALYZE
+    /// ```
+    ///
+    /// Accepts `&Statement` or `&SelectQuery` (see [`StmtRef`]).
+    pub fn query<'db, 'q>(&'db self, stmt: impl Into<StmtRef<'q>>) -> QueryBuilder<'db, 'q> {
+        QueryBuilder {
+            db: self,
+            stmt: stmt.into(),
+            opts: ExecOptions::default(),
+        }
+    }
+
     /// Autocommit execution under Read Committed with the default grant.
+    #[deprecated(note = "use `db.query(&stmt).run()`")]
     pub fn execute(&self, stmt: &Statement) -> Result<ExecutionResult> {
-        self.session(IsolationLevel::ReadCommitted).run(stmt)
+        self.query(stmt).run()
     }
 
     /// Autocommit execution with an explicit memory grant (the paper's
     /// constrained-grant experiments).
+    #[deprecated(note = "use `db.query(&stmt).grant_bytes(grant).run()`")]
     pub fn execute_with_grant(&self, stmt: &Statement, grant: usize) -> Result<ExecutionResult> {
-        self.session(IsolationLevel::ReadCommitted)
-            .with_grant(grant)
-            .run(stmt)
+        self.query(stmt).grant_bytes(grant).run()
     }
 
     /// Execute a select with per-operator instrumentation; the result's
     /// `analyze` report carries estimated-vs-actual rows, per-node wall
     /// time, memory, and spill activity (render with
     /// [`crate::profile::AnalyzeReport::render`]).
+    #[deprecated(note = "use `db.query(&query).analyze().run()`")]
     pub fn explain_analyze(&self, query: &SelectQuery) -> Result<ExecutionResult> {
-        self.explain_analyze_with_grant(query, self.config.grant_bytes)
+        self.query(query).analyze().run()
     }
 
+    #[deprecated(note = "use `db.query(&query).grant_bytes(grant).analyze().run()`")]
     pub fn explain_analyze_with_grant(
         &self,
         query: &SelectQuery,
         grant: usize,
     ) -> Result<ExecutionResult> {
-        let mut txn = self
-            .session(IsolationLevel::ReadCommitted)
-            .with_grant(grant)
-            .begin();
-        let result = txn.select_analyzed(query);
-        match result {
-            Ok(r) => {
-                txn.commit()?;
-                Ok(r)
-            }
-            Err(e) => {
-                txn.abort();
-                Err(e)
-            }
-        }
+        self.query(query).grant_bytes(grant).analyze().run()
     }
 
     pub fn session(&self, isolation: IsolationLevel) -> Session<'_> {
@@ -376,21 +424,137 @@ impl Database {
             db: self,
             isolation,
             grant: self.config.grant_bytes,
+            dop: None,
         }
     }
 }
 
-/// A connection-like handle binding an isolation level and grant.
+/// Options driving one statement execution through the unified entry point
+/// ([`Database::query`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Per-query grant-request ceiling; `None` uses the configured default.
+    pub grant_bytes: Option<usize>,
+    /// Per-query DOP cap overriding the configured `max_dop`.
+    pub dop: Option<usize>,
+    /// Collect per-operator actuals (EXPLAIN ANALYZE). Selects only.
+    pub analyze: bool,
+    pub isolation: IsolationLevel,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            grant_bytes: None,
+            dop: None,
+            analyze: false,
+            isolation: IsolationLevel::ReadCommitted,
+        }
+    }
+}
+
+/// A borrowed statement accepted by [`Database::query`]: either a full
+/// [`Statement`] or a bare [`SelectQuery`].
+#[derive(Debug, Clone, Copy)]
+pub enum StmtRef<'q> {
+    Statement(&'q Statement),
+    Select(&'q SelectQuery),
+}
+
+impl<'q> From<&'q Statement> for StmtRef<'q> {
+    fn from(s: &'q Statement) -> StmtRef<'q> {
+        StmtRef::Statement(s)
+    }
+}
+
+impl<'q> From<&'q SelectQuery> for StmtRef<'q> {
+    fn from(q: &'q SelectQuery) -> StmtRef<'q> {
+        StmtRef::Select(q)
+    }
+}
+
+/// Fluent executor returned by [`Database::query`].
+#[must_use = "call .run() to execute the statement"]
+pub struct QueryBuilder<'db, 'q> {
+    db: &'db Database,
+    stmt: StmtRef<'q>,
+    opts: ExecOptions,
+}
+
+impl<'db, 'q> QueryBuilder<'db, 'q> {
+    /// Cap this query's grant request at `n` bytes (the paper's
+    /// constrained-grant experiments).
+    pub fn grant_bytes(mut self, n: usize) -> Self {
+        self.opts.grant_bytes = Some(n);
+        self
+    }
+
+    /// Cap this query's degree of parallelism.
+    pub fn dop(mut self, k: usize) -> Self {
+        self.opts.dop = Some(k);
+        self
+    }
+
+    /// Collect per-operator actuals; the result's `analyze` field carries
+    /// the report. Fails at [`run`](QueryBuilder::run) for non-SELECTs.
+    pub fn analyze(mut self) -> Self {
+        self.opts.analyze = true;
+        self
+    }
+
+    pub fn isolation(mut self, level: IsolationLevel) -> Self {
+        self.opts.isolation = level;
+        self
+    }
+
+    /// Replace all options at once.
+    pub fn options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Execute as an autocommit statement under the configured options.
+    pub fn run(self) -> Result<ExecutionResult> {
+        let mut session = self.db.session(self.opts.isolation);
+        if let Some(g) = self.opts.grant_bytes {
+            session = session.with_grant(g);
+        }
+        if let Some(d) = self.opts.dop {
+            session = session.with_dop(d);
+        }
+        match (self.stmt, self.opts.analyze) {
+            (StmtRef::Statement(Statement::Select(q)), false) | (StmtRef::Select(q), false) => {
+                session.run_in_txn(|txn| txn.select(q))
+            }
+            (StmtRef::Statement(Statement::Select(q)), true) | (StmtRef::Select(q), true) => {
+                session.run_in_txn(|txn| txn.select_analyzed(q))
+            }
+            (StmtRef::Statement(s), false) => session.run(s),
+            (StmtRef::Statement(_), true) => Err(HpdError::InvalidQuery(
+                "analyze() applies to SELECT statements only".into(),
+            )),
+        }
+    }
+}
+
+/// A connection-like handle binding an isolation level, grant, and DOP cap.
 #[derive(Clone, Copy)]
 pub struct Session<'db> {
     db: &'db Database,
     isolation: IsolationLevel,
     grant: usize,
+    dop: Option<usize>,
 }
 
 impl<'db> Session<'db> {
     pub fn with_grant(mut self, grant: usize) -> Session<'db> {
         self.grant = grant;
+        self
+    }
+
+    /// Cap the optimizer's DOP choice for this session's statements.
+    pub fn with_dop(mut self, dop: usize) -> Session<'db> {
+        self.dop = Some(dop);
         self
     }
 
@@ -400,6 +564,7 @@ impl<'db> Session<'db> {
             db: self.db,
             isolation: self.isolation,
             grant: self.grant,
+            dop: self.dop,
             txn_id,
             start_ts,
             writes: Vec::new(),
@@ -411,9 +576,18 @@ impl<'db> Session<'db> {
     /// Execute one statement in its own transaction. The returned metrics
     /// cover the full statement including commit-time index maintenance.
     pub fn run(&self, stmt: &Statement) -> Result<ExecutionResult> {
+        self.run_in_txn(|txn| txn.execute(stmt))
+    }
+
+    /// Run `f` against a fresh autocommit transaction, folding commit-time
+    /// work (locking, write apply) into the statement's metrics.
+    pub(crate) fn run_in_txn(
+        &self,
+        f: impl FnOnce(&mut Txn<'db>) -> Result<ExecutionResult>,
+    ) -> Result<ExecutionResult> {
         let start = Instant::now();
         let mut txn = self.begin();
-        let result = txn.execute(stmt);
+        let result = f(&mut txn);
         match result {
             Ok(mut r) => {
                 let commit_io = txn.commit()?;
@@ -446,6 +620,7 @@ pub struct Txn<'db> {
     db: &'db Database,
     isolation: IsolationLevel,
     grant: usize,
+    dop: Option<usize>,
     txn_id: u64,
     start_ts: u64,
     writes: Vec<WriteOp>,
@@ -527,7 +702,23 @@ impl<'db> Txn<'db> {
                 metas: table_refs[i].metas(),
             })
             .collect();
-        let plan = Optimizer::new(self.db.cost_model(self.grant)).plan(query, &contexts)?;
+        let plan =
+            Optimizer::new(self.db.cost_model_with(self.grant, self.dop)).plan(query, &contexts)?;
+
+        // Admission control: request the optimizer's memory estimate (with
+        // slack for estimation error) from the shared grant broker, capped
+        // by the session's per-query grant ceiling. The broker may block
+        // behind earlier queries, reduce the grant (operators then spill),
+        // or time out.
+        let requested = plan
+            .est_memory_bytes()
+            .saturating_mul(2)
+            .max(self.db.config.min_grant_bytes)
+            .min(self.grant.max(1));
+        let lease = self
+            .db
+            .grants
+            .acquire(requested, self.db.config.grant_wait_timeout)?;
 
         // Snapshot overlays.
         let mut overlays = HashMap::new();
@@ -540,12 +731,25 @@ impl<'db> Txn<'db> {
             }
         }
 
-        let mut runner =
-            QueryRunner::new(table_refs, self.db.pool(), self.grant).with_overlays(overlays);
+        let mut runner = QueryRunner::with_resources(
+            table_refs,
+            self.db.pool(),
+            lease.grant(),
+            self.db.workers.clone(),
+        )
+        .with_overlays(overlays);
         if profile {
             runner = runner.with_profile();
         }
-        let result = runner.run(&plan)?;
+        let mut result = runner.run(&plan)?;
+        if let Some(report) = result.analyze.as_deref_mut() {
+            report.grant = Some(crate::profile::GrantSummary {
+                requested_bytes: lease.requested_bytes(),
+                granted_bytes: lease.granted_bytes(),
+                wait_us: lease.wait().as_micros() as u64,
+                reduced: lease.is_reduced(),
+            });
+        }
         self.db.record_statement("select", &plan, &result);
         Ok(result)
     }

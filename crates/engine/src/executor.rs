@@ -11,8 +11,8 @@ use hpd_exec::ops::sort::SortKey;
 use hpd_exec::ops::PlanNode as ExecNode;
 use hpd_exec::{
     collect_rows, AggSpec, BTreeRangeScanOp, CsiScanOp, ExecCtx, FilterOp, HashAggOp, HashJoinOp,
-    IndexLookupJoinOp, LimitOp, MergeJoinOp, Mode, Operator, ParallelOp, ProfiledOp, ProjectOp,
-    SortOp, StreamAggOp,
+    IndexLookupJoinOp, LimitOp, MemoryGrant, MergeJoinOp, Mode, Operator, ParallelOp, ProfiledOp,
+    ProjectOp, SortOp, StreamAggOp, WorkerPool,
 };
 use hpd_storage::BufferPool;
 
@@ -59,7 +59,8 @@ impl TableOverlay {
 pub struct QueryRunner<'a> {
     tables: Vec<&'a Table>,
     pool: &'a BufferPool,
-    grant_bytes: usize,
+    grant: MemoryGrant,
+    workers: WorkerPool,
     overlays: HashMap<usize, TableOverlay>,
     profile_requested: bool,
     /// Node→stats map for the plan currently being lowered/run; populated
@@ -68,16 +69,36 @@ pub struct QueryRunner<'a> {
 }
 
 impl<'a> QueryRunner<'a> {
-    /// `tables` must align with the plan's query table indices.
+    /// `tables` must align with the plan's query table indices. Builds a
+    /// private memory grant and an unbounded worker pool — the standalone
+    /// form used by tests and DML sub-plans; engine queries go through
+    /// [`QueryRunner::with_resources`].
     pub fn new(
         tables: Vec<&'a Table>,
         pool: &'a BufferPool,
         grant_bytes: usize,
     ) -> QueryRunner<'a> {
+        QueryRunner::with_resources(
+            tables,
+            pool,
+            MemoryGrant::new(grant_bytes),
+            WorkerPool::unbounded(),
+        )
+    }
+
+    /// A runner executing against engine-shared resources: a broker-issued
+    /// memory grant and the engine's worker-thread pool.
+    pub fn with_resources(
+        tables: Vec<&'a Table>,
+        pool: &'a BufferPool,
+        grant: MemoryGrant,
+        workers: WorkerPool,
+    ) -> QueryRunner<'a> {
         QueryRunner {
             tables,
             pool,
-            grant_bytes,
+            grant,
+            workers,
             overlays: HashMap::new(),
             profile_requested: false,
             profile: RefCell::new(None),
@@ -116,7 +137,7 @@ impl<'a> QueryRunner<'a> {
         if self.profile_requested {
             *self.profile.borrow_mut() = Some(ProfileMap::build(plan));
         }
-        let ctx = ExecCtx::with_grant(self.pool, self.grant_bytes);
+        let ctx = ExecCtx::with_resources(self.pool, self.grant.clone(), self.workers.clone());
         let obs_before = self.profile_requested.then(|| hpd_obs::global().snapshot());
         let start = Instant::now();
         let mut op = self.lower(&plan.root)?;

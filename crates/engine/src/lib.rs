@@ -22,13 +22,13 @@ pub mod stats;
 pub mod table;
 pub mod txn;
 
-pub use catalog::{Database, DbConfig, Session, Txn};
+pub use catalog::{Database, DbConfig, ExecOptions, QueryBuilder, Session, StmtRef, Txn};
 pub use design::{Configuration, IndexDescriptor, IndexId, IndexMeta, TableDesign};
 pub use executor::{ExecutionResult, QueryRunner, TableOverlay};
 pub use hpd_columnstore::CsiConfig;
 pub use optimizer::{Optimizer, TableContext};
 pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
-pub use profile::{AnalyzeReport, NodeProfile, ScanPruning};
+pub use profile::{AnalyzeReport, GrantSummary, NodeProfile, ScanPruning};
 pub use query::{
     AggItem, ColRef, DeleteStmt, EquiJoin, InsertStmt, SelectQuery, Statement, TableInput,
     UpdateStmt,

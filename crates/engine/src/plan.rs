@@ -14,6 +14,11 @@ use hpd_common::{AggFunc, DataType, Expr, Interval, Key};
 
 use crate::design::IndexId;
 
+/// Per-row bookkeeping bytes the buffering operators charge against their
+/// memory grant on top of the data bytes (mirrors the executor's spill
+/// accounting).
+pub const ROW_BOOKKEEPING_BYTES: usize = 24;
+
 /// Which kind of index a plan leaf reads — the unit Figure 10 counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeafKind {
@@ -238,6 +243,38 @@ impl PlanNode {
         }
     }
 
+    /// Planning-time workspace-memory estimate for the subtree, bytes: what
+    /// the memory-consuming operators (sort buffers, hash-aggregate tables,
+    /// hash-join build sides) would reserve if nothing spilled. Uses the same
+    /// per-row accounting as the operators themselves (fixed column widths
+    /// plus [`ROW_BOOKKEEPING_BYTES`] of bookkeeping), so the grant the
+    /// broker admits from this estimate covers a correctly-estimated query
+    /// without spilling.
+    pub fn est_memory_bytes(&self) -> usize {
+        let row_bytes = |node: &PlanNode| -> usize {
+            node.out_types
+                .iter()
+                .map(|t| t.fixed_width())
+                .sum::<usize>()
+                + ROW_BOOKKEEPING_BYTES
+        };
+        let own = match &self.kind {
+            PlanNodeKind::Sort { child, .. } => {
+                (child.est_rows.max(0.0) as usize).saturating_mul(row_bytes(child))
+            }
+            PlanNodeKind::HashAgg { .. } => {
+                (self.est_rows.max(0.0) as usize).saturating_mul(row_bytes(self))
+            }
+            PlanNodeKind::HashJoin { left, .. } => {
+                (left.est_rows.max(0.0) as usize).saturating_mul(row_bytes(left))
+            }
+            _ => 0,
+        };
+        self.children()
+            .iter()
+            .fold(own, |acc, c| acc.saturating_add(c.est_memory_bytes()))
+    }
+
     /// Borrowed children in plan order (left before right).
     pub fn children(&self) -> Vec<&PlanNode> {
         match &self.kind {
@@ -356,6 +393,13 @@ impl PhysicalPlan {
 
     pub fn max_dop(&self) -> usize {
         self.root.max_dop()
+    }
+
+    /// The optimizer's up-front workspace-memory estimate — what the query
+    /// asks the grant broker for at admission (see
+    /// [`PlanNode::est_memory_bytes`]).
+    pub fn est_memory_bytes(&self) -> usize {
+        self.root.est_memory_bytes()
     }
 
     /// Readable plan tree.

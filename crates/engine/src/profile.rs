@@ -78,6 +78,7 @@ impl ProfileMap {
             nodes,
             est_cost_us: plan.est_cost_us,
             pruning: None,
+            grant: None,
         }
     }
 }
@@ -129,6 +130,23 @@ impl ScanPruning {
     }
 }
 
+/// Memory-grant admission outcome for one statement, taken from the
+/// [`hpd_exec::GrantLease`] the broker issued before execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GrantSummary {
+    /// Bytes requested from the broker (optimizer estimate with slack,
+    /// capped by the session grant ceiling).
+    pub requested_bytes: usize,
+    /// Bytes actually granted; less than requested when the broker reduced
+    /// the grant at the admission deadline.
+    pub granted_bytes: usize,
+    /// Time spent queued at the broker before admission.
+    pub wait_us: u64,
+    /// True when the grant was reduced below the request (operators may
+    /// spill to stay within it).
+    pub reduced: bool,
+}
+
 /// Actuals for one plan node, in pre-order plan position.
 #[derive(Debug, Clone)]
 pub struct NodeProfile {
@@ -165,6 +183,9 @@ pub struct AnalyzeReport {
     /// Columnstore pushdown counters for this statement (None when the
     /// process-wide registry could not attribute any scan work to it).
     pub pruning: Option<ScanPruning>,
+    /// Memory-grant admission outcome (None when the statement ran outside
+    /// the broker, e.g. non-SELECT statements).
+    pub grant: Option<GrantSummary>,
 }
 
 impl AnalyzeReport {
@@ -225,6 +246,17 @@ impl AnalyzeReport {
                     p.cache_hits, p.cache_misses, p.cache_evictions
                 );
             }
+            out.push('\n');
+        }
+        if let Some(g) = &self.grant {
+            let _ = write!(
+                out,
+                "grant: requested={}KB granted={}KB wait={:.1}ms{}",
+                g.requested_bytes / 1024,
+                g.granted_bytes / 1024,
+                g.wait_us as f64 / 1e3,
+                if g.reduced { " (reduced)" } else { "" }
+            );
             out.push('\n');
         }
         out

@@ -49,7 +49,7 @@ fn select_full_scan_btree() {
     let db = db();
     setup_table(&db, btree_primary(), 1000);
     let q = SelectQuery::single_table("t", None, vec![0, 2]);
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     assert_eq!(r.rows.len(), 1000);
     assert_eq!(r.rows[0].len(), 2);
 }
@@ -66,7 +66,7 @@ fn select_with_predicate_uses_seek_on_pk() {
     let plan = db.plan(&q).unwrap();
     let explain = plan.explain();
     assert!(explain.contains("BTreeSeek"), "plan was:\n{explain}");
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     assert_eq!(r.rows.len(), 50);
     // Selective seek touches few pages.
     assert!(r.metrics.io.logical_reads < 30);
@@ -84,7 +84,7 @@ fn select_csi_primary() {
     let plan = db.plan(&q).unwrap();
     assert!(plan.explain().contains("CsiScan"), "{}", plan.explain());
     assert_eq!(plan.leaf_kinds(), vec![LeafKind::Columnstore]);
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     assert_eq!(r.rows.len(), 100);
 }
 
@@ -102,7 +102,7 @@ fn aggregate_group_by_matches_manual() {
             ],
             ..Default::default()
         };
-        let mut r = db.execute(&Statement::Select(q)).unwrap().rows;
+        let mut r = db.query(&Statement::Select(q)).run().unwrap().rows;
         r.sort_by_key(|row| row[0].as_i32().unwrap());
         assert_eq!(r.len(), 20);
         for (g, row) in r.iter().enumerate() {
@@ -155,7 +155,7 @@ fn aggregate_with_computed_expression() {
         )],
         ..Default::default()
     };
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     // sum over i of (i+1) * 0.9 = 0.9 * 5050 = 4545.0
     assert_eq!(r.scalar(), Some(&Value::Decimal(4545_0000)));
 }
@@ -171,7 +171,7 @@ fn order_by_and_limit() {
         limit: Some(10),
         ..Default::default()
     };
-    let r = db.execute(&Statement::Select(q)).unwrap().rows;
+    let r = db.query(&Statement::Select(q)).run().unwrap().rows;
     assert_eq!(r.len(), 10);
     for w in r.windows(2) {
         let (a, b) = (w[0][0].as_i32().unwrap(), w[1][0].as_i32().unwrap());
@@ -203,7 +203,7 @@ fn secondary_index_seek_with_lookup() {
         explain.contains("idx#1"),
         "expected the secondary index:\n{explain}"
     );
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     // val = i*3 % 1000 == 42 → i*3 ≡ 42 (mod 1000) → i ≡ 14 (mod 1000) ... 3i mod 1000 cycle
     let expected: Vec<i32> = (0..20_000).filter(|i| i * 3 % 1000 == 42).collect();
     assert_eq!(r.rows.len(), expected.len());
@@ -244,7 +244,7 @@ fn hybrid_design_on_same_table() {
         "{}",
         p2.explain()
     );
-    let r = db.execute(&Statement::Select(scan_all)).unwrap();
+    let r = db.query(&Statement::Select(scan_all)).run().unwrap();
     let expected: i64 = (0..10_000i64).map(|i| i * 3 % 1000).sum();
     assert_eq!(r.scalar(), Some(&Value::Int64(expected)));
 }
@@ -300,7 +300,7 @@ fn join_two_tables() {
         aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 2))],
         ..Default::default()
     };
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0], Value::Int32(2));
     // dims with category 2: ids ≡ 2 mod 5 → 20 dims × 50 fact rows each.
@@ -329,7 +329,7 @@ fn dml_insert_update_delete_roundtrip() {
             Value::Int32(999),
         ])],
     });
-    db.execute(&ins).unwrap();
+    db.query(&ins).run().unwrap();
 
     // Update via predicate on the secondary key.
     let upd = Statement::Update(UpdateStmt {
@@ -345,7 +345,7 @@ fn dml_insert_update_delete_roundtrip() {
             ),
         )],
     });
-    let r = db.execute(&upd).unwrap();
+    let r = db.query(&upd).run().unwrap();
     assert_eq!(r.rows[0][0], Value::Int64(1));
 
     let q = SelectQuery::single_table(
@@ -353,7 +353,7 @@ fn dml_insert_update_delete_roundtrip() {
         Some(Expr::col_cmp(0, CmpOp::Eq, Value::Int32(1000))),
         vec![2],
     );
-    let r = db.execute(&Statement::Select(q.clone())).unwrap();
+    let r = db.query(&Statement::Select(q.clone())).run().unwrap();
     assert_eq!(r.rows[0][0], Value::Int32(1000), "999 + 1 after the update");
 
     // The secondary index sees the updated value too.
@@ -365,7 +365,7 @@ fn dml_insert_update_delete_roundtrip() {
         ])),
         vec![0],
     );
-    let r = db.execute(&Statement::Select(by_grp)).unwrap();
+    let r = db.query(&Statement::Select(by_grp)).run().unwrap();
     assert!(r.rows.iter().any(|row| row[0] == Value::Int32(1000)));
 
     // Delete.
@@ -374,9 +374,9 @@ fn dml_insert_update_delete_roundtrip() {
         predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(1000)),
         top: None,
     });
-    let r = db.execute(&del).unwrap();
+    let r = db.query(&del).run().unwrap();
     assert_eq!(r.rows[0][0], Value::Int64(1));
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     assert!(r.rows.is_empty());
 }
 
@@ -390,14 +390,14 @@ fn update_top_n_limits_affected_rows() {
         top: Some(2),
         set: vec![(2, Expr::lit(Value::Int32(-1)))],
     });
-    let r = db.execute(&upd).unwrap();
+    let r = db.query(&upd).run().unwrap();
     assert_eq!(r.rows[0][0], Value::Int64(2));
     let q = SelectQuery::single_table(
         "t",
         Some(Expr::col_cmp(2, CmpOp::Eq, Value::Int32(-1))),
         vec![0],
     );
-    assert_eq!(db.execute(&Statement::Select(q)).unwrap().rows.len(), 2);
+    assert_eq!(db.query(&Statement::Select(q)).run().unwrap().rows.len(), 2);
 }
 
 #[test]
@@ -642,7 +642,7 @@ fn write_write_conflict_blocks_under_rc() {
 fn csi_primary_dml_roundtrip() {
     let db = small_rowgroup_db();
     setup_table(&db, IndexDescriptor::PrimaryCsi, 1000);
-    db.execute(&Statement::Insert(InsertStmt {
+    db.query(&Statement::Insert(InsertStmt {
         table: "t".into(),
         rows: vec![Row::new(vec![
             Value::Int32(5000),
@@ -650,22 +650,25 @@ fn csi_primary_dml_roundtrip() {
             Value::Int32(1),
         ])],
     }))
+    .run()
     .unwrap();
-    db.execute(&Statement::Update(UpdateStmt {
+    db.query(&Statement::Update(UpdateStmt {
         table: "t".into(),
         predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(10)),
         top: None,
         set: vec![(2, Expr::lit(Value::Int32(-5)))],
     }))
+    .run()
     .unwrap();
-    db.execute(&Statement::Delete(DeleteStmt {
+    db.query(&Statement::Delete(DeleteStmt {
         table: "t".into(),
         predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(11)),
         top: None,
     }))
+    .run()
     .unwrap();
     let all = SelectQuery::single_table("t", None, vec![0, 2]);
-    let rows = db.execute(&Statement::Select(all)).unwrap().rows;
+    let rows = db.query(&Statement::Select(all)).run().unwrap().rows;
     assert_eq!(rows.len(), 1000, "1000 - 1 deleted + 1 inserted");
     assert!(rows
         .iter()
@@ -738,7 +741,7 @@ fn concurrent_increments_are_not_lost() {
             Some(Expr::col_cmp(0, CmpOp::Eq, Value::Int32(1))),
             vec![2],
         );
-        let v = db.execute(&Statement::Select(q)).unwrap().rows[0][0]
+        let v = db.query(&Statement::Select(q)).run().unwrap().rows[0][0]
             .as_i32()
             .unwrap();
         let initial = 3;
@@ -781,5 +784,5 @@ fn snapshot_allows_disjoint_writes() {
         Some(Expr::col_cmp(2, CmpOp::Lt, Value::Int32(0))),
         vec![0, 2],
     );
-    assert_eq!(db.execute(&Statement::Select(q)).unwrap().rows.len(), 2);
+    assert_eq!(db.query(&Statement::Select(q)).run().unwrap().rows.len(), 2);
 }

@@ -38,7 +38,7 @@ fn explain_analyze_actual_rows_match_result() {
         Some(Expr::col_cmp(2, CmpOp::Lt, Value::Int32(300))),
         vec![0, 2],
     );
-    let r = db.explain_analyze(&q).unwrap();
+    let r = db.query(&q).analyze().run().unwrap();
     let report = r.analyze.as_ref().expect("explain_analyze sets analyze");
     assert_eq!(
         report.root().actual_rows,
@@ -67,7 +67,7 @@ fn explain_analyze_csi_scan_reports_per_node_actuals() {
         Some(Expr::col_cmp(0, CmpOp::Lt, Value::Int32(1000))),
         vec![0, 1],
     );
-    let r = db.explain_analyze(&q).unwrap();
+    let r = db.query(&q).analyze().run().unwrap();
     let report = r.analyze.as_ref().unwrap();
     assert_eq!(r.rows.len(), 1000);
     assert_eq!(report.root().actual_rows, 1000);
@@ -91,7 +91,7 @@ fn explain_analyze_reports_rows_pruned_by_pushdown() {
         Some(Expr::col_cmp(2, CmpOp::Lt, Value::Int32(30))),
         vec![0, 2],
     );
-    let r = db.explain_analyze(&q).unwrap();
+    let r = db.query(&q).analyze().run().unwrap();
     let matching = (0..4000).filter(|i| i * 3 % 1000 < 30).count() as u64;
     assert_eq!(r.rows.len() as u64, matching);
     let report = r.analyze.as_ref().unwrap();
@@ -117,7 +117,7 @@ fn sort_spills_under_small_grant_and_is_visible() {
     // Sort on a non-key output so the B+ tree order doesn't satisfy it.
     q.order_by = vec![(2, true)];
     // A few KB of grant forces the external sort to spill runs.
-    let r = db.explain_analyze_with_grant(&q, 16 << 10).unwrap();
+    let r = db.query(&q).grant_bytes(16 << 10).analyze().run().unwrap();
     let report = r.analyze.as_ref().unwrap();
     assert_eq!(r.rows.len(), 20_000);
     assert!(
@@ -128,7 +128,7 @@ fn sort_spills_under_small_grant_and_is_visible() {
     let rendered = report.render();
     assert!(rendered.contains("spilled="), "{rendered}");
     // The same query under the default grant stays in memory.
-    let r2 = db.explain_analyze(&q).unwrap();
+    let r2 = db.query(&q).analyze().run().unwrap();
     assert_eq!(r2.analyze.as_ref().unwrap().spilled_bytes(), 0);
 }
 
@@ -145,7 +145,7 @@ fn query_store_retains_recent_statements() {
             Some(Expr::col_cmp(0, CmpOp::Lt, Value::Int32(hi))),
             vec![0],
         );
-        db.execute(&Statement::Select(q)).unwrap();
+        db.query(&Statement::Select(q)).run().unwrap();
     }
     let store = db.query_store();
     assert_eq!(store.len(), 4, "ring capped at capacity");
@@ -170,7 +170,7 @@ fn optimizer_choice_counters_advance() {
     let db = Database::new(DbConfig::default());
     setup_table(&db, btree_primary(), 1000);
     let q = SelectQuery::single_table("t", None, vec![0]);
-    db.execute(&Statement::Select(q)).unwrap();
+    db.query(&Statement::Select(q)).run().unwrap();
     let delta = hpd_obs::global().snapshot().delta(&base);
     // Parallel tests share the global registry, so assert growth not equality.
     assert!(delta.counter("optimizer.plans") >= 1);

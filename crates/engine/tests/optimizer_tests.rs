@@ -66,7 +66,7 @@ fn composite_equality_prefix_seek() {
         "{}",
         plan.explain()
     );
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     assert_eq!(r.rows.len(), 1);
     assert!(
         r.metrics.io.logical_reads < 10,
@@ -94,7 +94,7 @@ fn equality_prefix_plus_range_seek() {
         "{}",
         plan.explain()
     );
-    let r = db.execute(&Statement::Select(q)).unwrap();
+    let r = db.query(&Statement::Select(q)).run().unwrap();
     let expected = (0..40_000)
         .filter(|i| i % 4 == 1 && (2..5).contains(&(i / 4 % 10)))
         .count();
@@ -213,7 +213,7 @@ fn covering_secondary_beats_lookup_plan() {
         "secondary chosen:\n{}",
         plan.explain()
     );
-    let r = db.execute(&Statement::Select(q_lookup)).unwrap();
+    let r = db.query(&Statement::Select(q_lookup)).run().unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0], Value::Int32(123));
 }

@@ -115,7 +115,8 @@ impl QuerySpec {
 
 fn engine_rows(db: &Database, q: &QuerySpec) -> Vec<Vec<i64>> {
     let result = db
-        .execute(&Statement::Select(q.to_query()))
+        .query(&Statement::Select(q.to_query()))
+        .run()
         .expect("query execution");
     let mut rows: Vec<Vec<i64>> = result
         .rows

@@ -1,0 +1,262 @@
+//! Workload-manager tests: the shared worker pool bounds threads across
+//! concurrent parallel queries, the grant broker admission-controls the
+//! SELECT path (timeouts, reduced grants → spill), fault injection reaches
+//! the broker, and the unified `Database::query` builder is equivalent to
+//! the deprecated execute/explain quartet it replaces.
+
+use std::time::Duration;
+
+use hpd_common::{faults, DataType, HpdError, Row, Schema, Value};
+use hpd_engine::{Database, DbConfig, IndexDescriptor, SelectQuery, Statement};
+
+/// `t(id, grp, val)`: id unique 0..n, grp = id % 20, val = id * 3 % 1000.
+fn setup_table(db: &Database, n: i32) {
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int32),
+        ("grp", DataType::Int32),
+        ("val", DataType::Int32),
+    ]);
+    db.create_table(
+        "t",
+        schema,
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )
+    .unwrap();
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int32(i),
+                Value::Int32(i % 20),
+                Value::Int32(i * 3 % 1000),
+            ])
+        })
+        .collect();
+    db.load_table("t", rows).unwrap();
+}
+
+/// A wide-ish scan with an ORDER BY so the plan parallelizes the scan and
+/// the sort does real memory work.
+fn sort_query() -> SelectQuery {
+    let mut q = SelectQuery::single_table("t", None, vec![0, 1, 2]);
+    q.order_by = vec![(2, true)];
+    q
+}
+
+/// The ISSUE-4 thread-budget regression test: eight concurrent DOP-8
+/// queries on one database must never hold more extra worker threads than
+/// the configured engine-wide budget.
+#[test]
+fn concurrent_parallel_queries_respect_thread_budget() {
+    let cfg = DbConfig {
+        worker_threads: 4,
+        max_dop: 8,
+        ..DbConfig::default()
+    };
+    let db = Database::new(cfg);
+    setup_table(&db, 30_000);
+
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let db = &db;
+            s.spawn(move || {
+                for _ in 0..3 {
+                    let r = db.query(&sort_query()).dop(8).run().unwrap();
+                    assert_eq!(r.rows.len(), 30_000);
+                }
+            });
+        }
+    });
+
+    let pool = db.worker_pool();
+    assert_eq!(pool.in_use(), 0, "all leases returned");
+    assert!(
+        pool.peak_in_use() <= 4,
+        "peak worker threads {} exceeded budget 4",
+        pool.peak_in_use()
+    );
+    assert!(
+        pool.peak_in_use() > 0,
+        "queries never went parallel — the test lost its teeth"
+    );
+}
+
+/// With a zero thread budget every parallel plan degrades to serial and
+/// still returns correct answers.
+#[test]
+fn zero_thread_budget_degrades_to_serial() {
+    let cfg = DbConfig {
+        worker_threads: 0,
+        max_dop: 8,
+        ..DbConfig::default()
+    };
+    let db = Database::new(cfg);
+    setup_table(&db, 10_000);
+    let r = db.query(&sort_query()).run().unwrap();
+    assert_eq!(r.rows.len(), 10_000);
+    assert_eq!(db.worker_pool().peak_in_use(), 0);
+}
+
+/// Holding the whole shared budget makes the next query time out at the
+/// admission deadline with the dedicated error kind.
+#[test]
+fn grant_wait_timeout_surfaces_as_error() {
+    let cfg = DbConfig {
+        total_grant_bytes: 256 << 10,
+        grant_wait_timeout: Duration::from_millis(50),
+        ..DbConfig::default()
+    };
+    let db = Database::new(cfg);
+    setup_table(&db, 1_000);
+
+    let hold = db
+        .grant_broker()
+        .acquire(256 << 10, Duration::from_millis(10))
+        .unwrap();
+    let err = db.query(&sort_query()).run().unwrap_err();
+    assert!(
+        matches!(err, HpdError::GrantWaitTimeout { .. }),
+        "expected GrantWaitTimeout, got {err:?}"
+    );
+    drop(hold);
+
+    // Budget free again: the same query is admitted and runs.
+    assert_eq!(db.query(&sort_query()).run().unwrap().rows.len(), 1_000);
+    assert!(db.grant_broker().peak_reserved_bytes() <= 256 << 10);
+}
+
+/// When only a sliver of budget is free at the deadline, the broker admits
+/// the query with a reduced grant and the sort spills instead of failing —
+/// and the whole outcome is visible in EXPLAIN ANALYZE.
+#[test]
+fn reduced_grant_flows_into_spill_path() {
+    let cfg = DbConfig {
+        total_grant_bytes: 1 << 20,
+        min_grant_bytes: 16 << 10,
+        grant_wait_timeout: Duration::from_millis(50),
+        ..DbConfig::default()
+    };
+    let db = Database::new(cfg);
+    setup_table(&db, 20_000); // sort needs ~20000*36 = 720KB
+
+    // Leave 32KB free: below the sort's need, above the 16KB floor.
+    let hold = db
+        .grant_broker()
+        .acquire((1 << 20) - (32 << 10), Duration::from_millis(10))
+        .unwrap();
+    let r = db.query(&sort_query()).analyze().run().unwrap();
+    assert_eq!(r.rows.len(), 20_000);
+
+    let report = r.analyze.as_ref().unwrap();
+    let grant = report.grant.expect("SELECT carries a grant summary");
+    assert!(grant.reduced, "admission must have been reduced");
+    assert!(grant.granted_bytes <= 32 << 10);
+    assert!(grant.granted_bytes < grant.requested_bytes);
+    assert!(
+        report.spilled_bytes() > 0,
+        "reduced grant must push the sort into the spill path:\n{}",
+        report.render()
+    );
+    assert!(report.render().contains("(reduced)"), "{}", report.render());
+    drop(hold);
+}
+
+/// The fault-injection site makes the broker fail as if the wait timed out,
+/// without consuming any budget; the next query runs normally.
+#[test]
+fn fault_injected_grant_timeout() {
+    let db = Database::new(DbConfig::default());
+    setup_table(&db, 1_000);
+    faults::clear_all();
+    faults::arm(faults::sites::GRANT_TIMEOUT, 1);
+    let err = db.query(&sort_query()).run().unwrap_err();
+    assert!(matches!(err, HpdError::GrantWaitTimeout { .. }));
+    // Charge consumed: the retry is admitted.
+    assert_eq!(db.query(&sort_query()).run().unwrap().rows.len(), 1_000);
+    faults::clear_all();
+}
+
+/// Broker and pool activity shows up in the process-wide obs registry.
+#[test]
+fn workload_counters_visible_in_obs_snapshots() {
+    let db = Database::new(DbConfig::default());
+    setup_table(&db, 5_000);
+    let before = hpd_obs::global().snapshot();
+    for _ in 0..4 {
+        db.query(&sort_query()).run().unwrap();
+    }
+    let d = hpd_obs::global().snapshot().delta(&before);
+    assert!(
+        d.counter("sched.grant.admitted") >= 4,
+        "every SELECT passes through the broker"
+    );
+    let waits = d
+        .histograms
+        .get("sched.grant.wait_us")
+        .expect("wait histogram recorded");
+    assert!(waits.count >= 4);
+}
+
+/// A non-analyzed run carries no report; an analyzed one reports the grant
+/// even when admission was immediate.
+#[test]
+fn analyze_reports_grant_on_uncontended_run() {
+    let db = Database::new(DbConfig::default());
+    setup_table(&db, 2_000);
+    let r = db.query(&sort_query()).run().unwrap();
+    assert!(r.analyze.is_none());
+
+    let r = db.query(&sort_query()).analyze().run().unwrap();
+    let grant = r.analyze.as_ref().unwrap().grant.unwrap();
+    assert!(!grant.reduced);
+    assert!(grant.granted_bytes >= grant.requested_bytes.min(grant.granted_bytes));
+    assert!(grant.requested_bytes > 0);
+}
+
+/// `analyze()` on a non-SELECT statement is rejected up front.
+#[test]
+fn analyze_on_non_select_is_invalid() {
+    let db = Database::new(DbConfig::default());
+    setup_table(&db, 100);
+    let del = Statement::Delete(hpd_engine::DeleteStmt {
+        table: "t".into(),
+        predicate: hpd_common::Expr::col_cmp(0, hpd_common::CmpOp::Lt, Value::Int32(0)),
+        top: None,
+    });
+    let err = db.query(&del).analyze().run().unwrap_err();
+    assert!(matches!(err, HpdError::InvalidQuery(_)), "{err:?}");
+}
+
+/// The deprecated quartet must behave identically to the builder calls it
+/// forwards to.
+#[allow(deprecated)]
+#[test]
+fn deprecated_shims_match_builder_api() {
+    let db = Database::new(DbConfig::default());
+    setup_table(&db, 5_000);
+    let stmt = Statement::Select(sort_query());
+
+    let old = db.execute(&stmt).unwrap();
+    let new = db.query(&stmt).run().unwrap();
+    assert_eq!(old.rows, new.rows);
+
+    let old = db.execute_with_grant(&stmt, 32 << 10).unwrap();
+    let new = db.query(&stmt).grant_bytes(32 << 10).run().unwrap();
+    assert_eq!(old.rows, new.rows);
+
+    let q = sort_query();
+    let old = db.explain_analyze(&q).unwrap();
+    let new = db.query(&q).analyze().run().unwrap();
+    assert_eq!(old.rows, new.rows);
+    assert!(old.analyze.is_some() && new.analyze.is_some());
+
+    let old = db.explain_analyze_with_grant(&q, 32 << 10).unwrap();
+    let new = db.query(&q).grant_bytes(32 << 10).analyze().run().unwrap();
+    assert_eq!(old.rows, new.rows);
+    let (o, n) = (old.analyze.unwrap(), new.analyze.unwrap());
+    assert!(o.spilled_bytes() > 0 && n.spilled_bytes() > 0);
+    assert_eq!(
+        o.grant.unwrap().granted_bytes,
+        n.grant.unwrap().granted_bytes
+    );
+}

@@ -7,6 +7,7 @@ use std::time::Duration;
 use hpd_storage::{BufferPool, IoSnapshot, IoTracker, SpillManager};
 
 use crate::memory::MemoryGrant;
+use crate::sched::WorkerPool;
 
 /// Everything an operator needs at runtime. Cheap to clone; clones share
 /// the tracker, grant, and CPU accumulator (parallel workers take clones).
@@ -16,6 +17,10 @@ pub struct ExecCtx<'a> {
     pub tracker: IoTracker,
     pub grant: MemoryGrant,
     pub spill: SpillManager,
+    /// Shared worker-thread budget parallel operators draw from. Contexts
+    /// built outside the engine get an unbounded pool; the engine passes its
+    /// one shared pool so concurrent queries arbitrate threads.
+    pub workers: WorkerPool,
     /// Busy time accumulated by parallel workers, nanoseconds.
     worker_cpu_ns: Arc<AtomicU64>,
     /// Wall time the coordinator spent blocked inside parallel sections,
@@ -39,11 +44,22 @@ impl<'a> ExecCtx<'a> {
     /// Context with a bounded query working memory ("grant memory" in SQL
     /// Server terms).
     pub fn with_grant(pool: &'a BufferPool, grant_bytes: usize) -> ExecCtx<'a> {
+        ExecCtx::with_resources(pool, MemoryGrant::new(grant_bytes), WorkerPool::unbounded())
+    }
+
+    /// Context running against engine-shared resources: a broker-issued
+    /// memory grant and the engine's worker-thread pool.
+    pub fn with_resources(
+        pool: &'a BufferPool,
+        grant: MemoryGrant,
+        workers: WorkerPool,
+    ) -> ExecCtx<'a> {
         ExecCtx {
             pool,
             tracker: IoTracker::new(),
-            grant: MemoryGrant::new(grant_bytes),
+            grant,
             spill: SpillManager::new(*pool.device()),
+            workers,
             worker_cpu_ns: Arc::new(AtomicU64::new(0)),
             parallel_wall_ns: Arc::new(AtomicU64::new(0)),
             worker_max_ns: Arc::new(AtomicU64::new(0)),

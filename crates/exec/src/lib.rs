@@ -13,11 +13,14 @@
 //! reproducing the constrained-memory behaviour of the paper's Figures 3–4.
 
 pub mod ctx;
+pub mod grant_broker;
 pub mod memory;
 pub mod ops;
 pub mod profile;
+pub mod sched;
 
 pub use ctx::{ExecCtx, ExecMetrics};
+pub use grant_broker::{GrantBroker, GrantLease};
 pub use memory::MemoryGrant;
 pub use ops::agg::{AggSpec, HashAggOp, StreamAggOp};
 pub use ops::filter::{FilterOp, Mode, ProjectOp};
@@ -27,3 +30,4 @@ pub use ops::scan::{BTreeRangeScanOp, CsiScanOp, ValuesOp};
 pub use ops::sort::{LimitOp, SortKey, SortOp};
 pub use ops::{collect, collect_rows, Operator};
 pub use profile::{OpStats, ProfiledOp};
+pub use sched::{PoolLease, WorkerPool};

@@ -1,16 +1,27 @@
-//! Intra-query parallelism: run N worker sub-plans on real threads and
+//! Intra-query parallelism: run N worker sub-plans over pooled threads and
 //! gather their batches.
 //!
 //! The planner chooses the degree of parallelism (DOP); a serial plan skips
-//! this operator entirely. Each worker's busy time is accumulated into the
-//! context so "CPU time" counts total work while wall time reflects the
-//! parallel speedup — the split visible between Figures 1(a) and 1(b) of the
-//! paper, where switching to a parallel plan drops execution time but jumps
-//! CPU time.
+//! this operator entirely. Threads come from the context's shared
+//! [`WorkerPool`](crate::sched::WorkerPool), not raw spawns: the operator
+//! leases up to `DOP - 1` extra threads and runs the sub-plans off a shared
+//! work queue, with the coordinating thread always participating as one
+//! lane. When the pool is busy the lease comes back short — the same plan
+//! executes at a lower effective DOP (fully serial at zero) instead of
+//! oversubscribing the machine.
+//!
+//! Each lane's busy time is accumulated into the context so "CPU time"
+//! counts total work while wall time reflects the parallel speedup — the
+//! split visible between Figures 1(a) and 1(b) of the paper, where switching
+//! to a parallel plan drops execution time but jumps CPU time. A clamped
+//! lease lengthens the critical path (one lane runs several sub-plans), so
+//! DOP degradation shows up in modelled elapsed time exactly like it would
+//! on a loaded server.
 
 use std::time::Instant;
 
 use hpd_common::{Batch, DataType, HpdError, Result};
+use parking_lot::Mutex;
 
 use crate::ctx::ExecCtx;
 use crate::ops::{collect, Operator, PlanNode};
@@ -41,36 +52,58 @@ impl<'a> ParallelOp<'a> {
 
     fn run(&mut self, ctx: &ExecCtx<'_>) -> Result<Vec<Batch>> {
         let workers = std::mem::take(&mut self.workers);
-        if workers.len() == 1 {
+        let n = workers.len();
+        if n == 1 {
             // Degenerate DOP 1: run inline.
             let mut w = workers;
             return collect(w[0].as_mut(), ctx);
         }
+        // Lease extra threads; the coordinator is always one lane, so DOP n
+        // needs at most n-1 extras. A short (even zero) lease degrades the
+        // effective DOP instead of blocking or over-spawning.
+        let lease = ctx.workers.try_acquire(n - 1);
+        let extra = lease.granted();
+
         let scope_start = Instant::now();
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = workers
-                .into_iter()
-                .map(|mut w| {
+        // Index-tagged work queue; lanes pop from the back so sub-plans are
+        // claimed in order, and results land in their slot to keep the
+        // output batch order identical to the per-thread original.
+        let queue: Mutex<Vec<(usize, PlanNode<'a>)>> =
+            Mutex::new(workers.into_iter().enumerate().rev().collect());
+        let results: Mutex<Vec<Option<Result<Vec<Batch>>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let run_lane = |wctx: &ExecCtx<'_>| {
+            let start = Instant::now();
+            loop {
+                let item = queue.lock().pop();
+                let Some((idx, mut plan)) = item else { break };
+                let out = collect(plan.as_mut(), wctx);
+                results.lock()[idx] = Some(out);
+            }
+            wctx.add_worker_cpu(start.elapsed());
+        };
+
+        if extra == 0 {
+            // Pool exhausted: the whole parallel section runs serially on
+            // the coordinating thread.
+            run_lane(ctx);
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..extra {
                     let wctx = ctx.clone();
-                    scope.spawn(move |_| {
-                        let start = Instant::now();
-                        let out = collect(w.as_mut(), &wctx);
-                        wctx.add_worker_cpu(start.elapsed());
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect::<Vec<Result<Vec<Batch>>>>()
-        })
-        .map_err(|_| HpdError::Internal("parallel scope panicked".into()))?;
+                    let run_lane = &run_lane;
+                    scope.spawn(move |_| run_lane(&wctx));
+                }
+                run_lane(ctx);
+            })
+            .map_err(|_| HpdError::Internal("parallel scope panicked".into()))?;
+        }
+        drop(lease);
         ctx.add_parallel_wall(scope_start.elapsed());
 
         let mut batches = Vec::new();
-        for r in results {
-            batches.extend(r?);
+        for r in results.into_inner() {
+            batches.extend(r.expect("every sub-plan was claimed by a lane")?);
         }
         Ok(batches)
     }

@@ -1,0 +1,190 @@
+//! Engine-wide worker-thread scheduling.
+//!
+//! SQL Server runs every parallel query against one shared scheduler: a DOP-8
+//! plan does not get eight dedicated OS threads, it gets *up to* eight workers
+//! from a machine-wide budget, and under concurrency its effective DOP is
+//! clamped. [`WorkerPool`] reproduces that arbitration: a fixed token budget
+//! of **extra** worker threads (the coordinating thread is always free), a
+//! non-blocking [`WorkerPool::try_acquire`] that hands back however many
+//! tokens are left, and a [`PoolLease`] that returns them on drop.
+//!
+//! `ParallelOp` draws its threads from here instead of spawning one per
+//! worker sub-plan, so N concurrent queries can never oversubscribe the
+//! machine beyond `budget + N` runnable threads — the fix the paper's §3.6
+//! concurrency sweep needs to saturate instead of thrash.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hpd_obs::{Counter, Histogram};
+
+/// Histogram of pool occupancy (threads in use) sampled at every acquire.
+pub const POOL_OCCUPANCY: &str = "sched.pool.occupancy";
+/// Total extra worker threads requested by parallel operators.
+pub const POOL_REQUESTED: &str = "sched.pool.requested_threads";
+/// Requested threads that were *not* granted (DOP degradation under load).
+pub const POOL_CLAMPED: &str = "sched.pool.clamped_threads";
+
+/// Shared budget of extra worker threads. Cloning shares the budget.
+#[derive(Clone)]
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    budget: usize,
+    in_use: AtomicUsize,
+    peak_in_use: AtomicUsize,
+    occupancy: Histogram,
+    requested: Counter,
+    clamped: Counter,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("budget", &self.inner.budget)
+            .field("in_use", &self.in_use())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool allowing at most `budget` extra worker threads engine-wide.
+    /// `budget = 0` forces every parallel plan to degrade to serial.
+    pub fn new(budget: usize) -> WorkerPool {
+        let reg = hpd_obs::global();
+        WorkerPool {
+            inner: Arc::new(PoolInner {
+                budget,
+                in_use: AtomicUsize::new(0),
+                peak_in_use: AtomicUsize::new(0),
+                occupancy: reg.histogram(POOL_OCCUPANCY),
+                requested: reg.counter(POOL_REQUESTED),
+                clamped: reg.counter(POOL_CLAMPED),
+            }),
+        }
+    }
+
+    /// A pool that never clamps — used by contexts built outside the engine
+    /// (operator unit tests, standalone executors).
+    pub fn unbounded() -> WorkerPool {
+        WorkerPool::new(usize::MAX >> 1)
+    }
+
+    pub fn budget(&self) -> usize {
+        self.inner.budget
+    }
+
+    pub fn in_use(&self) -> usize {
+        self.inner.in_use.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of threads simultaneously leased — the value the
+    /// thread-budget regression test asserts against.
+    pub fn peak_in_use(&self) -> usize {
+        self.inner.peak_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Take up to `want` worker tokens without blocking. The lease may hold
+    /// fewer tokens than asked — possibly zero — when the pool is busy;
+    /// callers degrade their DOP instead of waiting.
+    pub fn try_acquire(&self, want: usize) -> PoolLease {
+        self.inner.requested.add(want as u64);
+        let mut cur = self.inner.in_use.load(Ordering::Relaxed);
+        let granted = loop {
+            let take = want.min(self.inner.budget.saturating_sub(cur));
+            if take == 0 {
+                break 0;
+            }
+            match self.inner.in_use.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner
+                        .peak_in_use
+                        .fetch_max(cur + take, Ordering::Relaxed);
+                    break take;
+                }
+                Err(actual) => cur = actual,
+            }
+        };
+        self.inner.clamped.add((want - granted) as u64);
+        self.inner.occupancy.record(self.in_use() as u64);
+        PoolLease {
+            pool: Arc::clone(&self.inner),
+            granted,
+        }
+    }
+}
+
+/// RAII lease over worker tokens; returns them to the pool on drop.
+pub struct PoolLease {
+    pool: Arc<PoolInner>,
+    granted: usize,
+}
+
+impl PoolLease {
+    /// How many extra worker threads this lease actually holds.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            self.pool.in_use.fetch_sub(self.granted, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_clamps_to_budget() {
+        let pool = WorkerPool::new(4);
+        let a = pool.try_acquire(3);
+        assert_eq!(a.granted(), 3);
+        let b = pool.try_acquire(3);
+        assert_eq!(b.granted(), 1, "only one token left");
+        let c = pool.try_acquire(2);
+        assert_eq!(c.granted(), 0, "pool exhausted");
+        drop(a);
+        assert_eq!(pool.in_use(), 1);
+        let d = pool.try_acquire(8);
+        assert_eq!(d.granted(), 3);
+        assert_eq!(pool.peak_in_use(), 4);
+    }
+
+    #[test]
+    fn zero_budget_always_degrades_to_serial() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.try_acquire(8).granted(), 0);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn concurrent_acquires_never_exceed_budget() {
+        let pool = WorkerPool::new(5);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let lease = pool.try_acquire(3);
+                        assert!(pool.in_use() <= pool.budget());
+                        drop(lease);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.in_use(), 0);
+        assert!(pool.peak_in_use() <= 5);
+    }
+}

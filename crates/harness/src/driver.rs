@@ -97,6 +97,7 @@ fn err_kind(e: &HpdError) -> &'static str {
         HpdError::Constraint(_) => "Constraint",
         HpdError::InvalidQuery(_) => "InvalidQuery",
         HpdError::OutOfMemoryGrant { .. } => "OutOfMemoryGrant",
+        HpdError::GrantWaitTimeout { .. } => "GrantWaitTimeout",
         HpdError::LockTimeout(_) => "LockTimeout",
         HpdError::SerializationFailure(_) => "SerializationFailure",
         HpdError::FaultInjected(_) => "FaultInjected",
@@ -129,13 +130,27 @@ fn expected_rows(e: &Expected) -> Vec<Vec<i64>> {
     }
 }
 
+/// Workload-manager overrides for harness databases. The defaults leave the
+/// seed configuration untouched; a CI run sets a tiny worker-pool and grant
+/// budget so every history executes under broker admission (grants clamped
+/// to the budget, reduced grants driving the spill path) while staying
+/// deterministic — the lockstep driver is single-threaded per seed, so the
+/// FIFO broker never actually blocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Override the engine-wide extra-worker-thread budget.
+    pub pool_threads: Option<usize>,
+    /// Override the total shared memory-grant budget in bytes.
+    pub grant_budget: Option<usize>,
+}
+
 /// A small, deterministic database: tiny rowgroups and an aggressive
 /// delete-buffer threshold so harness-sized histories cross tuple-mover and
 /// compaction boundaries, serial plans, and a short lock timeout so the
 /// single-threaded driver resolves genuine lock conflicts quickly instead
 /// of stalling.
-fn harness_db_config() -> DbConfig {
-    DbConfig {
+fn harness_db_config(opts: &RunOptions) -> DbConfig {
+    let mut cfg = DbConfig {
         csi: CsiConfig {
             rowgroup_capacity: 32,
             delete_buffer_compact_threshold: 8,
@@ -144,11 +159,20 @@ fn harness_db_config() -> DbConfig {
         max_dop: 1,
         lock_timeout: Duration::from_millis(2),
         ..DbConfig::default()
+    };
+    if let Some(t) = opts.pool_threads {
+        cfg.worker_threads = t;
     }
+    if let Some(b) = opts.grant_budget {
+        cfg.total_grant_bytes = b.max(1);
+        // Keep reduced grants usable when the whole budget is tiny.
+        cfg.min_grant_bytes = cfg.min_grant_bytes.min(cfg.total_grant_bytes);
+    }
+    cfg
 }
 
-fn build_database(design: usize, plan: &Plan) -> Database {
-    let db = Database::new(harness_db_config());
+fn build_database(design: usize, plan: &Plan, opts: &RunOptions) -> Database {
+    let db = Database::new(harness_db_config(opts));
     let schema = history::history_schema();
     let primary = match design {
         1 => IndexDescriptor::PrimaryCsi,
@@ -214,12 +238,17 @@ fn fnv_out(hash: &mut u64, out: &StmtOut) {
 /// (and the same always-on fault sites) produces the same [`Outcome`],
 /// fingerprint included.
 pub fn run_plan(plan: &Plan) -> Outcome {
+    run_plan_with(plan, &RunOptions::default())
+}
+
+/// [`run_plan`] with workload-manager overrides (see [`RunOptions`]).
+pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
     // A previous run may have left unfired charges behind if it stopped at
     // a divergence; always-on sites (deliberate-bug knobs) are preserved.
     faults::reset_charges();
     let fired_before = faults::fired_total();
 
-    let dbs: Vec<Database> = (0..3).map(|d| build_database(d, plan)).collect();
+    let dbs: Vec<Database> = (0..3).map(|d| build_database(d, plan, opts)).collect();
     let mut refm = RefModel::new(
         history::initial_rows(plan.seed, &plan.history)
             .iter()

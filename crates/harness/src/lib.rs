@@ -21,7 +21,7 @@ pub mod plan;
 pub mod refmodel;
 pub mod shrink;
 
-pub use driver::{run_plan, Divergence, Outcome, RunStats, Verdict};
+pub use driver::{run_plan, run_plan_with, Divergence, Outcome, RunOptions, RunStats, Verdict};
 pub use plan::{FaultSpec, Plan, PlanConfig};
 pub use refmodel::{Expected, RefModel};
 pub use shrink::{diverges, shrink};

@@ -2,21 +2,33 @@
 //!
 //! ```text
 //! hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] [--rows N]
-//!             [--concurrency N] [--fault-rate F] [--no-shrink] [--quiet]
+//!             [--concurrency N] [--fault-rate F] [--threads N]
+//!             [--pool-threads N] [--grant-budget BYTES]
+//!             [--no-shrink] [--quiet]
 //! HARNESS_SEED=<n> hpd-harness          # replay exactly one seed
 //! ```
+//!
+//! `--threads` distributes the seed range over N OS threads (one seed per
+//! thread at a time; fault injection is thread-local, so plans stay
+//! deterministic). `--pool-threads` / `--grant-budget` shrink the workload
+//! manager's engine-wide budgets so every history runs under broker
+//! admission control.
 //!
 //! Exits non-zero on the first divergence, after printing the shrunk
 //! minimal repro and the replay instruction.
 
 use std::ops::Range;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use hpd_harness::{run_plan, shrink, Plan, PlanConfig, Verdict};
+use hpd_harness::{run_plan_with, shrink, Outcome, Plan, PlanConfig, RunOptions, Verdict};
 
 struct Args {
     seeds: Range<u64>,
     cfg: PlanConfig,
+    run_opts: RunOptions,
+    threads: usize,
     do_shrink: bool,
     quiet: bool,
 }
@@ -25,6 +37,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seeds: 0..16,
         cfg: PlanConfig::default(),
+        run_opts: RunOptions::default(),
+        threads: 1,
         do_shrink: true,
         quiet: false,
     };
@@ -56,12 +70,27 @@ fn parse_args() -> Result<Args, String> {
             "--fault-rate" => {
                 args.cfg.fault_rate = val("--fault-rate")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--threads" => {
+                args.threads = val("--threads")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("{e}"))?
+                    .max(1)
+            }
+            "--pool-threads" => {
+                args.run_opts.pool_threads =
+                    Some(val("--pool-threads")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--grant-budget" => {
+                args.run_opts.grant_budget =
+                    Some(val("--grant-budget")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--no-shrink" => args.do_shrink = false,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] \
-                            [--rows N] [--concurrency N] [--fault-rate F] [--no-shrink] [--quiet]\n\
+                            [--rows N] [--concurrency N] [--fault-rate F] [--threads N] \
+                            [--pool-threads N] [--grant-budget BYTES] [--no-shrink] [--quiet]\n\
                             env: HARNESS_SEED=<n> replays exactly one seed"
                         .into(),
                 )
@@ -87,15 +116,37 @@ fn main() -> ExitCode {
         }
     };
 
+    // Seeds are claimed from a shared cursor by `--threads` worker threads
+    // (fault injection is thread-local, so concurrent seeds can't interfere);
+    // outcomes are reported in seed order afterwards.
+    let lo = args.seeds.start;
+    let next = AtomicU64::new(lo);
+    let n_seeds = (args.seeds.end - args.seeds.start) as usize;
+    let results: Mutex<Vec<Option<Outcome>>> = Mutex::new(vec![None; n_seeds]);
+    std::thread::scope(|s| {
+        for _ in 0..args.threads.min(n_seeds.max(1)) {
+            s.spawn(|| loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= args.seeds.end {
+                    return;
+                }
+                let plan = Plan::generate(seed, &args.cfg);
+                let out = run_plan_with(&plan, &args.run_opts);
+                results.lock().unwrap()[(seed - lo) as usize] = Some(out);
+            });
+        }
+    });
+
+    let results = results.into_inner().unwrap();
     let mut totals = hpd_harness::RunStats::default();
-    for seed in args.seeds.clone() {
-        let plan = Plan::generate(seed, &args.cfg);
-        let out = run_plan(&plan);
+    for (i, out) in results.iter().enumerate() {
+        let seed = lo + i as u64;
+        let out = out.as_ref().expect("every seed ran");
         totals.ops_attempted += out.stats.ops_attempted;
         totals.txns_committed += out.stats.txns_committed;
         totals.txns_aborted += out.stats.txns_aborted;
         totals.faults_fired += out.stats.faults_fired;
-        match out.verdict {
+        match &out.verdict {
             Verdict::Pass => {
                 if !args.quiet {
                     println!(
@@ -109,6 +160,7 @@ fn main() -> ExitCode {
                 }
             }
             Verdict::Divergence(d) => {
+                let plan = Plan::generate(seed, &args.cfg);
                 eprintln!("seed {seed}: DIVERGENCE at step {} (txn {})", d.step, d.txn);
                 eprintln!("{}", d.detail);
                 eprintln!("--- full plan ---\n{}", plan.render());

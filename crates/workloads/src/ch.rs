@@ -1194,22 +1194,24 @@ mod tests {
         }
         // NewOrder inserted orders beyond the initial ones.
         let count = db
-            .execute(&Statement::Select(SelectQuery {
+            .query(&Statement::Select(SelectQuery {
                 tables: vec![TableInput::new("orders")],
                 aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 2))],
                 ..Default::default()
             }))
+            .run()
             .unwrap();
         let initial =
             scale.warehouses * scale.districts_per_warehouse * scale.initial_orders_per_district;
         assert_eq!(count.rows[0][0], Value::Int64(initial as i64 + 5));
         // History got payment rows.
         let hist = db
-            .execute(&Statement::Select(SelectQuery {
+            .query(&Statement::Select(SelectQuery {
                 tables: vec![TableInput::new("history")],
                 aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 0))],
                 ..Default::default()
             }))
+            .run()
             .unwrap();
         assert_eq!(hist.rows[0][0], Value::Int64(5));
     }
@@ -1219,7 +1221,7 @@ mod tests {
         let db = Database::new(DbConfig::default());
         load(&db, ChScale::tiny()).unwrap();
         for (label, q) in analytic_queries() {
-            let r = db.execute(&Statement::Select(q));
+            let r = db.query(&Statement::Select(q)).run();
             assert!(r.is_ok(), "{label} failed: {r:?}");
         }
     }
@@ -1231,7 +1233,7 @@ mod tests {
         load(&db, scale).unwrap();
         let (label, q1) = analytic_queries().into_iter().next().unwrap();
         assert_eq!(label, "CH-Q1");
-        let rows = db.execute(&Statement::Select(q1)).unwrap().rows;
+        let rows = db.query(&Statement::Select(q1)).run().unwrap().rows;
         // Grouped by ol_number (5..15 possible), counts positive.
         assert!(!rows.is_empty());
         for r in rows {

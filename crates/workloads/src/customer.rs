@@ -362,7 +362,7 @@ mod tests {
         let queries = cdb.queries();
         assert_eq!(queries.len(), 8);
         for (label, q) in &queries {
-            let r = db.execute(&Statement::Select(q.clone()));
+            let r = db.query(&Statement::Select(q.clone())).run();
             assert!(r.is_ok(), "{label}: {r:?}");
         }
     }

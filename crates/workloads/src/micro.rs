@@ -229,7 +229,7 @@ mod tests {
                 aggregates: vec![],
                 ..t.q1(sel)
             };
-            let n = db.execute(&Statement::Select(q)).unwrap().rows.len();
+            let n = db.query(&Statement::Select(q)).run().unwrap().rows.len();
             let frac = n as f64 / 20_000.0;
             assert!((frac - sel).abs() < 0.02, "sel {sel}: got fraction {frac}");
         }
@@ -246,8 +246,8 @@ mod tests {
             .unwrap();
         t.load(&db_cs, IndexDescriptor::PrimaryCsi).unwrap();
         let q = t.q1(0.1);
-        let a = db_bt.execute(&Statement::Select(q.clone())).unwrap();
-        let b = db_cs.execute(&Statement::Select(q)).unwrap();
+        let a = db_bt.query(&Statement::Select(q.clone())).run().unwrap();
+        let b = db_cs.query(&Statement::Select(q)).run().unwrap();
         assert_eq!(a.rows, b.rows);
     }
 }

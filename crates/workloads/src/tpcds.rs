@@ -419,7 +419,7 @@ mod tests {
         };
         load(&db, scale).unwrap();
         for (label, q) in queries(10, 7) {
-            let r = db.execute(&Statement::Select(q)).unwrap();
+            let r = db.query(&Statement::Select(q)).run().unwrap();
             assert!(r.rows.len() < 5_000, "{label} exploded");
         }
     }

@@ -210,14 +210,14 @@ mod tests {
             cfg.csi.rowgroup_capacity = 4096;
             let db = Database::new(cfg);
             load_lineitem(&db, 20_000, 7, design).unwrap();
-            let upd = db.execute(&q4_update(10, 100)).unwrap();
+            let upd = db.query(&q4_update(10, 100)).run().unwrap();
             let affected = upd.rows[0][0].as_i64().unwrap();
             // ~8 rows/day at this scale; TOP caps at 10.
             assert!(
                 (1..=10).contains(&affected),
                 "{design:?}: affected {affected}"
             );
-            let scan = db.execute(&q5_scan(100)).unwrap();
+            let scan = db.query(&q5_scan(100)).run().unwrap();
             assert_eq!(scan.rows.len(), 1);
             assert!(scan.rows[0][0].as_f64().unwrap() > 0.0);
         }
@@ -227,10 +227,10 @@ mod tests {
     fn q4_update_actually_bumps_values() {
         let db = Database::new(DbConfig::default());
         load_lineitem(&db, 5_000, 3, MixedDesign::BTreeOnly).unwrap();
-        let before = db.execute(&q5_scan(42)).unwrap().rows[0][0].clone();
+        let before = db.query(&q5_scan(42)).run().unwrap().rows[0][0].clone();
         // Update every line shipped on day 42 (top high enough).
-        db.execute(&q4_update(100_000, 42)).unwrap();
-        let after = db.execute(&q5_scan(42)).unwrap().rows[0][0].clone();
+        db.query(&q4_update(100_000, 42)).run().unwrap();
+        let after = db.query(&q5_scan(42)).run().unwrap().rows[0][0].clone();
         assert!(
             after.as_f64().unwrap() > before.as_f64().unwrap(),
             "sum(l_quantity) should grow: {before:?} -> {after:?}"

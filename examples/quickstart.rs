@@ -57,7 +57,7 @@ fn main() -> Result<(), HpdError> {
 
     println!("== before tuning ==");
     for (name, q) in [("point lookup", &point), ("rollup", &rollup)] {
-        let r = db.execute(&Statement::Select(q.clone()))?;
+        let r = db.query(&Statement::Select(q.clone())).run()?;
         println!(
             "{name:>14}: {:>6} rows, {:>8.0} us elapsed, {:>9} bytes read",
             r.rows.len(),
@@ -75,7 +75,7 @@ fn main() -> Result<(), HpdError> {
     println!("== after tuning ==");
     for (name, q) in [("point lookup", &point), ("rollup", &rollup)] {
         let plan = db.plan(q)?;
-        let r = db.execute(&Statement::Select(q.clone()))?;
+        let r = db.query(&Statement::Select(q.clone())).run()?;
         println!(
             "{name:>14}: {:>6} rows, {:>8.0} us elapsed, {:>9} bytes read  (leaves: {:?})",
             r.rows.len(),

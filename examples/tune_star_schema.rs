@@ -52,7 +52,7 @@ fn main() -> Result<(), HpdError> {
         // Measure actual CPU time for the whole workload.
         let mut cpu_us = 0.0;
         for (_, q) in &queries {
-            let r = db.execute(&Statement::Select(q.clone()))?;
+            let r = db.query(&Statement::Select(q.clone())).run()?;
             cpu_us += r.metrics.cpu_us();
         }
         println!(

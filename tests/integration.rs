@@ -47,9 +47,9 @@ fn answers_agree_across_designs() {
     for sel in [0.0, 1e-4, 0.01, 0.3, 1.0] {
         for q in [t.q1(sel), t.q2(sel), t.q3()] {
             let stmt = Statement::Select(q);
-            let a = sorted_rows(db_bt.execute(&stmt).unwrap().rows);
-            let b = sorted_rows(db_cs.execute(&stmt).unwrap().rows);
-            let c = sorted_rows(db_hybrid.execute(&stmt).unwrap().rows);
+            let a = sorted_rows(db_bt.query(&stmt).run().unwrap().rows);
+            let b = sorted_rows(db_cs.query(&stmt).run().unwrap().rows);
+            let c = sorted_rows(db_hybrid.query(&stmt).run().unwrap().rows);
             assert_eq!(a, b, "btree vs csi disagree at sel {sel}");
             assert_eq!(a, c, "btree vs hybrid disagree at sel {sel}");
         }
@@ -76,7 +76,8 @@ fn selectivity_tradeoff_shape() {
 
     let run_cold = |db: &Database, sel: f64| {
         db.clear_cache();
-        db.execute(&Statement::Select(t.q1(sel)))
+        db.query(&Statement::Select(t.q1(sel)))
+            .run()
             .unwrap()
             .metrics
             .elapsed_us()
@@ -111,10 +112,11 @@ fn update_cost_ordering() {
         load_lineitem(&db, 30_000, 5, design).unwrap();
         // Warm, then take the median of five 10-row updates (sub-millisecond
         // wall timings are noisy on loaded machines).
-        db.execute(&q4_update(10, 50)).unwrap();
+        db.query(&q4_update(10, 50)).run().unwrap();
         let mut runs: Vec<f64> = (51..56)
             .map(|day| {
-                db.execute(&q4_update(10, day))
+                db.query(&q4_update(10, day))
+                    .run()
                     .unwrap()
                     .metrics
                     .elapsed_us()
@@ -148,9 +150,9 @@ fn mixed_statements_consistent_across_designs() {
         let db = Database::new(cfg);
         load_lineitem(&db, 20_000, 9, design).unwrap();
         for day in 0..5 {
-            db.execute(&q4_update(5, day)).unwrap();
+            db.query(&q4_update(5, day)).run().unwrap();
         }
-        let r = db.execute(&q5_scan(2)).unwrap();
+        let r = db.query(&q5_scan(2)).run().unwrap();
         totals.push(r.rows[0].clone());
     }
     assert_eq!(totals[0], totals[1]);
@@ -184,8 +186,9 @@ fn advisor_improves_measured_star_workload() {
         queries
             .iter()
             .map(|(_, q)| {
-                let _ = db.execute(&Statement::Select(q.clone()));
-                db.execute(&Statement::Select(q.clone()))
+                let _ = db.query(&Statement::Select(q.clone())).run();
+                db.query(&Statement::Select(q.clone()))
+                    .run()
                     .unwrap()
                     .metrics
                     .cpu_us()
@@ -236,20 +239,22 @@ fn ch_transactions_keep_invariants() {
         }
         // sum(o_ol_cnt) == count(order_line) — line counts stay consistent.
         let order_lines = db
-            .execute(&Statement::Select(SelectQuery {
+            .query(&Statement::Select(SelectQuery {
                 tables: vec![TableInput::new("order_line")],
                 aggregates: vec![AggItem::column(AggFunc::Count, ColRef::new(0, 0))],
                 ..Default::default()
             }))
+            .run()
             .unwrap()
             .rows[0][0]
             .clone();
         let ol_cnt_sum = db
-            .execute(&Statement::Select(SelectQuery {
+            .query(&Statement::Select(SelectQuery {
                 tables: vec![TableInput::new("orders")],
                 aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 6))],
                 ..Default::default()
             }))
+            .run()
             .unwrap()
             .rows[0][0]
             .clone();
@@ -276,9 +281,9 @@ fn snapshot_aggregate_stability() {
     };
     let frozen = reader.select(&q5).unwrap().rows;
 
-    db.execute(&q4_update(1_000, 7)).unwrap();
+    db.query(&q4_update(1_000, 7)).run().unwrap();
 
-    let fresh = db.execute(&Statement::Select(q5.clone())).unwrap().rows;
+    let fresh = db.query(&Statement::Select(q5.clone())).run().unwrap().rows;
     let still_frozen = reader.select(&q5).unwrap().rows;
     assert_eq!(frozen, still_frozen, "snapshot must not move");
     assert_ne!(frozen, fresh, "committed update must be visible outside");
@@ -470,26 +475,29 @@ mod differential {
                 ])
             })
             .collect();
-        db.execute(&Statement::Insert(
+        db.query(&Statement::Insert(
             hybrid_physical_designs::engine::InsertStmt {
                 table: "fact".into(),
                 rows: inserts,
             },
         ))
+        .run()
         .unwrap();
-        db.execute(&Statement::Delete(DeleteStmt {
+        db.query(&Statement::Delete(DeleteStmt {
             table: "fact".into(),
             predicate: Expr::between(0, Value::Int32(100), Value::Int32(140)),
             top: None,
         }))
+        .run()
         .unwrap();
-        db.execute(&Statement::Delete(DeleteStmt {
+        db.query(&Statement::Delete(DeleteStmt {
             table: "fact".into(),
             predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(1_999)),
             top: None,
         }))
+        .run()
         .unwrap();
-        db.execute(&Statement::Update(UpdateStmt {
+        db.query(&Statement::Update(UpdateStmt {
             table: "fact".into(),
             predicate: Expr::between(0, Value::Int32(300), Value::Int32(320)),
             top: None,
@@ -498,6 +506,7 @@ mod differential {
                 Expr::arith(BinOp::Add, Expr::col(2), Expr::lit(Value::Int32(7))),
             )],
         }))
+        .run()
         .unwrap();
     }
 
@@ -624,7 +633,7 @@ mod differential {
             let mut results: Vec<(&str, Vec<Row>)> = dbs
                 .iter()
                 .map(|(name, db)| {
-                    let mut rows = db.execute(&stmt).unwrap().rows;
+                    let mut rows = db.query(&stmt).run().unwrap().rows;
                     if !ordered {
                         rows.sort();
                     }
@@ -687,20 +696,28 @@ fn explain_analyze_lineitem_with_spill() {
     let mut q = SelectQuery::single_table("lineitem", None, (0..8).collect());
     q.order_by = vec![(3, true)]; // l_extendedprice
 
-    let r = db.explain_analyze_with_grant(&q, 32 << 10).unwrap();
+    let r = db.query(&q).grant_bytes(32 << 10).analyze().run().unwrap();
     let report = r.analyze.as_ref().unwrap();
     assert_eq!(report.root().actual_rows, r.rows.len() as u64);
     assert!(report.spilled_bytes() > 0, "{}", report.render());
 
     let rendered = report.render();
-    // Every node line carries estimated vs actual rows and a time reading.
-    for line in rendered.lines() {
+    // Every plan-node line carries estimated vs actual rows and a time
+    // reading; summary trailers (pruning/grant) are exempt.
+    for line in rendered
+        .lines()
+        .filter(|l| !l.starts_with("pruning:") && !l.starts_with("grant:"))
+    {
         assert!(line.contains("est="), "{rendered}");
         assert!(line.contains("act="), "{rendered}");
         assert!(line.contains("time="), "{rendered}");
     }
     assert!(rendered.contains("spilled="), "{rendered}");
     assert!(rendered.contains("Sort"), "{rendered}");
+    // The admission outcome for this statement is part of the report.
+    let grant = report.grant.expect("SELECT runs under the grant broker");
+    assert_eq!(grant.granted_bytes, 32 << 10);
+    assert!(rendered.contains("grant: requested="), "{rendered}");
 
     // The run landed in the query store with its estimate-error ratio.
     let last = db.query_store().recent().last().cloned().unwrap();

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the write-ahead log: raw record
+//! append+flush throughput, and the per-commit overhead of durability in
+//! the engine — synchronous commit vs. group commit vs. WAL disabled.
+//! EXPERIMENTS.md quotes the `wal_commit/*` numbers in its group-commit
+//! overhead note.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpd_common::{DataType, Row, Schema, Value};
+use hpd_engine::{Database, DbConfig, IndexDescriptor, Statement, WalConfig};
+use hpd_storage::{DeviceProfile, IoTracker};
+use hpd_wal::{LogRecord, Wal};
+
+fn row(id: i32) -> Row {
+    Row::new(vec![
+        Value::Int32(id),
+        Value::Int32(id % 7),
+        Value::Int64(i64::from(id) * 10),
+    ])
+}
+
+fn make_db(wal: WalConfig) -> Database {
+    let db = Database::new(DbConfig {
+        wal,
+        ..DbConfig::default()
+    });
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int32),
+        ("grp", DataType::Int32),
+        ("val", DataType::Int64),
+    ]);
+    db.create_table(
+        "t",
+        schema,
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )
+    .unwrap();
+    db.load_table("t", (0..1_000).map(row).collect()).unwrap();
+    db
+}
+
+fn bench_raw_append_flush(c: &mut Criterion) {
+    let wal = Wal::new(WalConfig::default(), DeviceProfile::ram());
+    let tracker = IoTracker::new();
+    c.bench_function("wal/append_flush_sync", |b| {
+        b.iter(|| {
+            wal.append(&LogRecord::Insert {
+                table: 0,
+                row: row(42),
+            });
+            std::hint::black_box(wal.flush(&tracker));
+        })
+    });
+}
+
+fn bench_commit(c: &mut Criterion, name: &str, wal: WalConfig) {
+    let db = make_db(wal);
+    let next = Cell::new(1_000i32);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let id = next.get();
+            next.set(id + 1);
+            let stmt = Statement::Insert(hpd_engine::InsertStmt {
+                table: "t".into(),
+                rows: vec![row(id)],
+            });
+            std::hint::black_box(db.query(&stmt).run().unwrap());
+        })
+    });
+}
+
+fn bench_commit_sync(c: &mut Criterion) {
+    bench_commit(c, "wal_commit/sync", WalConfig::default());
+}
+
+fn bench_commit_group(c: &mut Criterion) {
+    bench_commit(
+        c,
+        "wal_commit/group_commit",
+        WalConfig {
+            sync_commit: false,
+            group_commit_bytes: 64 << 10,
+            ..WalConfig::default()
+        },
+    );
+}
+
+fn bench_commit_disabled(c: &mut Criterion) {
+    bench_commit(
+        c,
+        "wal_commit/disabled",
+        WalConfig {
+            enabled: false,
+            ..WalConfig::default()
+        },
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_raw_append_flush,
+    bench_commit_sync,
+    bench_commit_group,
+    bench_commit_disabled
+);
+criterion_main!(benches);

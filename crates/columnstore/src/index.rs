@@ -407,26 +407,31 @@ impl ColumnStoreIndex {
     // Maintenance (tuple mover)
     // ------------------------------------------------------------------
 
-    /// Compress all full delta chunks into row groups.
+    /// Compress all full delta chunks into row groups. Returns the number
+    /// of delta rows migrated (for WAL maintenance records).
     ///
     /// Buffered deletes are compacted first: the delete buffer anti-joins
     /// against *compressed row groups only*, so rows moving from the delta
     /// into a row group must never collide with a stale buffered key.
-    pub fn tuple_move(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+    pub fn tuple_move(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
         if self.delete_buffer_len() > 0 && self.delta.len() >= self.config.rowgroup_capacity {
             self.compact_delete_buffer(pool, tracker);
         }
+        let mut moved = 0;
         while self.delta.len() >= self.config.rowgroup_capacity {
             hpd_obs::global().counter("columnstore.tuple_move").inc();
             let rows = self
                 .delta
                 .drain(self.config.rowgroup_capacity, pool, tracker);
+            moved += rows.len();
             self.compress_chunk(&rows, pool, tracker);
         }
+        moved
     }
 
-    /// Force-compress the remaining delta rows (index reorganize).
-    pub fn compress_all_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+    /// Force-compress the remaining delta rows (index reorganize). Returns
+    /// the number of delta rows migrated.
+    pub fn compress_all_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
         // Same invariant as `tuple_move`, but unconditional on delta size:
         // every delta row is about to become a compressed row, so no
         // buffered delete may be left to anti-join against it. An UPDATE
@@ -437,23 +442,26 @@ impl ColumnStoreIndex {
         if self.delete_buffer_len() > 0 && !self.delta.is_empty() {
             self.compact_delete_buffer(pool, tracker);
         }
-        self.tuple_move(pool, tracker);
+        let mut moved = self.tuple_move(pool, tracker);
         let rows = self.delta.drain(usize::MAX, pool, tracker);
+        moved += rows.len();
         self.compress_chunk(&rows, pool, tracker);
+        moved
     }
 
     /// Resolve buffered logical deletes into delete-bitmap bits (the
-    /// background compaction of paper §2). Clears the delete buffer.
+    /// background compaction of paper §2). Clears the delete buffer and
+    /// returns the number of buffered deletes resolved.
     ///
     /// One pass: every row group's key segments are scanned once and all
     /// buffered keys matched together, rather than one locating scan per
     /// buffered key.
-    pub fn compact_delete_buffer(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+    pub fn compact_delete_buffer(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
         let Some(buffer) = self.delete_buffer.as_mut() else {
-            return;
+            return 0;
         };
         if buffer.is_empty() {
-            return;
+            return 0;
         }
         hpd_obs::global()
             .counter("columnstore.delete_buffer_compact")
@@ -463,6 +471,7 @@ impl ColumnStoreIndex {
             .into_iter()
             .map(|(k, _)| k)
             .collect();
+        let compacted = pending.len();
         // Replace with an empty buffer.
         *buffer = BTree::new(BTreeConfig::for_entry_width(32), self.alloc.clone());
 
@@ -492,6 +501,7 @@ impl ColumnStoreIndex {
         }
         // Keys not found in any row group referred to rows that no longer
         // exist (defensive; the engine only buffers existing rows).
+        compacted
     }
 
     // ------------------------------------------------------------------

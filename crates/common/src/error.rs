@@ -42,6 +42,10 @@ pub enum HpdError {
     /// test harnesses; lets callers distinguish injected failures from
     /// organic ones.
     FaultInjected(String),
+    /// A simulated crash fired at a registered crash point. The process
+    /// "loses" all volatile state; only WAL bytes flushed before the crash
+    /// survive. Only produced under test harnesses.
+    Crashed(String),
     /// Internal invariant violation — indicates a bug, not bad input.
     Internal(String),
 }
@@ -77,6 +81,7 @@ impl fmt::Display for HpdError {
             HpdError::LockTimeout(m) => write!(f, "lock timeout: {m}"),
             HpdError::SerializationFailure(m) => write!(f, "serialization failure: {m}"),
             HpdError::FaultInjected(m) => write!(f, "fault injected: {m}"),
+            HpdError::Crashed(m) => write!(f, "simulated crash: {m}"),
             HpdError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -118,6 +123,10 @@ mod tests {
         assert_eq!(
             HpdError::FaultInjected("spill".into()).to_string(),
             "fault injected: spill"
+        );
+        assert_eq!(
+            HpdError::Crashed("wal.crash.mid_apply".into()).to_string(),
+            "simulated crash: wal.crash.mid_apply"
         );
     }
 

@@ -138,6 +138,22 @@ pub mod sites {
     pub const GRANT_TIMEOUT: &str = "exec.grant.inject_timeout";
     /// Buffer pool drops every cached page/blob before the next access.
     pub const BUFFERPOOL_EVICT: &str = "storage.bufferpool.force_evict";
+    /// Crash inside `Txn::commit` after writes are applied but before the
+    /// commit record is flushed: the transaction must be LOST by recovery.
+    pub const CRASH_BEFORE_COMMIT_FLUSH: &str = "wal.crash.before_commit_flush";
+    /// Crash immediately after the commit record reaches durable log bytes:
+    /// the transaction must SURVIVE recovery.
+    pub const CRASH_AFTER_COMMIT_FLUSH: &str = "wal.crash.after_commit_flush";
+    /// Crash halfway through applying a transaction's writes (log records
+    /// for the batch may be partially appended, none flushed): LOST.
+    pub const CRASH_MID_APPLY: &str = "wal.crash.mid_apply";
+    /// Crash between a fuzzy checkpoint's begin record and the atomic
+    /// install of its image: recovery uses the previous checkpoint.
+    pub const CRASH_IN_CHECKPOINT: &str = "wal.crash.in_checkpoint";
+    /// Recovery skips redoing logged inserts into tables with a columnstore
+    /// (deliberate-bug knob proving the crash harness catches and shrinks a
+    /// real redo omission).
+    pub const WAL_SKIP_DELTA_REDO: &str = "wal.recovery.skip_delta_redo";
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@ use hpd_columnstore::CsiConfig;
 use hpd_common::{faults, HpdError, Key, Result, Row, Schema, Value};
 use hpd_exec::{ExecMetrics, GrantBroker, WorkerPool};
 use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
-use parking_lot::RwLock;
+use hpd_wal::{CheckpointImage, LogRecord, TableSnapshot, Wal, WalConfig, WalSummary};
+use parking_lot::{Mutex, RwLock};
 
 use crate::cost::CostModel;
 use crate::design::{Configuration, IndexDescriptor, IndexMeta, TableDesign};
@@ -51,6 +52,8 @@ pub struct DbConfig {
     pub lock_timeout: Duration,
     /// Statements retained by the query store ring buffer.
     pub query_store_capacity: usize,
+    /// Write-ahead log / durability knobs (see [`hpd_wal::WalConfig`]).
+    pub wal: WalConfig,
 }
 
 impl Default for DbConfig {
@@ -67,6 +70,7 @@ impl Default for DbConfig {
             min_grant_bytes: 64 << 10,
             lock_timeout: Duration::from_secs(5),
             query_store_capacity: 256,
+            wal: WalConfig::default(),
         }
     }
 }
@@ -82,24 +86,36 @@ impl DbConfig {
     }
 }
 
-struct TableSlot {
-    name: String,
-    table: RwLock<Table>,
+pub(crate) struct TableSlot {
+    pub(crate) name: String,
+    pub(crate) table: RwLock<Table>,
+    /// LSN of the last log record whose effect this table already reflects
+    /// — the per-table high-water mark a fuzzy checkpoint snapshots and
+    /// recovery's redo skip rule compares against.
+    pub(crate) applied_lsn: AtomicU64,
 }
 
 /// The database instance.
 pub struct Database {
-    config: DbConfig,
-    pool: BufferPool,
-    alloc: StorageAllocator,
-    tables: RwLock<Vec<Arc<TableSlot>>>,
-    txns: TxnManager,
+    pub(crate) config: DbConfig,
+    pub(crate) pool: BufferPool,
+    pub(crate) alloc: StorageAllocator,
+    pub(crate) tables: RwLock<Vec<Arc<TableSlot>>>,
+    pub(crate) txns: TxnManager,
     commit_counter: AtomicU64,
     query_store: QueryStore,
     /// Workload manager: the engine-wide worker-thread budget...
     workers: WorkerPool,
     /// ...and the shared memory-grant admission controller.
     grants: GrantBroker,
+    /// The write-ahead log (simulated durability; see `hpd-wal`).
+    pub(crate) wal: Wal,
+    /// Global commit mutex: serializes WAL append + write apply so log
+    /// order equals apply order (the redo-only recovery invariant), and
+    /// serializes commits against DDL and fuzzy-checkpoint table captures.
+    /// Lock ordering: `commit_lock` is OUTERMOST — always acquired before
+    /// the `tables` registry lock or any table's latch.
+    pub(crate) commit_lock: Mutex<()>,
 }
 
 impl Database {
@@ -114,6 +130,8 @@ impl Database {
             query_store: QueryStore::new(config.query_store_capacity),
             workers: WorkerPool::new(config.worker_threads),
             grants: GrantBroker::new(config.total_grant_bytes, config.min_grant_bytes),
+            wal: Wal::new(config.wal.clone(), config.device),
+            commit_lock: Mutex::new(()),
             config,
         }
     }
@@ -201,6 +219,7 @@ impl Database {
         primary: IndexDescriptor,
     ) -> Result<()> {
         let name = name.into();
+        let _commit = self.commit_lock.lock();
         let mut tables = self.tables.write();
         if tables.iter().any(|s| s.name == name) {
             return Err(HpdError::DuplicateTable(name));
@@ -213,34 +232,70 @@ impl Database {
             self.config.csi,
             self.alloc.clone(),
         )?;
+        // DDL is logged synchronously: record + flush before returning.
+        let lsn = self.wal.append(&LogRecord::TableCreate {
+            table: tables.len() as u32,
+            name: name.clone(),
+            schema: table.schema().clone(),
+            pk: table.pk().to_vec(),
+            primary: crate::recover::to_wal_def(&primary),
+        });
+        self.wal.flush(&IoTracker::new());
         tables.push(Arc::new(TableSlot {
             name,
             table: RwLock::new(table),
+            applied_lsn: AtomicU64::new(lsn),
         }));
         Ok(())
     }
 
     /// Bulk load rows (replacing current contents) and refresh statistics.
     pub fn load_table(&self, name: &str, rows: Vec<Row>) -> Result<()> {
+        let _commit = self.commit_lock.lock();
         let slot = self.slot(name)?;
+        let table_id = self.slot_id(name)? as u32;
         let t = IoTracker::new();
         let mut guard = slot.table.write();
-        guard.bulk_load(rows, &self.pool, &t)
+        // Clone for the log only when it will actually be written.
+        let logged = self.wal.enabled().then(|| rows.clone());
+        guard.bulk_load(rows, &self.pool, &t)?;
+        if let Some(rows) = logged {
+            let lsn = self.wal.append(&LogRecord::BulkLoad {
+                table: table_id,
+                rows,
+            });
+            self.wal.flush(&t);
+            slot.applied_lsn.store(lsn, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Add a secondary index.
     pub fn create_index(&self, table: &str, descriptor: &IndexDescriptor) -> Result<()> {
+        let _commit = self.commit_lock.lock();
         let slot = self.slot(table)?;
+        let table_id = self.slot_id(table)? as u32;
         let t = IoTracker::new();
         let mut guard = slot.table.write();
-        guard.build_index(descriptor, &self.pool, &t).map(|_| ())
+        guard.build_index(descriptor, &self.pool, &t)?;
+        if self.wal.enabled() {
+            let lsn = self.wal.append(&LogRecord::IndexCreate {
+                table: table_id,
+                def: crate::recover::to_wal_def(descriptor),
+            });
+            self.wal.flush(&t);
+            slot.applied_lsn.store(lsn, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Replace a table's entire physical design: rebuilds the primary (if it
     /// changed) and all secondary indexes from the design's descriptors.
     pub fn apply_design(&self, design: &TableDesign) -> Result<()> {
         design.validate()?;
+        let _commit = self.commit_lock.lock();
         let slot = self.slot(&design.table)?;
+        let table_id = self.slot_id(&design.table)? as u32;
         let t = IoTracker::new();
         let mut table = slot.table.write();
         let rows = table.scan_all_rows(&self.pool, &t);
@@ -259,6 +314,18 @@ impl Database {
             fresh.build_index(d, &self.pool, &t)?;
         }
         *table = fresh;
+        if self.wal.enabled() {
+            let lsn = self.wal.append(&LogRecord::DesignChange {
+                table: table_id,
+                primary: crate::recover::to_wal_def(&design.indexes[0]),
+                secondaries: design.indexes[1..]
+                    .iter()
+                    .map(crate::recover::to_wal_def)
+                    .collect(),
+            });
+            self.wal.flush(&t);
+            slot.applied_lsn.store(lsn, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -308,10 +375,95 @@ impl Database {
     /// between any two of them — exactly the interleavings the differential
     /// harness schedules.
     pub fn force_csi_maintenance(&self, name: &str) -> Result<()> {
+        let _commit = self.commit_lock.lock();
+        let slot = self.slot(name)?;
+        let table_id = self.slot_id(name)? as u32;
         let t = IoTracker::new();
-        self.with_table_mut(name, |table| {
-            table.force_csi_maintenance(&self.pool, &t);
-        })
+        let (moved, compacted) = slot.table.write().force_csi_maintenance(&self.pool, &t);
+        if self.wal.enabled() && (moved > 0 || compacted > 0) {
+            // Logged in apply order: deletes are compacted before delta rows
+            // are migrated (see `Table::force_csi_maintenance`).
+            let mut lsn = 0;
+            if compacted > 0 {
+                lsn = self.wal.append(&LogRecord::DeltaCompaction {
+                    table: table_id,
+                    rows: compacted as u64,
+                });
+            }
+            if moved > 0 {
+                lsn = self.wal.append(&LogRecord::TupleMoverMigrate {
+                    table: table_id,
+                    rows: moved as u64,
+                });
+            }
+            self.wal.flush(&t);
+            slot.applied_lsn.store(lsn, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Take a fuzzy checkpoint now: snapshot the catalog, every table's
+    /// rows, and per-table applied-LSN high-water marks; install the image
+    /// and truncate the log below the checkpoint-begin record. No-op when
+    /// the WAL is disabled.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _commit = self.commit_lock.lock();
+        self.checkpoint_locked()
+    }
+
+    /// Checkpoint body; the caller must hold `commit_lock` (commit triggers
+    /// auto-checkpoints while still holding it).
+    pub(crate) fn checkpoint_locked(&self) -> Result<()> {
+        if !self.wal.enabled() {
+            return Ok(());
+        }
+        let tracker = IoTracker::new();
+        let begin_lsn = self.wal.append(&LogRecord::CheckpointBegin);
+        self.wal.flush(&tracker);
+        let slots = self.tables.read().clone();
+        let mut snaps = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let table = slot.table.read();
+            let metas = table.metas();
+            snaps.push(TableSnapshot {
+                name: slot.name.clone(),
+                schema: table.schema().clone(),
+                pk: table.pk().to_vec(),
+                primary: crate::recover::to_wal_def(&metas[0].descriptor),
+                secondaries: metas[1..]
+                    .iter()
+                    .map(|m| crate::recover::to_wal_def(&m.descriptor))
+                    .collect(),
+                rows: table.scan_all_rows(&self.pool, &tracker),
+                applied_lsn: slot.applied_lsn.load(Ordering::Relaxed),
+            });
+        }
+        if faults::fire(faults::sites::CRASH_IN_CHECKPOINT) {
+            // Crash after the begin record but before install: the previous
+            // checkpoint (if any) stays valid; the stray CheckpointBegin is
+            // ignored by redo.
+            return Err(HpdError::Crashed(faults::sites::CRASH_IN_CHECKPOINT.into()));
+        }
+        let image = CheckpointImage {
+            begin_lsn,
+            next_ts: self.txns.ts_hwm(),
+            tables: snaps,
+        };
+        self.wal
+            .install_checkpoint(image.encode(), begin_lsn, &tracker);
+        self.wal.append(&LogRecord::CheckpointEnd);
+        self.wal.flush(&tracker);
+        Ok(())
+    }
+
+    /// Everything a crash preserves: the flushed log and the installed
+    /// checkpoint image. Feed to [`Database::recover`].
+    pub fn wal_durable(&self) -> hpd_wal::WalDurable {
+        self.wal.durable()
     }
 
     // ------------------------------------------------------------------
@@ -386,37 +538,6 @@ impl Database {
             stmt: stmt.into(),
             opts: ExecOptions::default(),
         }
-    }
-
-    /// Autocommit execution under Read Committed with the default grant.
-    #[deprecated(note = "use `db.query(&stmt).run()`")]
-    pub fn execute(&self, stmt: &Statement) -> Result<ExecutionResult> {
-        self.query(stmt).run()
-    }
-
-    /// Autocommit execution with an explicit memory grant (the paper's
-    /// constrained-grant experiments).
-    #[deprecated(note = "use `db.query(&stmt).grant_bytes(grant).run()`")]
-    pub fn execute_with_grant(&self, stmt: &Statement, grant: usize) -> Result<ExecutionResult> {
-        self.query(stmt).grant_bytes(grant).run()
-    }
-
-    /// Execute a select with per-operator instrumentation; the result's
-    /// `analyze` report carries estimated-vs-actual rows, per-node wall
-    /// time, memory, and spill activity (render with
-    /// [`crate::profile::AnalyzeReport::render`]).
-    #[deprecated(note = "use `db.query(&query).analyze().run()`")]
-    pub fn explain_analyze(&self, query: &SelectQuery) -> Result<ExecutionResult> {
-        self.query(query).analyze().run()
-    }
-
-    #[deprecated(note = "use `db.query(&query).grant_bytes(grant).analyze().run()`")]
-    pub fn explain_analyze_with_grant(
-        &self,
-        query: &SelectQuery,
-        grant: usize,
-    ) -> Result<ExecutionResult> {
-        self.query(query).grant_bytes(grant).analyze().run()
     }
 
     pub fn session(&self, isolation: IsolationLevel) -> Session<'_> {
@@ -530,8 +651,14 @@ impl<'db, 'q> QueryBuilder<'db, 'q> {
                 session.run_in_txn(|txn| txn.select_analyzed(q))
             }
             (StmtRef::Statement(s), false) => session.run(s),
-            (StmtRef::Statement(_), true) => Err(HpdError::InvalidQuery(
-                "analyze() applies to SELECT statements only".into(),
+            (StmtRef::Statement(s @ (Statement::Update(_) | Statement::Delete(_))), true) => {
+                session.run_in_txn(|txn| {
+                    txn.analyze_writes = true;
+                    txn.execute(s)
+                })
+            }
+            (StmtRef::Statement(Statement::Insert(_)), true) => Err(HpdError::InvalidQuery(
+                "analyze() applies to SELECT, UPDATE, and DELETE statements only".into(),
             )),
         }
     }
@@ -570,6 +697,8 @@ impl<'db> Session<'db> {
             writes: Vec::new(),
             write_io: IoTracker::new(),
             finished: false,
+            analyze_writes: false,
+            wal_summary: Arc::new(Mutex::new(WalSummary::default())),
         }
     }
 
@@ -590,6 +719,9 @@ impl<'db> Session<'db> {
         let result = f(&mut txn);
         match result {
             Ok(mut r) => {
+                // Keep a handle on the WAL-summary cell: `commit` consumes
+                // the txn but fills the cell for the analyze report.
+                let wal_cell = txn.wal_summary.clone();
                 let commit_io = txn.commit()?;
                 let wall = start.elapsed();
                 // Time outside the query executor (locking, write apply) is
@@ -605,6 +737,11 @@ impl<'db> Session<'db> {
                 r.metrics.io.logical_reads += commit_io.logical_reads;
                 r.metrics.io.sim_seek_us += commit_io.sim_seek_us;
                 r.metrics.io.sim_bw_us += commit_io.sim_bw_us;
+                if self.db.wal.enabled() {
+                    if let Some(report) = r.analyze.as_deref_mut() {
+                        report.wal = Some(*wal_cell.lock());
+                    }
+                }
                 Ok(r)
             }
             Err(e) => {
@@ -626,6 +763,12 @@ pub struct Txn<'db> {
     writes: Vec<WriteOp>,
     write_io: IoTracker,
     finished: bool,
+    /// Route write statements' target-row reads through the profiled select
+    /// path (EXPLAIN ANALYZE for UPDATE/DELETE).
+    analyze_writes: bool,
+    /// Filled by `commit` with the commit's WAL activity; `run_in_txn`
+    /// copies it into the analyze report after the txn is consumed.
+    wal_summary: Arc<Mutex<WalSummary>>,
 }
 
 impl<'db> Txn<'db> {
@@ -865,7 +1008,11 @@ impl<'db> Txn<'db> {
             limit: top,
             ..Default::default()
         };
-        self.select(&query)
+        if self.analyze_writes {
+            self.select_analyzed(&query)
+        } else {
+            self.select(&query)
+        }
     }
 
     fn lock_row(&mut self, table_id: usize, key: Key) -> Result<()> {
@@ -894,7 +1041,14 @@ impl<'db> Txn<'db> {
     }
 
     /// Apply buffered writes and release locks. Returns the write-phase I/O.
+    ///
+    /// The whole commit runs under the database's commit lock so the WAL
+    /// append order equals the apply order — the invariant redo-only
+    /// recovery depends on. Crash points (`wal.crash.*`) abort the commit
+    /// at well-defined durability boundaries; the differential harness
+    /// recovers from the surviving log and checks the result.
     pub fn commit(mut self) -> Result<hpd_storage::IoSnapshot> {
+        let _commit = self.db.commit_lock.lock();
         let commit_ts = self.db.txns.commit_ts();
         let writes = std::mem::take(&mut self.writes);
         let pool = self.db.pool();
@@ -924,18 +1078,49 @@ impl<'db> Txn<'db> {
         }
 
         let tables = self.db.tables.read().clone();
+        // Read-only commits append nothing — they are invisible to the log.
+        let wal_on = self.db.wal.enabled() && !writes.is_empty();
+        let mut records = 0u64;
+        if wal_on {
+            self.db.wal.append(&LogRecord::TxnBegin {
+                txn_id: self.txn_id,
+            });
+            records += 1;
+        }
         let mut apply_result: Result<()> = Ok(());
         'outer: for op in &writes {
+            if faults::fire(faults::sites::CRASH_MID_APPLY) {
+                // Crash with the commit record unwritten: the transaction
+                // must be invisible after recovery.
+                self.finish();
+                return Err(HpdError::Crashed(faults::sites::CRASH_MID_APPLY.into()));
+            }
             let slot = &tables[op.table()];
             let mut t = slot.table.write();
             let r = match op {
                 WriteOp::Insert { row, .. } => {
+                    if wal_on {
+                        self.db.wal.append(&LogRecord::Insert {
+                            table: op.table() as u32,
+                            row: row.clone(),
+                        });
+                        records += 1;
+                    }
                     let key = row.key(t.pk());
                     t.insert_row(row.clone(), pool, &tracker).map(|()| {
                         t.record_version(key, None, commit_ts);
                     })
                 }
                 WriteOp::Delete { key, .. } => {
+                    // Logged unconditionally: redo of a no-op delete is a
+                    // no-op, so the final state matches either way.
+                    if wal_on {
+                        self.db.wal.append(&LogRecord::Delete {
+                            table: op.table() as u32,
+                            key: key.clone(),
+                        });
+                        records += 1;
+                    }
                     let old = t.fetch_by_pk(key, pool, &tracker);
                     t.delete_by_pk(key, pool, &tracker).map(|deleted| {
                         if deleted {
@@ -945,6 +1130,26 @@ impl<'db> Txn<'db> {
                 }
                 WriteOp::Update { key, set, .. } => {
                     let old = t.fetch_by_pk(key, pool, &tracker);
+                    if wal_on {
+                        if let Some(old_row) = &old {
+                            // Value logging: the record carries the post-
+                            // image so redo never re-evaluates expressions.
+                            match t.eval_update(old_row, set) {
+                                Ok(new_row) => {
+                                    self.db.wal.append(&LogRecord::Update {
+                                        table: op.table() as u32,
+                                        key: key.clone(),
+                                        new_row,
+                                    });
+                                    records += 1;
+                                }
+                                Err(e) => {
+                                    apply_result = Err(e);
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
                     t.update_by_pk(key, set, pool, &tracker).map(|updated| {
                         if updated {
                             t.record_version(key.clone(), old, commit_ts);
@@ -958,6 +1163,56 @@ impl<'db> Txn<'db> {
             }
         }
 
+        if wal_on {
+            match &apply_result {
+                Ok(()) => {
+                    if faults::fire(faults::sites::CRASH_BEFORE_COMMIT_FLUSH) {
+                        // The commit record was never appended: this
+                        // transaction is lost by the crash, by design.
+                        self.finish();
+                        return Err(HpdError::Crashed(
+                            faults::sites::CRASH_BEFORE_COMMIT_FLUSH.into(),
+                        ));
+                    }
+                    let commit_lsn = self.db.wal.append(&LogRecord::TxnCommit {
+                        txn_id: self.txn_id,
+                        commit_ts,
+                    });
+                    records += 1;
+                    let (flushed, deferred) = self.db.wal.commit_flush(&tracker);
+                    *self.wal_summary.lock() = WalSummary {
+                        records,
+                        bytes_flushed: flushed,
+                        flushes: (flushed > 0) as u64,
+                        deferred,
+                    };
+                    if faults::fire(faults::sites::CRASH_AFTER_COMMIT_FLUSH) {
+                        // Under sync_commit the flush just made this txn
+                        // durable: recovery must replay it.
+                        self.finish();
+                        return Err(HpdError::Crashed(
+                            faults::sites::CRASH_AFTER_COMMIT_FLUSH.into(),
+                        ));
+                    }
+                    // Advance the touched tables' redo skip boundary to the
+                    // commit record (all this txn's write records precede it).
+                    let mut touched: Vec<usize> = writes.iter().map(WriteOp::table).collect();
+                    touched.sort_unstable();
+                    touched.dedup();
+                    for id in touched {
+                        tables[id].applied_lsn.store(commit_lsn, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    // Left pending: an abort needs no durability, and redo
+                    // discards the buffered records either way.
+                    self.db.wal.append(&LogRecord::TxnAbort {
+                        txn_id: self.txn_id,
+                    });
+                }
+            }
+        }
+
         // Periodic version GC.
         let commits = self.db.commit_counter.fetch_add(1, Ordering::Relaxed);
         if commits % 256 == 255 {
@@ -968,6 +1223,14 @@ impl<'db> Txn<'db> {
         }
 
         self.finish();
+
+        // Auto-checkpoint while still holding the commit lock, so no commit
+        // can land between the trigger and the snapshot.
+        let interval = self.db.config.wal.checkpoint_every_commits;
+        if apply_result.is_ok() && interval > 0 && (commits + 1).is_multiple_of(interval) {
+            self.db.checkpoint_locked()?;
+        }
+
         apply_result.map(|()| tracker.snapshot())
     }
 

@@ -18,6 +18,7 @@ pub mod plan;
 pub mod profile;
 pub mod query;
 pub mod querystore;
+pub mod recover;
 pub mod stats;
 pub mod table;
 pub mod txn;
@@ -26,6 +27,7 @@ pub use catalog::{Database, DbConfig, ExecOptions, QueryBuilder, Session, StmtRe
 pub use design::{Configuration, IndexDescriptor, IndexId, IndexMeta, TableDesign};
 pub use executor::{ExecutionResult, QueryRunner, TableOverlay};
 pub use hpd_columnstore::CsiConfig;
+pub use hpd_wal::{WalConfig, WalDurable, WalSummary};
 pub use optimizer::{Optimizer, TableContext};
 pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
 pub use profile::{AnalyzeReport, GrantSummary, NodeProfile, ScanPruning};

@@ -79,6 +79,7 @@ impl ProfileMap {
             est_cost_us: plan.est_cost_us,
             pruning: None,
             grant: None,
+            wal: None,
         }
     }
 }
@@ -186,6 +187,9 @@ pub struct AnalyzeReport {
     /// Memory-grant admission outcome (None when the statement ran outside
     /// the broker, e.g. non-SELECT statements).
     pub grant: Option<GrantSummary>,
+    /// Write-ahead-log activity of this statement's commit (None when the
+    /// log is disabled).
+    pub wal: Option<hpd_wal::WalSummary>,
 }
 
 impl AnalyzeReport {
@@ -256,6 +260,17 @@ impl AnalyzeReport {
                 g.granted_bytes / 1024,
                 g.wait_us as f64 / 1e3,
                 if g.reduced { " (reduced)" } else { "" }
+            );
+            out.push('\n');
+        }
+        if let Some(w) = &self.wal {
+            let _ = write!(
+                out,
+                "wal: records={} flushed={}B flushes={}{}",
+                w.records,
+                w.bytes_flushed,
+                w.flushes,
+                if w.deferred { " (deferred)" } else { "" }
             );
             out.push('\n');
         }

@@ -363,18 +363,42 @@ impl Table {
         }
     }
 
+    /// Resolve buffered secondary-CSI deletes into delete-bitmap bits.
+    /// Returns the number of buffered deletes resolved (for the WAL's
+    /// `DeltaCompaction` record). No-op without a secondary CSI.
+    pub fn csi_compact_deletes(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+        self.secondary_csi
+            .as_mut()
+            .map_or(0, |csi| csi.compact_delete_buffer(pool, tracker))
+    }
+
+    /// Force-compress all delta rows into row groups (primary and secondary
+    /// CSI). Returns the number of rows migrated (for the WAL's
+    /// `TupleMoverMigrate` record). No-op without a CSI.
+    pub fn csi_compress_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+        let mut moved = 0;
+        if let PrimaryIndex::Csi(csi) = &mut self.primary {
+            moved += csi.compress_all_delta(pool, tracker);
+        }
+        if let Some(csi) = self.secondary_csi.as_mut() {
+            moved += csi.compress_all_delta(pool, tracker);
+        }
+        moved
+    }
+
     /// Run columnstore maintenance now: compress all delta rows into row
     /// groups and resolve buffered deletes. Deterministic stand-in for the
     /// background tuple mover / compaction, schedulable by tests and the
     /// differential harness at arbitrary points. No-op without a CSI.
-    pub fn force_csi_maintenance(&mut self, pool: &BufferPool, tracker: &IoTracker) {
-        if let PrimaryIndex::Csi(csi) = &mut self.primary {
-            csi.compress_all_delta(pool, tracker);
-        }
-        if let Some(csi) = self.secondary_csi.as_mut() {
-            csi.compact_delete_buffer(pool, tracker);
-            csi.compress_all_delta(pool, tracker);
-        }
+    /// Returns `(rows_migrated, deletes_compacted)`.
+    pub fn force_csi_maintenance(
+        &mut self,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> (usize, usize) {
+        let compacted = self.csi_compact_deletes(pool, tracker);
+        let moved = self.csi_compress_delta(pool, tracker);
+        (moved, compacted)
     }
 
     /// Refresh statistics from current contents.
@@ -569,21 +593,7 @@ impl Table {
             let Some(old) = csi.delete_returning(key, pool, tracker) else {
                 return Ok(false);
             };
-            let mut new_row = old.clone();
-            for (col, expr) in set {
-                if self.pk.contains(col) {
-                    return Err(HpdError::Constraint(
-                        "updating primary key columns is not supported".into(),
-                    ));
-                }
-                let dtype = self.schema.column(*col).dtype;
-                let v = expr.eval_row(&old)?;
-                let v = v.coerce_to(dtype).ok_or(HpdError::TypeMismatch {
-                    expected: dtype.name(),
-                    found: v.data_type().name().to_string(),
-                })?;
-                new_row.set(*col, v);
-            }
+            let new_row = self.eval_update(&old, set)?;
             if let PrimaryIndex::Csi(csi) = &mut self.primary {
                 csi.insert(new_row.clone(), pool, tracker);
             }
@@ -593,6 +603,16 @@ impl Table {
         let Some(old) = self.fetch_by_pk(key, pool, tracker) else {
             return Ok(false);
         };
+        let new_row = self.eval_update(&old, set)?;
+        self.apply_update(key, &old, new_row, set, pool, tracker)?;
+        Ok(true)
+    }
+
+    /// Evaluate `set` over `old`, producing the full post-image row (the
+    /// primary key must not change). The commit path logs this row to the
+    /// WAL — updates are value-logged, so redo re-applies rows and never
+    /// re-evaluates expressions.
+    pub fn eval_update(&self, old: &Row, set: &[(usize, Expr)]) -> Result<Row> {
         let mut new_row = old.clone();
         for (col, expr) in set {
             if self.pk.contains(col) {
@@ -601,15 +621,14 @@ impl Table {
                 ));
             }
             let dtype = self.schema.column(*col).dtype;
-            let v = expr.eval_row(&old)?;
+            let v = expr.eval_row(old)?;
             let v = v.coerce_to(dtype).ok_or(HpdError::TypeMismatch {
                 expected: dtype.name(),
                 found: v.data_type().name().to_string(),
             })?;
             new_row.set(*col, v);
         }
-        self.apply_update(key, &old, new_row, set, pool, tracker)?;
-        Ok(true)
+        Ok(new_row)
     }
 
     /// Apply a precomputed update (used by the transaction manager, which

@@ -197,6 +197,22 @@ impl TxnManager {
         self.next_ts.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Next timestamp the allocator would hand out (checkpoint high-water
+    /// mark; recovery restores it via [`TxnManager::advance_to`]).
+    pub fn ts_hwm(&self) -> u64 {
+        self.next_ts.load(Ordering::Relaxed)
+    }
+
+    /// Raise the timestamp (and txn-id) allocators to at least `ts`, so
+    /// transactions begun after recovery order strictly after every
+    /// replayed commit. Held under the active-set lock for the same
+    /// reason as [`TxnManager::begin`].
+    pub fn advance_to(&self, ts: u64) {
+        let _active = self.active.lock();
+        self.next_ts.fetch_max(ts, Ordering::Relaxed);
+        self.next_txn_id.fetch_max(ts, Ordering::Relaxed);
+    }
+
     pub fn finish(&self, start_ts: u64) {
         self.active.lock().remove(&start_ts);
     }

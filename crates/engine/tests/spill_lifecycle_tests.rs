@@ -1,0 +1,106 @@
+//! Spill-file lifecycle: a query that spills must close every spill file
+//! it opened — on success, on an injected spill-write failure, and on the
+//! admission-timeout path. Kept in one test function (and its own test
+//! binary) so the process-wide `storage.spill.*` obs counters see no
+//! concurrent queries.
+
+use std::time::Duration;
+
+use hpd_common::{faults, DataType, HpdError, Row, Schema, Value};
+use hpd_engine::{Database, DbConfig, IndexDescriptor, SelectQuery};
+
+fn setup_table(db: &Database, n: i32) {
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int32),
+        ("grp", DataType::Int32),
+        ("val", DataType::Int32),
+    ]);
+    db.create_table(
+        "t",
+        schema,
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )
+    .unwrap();
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int32(i),
+                Value::Int32(i % 20),
+                Value::Int32(i * 3 % 1000),
+            ])
+        })
+        .collect();
+    db.load_table("t", rows).unwrap();
+}
+
+fn sort_query() -> SelectQuery {
+    let mut q = SelectQuery::single_table("t", None, vec![0, 1, 2]);
+    q.order_by = vec![(2, true)];
+    q
+}
+
+fn spill_delta(before: &hpd_obs::Snapshot) -> (u64, u64) {
+    let d = hpd_obs::global().snapshot().delta(before);
+    (
+        d.counter("storage.spill.files_opened"),
+        d.counter("storage.spill.files_closed"),
+    )
+}
+
+#[test]
+fn spilling_queries_leak_no_spill_files() {
+    faults::clear_all();
+    let cfg = DbConfig {
+        total_grant_bytes: 1 << 20,
+        min_grant_bytes: 16 << 10,
+        grant_wait_timeout: Duration::from_millis(50),
+        ..DbConfig::default()
+    };
+    let db = Database::new(cfg);
+    setup_table(&db, 20_000); // the sort needs ~720KB, far above 32KB
+
+    // Leave only a 32KB sliver free so the sort is admitted with a reduced
+    // grant and must spill its runs.
+    let hold = db
+        .grant_broker()
+        .acquire((1 << 20) - (32 << 10), Duration::from_millis(10))
+        .unwrap();
+
+    // Path 1: reduced-grant spill that completes successfully.
+    let before = hpd_obs::global().snapshot();
+    let r = db.query(&sort_query()).analyze().run().unwrap();
+    assert_eq!(r.rows.len(), 20_000);
+    assert!(r.analyze.unwrap().spilled_bytes() > 0, "query must spill");
+    let (opened, closed) = spill_delta(&before);
+    assert!(opened > 0, "the spilling sort must open spill files");
+    assert_eq!(opened, closed, "completed query leaked spill files");
+
+    // Path 2: the spill write fails mid-query; the error unwinds the
+    // operator tree and every already-opened file is still closed.
+    let before = hpd_obs::global().snapshot();
+    faults::arm(faults::sites::SPILL_WRITE_FAIL, 1);
+    let err = db.query(&sort_query()).run().unwrap_err();
+    assert!(matches!(err, HpdError::FaultInjected(_)), "{err:?}");
+    faults::clear_all();
+    let (opened, closed) = spill_delta(&before);
+    assert_eq!(opened, closed, "errored query leaked spill files");
+    drop(hold);
+
+    // Path 3: admission denied outright (GrantWaitTimeout) — the query
+    // never reaches the executor, so the ledger must not move at all.
+    let hold = db
+        .grant_broker()
+        .acquire(1 << 20, Duration::from_millis(10))
+        .unwrap();
+    let before = hpd_obs::global().snapshot();
+    let err = db.query(&sort_query()).run().unwrap_err();
+    assert!(matches!(err, HpdError::GrantWaitTimeout { .. }), "{err:?}");
+    let (opened, closed) = spill_delta(&before);
+    assert_eq!(opened, 0, "denied query must open nothing");
+    assert_eq!(opened, closed);
+    drop(hold);
+
+    // The engine is healthy afterwards: the same query runs clean.
+    assert_eq!(db.query(&sort_query()).run().unwrap().rows.len(), 20_000);
+}

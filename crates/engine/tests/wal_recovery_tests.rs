@@ -1,0 +1,314 @@
+//! Crash-recovery tests: committed state survives a simulated crash
+//! (drop the `Database`, keep only `wal_durable()`) across physical
+//! designs, fuzzy checkpoints, group commit, maintenance, and the
+//! registered crash points.
+
+use hpd_common::{faults, CmpOp, DataType, Expr, HpdError, Row, Schema, Value};
+use hpd_engine::{
+    Database, DbConfig, IndexDescriptor, SelectQuery, Statement, TableDesign, WalConfig,
+};
+
+fn wal_config(cfg: WalConfig) -> DbConfig {
+    DbConfig {
+        wal: cfg,
+        ..DbConfig::default()
+    }
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("id", DataType::Int32),
+        ("grp", DataType::Int32),
+        ("val", DataType::Int64),
+    ])
+}
+
+fn row(id: i32) -> Row {
+    Row::new(vec![
+        Value::Int32(id),
+        Value::Int32(id % 7),
+        Value::Int64(i64::from(id) * 10),
+    ])
+}
+
+fn setup(db: &Database, primary: IndexDescriptor, n: i32) {
+    db.create_table("t", schema(), vec![0], primary).unwrap();
+    db.load_table("t", (0..n).map(row).collect()).unwrap();
+}
+
+fn insert(db: &Database, id: i32) {
+    let stmt = Statement::Insert(hpd_engine::InsertStmt {
+        table: "t".into(),
+        rows: vec![row(id)],
+    });
+    db.query(&stmt).run().unwrap();
+}
+
+fn delete_below(db: &Database, id: i32) {
+    let stmt = Statement::Delete(hpd_engine::DeleteStmt {
+        table: "t".into(),
+        predicate: Expr::col_cmp(0, CmpOp::Lt, Value::Int32(id)),
+        top: None,
+    });
+    db.query(&stmt).run().unwrap();
+}
+
+fn update_below(db: &Database, id: i32, val: i64) {
+    let stmt = Statement::Update(hpd_engine::UpdateStmt {
+        table: "t".into(),
+        predicate: Expr::col_cmp(0, CmpOp::Lt, Value::Int32(id)),
+        set: vec![(2, Expr::Lit(Value::Int64(val)))],
+        top: None,
+    });
+    db.query(&stmt).run().unwrap();
+}
+
+/// Full logical contents, sorted by primary key.
+fn contents(db: &Database) -> Vec<Row> {
+    let q = SelectQuery::single_table("t", None, vec![0, 1, 2]);
+    let mut rows = db.query(&q).run().unwrap().rows;
+    rows.sort_by_key(|r| r.key(&[0]));
+    rows
+}
+
+/// Crash `db` (drop it, keep durable state) and recover a fresh instance.
+fn crash_and_recover(db: Database, config: DbConfig) -> Database {
+    let durable = db.wal_durable();
+    drop(db);
+    Database::recover(config, durable).unwrap()
+}
+
+#[test]
+fn committed_writes_survive_crash_across_designs() {
+    let designs = [
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+        IndexDescriptor::PrimaryCsi,
+    ];
+    for primary in designs {
+        let cfg = wal_config(WalConfig::default());
+        let db = Database::new(cfg.clone());
+        setup(&db, primary.clone(), 100);
+        insert(&db, 200);
+        update_below(&db, 10, -1);
+        delete_below(&db, 5);
+        let expected = contents(&db);
+
+        let recovered = crash_and_recover(db, cfg);
+        assert_eq!(contents(&recovered), expected, "design {primary:?}");
+    }
+}
+
+#[test]
+fn secondary_csi_delete_buffer_state_is_rebuilt() {
+    let cfg = wal_config(WalConfig::default());
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] }, 200);
+    db.create_index(
+        "t",
+        &IndexDescriptor::SecondaryCsi {
+            columns: vec![1, 2],
+        },
+    )
+    .unwrap();
+    // Deletes against a secondary CSI buffer logically; compact some of
+    // them, leave others buffered, then crash.
+    delete_below(&db, 20);
+    db.force_csi_maintenance("t").unwrap();
+    delete_below(&db, 40);
+    insert(&db, 500);
+    let expected = contents(&db);
+
+    let recovered = crash_and_recover(db, cfg);
+    assert_eq!(contents(&recovered), expected);
+    // The rebuilt table still has its secondary CSI.
+    let has_csi = recovered
+        .with_table("t", |t| t.secondary_csi().is_some())
+        .unwrap();
+    assert!(has_csi, "secondary CSI lost by recovery");
+}
+
+#[test]
+fn fuzzy_checkpoint_truncates_log_and_recovers() {
+    let cfg = wal_config(WalConfig::default());
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryCsi, 300);
+    for id in 300..340 {
+        insert(&db, id);
+    }
+    db.checkpoint().unwrap();
+    let durable = db.wal_durable();
+    assert!(
+        durable.checkpoint.is_some() && durable.base_lsn > 0,
+        "checkpoint must install an image and truncate the log"
+    );
+    // Post-checkpoint writes replay on top of the restored image.
+    update_below(&db, 50, 123);
+    delete_below(&db, 10);
+    let expected = contents(&db);
+
+    let recovered = crash_and_recover(db, cfg);
+    assert_eq!(contents(&recovered), expected);
+}
+
+#[test]
+fn auto_checkpoint_fires_on_commit_interval() {
+    let cfg = wal_config(WalConfig {
+        checkpoint_every_commits: 4,
+        ..WalConfig::default()
+    });
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] }, 50);
+    for id in 50..62 {
+        insert(&db, id);
+    }
+    assert!(
+        db.wal_durable().checkpoint.is_some(),
+        "12 commits at interval 4 must have auto-checkpointed"
+    );
+    let expected = contents(&db);
+    let recovered = crash_and_recover(db, cfg);
+    assert_eq!(contents(&recovered), expected);
+}
+
+#[test]
+fn group_commit_loses_unflushed_tail() {
+    let cfg = wal_config(WalConfig {
+        sync_commit: false,
+        group_commit_bytes: 1 << 20, // never reached: all commits deferred
+        ..WalConfig::default()
+    });
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] }, 100);
+    let loaded = contents(&db);
+    insert(&db, 900); // deferred — in the torn tail
+    assert_eq!(contents(&db).len(), 101, "visible before the crash");
+
+    let recovered = crash_and_recover(db, cfg);
+    // The deferred commit is lost; the (synchronously logged) load survives.
+    assert_eq!(contents(&recovered), loaded);
+}
+
+#[test]
+fn ddl_and_design_changes_replay_without_checkpoint() {
+    let cfg = wal_config(WalConfig::default());
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] }, 80);
+    db.create_index(
+        "t",
+        &IndexDescriptor::SecondaryBTree {
+            keys: vec![1],
+            includes: vec![2],
+        },
+    )
+    .unwrap();
+    db.apply_design(&TableDesign::new(
+        "t",
+        vec![
+            IndexDescriptor::PrimaryBTree { keys: vec![0] },
+            IndexDescriptor::SecondaryCsi { columns: vec![2] },
+        ],
+    ))
+    .unwrap();
+    insert(&db, 100);
+    let expected = contents(&db);
+
+    let recovered = crash_and_recover(db, cfg);
+    assert_eq!(contents(&recovered), expected);
+    let (n_sec, has_csi) = recovered
+        .with_table("t", |t| {
+            (t.secondaries().len(), t.secondary_csi().is_some())
+        })
+        .unwrap();
+    assert_eq!(n_sec, 0, "design change replay dropped the old B+ tree");
+    assert!(has_csi, "design change replay rebuilt the secondary CSI");
+}
+
+#[test]
+fn recovered_database_can_crash_and_recover_again() {
+    let cfg = wal_config(WalConfig::default());
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] }, 60);
+    insert(&db, 100);
+
+    let once = crash_and_recover(db, cfg.clone());
+    insert(&once, 101);
+    delete_below(&once, 3);
+    let expected = contents(&once);
+
+    let twice = crash_and_recover(once, cfg);
+    assert_eq!(contents(&twice), expected);
+}
+
+#[test]
+fn crash_before_commit_flush_loses_the_transaction() {
+    faults::clear_all();
+    let cfg = wal_config(WalConfig::default());
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] }, 30);
+    let before = contents(&db);
+
+    faults::arm(faults::sites::CRASH_BEFORE_COMMIT_FLUSH, 1);
+    let stmt = Statement::Insert(hpd_engine::InsertStmt {
+        table: "t".into(),
+        rows: vec![row(999)],
+    });
+    let err = db.query(&stmt).run().unwrap_err();
+    assert!(matches!(err, HpdError::Crashed(_)), "{err:?}");
+    faults::clear_all();
+
+    let recovered = crash_and_recover(db, cfg);
+    assert_eq!(contents(&recovered), before, "txn must be lost");
+}
+
+#[test]
+fn crash_after_commit_flush_preserves_the_transaction() {
+    faults::clear_all();
+    let cfg = wal_config(WalConfig::default());
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] }, 30);
+
+    faults::arm(faults::sites::CRASH_AFTER_COMMIT_FLUSH, 1);
+    let stmt = Statement::Insert(hpd_engine::InsertStmt {
+        table: "t".into(),
+        rows: vec![row(999)],
+    });
+    let err = db.query(&stmt).run().unwrap_err();
+    assert!(matches!(err, HpdError::Crashed(_)), "{err:?}");
+    faults::clear_all();
+
+    let recovered = crash_and_recover(db, cfg);
+    let rows = contents(&recovered);
+    assert_eq!(rows.len(), 31, "flushed commit must survive");
+    assert!(rows.iter().any(|r| r.get(0) == &Value::Int32(999)));
+}
+
+#[test]
+fn skip_delta_redo_knob_causes_divergence_on_csi_only() {
+    faults::clear_all();
+    // On a B+ tree design the knob is inert…
+    let cfg = wal_config(WalConfig::default());
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryBTree { keys: vec![0] }, 40);
+    insert(&db, 100);
+    let expected = contents(&db);
+    let durable = db.wal_durable();
+    drop(db);
+    faults::set_always(faults::sites::WAL_SKIP_DELTA_REDO, true);
+    let recovered = Database::recover(cfg.clone(), durable).unwrap();
+    assert_eq!(contents(&recovered), expected);
+
+    // …but on a columnstore design it silently drops the replayed insert.
+    let db = Database::new(cfg.clone());
+    setup(&db, IndexDescriptor::PrimaryCsi, 40);
+    insert(&db, 100);
+    let expected = contents(&db);
+    let durable = db.wal_durable();
+    drop(db);
+    let recovered = Database::recover(cfg, durable).unwrap();
+    faults::clear_all();
+    assert_ne!(
+        contents(&recovered),
+        expected,
+        "the deliberate bug must be observable on CSI designs"
+    );
+}

@@ -1,8 +1,8 @@
 //! Workload-manager tests: the shared worker pool bounds threads across
 //! concurrent parallel queries, the grant broker admission-controls the
 //! SELECT path (timeouts, reduced grants → spill), fault injection reaches
-//! the broker, and the unified `Database::query` builder is equivalent to
-//! the deprecated execute/explain quartet it replaces.
+//! the broker, and the unified `Database::query` builder handles EXPLAIN
+//! ANALYZE for reads and writes.
 
 use std::time::Duration;
 
@@ -213,50 +213,63 @@ fn analyze_reports_grant_on_uncontended_run() {
     assert!(grant.requested_bytes > 0);
 }
 
-/// `analyze()` on a non-SELECT statement is rejected up front.
+/// `analyze()` covers SELECT, UPDATE, and DELETE; INSERT has no read phase
+/// to profile and is rejected up front.
 #[test]
-fn analyze_on_non_select_is_invalid() {
+fn analyze_on_insert_is_invalid() {
     let db = Database::new(DbConfig::default());
     setup_table(&db, 100);
-    let del = Statement::Delete(hpd_engine::DeleteStmt {
+    let ins = Statement::Insert(hpd_engine::InsertStmt {
         table: "t".into(),
-        predicate: hpd_common::Expr::col_cmp(0, hpd_common::CmpOp::Lt, Value::Int32(0)),
-        top: None,
+        rows: vec![Row::new(vec![
+            Value::Int32(1_000),
+            Value::Int32(0),
+            Value::Int32(0),
+        ])],
     });
-    let err = db.query(&del).analyze().run().unwrap_err();
+    let err = db.query(&ins).analyze().run().unwrap_err();
     assert!(matches!(err, HpdError::InvalidQuery(_)), "{err:?}");
 }
 
-/// The deprecated quartet must behave identically to the builder calls it
-/// forwards to.
-#[allow(deprecated)]
+/// EXPLAIN ANALYZE on UPDATE/DELETE profiles the target-row read and
+/// carries the commit's WAL activity as the `wal:` trailer.
 #[test]
-fn deprecated_shims_match_builder_api() {
+fn analyze_on_update_and_delete_reports_wal() {
     let db = Database::new(DbConfig::default());
-    setup_table(&db, 5_000);
-    let stmt = Statement::Select(sort_query());
+    setup_table(&db, 1_000);
 
-    let old = db.execute(&stmt).unwrap();
-    let new = db.query(&stmt).run().unwrap();
-    assert_eq!(old.rows, new.rows);
+    let upd = Statement::Update(hpd_engine::UpdateStmt {
+        table: "t".into(),
+        predicate: hpd_common::Expr::col_cmp(0, hpd_common::CmpOp::Lt, Value::Int32(10)),
+        set: vec![(2, hpd_common::Expr::Lit(Value::Int32(7)))],
+        top: None,
+    });
+    let r = db.query(&upd).analyze().run().unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(10));
+    let report = r.analyze.expect("update analyze report");
+    let wal = report.wal.expect("wal summary");
+    // Begin + 10 updates + commit.
+    assert_eq!(wal.records, 12);
+    assert!(wal.bytes_flushed > 0 && wal.flushes == 1 && !wal.deferred);
+    assert!(report.render().contains("wal: records=12"));
 
-    let old = db.execute_with_grant(&stmt, 32 << 10).unwrap();
-    let new = db.query(&stmt).grant_bytes(32 << 10).run().unwrap();
-    assert_eq!(old.rows, new.rows);
+    let del = Statement::Delete(hpd_engine::DeleteStmt {
+        table: "t".into(),
+        predicate: hpd_common::Expr::col_cmp(0, hpd_common::CmpOp::Lt, Value::Int32(5)),
+        top: None,
+    });
+    let r = db.query(&del).analyze().run().unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(5));
+    let wal = r.analyze.expect("delete analyze report").wal.unwrap();
+    assert_eq!(wal.records, 7);
 
-    let q = sort_query();
-    let old = db.explain_analyze(&q).unwrap();
-    let new = db.query(&q).analyze().run().unwrap();
-    assert_eq!(old.rows, new.rows);
-    assert!(old.analyze.is_some() && new.analyze.is_some());
-
-    let old = db.explain_analyze_with_grant(&q, 32 << 10).unwrap();
-    let new = db.query(&q).grant_bytes(32 << 10).analyze().run().unwrap();
-    assert_eq!(old.rows, new.rows);
-    let (o, n) = (old.analyze.unwrap(), new.analyze.unwrap());
-    assert!(o.spilled_bytes() > 0 && n.spilled_bytes() > 0);
-    assert_eq!(
-        o.grant.unwrap().granted_bytes,
-        n.grant.unwrap().granted_bytes
-    );
+    // Read-only statements append nothing.
+    let r = db.query(&sort_query()).analyze().run().unwrap();
+    let wal = r
+        .analyze
+        .unwrap()
+        .wal
+        .expect("selects still report a summary");
+    assert_eq!(wal.records, 0);
+    assert_eq!(wal.bytes_flushed, 0);
 }

@@ -13,6 +13,13 @@
 //! execution of the step and any unfired charges are cleared afterwards, so
 //! a fault either hits all designs at the same point or none, and never
 //! leaks into a later statement.
+//!
+//! Crash faults ([`crate::plan::FaultSpec::CRASH`]) simulate a process
+//! death inside `Txn::commit`: when one fires, the schedule ends, every
+//! open transaction is discarded, and each design is rebuilt *only* from
+//! its durable WAL bytes via `Database::recover`. The recovered state must
+//! equal the reference model's committed state, with the dying commit
+//! counted as durable or lost according to the crash site's contract.
 
 use hpd_common::{faults, Expr, HpdError, Value};
 use hpd_engine::{
@@ -41,6 +48,8 @@ pub struct RunStats {
     pub txns_aborted: u64,
     /// Injection-site firings across all designs (delta of the registry).
     pub faults_fired: u64,
+    /// Simulated crashes that ended the run and were recovered from.
+    pub crashes: u64,
 }
 
 /// A detected disagreement, with everything needed to report it.
@@ -101,8 +110,16 @@ fn err_kind(e: &HpdError) -> &'static str {
         HpdError::LockTimeout(_) => "LockTimeout",
         HpdError::SerializationFailure(_) => "SerializationFailure",
         HpdError::FaultInjected(_) => "FaultInjected",
+        HpdError::Crashed(_) => "Crashed",
         HpdError::Internal(_) => "Internal",
     }
+}
+
+/// Is a commit that died at this crash site durable? The site names the
+/// engine's contract: anything at or after the commit-record flush survives
+/// recovery, anything before it is lost.
+fn crash_durable(site: &str) -> bool {
+    site == faults::sites::CRASH_AFTER_COMMIT_FLUSH || site == faults::sites::CRASH_IN_CHECKPOINT
 }
 
 fn normalize_rows(rows: &[hpd_common::Row]) -> Vec<Vec<i64>> {
@@ -160,6 +177,9 @@ fn harness_db_config(opts: &RunOptions) -> DbConfig {
         lock_timeout: Duration::from_millis(2),
         ..DbConfig::default()
     };
+    // A short fuzzy-checkpoint interval so harness-sized histories exercise
+    // the checkpoint/truncate path and the in-checkpoint crash site.
+    cfg.wal.checkpoint_every_commits = 4;
     if let Some(t) = opts.pool_threads {
         cfg.worker_threads = t;
     }
@@ -272,6 +292,10 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
     let mut stats = RunStats::default();
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
     let mut verdict = Verdict::Pass;
+    // Set when a plan-armed crash site fires inside a commit: the schedule
+    // position and whether the dying commit is durable per the site's
+    // contract. Ends the schedule; recovery takes over after the loop.
+    let mut crashed_at: Option<(usize, bool)> = None;
 
     'schedule: for (pos, &t) in plan.schedule.iter().enumerate() {
         let step = next_step[t];
@@ -357,12 +381,16 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
                 // even when validation or an injected fault rejects it.
                 let commit_ts = refm.commit_ts();
                 let mut results: Vec<Result<(), &'static str>> = Vec::with_capacity(3);
+                let mut crash_durable_here: Option<bool> = None;
                 for h in handles[t].iter_mut() {
                     for f in plan.faults_at(pos) {
                         faults::arm(f.site(), 1);
                     }
                     let r = h.take().expect("open txn").commit();
                     faults::reset_charges();
+                    if let Err(HpdError::Crashed(site)) = &r {
+                        crash_durable_here = Some(crash_durable(site));
+                    }
                     results.push(r.map(|_| ()).map_err(|e| err_kind(&e)));
                 }
                 for r in &results {
@@ -374,6 +402,20 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
                         t,
                         format!("commit outcomes differ across designs: {results:?}"),
                     );
+                    break 'schedule;
+                }
+                if let Some(durable) = crash_durable_here {
+                    // The process dies mid-commit on every design. Settle
+                    // the committing transaction in the model per the crash
+                    // site's durability contract and leave the schedule.
+                    if durable {
+                        refm.apply_commit(t, commit_ts);
+                        stats.txns_committed += 1;
+                    } else {
+                        refm.discard(t);
+                        stats.txns_aborted += 1;
+                    }
+                    crashed_at = Some((pos, durable));
                     break 'schedule;
                 }
                 if results[0].is_ok() {
@@ -391,9 +433,52 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
         }
     }
 
+    // Crash epilogue: everything volatile died with the process — open
+    // transactions are implicitly aborted on every design and in the model.
+    // Each design then recovers a fresh database from its durable WAL bytes
+    // alone, and the recovered state must equal the model's committed state.
+    if let Some((crash_pos, _)) = crashed_at {
+        stats.crashes += 1;
+        for (tx, handle) in handles.iter_mut().enumerate() {
+            if handle.iter().any(Option::is_some) {
+                abort_txn(handle);
+                refm.discard(tx);
+                stats.txns_aborted += 1;
+            }
+        }
+        let expected = refm.committed_rows();
+        let stmt = full_scan();
+        for (d, db) in dbs.iter().enumerate() {
+            let recovered = Database::recover(harness_db_config(opts), db.wal_durable())
+                .expect("recovery from durable WAL state");
+            let r = recovered
+                .session(IsolationLevel::ReadCommitted)
+                .run(&stmt)
+                .expect("post-recovery scan");
+            let rows = normalize_rows(&r.rows);
+            fnv_rows(&mut hash, &rows);
+            if !verdict.diverged() && rows != expected {
+                verdict = divergence(
+                    crash_pos,
+                    usize::MAX,
+                    format!(
+                        "post-recovery state of design `{}` differs from the committed \
+                         reference\n  design has {} rows, reference {}\n  \
+                         design:    {:?}\n  reference: {:?}",
+                        DESIGNS[d],
+                        rows.len(),
+                        expected.len(),
+                        diff_sample(&rows, &expected),
+                        diff_sample(&expected, &rows),
+                    ),
+                );
+            }
+        }
+    }
+
     // Quiescent check: with every transaction finished, the committed table
     // state must be byte-identical across designs and equal to the model.
-    if !verdict.diverged() {
+    if crashed_at.is_none() && !verdict.diverged() {
         let stmt = full_scan();
         let finals: Vec<Vec<Vec<i64>>> = dbs
             .iter()
@@ -482,6 +567,7 @@ fn publish(stats: &RunStats, diverged: bool) {
         .add(stats.txns_committed);
     reg.counter("harness.txns.aborted").add(stats.txns_aborted);
     reg.counter("harness.faults.fired").add(stats.faults_fired);
+    reg.counter("harness.crash_recoveries").add(stats.crashes);
     if diverged {
         reg.counter("harness.divergences").inc();
     }

@@ -14,13 +14,21 @@
 //! layers. On divergence, [`shrink`] reduces the history to a minimal
 //! replayable repro.
 //!
+//! The [`crash`] sweep extends the same machinery to crash recovery: it
+//! re-runs a plan once per (commit finale × WAL crash site), lets the
+//! simulated process death end the schedule, recovers every design from
+//! durable WAL bytes alone, and checks the recovered state against the
+//! reference model's committed rows (`--crash-at` on the CLI).
+//!
 //! Replay any reported run with `HARNESS_SEED=<n> cargo run -p hpd-harness`.
 
+pub mod crash;
 pub mod driver;
 pub mod plan;
 pub mod refmodel;
 pub mod shrink;
 
+pub use crash::{commit_positions, crash_sweep, SweepFailure, SweepOutcome};
 pub use driver::{run_plan, run_plan_with, Divergence, Outcome, RunOptions, RunStats, Verdict};
 pub use plan::{FaultSpec, Plan, PlanConfig};
 pub use refmodel::{Expected, RefModel};

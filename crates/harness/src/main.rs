@@ -22,7 +22,9 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use hpd_harness::{run_plan_with, shrink, Outcome, Plan, PlanConfig, RunOptions, Verdict};
+use hpd_harness::{
+    crash_sweep, run_plan_with, shrink, Outcome, Plan, PlanConfig, RunOptions, Verdict,
+};
 
 struct Args {
     seeds: Range<u64>,
@@ -31,6 +33,9 @@ struct Args {
     threads: usize,
     do_shrink: bool,
     quiet: bool,
+    /// `Some(filter)` switches to the crash-recovery sweep: inject crashes
+    /// whose site name contains `filter` ("all" = every crash site).
+    crash_at: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         do_shrink: true,
         quiet: false,
+        crash_at: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -84,14 +90,19 @@ fn parse_args() -> Result<Args, String> {
                 args.run_opts.grant_budget =
                     Some(val("--grant-budget")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--crash-at" => args.crash_at = Some(val("--crash-at")?),
             "--no-shrink" => args.do_shrink = false,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] \
                             [--rows N] [--concurrency N] [--fault-rate F] [--threads N] \
-                            [--pool-threads N] [--grant-budget BYTES] [--no-shrink] [--quiet]\n\
-                            env: HARNESS_SEED=<n> replays exactly one seed"
+                            [--pool-threads N] [--grant-budget BYTES] \
+                            [--crash-at all|SITE_SUBSTRING] [--no-shrink] [--quiet]\n\
+                            env: HARNESS_SEED=<n> replays exactly one seed\n\
+                            --crash-at runs the crash-recovery sweep: each seed's plan \
+                            replays once per (commit finale x crash site), recovery is \
+                            differentially checked, and every selected site must be hit"
                         .into(),
                 )
             }
@@ -115,6 +126,54 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(filter) = &args.crash_at {
+        // The sweep is single-threaded: fault arming and per-site fire
+        // counts are thread-local, and the sweep's site-coverage report
+        // needs one thread's view of them.
+        let report = crash_sweep(args.seeds.clone(), &args.cfg, &args.run_opts, filter);
+        println!(
+            "crash sweep: {} run(s), {} crash(es) recovered and checked",
+            report.runs, report.crashes
+        );
+        for (site, hits) in &report.site_hits {
+            println!("  {site}: {hits} hit(s)");
+        }
+        if let Some(f) = report.failure {
+            eprintln!(
+                "seed {}: DIVERGENCE after crash `{}` at step {}",
+                f.seed,
+                f.spec.site(),
+                match &f.outcome.verdict {
+                    Verdict::Divergence(d) => d.step as i64,
+                    Verdict::Pass => -1,
+                }
+            );
+            if let Verdict::Divergence(d) = &f.outcome.verdict {
+                eprintln!("{}", d.detail);
+            }
+            eprintln!("--- full plan ---\n{}", f.plan.render());
+            if args.do_shrink {
+                eprintln!("shrinking...");
+                let min = shrink(&f.plan);
+                eprintln!(
+                    "--- minimal repro ({} ops, {} txns, {} faults) ---\n{}",
+                    min.op_count(),
+                    min.txns.len(),
+                    min.faults.len(),
+                    min.render()
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        let unhit = report.unhit_sites();
+        if !unhit.is_empty() {
+            eprintln!("crash sweep never hit: {unhit:?} — widen --seeds or the history");
+            return ExitCode::FAILURE;
+        }
+        println!("crash sweep clean: every selected site hit, all recoveries agree");
+        return ExitCode::SUCCESS;
+    }
 
     // Seeds are claimed from a shared cursor by `--threads` worker threads
     // (fault injection is thread-local, so concurrent seeds can't interfere);

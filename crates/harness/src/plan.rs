@@ -14,6 +14,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The fault palette: one variant per injection site the harness arms.
+///
+/// The crash variants are never drawn by [`Plan::generate`] (so existing
+/// seeds replay bit-identically); the crash sweep places them explicitly
+/// on commit-finale schedule steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSpec {
     LockTimeout,
@@ -24,9 +28,14 @@ pub enum FaultSpec {
     TupleMoveDefer,
     DeleteBufferCompact,
     DeltaDrainPartial,
+    CrashBeforeCommitFlush,
+    CrashAfterCommitFlush,
+    CrashMidApply,
+    CrashInCheckpoint,
 }
 
 impl FaultSpec {
+    /// The generator palette: faults a random plan may arm anywhere.
     pub const ALL: [FaultSpec; 8] = [
         FaultSpec::LockTimeout,
         FaultSpec::CommitFail,
@@ -36,6 +45,15 @@ impl FaultSpec {
         FaultSpec::TupleMoveDefer,
         FaultSpec::DeleteBufferCompact,
         FaultSpec::DeltaDrainPartial,
+    ];
+
+    /// The crash palette: simulated process deaths inside `Txn::commit`,
+    /// placed only on commit finales by the sweep.
+    pub const CRASH: [FaultSpec; 4] = [
+        FaultSpec::CrashBeforeCommitFlush,
+        FaultSpec::CrashAfterCommitFlush,
+        FaultSpec::CrashMidApply,
+        FaultSpec::CrashInCheckpoint,
     ];
 
     pub fn site(self) -> &'static str {
@@ -48,7 +66,21 @@ impl FaultSpec {
             FaultSpec::TupleMoveDefer => faults::sites::TUPLE_MOVE_DEFER,
             FaultSpec::DeleteBufferCompact => faults::sites::DELETE_BUFFER_COMPACT,
             FaultSpec::DeltaDrainPartial => faults::sites::DELTA_DRAIN_PARTIAL,
+            FaultSpec::CrashBeforeCommitFlush => faults::sites::CRASH_BEFORE_COMMIT_FLUSH,
+            FaultSpec::CrashAfterCommitFlush => faults::sites::CRASH_AFTER_COMMIT_FLUSH,
+            FaultSpec::CrashMidApply => faults::sites::CRASH_MID_APPLY,
+            FaultSpec::CrashInCheckpoint => faults::sites::CRASH_IN_CHECKPOINT,
         }
+    }
+
+    pub fn is_crash(self) -> bool {
+        matches!(
+            self,
+            FaultSpec::CrashBeforeCommitFlush
+                | FaultSpec::CrashAfterCommitFlush
+                | FaultSpec::CrashMidApply
+                | FaultSpec::CrashInCheckpoint
+        )
     }
 }
 

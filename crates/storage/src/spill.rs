@@ -17,10 +17,16 @@ use crate::device::DeviceProfile;
 use crate::tracker::IoTracker;
 
 /// Factory for spill files sharing one device profile.
+///
+/// The manager also owns the lifecycle ledger: every [`SpillFile`] it
+/// creates is counted open until dropped, so tests can assert a query left
+/// no spill state behind — on success *and* on every error path (injected
+/// write failure, reduced-grant spill, admission timeout).
 #[derive(Debug, Clone)]
 pub struct SpillManager {
     device: DeviceProfile,
     total_spilled: Arc<AtomicU64>,
+    live_files: Arc<AtomicU64>,
 }
 
 impl SpillManager {
@@ -28,20 +34,32 @@ impl SpillManager {
         SpillManager {
             device,
             total_spilled: Arc::new(AtomicU64::new(0)),
+            live_files: Arc::new(AtomicU64::new(0)),
         }
     }
 
     pub fn create_file(&self) -> SpillFile {
+        self.live_files.fetch_add(1, Ordering::Relaxed);
+        hpd_obs::global()
+            .counter("storage.spill.files_opened")
+            .inc();
         SpillFile {
             device: self.device,
             bytes: 0,
             total_spilled: Arc::clone(&self.total_spilled),
+            live_files: Arc::clone(&self.live_files),
         }
     }
 
     /// Total bytes ever spilled through this manager (diagnostics).
     pub fn total_spilled_bytes(&self) -> u64 {
         self.total_spilled.load(Ordering::Relaxed)
+    }
+
+    /// Spill files created by this manager and not yet dropped. Zero once
+    /// the owning query has completed or unwound.
+    pub fn live_files(&self) -> u64 {
+        self.live_files.load(Ordering::Relaxed)
     }
 }
 
@@ -52,6 +70,16 @@ pub struct SpillFile {
     device: DeviceProfile,
     bytes: u64,
     total_spilled: Arc<AtomicU64>,
+    live_files: Arc<AtomicU64>,
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        self.live_files.fetch_sub(1, Ordering::Relaxed);
+        hpd_obs::global()
+            .counter("storage.spill.files_closed")
+            .inc();
+    }
 }
 
 impl SpillFile {
@@ -127,6 +155,29 @@ mod tests {
         b.write(50, &t).unwrap();
         assert_eq!(mgr.total_spilled_bytes(), 150);
         assert_eq!(a.len_bytes(), 100);
+    }
+
+    #[test]
+    fn live_file_ledger_balances_on_drop() {
+        let mgr = SpillManager::new(DeviceProfile::ssd());
+        let t = IoTracker::new();
+        assert_eq!(mgr.live_files(), 0);
+        let mut a = mgr.create_file();
+        let b = mgr.create_file();
+        assert_eq!(mgr.live_files(), 2);
+        a.write(100, &t).unwrap();
+        drop(a);
+        assert_eq!(mgr.live_files(), 1);
+        drop(b);
+        assert_eq!(mgr.live_files(), 0);
+        // The ledger survives a failed write too (the file is still open).
+        let mut c = mgr.create_file();
+        faults::arm(faults::sites::SPILL_WRITE_FAIL, 1);
+        c.write(100, &t).unwrap_err();
+        assert_eq!(mgr.live_files(), 1);
+        drop(c);
+        assert_eq!(mgr.live_files(), 0);
+        faults::clear_all();
     }
 
     #[test]

@@ -1,0 +1,664 @@
+//! Logical log records and their binary codec.
+//!
+//! Records are *logical*: they name tables by catalog slot id and carry
+//! whole rows/keys, not page images. That keeps the log independent of the
+//! physical design — the same Insert record redoes into a B+ tree, a
+//! columnstore delta, or both, whichever the recovered design dictates.
+//!
+//! The codec is hand-rolled little-endian (no serde in this workspace):
+//! values carry a one-byte type tag, containers a length prefix. Every
+//! decoder is total — corrupt bytes produce an error, never a panic — so a
+//! CRC collision on a torn frame cannot take recovery down.
+
+use hpd_common::{ColumnDef, DataType, HpdError, Key, Result, Row, Schema, Value};
+
+/// Index kind in a [`WalIndexDef`]. A flat mirror of the engine's
+/// `IndexDescriptor` so this crate does not depend on `hpd-engine` (which
+/// depends on us); the engine converts at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalIndexKind {
+    PrimaryBTree,
+    SecondaryBTree,
+    PrimaryCsi,
+    SecondaryCsi,
+}
+
+/// Design-describing payload for checkpoint snapshots and DDL records.
+///
+/// `cols_a` is the key/column list (B+ tree keys, CSI columns); `cols_b` is
+/// the include list (secondary B+ tree includes; empty otherwise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalIndexDef {
+    pub kind: WalIndexKind,
+    pub cols_a: Vec<usize>,
+    pub cols_b: Vec<usize>,
+}
+
+/// One logical log record. LSNs are byte offsets assigned at append time by
+/// [`crate::Wal`], not stored in the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A transaction reached its commit point and started applying writes.
+    TxnBegin {
+        txn_id: u64,
+    },
+    /// All of the transaction's writes are logged; makes them redo-eligible.
+    TxnCommit {
+        txn_id: u64,
+        commit_ts: u64,
+    },
+    /// The transaction's logged writes must be discarded by redo.
+    TxnAbort {
+        txn_id: u64,
+    },
+    Insert {
+        table: u32,
+        row: Row,
+    },
+    Delete {
+        table: u32,
+        key: Key,
+    },
+    /// Value-logged update: the post-image row is computed once at commit
+    /// and logged physically, so redo needs no expression evaluation.
+    Update {
+        table: u32,
+        key: Key,
+        new_row: Row,
+    },
+    /// A table entered the catalog (slot id `table`).
+    TableCreate {
+        table: u32,
+        name: String,
+        schema: Schema,
+        pk: Vec<usize>,
+        primary: WalIndexDef,
+    },
+    /// Initial rows loaded outside a transaction.
+    BulkLoad {
+        table: u32,
+        rows: Vec<Row>,
+    },
+    IndexCreate {
+        table: u32,
+        def: WalIndexDef,
+    },
+    /// Full physical-design swap (covers index drop and advisor re-tunes).
+    DesignChange {
+        table: u32,
+        primary: WalIndexDef,
+        secondaries: Vec<WalIndexDef>,
+    },
+    /// Tuple mover migrated `rows` delta rows into compressed rowgroups.
+    TupleMoverMigrate {
+        table: u32,
+        rows: u64,
+    },
+    /// Delete-buffer compaction removed `rows` buffered deletes.
+    DeltaCompaction {
+        table: u32,
+        rows: u64,
+    },
+    /// A fuzzy checkpoint began; its image, once installed, snapshots state
+    /// up to at least this record's LSN per table.
+    CheckpointBegin,
+    /// The checkpoint image was installed (informational; recovery trusts
+    /// the installed image, not this marker).
+    CheckpointEnd,
+}
+
+const TAG_TXN_BEGIN: u8 = 1;
+const TAG_TXN_COMMIT: u8 = 2;
+const TAG_TXN_ABORT: u8 = 3;
+const TAG_INSERT: u8 = 4;
+const TAG_DELETE: u8 = 5;
+const TAG_UPDATE: u8 = 6;
+const TAG_TABLE_CREATE: u8 = 7;
+const TAG_BULK_LOAD: u8 = 8;
+const TAG_INDEX_CREATE: u8 = 9;
+const TAG_DESIGN_CHANGE: u8 = 10;
+const TAG_TUPLE_MOVER: u8 = 11;
+const TAG_DELTA_COMPACTION: u8 = 12;
+const TAG_CHECKPOINT_BEGIN: u8 = 13;
+const TAG_CHECKPOINT_END: u8 = 14;
+
+fn corrupt(what: &str) -> HpdError {
+    HpdError::Internal(format!("wal: corrupt record: {what}"))
+}
+
+// ---------------------------------------------------------------- encoding
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int32(x) => {
+            buf.push(0);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Int64(x) => {
+            buf.push(1);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Float64(x) => {
+            buf.push(2);
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Decimal(x) => {
+            buf.push(3);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Date(x) => {
+            buf.push(4);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(5);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_values(buf: &mut Vec<u8>, vs: &[Value]) {
+    put_u32(buf, vs.len() as u32);
+    for v in vs {
+        put_value(buf, v);
+    }
+}
+
+fn put_ordinals(buf: &mut Vec<u8>, cols: &[usize]) {
+    put_u32(buf, cols.len() as u32);
+    for &c in cols {
+        put_u32(buf, c as u32);
+    }
+}
+
+fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
+    put_u32(buf, schema.len() as u32);
+    for col in schema.columns() {
+        put_str(buf, &col.name);
+        buf.push(dtype_tag(col.dtype));
+        buf.push(col.csi_eligible as u8);
+    }
+}
+
+fn put_index_def(buf: &mut Vec<u8>, def: &WalIndexDef) {
+    buf.push(match def.kind {
+        WalIndexKind::PrimaryBTree => 0,
+        WalIndexKind::SecondaryBTree => 1,
+        WalIndexKind::PrimaryCsi => 2,
+        WalIndexKind::SecondaryCsi => 3,
+    });
+    put_ordinals(buf, &def.cols_a);
+    put_ordinals(buf, &def.cols_b);
+}
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Int32 => 0,
+        DataType::Int64 => 1,
+        DataType::Float64 => 2,
+        DataType::Decimal => 3,
+        DataType::Date => 4,
+        DataType::Utf8 => 5,
+    }
+}
+
+// ---------------------------------------------------------------- decoding
+
+pub(crate) struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(corrupt("unexpected end of payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("non-utf8 string"))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Int32(i32::from_le_bytes(self.take(4)?.try_into().unwrap())),
+            1 => Value::Int64(i64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            2 => Value::Float64(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().unwrap(),
+            ))),
+            3 => Value::Decimal(i64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            4 => Value::Date(i32::from_le_bytes(self.take(4)?.try_into().unwrap())),
+            5 => Value::str(self.str()?),
+            t => return Err(corrupt(&format!("bad value tag {t}"))),
+        })
+    }
+
+    fn values(&mut self) -> Result<Vec<Value>> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(corrupt("value count exceeds payload"));
+        }
+        (0..n).map(|_| self.value()).collect()
+    }
+
+    fn row(&mut self) -> Result<Row> {
+        Ok(Row::new(self.values()?))
+    }
+
+    fn key(&mut self) -> Result<Key> {
+        Ok(Key::new(self.values()?))
+    }
+
+    fn ordinals(&mut self) -> Result<Vec<usize>> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(corrupt("ordinal count exceeds payload"));
+        }
+        (0..n).map(|_| Ok(self.u32()? as usize)).collect()
+    }
+
+    fn schema(&mut self) -> Result<Schema> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(corrupt("column count exceeds payload"));
+        }
+        let mut cols = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.str()?;
+            let dtype = match self.u8()? {
+                0 => DataType::Int32,
+                1 => DataType::Int64,
+                2 => DataType::Float64,
+                3 => DataType::Decimal,
+                4 => DataType::Date,
+                5 => DataType::Utf8,
+                t => return Err(corrupt(&format!("bad dtype tag {t}"))),
+            };
+            let eligible = self.u8()? != 0;
+            let mut col = ColumnDef::new(name, dtype);
+            col.csi_eligible = eligible;
+            cols.push(col);
+        }
+        Ok(Schema::new(cols))
+    }
+
+    fn index_def(&mut self) -> Result<WalIndexDef> {
+        let kind = match self.u8()? {
+            0 => WalIndexKind::PrimaryBTree,
+            1 => WalIndexKind::SecondaryBTree,
+            2 => WalIndexKind::PrimaryCsi,
+            3 => WalIndexKind::SecondaryCsi,
+            t => return Err(corrupt(&format!("bad index kind {t}"))),
+        };
+        Ok(WalIndexDef {
+            kind,
+            cols_a: self.ordinals()?,
+            cols_b: self.ordinals()?,
+        })
+    }
+
+    /// Read one embedded `[len][crc][payload]` frame (used by checkpoint
+    /// images, which nest record frames inside their own body). Returns
+    /// `None` on truncation or CRC mismatch.
+    pub(crate) fn framed_record(&mut self) -> Option<&'a [u8]> {
+        use crate::frame::{crc32, FRAME_HEADER};
+        if self.pos + FRAME_HEADER > self.buf.len() {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(self.buf[self.pos + 4..self.pos + 8].try_into().unwrap());
+        let start = self.pos + FRAME_HEADER;
+        if start + len > self.buf.len() {
+            return None;
+        }
+        let payload = &self.buf[start..start + len];
+        if crc32(payload) != crc {
+            return None;
+        }
+        self.pos = start + len;
+        Some(payload)
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl LogRecord {
+    /// Serialize to a frame payload (framing/CRC added by the [`crate::Wal`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32);
+        match self {
+            LogRecord::TxnBegin { txn_id } => {
+                b.push(TAG_TXN_BEGIN);
+                put_u64(&mut b, *txn_id);
+            }
+            LogRecord::TxnCommit { txn_id, commit_ts } => {
+                b.push(TAG_TXN_COMMIT);
+                put_u64(&mut b, *txn_id);
+                put_u64(&mut b, *commit_ts);
+            }
+            LogRecord::TxnAbort { txn_id } => {
+                b.push(TAG_TXN_ABORT);
+                put_u64(&mut b, *txn_id);
+            }
+            LogRecord::Insert { table, row } => {
+                b.push(TAG_INSERT);
+                put_u32(&mut b, *table);
+                put_values(&mut b, row.values());
+            }
+            LogRecord::Delete { table, key } => {
+                b.push(TAG_DELETE);
+                put_u32(&mut b, *table);
+                put_values(&mut b, key.values());
+            }
+            LogRecord::Update {
+                table,
+                key,
+                new_row,
+            } => {
+                b.push(TAG_UPDATE);
+                put_u32(&mut b, *table);
+                put_values(&mut b, key.values());
+                put_values(&mut b, new_row.values());
+            }
+            LogRecord::TableCreate {
+                table,
+                name,
+                schema,
+                pk,
+                primary,
+            } => {
+                b.push(TAG_TABLE_CREATE);
+                put_u32(&mut b, *table);
+                put_str(&mut b, name);
+                put_schema(&mut b, schema);
+                put_ordinals(&mut b, pk);
+                put_index_def(&mut b, primary);
+            }
+            LogRecord::BulkLoad { table, rows } => {
+                b.push(TAG_BULK_LOAD);
+                put_u32(&mut b, *table);
+                put_u32(&mut b, rows.len() as u32);
+                for row in rows {
+                    put_values(&mut b, row.values());
+                }
+            }
+            LogRecord::IndexCreate { table, def } => {
+                b.push(TAG_INDEX_CREATE);
+                put_u32(&mut b, *table);
+                put_index_def(&mut b, def);
+            }
+            LogRecord::DesignChange {
+                table,
+                primary,
+                secondaries,
+            } => {
+                b.push(TAG_DESIGN_CHANGE);
+                put_u32(&mut b, *table);
+                put_index_def(&mut b, primary);
+                put_u32(&mut b, secondaries.len() as u32);
+                for def in secondaries {
+                    put_index_def(&mut b, def);
+                }
+            }
+            LogRecord::TupleMoverMigrate { table, rows } => {
+                b.push(TAG_TUPLE_MOVER);
+                put_u32(&mut b, *table);
+                put_u64(&mut b, *rows);
+            }
+            LogRecord::DeltaCompaction { table, rows } => {
+                b.push(TAG_DELTA_COMPACTION);
+                put_u32(&mut b, *table);
+                put_u64(&mut b, *rows);
+            }
+            LogRecord::CheckpointBegin => b.push(TAG_CHECKPOINT_BEGIN),
+            LogRecord::CheckpointEnd => b.push(TAG_CHECKPOINT_END),
+        }
+        b
+    }
+
+    /// Decode a frame payload. Total: corrupt input yields `Err`, not a
+    /// panic, and trailing garbage is rejected.
+    pub fn decode(payload: &[u8]) -> Result<LogRecord> {
+        let mut c = Cur::new(payload);
+        let rec = match c.u8()? {
+            TAG_TXN_BEGIN => LogRecord::TxnBegin { txn_id: c.u64()? },
+            TAG_TXN_COMMIT => LogRecord::TxnCommit {
+                txn_id: c.u64()?,
+                commit_ts: c.u64()?,
+            },
+            TAG_TXN_ABORT => LogRecord::TxnAbort { txn_id: c.u64()? },
+            TAG_INSERT => LogRecord::Insert {
+                table: c.u32()?,
+                row: c.row()?,
+            },
+            TAG_DELETE => LogRecord::Delete {
+                table: c.u32()?,
+                key: c.key()?,
+            },
+            TAG_UPDATE => LogRecord::Update {
+                table: c.u32()?,
+                key: c.key()?,
+                new_row: c.row()?,
+            },
+            TAG_TABLE_CREATE => LogRecord::TableCreate {
+                table: c.u32()?,
+                name: c.str()?,
+                schema: c.schema()?,
+                pk: c.ordinals()?,
+                primary: c.index_def()?,
+            },
+            TAG_BULK_LOAD => {
+                let table = c.u32()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() {
+                    return Err(corrupt("row count exceeds payload"));
+                }
+                let rows = (0..n).map(|_| c.row()).collect::<Result<Vec<_>>>()?;
+                LogRecord::BulkLoad { table, rows }
+            }
+            TAG_INDEX_CREATE => LogRecord::IndexCreate {
+                table: c.u32()?,
+                def: c.index_def()?,
+            },
+            TAG_DESIGN_CHANGE => {
+                let table = c.u32()?;
+                let primary = c.index_def()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() {
+                    return Err(corrupt("secondary count exceeds payload"));
+                }
+                let secondaries = (0..n).map(|_| c.index_def()).collect::<Result<Vec<_>>>()?;
+                LogRecord::DesignChange {
+                    table,
+                    primary,
+                    secondaries,
+                }
+            }
+            TAG_TUPLE_MOVER => LogRecord::TupleMoverMigrate {
+                table: c.u32()?,
+                rows: c.u64()?,
+            },
+            TAG_DELTA_COMPACTION => LogRecord::DeltaCompaction {
+                table: c.u32()?,
+                rows: c.u64()?,
+            },
+            TAG_CHECKPOINT_BEGIN => LogRecord::CheckpointBegin,
+            TAG_CHECKPOINT_END => LogRecord::CheckpointEnd,
+            t => return Err(corrupt(&format!("bad record tag {t}"))),
+        };
+        if !c.finished() {
+            return Err(corrupt("trailing bytes after record"));
+        }
+        Ok(rec)
+    }
+
+    /// The catalog slot this record targets, if it is table-scoped. Used by
+    /// recovery's fuzzy-checkpoint skip rule (`lsn <= applied_lsn[table]`).
+    pub fn table(&self) -> Option<u32> {
+        match self {
+            LogRecord::Insert { table, .. }
+            | LogRecord::Delete { table, .. }
+            | LogRecord::Update { table, .. }
+            | LogRecord::TableCreate { table, .. }
+            | LogRecord::BulkLoad { table, .. }
+            | LogRecord::IndexCreate { table, .. }
+            | LogRecord::DesignChange { table, .. }
+            | LogRecord::TupleMoverMigrate { table, .. }
+            | LogRecord::DeltaCompaction { table, .. } => Some(*table),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: LogRecord) {
+        let bytes = rec.encode();
+        assert_eq!(LogRecord::decode(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn all_record_kinds_round_trip() {
+        roundtrip(LogRecord::TxnBegin { txn_id: 7 });
+        roundtrip(LogRecord::TxnCommit {
+            txn_id: 7,
+            commit_ts: 1234,
+        });
+        roundtrip(LogRecord::TxnAbort { txn_id: u64::MAX });
+        roundtrip(LogRecord::Insert {
+            table: 0,
+            row: Row::new(vec![
+                Value::Int64(-5),
+                Value::Int32(3),
+                Value::Float64(-0.5),
+                Value::Decimal(123456),
+                Value::Date(19000),
+                Value::str("héllo"),
+            ]),
+        });
+        roundtrip(LogRecord::Delete {
+            table: 2,
+            key: Key::new(vec![Value::Int64(9), Value::str("x")]),
+        });
+        roundtrip(LogRecord::Update {
+            table: 1,
+            key: Key::new(vec![Value::Int64(9)]),
+            new_row: Row::new(vec![Value::Int64(9), Value::Int64(10)]),
+        });
+        roundtrip(LogRecord::TableCreate {
+            table: 3,
+            name: "t".into(),
+            schema: Schema::from_pairs(&[("k", DataType::Int64), ("a", DataType::Utf8)]),
+            pk: vec![0],
+            primary: WalIndexDef {
+                kind: WalIndexKind::PrimaryBTree,
+                cols_a: vec![0],
+                cols_b: vec![],
+            },
+        });
+        roundtrip(LogRecord::BulkLoad {
+            table: 3,
+            rows: vec![
+                Row::new(vec![Value::Int64(1)]),
+                Row::new(vec![Value::Int64(2)]),
+            ],
+        });
+        roundtrip(LogRecord::IndexCreate {
+            table: 3,
+            def: WalIndexDef {
+                kind: WalIndexKind::SecondaryCsi,
+                cols_a: vec![0, 1, 2],
+                cols_b: vec![],
+            },
+        });
+        roundtrip(LogRecord::DesignChange {
+            table: 3,
+            primary: WalIndexDef {
+                kind: WalIndexKind::PrimaryCsi,
+                cols_a: vec![],
+                cols_b: vec![],
+            },
+            secondaries: vec![WalIndexDef {
+                kind: WalIndexKind::SecondaryBTree,
+                cols_a: vec![1],
+                cols_b: vec![2],
+            }],
+        });
+        roundtrip(LogRecord::TupleMoverMigrate { table: 3, rows: 99 });
+        roundtrip(LogRecord::DeltaCompaction { table: 3, rows: 4 });
+        roundtrip(LogRecord::CheckpointBegin);
+        roundtrip(LogRecord::CheckpointEnd);
+    }
+
+    #[test]
+    fn float_round_trips_preserve_bits() {
+        for f in [f64::NAN, -0.0, f64::INFINITY, f64::MIN_POSITIVE] {
+            let rec = LogRecord::Insert {
+                table: 0,
+                row: Row::new(vec![Value::Float64(f)]),
+            };
+            let back = LogRecord::decode(&rec.encode()).unwrap();
+            let LogRecord::Insert { row, .. } = back else {
+                panic!("wrong kind")
+            };
+            let &Value::Float64(g) = &row[0] else {
+                panic!("wrong type")
+            };
+            assert_eq!(g.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_error_without_panicking() {
+        assert!(LogRecord::decode(&[]).is_err());
+        assert!(LogRecord::decode(&[200]).is_err()); // unknown tag
+        assert!(LogRecord::decode(&[TAG_TXN_BEGIN, 1, 2]).is_err()); // truncated
+        let mut ok = LogRecord::TxnAbort { txn_id: 1 }.encode();
+        ok.push(0); // trailing garbage
+        assert!(LogRecord::decode(&ok).is_err());
+        // Insert claiming a huge value count must not attempt allocation.
+        let mut b = vec![TAG_INSERT];
+        put_u32(&mut b, 0);
+        put_u32(&mut b, u32::MAX);
+        assert!(LogRecord::decode(&b).is_err());
+    }
+}

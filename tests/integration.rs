@@ -703,11 +703,10 @@ fn explain_analyze_lineitem_with_spill() {
 
     let rendered = report.render();
     // Every plan-node line carries estimated vs actual rows and a time
-    // reading; summary trailers (pruning/grant) are exempt.
-    for line in rendered
-        .lines()
-        .filter(|l| !l.starts_with("pruning:") && !l.starts_with("grant:"))
-    {
+    // reading; summary trailers (pruning/grant/wal) are exempt.
+    for line in rendered.lines().filter(|l| {
+        !l.starts_with("pruning:") && !l.starts_with("grant:") && !l.starts_with("wal:")
+    }) {
         assert!(line.contains("est="), "{rendered}");
         assert!(line.contains("act="), "{rendered}");
         assert!(line.contains("time="), "{rendered}");

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the structured tracer: the cost of the
+//! disabled fast path (a single atomic load per span site), and end-to-end
+//! point-select latency with tracing off vs. on. The acceptance bar for the
+//! observability work is tracing-disabled overhead within noise (≤2%) of
+//! the pre-tracing engine — `trace/point_select_off` is that number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpd_common::{CmpOp, Expr, Value};
+use hpd_engine::{Database, DbConfig, SelectQuery, Statement};
+use hpd_obs::trace::{span, tracer};
+use hpd_workloads::tpch::{col, load_lineitem, MixedDesign};
+
+const ROWS: usize = 50_000;
+
+fn make_db() -> Database {
+    let db = Database::new(DbConfig::default());
+    load_lineitem(&db, ROWS, 9, MixedDesign::BTreeOnly).unwrap();
+    db
+}
+
+fn point_select(key: i32) -> Statement {
+    Statement::Select(SelectQuery::single_table(
+        "lineitem",
+        Some(Expr::col_cmp(col::L_ORDERKEY, CmpOp::Eq, Value::Int32(key))),
+        vec![col::L_ORDERKEY, col::L_QUANTITY],
+    ))
+}
+
+/// The disabled fast path: `span()` must cost one relaxed atomic load.
+fn bench_span_site_disabled(c: &mut Criterion) {
+    tracer().set_enabled(false);
+    c.bench_function("trace/span_site_disabled", |b| {
+        b.iter(|| std::hint::black_box(span("bench")))
+    });
+}
+
+/// One recorded span (guard create + drop into the thread ring).
+fn bench_span_site_enabled(c: &mut Criterion) {
+    tracer().set_enabled(true);
+    c.bench_function("trace/span_site_enabled", |b| {
+        b.iter(|| std::hint::black_box(span("bench")))
+    });
+    tracer().set_enabled(false);
+    tracer().drain();
+}
+
+fn bench_point_select(c: &mut Criterion, name: &str, enabled: bool) {
+    let db = make_db();
+    tracer().set_enabled(enabled);
+    let mut key = 0i32;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            key = (key + 1) % ROWS as i32;
+            std::hint::black_box(db.query(&point_select(key)).run().unwrap());
+        })
+    });
+    tracer().set_enabled(false);
+    tracer().drain();
+}
+
+fn bench_point_select_off(c: &mut Criterion) {
+    bench_point_select(c, "trace/point_select_off", false);
+}
+
+fn bench_point_select_on(c: &mut Criterion) {
+    bench_point_select(c, "trace/point_select_on", true);
+}
+
+criterion_group!(
+    benches,
+    bench_span_site_disabled,
+    bench_span_site_enabled,
+    bench_point_select_off,
+    bench_point_select_on
+);
+criterion_main!(benches);

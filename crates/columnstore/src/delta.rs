@@ -40,7 +40,7 @@ impl DeltaStore {
     /// Stage a row under its row key (B+ tree insert cost — cheap, the
     /// point of the delta store).
     pub fn insert(&mut self, key: Key, row: Row, pool: &BufferPool, tracker: &IoTracker) {
-        hpd_obs::global().counter("columnstore.delta_insert").inc();
+        hpd_obs::global().counter("columnstore.delta.insert").inc();
         self.tree.insert(key, row, pool, tracker);
     }
 
@@ -66,7 +66,7 @@ impl DeltaStore {
     /// Remove and return up to `n` rows, smallest keys first (tuple-mover
     /// drain; draining in key order also compresses well).
     pub fn drain(&mut self, n: usize, pool: &BufferPool, tracker: &IoTracker) -> Vec<Row> {
-        hpd_obs::global().counter("columnstore.delta_drain").inc();
+        hpd_obs::global().counter("columnstore.delta.drain").inc();
         // Injected interruption: hand back a short chunk, as if the mover
         // were preempted mid-drain. Callers must cope with partial drains.
         let n = if faults::fire(faults::sites::DELTA_DRAIN_PARTIAL) {

@@ -3,6 +3,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use hpd_btree::{BTree, BTreeConfig};
@@ -37,6 +38,76 @@ fn scan_counters() -> &'static ScanCounters {
             rows_selected: r.counter("columnstore.scan.rows_selected"),
         }
     })
+}
+
+/// Decayed access counters for one row group. Cells are atomics so scans
+/// (which take `&self`) can record without locking; the tuple mover halves
+/// every cell on each maintenance pass, so values approximate an
+/// exponentially-weighted recent-access rate — the input the compaction
+/// scheduler (ROADMAP item 4) ranks row groups by.
+#[derive(Debug, Default)]
+pub struct RowGroupHeat {
+    /// Scans that read this row group (it survived elimination).
+    reads: AtomicU64,
+    /// Rows this row group contributed to scan outputs.
+    rows_read: AtomicU64,
+    /// Scans that skipped this row group via min/max elimination.
+    prunes: AtomicU64,
+    /// Delete-bitmap bits set here (deletes and the delete half of updates).
+    writes: AtomicU64,
+}
+
+impl RowGroupHeat {
+    fn decay(&self) {
+        for cell in [&self.reads, &self.rows_read, &self.prunes, &self.writes] {
+            // Halve; a racing increment can be folded into either side.
+            cell.store(cell.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self, rowgroup: usize, rows: usize, active_rows: usize) -> RowGroupHeatSnapshot {
+        RowGroupHeatSnapshot {
+            rowgroup,
+            rows,
+            active_rows,
+            reads: self.reads.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            prunes: self.prunes.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one row group's heat cells.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowGroupHeatSnapshot {
+    pub rowgroup: usize,
+    pub rows: usize,
+    pub active_rows: usize,
+    pub reads: u64,
+    pub rows_read: u64,
+    pub prunes: u64,
+    pub writes: u64,
+}
+
+impl RowGroupHeatSnapshot {
+    /// Scalar ranking score: recent reads weigh a row group hot, prunes
+    /// (scans that skipped it) weigh it cold.
+    pub fn score(&self) -> u64 {
+        (self.reads * 4 + self.rows_read / 1024 + self.writes * 2).saturating_sub(self.prunes)
+    }
+}
+
+/// Heat report for one columnstore index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsiHeatReport {
+    pub rowgroups: Vec<RowGroupHeatSnapshot>,
+    /// Rows inserted into the delta store since the last decay.
+    pub delta_writes: u64,
+    /// Delta-store scans since the last decay.
+    pub delta_reads: u64,
+    /// Decay passes applied over the index lifetime (not decayed itself).
+    pub decay_passes: u64,
 }
 
 /// Primary (main storage, delete bitmap only) vs. secondary (redundant,
@@ -96,6 +167,12 @@ pub struct ColumnStoreIndex {
     /// bitmap bits; the tuple mover only appends new row groups).
     cache: SegmentCache,
     alloc: StorageAllocator,
+    /// Access heat, parallel to `row_groups` (kept outside [`RowGroup`] so
+    /// scans taking `&self` can record through atomics).
+    heat: Vec<Arc<RowGroupHeat>>,
+    delta_writes: AtomicU64,
+    delta_reads: AtomicU64,
+    decay_passes: AtomicU64,
 }
 
 impl ColumnStoreIndex {
@@ -143,6 +220,10 @@ impl ColumnStoreIndex {
             delete_buffer,
             cache: SegmentCache::new(config.decoded_cache_bytes),
             alloc,
+            heat: Vec::new(),
+            delta_writes: AtomicU64::new(0),
+            delta_reads: AtomicU64::new(0),
+            decay_passes: AtomicU64::new(0),
         }
     }
 
@@ -158,6 +239,7 @@ impl ColumnStoreIndex {
             pool.write_blob(seg.blob(), seg.encoded_bytes() as u64, tracker);
         }
         self.row_groups.push(rg);
+        self.heat.push(Arc::new(RowGroupHeat::default()));
     }
 
     pub fn kind(&self) -> CsiKind {
@@ -236,6 +318,7 @@ impl ColumnStoreIndex {
         debug_assert_eq!(row.len(), self.schema.len());
         let key = row.key(&self.key_ordinals);
         self.delta.insert(key, row, pool, tracker);
+        self.delta_writes.fetch_add(1, Ordering::Relaxed);
         if faults::fire(faults::sites::TUPLE_MOVE_FORCE) {
             // Injected early trigger: compress whatever the delta holds,
             // capacity notwithstanding (an eager background mover).
@@ -326,6 +409,7 @@ impl ColumnStoreIndex {
                         .collect(),
                 );
                 self.row_groups[rg_idx].mark_deleted(row_pos);
+                self.heat[rg_idx].writes.fetch_add(1, Ordering::Relaxed);
                 Some(row)
             }
         }
@@ -347,8 +431,10 @@ impl ColumnStoreIndex {
             .collect();
         for rg_idx in 0..self.row_groups.len() {
             if self.rowgroup_eliminated(rg_idx, &intervals) {
+                self.heat[rg_idx].prunes.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
+            self.heat[rg_idx].reads.fetch_add(1, Ordering::Relaxed);
             let rg = &self.row_groups[rg_idx];
             // Equality kernels on the encoded key segments: no decode at
             // all on the common path, O(#runs) or a word-wise code scan.
@@ -380,6 +466,7 @@ impl ColumnStoreIndex {
         match self.locate_physical(key, pool, tracker) {
             Some((rg_idx, pos)) => {
                 self.row_groups[rg_idx].mark_deleted(pos);
+                self.heat[rg_idx].writes.fetch_add(1, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -419,7 +506,9 @@ impl ColumnStoreIndex {
         }
         let mut moved = 0;
         while self.delta.len() >= self.config.rowgroup_capacity {
-            hpd_obs::global().counter("columnstore.tuple_move").inc();
+            hpd_obs::global()
+                .counter("columnstore.maintenance.tuple_move")
+                .inc();
             let rows = self
                 .delta
                 .drain(self.config.rowgroup_capacity, pool, tracker);
@@ -464,7 +553,7 @@ impl ColumnStoreIndex {
             return 0;
         }
         hpd_obs::global()
-            .counter("columnstore.delete_buffer_compact")
+            .counter("columnstore.maintenance.delete_buffer_compact")
             .inc();
         let mut pending: HashSet<Key> = buffer
             .scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker)
@@ -495,6 +584,10 @@ impl ColumnStoreIndex {
                     hits.push(pos);
                 }
             });
+            self.heat[rg_idx].reads.fetch_add(1, Ordering::Relaxed);
+            self.heat[rg_idx]
+                .writes
+                .fetch_add(hits.len() as u64, Ordering::Relaxed);
             for pos in hits {
                 self.row_groups[rg_idx].mark_deleted(pos);
             }
@@ -554,8 +647,10 @@ impl ColumnStoreIndex {
         let rg = &self.row_groups[rg_idx];
         if self.rowgroup_eliminated(rg_idx, intervals) {
             counters.pruned_rowgroup.add(rg.active_rows() as u64);
+            self.heat[rg_idx].prunes.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        self.heat[rg_idx].reads.fetch_add(1, Ordering::Relaxed);
         // Segments the scan reads: projection, anti-join keys, predicate
         // columns. Each pays its I/O once.
         let mut needed: Vec<usize> = projection.to_vec();
@@ -640,6 +735,9 @@ impl ColumnStoreIndex {
 
         let selected = sel.count();
         counters.rows_selected.add(selected as u64);
+        self.heat[rg_idx]
+            .rows_read
+            .fetch_add(selected as u64, Ordering::Relaxed);
         if selected == 0 {
             return None;
         }
@@ -676,6 +774,7 @@ impl ColumnStoreIndex {
         pool: &BufferPool,
         tracker: &IoTracker,
     ) -> Batch {
+        self.delta_reads.fetch_add(1, Ordering::Relaxed);
         let rows = self.delta.scan(pool, tracker);
         let dtypes: Vec<_> = projection
             .iter()
@@ -696,6 +795,44 @@ impl ColumnStoreIndex {
     /// Bytes currently held by the decoded-segment cache (tests/metrics).
     pub fn decoded_cache_bytes_used(&self) -> usize {
         self.cache.bytes_used()
+    }
+
+    // ------------------------------------------------------------------
+    // Heat
+    // ------------------------------------------------------------------
+
+    /// Snapshot per-rowgroup access heat (plus delta-store activity).
+    pub fn heat_report(&self) -> CsiHeatReport {
+        CsiHeatReport {
+            rowgroups: self
+                .heat
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    h.snapshot(
+                        i,
+                        self.row_groups[i].rows(),
+                        self.row_groups[i].active_rows(),
+                    )
+                })
+                .collect(),
+            delta_writes: self.delta_writes.load(Ordering::Relaxed),
+            delta_reads: self.delta_reads.load(Ordering::Relaxed),
+            decay_passes: self.decay_passes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Halve every heat cell. The tuple mover calls this once per
+    /// maintenance pass, turning the raw counters into an exponentially
+    /// decayed recency-weighted rate.
+    pub fn decay_heat(&self) {
+        for h in &self.heat {
+            h.decay();
+        }
+        for cell in [&self.delta_writes, &self.delta_reads] {
+            cell.store(cell.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
+        }
+        self.decay_passes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Begin a sequential scan over all row groups then the delta store.

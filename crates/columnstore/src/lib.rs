@@ -37,7 +37,9 @@ pub mod segment;
 pub use cache::SegmentCache;
 pub use delta::DeltaStore;
 pub use encoding::{encode_i64s, EncodedInts, IntEncoding};
-pub use index::{ColumnStoreIndex, CsiConfig, CsiKind, CsiScan};
+pub use index::{
+    ColumnStoreIndex, CsiConfig, CsiHeatReport, CsiKind, CsiScan, RowGroupHeatSnapshot,
+};
 pub use kernels::Translated;
 pub use rowgroup::{RowGroup, SortMode};
 pub use segment::Segment;

@@ -57,6 +57,45 @@ fn all_ids(idx: &ColumnStoreIndex, pool: &BufferPool) -> Vec<i32> {
 }
 
 #[test]
+fn heat_tracks_reads_prunes_writes_and_decays() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 1000);
+    // Rows are built in key order, so id ranges map to distinct rowgroups:
+    // a selective scan reads some rowgroups and prunes the rest.
+    let iv: HashMap<usize, Interval> =
+        [(0usize, Interval::between(Value::Int32(0), Value::Int32(99)))]
+            .into_iter()
+            .collect();
+    idx.scan_collect(&[0, 1], &iv, &pool, &t);
+    idx.scan_collect(&[0, 1], &iv, &pool, &t);
+    let heat = idx.heat_report();
+    assert_eq!(heat.rowgroups.len(), idx.num_rowgroups());
+    assert_eq!(heat.rowgroups[0].reads, 2);
+    assert_eq!(heat.rowgroups[0].rows_read, 200);
+    let last = heat.rowgroups.last().unwrap();
+    assert_eq!(last.prunes, 2);
+    assert_eq!(last.reads, 0);
+    assert!(heat.rowgroups[0].score() > last.score());
+    // Deletes charge writes to the victim rowgroup.
+    assert!(idx.delete(&Key::new(vec![Value::Int32(5)]), &pool, &t));
+    assert_eq!(idx.heat_report().rowgroups[0].writes, 1);
+    // Inserts land in the delta store.
+    idx.insert(
+        Row::new(vec![Value::Int32(5000), Value::Int32(0)]),
+        &pool,
+        &t,
+    );
+    assert_eq!(idx.heat_report().delta_writes, 1);
+    // Decay halves everything and counts the pass.
+    idx.decay_heat();
+    let decayed = idx.heat_report();
+    assert_eq!(decayed.rowgroups[0].reads, 1);
+    assert_eq!(decayed.rowgroups[0].rows_read, 100);
+    assert_eq!(decayed.rowgroups[0].writes, 0);
+    assert_eq!(decayed.delta_writes, 0);
+    assert_eq!(decayed.decay_passes, 1);
+}
+
+#[test]
 fn build_splits_into_rowgroups() {
     let (idx, _, _) = setup(CsiKind::Primary, 1000);
     assert_eq!(idx.num_rowgroups(), 10);

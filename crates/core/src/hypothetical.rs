@@ -19,7 +19,7 @@ pub fn hypothetical_meta(
     estimator: &dyn CsiSizeEstimator,
     csi_config: &CsiConfig,
 ) -> IndexMeta {
-    hpd_obs::global().counter("advisor.whatif_calls").inc();
+    hpd_obs::global().counter("advisor.whatif.calls").inc();
     let rows = ctx.stats.rows;
     match descriptor {
         IndexDescriptor::PrimaryBTree { .. } => {

@@ -54,6 +54,11 @@ pub struct DbConfig {
     pub query_store_capacity: usize,
     /// Write-ahead log / durability knobs (see [`hpd_wal::WalConfig`]).
     pub wal: WalConfig,
+    /// Enable structured tracing (`hpd_obs::trace`) at database creation:
+    /// every query records an `query` span tree and background work records
+    /// root spans, all into bounded per-thread rings. Off by default — the
+    /// disabled path costs one relaxed atomic load per would-be span.
+    pub tracing: bool,
 }
 
 impl Default for DbConfig {
@@ -71,6 +76,7 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_secs(5),
             query_store_capacity: 256,
             wal: WalConfig::default(),
+            tracing: false,
         }
     }
 }
@@ -120,6 +126,9 @@ pub struct Database {
 
 impl Database {
     pub fn new(config: DbConfig) -> Database {
+        if config.tracing {
+            hpd_obs::trace::tracer().set_enabled(true);
+        }
         let pool = BufferPool::new(config.buffer_pool_bytes, config.device);
         Database {
             txns: TxnManager::new(config.lock_timeout),
@@ -159,9 +168,55 @@ impl Database {
         &self.query_store
     }
 
+    // ------------------------------------------------------------------
+    // Observability exports
+    // ------------------------------------------------------------------
+
+    /// Per-rowgroup access heat for every columnstore index in the
+    /// database, as `(table, index, report)` triples (`index` is
+    /// `"primary"` or `"secondary"`). Counters are decayed by maintenance
+    /// passes, so scores weight recent access.
+    pub fn heat_report(&self) -> Vec<(String, String, hpd_columnstore::CsiHeatReport)> {
+        let slots = self.tables.read().clone();
+        let mut out = Vec::new();
+        for slot in slots.iter() {
+            let table = slot.table.read();
+            for (index, report) in table.heat_report() {
+                out.push((slot.name.clone(), index, report));
+            }
+        }
+        out
+    }
+
+    /// Drain every buffered trace span into Chrome trace-event JSON
+    /// (loadable in `chrome://tracing` or ui.perfetto.dev).
+    pub fn export_chrome_trace(&self) -> String {
+        hpd_obs::trace::chrome_trace_json(&hpd_obs::trace::tracer().drain())
+    }
+
+    /// Drain every buffered trace span as JSONL, one flat span per line.
+    pub fn export_trace_jsonl(&self) -> String {
+        hpd_obs::trace::spans_jsonl(&hpd_obs::trace::tracer().drain())
+    }
+
+    /// Snapshot the global metrics registry in Prometheus text exposition
+    /// format.
+    pub fn metrics_prometheus(&self) -> String {
+        hpd_obs::global().snapshot().to_prometheus()
+    }
+
     /// Record one executed statement into the query store and the global
-    /// metrics registry.
-    fn record_statement(&self, kind: &'static str, plan: &PhysicalPlan, result: &ExecutionResult) {
+    /// metrics registry. Returns the entry's sequence number so commit-time
+    /// facts (WAL flush, span tree) can be backfilled via
+    /// [`QueryStore::amend`].
+    fn record_statement(
+        &self,
+        kind: &'static str,
+        plan: &PhysicalPlan,
+        result: &ExecutionResult,
+        grant_wait_us: u64,
+        granted_bytes: u64,
+    ) -> u64 {
         let metrics = hpd_obs::global();
         metrics.counter("query.statements").inc();
         metrics
@@ -173,8 +228,9 @@ impl Database {
             .as_ref()
             .map(|a| a.spilled_bytes())
             .unwrap_or(0);
+        let seq = self.query_store.next_seq();
         self.query_store.record(StoredStatement {
-            seq: self.query_store.next_seq(),
+            seq,
             kind,
             plan_fingerprint: plan_fingerprint(plan),
             plan_root: plan.root.describe(&plan.table_names),
@@ -187,7 +243,14 @@ impl Database {
             memory_peak_bytes: result.metrics.memory_peak_bytes as u64,
             spilled_bytes: spilled,
             estimate_error: actual.max(1) as f64 / plan.root.est_rows.max(1.0),
+            grant_wait_us,
+            granted_bytes,
+            dop: result.metrics.dop as u64,
+            wal_flush_us: 0,
+            wal_records: 0,
+            trace: None,
         });
+        seq
     }
 
     /// Drop all buffer pool contents — the next run is cold.
@@ -375,6 +438,10 @@ impl Database {
     /// between any two of them — exactly the interleavings the differential
     /// harness schedules.
     pub fn force_csi_maintenance(&self, name: &str) -> Result<()> {
+        // Root span: background work never nests under whatever query
+        // happens to be current on the calling thread.
+        let mut span = hpd_obs::trace::root_span("background.maintenance");
+        let cpu_start = Instant::now();
         let _commit = self.commit_lock.lock();
         let slot = self.slot(name)?;
         let table_id = self.slot_id(name)? as u32;
@@ -399,6 +466,23 @@ impl Database {
             self.wal.flush(&t);
             slot.applied_lsn.store(lsn, Ordering::Relaxed);
         }
+        let m = hpd_obs::global();
+        m.counter("background.maintenance.runs").inc();
+        m.counter("background.maintenance.rows_moved")
+            .add(moved as u64);
+        m.counter("background.maintenance.deletes_compacted")
+            .add(compacted as u64);
+        let io = t.snapshot();
+        m.counter("background.io.bytes_read").add(io.bytes_read);
+        m.counter("background.io.bytes_written")
+            .add(io.bytes_written);
+        m.histogram("background.maintenance.cpu_us")
+            .record(cpu_start.elapsed().as_micros() as u64);
+        if span.is_recording() {
+            span.attr("table", name);
+            span.attr("rows_moved", moved);
+            span.attr("deletes_compacted", compacted);
+        }
         Ok(())
     }
 
@@ -421,6 +505,10 @@ impl Database {
         if !self.wal.enabled() {
             return Ok(());
         }
+        // Root span: auto-checkpoints run on the committing thread but are
+        // background work, not part of the triggering query.
+        let mut span = hpd_obs::trace::root_span("background.checkpoint");
+        let cpu_start = Instant::now();
         let tracker = IoTracker::new();
         let begin_lsn = self.wal.append(&LogRecord::CheckpointBegin);
         self.wal.flush(&tracker);
@@ -453,10 +541,22 @@ impl Database {
             next_ts: self.txns.ts_hwm(),
             tables: snaps,
         };
+        let table_count = image.tables.len();
         self.wal
             .install_checkpoint(image.encode(), begin_lsn, &tracker);
         self.wal.append(&LogRecord::CheckpointEnd);
         self.wal.flush(&tracker);
+        let m = hpd_obs::global();
+        m.counter("background.checkpoint.runs").inc();
+        let io = tracker.snapshot();
+        m.counter("background.io.bytes_read").add(io.bytes_read);
+        m.counter("background.io.bytes_written")
+            .add(io.bytes_written);
+        m.histogram("background.checkpoint.cpu_us")
+            .record(cpu_start.elapsed().as_micros() as u64);
+        if span.is_recording() {
+            span.attr("tables", table_count);
+        }
         Ok(())
     }
 
@@ -699,6 +799,7 @@ impl<'db> Session<'db> {
             finished: false,
             analyze_writes: false,
             wal_summary: Arc::new(Mutex::new(WalSummary::default())),
+            last_stmt_seq: None,
         }
     }
 
@@ -715,6 +816,10 @@ impl<'db> Session<'db> {
         f: impl FnOnce(&mut Txn<'db>) -> Result<ExecutionResult>,
     ) -> Result<ExecutionResult> {
         let start = Instant::now();
+        // Root span for the whole statement lifecycle; child spans
+        // (select/optimize/admission/execute/commit/wal.flush) nest under
+        // it because this guard stays current for the closure and commit.
+        let mut query_span = hpd_obs::trace::span("query");
         let mut txn = self.begin();
         let result = f(&mut txn);
         match result {
@@ -722,6 +827,7 @@ impl<'db> Session<'db> {
                 // Keep a handle on the WAL-summary cell: `commit` consumes
                 // the txn but fills the cell for the analyze report.
                 let wal_cell = txn.wal_summary.clone();
+                let last_seq = txn.last_stmt_seq;
                 let commit_io = txn.commit()?;
                 let wall = start.elapsed();
                 // Time outside the query executor (locking, write apply) is
@@ -737,9 +843,31 @@ impl<'db> Session<'db> {
                 r.metrics.io.logical_reads += commit_io.logical_reads;
                 r.metrics.io.sim_seek_us += commit_io.sim_seek_us;
                 r.metrics.io.sim_bw_us += commit_io.sim_bw_us;
+                let wal = *wal_cell.lock();
                 if self.db.wal.enabled() {
                     if let Some(report) = r.analyze.as_deref_mut() {
-                        report.wal = Some(*wal_cell.lock());
+                        report.wal = Some(wal);
+                    }
+                }
+                // Backfill the query-store entry with facts that only
+                // exist after commit: WAL flush activity and, when tracing
+                // is on, the statement's full span tree.
+                if let Some(seq) = last_seq {
+                    if wal.records > 0 {
+                        self.db.query_store.amend(seq, |s| {
+                            s.wal_flush_us = wal.flush_us;
+                            s.wal_records = wal.records;
+                        });
+                    }
+                    if query_span.is_recording() {
+                        query_span.attr("rows", r.metrics.rows_returned);
+                        let root_id = query_span.id();
+                        let start_us = query_span.start_us();
+                        drop(query_span);
+                        let spans = hpd_obs::trace::tracer().spans_since(start_us);
+                        if let Some(tree) = hpd_obs::trace::span_tree_json(&spans, root_id) {
+                            self.db.query_store.amend(seq, |s| s.trace = Some(tree));
+                        }
                     }
                 }
                 Ok(r)
@@ -769,6 +897,9 @@ pub struct Txn<'db> {
     /// Filled by `commit` with the commit's WAL activity; `run_in_txn`
     /// copies it into the analyze report after the txn is consumed.
     wal_summary: Arc<Mutex<WalSummary>>,
+    /// Query-store sequence number of the most recent statement this txn
+    /// recorded; `run_in_txn` backfills that entry with commit-time facts.
+    last_stmt_seq: Option<u64>,
 }
 
 impl<'db> Txn<'db> {
@@ -808,6 +939,11 @@ impl<'db> Txn<'db> {
     }
 
     fn select_impl(&mut self, query: &SelectQuery, profile: bool) -> Result<ExecutionResult> {
+        let mut stmt_span = hpd_obs::trace::span("select");
+        if stmt_span.is_recording() {
+            let tables: Vec<&str> = query.tables.iter().map(|t| t.name.as_str()).collect();
+            stmt_span.attr("tables", tables.join(","));
+        }
         // Serializable readers hold shared table locks to commit.
         if self.isolation == IsolationLevel::Serializable {
             for t in &query.tables {
@@ -845,8 +981,12 @@ impl<'db> Txn<'db> {
                 metas: table_refs[i].metas(),
             })
             .collect();
-        let plan =
-            Optimizer::new(self.db.cost_model_with(self.grant, self.dop)).plan(query, &contexts)?;
+        let optimize_start = Instant::now();
+        let plan = {
+            let _s = hpd_obs::trace::span("optimize");
+            Optimizer::new(self.db.cost_model_with(self.grant, self.dop)).plan(query, &contexts)?
+        };
+        let optimize_us = optimize_start.elapsed().as_micros() as u64;
 
         // Admission control: request the optimizer's memory estimate (with
         // slack for estimation error) from the shared grant broker, capped
@@ -858,10 +998,22 @@ impl<'db> Txn<'db> {
             .saturating_mul(2)
             .max(self.db.config.min_grant_bytes)
             .min(self.grant.max(1));
-        let lease = self
-            .db
-            .grants
-            .acquire(requested, self.db.config.grant_wait_timeout)?;
+        let lease = {
+            let mut s = hpd_obs::trace::span("admission");
+            let lease = self
+                .db
+                .grants
+                .acquire(requested, self.db.config.grant_wait_timeout)?;
+            if s.is_recording() {
+                s.attr("requested_bytes", requested);
+                s.attr("granted_bytes", lease.granted_bytes());
+                s.attr("wait_us", lease.wait().as_micros());
+                if lease.is_reduced() {
+                    s.attr("reduced", true);
+                }
+            }
+            lease
+        };
 
         // Snapshot overlays.
         let mut overlays = HashMap::new();
@@ -892,8 +1044,20 @@ impl<'db> Txn<'db> {
                 wait_us: lease.wait().as_micros() as u64,
                 reduced: lease.is_reduced(),
             });
+            report.timeline = Some(crate::profile::Timeline {
+                optimize_us,
+                admission_us: lease.wait().as_micros() as u64,
+                execute_us: result.metrics.elapsed_us() as u64,
+            });
         }
-        self.db.record_statement("select", &plan, &result);
+        let seq = self.db.record_statement(
+            "select",
+            &plan,
+            &result,
+            lease.wait().as_micros() as u64,
+            lease.granted_bytes() as u64,
+        );
+        self.last_stmt_seq = Some(seq);
         Ok(result)
     }
 
@@ -1048,6 +1212,7 @@ impl<'db> Txn<'db> {
     /// at well-defined durability boundaries; the differential harness
     /// recovers from the surviving log and checks the result.
     pub fn commit(mut self) -> Result<hpd_storage::IoSnapshot> {
+        let mut commit_span = hpd_obs::trace::span("commit");
         let _commit = self.db.commit_lock.lock();
         let commit_ts = self.db.txns.commit_ts();
         let writes = std::mem::take(&mut self.writes);
@@ -1179,11 +1344,23 @@ impl<'db> Txn<'db> {
                         commit_ts,
                     });
                     records += 1;
-                    let (flushed, deferred) = self.db.wal.commit_flush(&tracker);
+                    let flush_start = Instant::now();
+                    let (flushed, deferred) = {
+                        let mut s = hpd_obs::trace::span("wal.flush");
+                        let r = self.db.wal.commit_flush(&tracker);
+                        if s.is_recording() {
+                            s.attr("bytes", r.0);
+                            if r.1 {
+                                s.attr("deferred", true);
+                            }
+                        }
+                        r
+                    };
                     *self.wal_summary.lock() = WalSummary {
                         records,
                         bytes_flushed: flushed,
                         flushes: (flushed > 0) as u64,
+                        flush_us: flush_start.elapsed().as_micros() as u64,
                         deferred,
                     };
                     if faults::fire(faults::sites::CRASH_AFTER_COMMIT_FLUSH) {
@@ -1223,6 +1400,14 @@ impl<'db> Txn<'db> {
         }
 
         self.finish();
+
+        if commit_span.is_recording() {
+            commit_span.attr("writes", writes.len());
+            if wal_on {
+                commit_span.attr("wal_records", records);
+            }
+        }
+        drop(commit_span);
 
         // Auto-checkpoint while still holding the commit lock, so no commit
         // can land between the trigger and the snapshot.

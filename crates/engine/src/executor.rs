@@ -55,6 +55,26 @@ impl TableOverlay {
     }
 }
 
+/// Static operator-kind label for `op` trace spans (no table names — those
+/// need the plan's name table, which span attrs don't want to allocate for).
+fn kind_label(node: &PlanNode) -> &'static str {
+    match &node.kind {
+        PlanNodeKind::BTreeSeek { .. } => "BTreeSeek",
+        PlanNodeKind::BTreeScan { .. } => "BTreeScan",
+        PlanNodeKind::CsiScan { .. } => "CsiScan",
+        PlanNodeKind::PkLookup { .. } => "PkLookup",
+        PlanNodeKind::Filter { .. } => "Filter",
+        PlanNodeKind::Project { .. } => "Project",
+        PlanNodeKind::HashAgg { .. } => "HashAgg",
+        PlanNodeKind::StreamAgg { .. } => "StreamAgg",
+        PlanNodeKind::Sort { .. } => "Sort",
+        PlanNodeKind::Limit { .. } => "Limit",
+        PlanNodeKind::HashJoin { .. } => "HashJoin",
+        PlanNodeKind::MergeJoin { .. } => "MergeJoin",
+        PlanNodeKind::IndexNLJoin { .. } => "IndexNLJoin",
+    }
+}
+
 /// Executes plans against materialized tables.
 pub struct QueryRunner<'a> {
     tables: Vec<&'a Table>,
@@ -120,6 +140,7 @@ impl<'a> QueryRunner<'a> {
     }
 
     /// Wrap `op` with the instrumentation cell for `node`, if profiling.
+    /// The wrapper also emits an `op` trace span when tracing is enabled.
     fn wrap_node(&self, node: &PlanNode, op: ExecNode<'a>) -> ExecNode<'a> {
         match self
             .profile
@@ -127,22 +148,33 @@ impl<'a> QueryRunner<'a> {
             .as_ref()
             .and_then(|m| m.stats_for(node))
         {
-            Some(stats) => Box::new(ProfiledOp::new(op, stats)),
+            Some(stats) => Box::new(ProfiledOp::new(op, stats).with_span(kind_label(node))),
             None => op,
         }
     }
 
     /// Execute the plan and gather rows + metrics.
     pub fn run(&self, plan: &PhysicalPlan) -> Result<ExecutionResult> {
-        if self.profile_requested {
+        // The profile map also feeds op trace spans, so build it whenever
+        // tracing is on; the analyze report stays gated on the request.
+        if self.profile_requested || hpd_obs::trace::tracer().is_enabled() {
             *self.profile.borrow_mut() = Some(ProfileMap::build(plan));
         }
         let ctx = ExecCtx::with_resources(self.pool, self.grant.clone(), self.workers.clone());
         let obs_before = self.profile_requested.then(|| hpd_obs::global().snapshot());
+        let mut exec_span = hpd_obs::trace::span("execute");
         let start = Instant::now();
         let mut op = self.lower(&plan.root)?;
         let rows = collect_rows(op.as_mut(), &ctx)?;
         let wall = start.elapsed();
+        // Drop the operator tree first so its `op` spans end inside
+        // `execute`, then close the span with its summary attrs.
+        drop(op);
+        if exec_span.is_recording() {
+            exec_span.attr("dop", plan.max_dop());
+            exec_span.attr("rows", rows.len());
+        }
+        drop(exec_span);
         let cpu = ctx.cpu_time(wall);
         let critical_path = ctx.critical_path(wall);
         // Simulated device time only parallelizes across independent
@@ -166,17 +198,21 @@ impl<'a> QueryRunner<'a> {
             rows_returned: rows.len(),
             memory_peak_bytes: ctx.grant.peak_bytes(),
         };
-        let analyze = self.profile.borrow().as_ref().map(|m| {
-            let mut report = m.report(plan);
-            if let Some(before) = &obs_before {
-                let delta = hpd_obs::global().snapshot().delta(before);
-                let pruning = crate::profile::ScanPruning::from_snapshot(&delta);
-                if !pruning.is_empty() {
-                    report.pruning = Some(pruning);
+        let analyze = if self.profile_requested {
+            self.profile.borrow().as_ref().map(|m| {
+                let mut report = m.report(plan);
+                if let Some(before) = &obs_before {
+                    let delta = hpd_obs::global().snapshot().delta(before);
+                    let pruning = crate::profile::ScanPruning::from_snapshot(&delta);
+                    if !pruning.is_empty() {
+                        report.pruning = Some(pruning);
+                    }
                 }
-            }
-            Box::new(report)
-        });
+                Box::new(report)
+            })
+        } else {
+            None
+        };
         Ok(ExecutionResult {
             rows,
             metrics,

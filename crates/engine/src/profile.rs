@@ -80,6 +80,7 @@ impl ProfileMap {
             pruning: None,
             grant: None,
             wal: None,
+            timeline: None,
         }
     }
 }
@@ -148,6 +149,21 @@ pub struct GrantSummary {
     pub reduced: bool,
 }
 
+/// Wall-time breakdown of one statement's lifecycle phases, mirroring the
+/// span taxonomy of the tracer (`optimize` → `admission` → `execute`; the
+/// WAL flush is on the commit path and reported via [`AnalyzeReport::wal`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timeline {
+    /// Planning time inside the optimizer.
+    pub optimize_us: u64,
+    /// Time spent queued at the grant broker (same value as
+    /// [`GrantSummary::wait_us`], repeated here so the timeline is complete
+    /// on its own).
+    pub admission_us: u64,
+    /// Executor wall time (lowering + drain).
+    pub execute_us: u64,
+}
+
 /// Actuals for one plan node, in pre-order plan position.
 #[derive(Debug, Clone)]
 pub struct NodeProfile {
@@ -190,6 +206,9 @@ pub struct AnalyzeReport {
     /// Write-ahead-log activity of this statement's commit (None when the
     /// log is disabled).
     pub wal: Option<hpd_wal::WalSummary>,
+    /// Phase wall-time breakdown (None for statements recorded before the
+    /// phases were measured, e.g. write-path target-row scans).
+    pub timeline: Option<Timeline>,
 }
 
 impl AnalyzeReport {
@@ -266,12 +285,26 @@ impl AnalyzeReport {
         if let Some(w) = &self.wal {
             let _ = write!(
                 out,
-                "wal: records={} flushed={}B flushes={}{}",
+                "wal: records={} flushed={}B flushes={} flush_time={:.1}ms{}",
                 w.records,
                 w.bytes_flushed,
                 w.flushes,
+                w.flush_us as f64 / 1e3,
                 if w.deferred { " (deferred)" } else { "" }
             );
+            out.push('\n');
+        }
+        if let Some(t) = &self.timeline {
+            let _ = write!(
+                out,
+                "timeline: optimize={:.1}ms admission={:.1}ms execute={:.1}ms",
+                t.optimize_us as f64 / 1e3,
+                t.admission_us as f64 / 1e3,
+                t.execute_us as f64 / 1e3,
+            );
+            if let Some(w) = &self.wal {
+                let _ = write!(out, " wal_flush={:.1}ms", w.flush_us as f64 / 1e3);
+            }
             out.push('\n');
         }
         out

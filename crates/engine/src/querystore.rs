@@ -48,16 +48,32 @@ pub struct StoredStatement {
     pub spilled_bytes: u64,
     /// `max(actual_rows,1) / max(est_rows,1)` at the plan root.
     pub estimate_error: f64,
+    /// Time spent queued in the grant broker before admission.
+    pub grant_wait_us: u64,
+    /// Working-memory grant the broker actually admitted the query with.
+    pub granted_bytes: u64,
+    /// Degree of parallelism the plan executed with.
+    pub dop: u64,
+    /// Commit-path WAL flush wall time (backfilled post-commit; 0 for
+    /// read-only statements or when the WAL is disabled).
+    pub wal_flush_us: u64,
+    /// WAL records appended by the statement's transaction (backfilled).
+    pub wal_records: u64,
+    /// Nested span-tree JSON for this statement's `query` span, when
+    /// tracing was enabled (backfilled post-commit).
+    pub trace: Option<String>,
 }
 
 impl StoredStatement {
     /// One JSON object, no trailing newline.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"seq\":{},\"kind\":{},\"fingerprint\":\"{:016x}\",\"root\":{},\
              \"est_rows\":{:.0},\"est_cost_us\":{:.1},\"actual_rows\":{},\
              \"elapsed_us\":{:.1},\"cpu_us\":{:.1},\"bytes_read\":{},\
-             \"memory_peak_bytes\":{},\"spilled_bytes\":{},\"estimate_error\":{:.3}}}",
+             \"memory_peak_bytes\":{},\"spilled_bytes\":{},\"estimate_error\":{:.3},\
+             \"grant_wait_us\":{},\"granted_bytes\":{},\"dop\":{},\
+             \"wal_flush_us\":{},\"wal_records\":{}",
             self.seq,
             json_string(self.kind),
             self.plan_fingerprint,
@@ -70,8 +86,20 @@ impl StoredStatement {
             self.bytes_read,
             self.memory_peak_bytes,
             self.spilled_bytes,
-            self.estimate_error
-        )
+            self.estimate_error,
+            self.grant_wait_us,
+            self.granted_bytes,
+            self.dop,
+            self.wal_flush_us,
+            self.wal_records,
+        );
+        if let Some(trace) = &self.trace {
+            // The trace is already JSON — embed it verbatim.
+            out.push_str(",\"trace\":");
+            out.push_str(trace);
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -113,6 +141,16 @@ impl QueryStore {
             let head = ring.head;
             ring.entries[head] = stmt;
             ring.head = (head + 1) % ring.capacity;
+        }
+    }
+
+    /// Mutate the retained entry with sequence number `seq` in place, if it
+    /// is still in the ring. Used to backfill commit-time facts (WAL flush
+    /// time, span tree) that only exist after the statement was recorded.
+    pub fn amend(&self, seq: u64, f: impl FnOnce(&mut StoredStatement)) {
+        let mut ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stmt) = ring.entries.iter_mut().find(|s| s.seq == seq) {
+            f(stmt);
         }
     }
 
@@ -168,6 +206,12 @@ mod tests {
             memory_peak_bytes: 0,
             spilled_bytes: 0,
             estimate_error: 2.0,
+            grant_wait_us: 0,
+            granted_bytes: 0,
+            dop: 1,
+            wal_flush_us: 0,
+            wal_records: 0,
+            trace: None,
         }
     }
 
@@ -183,6 +227,29 @@ mod tests {
             recent.iter().map(|s| s.seq).collect::<Vec<_>>(),
             vec![2, 3, 4]
         );
+    }
+
+    #[test]
+    fn amend_backfills_retained_entry_only() {
+        let qs = QueryStore::new(2);
+        for i in 0..3 {
+            qs.record(stmt(i));
+        }
+        // seq 0 was evicted; amending it is a silent no-op.
+        qs.amend(0, |s| s.wal_flush_us = 999);
+        qs.amend(2, |s| {
+            s.wal_flush_us = 42;
+            s.wal_records = 3;
+            s.trace = Some("{\"name\":\"query\"}".to_string());
+        });
+        let recent = qs.recent();
+        assert_eq!(recent[1].seq, 2);
+        assert_eq!(recent[1].wal_flush_us, 42);
+        assert_eq!(recent[1].wal_records, 3);
+        assert!(recent[0].trace.is_none());
+        let json = recent[1].to_json();
+        assert!(json.contains("\"wal_flush_us\":42"));
+        assert!(json.contains("\"trace\":{\"name\":\"query\"}"));
     }
 
     #[test]

@@ -95,10 +95,13 @@ impl Database {
         let reg = hpd_obs::global();
         reg.counter("wal.recovery.count").inc();
         let mut db = Database::new(config);
+        let mut recover_span = hpd_obs::trace::root_span("recovery");
         db.wal = Wal::from_durable(db.config.wal.clone(), db.config.device, durable.clone());
         let tracker = IoTracker::new();
 
         // Step 1: checkpoint restore.
+        let mut restore_span =
+            hpd_obs::trace::child_span("recovery.checkpoint_restore", recover_span.id());
         if let Some(image) = durable.checkpoint.as_deref() {
             let image = CheckpointImage::decode(image)?;
             let mut tables = db.tables.write();
@@ -124,8 +127,13 @@ impl Database {
             drop(tables);
             db.txns.advance_to(image.next_ts);
         }
+        if restore_span.is_recording() {
+            restore_span.attr("tables", db.tables.read().len());
+        }
+        drop(restore_span);
 
         // Step 2: redo the log from the checkpoint boundary.
+        let mut redo_span = hpd_obs::trace::child_span("recovery.redo", recover_span.id());
         let mut replayed = 0u64;
         let mut txns_replayed = 0u64;
         // Write records of the transaction currently being scanned; applied
@@ -176,6 +184,15 @@ impl Database {
                     }
                 }
             }
+        }
+
+        if redo_span.is_recording() {
+            redo_span.attr("records_replayed", replayed);
+            redo_span.attr("txns_replayed", txns_replayed);
+        }
+        drop(redo_span);
+        if recover_span.is_recording() {
+            recover_span.attr("tail_lost_bytes", reader.tail_bytes());
         }
 
         reg.counter("wal.recovery.records_replayed").add(replayed);

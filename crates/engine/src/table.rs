@@ -398,7 +398,28 @@ impl Table {
     ) -> (usize, usize) {
         let compacted = self.csi_compact_deletes(pool, tracker);
         let moved = self.csi_compress_delta(pool, tracker);
+        // Age rowgroup heat each maintenance pass so heat reports weight
+        // recent access (exponential decay; see `RowGroupHeat`).
+        if let PrimaryIndex::Csi(csi) = &self.primary {
+            csi.decay_heat();
+        }
+        if let Some(csi) = &self.secondary_csi {
+            csi.decay_heat();
+        }
         (moved, compacted)
+    }
+
+    /// Per-rowgroup access heat for this table's columnstore indexes,
+    /// labelled `"primary"` / `"secondary"`. Empty without a CSI.
+    pub fn heat_report(&self) -> Vec<(String, hpd_columnstore::CsiHeatReport)> {
+        let mut out = Vec::new();
+        if let PrimaryIndex::Csi(csi) = &self.primary {
+            out.push(("primary".to_string(), csi.heat_report()));
+        }
+        if let Some(csi) = &self.secondary_csi {
+            out.push(("secondary".to_string(), csi.heat_report()));
+        }
+        out
     }
 
     /// Refresh statistics from current contents.

@@ -75,9 +75,9 @@ impl Default for LockManager {
         LockManager {
             table: Mutex::new(LockTable::default()),
             cv: Condvar::new(),
-            acquires: hpd_obs::global().counter("lock.acquire"),
-            waits: hpd_obs::global().counter("lock.wait"),
-            timeouts: hpd_obs::global().counter("lock.timeout"),
+            acquires: hpd_obs::global().counter("txn.lock.acquire"),
+            waits: hpd_obs::global().counter("txn.lock.wait"),
+            timeouts: hpd_obs::global().counter("txn.lock.timeout"),
         }
     }
 }

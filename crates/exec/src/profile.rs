@@ -51,11 +51,46 @@ impl OpStats {
 pub struct ProfiledOp<'a> {
     inner: PlanNode<'a>,
     stats: Arc<OpStats>,
+    /// Trace span covering the operator's lifetime (lowering to drop),
+    /// present only when tracing is enabled at wrap time. Detached so a
+    /// partition moved into a worker thread can drop it safely.
+    span: Option<hpd_obs::trace::DetachedSpan>,
 }
 
 impl<'a> ProfiledOp<'a> {
     pub fn new(inner: PlanNode<'a>, stats: Arc<OpStats>) -> ProfiledOp<'a> {
-        ProfiledOp { inner, stats }
+        ProfiledOp {
+            inner,
+            stats,
+            span: None,
+        }
+    }
+
+    /// Also record an `op` trace span (child of the current span, finished
+    /// when the operator drops) labelled with the plan node's description.
+    pub fn with_span(mut self, label: &str) -> ProfiledOp<'a> {
+        let mut span = hpd_obs::trace::detached_span("op");
+        if span.is_recording() {
+            span.attr("op", label);
+            self.span = Some(span);
+        }
+        self
+    }
+}
+
+impl Drop for ProfiledOp<'_> {
+    fn drop(&mut self) {
+        if let Some(span) = &mut self.span {
+            let s = &self.stats;
+            span.attr("rows", s.rows.load(Ordering::Relaxed));
+            span.attr("batches", s.batches.load(Ordering::Relaxed));
+            span.attr("busy_us", s.wall_ns.load(Ordering::Relaxed) / 1_000);
+            let spilled = s.spilled_bytes.load(Ordering::Relaxed);
+            if spilled > 0 {
+                span.attr("spilled_bytes", spilled);
+            }
+        }
+        // self.span drops next and records itself.
     }
 }
 

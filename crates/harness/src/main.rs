@@ -4,7 +4,7 @@
 //! hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] [--rows N]
 //!             [--concurrency N] [--fault-rate F] [--threads N]
 //!             [--pool-threads N] [--grant-budget BYTES]
-//!             [--no-shrink] [--quiet]
+//!             [--no-shrink] [--quiet] [--trace]
 //! HARNESS_SEED=<n> hpd-harness          # replay exactly one seed
 //! ```
 //!
@@ -93,12 +93,17 @@ fn parse_args() -> Result<Args, String> {
             "--crash-at" => args.crash_at = Some(val("--crash-at")?),
             "--no-shrink" => args.do_shrink = false,
             "--quiet" => args.quiet = true,
+            // Record structured trace spans while the sweep runs (proves
+            // tracing does not perturb deterministic replay). The bounded
+            // per-thread rings cap memory; spans are simply discarded at
+            // exit unless a future flag exports them.
+            "--trace" => hpd_obs::trace::tracer().set_enabled(true),
             "--help" | "-h" => {
                 return Err(
                     "usage: hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] \
                             [--rows N] [--concurrency N] [--fault-rate F] [--threads N] \
                             [--pool-threads N] [--grant-budget BYTES] \
-                            [--crash-at all|SITE_SUBSTRING] [--no-shrink] [--quiet]\n\
+                            [--crash-at all|SITE_SUBSTRING] [--no-shrink] [--quiet] [--trace]\n\
                             env: HARNESS_SEED=<n> replays exactly one seed\n\
                             --crash-at runs the crash-recovery sweep: each seed's plan \
                             replays once per (commit finale x crash site), recovery is \

@@ -11,7 +11,7 @@
 //! ```
 //! use hpd_obs::global;
 //!
-//! let hits = global().counter("bufferpool.hit");
+//! let hits = global().counter("storage.bufferpool.hit");
 //! hits.inc();
 //! let lat = global().histogram("query.latency_us");
 //! lat.record(1_250);
@@ -19,13 +19,15 @@
 //! let before = global().snapshot();
 //! hits.add(10);
 //! let after = global().snapshot();
-//! assert_eq!(after.delta(&before).counter("bufferpool.hit"), 10);
+//! assert_eq!(after.delta(&before).counter("storage.bufferpool.hit"), 10);
 //! ```
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+pub mod trace;
 
 /// Number of histogram buckets: powers of two from `<1` up to `>= 2^(N-2)`,
 /// with the last bucket catching everything larger.
@@ -211,6 +213,51 @@ impl Snapshot {
         out.push('}');
         out
     }
+
+    /// Render in the Prometheus text exposition format. Metric names are
+    /// prefixed with `hpd_` and dots become underscores; histograms emit
+    /// cumulative `_bucket{le=...}` series with the registry's power-of-two
+    /// bucket bounds, plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                cum += n;
+                // Bucket 0 holds exactly 0; bucket i holds v <= 2^i - 1.
+                let le = if i == 0 {
+                    "0".to_string()
+                } else if i == h.buckets.len() - 1 {
+                    "+Inf".to_string()
+                } else {
+                    ((1u64 << i) - 1).to_string()
+                };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+/// Sanitize a dotted metric name into a Prometheus identifier.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("hpd_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 /// Escape `s` as a JSON string literal (quotes included).
@@ -433,5 +480,83 @@ mod tests {
     fn global_registry_is_shared() {
         global().counter("test.global").inc();
         assert!(global().snapshot().counter("test.global") >= 1);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("wal.flush.count").add(3);
+        let h = r.histogram("query.latency_us");
+        h.record(0);
+        h.record(5); // bucket 3 (4 <= v < 8), le = 7
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE hpd_wal_flush_count counter\n"));
+        assert!(text.contains("hpd_wal_flush_count 3\n"));
+        assert!(text.contains("# TYPE hpd_query_latency_us histogram\n"));
+        assert!(text.contains("hpd_query_latency_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("hpd_query_latency_us_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("hpd_query_latency_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("hpd_query_latency_us_sum 5\n"));
+        assert!(text.contains("hpd_query_latency_us_count 2\n"));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// Satellite: hammer `snapshot()`/`delta()` from a reader while writers
+    /// mutate. Every observed value must be monotonically non-decreasing
+    /// (no torn reads, no lost updates) and deltas non-negative.
+    #[test]
+    fn snapshot_monotone_under_concurrent_mutation() {
+        let r = Registry::new();
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = r.counter("hammer.ctr");
+                let h = r.histogram("hammer.hist");
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        c.inc();
+                        h.record((i * 7 + t) % 1000);
+                        i += 1;
+                    }
+                });
+            }
+            let mut prev = r.snapshot();
+            for _ in 0..2000 {
+                let cur = r.snapshot();
+                // Counter and histogram totals only move forward.
+                assert!(cur.counter("hammer.ctr") >= prev.counter("hammer.ctr"));
+                let (hc, hp) = (
+                    &cur.histograms["hammer.hist"],
+                    &prev.histograms["hammer.hist"],
+                );
+                assert!(hc.count >= hp.count);
+                assert!(hc.sum >= hp.sum);
+                for (a, b) in hc.buckets.iter().zip(hp.buckets.iter()) {
+                    assert!(a >= b, "per-bucket counts must be monotone");
+                }
+                // Bucket totals can lag or lead `count` transiently (the
+                // three atomics are updated separately) but never by more
+                // than the in-flight writers could account for.
+                let bucket_total: u64 = hc.buckets.iter().sum();
+                assert!(bucket_total.abs_diff(hc.count) <= 8);
+                let d = cur.delta(&prev);
+                assert!(d.histograms["hammer.hist"].count <= hc.count);
+                prev = cur;
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        // Quiesced: totals agree exactly.
+        let s = r.snapshot();
+        let h = &s.histograms["hammer.hist"];
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        assert!(s.counter("hammer.ctr") > 0);
     }
 }

@@ -97,9 +97,9 @@ impl BufferPool {
                 queue: VecDeque::new(),
                 used_bytes: 0,
                 next_generation: 0,
-                hits: hpd_obs::global().counter("bufferpool.hit"),
-                misses: hpd_obs::global().counter("bufferpool.miss"),
-                evictions: hpd_obs::global().counter("bufferpool.evict"),
+                hits: hpd_obs::global().counter("storage.bufferpool.hit"),
+                misses: hpd_obs::global().counter("storage.bufferpool.miss"),
+                evictions: hpd_obs::global().counter("storage.bufferpool.evict"),
             }),
             device,
             capacity_bytes,
@@ -408,9 +408,9 @@ mod tests {
         p.access_page(PageId(900_002), &t); // miss
         p.access_page(PageId(900_003), &t); // miss, evicts LRU
         let d = hpd_obs::global().snapshot().delta(&before);
-        assert!(d.counter("bufferpool.hit") >= 1);
-        assert!(d.counter("bufferpool.miss") >= 3);
-        assert!(d.counter("bufferpool.evict") >= 1);
+        assert!(d.counter("storage.bufferpool.hit") >= 1);
+        assert!(d.counter("storage.bufferpool.miss") >= 3);
+        assert!(d.counter("storage.bufferpool.evict") >= 1);
     }
 
     #[test]

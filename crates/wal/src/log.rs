@@ -60,6 +60,8 @@ pub struct WalSummary {
     pub bytes_flushed: u64,
     /// Flush operations performed (0 or 1 per commit).
     pub flushes: u64,
+    /// Wall time spent in the commit-path flush, microseconds.
+    pub flush_us: u64,
     /// True when group commit left this commit in the unflushed suffix.
     pub deferred: bool,
 }

@@ -703,9 +703,12 @@ fn explain_analyze_lineitem_with_spill() {
 
     let rendered = report.render();
     // Every plan-node line carries estimated vs actual rows and a time
-    // reading; summary trailers (pruning/grant/wal) are exempt.
+    // reading; summary trailers (pruning/grant/wal/timeline) are exempt.
     for line in rendered.lines().filter(|l| {
-        !l.starts_with("pruning:") && !l.starts_with("grant:") && !l.starts_with("wal:")
+        !l.starts_with("pruning:")
+            && !l.starts_with("grant:")
+            && !l.starts_with("wal:")
+            && !l.starts_with("timeline:")
     }) {
         assert!(line.contains("est="), "{rendered}");
         assert!(line.contains("act="), "{rendered}");

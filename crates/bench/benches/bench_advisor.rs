@@ -70,6 +70,7 @@ fn bench_what_if(c: &mut Criterion) {
         leaf_pages: 250,
         height: 3,
         column_bytes: vec![],
+        column_encodings: vec![],
         rowgroups: 0,
         delta_rows: 0,
         delete_buffer_rows: 0,

@@ -1,21 +1,29 @@
 //! Encoded-domain pushdown vs. decode-then-filter: the PR's headline
-//! numbers. For each predicate-column shape (RLE / bit-packed / raw) and
-//! selectivity (0.01% / 1% / 50%), `pushdown` runs `scan_collect` with the
-//! interval pushed into the kernels; `full_decode` reproduces the pre-PR
-//! scan — decode every needed column of every surviving row group, then
-//! filter row by row.
+//! numbers. For each predicate-column shape (RLE / bit-packed / raw /
+//! FOR-delta / numeric-dict) and selectivity (0.01% / 1% / 50%), `pushdown`
+//! runs `scan_collect` with the interval pushed into the kernels;
+//! `full_decode` reproduces the pre-PR scan — decode every needed column of
+//! every surviving row group, then filter row by row. The `agg_pushdown`
+//! groups measure SUM folded inside the encoded segments (`agg_collect`)
+//! against decode-then-fold at 1% / 50% / 100% selectivity.
 
 use std::collections::HashMap;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hpd_columnstore::{ColumnStoreIndex, CsiConfig, CsiKind, SortMode};
-use hpd_common::{Batch, DataType, Interval, Row, Schema, Value};
+use hpd_columnstore::{ColumnStoreIndex, CsiConfig, CsiKind, IntEncoding, PushdownAgg, SortMode};
+use hpd_common::{AggFunc, Batch, DataType, Interval, Row, Schema, Value};
 use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
 
 const N: i64 = 262_144;
 const SELECTIVITIES: [(&str, f64); 3] = [("0.01pct", 0.0001), ("1pct", 0.01), ("50pct", 0.5)];
-/// Spreads the 4096-value domain across >56 bits so the column stays Raw.
+const AGG_SELECTIVITIES: [(&str, f64); 3] = [("1pct", 0.01), ("50pct", 0.5), ("100pct", 1.0)];
+/// Spreads the 100K-value domain across >56 bits so the column stays Raw.
 const RAW_STRIDE: i64 = 20_000_000_000_033;
+/// FOR/delta step: wide enough to defeat bit-packing, constant enough to
+/// pack the deltas into a few bits.
+const FOR_STEP: i64 = 1_000_003;
+/// Numeric-dict level magnitude: 30-bit values, 10-bit codes.
+const DICT_STRIDE: i64 = 1_000_003;
 
 /// `val` column shaped per encoding; `id` keeps every shape's zone maps
 /// useless for the predicate so the kernels do all the work.
@@ -25,19 +33,28 @@ fn build(shape: &str) -> ColumnStoreIndex {
     let rows: Vec<Row> = (0..N)
         .map(|i| {
             let val = match shape {
-                // Long runs of a slowly-advancing level, restarting per
-                // rowgroup-sized stripe: RLE, but every stripe spans the
+                // 256-long runs of a slowly-advancing level, restarting per
+                // rowgroup-sized stripe: RLE (256 runs/rowgroup beat the
+                // FOR/delta frame overhead), and every stripe spans the
                 // full domain so elimination never fires.
-                "rle" => (i % 65_536) / 16,
+                "rle" => (i % 65_536) / 256,
                 // Pseudo-random small domain: bit-packed.
                 "bitpacked" => (i * 2_654_435_761) % 4096,
-                // Wider than 56 bits of range: raw.
-                _ => (i % 4_096) * RAW_STRIDE,
+                // Monotone within every stripe, stepping ~10^6 with a small
+                // jitter: FOR/delta (values span 2^36, deltas fit 7 bits).
+                "fordelta" => (i % 65_536) * FOR_STEP + (i * 7 % 61),
+                // 1024 interleaved 30-bit levels: 10-bit dictionary codes
+                // beat 30-bit packing; the run count rules out RLE.
+                "dictnum" => ((i * 2_654_435_761) % 1024) * DICT_STRIDE,
+                // Pseudo-random >56-bit range, ~48K distinct per rowgroup:
+                // too wide to pack or FOR-delta, too many levels to dict,
+                // no runs — stays raw.
+                _ => (i * 2_654_435_761 % 100_000) * RAW_STRIDE,
             };
             Row::new(vec![Value::Int64(i), Value::Int64(val)])
         })
         .collect();
-    ColumnStoreIndex::build(
+    let idx = ColumnStoreIndex::build(
         Schema::from_pairs(&[("id", DataType::Int64), ("val", DataType::Int64)]),
         CsiKind::Primary,
         vec![0],
@@ -50,17 +67,31 @@ fn build(shape: &str) -> ColumnStoreIndex {
         StorageAllocator::new(),
         &pool,
         &t,
-    )
+    );
+    let expected = match shape {
+        "rle" => IntEncoding::Rle,
+        "bitpacked" => IntEncoding::BitPacked,
+        "fordelta" => IntEncoding::ForDelta,
+        "dictnum" => IntEncoding::Dict,
+        _ => IntEncoding::Raw,
+    };
+    assert_eq!(
+        idx.column_encodings()[1],
+        expected,
+        "shape {shape} no longer produces its namesake encoding"
+    );
+    idx
 }
 
 /// Upper predicate bound keeping roughly `frac` of the rows (floored at
-/// one domain value — 1/4096 ≈ 0.02% is the finest representable slice).
+/// one domain value).
 fn interval_for(shape: &str, frac: f64) -> Interval {
-    let units = ((4096.0 * frac) as i64).max(1);
-    let hi = if shape == "raw" {
-        units * RAW_STRIDE
-    } else {
-        units
+    let hi = match shape {
+        "raw" => ((100_000.0 * frac) as i64).max(1) * RAW_STRIDE,
+        "fordelta" => ((65_536.0 * frac) as i64).max(1) * FOR_STEP,
+        "dictnum" => ((1024.0 * frac) as i64).max(1) * DICT_STRIDE,
+        "rle" => ((256.0 * frac) as i64).max(1),
+        _ => ((4096.0 * frac) as i64).max(1),
     };
     Interval::less_than(Value::Int64(hi), false)
 }
@@ -95,9 +126,46 @@ fn pushdown_scan(idx: &ColumnStoreIndex, iv: &Interval, pool: &BufferPool) -> us
         .sum()
 }
 
+/// Encoded-segment SUM: the aggregate folds inside `agg_collect`, no row
+/// materialization.
+fn pushdown_agg(idx: &ColumnStoreIndex, iv: &Interval, agg_col: usize, pool: &BufferPool) -> i64 {
+    let t = IoTracker::new();
+    let mut intervals = HashMap::new();
+    intervals.insert(1usize, iv.clone());
+    let aggs = [PushdownAgg {
+        func: AggFunc::Sum,
+        col: agg_col,
+    }];
+    idx.agg_collect(&aggs, &intervals, pool, &t)
+        .expect("SUM over ints has a pushdown kernel")
+        .expect("no overflow in bench domains")[0]
+        .as_i64()
+        .unwrap()
+}
+
+/// The pre-PR aggregate: decode, filter row by row, then fold.
+fn decode_then_fold(idx: &ColumnStoreIndex, iv: &Interval, agg_col: usize) -> i64 {
+    let mut sum = 0i64;
+    let mut intervals = HashMap::new();
+    intervals.insert(1usize, iv.clone());
+    for rg_idx in 0..idx.num_rowgroups() {
+        if idx.rowgroup_eliminated(rg_idx, &intervals) {
+            continue;
+        }
+        let rg = idx.rowgroup(rg_idx);
+        let batch = rg.decode_columns(&[0, 1]);
+        for i in 0..rg.rows() {
+            if !rg.is_deleted(i) && iv.contains(&batch.column(1).value(i)) {
+                sum += batch.column(agg_col).value(i).as_i64().unwrap();
+            }
+        }
+    }
+    sum
+}
+
 fn bench_scan_kernels(c: &mut Criterion) {
     let pool = BufferPool::unbounded(DeviceProfile::ram());
-    for shape in ["rle", "bitpacked", "raw"] {
+    for shape in ["rle", "bitpacked", "raw", "fordelta", "dictnum"] {
         let idx = build(shape);
         let group_name = format!("scan_kernels/{shape}");
         let mut g = c.benchmark_group(&group_name);
@@ -115,6 +183,29 @@ fn bench_scan_kernels(c: &mut Criterion) {
             });
             g.bench_with_input(BenchmarkId::new("full_decode", label), &iv, |b, iv| {
                 b.iter(|| black_box(full_decode_scan(&idx, iv)))
+            });
+        }
+        g.finish();
+
+        // SUM pushdown vs decode-then-fold. The raw shape's 2^56-range
+        // values overflow an i64 SUM at high selectivity, so it sums `id`
+        // instead (same selection mask, different fold target).
+        let agg_col = if shape == "raw" { 0 } else { 1 };
+        let agg_group_name = format!("agg_pushdown/{shape}");
+        let mut g = c.benchmark_group(&agg_group_name);
+        g.sample_size(10);
+        for (label, frac) in AGG_SELECTIVITIES {
+            let iv = interval_for(shape, frac);
+            assert_eq!(
+                pushdown_agg(&idx, &iv, agg_col, &pool),
+                decode_then_fold(&idx, &iv, agg_col),
+                "pushdown and decode-then-fold SUMs disagree for {shape}/{label}"
+            );
+            g.bench_with_input(BenchmarkId::new("pushdown", label), &iv, |b, iv| {
+                b.iter(|| black_box(pushdown_agg(&idx, iv, agg_col, &pool)))
+            });
+            g.bench_with_input(BenchmarkId::new("decode_then_fold", label), &iv, |b, iv| {
+                b.iter(|| black_box(decode_then_fold(&idx, iv, agg_col)))
             });
         }
         g.finish();

@@ -7,7 +7,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use hpd_btree::{BTree, BTreeConfig};
-use hpd_common::{faults, Batch, ColumnVector, Interval, Key, Row, Schema, Value};
+use hpd_common::{
+    faults, AggFunc, Batch, ColumnVector, DataType, HpdError, Interval, Key, Result, Row, Schema,
+    SelBitmap, Value,
+};
 use hpd_obs::Counter;
 use hpd_storage::{BufferPool, IoTracker, StorageAllocator};
 
@@ -40,6 +43,31 @@ fn scan_counters() -> &'static ScanCounters {
     })
 }
 
+/// `columnstore.agg.*` counters for the aggregate-pushdown path, surfaced
+/// by `EXPLAIN ANALYZE` as the `pushdown:` trailer. A non-eliminated row
+/// group lands in exactly one of `pushdown_rowgroups` (folded entirely on
+/// encoded segments) or `fallback_rowgroups` (predicate evaluation needed
+/// the typed-value gather fallback before folding).
+struct AggCounters {
+    pushdown_rowgroups: Counter,
+    fallback_rowgroups: Counter,
+    rows_folded: Counter,
+    delta_rows: Counter,
+}
+
+fn agg_counters() -> &'static AggCounters {
+    static C: OnceLock<AggCounters> = OnceLock::new();
+    C.get_or_init(|| {
+        let r = hpd_obs::global();
+        AggCounters {
+            pushdown_rowgroups: r.counter("columnstore.agg.pushdown_rowgroups"),
+            fallback_rowgroups: r.counter("columnstore.agg.fallback_rowgroups"),
+            rows_folded: r.counter("columnstore.agg.rows_folded"),
+            delta_rows: r.counter("columnstore.agg.delta_rows"),
+        }
+    })
+}
+
 /// Decayed access counters for one row group. Cells are atomics so scans
 /// (which take `&self`) can record without locking; the tuple mover halves
 /// every cell on each maintenance pass, so values approximate an
@@ -65,11 +93,18 @@ impl RowGroupHeat {
         }
     }
 
-    fn snapshot(&self, rowgroup: usize, rows: usize, active_rows: usize) -> RowGroupHeatSnapshot {
+    fn snapshot(
+        &self,
+        rowgroup: usize,
+        rows: usize,
+        active_rows: usize,
+        encodings: Vec<IntEncoding>,
+    ) -> RowGroupHeatSnapshot {
         RowGroupHeatSnapshot {
             rowgroup,
             rows,
             active_rows,
+            encodings,
             reads: self.reads.load(Ordering::Relaxed),
             rows_read: self.rows_read.load(Ordering::Relaxed),
             prunes: self.prunes.load(Ordering::Relaxed),
@@ -84,6 +119,9 @@ pub struct RowGroupHeatSnapshot {
     pub rowgroup: usize,
     pub rows: usize,
     pub active_rows: usize,
+    /// Chosen physical encoding per stored column, so hot-rowgroup
+    /// diagnostics show *how* hot data is compressed.
+    pub encodings: Vec<IntEncoding>,
     pub reads: u64,
     pub rows_read: u64,
     pub prunes: u64,
@@ -108,6 +146,42 @@ pub struct CsiHeatReport {
     pub delta_reads: u64,
     /// Decay passes applied over the index lifetime (not decayed itself).
     pub decay_passes: u64,
+}
+
+/// One aggregate to push down into the encoded fold
+/// ([`ColumnStoreIndex::agg_collect`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushdownAgg {
+    pub func: AggFunc,
+    /// Aggregate input's column ordinal in this index's stored schema.
+    /// COUNT ignores the values but the ordinal must still be valid.
+    pub col: usize,
+}
+
+/// Running state of one pushed-down aggregate, mirroring the row-mode
+/// fold's accumulator — except integer sums accumulate in `i128` and
+/// range-check once at the end, so only a *total* outside `i64` errors
+/// (the row fold also errors on transient mid-stream overflow).
+enum AggAcc {
+    Count(i64),
+    SumI(i128),
+    SumD(i128),
+    SumF(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: i64 },
+}
+
+/// Zero value of a type, for empty global MIN/MAX (no NULLs here).
+fn zero_value(t: DataType) -> Value {
+    match t {
+        DataType::Int32 => Value::Int32(0),
+        DataType::Int64 => Value::Int64(0),
+        DataType::Float64 => Value::Float64(0.0),
+        DataType::Decimal => Value::Decimal(0),
+        DataType::Date => Value::Date(0),
+        DataType::Utf8 => Value::str(""),
+    }
 }
 
 /// Primary (main storage, delete bitmap only) vs. secondary (redundant,
@@ -305,6 +379,29 @@ impl ColumnStoreIndex {
 
     pub fn size_bytes(&self) -> usize {
         self.column_sizes().iter().sum()
+    }
+
+    /// Dominant physical encoding per stored column (most frequent across
+    /// compressed row groups; ties go to the earlier row group's choice;
+    /// `Raw` when no row group exists yet). Feeds the cost model's
+    /// per-encoding CPU factors and the advisor's what-if reports.
+    pub fn column_encodings(&self) -> Vec<IntEncoding> {
+        (0..self.schema.len())
+            .map(|c| {
+                let mut counts: Vec<(IntEncoding, usize)> = Vec::new();
+                for rg in &self.row_groups {
+                    let e = rg.segment(c).encoding();
+                    match counts.iter_mut().find(|(k, _)| *k == e) {
+                        Some((_, n)) => *n += 1,
+                        None => counts.push((e, 1)),
+                    }
+                }
+                counts
+                    .iter()
+                    .max_by_key(|&&(_, n)| n)
+                    .map_or(IntEncoding::Raw, |&(e, _)| e)
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -626,23 +723,23 @@ impl ColumnStoreIndex {
         )
     }
 
-    /// Scan one row group with predicate pushdown and late materialization:
-    /// every interval is evaluated **on the encoded segments** (falling back
-    /// to materialized-value comparison only for untranslatable bound
-    /// types), AND-ed into a packed selection bitmap seeded from the delete
-    /// bitmap, and only the projected columns at *surviving* positions are
-    /// decoded. Returns `None` if the row group was eliminated or no row
-    /// survived. The output satisfies all `intervals` exactly, so a planner
-    /// whose predicate is fully covered by them needs no residual filter.
-    pub fn scan_rowgroup(
+    /// Compute the surviving-row selection of one row group: live rows,
+    /// AND-ed with every interval (evaluated in the encoded domain, with a
+    /// typed-value gather fallback for untranslatable bound types), minus
+    /// anti-joined buffered deletes. Charges I/O for `extra` segments plus
+    /// predicate and anti-join key columns, and records heat and
+    /// `columnstore.scan.*` pruning counters. Returns `None` when the row
+    /// group is eliminated by min/max; otherwise the selection (possibly
+    /// empty) and whether the typed fallback ran.
+    fn rowgroup_selection(
         &self,
         rg_idx: usize,
-        projection: &[usize],
+        extra: &[usize],
         intervals: &HashMap<usize, Interval>,
         antijoin: Option<&HashSet<Key>>,
         pool: &BufferPool,
         tracker: &IoTracker,
-    ) -> Option<Batch> {
+    ) -> Option<(SelBitmap, bool)> {
         let counters = scan_counters();
         let rg = &self.row_groups[rg_idx];
         if self.rowgroup_eliminated(rg_idx, intervals) {
@@ -651,9 +748,10 @@ impl ColumnStoreIndex {
             return None;
         }
         self.heat[rg_idx].reads.fetch_add(1, Ordering::Relaxed);
-        // Segments the scan reads: projection, anti-join keys, predicate
-        // columns. Each pays its I/O once.
-        let mut needed: Vec<usize> = projection.to_vec();
+        // Segments the scan reads: the caller's columns (projection or
+        // aggregate inputs), anti-join keys, predicate columns. Each pays
+        // its I/O once.
+        let mut needed: Vec<usize> = extra.to_vec();
         if antijoin.is_some() {
             for &k in &self.key_ordinals {
                 if !needed.contains(&k) {
@@ -695,6 +793,7 @@ impl ColumnStoreIndex {
         }
         // Untranslatable bounds: gather the column at surviving positions
         // only and compare typed values.
+        let fell_back = !fallback.is_empty();
         for (c, iv) in fallback {
             if sel.is_none_set() {
                 break;
@@ -738,6 +837,30 @@ impl ColumnStoreIndex {
         self.heat[rg_idx]
             .rows_read
             .fetch_add(selected as u64, Ordering::Relaxed);
+        Some((sel, fell_back))
+    }
+
+    /// Scan one row group with predicate pushdown and late materialization:
+    /// every interval is evaluated **on the encoded segments** (falling back
+    /// to materialized-value comparison only for untranslatable bound
+    /// types), AND-ed into a packed selection bitmap seeded from the delete
+    /// bitmap, and only the projected columns at *surviving* positions are
+    /// decoded. Returns `None` if the row group was eliminated or no row
+    /// survived. The output satisfies all `intervals` exactly, so a planner
+    /// whose predicate is fully covered by them needs no residual filter.
+    pub fn scan_rowgroup(
+        &self,
+        rg_idx: usize,
+        projection: &[usize],
+        intervals: &HashMap<usize, Interval>,
+        antijoin: Option<&HashSet<Key>>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Option<Batch> {
+        let (sel, _) =
+            self.rowgroup_selection(rg_idx, projection, intervals, antijoin, pool, tracker)?;
+        let rg = &self.row_groups[rg_idx];
+        let selected = sel.count();
         if selected == 0 {
             return None;
         }
@@ -798,6 +921,177 @@ impl ColumnStoreIndex {
     }
 
     // ------------------------------------------------------------------
+    // Aggregate pushdown
+    // ------------------------------------------------------------------
+
+    /// Evaluate covered aggregates directly on the encoded index — no row
+    /// materialization. Compressed row groups fold on their encoded
+    /// segments (run-arithmetic over RLE, frame-arithmetic over FOR/delta,
+    /// code-histogram folding over dict); delta rows fold row-mode after
+    /// all row groups, the same order a materializing scan feeds the
+    /// aggregate operator, so order-sensitive f64 sums match bit-for-bit.
+    ///
+    /// Returns `None` (before touching counters or I/O) when some
+    /// aggregate has no pushdown kernel for its column type (SUM/AVG over
+    /// `Utf8`) — the caller falls back to the scan path, which reports the
+    /// same error the row-mode fold would.
+    pub fn agg_collect(
+        &self,
+        aggs: &[PushdownAgg],
+        intervals: &HashMap<usize, Interval>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Option<Result<Vec<Value>>> {
+        let mut accs: Vec<AggAcc> = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            let dtype = self.schema.column(a.col).dtype;
+            accs.push(match a.func {
+                AggFunc::Count => AggAcc::Count(0),
+                AggFunc::Min => AggAcc::Min(None),
+                AggFunc::Max => AggAcc::Max(None),
+                AggFunc::Avg => {
+                    if dtype == DataType::Utf8 {
+                        return None;
+                    }
+                    AggAcc::Avg { sum: 0.0, count: 0 }
+                }
+                AggFunc::Sum => match dtype {
+                    DataType::Int32 | DataType::Int64 | DataType::Date => AggAcc::SumI(0),
+                    DataType::Decimal => AggAcc::SumD(0),
+                    DataType::Float64 => AggAcc::SumF(0.0),
+                    DataType::Utf8 => return None,
+                },
+            });
+        }
+        // Segments the fold reads: every non-COUNT aggregate input.
+        let mut agg_cols: Vec<usize> = Vec::new();
+        for a in aggs {
+            if a.func != AggFunc::Count && !agg_cols.contains(&a.col) {
+                agg_cols.push(a.col);
+            }
+        }
+
+        let counters = agg_counters();
+        let antijoin = self.antijoin_probe(pool, tracker);
+        for rg_idx in 0..self.row_groups.len() {
+            let Some((sel, fell_back)) = self.rowgroup_selection(
+                rg_idx,
+                &agg_cols,
+                intervals,
+                antijoin.as_ref(),
+                pool,
+                tracker,
+            ) else {
+                continue;
+            };
+            if fell_back {
+                counters.fallback_rowgroups.add(1);
+            } else {
+                counters.pushdown_rowgroups.add(1);
+            }
+            let selected = sel.count();
+            if selected == 0 {
+                continue;
+            }
+            counters.rows_folded.add(selected as u64);
+            let rg = &self.row_groups[rg_idx];
+            for (a, acc) in aggs.iter().zip(&mut accs) {
+                let seg = rg.segment(a.col);
+                match acc {
+                    AggAcc::Count(c) => *c += selected as i64,
+                    AggAcc::SumI(s) | AggAcc::SumD(s) => {
+                        *s += seg.sum_i128_masked(&sel).expect("integer-family column");
+                    }
+                    AggAcc::SumF(s) => {
+                        seg.for_each_f64_masked(&sel, |v| *s += v);
+                    }
+                    AggAcc::Min(m) => {
+                        if let Some((lo, _)) = seg.min_max_masked(&sel) {
+                            if m.as_ref().is_none_or(|cur| &lo < cur) {
+                                *m = Some(lo);
+                            }
+                        }
+                    }
+                    AggAcc::Max(m) => {
+                        if let Some((_, hi)) = seg.min_max_masked(&sel) {
+                            if m.as_ref().is_none_or(|cur| &hi > cur) {
+                                *m = Some(hi);
+                            }
+                        }
+                    }
+                    AggAcc::Avg { sum, count } => {
+                        seg.for_each_f64_masked(&sel, |v| *sum += v);
+                        *count += selected as i64;
+                    }
+                }
+            }
+        }
+
+        // Delta rows: plain row-mode fold (uncompressed; the delete buffer
+        // does not apply here — delta deletes are performed in place).
+        if self.delta_rows() > 0 {
+            self.delta_reads.fetch_add(1, Ordering::Relaxed);
+            for row in self.delta.scan(pool, tracker) {
+                let keep = intervals
+                    .iter()
+                    .all(|(&c, iv)| c >= row.len() || iv.contains(&row.values()[c]));
+                if !keep {
+                    continue;
+                }
+                counters.delta_rows.add(1);
+                for (a, acc) in aggs.iter().zip(&mut accs) {
+                    let v = &row.values()[a.col];
+                    match acc {
+                        AggAcc::Count(c) => *c += 1,
+                        AggAcc::SumI(s) | AggAcc::SumD(s) => {
+                            *s += i128::from(v.as_i64().expect("numeric delta value"));
+                        }
+                        AggAcc::SumF(s) => *s += v.as_f64().expect("numeric delta value"),
+                        AggAcc::Min(m) => {
+                            if m.as_ref().is_none_or(|cur| v < cur) {
+                                *m = Some(v.clone());
+                            }
+                        }
+                        AggAcc::Max(m) => {
+                            if m.as_ref().is_none_or(|cur| v > cur) {
+                                *m = Some(v.clone());
+                            }
+                        }
+                        AggAcc::Avg { sum, count } => {
+                            *sum += v.as_f64().expect("numeric delta value");
+                            *count += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(aggs.len());
+        for (a, acc) in aggs.iter().zip(accs) {
+            let dtype = self.schema.column(a.col).dtype;
+            out.push(match acc {
+                AggAcc::Count(c) => Value::Int64(c),
+                AggAcc::SumI(s) => match i64::try_from(s) {
+                    Ok(v) => Value::Int64(v),
+                    Err(_) => return Some(Err(HpdError::Internal("SUM overflow".into()))),
+                },
+                AggAcc::SumD(s) => match i64::try_from(s) {
+                    Ok(v) => Value::Decimal(v),
+                    Err(_) => return Some(Err(HpdError::Internal("SUM overflow".into()))),
+                },
+                AggAcc::SumF(s) => Value::Float64(s),
+                // Empty global MIN/MAX yields a zero value of the input
+                // type (this engine has no NULLs), matching the row fold.
+                AggAcc::Min(v) | AggAcc::Max(v) => v.unwrap_or_else(|| zero_value(dtype)),
+                AggAcc::Avg { sum, count } => {
+                    Value::Float64(if count == 0 { 0.0 } else { sum / count as f64 })
+                }
+            });
+        }
+        Some(Ok(out))
+    }
+
+    // ------------------------------------------------------------------
     // Heat
     // ------------------------------------------------------------------
 
@@ -809,11 +1103,11 @@ impl ColumnStoreIndex {
                 .iter()
                 .enumerate()
                 .map(|(i, h)| {
-                    h.snapshot(
-                        i,
-                        self.row_groups[i].rows(),
-                        self.row_groups[i].active_rows(),
-                    )
+                    let rg = &self.row_groups[i];
+                    let encodings = (0..rg.num_columns())
+                        .map(|c| rg.segment(c).encoding())
+                        .collect();
+                    h.snapshot(i, rg.rows(), rg.active_rows(), encodings)
                 })
                 .collect(),
             delta_writes: self.delta_writes.load(Ordering::Relaxed),

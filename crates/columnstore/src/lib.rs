@@ -36,9 +36,9 @@ pub mod segment;
 
 pub use cache::SegmentCache;
 pub use delta::DeltaStore;
-pub use encoding::{encode_i64s, EncodedInts, IntEncoding};
+pub use encoding::{encode_i64s, EncodedInts, IntEncoding, FOR_DELTA_FRAME, RLE_RUN_BYTES};
 pub use index::{
-    ColumnStoreIndex, CsiConfig, CsiHeatReport, CsiKind, CsiScan, RowGroupHeatSnapshot,
+    ColumnStoreIndex, CsiConfig, CsiHeatReport, CsiKind, CsiScan, PushdownAgg, RowGroupHeatSnapshot,
 };
 pub use kernels::Translated;
 pub use rowgroup::{RowGroup, SortMode};

@@ -1,14 +1,51 @@
 //! Column segments: one column of one row group, compressed, with min/max
 //! small materialized aggregates.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use hpd_common::interval::Bound;
-use hpd_common::{ColumnVector, DataType, Interval, SelBitmap, Value};
+use hpd_common::{ColumnVector, DataType, HpdError, Interval, Result, SelBitmap, Value};
+use hpd_obs::Counter;
 use hpd_storage::{BlobId, BufferPool, IoTracker, StorageAllocator};
 
 use crate::encoding::{encode_i64s, EncodedInts, IntEncoding};
 use crate::kernels::{self, Translated};
+
+/// `columnstore.encoding.segments_*` counters: segments built per chosen
+/// encoding, so the encoding mix of a workload's data shows up in metrics
+/// (and the force-encode knob is verifiable end to end).
+struct EncodingCounters {
+    rle: Counter,
+    bitpacked: Counter,
+    fordelta: Counter,
+    dict: Counter,
+    raw: Counter,
+}
+
+fn encoding_counters() -> &'static EncodingCounters {
+    static C: OnceLock<EncodingCounters> = OnceLock::new();
+    C.get_or_init(|| {
+        let r = hpd_obs::global();
+        EncodingCounters {
+            rle: r.counter("columnstore.encoding.segments_rle"),
+            bitpacked: r.counter("columnstore.encoding.segments_bitpacked"),
+            fordelta: r.counter("columnstore.encoding.segments_fordelta"),
+            dict: r.counter("columnstore.encoding.segments_dict"),
+            raw: r.counter("columnstore.encoding.segments_raw"),
+        }
+    })
+}
+
+fn note_encoding(enc: IntEncoding) {
+    let c = encoding_counters();
+    match enc {
+        IntEncoding::Rle => c.rle.add(1),
+        IntEncoding::BitPacked => c.bitpacked.add(1),
+        IntEncoding::ForDelta => c.fordelta.add(1),
+        IntEncoding::Dict => c.dict.add(1),
+        IntEncoding::Raw => c.raw.add(1),
+    }
+}
 
 /// A compressed column segment.
 ///
@@ -35,7 +72,7 @@ impl Segment {
         let rows = column.len();
         let dtype = column.data_type();
         let blob = alloc.alloc_blob();
-        match column {
+        let seg = match column {
             ColumnVector::Str(vals) => {
                 let mut dict: Vec<Arc<str>> = vals.to_vec();
                 dict.sort_unstable();
@@ -91,7 +128,9 @@ impl Segment {
                     blob,
                 }
             }
-        }
+        };
+        note_encoding(seg.ints.encoding());
+        seg
     }
 
     pub fn rows(&self) -> usize {
@@ -292,6 +331,87 @@ impl Segment {
     pub fn eliminated_by(&self, interval: &Interval) -> bool {
         !interval.overlaps_range(&self.min, &self.max)
     }
+
+    /// SUM over the selected rows of an integer-family column (`Int32`,
+    /// `Int64`, `Date` sum as `Int64`; `Decimal` as `Decimal`), folded on
+    /// the encoded stream without materializing rows. Accumulates exactly
+    /// in `i128` and errors only when the *total* leaves the `i64` range —
+    /// the row-mode fold also errors on transient overflow, a divergence
+    /// that requires sums past ±2^63 mid-stream. `None` for `Float64`
+    /// (order-dependent; use [`Segment::sum_f64_masked`]) and `Utf8`.
+    pub fn sum_int_masked(&self, sel: &SelBitmap) -> Option<Result<Value>> {
+        let wrap = match self.dtype {
+            DataType::Int32 | DataType::Int64 | DataType::Date => Value::Int64,
+            DataType::Decimal => Value::Decimal,
+            DataType::Float64 | DataType::Utf8 => return None,
+        };
+        let total = self.sum_i128_masked(sel)?;
+        Some(
+            i64::try_from(total)
+                .map(wrap)
+                .map_err(|_| HpdError::Internal("SUM overflow".into())),
+        )
+    }
+
+    /// Raw `i128` SUM over the selected rows of an integer-family column —
+    /// the cross-rowgroup accumulation primitive behind
+    /// [`Segment::sum_int_masked`]. `None` for `Float64`/`Utf8`.
+    pub fn sum_i128_masked(&self, sel: &SelBitmap) -> Option<i128> {
+        match self.dtype {
+            DataType::Int32 | DataType::Int64 | DataType::Date | DataType::Decimal => {
+                Some(kernels::sum_masked(&self.ints, sel))
+            }
+            DataType::Float64 | DataType::Utf8 => None,
+        }
+    }
+
+    /// Visit each selected value as `f64` in ascending position order (same
+    /// promotions as `Value::as_f64`), so a caller-held accumulator folds
+    /// bit-identically to the row-mode sequential fold across row groups.
+    /// Returns `false` (without calling `f`) for `Utf8`.
+    pub fn for_each_f64_masked(&self, sel: &SelBitmap, mut f: impl FnMut(f64)) -> bool {
+        match self.dtype {
+            DataType::Float64 => {
+                kernels::for_each_masked(&self.ints, sel, |raw| f(f64::from_bits_i64(raw)));
+            }
+            DataType::Decimal => {
+                kernels::for_each_masked(&self.ints, sel, |raw| f(raw as f64 / 10_000.0));
+            }
+            DataType::Int32 | DataType::Int64 | DataType::Date => {
+                kernels::for_each_masked(&self.ints, sel, |raw| f(raw as f64));
+            }
+            DataType::Utf8 => return false,
+        }
+        true
+    }
+
+    /// SUM over the selected rows as a sequential `f64` fold in ascending
+    /// position order — bit-identical to the row-mode fold over a scan of
+    /// this row group (f64 addition is non-associative, so order matters).
+    /// Used for SUM over `Float64` and as the AVG numerator everywhere.
+    /// `None` for `Utf8`.
+    pub fn sum_f64_masked(&self, sel: &SelBitmap) -> Option<f64> {
+        let mut acc = 0.0f64;
+        self.for_each_f64_masked(sel, |v| acc += v).then_some(acc)
+    }
+
+    /// MIN and MAX over the selected rows, in the column's logical type.
+    /// Valid for every type — the normalized domain is order-preserving,
+    /// including dictionary codes for strings. `None` when nothing is
+    /// selected.
+    pub fn min_max_masked(&self, sel: &SelBitmap) -> Option<(Value, Value)> {
+        let (lo, hi) = kernels::min_max_masked(&self.ints, sel)?;
+        match self.dtype {
+            DataType::Utf8 => {
+                let dict = self.dict.as_ref().expect("utf8 segment has dictionary");
+                Some((
+                    Value::Str(Arc::clone(&dict[lo as usize])),
+                    Value::Str(Arc::clone(&dict[hi as usize])),
+                ))
+            }
+            _ => Some((raw_to_value(self.dtype, lo), raw_to_value(self.dtype, hi))),
+        }
+    }
 }
 
 /// Normalize a comparison bound into the column's encoded `i64` domain.
@@ -459,6 +579,76 @@ mod tests {
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.bytes_read, s.encoded_bytes() as u64);
+    }
+
+    #[test]
+    fn masked_aggregates_match_decode_per_type() {
+        let cols = [
+            ColumnVector::Int32((0..500).map(|i| (i % 40) - 7).collect()),
+            ColumnVector::Int64((0..500).map(|i| i * 1_000_003).collect()),
+            ColumnVector::Decimal((0..500).map(|i| i * 12_345 - 9).collect()),
+            ColumnVector::Date((0..500).map(|i| i % 11).collect()),
+            ColumnVector::Float64((0..500).map(|i| (i as f64) * 0.37 - 3.0).collect()),
+        ];
+        for col in cols {
+            let s = Segment::build(&col, &alloc());
+            let mut sel = SelBitmap::all_set(500);
+            sel.retain(|i| i % 3 != 1);
+            let picked: Vec<Value> = sel.positions().iter().map(|&i| col.value(i)).collect();
+            if col.data_type() != DataType::Float64 {
+                let want: i64 = picked.iter().map(|v| v.as_i64().unwrap()).sum();
+                let got = s.sum_int_masked(&sel).unwrap().unwrap();
+                assert_eq!(got.as_i64().unwrap(), want, "{:?}", col.data_type());
+            } else {
+                assert!(s.sum_int_masked(&sel).is_none());
+            }
+            let want_f: f64 = picked.iter().fold(0.0, |a, v| a + v.as_f64().unwrap());
+            assert_eq!(
+                s.sum_f64_masked(&sel),
+                Some(want_f),
+                "{:?}",
+                col.data_type()
+            );
+            let (lo, hi) = s.min_max_masked(&sel).unwrap();
+            assert_eq!(Some(&lo), picked.iter().min_by(|a, b| a.cmp(b)));
+            assert_eq!(Some(&hi), picked.iter().max_by(|a, b| a.cmp(b)));
+        }
+    }
+
+    #[test]
+    fn masked_aggregates_on_strings() {
+        let col = ColumnVector::Str(
+            ["kiwi", "apple", "pear", "fig", "apple", "zuc"]
+                .map(Arc::from)
+                .to_vec(),
+        );
+        let s = Segment::build(&col, &alloc());
+        let mut sel = SelBitmap::all_set(6);
+        sel.clear(5); // drop "zuc"
+        sel.clear(1); // drop one "apple"
+        assert!(s.sum_int_masked(&sel).is_none());
+        assert!(s.sum_f64_masked(&sel).is_none());
+        let (lo, hi) = s.min_max_masked(&sel).unwrap();
+        assert_eq!(lo, Value::str("apple"));
+        assert_eq!(hi, Value::str("pear"));
+        assert!(s.min_max_masked(&SelBitmap::none_set(6)).is_none());
+    }
+
+    #[test]
+    fn masked_sum_reports_total_overflow() {
+        let col = ColumnVector::Int64(vec![i64::MAX, i64::MAX, -7]);
+        let s = Segment::build(&col, &alloc());
+        let err = s
+            .sum_int_masked(&SelBitmap::all_set(3))
+            .unwrap()
+            .unwrap_err();
+        assert!(err.to_string().contains("SUM overflow"), "{err}");
+        // Dropping one extreme value brings the total back in range.
+        let mut sel = SelBitmap::none_set(3);
+        sel.set(0);
+        sel.set(2);
+        let v = s.sum_int_masked(&sel).unwrap().unwrap();
+        assert_eq!(v, Value::Int64(i64::MAX - 7));
     }
 
     #[test]

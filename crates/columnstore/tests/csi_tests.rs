@@ -69,6 +69,8 @@ fn heat_tracks_reads_prunes_writes_and_decays() {
     idx.scan_collect(&[0, 1], &iv, &pool, &t);
     let heat = idx.heat_report();
     assert_eq!(heat.rowgroups.len(), idx.num_rowgroups());
+    // Each snapshot names the chosen encoding per stored column segment.
+    assert_eq!(heat.rowgroups[0].encodings.len(), 2);
     assert_eq!(heat.rowgroups[0].reads, 2);
     assert_eq!(heat.rowgroups[0].rows_read, 200);
     let last = heat.rowgroups.last().unwrap();

@@ -6,9 +6,11 @@
 
 use std::collections::{HashMap, HashSet};
 
-use hpd_columnstore::{ColumnStoreIndex, CsiConfig, CsiKind, IntEncoding, Segment, SortMode};
+use hpd_columnstore::{
+    ColumnStoreIndex, CsiConfig, CsiKind, IntEncoding, PushdownAgg, Segment, SortMode,
+};
 use hpd_common::interval::Bound;
-use hpd_common::{ColumnVector, DataType, Interval, Key, Row, SelBitmap, Value};
+use hpd_common::{AggFunc, ColumnVector, DataType, Interval, Key, Row, SelBitmap, Value};
 use hpd_storage::{BufferPool, DeviceProfile, IoTracker, StorageAllocator};
 use proptest::prelude::*;
 
@@ -76,25 +78,47 @@ fn int_interval(kind: i32, a: i32, b: i32, inc_lo: bool, inc_hi: bool) -> Interv
 }
 
 /// Integer data shaped to hit a specific encoding: runs for RLE, a dense
-/// small domain for bit-packing, and a wide sparse domain for raw.
+/// small domain for bit-packing, a wide sparse domain for raw, a monotone
+/// wide-range small-step series for FOR/delta, and interleaved few-distinct
+/// wide values for the numeric dictionary.
 fn shaped_ints(shape: i32, seeds: &[(i32, i32)]) -> Vec<Value> {
     match shape {
+        // Long runs: RLE (16 B/run) must beat dict-coding the 6 distinct
+        // levels (~3 bits/row), so runs are ~60-90 rows.
         0 => seeds
             .iter()
             .flat_map(|&(level, run)| {
-                std::iter::repeat_n(Value::Int32((level % 6) * 10), 10 + (run % 30) as usize)
+                std::iter::repeat_n(Value::Int32((level % 6) * 10), 60 + (run % 30) as usize)
             })
             .collect(),
         1 => seeds
             .iter()
             .map(|&(a, b)| Value::Int32(a.wrapping_mul(31).wrapping_add(b) & 0x3ff))
             .collect(),
-        _ => seeds
+        2 => seeds
             .iter()
             .map(|&(a, b)| {
                 let spread = i64::from(a) * 1_000_000_007 * 130_000_000;
                 Value::Int64(i64::MIN / 2 + spread + i64::from(b))
             })
+            .collect(),
+        // Monotone with ~2^30 steps: values span billions (defeating
+        // bit-packing) but the step variation packs into 6 delta bits.
+        3 => {
+            let mut acc = 1i64 << 30;
+            seeds
+                .iter()
+                .map(|&(a, b)| {
+                    acc += (1 << 30) + i64::from((a * 64 + b) % 64);
+                    Value::Int64(acc)
+                })
+                .collect()
+        }
+        // 8 interleaved levels of 10^15 magnitude: too many runs for RLE,
+        // too wide for bit-packing, 3-bit dictionary codes win.
+        _ => seeds
+            .iter()
+            .map(|&(a, b)| Value::Int64(i64::from((a + b) % 8) * 1_000_000_000_000_000))
             .collect(),
     }
 }
@@ -102,7 +126,8 @@ fn shaped_ints(shape: i32, seeds: &[(i32, i32)]) -> Vec<Value> {
 #[test]
 fn shaped_data_hits_all_encodings() {
     // Pin the encodings the shapes are designed to produce, so the
-    // property tests below demonstrably cover RLE, BitPacked, and Raw.
+    // property tests below demonstrably cover RLE, BitPacked, Raw,
+    // ForDelta, and Dict.
     let seeds: Vec<(i32, i32)> = (0..64).map(|i| (i % 7, i * 13 % 29)).collect();
     let rle = build_segment(DataType::Int32, &shaped_ints(0, &seeds));
     assert_eq!(rle.encoding(), IntEncoding::Rle);
@@ -110,17 +135,50 @@ fn shaped_data_hits_all_encodings() {
     assert_eq!(packed.encoding(), IntEncoding::BitPacked);
     let raw = build_segment(DataType::Int64, &shaped_ints(2, &seeds));
     assert_eq!(raw.encoding(), IntEncoding::Raw);
+    let fordelta = build_segment(DataType::Int64, &shaped_ints(3, &seeds));
+    assert_eq!(fordelta.encoding(), IntEncoding::ForDelta);
+    let dict = build_segment(DataType::Int64, &shaped_ints(4, &seeds));
+    assert_eq!(dict.encoding(), IntEncoding::Dict);
+}
+
+/// Interval from two pivot values drawn from the segment's own domain
+/// (Int32 literals can't reach the wide FOR/delta and dict domains).
+fn value_interval(kind: i32, a: Value, b: Value, inc_lo: bool, inc_hi: bool) -> Interval {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    match kind {
+        0 => Interval::all(),
+        1 => Interval::point(lo),
+        2 => Interval::less_than(hi, inc_hi),
+        3 => Interval::greater_than(lo, inc_lo),
+        4 => Interval::between(lo, hi),
+        _ => Interval {
+            lo: if inc_lo {
+                Bound::Inclusive(lo)
+            } else {
+                Bound::Exclusive(lo)
+            },
+            hi: if inc_hi {
+                Bound::Inclusive(hi)
+            } else {
+                Bound::Exclusive(hi)
+            },
+        },
+    }
+}
+
+fn shape_dtype(shape: i32) -> DataType {
+    if shape >= 2 {
+        DataType::Int64
+    } else {
+        DataType::Int32
+    }
 }
 
 #[test]
 fn interval_shapes_on_each_encoding() {
     let seeds: Vec<(i32, i32)> = (0..80).map(|i| (i % 9, i * 17 % 23)).collect();
-    for shape in 0..3 {
-        let dtype = if shape == 2 {
-            DataType::Int64
-        } else {
-            DataType::Int32
-        };
+    for shape in 0..5 {
+        let dtype = shape_dtype(shape);
         let data = shaped_ints(shape, &seeds);
         let seg = build_segment(dtype, &data);
         // Point at an existing value, a run boundary, an absent value, and
@@ -149,7 +207,7 @@ proptest! {
 
     #[test]
     fn prop_int_kernels_match_naive(
-        shape in 0i32..3,
+        shape in 0i32..5,
         seeds in prop::collection::vec((0i32..64, 0i32..64), 1..120),
         kind in 0i32..6,
         a in -5i32..70,
@@ -157,13 +215,174 @@ proptest! {
         inc_lo in prop::bool::ANY,
         inc_hi in prop::bool::ANY,
     ) {
-        let dtype = if shape == 2 { DataType::Int64 } else { DataType::Int32 };
         let data = shaped_ints(shape, &seeds);
-        let seg = build_segment(dtype, &data);
+        let seg = build_segment(shape_dtype(shape), &data);
         let iv = int_interval(kind, a, b, inc_lo, inc_hi);
         let naive = naive_positions(&seg, &iv);
         let kernel = kernel_positions(&seg, &iv);
         prop_assert_eq!(kernel, naive);
+    }
+
+    #[test]
+    fn prop_domain_pivot_kernels_match_naive(
+        shape in 0i32..5,
+        seeds in prop::collection::vec((0i32..64, 0i32..64), 1..120),
+        kind in 0i32..6,
+        a in 0usize..4096,
+        b in 0usize..4096,
+        off_a in -1i64..2,
+        off_b in -1i64..2,
+        inc_lo in prop::bool::ANY,
+        inc_hi in prop::bool::ANY,
+    ) {
+        // Pivots drawn from the data itself (±1 to probe absent neighbors)
+        // so bounds land inside the wide FOR/delta and dict domains, on run
+        // boundaries, and between dictionary entries.
+        let data = shaped_ints(shape, &seeds);
+        let seg = build_segment(shape_dtype(shape), &data);
+        let pivot = |i: usize, off: i64| -> Value {
+            match &data[i % data.len()] {
+                Value::Int32(v) => Value::Int32(v.saturating_add(off as i32)),
+                Value::Int64(v) => Value::Int64(v.saturating_add(off)),
+                _ => unreachable!("shaped data is integer"),
+            }
+        };
+        let iv = value_interval(kind, pivot(a, off_a), pivot(b, off_b), inc_lo, inc_hi);
+        let naive = naive_positions(&seg, &iv);
+        let kernel = kernel_positions(&seg, &iv);
+        prop_assert_eq!(kernel, naive);
+    }
+
+    #[test]
+    fn prop_agg_pushdown_matches_materialize_then_fold(
+        shape in 0i32..5,
+        seeds in prop::collection::vec((0i32..64, 0i32..64), 2..60),
+        deletes in prop::collection::vec(0i32..2000, 0..40),
+        delta in prop::collection::vec(0i32..40, 0..20),
+        kind in 0i32..6,
+        a in 0usize..4096,
+        b in 0usize..4096,
+        inc_lo in prop::bool::ANY,
+        inc_hi in prop::bool::ANY,
+        compact in prop::bool::ANY,
+    ) {
+        // The encoded fold must equal a materializing scan followed by a
+        // row fold — including deletes (bitmap and buffered), delta rows,
+        // and order-sensitive f64 sums — for every encoding shape.
+        let pool = BufferPool::unbounded(DeviceProfile::ram());
+        let t = IoTracker::new();
+        let vals = shaped_ints(shape, &seeds);
+        let vdtype = shape_dtype(shape);
+        let schema = hpd_common::Schema::from_pairs(&[
+            ("id", DataType::Int32),
+            ("val", vdtype),
+            ("f", DataType::Float64),
+        ]);
+        let rows: Vec<Row> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                Row::new(vec![
+                    Value::Int32(i as i32),
+                    v.clone(),
+                    Value::Float64(i as f64 * 0.1 + 0.3),
+                ])
+            })
+            .collect();
+        let mut idx = ColumnStoreIndex::build(
+            schema,
+            CsiKind::Secondary,
+            vec![0],
+            CsiConfig { rowgroup_capacity: 64, sort_mode: SortMode::Greedy, ..CsiConfig::default() },
+            &rows,
+            StorageAllocator::new(),
+            &pool,
+            &t,
+        );
+        let nrows = rows.len() as i32;
+        for d in &deletes {
+            if *d < nrows {
+                idx.delete(&Key::single(Value::Int32(*d)), &pool, &t);
+            }
+        }
+        let uniq: HashSet<i32> = delta.iter().copied().collect();
+        for d in &uniq {
+            let v = match vdtype {
+                DataType::Int64 => Value::Int64(i64::from(d * 11)),
+                _ => Value::Int32(d * 11),
+            };
+            idx.insert(
+                Row::new(vec![
+                    Value::Int32(1_000_000 + d),
+                    v,
+                    Value::Float64(f64::from(*d) * 0.7 + 0.1),
+                ]),
+                &pool,
+                &t,
+            );
+        }
+        if compact {
+            idx.compact_delete_buffer(&pool, &t);
+        }
+        let pivot = |i: usize| vals[i % vals.len()].clone();
+        let mut intervals = HashMap::new();
+        intervals.insert(1usize, value_interval(kind, pivot(a), pivot(b), inc_lo, inc_hi));
+
+        let aggs = vec![
+            PushdownAgg { func: AggFunc::Count, col: 0 },
+            PushdownAgg { func: AggFunc::Sum, col: 1 },
+            PushdownAgg { func: AggFunc::Min, col: 1 },
+            PushdownAgg { func: AggFunc::Max, col: 1 },
+            PushdownAgg { func: AggFunc::Avg, col: 1 },
+            PushdownAgg { func: AggFunc::Sum, col: 2 },
+            PushdownAgg { func: AggFunc::Max, col: 2 },
+        ];
+        // Materialize-then-fold reference over the scan path, accumulating
+        // in scan order (rowgroups then delta) — the order the pushdown
+        // fold promises to match bit-for-bit on f64.
+        let mut count = 0i64;
+        let mut sum_v = 0i128;
+        let mut min_v: Option<Value> = None;
+        let mut max_v: Option<Value> = None;
+        let mut avg_sum = 0.0f64;
+        let mut sum_f = 0.0f64;
+        let mut max_f: Option<Value> = None;
+        for batch in idx.scan_collect(&[1, 2], &intervals, &pool, &t) {
+            for i in 0..batch.num_rows() {
+                let v = batch.column(0).value(i);
+                let f = batch.column(1).value(i);
+                count += 1;
+                sum_v += i128::from(v.as_i64().unwrap());
+                if min_v.as_ref().is_none_or(|m| &v < m) { min_v = Some(v.clone()); }
+                if max_v.as_ref().is_none_or(|m| &v > m) { max_v = Some(v.clone()); }
+                avg_sum += v.as_f64().unwrap();
+                sum_f += f.as_f64().unwrap();
+                if max_f.as_ref().is_none_or(|m| &f > m) { max_f = Some(f.clone()); }
+            }
+        }
+
+        let result = idx
+            .agg_collect(&aggs, &intervals, &pool, &t)
+            .expect("numeric aggregates have pushdown kernels");
+        if let Ok(total) = i64::try_from(sum_v) {
+            let pushed = result.unwrap();
+            let zero = match vdtype {
+                DataType::Int64 => Value::Int64(0),
+                _ => Value::Int32(0),
+            };
+            prop_assert_eq!(&pushed[0], &Value::Int64(count));
+            prop_assert_eq!(&pushed[1], &Value::Int64(total));
+            prop_assert_eq!(&pushed[2], &min_v.unwrap_or_else(|| zero.clone()));
+            prop_assert_eq!(&pushed[3], &max_v.unwrap_or(zero));
+            let avg = if count == 0 { 0.0 } else { avg_sum / count as f64 };
+            prop_assert_eq!(&pushed[4], &Value::Float64(avg));
+            prop_assert_eq!(&pushed[5], &Value::Float64(sum_f));
+            prop_assert_eq!(&pushed[6], &max_f.unwrap_or(Value::Float64(0.0)));
+        } else {
+            // Totals outside i64 must error on both paths (the wide raw
+            // shape legitimately overflows after a couple of rows).
+            prop_assert!(result.is_err(), "expected SUM overflow, got {result:?}");
+        }
     }
 
     #[test]

@@ -98,6 +98,26 @@ impl SelBitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of selected positions in `[start, end)` — O(words spanned),
+    /// used by run-arithmetic aggregate kernels to weigh whole RLE runs.
+    pub fn count_range(&self, start: usize, end: usize) -> usize {
+        let end = end.min(self.len);
+        if start >= end {
+            return 0;
+        }
+        let (fw, fb) = (start / 64, start % 64);
+        let (lw, lb) = ((end - 1) / 64, (end - 1) % 64);
+        if fw == lw {
+            let mask = bits_from(fb) & bits_through(lb);
+            return (self.words[fw] & mask).count_ones() as usize;
+        }
+        let mut n = (self.words[fw] & bits_from(fb)).count_ones() as usize;
+        for w in &self.words[fw + 1..lw] {
+            n += w.count_ones() as usize;
+        }
+        n + (self.words[lw] & bits_through(lb)).count_ones() as usize
+    }
+
     /// True when no position is selected.
     pub fn is_none_set(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
@@ -274,6 +294,18 @@ mod tests {
         assert!(!bm.get(0) && bm.get(1) && !bm.get(2) && bm.get(3));
         assert!(!bm.get(64) && !bm.get(65));
         assert_eq!(bm.count(), 62);
+    }
+
+    #[test]
+    fn count_range_matches_loop() {
+        let mut bm = SelBitmap::none_set(200);
+        for i in (0..200).step_by(3) {
+            bm.set(i);
+        }
+        for (start, end) in [(0, 0), (0, 200), (5, 64), (63, 65), (10, 130), (150, 400)] {
+            let want = (start..end.min(200)).filter(|&i| bm.get(i)).count();
+            assert_eq!(bm.count_range(start, end), want, "[{start},{end})");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use hpd_engine::{
 
 use crate::candidates::{generate_candidates, prune_candidates};
 use crate::enumerate::{greedy_search, statement_cost, Chosen};
+use crate::hypothetical::hypothetical_meta;
 use crate::merge::merge_candidates;
 use crate::size::{BlackBoxEstimator, CsiSizeEstimator, RunModelEstimator, SampleSet};
 use crate::workload::Workload;
@@ -66,6 +67,19 @@ impl Default for AdvisorOptions {
     }
 }
 
+/// Predicted physical shape of one stored column of a recommended
+/// columnstore: the encoding the engine is expected to pick, its estimated
+/// compressed size, and the relative CPU factor the cost model charges for
+/// scanning it (bit-packed = 1.0).
+#[derive(Debug, Clone)]
+pub struct CsiColumnDetail {
+    pub table: String,
+    pub column: String,
+    pub encoding: hpd_columnstore::IntEncoding,
+    pub est_bytes: usize,
+    pub cpu_factor: f64,
+}
+
 /// A recommended physical design with its estimated impact.
 #[derive(Debug, Clone)]
 pub struct Recommendation {
@@ -76,6 +90,9 @@ pub struct Recommendation {
     /// Per-statement `(label, cost before, cost after)`.
     pub per_statement: Vec<(String, f64, f64)>,
     pub new_index_bytes: usize,
+    /// Per-column encoding expectations for every recommended columnstore
+    /// (empty when no CSI was recommended).
+    pub csi_encoding_details: Vec<CsiColumnDetail>,
 }
 
 impl Recommendation {
@@ -113,6 +130,20 @@ impl Recommendation {
                         let _ = writeln!(out, "  CREATE {d:?}");
                     }
                 }
+            }
+            for det in self
+                .csi_encoding_details
+                .iter()
+                .filter(|d| d.table == design.table)
+            {
+                let _ = writeln!(
+                    out,
+                    "    {}: {} ~{} B, scan cpu x{:.2}",
+                    det.column,
+                    det.encoding.name(),
+                    det.est_bytes,
+                    det.cpu_factor
+                );
             }
         }
         out
@@ -234,12 +265,39 @@ impl<'db> Advisor<'db> {
         let configuration = Configuration { tables };
         configuration.validate()?;
 
+        // Per-column encoding expectations for every recommended CSI: the
+        // estimator's predicted encoding + size, and the cost model's CPU
+        // factor for scanning segments in that encoding.
+        let mut csi_encoding_details = Vec::new();
+        for (table, descriptors) in &result.chosen {
+            let ctx = &contexts[table];
+            let sample = &samples[table];
+            for d in descriptors.iter().filter(|d| d.is_csi()) {
+                let meta = hypothetical_meta(d, ctx, sample, estimator.as_ref(), &csi_config);
+                for &(c, bytes) in &meta.column_bytes {
+                    let encoding = meta
+                        .column_encodings
+                        .iter()
+                        .find(|&&(ec, _)| ec == c)
+                        .map_or(hpd_columnstore::IntEncoding::BitPacked, |&(_, e)| e);
+                    csi_encoding_details.push(CsiColumnDetail {
+                        table: table.clone(),
+                        column: ctx.schema.column(c).name.clone(),
+                        encoding,
+                        est_bytes: bytes,
+                        cpu_factor: hpd_engine::cost::encoding_cpu_factor(encoding),
+                    });
+                }
+            }
+        }
+
         Ok(Recommendation {
             configuration,
             est_cost_before_us: result.initial_cost_us,
             est_cost_after_us: result.final_cost_us,
             per_statement,
             new_index_bytes: result.new_index_bytes,
+            csi_encoding_details,
         })
     }
 }

@@ -30,6 +30,7 @@ pub fn hypothetical_meta(
                 leaf_pages,
                 height,
                 column_bytes: vec![],
+                column_encodings: vec![],
                 rowgroups: 0,
                 delta_rows: 0,
                 delete_buffer_rows: 0,
@@ -55,6 +56,7 @@ pub fn hypothetical_meta(
                 leaf_pages,
                 height,
                 column_bytes: vec![],
+                column_encodings: vec![],
                 rowgroups: 0,
                 delta_rows: 0,
                 delete_buffer_rows: 0,
@@ -63,12 +65,15 @@ pub fn hypothetical_meta(
         }
         IndexDescriptor::PrimaryCsi => {
             let bytes = estimator.estimate_column_bytes(&ctx.schema, sample, rows, csi_config);
+            let encodings =
+                estimator.estimate_column_encodings(&ctx.schema, sample, rows, csi_config);
             IndexMeta {
                 descriptor: descriptor.clone(),
                 rows,
                 leaf_pages: 0,
                 height: 0,
                 column_bytes: bytes.into_iter().enumerate().collect(),
+                column_encodings: encodings.into_iter().enumerate().collect(),
                 rowgroups: rows.div_ceil(csi_config.rowgroup_capacity.max(1)),
                 delta_rows: 0,
                 delete_buffer_rows: 0,
@@ -91,6 +96,8 @@ pub fn hypothetical_meta(
             };
             let proj_bytes =
                 estimator.estimate_column_bytes(&proj_schema, &proj_sample, rows, csi_config);
+            let proj_encodings =
+                estimator.estimate_column_encodings(&proj_schema, &proj_sample, rows, csi_config);
             IndexMeta {
                 descriptor: IndexDescriptor::SecondaryCsi {
                     columns: stored.clone(),
@@ -99,6 +106,7 @@ pub fn hypothetical_meta(
                 leaf_pages: 0,
                 height: 0,
                 column_bytes: stored.iter().copied().zip(proj_bytes).collect(),
+                column_encodings: stored.iter().copied().zip(proj_encodings).collect(),
                 rowgroups: rows.div_ceil(csi_config.rowgroup_capacity.max(1)),
                 delta_rows: 0,
                 delete_buffer_rows: 0,

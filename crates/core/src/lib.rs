@@ -61,7 +61,7 @@ pub mod merge;
 pub mod size;
 pub mod workload;
 
-pub use advisor::{Advisor, AdvisorOptions, DesignMode, Recommendation};
+pub use advisor::{Advisor, AdvisorOptions, CsiColumnDetail, DesignMode, Recommendation};
 pub use candidates::CandidateSet;
 pub use hypothetical::hypothetical_meta;
 pub use size::{BlackBoxEstimator, CsiSizeEstimator, RunModelEstimator, SampleSet};

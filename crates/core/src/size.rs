@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use hpd_columnstore::CsiConfig;
+use hpd_columnstore::{CsiConfig, IntEncoding, Segment, FOR_DELTA_FRAME, RLE_RUN_BYTES};
 use hpd_common::{DataType, Row, Schema, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -106,6 +106,21 @@ pub trait CsiSizeEstimator {
 
     fn name(&self) -> &'static str;
 
+    /// Expected physical encoding per schema column — what the engine is
+    /// predicted to pick when the index is materialized. Feeds the cost
+    /// model's per-encoding CPU factors. The default assumes bit-packing
+    /// (the neutral middle of the decode-cost scale).
+    fn estimate_column_encodings(
+        &self,
+        schema: &Schema,
+        sample: &SampleSet,
+        total_rows: usize,
+        config: &CsiConfig,
+    ) -> Vec<IntEncoding> {
+        let _ = (sample, total_rows, config);
+        vec![IntEncoding::BitPacked; schema.len()]
+    }
+
     /// Total size estimate.
     fn estimate_total_bytes(
         &self,
@@ -158,6 +173,64 @@ impl CsiSizeEstimator for BlackBoxEstimator {
     fn name(&self) -> &'static str {
         "black-box"
     }
+
+    /// Build the sample columnstore and report the encodings it actually
+    /// chose (a second build on top of the size pass — the black box stays
+    /// a black box).
+    fn estimate_column_encodings(
+        &self,
+        schema: &Schema,
+        sample: &SampleSet,
+        total_rows: usize,
+        config: &CsiConfig,
+    ) -> Vec<IntEncoding> {
+        if sample.rows.is_empty() || total_rows == 0 {
+            return vec![IntEncoding::Raw; schema.len()];
+        }
+        let pool = hpd_storage::BufferPool::unbounded(hpd_storage::DeviceProfile::ram());
+        let tracker = hpd_storage::IoTracker::new();
+        let csi = hpd_columnstore::ColumnStoreIndex::build(
+            schema.clone(),
+            hpd_columnstore::CsiKind::Secondary,
+            vec![0],
+            *config,
+            &sample.rows,
+            hpd_storage::StorageAllocator::new(),
+            &pool,
+            &tracker,
+        );
+        csi.column_encodings()
+    }
+}
+
+/// Per-encoding candidate sizes the run model predicts for one column
+/// (whole-table bytes; `usize::MAX` marks an infeasible encoding). The
+/// minimum is the size estimate; the argmin is the encoding the engine is
+/// expected to pick, with ties broken in the engine's order
+/// (RLE → bit-packed → FOR/delta → dict → raw).
+#[derive(Debug, Clone, Copy)]
+pub struct EncodingBreakdown {
+    pub rle: usize,
+    pub bitpacked: usize,
+    pub fordelta: usize,
+    pub dict: usize,
+    pub raw: usize,
+}
+
+impl EncodingBreakdown {
+    /// `(expected encoding, estimated bytes)`.
+    pub fn best(&self) -> (IntEncoding, usize) {
+        let candidates = [
+            (IntEncoding::Rle, self.rle),
+            (IntEncoding::BitPacked, self.bitpacked),
+            (IntEncoding::ForDelta, self.fordelta),
+            (IntEncoding::Dict, self.dict),
+            (IntEncoding::Raw, self.raw),
+        ];
+        let min = candidates.iter().map(|&(_, b)| b).min().unwrap();
+        let (enc, _) = candidates.iter().find(|&&(_, b)| b == min).unwrap();
+        (*enc, min)
+    }
 }
 
 /// Model runs via GEE distinct estimates of greedy-order prefixes.
@@ -173,19 +246,50 @@ impl RunModelEstimator {
         v.hash(&mut h);
         h.finish()
     }
-}
 
-impl CsiSizeEstimator for RunModelEstimator {
-    fn estimate_column_bytes(
+    /// Map a sample value onto the segment's `i64` encoding domain: numerics
+    /// via the engine's normalization (floats become order-preserving bit
+    /// patterns), strings via their rank among the sample's distinct values
+    /// (mirroring the per-segment string dictionary's dense codes).
+    fn mapped_column(sample_sorted: &[&Row], c: usize, dtype: DataType) -> Vec<i64> {
+        if dtype == DataType::Utf8 {
+            let mut distinct: Vec<&Value> = sample_sorted.iter().map(|r| &r[c]).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            sample_sorted
+                .iter()
+                .map(|r| distinct.binary_search(&&r[c]).expect("value present") as i64)
+                .collect()
+        } else {
+            sample_sorted
+                .iter()
+                .map(|r| Segment::normalize_value(&r[c]))
+                .collect()
+        }
+    }
+
+    /// Per-encoding size candidates for every column (see
+    /// [`EncodingBreakdown`]). The model mirrors the engine's selection:
+    /// runs from GEE prefix-combination estimates, value/delta bit widths
+    /// measured on the greedy-order-sorted sample, each rowgroup compressed
+    /// independently.
+    pub fn estimate_encodings(
         &self,
         schema: &Schema,
         sample: &SampleSet,
         total_rows: usize,
         config: &CsiConfig,
-    ) -> Vec<usize> {
+    ) -> Vec<EncodingBreakdown> {
         let ncols = schema.len();
+        let empty = EncodingBreakdown {
+            rle: 0,
+            bitpacked: 0,
+            fordelta: 0,
+            dict: 0,
+            raw: 0,
+        };
         if sample.rows.is_empty() || total_rows == 0 {
-            return vec![0; ncols];
+            return vec![empty; ncols];
         }
         let q = sample.fraction;
 
@@ -216,47 +320,156 @@ impl CsiSizeEstimator for RunModelEstimator {
             prefix_distinct.push(d);
         }
 
+        // The engine sorts each rowgroup by the greedy order before
+        // encoding; sort the sample the same way so value ranges and delta
+        // widths are measured in encoding order.
+        let mut sorted: Vec<&Row> = sample.rows.iter().collect();
+        sorted.sort_by(|a, b| {
+            order
+                .iter()
+                .map(|&c| a[c].cmp(&b[c]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
         // Row groups compress independently: estimate per row group, then
         // multiply by the number of row groups.
         let rg = config.rowgroup_capacity.max(1);
         let n_rowgroups = total_rows.div_ceil(rg).max(1);
         let rows_per_rg = (total_rows as f64 / n_rowgroups as f64).ceil() as usize;
 
-        let mut out = vec![0usize; ncols];
+        let bits_for = |range: u128| -> usize { (128 - range.leading_zeros()) as usize };
+        let packed_bytes = |slots: usize, bw: usize| -> usize { (slots * bw).div_ceil(8) + 8 };
+
+        let mut out = vec![empty; ncols];
         for (pos, &c) in order.iter().enumerate() {
-            let d_prefix = prefix_distinct[pos].max(1);
-            // Runs per row group bounded by both rows and distinct prefixes.
-            let runs_per_rg = d_prefix.min(rows_per_rg).max(1);
-            let rle_bytes = runs_per_rg * 12;
+            let dtype = schema.column(c).dtype;
+            let vals = Self::mapped_column(&sorted, c, dtype);
 
-            // Bit-packed alternative from the sample's value range.
-            let d_col = distinct[c].max(1);
-            let bits = (usize::BITS - (d_col - 1).leading_zeros()).max(1) as usize;
-            let packed_bytes = rows_per_rg * bits / 8 + 9;
-
-            let raw_bytes = rows_per_rg * 8;
-            let payload = rle_bytes.min(packed_bytes).min(raw_bytes);
-
-            // Dictionary overhead for strings.
-            let dict_bytes = if schema.column(c).dtype == DataType::Utf8 {
+            // Strings pay their dictionary regardless of how the code
+            // stream is encoded; add it to every candidate.
+            let string_dict = if dtype == DataType::Utf8 {
                 let avg_len = sample
                     .rows
                     .iter()
                     .filter_map(|r| r[c].as_str().map(str::len))
                     .sum::<usize>() as f64
                     / sample.rows.len().max(1) as f64;
-                // Distinct strings per row group.
-                (d_col.min(rows_per_rg) as f64 * (avg_len + 4.0)) as usize
+                (distinct[c].min(rows_per_rg) as f64 * (avg_len + 4.0)) as usize
             } else {
                 0
             };
-            out[c] = (payload + dict_bytes) * n_rowgroups;
+
+            let d_prefix = prefix_distinct[pos].max(1);
+            // Runs per row group bounded by both rows and distinct prefixes.
+            let runs_per_rg = d_prefix.min(rows_per_rg).max(1);
+            let rle = runs_per_rg * RLE_RUN_BYTES;
+
+            // Bit-packing needs the value range (not the distinct count);
+            // string codes span exactly their per-rowgroup distinct count.
+            let range = if dtype == DataType::Utf8 {
+                (distinct[c].min(rows_per_rg).max(1) - 1) as u128
+            } else {
+                let (min, max) = vals
+                    .iter()
+                    .fold((i64::MAX, i64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+                (max as i128 - min as i128) as u128
+            };
+            let vbits = bits_for(range);
+            let bitpacked = if vbits > 56 {
+                usize::MAX
+            } else {
+                packed_bytes(rows_per_rg, vbits) + 9
+            };
+
+            // FOR/delta: delta width measured over consecutive sorted-sample
+            // values. Block sampling stitches non-adjacent row ranges
+            // together, injecting up to one spurious gap per block seam;
+            // trim that many extreme deltas from each end (scaled by the
+            // unsampled fraction — a full sample has no seams).
+            let mut deltas: Vec<i128> = vals
+                .windows(2)
+                .map(|w| w[1] as i128 - w[0] as i128)
+                .collect();
+            deltas.sort_unstable();
+            let n_blocks = sample.rows.len().div_ceil(SAMPLE_BLOCK_ROWS);
+            let seams = ((n_blocks.saturating_sub(1)) as f64 * (1.0 - q)).round() as usize;
+            let (min_d, max_d) = if deltas.len() > 2 * seams {
+                (deltas[seams], deltas[deltas.len() - 1 - seams])
+            } else {
+                (0, 0)
+            };
+            let dbits = bits_for((max_d - min_d).max(0) as u128);
+            let fordelta = if dbits > 56 {
+                usize::MAX
+            } else {
+                let frames = rows_per_rg.div_ceil(FOR_DELTA_FRAME);
+                frames * 8 + packed_bytes(frames * (FOR_DELTA_FRAME - 1), dbits) + 17
+            };
+
+            // Numeric dictionary: sorted distinct values + an encoded code
+            // stream; the engine bails out above rows/4 distinct.
+            let d_rg = distinct[c].min(rows_per_rg).max(1);
+            let dict = if d_rg > (rows_per_rg / 4).max(8) {
+                usize::MAX
+            } else {
+                let code_bw = bits_for((d_rg - 1) as u128);
+                let codes = rle
+                    .min(packed_bytes(rows_per_rg, code_bw) + 9)
+                    .min(rows_per_rg * 8);
+                d_rg * 8 + codes + 16
+            };
+
+            let raw = rows_per_rg * 8;
+
+            let scale = |b: usize| -> usize {
+                if b == usize::MAX {
+                    usize::MAX
+                } else {
+                    (b + string_dict) * n_rowgroups
+                }
+            };
+            out[c] = EncodingBreakdown {
+                rle: scale(rle),
+                bitpacked: scale(bitpacked),
+                fordelta: scale(fordelta),
+                dict: scale(dict),
+                raw: scale(raw),
+            };
         }
         out
+    }
+}
+
+impl CsiSizeEstimator for RunModelEstimator {
+    fn estimate_column_bytes(
+        &self,
+        schema: &Schema,
+        sample: &SampleSet,
+        total_rows: usize,
+        config: &CsiConfig,
+    ) -> Vec<usize> {
+        self.estimate_encodings(schema, sample, total_rows, config)
+            .iter()
+            .map(|b| b.best().1)
+            .collect()
     }
 
     fn name(&self) -> &'static str {
         "run-model(GEE)"
+    }
+
+    fn estimate_column_encodings(
+        &self,
+        schema: &Schema,
+        sample: &SampleSet,
+        total_rows: usize,
+        config: &CsiConfig,
+    ) -> Vec<IntEncoding> {
+        self.estimate_encodings(schema, sample, total_rows, config)
+            .iter()
+            .map(|b| b.best().0)
+            .collect()
     }
 }
 
@@ -386,6 +599,70 @@ mod tests {
             .sum();
         let ratio = est as f64 / actual as f64;
         assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn encoding_predictions_follow_data_shape() {
+        let config = CsiConfig {
+            rowgroup_capacity: 1 << 20,
+            ..CsiConfig::default()
+        };
+        let n = 20_000i64;
+        let pick = |schema: &Schema, rows: Vec<Row>, col: usize| -> IntEncoding {
+            let sample = SampleSet::full(&rows);
+            RunModelEstimator.estimate_encodings(schema, &sample, rows.len(), &config)[col]
+                .best()
+                .0
+        };
+        // Mixing hash for value-independent pseudo-random columns.
+        let h = |i: i64, salt: i64| (i.wrapping_mul(2654435761) ^ salt).rem_euclid(1 << 20);
+
+        // Low-cardinality column: sorts into a handful of runs → RLE.
+        let schema = int_schema(1);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row::new(vec![Value::Int32((i % 4) as i32)]))
+            .collect();
+        assert_eq!(pick(&schema, rows, 0), IntEncoding::Rle);
+
+        // Unique, evenly spaced values: wide range but tiny sorted deltas →
+        // FOR/delta.
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row::new(vec![Value::Int32((i * 1000) as i32)]))
+            .collect();
+        assert_eq!(pick(&schema, rows, 0), IntEncoding::ForDelta);
+
+        // Wide-range many-distinct values behind a sort prefix: within each
+        // prefix group the deltas are as wide as the values themselves →
+        // bit-packing.
+        let schema2 = int_schema(2);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int32((i % 2000) as i32),
+                    Value::Int32(h(i, 7) as i32),
+                ])
+            })
+            .collect();
+        assert_eq!(pick(&schema2, rows, 1), IntEncoding::BitPacked);
+
+        // Few distinct but wide values whose sort prefix has more distinct
+        // combinations than rows: run-length collapses to nothing, codes
+        // stay narrow → numeric dictionary.
+        let schema3 = Schema::from_pairs(&[
+            ("a", DataType::Int32),
+            ("b", DataType::Int32),
+            ("c", DataType::Int64),
+        ]);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int32((h(i, 1) % 50) as i32),
+                    Value::Int32((h(i, 2) % 60) as i32),
+                    Value::Int64((h(i, 3) % 70) * 1_000_000_000_000),
+                ])
+            })
+            .collect();
+        assert_eq!(pick(&schema3, rows, 2), IntEncoding::Dict);
     }
 
     #[test]

@@ -186,6 +186,68 @@ fn storage_budget_limits_recommendation() {
 }
 
 #[test]
+fn storage_budget_flips_recommended_design() {
+    let db = db();
+    setup_orders(&db, 50_000);
+    let workload = Workload::read_only(vec![point_query(), scan_query()]);
+    let free = Advisor::new(&db, AdvisorOptions::default())
+        .recommend(&workload)
+        .unwrap();
+    let free_design = free.configuration.design_for("orders").unwrap();
+    assert!(
+        free_design.indexes[1..].iter().any(|d| d.is_csi()),
+        "unconstrained hybrid run should include a CSI: {:?}",
+        free_design.indexes
+    );
+    assert!(
+        free_design.indexes[1..].iter().any(|d| !d.is_csi()),
+        "unconstrained hybrid run should include a B+ tree: {:?}",
+        free_design.indexes
+    );
+    // The compressed columnstore is far smaller than the point-lookup
+    // B+ tree here. Set the budget so the CSI fits and the B+ tree does
+    // not: the knob must flip the design to columnstore-only.
+    let csi_bytes: usize = free.csi_encoding_details.iter().map(|d| d.est_bytes).sum();
+    let btree_bytes = free.new_index_bytes - csi_bytes;
+    assert!(csi_bytes > 0 && btree_bytes > 2 * csi_bytes);
+    let tight = Advisor::new(
+        &db,
+        AdvisorOptions {
+            storage_budget_bytes: Some(csi_bytes + btree_bytes / 2),
+            ..Default::default()
+        },
+    )
+    .recommend(&workload)
+    .unwrap();
+    let tight_design = tight.configuration.design_for("orders").unwrap();
+    assert!(
+        tight_design.indexes[1..].iter().any(|d| d.is_csi()),
+        "the CSI still fits the budget: {:?}",
+        tight_design.indexes
+    );
+    assert!(
+        tight_design.indexes[1..].iter().all(|d| d.is_csi()),
+        "the B+ tree must be squeezed out by the budget: {:?}",
+        tight_design.indexes
+    );
+    assert!(tight.new_index_bytes <= csi_bytes + btree_bytes / 2);
+    assert!(tight.est_cost_after_us >= free.est_cost_after_us * 0.999);
+
+    // The report spells out the predicted per-column encodings and their
+    // scan CPU factors for the recommended columnstore.
+    let report = free.report(&db);
+    assert!(report.contains("scan cpu x"), "report:\n{report}");
+    assert!(
+        !free.csi_encoding_details.is_empty()
+            && free
+                .csi_encoding_details
+                .iter()
+                .all(|d| report.contains(&d.column)),
+        "report:\n{report}"
+    );
+}
+
+#[test]
 fn update_heavy_workload_avoids_columnstore() {
     let db = db();
     setup_orders(&db, 30_000);

@@ -246,6 +246,12 @@ impl Database {
             grant_wait_us,
             granted_bytes,
             dop: result.metrics.dop as u64,
+            pushdown_rows: result
+                .analyze
+                .as_ref()
+                .and_then(|a| a.agg_pushdown)
+                .map(|a| a.rows_folded + a.delta_rows)
+                .unwrap_or(0),
             wal_flush_us: 0,
             wal_records: 0,
             trace: None,

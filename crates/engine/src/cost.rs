@@ -8,7 +8,25 @@
 //! describes (vectorized execution is roughly an order of magnitude cheaper
 //! per row).
 
+use hpd_columnstore::IntEncoding;
 use hpd_storage::{DeviceProfile, PAGE_SIZE};
+
+/// Relative CPU cost of kernel evaluation + late materialization on a
+/// segment with the given physical encoding, normalized to bit-packed
+/// (= 1.0). RLE folds whole runs so it is far cheaper per row; the numeric
+/// dictionary compares small codes after a one-time interval translation;
+/// raw skips decode arithmetic but touches 8 B per value; FOR/delta must
+/// prefix-sum deltas within each frame before values exist, making it the
+/// most CPU-hungry to materialize.
+pub fn encoding_cpu_factor(e: IntEncoding) -> f64 {
+    match e {
+        IntEncoding::Rle => 0.35,
+        IntEncoding::Dict => 0.85,
+        IntEncoding::Raw => 0.9,
+        IntEncoding::BitPacked => 1.0,
+        IntEncoding::ForDelta => 1.5,
+    }
+}
 
 /// Tunable constants of the cost model.
 #[derive(Debug, Clone, Copy)]

@@ -8,8 +8,11 @@
 //! §4.2 extension of the what-if API ("the optimizer needs the per-column
 //! sizes for columnstore indexes").
 
+use hpd_columnstore::IntEncoding;
 use hpd_common::{HpdError, Result, Schema};
 use hpd_storage::PAGE_SIZE;
+
+use crate::cost::encoding_cpu_factor;
 
 /// Identifies an index within its table: the primary index is 0, secondary
 /// indexes follow in declaration order.
@@ -153,6 +156,12 @@ pub struct IndexMeta {
     /// Per-table-column compressed bytes (columnstores only): pairs of
     /// `(table column ordinal, bytes)`.
     pub column_bytes: Vec<(usize, usize)>,
+    /// Per-table-column dominant physical encoding (columnstores only):
+    /// pairs of `(table column ordinal, encoding)`. Materialized metas
+    /// report the built segments' choice; hypothetical metas carry the
+    /// estimator's prediction. May be empty (unknown), in which case the
+    /// cost model assumes bit-packing.
+    pub column_encodings: Vec<(usize, IntEncoding)>,
     /// Number of compressed row groups (columnstores only).
     pub rowgroups: usize,
     /// Rows currently in the delta store (columnstores only).
@@ -170,6 +179,26 @@ impl IndexMeta {
         } else {
             self.leaf_pages * PAGE_SIZE
         }
+    }
+
+    /// Mean per-encoding CPU factor across `columns` (see
+    /// [`encoding_cpu_factor`]): what one unit of kernel/materialization
+    /// CPU costs on this index relative to bit-packed segments. Columns
+    /// with no recorded encoding count as bit-packed (factor 1.0).
+    pub fn csi_cpu_factor(&self, columns: &[usize]) -> f64 {
+        if columns.is_empty() {
+            return 1.0;
+        }
+        let total: f64 = columns
+            .iter()
+            .map(|c| {
+                self.column_encodings
+                    .iter()
+                    .find(|(ec, _)| ec == c)
+                    .map_or(1.0, |&(_, e)| encoding_cpu_factor(e))
+            })
+            .sum();
+        total / columns.len() as f64
     }
 
     /// Bytes a columnstore scan of `columns` must read.
@@ -276,6 +305,7 @@ mod tests {
             leaf_pages: 4,
             height: 2,
             column_bytes: vec![],
+            column_encodings: vec![],
             rowgroups: 0,
             delta_rows: 0,
             delete_buffer_rows: 0,
@@ -302,6 +332,11 @@ mod tests {
             leaf_pages: 0,
             height: 0,
             column_bytes: vec![(0, 1000), (1, 2000), (2, 4000)],
+            column_encodings: vec![
+                (0, IntEncoding::Rle),
+                (1, IntEncoding::ForDelta),
+                (2, IntEncoding::BitPacked),
+            ],
             rowgroups: 1,
             delta_rows: 0,
             delete_buffer_rows: 0,
@@ -309,6 +344,15 @@ mod tests {
         };
         assert_eq!(meta.csi_scan_bytes(&[0, 2]), 5000);
         assert_eq!(meta.size_bytes(), 7000);
+        // Per-encoding CPU factors average over the scanned columns: RLE is
+        // cheaper than bit-packed, FOR/delta dearer; unknown columns count
+        // as bit-packed.
+        assert!(meta.csi_cpu_factor(&[0]) < 1.0);
+        assert!(meta.csi_cpu_factor(&[1]) > 1.0);
+        assert_eq!(meta.csi_cpu_factor(&[2]), 1.0);
+        assert_eq!(meta.csi_cpu_factor(&[3]), 1.0);
+        let mixed = meta.csi_cpu_factor(&[0, 1]);
+        assert!(mixed > meta.csi_cpu_factor(&[0]) && mixed < meta.csi_cpu_factor(&[1]));
     }
 
     #[test]

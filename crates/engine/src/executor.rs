@@ -10,9 +10,9 @@ use hpd_common::{Batch, DataType, HpdError, Interval, Key, Result, Row, Value};
 use hpd_exec::ops::sort::SortKey;
 use hpd_exec::ops::PlanNode as ExecNode;
 use hpd_exec::{
-    collect_rows, AggSpec, BTreeRangeScanOp, CsiScanOp, ExecCtx, FilterOp, HashAggOp, HashJoinOp,
-    IndexLookupJoinOp, LimitOp, MemoryGrant, MergeJoinOp, Mode, Operator, ParallelOp, ProfiledOp,
-    ProjectOp, SortOp, StreamAggOp, WorkerPool,
+    collect_rows, AggSpec, BTreeRangeScanOp, CsiAggOp, CsiScanOp, ExecCtx, FilterOp, HashAggOp,
+    HashJoinOp, IndexLookupJoinOp, LimitOp, MemoryGrant, MergeJoinOp, Mode, Operator, ParallelOp,
+    ProfiledOp, ProjectOp, SortOp, StreamAggOp, WorkerPool,
 };
 use hpd_storage::BufferPool;
 
@@ -62,6 +62,7 @@ fn kind_label(node: &PlanNode) -> &'static str {
         PlanNodeKind::BTreeSeek { .. } => "BTreeSeek",
         PlanNodeKind::BTreeScan { .. } => "BTreeScan",
         PlanNodeKind::CsiScan { .. } => "CsiScan",
+        PlanNodeKind::CsiAgg { .. } => "CsiAgg",
         PlanNodeKind::PkLookup { .. } => "PkLookup",
         PlanNodeKind::Filter { .. } => "Filter",
         PlanNodeKind::Project { .. } => "Project",
@@ -206,6 +207,10 @@ impl<'a> QueryRunner<'a> {
                     let pruning = crate::profile::ScanPruning::from_snapshot(&delta);
                     if !pruning.is_empty() {
                         report.pruning = Some(pruning);
+                    }
+                    let agg = crate::profile::AggPushdown::from_snapshot(&delta);
+                    if !agg.is_empty() {
+                        report.agg_pushdown = Some(agg);
                     }
                 }
                 Box::new(report)
@@ -580,6 +585,79 @@ impl<'a> QueryRunner<'a> {
             PlanNodeKind::BTreeScan { .. }
             | PlanNodeKind::BTreeSeek { .. }
             | PlanNodeKind::CsiScan { .. } => self.lower_scan(node, true),
+            PlanNodeKind::CsiAgg {
+                table,
+                index,
+                intervals,
+                aggs,
+            } => {
+                // A snapshot overlay invalidates the encoded fold (hidden
+                // and re-added rows change the answer): fall back to a
+                // covering CsiScan — which applies the correction — under a
+                // global hash aggregate.
+                if self.overlays.get(table).is_some_and(|o| !o.is_empty()) {
+                    let mut cols: Vec<usize> = aggs.iter().map(|a| a.input).collect();
+                    cols.sort_unstable();
+                    cols.dedup();
+                    let t = self.table(*table)?;
+                    let scan = PlanNode {
+                        kind: PlanNodeKind::CsiScan {
+                            table: *table,
+                            index: *index,
+                            intervals: intervals.clone(),
+                            dop: 1,
+                        },
+                        out_cols: cols
+                            .iter()
+                            .map(|&c| crate::plan::PlanCol::Base(*table, c))
+                            .collect(),
+                        out_types: cols
+                            .iter()
+                            .map(|&c| t.schema().columns()[c].dtype)
+                            .collect(),
+                        est_rows: node.est_rows,
+                        est_cpu_us: 0.0,
+                        est_io_us: 0.0,
+                        est_io_div_us: 0.0,
+                    };
+                    let c = self.lower_scan(&scan, true)?;
+                    let specs = aggs
+                        .iter()
+                        .map(|a| {
+                            let pos = cols
+                                .iter()
+                                .position(|&c| c == a.input)
+                                .expect("cols was built from aggs");
+                            AggSpec::new(a.func, pos)
+                        })
+                        .collect();
+                    return Ok(Box::new(HashAggOp::new(c, Vec::new(), specs)));
+                }
+                let (csi, stored) = self.resolve_csi(*table, *index)?;
+                let to_csi = |c: usize| -> Result<usize> {
+                    stored
+                        .iter()
+                        .position(|&s| s == c)
+                        .ok_or_else(|| HpdError::Internal(format!("column {c} not in CSI")))
+                };
+                // No residual filter exists above this node, so every
+                // interval must translate — dropping one would change the
+                // answer.
+                let csi_intervals: HashMap<usize, Interval> = intervals
+                    .iter()
+                    .map(|(&c, iv)| Ok((to_csi(c)?, iv.clone())))
+                    .collect::<Result<_>>()?;
+                let pushed = aggs
+                    .iter()
+                    .map(|a| {
+                        Ok(hpd_columnstore::PushdownAgg {
+                            func: a.func,
+                            col: to_csi(a.input)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Box::new(CsiAggOp::new(csi, pushed, csi_intervals)))
+            }
             PlanNodeKind::Filter {
                 child,
                 predicate,

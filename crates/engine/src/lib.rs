@@ -30,7 +30,7 @@ pub use hpd_columnstore::CsiConfig;
 pub use hpd_wal::{WalConfig, WalDurable, WalSummary};
 pub use optimizer::{Optimizer, TableContext};
 pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
-pub use profile::{AnalyzeReport, GrantSummary, NodeProfile, ScanPruning, Timeline};
+pub use profile::{AggPushdown, AnalyzeReport, GrantSummary, NodeProfile, ScanPruning, Timeline};
 pub use query::{
     AggItem, ColRef, DeleteStmt, EquiJoin, InsertStmt, SelectQuery, Statement, TableInput,
     UpdateStmt,

@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::ops::Bound;
 
-use hpd_common::{DataType, Expr, HpdError, Interval, Key, Result, Schema, Value};
+use hpd_common::{AggFunc, DataType, Expr, HpdError, Interval, Key, Result, Schema, Value};
 
 use crate::cost::CostModel;
 use crate::design::{IndexDescriptor, IndexId, IndexMeta};
@@ -313,11 +313,14 @@ impl Optimizer {
         let selected = rows * row_sel;
         // Kernel pass over every non-eliminated row, then late
         // materialization of only the surviving rows, plus a fixed setup
-        // cost per surviving row group (bitmaps, vectors, dispatch).
+        // cost per surviving row group (bitmaps, vectors, dispatch). Both
+        // per-row terms scale with the segments' physical encodings: RLE
+        // folds runs, FOR/delta pays a prefix sum to decompress.
         let rg_scanned = (meta.rowgroups as f64 * fraction).ceil();
+        let enc_factor = meta.csi_cpu_factor(needed);
         let mut cpu = rg_scanned * self.cost.cpu_batch_setup_us
-            + scanned * self.cost.cpu_kernel_us
-            + selected * self.cost.cpu_batch_us * (1.0 + 0.3 * (ncols - 1.0));
+            + scanned * self.cost.cpu_kernel_us * enc_factor
+            + selected * self.cost.cpu_batch_us * enc_factor * (1.0 + 0.3 * (ncols - 1.0));
         // Delta store rows are row-mode.
         cpu += meta.delta_rows as f64 * self.cost.cpu_row_us;
         // Delete-buffer anti-join: probe per surviving row + buffer scan.
@@ -521,6 +524,74 @@ impl Optimizer {
 
     /// Aggregate: project inputs, then stream (if sorted on the group
     /// prefix) or hash.
+    /// Lower a global (no GROUP BY) aggregate whose every input is a bare
+    /// column of a covered columnstore scan onto the encoded fold
+    /// ([`PlanNodeKind::CsiAgg`]): SUM/COUNT/MIN/MAX/AVG are computed on
+    /// the compressed segments and survivors are never materialized.
+    /// Returns `None` when the shape doesn't allow it — grouped or
+    /// multi-table aggregates, computed aggregate inputs, a residual
+    /// filter on top of the scan (the predicate isn't fully covered by
+    /// intervals), or SUM/AVG over a string column (the row path reports
+    /// the proper query error for those).
+    fn try_csi_agg(
+        &self,
+        node: &PlanNode,
+        query: &SelectQuery,
+        tables: &[TableContext],
+    ) -> Option<PlanNode> {
+        if !query.group_by.is_empty() || query.aggregates.is_empty() {
+            return None;
+        }
+        let PlanNodeKind::CsiScan {
+            table,
+            index,
+            intervals,
+            ..
+        } = &node.kind
+        else {
+            return None;
+        };
+        let ctx = tables.get(*table)?;
+        let mut aggs = Vec::with_capacity(query.aggregates.len());
+        let mut out_types = Vec::with_capacity(query.aggregates.len());
+        for a in &query.aggregates {
+            let Expr::Col(c) = a.expr else {
+                return None;
+            };
+            if a.table != *table {
+                return None;
+            }
+            let dtype = ctx.schema.column(c).dtype;
+            if matches!(a.func, AggFunc::Sum | AggFunc::Avg) && dtype == DataType::Utf8 {
+                return None;
+            }
+            aggs.push(PlanAgg {
+                func: a.func,
+                input: c,
+            });
+            out_types.push(agg_result_type(a.func, dtype));
+        }
+        // The fold touches the same segments the scan would (same I/O) but
+        // skips late materialization of survivors — only the kernel pass,
+        // per-rowgroup setup, and the row-mode delta fold remain, roughly
+        // the scan's CPU minus its per-surviving-row share.
+        let out_cols = vec![PlanCol::Computed; aggs.len()];
+        Some(PlanNode {
+            kind: PlanNodeKind::CsiAgg {
+                table: *table,
+                index: *index,
+                intervals: intervals.clone(),
+                aggs,
+            },
+            out_cols,
+            out_types,
+            est_rows: 1.0,
+            est_cpu_us: node.est_cpu_us * 0.4,
+            est_io_us: node.est_io_us,
+            est_io_div_us: node.est_io_div_us,
+        })
+    }
+
     fn build_aggregate(
         &self,
         node: PlanNode,
@@ -528,6 +599,9 @@ impl Optimizer {
         tables: &[TableContext],
         input_order: &[(usize, usize)],
     ) -> Result<PlanNode> {
+        if let Some(pushed) = self.try_csi_agg(&node, query, tables) {
+            return Ok(pushed);
+        }
         let mode = node_mode(&node);
         // Project [group cols ..., agg input exprs ...].
         let mut exprs = Vec::new();
@@ -1145,7 +1219,7 @@ fn bind_expr(expr: &Expr, table: usize, node: &PlanNode) -> Result<Expr> {
 /// Execution mode implied by the access path under this node.
 fn node_mode(node: &PlanNode) -> PlanMode {
     match &node.kind {
-        PlanNodeKind::CsiScan { .. } => PlanMode::Batch,
+        PlanNodeKind::CsiScan { .. } | PlanNodeKind::CsiAgg { .. } => PlanMode::Batch,
         PlanNodeKind::Filter { mode, .. } | PlanNodeKind::Project { mode, .. } => *mode,
         PlanNodeKind::PkLookup { .. }
         | PlanNodeKind::BTreeSeek { .. }
@@ -1217,7 +1291,7 @@ fn record_plan_choice(root: &PlanNode) {
     fn walk(node: &PlanNode, btree: &mut u64, csi: &mut u64) {
         match &node.kind {
             PlanNodeKind::BTreeSeek { .. } | PlanNodeKind::BTreeScan { .. } => *btree += 1,
-            PlanNodeKind::CsiScan { .. } => *csi += 1,
+            PlanNodeKind::CsiScan { .. } | PlanNodeKind::CsiAgg { .. } => *csi += 1,
             _ => {}
         }
         for c in children(node) {
@@ -1263,7 +1337,8 @@ fn children(node: &PlanNode) -> Vec<&PlanNode> {
     match &node.kind {
         PlanNodeKind::BTreeSeek { .. }
         | PlanNodeKind::BTreeScan { .. }
-        | PlanNodeKind::CsiScan { .. } => vec![],
+        | PlanNodeKind::CsiScan { .. }
+        | PlanNodeKind::CsiAgg { .. } => vec![],
         PlanNodeKind::PkLookup { child, .. }
         | PlanNodeKind::Filter { child, .. }
         | PlanNodeKind::Project { child, .. }
@@ -1283,6 +1358,7 @@ fn set_scan_dop(mut node: PlanNode, dop: usize) -> PlanNode {
         PlanNodeKind::BTreeSeek { dop: d, .. }
         | PlanNodeKind::BTreeScan { dop: d, .. }
         | PlanNodeKind::CsiScan { dop: d, .. } => *d = dop,
+        PlanNodeKind::CsiAgg { .. } => {}
         PlanNodeKind::PkLookup { child, .. }
         | PlanNodeKind::Filter { child, .. }
         | PlanNodeKind::Project { child, .. }

@@ -70,13 +70,23 @@ pub enum PlanNodeKind {
         index: IndexId,
         dop: usize,
     },
-    /// Columnstore scan with segment-elimination intervals (keyed by *index
-    /// schema* ordinals).
+    /// Columnstore scan with segment-elimination intervals (keyed by table
+    /// column ordinals; the executor translates to index-schema ordinals).
     CsiScan {
         table: usize,
         index: IndexId,
         intervals: HashMap<usize, Interval>,
         dop: usize,
+    },
+    /// Covered global aggregate folded directly on a columnstore index's
+    /// encoded segments — a *leaf*: rows are never materialized. Like
+    /// `CsiScan`, `intervals` and `aggs` inputs are table column ordinals;
+    /// the executor translates them to the index's stored schema.
+    CsiAgg {
+        table: usize,
+        index: IndexId,
+        intervals: HashMap<usize, Interval>,
+        aggs: Vec<PlanAgg>,
     },
     /// Fetch full rows from the primary B+ tree using the primary-key
     /// locator carried in the child's output.
@@ -166,7 +176,9 @@ impl PlanNode {
             PlanNodeKind::BTreeSeek { .. } | PlanNodeKind::BTreeScan { .. } => {
                 out.push(LeafKind::BTree)
             }
-            PlanNodeKind::CsiScan { .. } => out.push(LeafKind::Columnstore),
+            PlanNodeKind::CsiScan { .. } | PlanNodeKind::CsiAgg { .. } => {
+                out.push(LeafKind::Columnstore)
+            }
             PlanNodeKind::PkLookup { child, .. } => {
                 child.collect_leaves(out);
                 out.push(LeafKind::BTree); // the primary tree it probes
@@ -196,7 +208,8 @@ impl PlanNode {
         match &self.kind {
             PlanNodeKind::BTreeSeek { table, index, .. }
             | PlanNodeKind::BTreeScan { table, index, .. }
-            | PlanNodeKind::CsiScan { table, index, .. } => out.push((*table, *index)),
+            | PlanNodeKind::CsiScan { table, index, .. }
+            | PlanNodeKind::CsiAgg { table, index, .. } => out.push((*table, *index)),
             PlanNodeKind::PkLookup { child, table, .. } => {
                 child.collect_index_refs(out);
                 out.push((*table, IndexId::PRIMARY));
@@ -230,6 +243,8 @@ impl PlanNode {
             PlanNodeKind::BTreeSeek { dop, .. }
             | PlanNodeKind::BTreeScan { dop, .. }
             | PlanNodeKind::CsiScan { dop, .. } => *dop,
+            // The encoded fold is a single cheap pass; it never fans out.
+            PlanNodeKind::CsiAgg { .. } => 1,
             PlanNodeKind::PkLookup { child, .. }
             | PlanNodeKind::Filter { child, .. }
             | PlanNodeKind::Project { child, .. }
@@ -280,7 +295,8 @@ impl PlanNode {
         match &self.kind {
             PlanNodeKind::BTreeSeek { .. }
             | PlanNodeKind::BTreeScan { .. }
-            | PlanNodeKind::CsiScan { .. } => Vec::new(),
+            | PlanNodeKind::CsiScan { .. }
+            | PlanNodeKind::CsiAgg { .. } => Vec::new(),
             PlanNodeKind::PkLookup { child, .. }
             | PlanNodeKind::Filter { child, .. }
             | PlanNodeKind::Project { child, .. }
@@ -320,6 +336,18 @@ impl PlanNode {
                 tname(table),
                 index.0,
                 intervals.len()
+            ),
+            PlanNodeKind::CsiAgg {
+                table,
+                index,
+                intervals,
+                aggs,
+            } => format!(
+                "CsiAgg {} idx#{} [{} elim cols] aggs={}",
+                tname(table),
+                index.0,
+                intervals.len(),
+                aggs.len()
             ),
             PlanNodeKind::PkLookup { table, .. } => format!("PkLookup {}", tname(table)),
             PlanNodeKind::Filter { mode, .. } => format!("Filter ({mode:?} mode)"),

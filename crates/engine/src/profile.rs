@@ -78,6 +78,7 @@ impl ProfileMap {
             nodes,
             est_cost_us: plan.est_cost_us,
             pruning: None,
+            agg_pushdown: None,
             grant: None,
             wal: None,
             timeline: None,
@@ -129,6 +130,41 @@ impl ScanPruning {
         self.rows_pruned_total() == 0
             && self.rows_selected == 0
             && self.cache_hits + self.cache_misses == 0
+    }
+}
+
+/// Aggregate-pushdown work for one statement, taken from the
+/// `columnstore.agg.*` counter deltas around execution. Present in the
+/// report whenever the statement folded at least one aggregate inside the
+/// columnstore (i.e. a `CsiAgg` leaf actually ran).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggPushdown {
+    /// Rowgroups folded entirely on the encoded domain (run/frame/dict
+    /// arithmetic — no row materialization).
+    pub pushdown_rowgroups: u64,
+    /// Rowgroups whose selection needed the typed-value fallback before
+    /// folding (still no row materialization, but per-row predicate work).
+    pub fallback_rowgroups: u64,
+    /// Compressed rows folded into aggregate accumulators.
+    pub rows_folded: u64,
+    /// Delta-store rows folded row-at-a-time on top of the encoded result.
+    pub delta_rows: u64,
+}
+
+impl AggPushdown {
+    /// Build from a counter-delta snapshot (see `hpd_obs::Snapshot::delta`).
+    pub fn from_snapshot(d: &hpd_obs::Snapshot) -> AggPushdown {
+        AggPushdown {
+            pushdown_rowgroups: d.counter("columnstore.agg.pushdown_rowgroups"),
+            fallback_rowgroups: d.counter("columnstore.agg.fallback_rowgroups"),
+            rows_folded: d.counter("columnstore.agg.rows_folded"),
+            delta_rows: d.counter("columnstore.agg.delta_rows"),
+        }
+    }
+
+    /// True when no encoded aggregate fold ran.
+    pub fn is_empty(&self) -> bool {
+        self.pushdown_rowgroups + self.fallback_rowgroups + self.delta_rows == 0
     }
 }
 
@@ -200,6 +236,9 @@ pub struct AnalyzeReport {
     /// Columnstore pushdown counters for this statement (None when the
     /// process-wide registry could not attribute any scan work to it).
     pub pruning: Option<ScanPruning>,
+    /// Aggregate-pushdown counters for this statement (None when no
+    /// encoded aggregate fold ran).
+    pub agg_pushdown: Option<AggPushdown>,
     /// Memory-grant admission outcome (None when the statement ran outside
     /// the broker, e.g. non-SELECT statements).
     pub grant: Option<GrantSummary>,
@@ -269,6 +308,14 @@ impl AnalyzeReport {
                     p.cache_hits, p.cache_misses, p.cache_evictions
                 );
             }
+            out.push('\n');
+        }
+        if let Some(a) = &self.agg_pushdown {
+            let _ = write!(
+                out,
+                "pushdown: rowgroups={} fallback={} rows_folded={} delta_rows={}",
+                a.pushdown_rowgroups, a.fallback_rowgroups, a.rows_folded, a.delta_rows
+            );
             out.push('\n');
         }
         if let Some(g) = &self.grant {

@@ -54,6 +54,10 @@ pub struct StoredStatement {
     pub granted_bytes: u64,
     /// Degree of parallelism the plan executed with.
     pub dop: u64,
+    /// Rows folded inside the columnstore by aggregate pushdown (encoded
+    /// rowgroup rows + delta rows; 0 when no encoded fold ran or the
+    /// statement was not profiled).
+    pub pushdown_rows: u64,
     /// Commit-path WAL flush wall time (backfilled post-commit; 0 for
     /// read-only statements or when the WAL is disabled).
     pub wal_flush_us: u64,
@@ -73,7 +77,7 @@ impl StoredStatement {
              \"elapsed_us\":{:.1},\"cpu_us\":{:.1},\"bytes_read\":{},\
              \"memory_peak_bytes\":{},\"spilled_bytes\":{},\"estimate_error\":{:.3},\
              \"grant_wait_us\":{},\"granted_bytes\":{},\"dop\":{},\
-             \"wal_flush_us\":{},\"wal_records\":{}",
+             \"pushdown_rows\":{},\"wal_flush_us\":{},\"wal_records\":{}",
             self.seq,
             json_string(self.kind),
             self.plan_fingerprint,
@@ -90,6 +94,7 @@ impl StoredStatement {
             self.grant_wait_us,
             self.granted_bytes,
             self.dop,
+            self.pushdown_rows,
             self.wal_flush_us,
             self.wal_records,
         );
@@ -209,6 +214,7 @@ mod tests {
             grant_wait_us: 0,
             granted_bytes: 0,
             dop: 1,
+            pushdown_rows: 0,
             wal_flush_us: 0,
             wal_records: 0,
             trace: None,

@@ -444,6 +444,7 @@ impl Table {
                     leaf_pages: s.leaf_pages,
                     height: s.height,
                     column_bytes: vec![],
+                    column_encodings: vec![],
                     rowgroups: 0,
                     delta_rows: 0,
                     delete_buffer_rows: 0,
@@ -457,6 +458,7 @@ impl Table {
                     leaf_pages: 0,
                     height: 0,
                     column_bytes: c.column_sizes().into_iter().enumerate().collect(),
+                    column_encodings: c.column_encodings().into_iter().enumerate().collect(),
                     rowgroups: c.num_rowgroups(),
                     delta_rows: c.delta_rows(),
                     delete_buffer_rows: 0,
@@ -475,6 +477,7 @@ impl Table {
                 leaf_pages: st.leaf_pages,
                 height: st.height,
                 column_bytes: vec![],
+                column_encodings: vec![],
                 rowgroups: 0,
                 delta_rows: 0,
                 delete_buffer_rows: 0,
@@ -491,6 +494,12 @@ impl Table {
                 leaf_pages: 0,
                 height: 0,
                 column_bytes: self.csi_columns.iter().copied().zip(sizes).collect(),
+                column_encodings: self
+                    .csi_columns
+                    .iter()
+                    .copied()
+                    .zip(c.column_encodings())
+                    .collect(),
                 rowgroups: c.num_rowgroups(),
                 delta_rows: c.delta_rows(),
                 delete_buffer_rows: c.delete_buffer_len(),

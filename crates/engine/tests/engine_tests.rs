@@ -425,6 +425,7 @@ fn what_if_hypothetical_index_changes_plan() {
         leaf_pages: 200,
         height: 3,
         column_bytes: vec![],
+        column_encodings: vec![],
         rowgroups: 0,
         delta_rows: 0,
         delete_buffer_rows: 0,
@@ -438,6 +439,135 @@ fn what_if_hypothetical_index_changes_plan() {
         what_if.explain()
     );
     assert!(what_if.est_cost_us < base_plan.est_cost_us);
+}
+
+#[test]
+fn global_aggregates_push_into_csi() {
+    let db = small_rowgroup_db();
+    setup_table(&db, IndexDescriptor::PrimaryCsi, 5000);
+    // Engage the delete bitmap and the delta store so the encoded fold has
+    // to combine all three sources (compressed rowgroups, deletes, delta).
+    db.query(&Statement::Delete(DeleteStmt {
+        table: "t".into(),
+        predicate: Expr::col_cmp(0, CmpOp::Lt, Value::Int32(100)),
+        top: None,
+    }))
+    .run()
+    .unwrap();
+    db.query(&Statement::Update(UpdateStmt {
+        table: "t".into(),
+        predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(4999)),
+        top: None,
+        set: vec![(2, Expr::lit(Value::Int32(5555)))],
+    }))
+    .run()
+    .unwrap();
+
+    // Mirror of the table after the DML above.
+    let live: Vec<(i64, i64)> = (100..5000i64)
+        .map(|i| (i, if i == 4999 { 5555 } else { i * 3 % 1000 }))
+        .collect();
+
+    let q = SelectQuery {
+        tables: vec![TableInput::with_predicate(
+            "t",
+            Expr::col_cmp(0, CmpOp::Lt, Value::Int32(4000)),
+        )],
+        aggregates: vec![
+            AggItem::column(AggFunc::Count, ColRef::new(0, 0)),
+            AggItem::column(AggFunc::Sum, ColRef::new(0, 2)),
+            AggItem::column(AggFunc::Min, ColRef::new(0, 2)),
+            AggItem::column(AggFunc::Max, ColRef::new(0, 2)),
+            AggItem::column(AggFunc::Avg, ColRef::new(0, 2)),
+        ],
+        ..Default::default()
+    };
+    let plan = db.plan(&q).unwrap();
+    assert!(
+        plan.explain().contains("CsiAgg"),
+        "covered global aggregate should push into the CSI:\n{}",
+        plan.explain()
+    );
+    let r = db.query(&Statement::Select(q)).run().unwrap();
+    let sel: Vec<i64> = live
+        .iter()
+        .filter(|(id, _)| *id < 4000)
+        .map(|&(_, v)| v)
+        .collect();
+    let sum: i64 = sel.iter().sum();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int64(sel.len() as i64));
+    assert_eq!(r.rows[0][1], Value::Int64(sum));
+    assert_eq!(
+        r.rows[0][2],
+        Value::Int32(*sel.iter().min().unwrap() as i32)
+    );
+    assert_eq!(
+        r.rows[0][3],
+        Value::Int32(*sel.iter().max().unwrap() as i32)
+    );
+    assert_eq!(r.rows[0][4], Value::Float64(sum as f64 / sel.len() as f64));
+
+    // An uncovered (non-sargable) predicate must keep the row fold.
+    let residual = SelectQuery {
+        tables: vec![TableInput::with_predicate(
+            "t",
+            Expr::col_cmp(1, CmpOp::Ne, Value::Int32(3)),
+        )],
+        aggregates: vec![AggItem::column(AggFunc::Sum, ColRef::new(0, 2))],
+        ..Default::default()
+    };
+    let plan2 = db.plan(&residual).unwrap();
+    assert!(!plan2.explain().contains("CsiAgg"), "{}", plan2.explain());
+    let r2 = db.query(&Statement::Select(residual)).run().unwrap();
+    let expect2: i64 = live
+        .iter()
+        .filter(|(id, _)| id % 20 != 3)
+        .map(|&(_, v)| v)
+        .sum();
+    assert_eq!(r2.scalar(), Some(&Value::Int64(expect2)));
+}
+
+#[test]
+fn snapshot_overlay_disables_encoded_agg_fold() {
+    // A snapshot overlay (hidden current versions + re-added old versions)
+    // cannot be applied inside the encoded fold; the executor must fall
+    // back to scan-then-aggregate and still return the snapshot's totals.
+    let db = Arc::new(small_rowgroup_db());
+    setup_table(&db, IndexDescriptor::PrimaryCsi, 1000);
+    let old_sum: i64 = (0..1000i64).map(|i| i * 3 % 1000).sum();
+
+    let si = db.session(IsolationLevel::Snapshot);
+    let mut reader = si.begin();
+    let q = SelectQuery {
+        tables: vec![TableInput::new("t")],
+        aggregates: vec![
+            AggItem::column(AggFunc::Sum, ColRef::new(0, 2)),
+            AggItem::column(AggFunc::Count, ColRef::new(0, 0)),
+        ],
+        ..Default::default()
+    };
+    assert_eq!(reader.select(&q).unwrap().rows[0][0], Value::Int64(old_sum));
+
+    db.session(IsolationLevel::ReadCommitted)
+        .run(&Statement::Update(UpdateStmt {
+            table: "t".into(),
+            predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(7)),
+            top: None,
+            set: vec![(2, Expr::lit(Value::Int32(100_000)))],
+        }))
+        .unwrap();
+
+    // Current state changed; the snapshot total must not.
+    let rc = db
+        .session(IsolationLevel::ReadCommitted)
+        .run(&Statement::Select(q.clone()))
+        .unwrap();
+    assert_eq!(rc.rows[0][0], Value::Int64(old_sum - 21 + 100_000));
+    let snap = reader.select(&q).unwrap();
+    assert_eq!(snap.rows[0][0], Value::Int64(old_sum));
+    assert_eq!(snap.rows[0][1], Value::Int64(1000));
+    reader.abort();
 }
 
 #[test]

@@ -2,8 +2,10 @@
 //! visibility under small grants, the query store ring, and optimizer
 //! plan-choice counters.
 
-use hpd_common::{CmpOp, DataType, Expr, Row, Schema, Value};
-use hpd_engine::{Database, DbConfig, IndexDescriptor, SelectQuery, Statement};
+use hpd_common::{AggFunc, CmpOp, DataType, Expr, Row, Schema, Value};
+use hpd_engine::{
+    AggItem, ColRef, Database, DbConfig, IndexDescriptor, SelectQuery, Statement, TableInput,
+};
 
 /// `t(id, grp, val)`: id unique 0..n, grp = id % 20, val = id * 3 % 1000.
 fn setup_table(db: &Database, primary: IndexDescriptor, n: i32) {
@@ -107,6 +109,45 @@ fn explain_analyze_reports_rows_pruned_by_pushdown() {
     let rendered = report.render();
     assert!(rendered.contains("pruning:"), "{rendered}");
     assert!(rendered.contains("selected="), "{rendered}");
+}
+
+#[test]
+fn explain_analyze_reports_agg_pushdown_trailer() {
+    let mut cfg = DbConfig::default();
+    cfg.csi.rowgroup_capacity = 512;
+    let db = Database::new(cfg);
+    setup_table(&db, IndexDescriptor::PrimaryCsi, 4000);
+    let q = SelectQuery {
+        tables: vec![TableInput::with_predicate(
+            "t",
+            Expr::col_cmp(0, CmpOp::Lt, Value::Int32(2000)),
+        )],
+        aggregates: vec![
+            AggItem::column(AggFunc::Count, ColRef::new(0, 0)),
+            AggItem::column(AggFunc::Sum, ColRef::new(0, 2)),
+        ],
+        ..Default::default()
+    };
+    let r = db.query(&Statement::Select(q)).analyze().run().unwrap();
+    let expected: i64 = (0..2000i64).map(|i| i * 3 % 1000).sum();
+    assert_eq!(r.rows[0][0], Value::Int64(2000));
+    assert_eq!(r.rows[0][1], Value::Int64(expected));
+    let report = r.analyze.as_ref().unwrap();
+    assert!(
+        report.nodes.iter().any(|n| n.label.contains("CsiAgg")),
+        "{}",
+        report.render()
+    );
+    let a = report
+        .agg_pushdown
+        .expect("encoded fold records agg counters");
+    // The obs registry is process-global and tests run concurrently, so
+    // assert lower bounds only.
+    assert!(a.pushdown_rowgroups + a.fallback_rowgroups >= 4, "{a:?}");
+    assert!(a.rows_folded >= 2000, "{a:?}");
+    let rendered = report.render();
+    assert!(rendered.contains("pushdown:"), "{rendered}");
+    assert!(rendered.contains("rows_folded="), "{rendered}");
 }
 
 #[test]

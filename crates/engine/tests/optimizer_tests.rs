@@ -175,6 +175,7 @@ fn what_if_cost_scales_with_hypothetical_size() {
             leaf_pages,
             height: 3,
             column_bytes: vec![],
+            column_encodings: vec![],
             rowgroups: 0,
             delta_rows: 0,
             delete_buffer_rows: 0,
@@ -222,7 +223,8 @@ fn find_leaf(node: &hpd_engine::plan::PlanNode) -> Option<PlanNodeKind> {
     match &node.kind {
         PlanNodeKind::BTreeSeek { .. }
         | PlanNodeKind::BTreeScan { .. }
-        | PlanNodeKind::CsiScan { .. } => Some(node.kind.clone()),
+        | PlanNodeKind::CsiScan { .. }
+        | PlanNodeKind::CsiAgg { .. } => Some(node.kind.clone()),
         PlanNodeKind::PkLookup { child, .. }
         | PlanNodeKind::Filter { child, .. }
         | PlanNodeKind::Project { child, .. }

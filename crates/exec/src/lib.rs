@@ -22,7 +22,7 @@ pub mod sched;
 pub use ctx::{ExecCtx, ExecMetrics};
 pub use grant_broker::{GrantBroker, GrantLease};
 pub use memory::MemoryGrant;
-pub use ops::agg::{AggSpec, HashAggOp, StreamAggOp};
+pub use ops::agg::{AggSpec, CsiAggOp, HashAggOp, StreamAggOp};
 pub use ops::filter::{FilterOp, Mode, ProjectOp};
 pub use ops::join::{HashJoinOp, IndexLookupJoinOp, MergeJoinOp, NestedLoopJoinOp};
 pub use ops::parallel::ParallelOp;

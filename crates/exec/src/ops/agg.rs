@@ -462,3 +462,63 @@ impl Operator for StreamAggOp<'_> {
         Ok(Some(Batch::from_rows(&self.out_types, &rows)?))
     }
 }
+
+/// Covered-aggregate pushdown: a *leaf* operator that folds global
+/// SUM/COUNT/MIN/MAX/AVG directly on a columnstore index's encoded
+/// segments ([`hpd_columnstore::ColumnStoreIndex::agg_collect`]) and emits
+/// one single-row batch — survivors are never materialized. The planner
+/// lowers a global `Agg` over a covered `CsiScan` onto this operator; the
+/// encoded fold visits rows in the same order the scan would, so results
+/// (including order-sensitive f64 sums) are identical.
+pub struct CsiAggOp<'a> {
+    index: &'a hpd_columnstore::ColumnStoreIndex,
+    aggs: Vec<hpd_columnstore::PushdownAgg>,
+    intervals: HashMap<usize, hpd_common::Interval>,
+    out_types: Vec<DataType>,
+    done: bool,
+}
+
+impl<'a> CsiAggOp<'a> {
+    /// `aggs` input ordinals index the *index's stored schema* (the caller
+    /// translates table ordinals). Output column order follows `aggs`.
+    pub fn new(
+        index: &'a hpd_columnstore::ColumnStoreIndex,
+        aggs: Vec<hpd_columnstore::PushdownAgg>,
+        intervals: HashMap<usize, hpd_common::Interval>,
+    ) -> CsiAggOp<'a> {
+        let out_types = aggs
+            .iter()
+            .map(|a| AggSpec::new(a.func, a.col).out_type(index.schema().column(a.col).dtype))
+            .collect();
+        CsiAggOp {
+            index,
+            aggs,
+            intervals,
+            out_types,
+            done: false,
+        }
+    }
+}
+
+impl Operator for CsiAggOp<'_> {
+    fn out_types(&self) -> Vec<DataType> {
+        self.out_types.clone()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let values = self
+            .index
+            .agg_collect(&self.aggs, &self.intervals, ctx.pool, &ctx.tracker)
+            .ok_or_else(|| {
+                HpdError::Internal("aggregate pushdown on unsupported column type".into())
+            })??;
+        Ok(Some(Batch::from_rows(
+            &self.out_types,
+            &[Row::new(values)],
+        )?))
+    }
+}

@@ -122,6 +122,11 @@ pub struct Database {
     /// Lock ordering: `commit_lock` is OUTERMOST — always acquired before
     /// the `tables` registry lock or any table's latch.
     pub(crate) commit_lock: Mutex<()>,
+    /// Bumped by every catalog or physical-design change (CREATE TABLE,
+    /// CREATE INDEX, design application). Plan caches key their validity on
+    /// it: a cached plan whose epoch is stale may name indexes that no
+    /// longer exist or miss ones that now should win.
+    ddl_epoch: AtomicU64,
 }
 
 impl Database {
@@ -141,8 +146,15 @@ impl Database {
             grants: GrantBroker::new(config.total_grant_bytes, config.min_grant_bytes),
             wal: Wal::new(config.wal.clone(), config.device),
             commit_lock: Mutex::new(()),
+            ddl_epoch: AtomicU64::new(0),
             config,
         }
+    }
+
+    /// Monotone counter of catalog / physical-design changes (see field
+    /// docs). Cached plans are valid only while this is unchanged.
+    pub fn ddl_epoch(&self) -> u64 {
+        self.ddl_epoch.load(Ordering::Relaxed)
     }
 
     pub fn config(&self) -> &DbConfig {
@@ -315,6 +327,7 @@ impl Database {
             table: RwLock::new(table),
             applied_lsn: AtomicU64::new(lsn),
         }));
+        self.ddl_epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -355,6 +368,7 @@ impl Database {
             self.wal.flush(&t);
             slot.applied_lsn.store(lsn, Ordering::Relaxed);
         }
+        self.ddl_epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -395,6 +409,7 @@ impl Database {
             self.wal.flush(&t);
             slot.applied_lsn.store(lsn, Ordering::Relaxed);
         }
+        self.ddl_epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -1160,10 +1175,19 @@ impl<'db> Txn<'db> {
         top: Option<usize>,
     ) -> Result<ExecutionResult> {
         let table_id = self.db.slot_id(table)?;
+        // Serializable write statements take SIX up front: the target-row
+        // SELECT below will request S on the same table, and two writers
+        // that each held a bare IX while waiting for the other's IX to clear
+        // would time out symmetrically and retry into the same state.
+        let mode = if self.isolation == IsolationLevel::Serializable {
+            LockMode::Six
+        } else {
+            LockMode::IX
+        };
         self.db.txns.locks.acquire(
             self.txn_id,
             &LockKey::Table(table_id),
-            LockMode::IX,
+            mode,
             self.db.txns.lock_timeout,
         )?;
         let arity = self.db.with_table(table, |t| t.schema().len())?;

@@ -1,9 +1,10 @@
 //! The typed query AST.
 //!
-//! There is no SQL parser (out of scope for the reproduction); queries are
-//! built programmatically in a canonical select-project-join-aggregate
-//! shape. The workload generators construct these from the paper's query
-//! templates (Q1–Q5, TPC-DS-like, CH).
+//! Queries are built programmatically in a canonical
+//! select-project-join-aggregate shape. The workload generators construct
+//! these from the paper's query templates (Q1–Q5, TPC-DS-like, CH), and the
+//! SQL front-end (`crates/sql`, DESIGN.md §15) lowers SQL text onto the
+//! same AST — both paths meet here and share the optimizer and executors.
 
 use hpd_common::{AggFunc, Expr, Row};
 

@@ -28,23 +28,55 @@ pub enum IsolationLevel {
 }
 
 /// Lock modes with the standard compatibility matrix.
+///
+/// `Six` (shared + intent-exclusive) exists for the statement shape
+/// "read the table, then write some of its rows" under serializable
+/// isolation. Taking IX first and upgrading to S is not an option: S
+/// conflicts with every *other* writer's IX, so two such statements
+/// deadlock symmetrically — each holds IX and waits for the other's IX to
+/// clear — and after both time out they retry into the same state
+/// (the livelock behind the pre-existing ~10% hang of
+/// `concurrent_increments_are_not_lost`). SIX is requested up front and
+/// serializes those writers at their first table touch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockMode {
     S,
     X,
     IS,
     IX,
+    Six,
 }
 
 impl LockMode {
     fn compatible(self, other: LockMode) -> bool {
         use LockMode::*;
         match (self, other) {
+            (X, _) | (_, X) => false,
+            (Six, IS) | (IS, Six) => true,
+            (Six, _) | (_, Six) => false,
             (S, S) | (S, IS) | (IS, S) => true,
             (IS, IS) | (IS, IX) | (IX, IS) | (IX, IX) => true,
-            (X, _) | (_, X) => false,
             (S, IX) | (IX, S) => false,
         }
+    }
+
+    /// Least upper bound in the standard lock lattice: IS below everything,
+    /// X on top, and `S ∨ IX = SIX`.
+    fn join(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (Six, _) | (_, Six) => Six,
+            (S, IX) | (IX, S) => Six,
+            (S, _) | (_, S) => S,
+            (IX, _) | (_, IX) => IX,
+            (IS, IS) => IS,
+        }
+    }
+
+    /// Does holding `self` already grant everything `other` would?
+    fn covers(self, other: LockMode) -> bool {
+        self.join(other) == self
     }
 }
 
@@ -110,20 +142,25 @@ impl LockManager {
         let mut waited = false;
         loop {
             let holders = table.granted.entry(key.clone()).or_default();
-            // Already held in a covering mode?
-            if holders
+            // Mode this txn already holds on the key (join of its entries).
+            let held = holders
                 .iter()
-                .any(|&(t, m)| t == txn && (m == mode || m == LockMode::X))
-            {
+                .filter(|&&(t, _)| t == txn)
+                .map(|&(_, m)| m)
+                .reduce(LockMode::join);
+            if held.is_some_and(|h| h.covers(mode)) {
                 return Ok(());
             }
+            // Upgrades install the join of held and requested (S + IX = SIX),
+            // never a bare replacement that would silently drop the stronger
+            // of the two protections.
+            let want = held.map_or(mode, |h| h.join(mode));
             let conflict = holders
                 .iter()
-                .any(|&(t, m)| t != txn && !m.compatible(mode));
+                .any(|&(t, m)| t != txn && !m.compatible(want));
             if !conflict {
-                // Upgrade: replace this txn's weaker entries.
                 holders.retain(|&(t, _)| t != txn);
-                holders.push((txn, mode));
+                holders.push((txn, want));
                 return Ok(());
             }
             let now = Instant::now();
@@ -328,6 +365,36 @@ mod tests {
         lm.release_all(1);
         lm.release_all(2);
         lm.acquire(3, &tbl, LockMode::S, t).unwrap();
+    }
+
+    #[test]
+    fn six_serializes_read_write_statements() {
+        let lm = LockManager::new();
+        let t = Duration::from_millis(30);
+        let tbl = LockKey::Table(1);
+        // SIX admits IS but nothing stronger.
+        lm.acquire(1, &tbl, LockMode::Six, t).unwrap();
+        lm.acquire(2, &tbl, LockMode::IS, t).unwrap();
+        assert!(lm.acquire(3, &tbl, LockMode::Six, t).is_err());
+        assert!(lm.acquire(3, &tbl, LockMode::IX, t).is_err());
+        assert!(lm.acquire(3, &tbl, LockMode::S, t).is_err());
+        // The holder's own S request is covered by its SIX.
+        lm.acquire(1, &tbl, LockMode::S, t).unwrap();
+        assert_eq!(lm.held_count(), 2);
+    }
+
+    #[test]
+    fn upgrade_joins_instead_of_replacing() {
+        let lm = LockManager::new();
+        let t = Duration::from_millis(30);
+        let tbl = LockKey::Table(2);
+        // IX then S must leave the txn at SIX: write intent is retained, so
+        // another writer's IX still conflicts afterwards.
+        lm.acquire(1, &tbl, LockMode::IX, t).unwrap();
+        lm.acquire(1, &tbl, LockMode::S, t).unwrap();
+        assert!(lm.acquire(2, &tbl, LockMode::IX, t).is_err());
+        assert!(lm.acquire(2, &tbl, LockMode::S, t).is_err());
+        lm.acquire(2, &tbl, LockMode::IS, t).unwrap();
     }
 
     #[test]

@@ -883,6 +883,71 @@ fn concurrent_increments_are_not_lost() {
     }
 }
 
+/// Regression for the serializable-writer livelock: each UPDATE used to
+/// take IX on the table and then request S for its target-row scan, so two
+/// concurrent serializable writers blocked on each other's IX, timed out
+/// together, and retried into exactly the same state — a ~10% hang of
+/// `concurrent_increments_are_not_lost` at default thread interleavings.
+/// Writers now take SIX up front, which serializes them at the first table
+/// touch, so the whole workload must finish in bounded time even with a
+/// lock timeout long enough that one livelock round would blow the budget.
+#[test]
+fn serializable_writers_finish_in_bounded_time() {
+    let db = Arc::new(Database::new(DbConfig {
+        lock_timeout: Duration::from_secs(5),
+        ..DbConfig::default()
+    }));
+    setup_table(&db, btree_primary(), 4);
+    let threads = 8;
+    let per_thread = 16;
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let db = Arc::clone(&db);
+            scope.spawn(move || {
+                let session = db.session(IsolationLevel::Serializable);
+                for _ in 0..per_thread {
+                    loop {
+                        let r = session.run(&Statement::Update(UpdateStmt {
+                            table: "t".into(),
+                            predicate: Expr::col_cmp(0, CmpOp::Eq, Value::Int32(1)),
+                            top: None,
+                            set: vec![(
+                                2,
+                                Expr::arith(
+                                    hpd_common::BinOp::Add,
+                                    Expr::Col(2),
+                                    Expr::lit(Value::Int32(1)),
+                                ),
+                            )],
+                        }));
+                        match r {
+                            Ok(_) => break,
+                            Err(hpd_common::HpdError::LockTimeout(_)) => continue,
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "serializable writers livelocked: {elapsed:?} for {} increments",
+        threads * per_thread
+    );
+    let q = SelectQuery::single_table(
+        "t",
+        Some(Expr::col_cmp(0, CmpOp::Eq, Value::Int32(1))),
+        vec![2],
+    );
+    let v = db.query(&Statement::Select(q)).run().unwrap().rows[0][0]
+        .as_i32()
+        .unwrap();
+    assert_eq!(v, 3 + (threads * per_thread), "increments lost");
+}
+
 /// Snapshot write-skew is *allowed* under SI (first-committer-wins only
 /// protects the same row); under Serializable, the coarse table locks
 /// prevent it. This documents the intended isolation semantics.

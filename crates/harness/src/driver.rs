@@ -35,6 +35,17 @@ use crate::refmodel::{Expected, RefModel};
 /// The logical table every design materializes.
 pub const TABLE: &str = "t";
 
+/// Lower SQL text through the front-end to an engine statement. Binding
+/// only reads the schema, which is identical across the three designs, so
+/// lowering against any one database stands for all of them.
+pub fn lower_sql(db: &Database, text: &str) -> Result<Statement, String> {
+    let parsed = hpd_sql::parse(text).map_err(|e| e.to_string())?;
+    match hpd_sql::bind(db, &parsed, &[]).map_err(|e| e.to_string())? {
+        hpd_sql::Bound::Stmt(stmt) => Ok(stmt),
+        other => Err(format!("lowered to a non-DML command: {other:?}")),
+    }
+}
+
 /// Display names of the three designs, index-aligned with the databases.
 pub const DESIGNS: [&str; 3] = ["btree", "csi", "hybrid"];
 
@@ -122,7 +133,7 @@ fn crash_durable(site: &str) -> bool {
     site == faults::sites::CRASH_AFTER_COMMIT_FLUSH || site == faults::sites::CRASH_IN_CHECKPOINT
 }
 
-fn normalize_rows(rows: &[hpd_common::Row]) -> Vec<Vec<i64>> {
+pub(crate) fn normalize_rows(rows: &[hpd_common::Row]) -> Vec<Vec<i64>> {
     let mut out: Vec<Vec<i64>> = rows
         .iter()
         .map(|r| {
@@ -159,6 +170,12 @@ pub struct RunOptions {
     pub pool_threads: Option<usize>,
     /// Override the total shared memory-grant budget in bytes.
     pub grant_budget: Option<usize>,
+    /// Drive every statement through the SQL front-end: render the op as
+    /// SQL text, lower it through parse/bind, require the lowering to match
+    /// the hand-built AST exactly (a mismatch is a divergence), and execute
+    /// the SQL-derived statement. The executed statements are identical to
+    /// the non-SQL mode's, so fingerprints are unchanged.
+    pub sql: bool,
 }
 
 /// A small, deterministic database: tiny rowgroups and an aggressive
@@ -166,7 +183,7 @@ pub struct RunOptions {
 /// compaction boundaries, serial plans, and a short lock timeout so the
 /// single-threaded driver resolves genuine lock conflicts quickly instead
 /// of stalling.
-fn harness_db_config(opts: &RunOptions) -> DbConfig {
+pub(crate) fn harness_db_config(opts: &RunOptions) -> DbConfig {
     let mut cfg = DbConfig {
         csi: CsiConfig {
             rowgroup_capacity: 32,
@@ -330,6 +347,38 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
             stats.ops_attempted += 1;
             let expected = refm.execute(t, op);
             let stmt = op.to_statement(TABLE).expect("non-maintenance op");
+            let stmt = if opts.sql {
+                let text = op.to_sql(TABLE).expect("non-maintenance op");
+                match lower_sql(&dbs[0], &text) {
+                    Ok(lowered) => {
+                        // The front-end must lower the text to the exact
+                        // AST the workload generator hand-builds.
+                        let (l, h) = (format!("{lowered:?}"), format!("{stmt:?}"));
+                        if l != h {
+                            verdict = divergence(
+                                pos,
+                                t,
+                                format!(
+                                    "SQL lowering differs from the hand-built AST\n  \
+                                     sql: {text}\n  lowered: {l}\n  hand-built: {h}"
+                                ),
+                            );
+                            break 'schedule;
+                        }
+                        lowered
+                    }
+                    Err(e) => {
+                        verdict = divergence(
+                            pos,
+                            t,
+                            format!("SQL failed to parse/bind\n  sql: {text}\n  error: {e}"),
+                        );
+                        break 'schedule;
+                    }
+                }
+            } else {
+                stmt
+            };
             let mut outs: Vec<StmtOut> = Vec::with_capacity(3);
             for h in handles[t].iter_mut() {
                 for f in plan.faults_at(pos) {

@@ -27,9 +27,11 @@ pub mod driver;
 pub mod plan;
 pub mod refmodel;
 pub mod shrink;
+pub mod sqlfuzz;
 
 pub use crash::{commit_positions, crash_sweep, SweepFailure, SweepOutcome};
 pub use driver::{run_plan, run_plan_with, Divergence, Outcome, RunOptions, RunStats, Verdict};
 pub use plan::{FaultSpec, Plan, PlanConfig};
 pub use refmodel::{Expected, RefModel};
-pub use shrink::{diverges, shrink};
+pub use shrink::{diverges, diverges_with, shrink, shrink_with};
+pub use sqlfuzz::{fuzz_selects, FuzzFailure, FuzzReport, FuzzSelect};

@@ -3,7 +3,7 @@
 //! ```text
 //! hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] [--rows N]
 //!             [--concurrency N] [--fault-rate F] [--threads N]
-//!             [--pool-threads N] [--grant-budget BYTES]
+//!             [--pool-threads N] [--grant-budget BYTES] [--sql]
 //!             [--no-shrink] [--quiet] [--trace]
 //! HARNESS_SEED=<n> hpd-harness          # replay exactly one seed
 //! ```
@@ -23,7 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use hpd_harness::{
-    crash_sweep, run_plan_with, shrink, Outcome, Plan, PlanConfig, RunOptions, Verdict,
+    crash_sweep, fuzz_selects, run_plan_with, shrink_with, Outcome, Plan, PlanConfig, RunOptions,
+    Verdict,
 };
 
 struct Args {
@@ -91,6 +92,12 @@ fn parse_args() -> Result<Args, String> {
                     Some(val("--grant-budget")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--crash-at" => args.crash_at = Some(val("--crash-at")?),
+            // SQL mode: every history statement is rendered as SQL, lowered
+            // through the front-end (the lowering must match the hand-built
+            // AST), and each seed additionally runs a random-SQL select
+            // sweep cross-checked across designs and against a reference
+            // evaluation.
+            "--sql" => args.run_opts.sql = true,
             "--no-shrink" => args.do_shrink = false,
             "--quiet" => args.quiet = true,
             // Record structured trace spans while the sweep runs (proves
@@ -102,9 +109,11 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] \
                             [--rows N] [--concurrency N] [--fault-rate F] [--threads N] \
-                            [--pool-threads N] [--grant-budget BYTES] \
+                            [--pool-threads N] [--grant-budget BYTES] [--sql] \
                             [--crash-at all|SITE_SUBSTRING] [--no-shrink] [--quiet] [--trace]\n\
                             env: HARNESS_SEED=<n> replays exactly one seed\n\
+                            --sql drives every statement through the SQL front-end and \
+                            adds a per-seed random-SQL select sweep\n\
                             --crash-at runs the crash-recovery sweep: each seed's plan \
                             replays once per (commit finale x crash site), recovery is \
                             differentially checked, and every selected site must be hit"
@@ -160,7 +169,7 @@ fn main() -> ExitCode {
             eprintln!("--- full plan ---\n{}", f.plan.render());
             if args.do_shrink {
                 eprintln!("shrinking...");
-                let min = shrink(&f.plan);
+                let min = shrink_with(&f.plan, &args.run_opts);
                 eprintln!(
                     "--- minimal repro ({} ops, {} txns, {} faults) ---\n{}",
                     min.op_count(),
@@ -230,7 +239,7 @@ fn main() -> ExitCode {
                 eprintln!("--- full plan ---\n{}", plan.render());
                 if args.do_shrink {
                     eprintln!("shrinking...");
-                    let min = shrink(&plan);
+                    let min = shrink_with(&plan, &args.run_opts);
                     eprintln!(
                         "--- minimal repro ({} ops, {} txns, {} faults) ---\n{}",
                         min.op_count(),
@@ -241,6 +250,26 @@ fn main() -> ExitCode {
                 }
                 eprintln!("replay: HARNESS_SEED={seed} cargo run -p hpd-harness");
                 return ExitCode::FAILURE;
+            }
+        }
+        if args.run_opts.sql {
+            // Random-SQL select sweep for this seed: parse -> bind ->
+            // execute on all three designs, cross-checked against a
+            // reference evaluation; failures arrive already shrunk.
+            let report = fuzz_selects(seed, 32);
+            if let Some(f) = report.failure {
+                eprintln!(
+                    "seed {seed}: SQL FUZZ FAILURE after {} quer(ies)\n{f}",
+                    report.queries_run
+                );
+                eprintln!("replay: HARNESS_SEED={seed} cargo run -p hpd-harness -- --sql");
+                return ExitCode::FAILURE;
+            }
+            if !args.quiet {
+                println!(
+                    "seed {seed:>6}: sql fuzz ok ({} queries)",
+                    report.queries_run
+                );
             }
         }
     }

@@ -14,12 +14,18 @@
 
 use hpd_workloads::history::MixedOp;
 
-use crate::driver::run_plan;
+use crate::driver::{run_plan_with, RunOptions};
 use crate::plan::Plan;
 
 /// Does this plan still reproduce a divergence?
 pub fn diverges(plan: &Plan) -> bool {
-    run_plan(plan).verdict.diverged()
+    diverges_with(plan, &RunOptions::default())
+}
+
+/// [`diverges`] under explicit run options (e.g. the SQL-lowering path),
+/// so a divergence found in one mode is shrunk in that same mode.
+pub fn diverges_with(plan: &Plan, opts: &RunOptions) -> bool {
+    run_plan_with(plan, opts).verdict.diverged()
 }
 
 /// Remove schedule positions for which `keep` is false, remapping fault
@@ -99,6 +105,12 @@ fn replace_op(plan: &Plan, t: usize, op: usize, with: MixedOp) -> Plan {
 /// Shrink `plan` to a (locally) minimal plan that still diverges. The input
 /// must itself diverge. Deterministic, like everything else in the harness.
 pub fn shrink(plan: &Plan) -> Plan {
+    shrink_with(plan, &RunOptions::default())
+}
+
+/// [`shrink`] under explicit run options: every candidate is re-checked
+/// with the same options that produced the original divergence.
+pub fn shrink_with(plan: &Plan, opts: &RunOptions) -> Plan {
     let mut cur = plan.clone();
     debug_assert!(cur.is_valid());
     loop {
@@ -112,7 +124,7 @@ pub fn shrink(plan: &Plan) -> Plan {
                 break;
             }
             let cand = drop_txn(&cur, t);
-            if cand.is_valid() && diverges(&cand) {
+            if cand.is_valid() && diverges_with(&cand, opts) {
                 cur = cand;
                 improved = true;
                 break;
@@ -126,7 +138,7 @@ pub fn shrink(plan: &Plan) -> Plan {
         'ops: for t in 0..cur.txns.len() {
             for op in (0..cur.txns[t].ops.len()).rev() {
                 let cand = drop_op(&cur, t, op);
-                if cand.is_valid() && diverges(&cand) {
+                if cand.is_valid() && diverges_with(&cand, opts) {
                     cur = cand;
                     improved = true;
                     break 'ops;
@@ -140,7 +152,7 @@ pub fn shrink(plan: &Plan) -> Plan {
         // Fault placements.
         for i in (0..cur.faults.len()).rev() {
             let cand = drop_fault(&cur, i);
-            if diverges(&cand) {
+            if diverges_with(&cand, opts) {
                 cur = cand;
                 improved = true;
                 break;
@@ -155,7 +167,7 @@ pub fn shrink(plan: &Plan) -> Plan {
             for op in 0..cur.txns[t].ops.len() {
                 for simpler in cur.txns[t].ops[op].shrunk() {
                     let cand = replace_op(&cur, t, op, simpler);
-                    if diverges(&cand) {
+                    if diverges_with(&cand, opts) {
                         cur = cand;
                         improved = true;
                         break 'vals;

@@ -1,0 +1,173 @@
+//! Name-based parse AST.
+//!
+//! The parser produces these; the binder resolves names to ordinals and
+//! lowers to the engine's typed AST ([`hpd_engine::Statement`]). Offsets on
+//! name nodes let the binder report *semantic* errors (unknown column, type
+//! mismatch) at a precise source location, which is the main reason this
+//! layer exists instead of parsing straight into the engine AST.
+
+use hpd_common::{AggFunc, BinOp, CmpOp, DataType, Value};
+use hpd_engine::IsolationLevel;
+
+/// Scalar expression over column names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Col {
+        /// Qualifier, e.g. `t` in `t.a`.
+        table: Option<String>,
+        name: String,
+        offset: usize,
+    },
+    Lit {
+        value: Value,
+        offset: usize,
+    },
+    /// `?` placeholder, numbered left to right from 0.
+    Param {
+        index: usize,
+        offset: usize,
+    },
+    Cmp {
+        op: CmpOp,
+        lhs: Box<SqlExpr>,
+        rhs: Box<SqlExpr>,
+    },
+    Arith {
+        op: BinOp,
+        lhs: Box<SqlExpr>,
+        rhs: Box<SqlExpr>,
+    },
+    Between {
+        expr: Box<SqlExpr>,
+        lo: Box<SqlExpr>,
+        hi: Box<SqlExpr>,
+    },
+    And(Vec<SqlExpr>),
+    Or(Vec<SqlExpr>),
+    Not(Box<SqlExpr>),
+}
+
+impl SqlExpr {
+    /// Offset of the leftmost token of this expression.
+    pub fn offset(&self) -> usize {
+        match self {
+            SqlExpr::Col { offset, .. }
+            | SqlExpr::Lit { offset, .. }
+            | SqlExpr::Param { offset, .. } => *offset,
+            SqlExpr::Cmp { lhs, .. } | SqlExpr::Arith { lhs, .. } => lhs.offset(),
+            SqlExpr::Between { expr, .. } => expr.offset(),
+            SqlExpr::And(v) | SqlExpr::Or(v) => v.first().map_or(0, SqlExpr::offset),
+            SqlExpr::Not(e) => e.offset(),
+        }
+    }
+}
+
+/// One item in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of every FROM table, in order.
+    Star,
+    /// A plain column reference.
+    Col(SqlExpr),
+    /// `FUNC(expr)`; `COUNT(*)` carries `None`.
+    Agg {
+        func: AggFunc,
+        arg: Option<SqlExpr>,
+        offset: usize,
+    },
+}
+
+/// `ORDER BY` key: an output column by name or by 1-based position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    Name { name: String, offset: usize },
+    Position { pos: usize, offset: usize },
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SqlSelect {
+    pub items: Vec<SelectItem>,
+    /// FROM tables in declaration order (comma list and JOIN chain).
+    pub tables: Vec<(String, usize)>,
+    /// `ON` conditions from explicit JOIN syntax; semantically identical
+    /// to WHERE conjuncts.
+    pub on: Vec<SqlExpr>,
+    pub where_: Option<SqlExpr>,
+    pub group_by: Vec<SqlExpr>,
+    pub order_by: Vec<(OrderKey, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// Column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+    pub primary_key: bool,
+}
+
+/// A parsed statement, still name-based.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlStatement {
+    Select(SqlSelect),
+    Insert {
+        table: String,
+        table_offset: usize,
+        /// Each row is a list of literal/param expressions.
+        rows: Vec<Vec<SqlExpr>>,
+    },
+    Update {
+        table: String,
+        table_offset: usize,
+        top: Option<usize>,
+        set: Vec<(String, usize, SqlExpr)>,
+        where_: Option<SqlExpr>,
+    },
+    Delete {
+        table: String,
+        table_offset: usize,
+        top: Option<usize>,
+        where_: Option<SqlExpr>,
+    },
+    Begin {
+        isolation: Option<IsolationLevel>,
+    },
+    Commit,
+    Rollback,
+    SetIsolation(IsolationLevel),
+    CreateTable {
+        name: String,
+        columns: Vec<SqlColumnDef>,
+        /// `USING COLUMNSTORE` makes the primary index a clustered CSI.
+        columnstore: bool,
+    },
+    CreateIndex {
+        table: String,
+        table_offset: usize,
+        columnstore: bool,
+        keys: Vec<(String, usize)>,
+        includes: Vec<(String, usize)>,
+    },
+    /// `DROP INDEX <n> ON <table>`: drops the n-th secondary index
+    /// (1-based, in [`hpd_engine::Database`] meta order — indexes in this
+    /// engine are unnamed).
+    DropIndex {
+        table: String,
+        table_offset: usize,
+        ordinal: usize,
+    },
+}
+
+impl SqlStatement {
+    /// Statements whose lowering is worth caching (DML/queries). DDL and
+    /// transaction control always re-parse.
+    pub fn cacheable(&self) -> bool {
+        matches!(
+            self,
+            SqlStatement::Select(_)
+                | SqlStatement::Insert { .. }
+                | SqlStatement::Update { .. }
+                | SqlStatement::Delete { .. }
+        )
+    }
+}

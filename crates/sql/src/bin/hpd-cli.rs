@@ -1,0 +1,115 @@
+//! `hpd-cli`: a small SQL REPL over an in-process engine.
+//!
+//! Interactive: prompts on a terminal, reads statements terminated by `;`
+//! (statements may span lines). Piped: same grammar, no prompt, suitable
+//! for `hpd-cli < script.sql` smoke tests. `--protocol` speaks the line
+//! protocol from `hpd_sql::protocol` instead of the human format.
+
+use std::io::{BufRead, IsTerminal, Write};
+use std::sync::Arc;
+
+use hpd_engine::{Database, DbConfig};
+use hpd_sql::{PlanCache, SqlOutput, SqlSession};
+
+fn main() {
+    let mut quiet = false;
+    let mut protocol = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--protocol" => protocol = true,
+            "--help" | "-h" => {
+                println!(
+                    "hpd-cli: SQL REPL over an in-process hybrid-physical-designs engine\n\
+                     usage: hpd-cli [--quiet] [--protocol]\n\
+                     Statements end with ';'. Try: CREATE TABLE t (k INT PRIMARY KEY, v INT);"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = Database::new(DbConfig::default());
+    let cache = Arc::new(PlanCache::new(256));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+
+    if protocol {
+        hpd_sql::protocol::serve(&db, cache, stdin.lock(), stdout.lock())
+            .expect("stdio protocol I/O failed");
+        return;
+    }
+
+    let interactive = stdin.is_terminal();
+    if interactive && !quiet {
+        println!("hpd-cli — statements end with ';', Ctrl-D quits");
+    }
+    let mut session = SqlSession::with_cache(&db, cache);
+    let mut out = stdout.lock();
+    let mut pending = String::new();
+    loop {
+        if interactive && !quiet {
+            print!(
+                "{}",
+                if pending.trim().is_empty() {
+                    "hpd> "
+                } else {
+                    "...> "
+                }
+            );
+            out.flush().expect("stdout flush failed");
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin read failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        pending.push_str(&line);
+        if !line.trim_end().ends_with(';') {
+            continue;
+        }
+        let script = std::mem::take(&mut pending);
+        run_script(&mut session, &script, &mut out);
+    }
+    if !pending.trim().is_empty() {
+        run_script(&mut session, &pending, &mut out);
+    }
+}
+
+fn run_script(session: &mut SqlSession<'_>, script: &str, out: &mut impl Write) {
+    match session.execute(script) {
+        Err(e) => writeln!(out, "ERR: {e}").expect("stdout write failed"),
+        Ok(outputs) => {
+            for o in outputs {
+                print_output(&o, out);
+            }
+        }
+    }
+}
+
+fn print_output(o: &SqlOutput, out: &mut impl Write) {
+    let r: std::io::Result<()> = (|| {
+        match o {
+            SqlOutput::Rows { columns, rows } => {
+                writeln!(out, "{}", columns.join(" | "))?;
+                for row in rows {
+                    let vals: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+                    writeln!(out, "{}", vals.join(" | "))?;
+                }
+                writeln!(out, "({} rows)", rows.len())?;
+            }
+            SqlOutput::Affected(n) => writeln!(out, "OK ({n} affected)")?,
+            SqlOutput::Command(c) => writeln!(out, "OK {c}")?,
+        }
+        Ok(())
+    })();
+    r.expect("stdout write failed");
+}

@@ -1,0 +1,100 @@
+//! Named SQL diagnostics carrying byte offsets into the statement text.
+
+use std::fmt;
+
+use hpd_common::HpdError;
+
+/// What went wrong, as a stable machine-readable kind. Tests assert on the
+/// kind (not the message), so renaming a variant is a breaking change for
+/// the golden corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    /// A string literal was opened with `'` and never closed.
+    UnterminatedString,
+    /// A byte the lexer has no rule for.
+    UnexpectedChar,
+    /// A numeric literal that does not parse (overflow, trailing junk).
+    InvalidNumber,
+    /// The parser expected something else here.
+    UnexpectedToken,
+    /// A referenced table is not in the catalog.
+    UnknownTable,
+    /// A referenced column is not in any in-scope table.
+    UnknownColumn,
+    /// An unqualified column name matched more than one in-scope table.
+    AmbiguousColumn,
+    /// A literal cannot be coerced to the column type it is compared
+    /// against or assigned to.
+    TypeMismatch,
+    /// Structurally valid SQL the engine cannot run (non-grouped select
+    /// item, aggregate in WHERE, arity mismatch in VALUES, ...).
+    InvalidQuery,
+    /// A `?` placeholder with no value supplied at execute time.
+    MissingParameter,
+}
+
+impl SqlErrorKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SqlErrorKind::UnterminatedString => "unterminated-string",
+            SqlErrorKind::UnexpectedChar => "unexpected-char",
+            SqlErrorKind::InvalidNumber => "invalid-number",
+            SqlErrorKind::UnexpectedToken => "unexpected-token",
+            SqlErrorKind::UnknownTable => "unknown-table",
+            SqlErrorKind::UnknownColumn => "unknown-column",
+            SqlErrorKind::AmbiguousColumn => "ambiguous-column",
+            SqlErrorKind::TypeMismatch => "type-mismatch",
+            SqlErrorKind::InvalidQuery => "invalid-query",
+            SqlErrorKind::MissingParameter => "missing-parameter",
+        }
+    }
+}
+
+/// A diagnostic anchored to a byte offset in the original statement text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    pub kind: SqlErrorKind,
+    /// Byte offset into the text handed to [`crate::parse`] /
+    /// [`crate::SqlSession::execute`] where the problem starts.
+    pub offset: usize,
+    pub message: String,
+}
+
+impl SqlError {
+    pub fn new(kind: SqlErrorKind, offset: usize, message: impl Into<String>) -> SqlError {
+        SqlError {
+            kind,
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Shift the offset by `base` bytes — used when a statement was carved
+    /// out of a multi-statement script.
+    pub fn offset_by(mut self, base: usize) -> SqlError {
+        self.offset += base;
+        self
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at byte {}: {}",
+            self.kind.name(),
+            self.offset,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<SqlError> for HpdError {
+    fn from(e: SqlError) -> HpdError {
+        HpdError::InvalidQuery(e.to_string())
+    }
+}
+
+pub type SqlResult<T> = Result<T, SqlError>;

@@ -1,0 +1,279 @@
+//! Hand-written SQL lexer.
+//!
+//! Produces a flat token stream with byte offsets into the original text.
+//! Identifiers are lowercased here so the rest of the front-end (and the
+//! plan-cache normalizer) never deals with case; keywords are ordinary
+//! identifiers matched by spelling in the parser. `--` comments run to end
+//! of line. String literals use single quotes with `''` as the escape.
+
+use crate::error::{SqlError, SqlErrorKind, SqlResult};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, already lowercased.
+    Ident(String),
+    /// Integer or decimal numeric literal, raw spelling (always unsigned;
+    /// unary minus is a separate `-` punct folded in by the parser).
+    Number(String),
+    /// String literal contents with escapes resolved (no quotes).
+    Str(String),
+    /// One of `( ) , ; . * = <> < <= > >= + - / ?`.
+    Punct(&'static str),
+    Eof,
+}
+
+impl Tok {
+    /// Rendering used by the plan-cache normalizer: one canonical spelling
+    /// per token.
+    pub fn render(&self) -> String {
+        match self {
+            Tok::Ident(s) => s.clone(),
+            Tok::Number(s) => s.clone(),
+            Tok::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Tok::Punct(p) => (*p).to_string(),
+            Tok::Eof => String::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    /// Byte offset of the first byte of this token in the input.
+    pub offset: usize,
+}
+
+/// Lex `input` to a token vector ending with [`Tok::Eof`].
+pub fn lex(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // -- line comment
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                tok: Tok::Ident(input[start..i].to_ascii_lowercase()),
+                offset: start,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // "123abc" is a malformed number, not two tokens.
+            if i < bytes.len() && (bytes[i].is_ascii_alphabetic() || bytes[i] == b'_') {
+                return Err(SqlError::new(
+                    SqlErrorKind::InvalidNumber,
+                    start,
+                    format!(
+                        "malformed numeric literal starting at '{}'",
+                        &input[start..i]
+                    ),
+                ));
+            }
+            out.push(Token {
+                tok: Tok::Number(input[start..i].to_string()),
+                offset: start,
+            });
+            continue;
+        }
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(SqlError::new(
+                            SqlErrorKind::UnterminatedString,
+                            start,
+                            "string literal is never closed",
+                        ));
+                    }
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::Str(s),
+                offset: start,
+            });
+            continue;
+        }
+        let two: Option<&'static str> = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+            ('<', Some('>')) => Some("<>"),
+            ('<', Some('=')) => Some("<="),
+            ('>', Some('=')) => Some(">="),
+            ('!', Some('=')) => Some("<>"),
+            _ => None,
+        };
+        if let Some(p) = two {
+            out.push(Token {
+                tok: Tok::Punct(p),
+                offset: start,
+            });
+            i += 2;
+            continue;
+        }
+        let one: Option<&'static str> = match c {
+            '(' => Some("("),
+            ')' => Some(")"),
+            ',' => Some(","),
+            ';' => Some(";"),
+            '.' => Some("."),
+            '*' => Some("*"),
+            '=' => Some("="),
+            '<' => Some("<"),
+            '>' => Some(">"),
+            '+' => Some("+"),
+            '-' => Some("-"),
+            '/' => Some("/"),
+            '?' => Some("?"),
+            _ => None,
+        };
+        match one {
+            Some(p) => {
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    offset: start,
+                });
+                i += 1;
+            }
+            None => {
+                return Err(SqlError::new(
+                    SqlErrorKind::UnexpectedChar,
+                    start,
+                    format!("unexpected character '{c}'"),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        offset: input.len(),
+    });
+    Ok(out)
+}
+
+/// Split a script into statements at top-level `;` tokens, returning each
+/// statement's text and its byte offset in the script (for error
+/// re-anchoring). Empty statements (stray `;;`, trailing `;`) are dropped.
+pub fn split_statements(input: &str) -> SqlResult<Vec<(String, usize)>> {
+    let tokens = lex(input)?;
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut last_end = 0;
+    for t in &tokens {
+        match &t.tok {
+            Tok::Punct(";") | Tok::Eof => {
+                if let Some(s) = start.take() {
+                    out.push((input[s..last_end].to_string(), s));
+                }
+            }
+            tok => {
+                if start.is_none() {
+                    start = Some(t.offset);
+                }
+                last_end = t.offset + token_len(tok, input, t.offset);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Length in bytes of `tok` as it appears in `input` at `offset`. Strings
+/// need a rescan because escapes collapse during lexing.
+fn token_len(tok: &Tok, input: &str, offset: usize) -> usize {
+    match tok {
+        Tok::Ident(s) | Tok::Number(s) => s.len(),
+        Tok::Punct(p) => p.len(),
+        Tok::Eof => 0,
+        Tok::Str(_) => {
+            let bytes = &input.as_bytes()[offset + 1..];
+            let mut i = 0;
+            loop {
+                match bytes.get(i) {
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => i += 2,
+                    Some(b'\'') => return i + 2,
+                    Some(_) => i += 1,
+                    None => return i + 1,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_mixed_statement() {
+        let toks = lex("SELECT a, b FROM t WHERE a >= 10 AND s = 'it''s'").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert_eq!(kinds[0], &Tok::Ident("select".into()));
+        assert_eq!(kinds[8], &Tok::Punct(">="));
+        assert_eq!(kinds[9], &Tok::Number("10".into()));
+        assert_eq!(kinds[13], &Tok::Str("it's".into()));
+    }
+
+    #[test]
+    fn offsets_are_byte_accurate() {
+        let toks = lex("a  <> 'x'").unwrap();
+        assert_eq!(toks[1].offset, 3);
+        assert_eq!(toks[2].offset, 6);
+    }
+
+    #[test]
+    fn unterminated_string_reports_opening_quote() {
+        let e = lex("select 'abc").unwrap_err();
+        assert_eq!(e.kind, SqlErrorKind::UnterminatedString);
+        assert_eq!(e.offset, 7);
+    }
+
+    #[test]
+    fn splits_on_semicolons_with_string_semicolons_intact() {
+        let parts = split_statements("insert into t values (';');\n select 1 ;;").unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, "insert into t values (';')");
+        assert_eq!(parts[1].0, "select 1");
+        assert_eq!(parts[1].1, 29);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("select 1 -- trailing\n, 2").unwrap();
+        assert_eq!(toks.len(), 5); // select 1 , 2 eof
+    }
+}

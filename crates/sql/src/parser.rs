@@ -1,0 +1,744 @@
+//! Recursive-descent parser for the engine's SQL dialect.
+//!
+//! Grammar (case-insensitive keywords, `--` comments):
+//!
+//! ```text
+//! stmt      := select | insert | update | delete
+//!            | BEGIN [level] | COMMIT | ROLLBACK | SET ISOLATION level
+//!            | CREATE TABLE name '(' coldef (',' coldef)* ')' [USING COLUMNSTORE]
+//!            | CREATE [COLUMNSTORE] INDEX ON table '(' cols ')' [INCLUDE '(' cols ')']
+//!            | DROP INDEX n ON table
+//! select    := SELECT item (',' item)* FROM table (join | ',' table)*
+//!              [WHERE expr] [GROUP BY col (',' col)*]
+//!              [ORDER BY key [ASC|DESC] (',' ...)*] [LIMIT n]
+//! join      := JOIN table ON expr
+//! item      := '*' | AGG '(' ('*' | expr) ')' | column
+//! update    := UPDATE [TOP n] table SET col '=' expr (',' ...)* [WHERE expr]
+//! delete    := DELETE [TOP n] FROM table [WHERE expr]
+//! insert    := INSERT INTO table VALUES '(' expr, ... ')' (',' '(' ... ')')*
+//! expr      := or; or := and (OR and)*; and := not (AND not)*
+//! not       := [NOT] cmp
+//! cmp       := add [ ('='|'<>'|'<'|'<='|'>'|'>=') add | BETWEEN add AND add ]
+//! add       := mul (('+'|'-') mul)*;  mul := primary (('*'|'/') primary)*
+//! primary   := '(' expr ')' | '?' | number | '-' number | string
+//!            | name ['.' name]
+//! level     := READ COMMITTED | SNAPSHOT | SERIALIZABLE
+//! coldef    := name type [PRIMARY KEY]
+//! type      := INT|INTEGER|BIGINT|DOUBLE|FLOAT|DECIMAL|NUMERIC|DATE|TEXT|VARCHAR['(' n ')']
+//! ```
+
+use hpd_common::{AggFunc, BinOp, CmpOp, DataType, Value};
+use hpd_engine::IsolationLevel;
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlErrorKind, SqlResult};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parse one statement. Trailing `;` is allowed; anything after it is an
+/// error (use [`crate::lexer::split_statements`] for scripts).
+pub fn parse(input: &str) -> SqlResult<SqlStatement> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat_punct(";");
+    let t = p.peek().clone();
+    if t.tok != Tok::Eof {
+        return Err(p.unexpected(&t, "end of statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parse one statement and report how many `?` placeholders it contains.
+pub fn parse_with_param_count(input: &str) -> SqlResult<(SqlStatement, usize)> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat_punct(";");
+    let t = p.peek().clone();
+    if t.tok != Tok::Eof {
+        return Err(p.unexpected(&t, "end of statement"));
+    }
+    Ok((stmt, p.params))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected(&self, t: &Token, wanted: &str) -> SqlError {
+        let got = match &t.tok {
+            Tok::Ident(s) => format!("'{s}'"),
+            Tok::Number(s) => format!("number '{s}'"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Punct(p) => format!("'{p}'"),
+            Tok::Eof => "end of input".to_string(),
+        };
+        SqlError::new(
+            SqlErrorKind::UnexpectedToken,
+            t.offset,
+            format!("expected {wanted}, found {got}"),
+        )
+    }
+
+    /// Consume the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> SqlResult<()> {
+        let t = self.peek().clone();
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&t, &format!("'{}'", kw.to_uppercase())))
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Punct(q) if *q == p) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> SqlResult<()> {
+        let t = self.peek().clone();
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&t, &format!("'{p}'")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> SqlResult<(String, usize)> {
+        let t = self.next();
+        match t.tok {
+            Tok::Ident(s) => Ok((s, t.offset)),
+            _ => Err(self.unexpected(&t, what)),
+        }
+    }
+
+    fn number_usize(&mut self, what: &str) -> SqlResult<usize> {
+        let t = self.next();
+        match &t.tok {
+            Tok::Number(s) => s.parse::<usize>().map_err(|_| {
+                SqlError::new(
+                    SqlErrorKind::InvalidNumber,
+                    t.offset,
+                    format!("expected {what}, found '{s}'"),
+                )
+            }),
+            _ => Err(self.unexpected(&t, what)),
+        }
+    }
+
+    fn statement(&mut self) -> SqlResult<SqlStatement> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Ident(kw) => match kw.as_str() {
+                "select" => self.select().map(SqlStatement::Select),
+                "insert" => self.insert(),
+                "update" => self.update(),
+                "delete" => self.delete(),
+                "begin" => self.begin(),
+                "commit" => {
+                    self.next();
+                    Ok(SqlStatement::Commit)
+                }
+                "rollback" | "abort" => {
+                    self.next();
+                    Ok(SqlStatement::Rollback)
+                }
+                "set" => self.set(),
+                "create" => self.create(),
+                "drop" => self.drop(),
+                _ => Err(self.unexpected(&t, "a statement keyword")),
+            },
+            _ => Err(self.unexpected(&t, "a statement keyword")),
+        }
+    }
+
+    fn isolation_level(&mut self) -> SqlResult<IsolationLevel> {
+        let t = self.peek().clone();
+        if self.eat_kw("read") {
+            self.expect_kw("committed")?;
+            Ok(IsolationLevel::ReadCommitted)
+        } else if self.eat_kw("snapshot") {
+            Ok(IsolationLevel::Snapshot)
+        } else if self.eat_kw("serializable") {
+            Ok(IsolationLevel::Serializable)
+        } else {
+            Err(self.unexpected(&t, "an isolation level"))
+        }
+    }
+
+    fn begin(&mut self) -> SqlResult<SqlStatement> {
+        self.next();
+        self.eat_kw("transaction");
+        let has_level = self.eat_kw("isolation")
+            || self.at_kw("read")
+            || self.at_kw("snapshot")
+            || self.at_kw("serializable");
+        let isolation = if has_level {
+            Some(self.isolation_level()?)
+        } else {
+            None
+        };
+        Ok(SqlStatement::Begin { isolation })
+    }
+
+    fn set(&mut self) -> SqlResult<SqlStatement> {
+        self.next();
+        self.expect_kw("isolation")?;
+        // Tolerate the verbose spelling SET ISOLATION LEVEL <level>.
+        self.eat_kw("level");
+        Ok(SqlStatement::SetIsolation(self.isolation_level()?))
+    }
+
+    fn select(&mut self) -> SqlResult<SqlSelect> {
+        self.next();
+        let mut q = SqlSelect::default();
+        loop {
+            q.items.push(self.select_item()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        q.tables.push(self.ident("a table name")?);
+        loop {
+            if self.eat_punct(",") {
+                q.tables.push(self.ident("a table name")?);
+            } else if self.eat_kw("join") || {
+                let inner = self.eat_kw("inner");
+                if inner {
+                    self.expect_kw("join")?;
+                }
+                inner
+            } {
+                q.tables.push(self.ident("a table name")?);
+                self.expect_kw("on")?;
+                q.on.push(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        if self.eat_kw("where") {
+            q.where_ = Some(self.expr()?);
+        }
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                q.group_by.push(self.column_ref()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let t = self.peek().clone();
+                let key = match &t.tok {
+                    Tok::Number(s) => {
+                        self.next();
+                        let pos = s.parse::<usize>().map_err(|_| {
+                            SqlError::new(
+                                SqlErrorKind::InvalidNumber,
+                                t.offset,
+                                format!("bad ORDER BY position '{s}'"),
+                            )
+                        })?;
+                        OrderKey::Position {
+                            pos,
+                            offset: t.offset,
+                        }
+                    }
+                    Tok::Ident(_) => {
+                        let (name, offset) = self.ident("a column name")?;
+                        OrderKey::Name { name, offset }
+                    }
+                    _ => return Err(self.unexpected(&t, "an ORDER BY key")),
+                };
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                q.order_by.push((key, asc));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("limit") {
+            q.limit = Some(self.number_usize("a LIMIT count")?);
+        }
+        Ok(q)
+    }
+
+    fn select_item(&mut self) -> SqlResult<SelectItem> {
+        if self.eat_punct("*") {
+            return Ok(SelectItem::Star);
+        }
+        // AGG '(' ... ')'
+        if let Tok::Ident(name) = &self.peek().tok {
+            let func = match name.as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                "avg" => Some(AggFunc::Avg),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if matches!(&self.tokens[self.pos + 1].tok, Tok::Punct("(")) {
+                    let offset = self.peek().offset;
+                    self.next();
+                    self.next();
+                    let arg = if self.eat_punct("*") {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect_punct(")")?;
+                    return Ok(SelectItem::Agg { func, arg, offset });
+                }
+            }
+        }
+        let e = self.expr()?;
+        match e {
+            SqlExpr::Col { .. } => Ok(SelectItem::Col(e)),
+            other => Err(SqlError::new(
+                SqlErrorKind::InvalidQuery,
+                other.offset(),
+                "select items must be column references or aggregate calls",
+            )),
+        }
+    }
+
+    /// A bare (possibly qualified) column reference, for GROUP BY.
+    fn column_ref(&mut self) -> SqlResult<SqlExpr> {
+        let (first, offset) = self.ident("a column name")?;
+        if self.eat_punct(".") {
+            let (name, _) = self.ident("a column name")?;
+            Ok(SqlExpr::Col {
+                table: Some(first),
+                name,
+                offset,
+            })
+        } else {
+            Ok(SqlExpr::Col {
+                table: None,
+                name: first,
+                offset,
+            })
+        }
+    }
+
+    fn insert(&mut self) -> SqlResult<SqlStatement> {
+        self.next();
+        self.expect_kw("into")?;
+        let (table, table_offset) = self.ident("a table name")?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            rows.push(row);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(SqlStatement::Insert {
+            table,
+            table_offset,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> SqlResult<SqlStatement> {
+        self.next();
+        let top = if self.eat_kw("top") {
+            Some(self.number_usize("a TOP count")?)
+        } else {
+            None
+        };
+        let (table, table_offset) = self.ident("a table name")?;
+        self.expect_kw("set")?;
+        let mut set = Vec::new();
+        loop {
+            let (col, offset) = self.ident("a column name")?;
+            self.expect_punct("=")?;
+            set.push((col, offset, self.expr()?));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SqlStatement::Update {
+            table,
+            table_offset,
+            top,
+            set,
+            where_,
+        })
+    }
+
+    fn delete(&mut self) -> SqlResult<SqlStatement> {
+        self.next();
+        let top = if self.eat_kw("top") {
+            Some(self.number_usize("a TOP count")?)
+        } else {
+            None
+        };
+        self.expect_kw("from")?;
+        let (table, table_offset) = self.ident("a table name")?;
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SqlStatement::Delete {
+            table,
+            table_offset,
+            top,
+            where_,
+        })
+    }
+
+    fn data_type(&mut self) -> SqlResult<DataType> {
+        let t = self.peek().clone();
+        let (name, offset) = self.ident("a type name")?;
+        let dt = match name.as_str() {
+            "int" | "integer" => DataType::Int32,
+            "bigint" => DataType::Int64,
+            "double" | "float" | "real" => DataType::Float64,
+            "decimal" | "numeric" => DataType::Decimal,
+            "date" => DataType::Date,
+            "text" | "varchar" => DataType::Utf8,
+            _ => {
+                return Err(SqlError::new(
+                    SqlErrorKind::UnexpectedToken,
+                    offset,
+                    format!("unknown type '{name}'"),
+                ));
+            }
+        };
+        let _ = t;
+        // VARCHAR(n): length is accepted and ignored (engine strings are
+        // unbounded).
+        if self.eat_punct("(") {
+            self.number_usize("a type length")?;
+            self.expect_punct(")")?;
+        }
+        Ok(dt)
+    }
+
+    fn create(&mut self) -> SqlResult<SqlStatement> {
+        self.next();
+        if self.eat_kw("table") {
+            let (name, _) = self.ident("a table name")?;
+            self.expect_punct("(")?;
+            let mut columns = Vec::new();
+            loop {
+                let (col, _) = self.ident("a column name")?;
+                let dtype = self.data_type()?;
+                let primary_key = if self.eat_kw("primary") {
+                    self.expect_kw("key")?;
+                    true
+                } else {
+                    false
+                };
+                columns.push(SqlColumnDef {
+                    name: col,
+                    dtype,
+                    primary_key,
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            let columnstore = if self.eat_kw("using") {
+                self.expect_kw("columnstore")?;
+                true
+            } else {
+                false
+            };
+            return Ok(SqlStatement::CreateTable {
+                name,
+                columns,
+                columnstore,
+            });
+        }
+        let columnstore = self.eat_kw("columnstore");
+        self.expect_kw("index")?;
+        self.expect_kw("on")?;
+        let (table, table_offset) = self.ident("a table name")?;
+        self.expect_punct("(")?;
+        let mut keys = Vec::new();
+        loop {
+            keys.push(self.ident("a column name")?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        let mut includes = Vec::new();
+        if self.eat_kw("include") {
+            self.expect_punct("(")?;
+            loop {
+                includes.push(self.ident("a column name")?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(SqlStatement::CreateIndex {
+            table,
+            table_offset,
+            columnstore,
+            keys,
+            includes,
+        })
+    }
+
+    fn drop(&mut self) -> SqlResult<SqlStatement> {
+        self.next();
+        self.expect_kw("index")?;
+        let ordinal = self.number_usize("a 1-based secondary index ordinal")?;
+        self.expect_kw("on")?;
+        let (table, table_offset) = self.ident("a table name")?;
+        Ok(SqlStatement::DropIndex {
+            table,
+            table_offset,
+            ordinal,
+        })
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> SqlResult<SqlExpr> {
+        self.or()
+    }
+
+    fn or(&mut self) -> SqlResult<SqlExpr> {
+        let mut parts = vec![self.and()?];
+        while self.eat_kw("or") {
+            parts.push(self.and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            SqlExpr::Or(parts)
+        })
+    }
+
+    fn and(&mut self) -> SqlResult<SqlExpr> {
+        let mut parts = vec![self.not()?];
+        while self.eat_kw("and") {
+            parts.push(self.not()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            SqlExpr::And(parts)
+        })
+    }
+
+    fn not(&mut self) -> SqlResult<SqlExpr> {
+        if self.eat_kw("not") {
+            Ok(SqlExpr::Not(Box::new(self.not()?)))
+        } else {
+            self.cmp()
+        }
+    }
+
+    fn cmp(&mut self) -> SqlResult<SqlExpr> {
+        let lhs = self.add()?;
+        if self.eat_kw("between") {
+            let lo = self.add()?;
+            self.expect_kw("and")?;
+            let hi = self.add()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+            });
+        }
+        let op = match &self.peek().tok {
+            Tok::Punct("=") => Some(CmpOp::Eq),
+            Tok::Punct("<>") => Some(CmpOp::Ne),
+            Tok::Punct("<") => Some(CmpOp::Lt),
+            Tok::Punct("<=") => Some(CmpOp::Le),
+            Tok::Punct(">") => Some(CmpOp::Gt),
+            Tok::Punct(">=") => Some(CmpOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.next();
+                let rhs = self.add()?;
+                Ok(SqlExpr::Cmp {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                })
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add(&mut self) -> SqlResult<SqlExpr> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match &self.peek().tok {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul()?;
+            lhs = SqlExpr::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> SqlResult<SqlExpr> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match &self.peek().tok {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.primary()?;
+            lhs = SqlExpr::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn number_literal(&mut self, negative: bool, offset: usize) -> SqlResult<SqlExpr> {
+        let t = self.next();
+        let Tok::Number(s) = &t.tok else {
+            return Err(self.unexpected(&t, "a number"));
+        };
+        let text = if negative { format!("-{s}") } else { s.clone() };
+        let value = if text.contains('.') {
+            let f: f64 = text.parse().map_err(|_| {
+                SqlError::new(
+                    SqlErrorKind::InvalidNumber,
+                    offset,
+                    format!("bad numeric literal '{text}'"),
+                )
+            })?;
+            Value::Float64(f)
+        } else {
+            let n: i64 = text.parse().map_err(|_| {
+                SqlError::new(
+                    SqlErrorKind::InvalidNumber,
+                    offset,
+                    format!("integer literal '{text}' out of range"),
+                )
+            })?;
+            match i32::try_from(n) {
+                Ok(v) => Value::Int32(v),
+                Err(_) => Value::Int64(n),
+            }
+        };
+        Ok(SqlExpr::Lit { value, offset })
+    }
+
+    fn primary(&mut self) -> SqlResult<SqlExpr> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Punct("(") => {
+                self.next();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("?") => {
+                self.next();
+                let index = self.params;
+                self.params += 1;
+                Ok(SqlExpr::Param {
+                    index,
+                    offset: t.offset,
+                })
+            }
+            Tok::Punct("-") => {
+                self.next();
+                self.number_literal(true, t.offset)
+            }
+            Tok::Number(_) => self.number_literal(false, t.offset),
+            Tok::Str(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(SqlExpr::Lit {
+                    value: Value::str(s),
+                    offset: t.offset,
+                })
+            }
+            Tok::Ident(_) => self.column_ref(),
+            _ => Err(self.unexpected(&t, "an expression")),
+        }
+    }
+}

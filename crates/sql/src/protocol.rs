@@ -1,0 +1,110 @@
+//! Minimal line protocol for driving an engine over byte streams.
+//!
+//! One statement per request; a request is terminated by a line whose last
+//! non-whitespace byte is `;` (so statements may span lines). Responses:
+//!
+//! ```text
+//! COLS <name>\t<name>...      -- before the rows of a SELECT
+//! ROW <value>\t<value>...
+//! OK <n> rows | OK <n> affected | OK <command>
+//! ERR <message>
+//! ```
+//!
+//! Exactly one `OK`/`ERR` line terminates each response, so a client can
+//! pipeline requests and read until the terminator. The transport is
+//! anything `BufRead + Write` — a pipe in tests, stdin/stdout under
+//! `hpd-cli --protocol`.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use hpd_engine::Database;
+
+use crate::cache::PlanCache;
+use crate::session::{SqlOutput, SqlSession};
+
+/// Serve one connection: read statements from `reader`, write responses to
+/// `writer`, until EOF. Each connection is one session (own transaction
+/// state), sharing `cache` with every other connection on this engine.
+pub fn serve(
+    db: &Database,
+    cache: Arc<PlanCache>,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    let mut session = SqlSession::with_cache(db, cache);
+    let mut pending = String::new();
+    for line in reader.lines() {
+        let line = line?;
+        pending.push_str(&line);
+        pending.push('\n');
+        if !line.trim_end().ends_with(';') {
+            continue;
+        }
+        let script = std::mem::take(&mut pending);
+        respond(&mut session, &script, &mut writer)?;
+        writer.flush()?;
+    }
+    if !pending.trim().is_empty() {
+        respond(&mut session, &pending, &mut writer)?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn respond(
+    session: &mut SqlSession<'_>,
+    script: &str,
+    writer: &mut impl Write,
+) -> std::io::Result<()> {
+    match session.execute(script) {
+        Err(e) => writeln!(writer, "ERR {e}"),
+        Ok(outputs) => {
+            for out in outputs {
+                match out {
+                    SqlOutput::Rows { columns, rows } => {
+                        writeln!(writer, "COLS {}", columns.join("\t"))?;
+                        for row in &rows {
+                            let vals: Vec<String> =
+                                row.values().iter().map(|v| v.to_string()).collect();
+                            writeln!(writer, "ROW {}", vals.join("\t"))?;
+                        }
+                        writeln!(writer, "OK {} rows", rows.len())?;
+                    }
+                    SqlOutput::Affected(n) => writeln!(writer, "OK {n} affected")?,
+                    SqlOutput::Command(c) => writeln!(writer, "OK {c}")?,
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpd_engine::DbConfig;
+
+    #[test]
+    fn serves_a_scripted_connection() {
+        let db = Database::new(DbConfig::default());
+        let cache = Arc::new(PlanCache::new(16));
+        let input = "create table t (k int primary key, v int);\n\
+                     insert into t values (1, 10), (2, 20);\n\
+                     select k, v\n from t\n order by k;\n\
+                     select nope from t;\n\
+                     delete from t where k = 1;\n";
+        let mut out = Vec::new();
+        serve(&db, cache, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let expected = "OK CREATE TABLE\n\
+                        OK 2 affected\n\
+                        COLS k\tv\n\
+                        ROW 1\t10\n\
+                        ROW 2\t20\n\
+                        OK 2 rows\n\
+                        ERR invalid query: unknown-column at byte 7: unknown column 'nope'\n\
+                        OK 1 affected\n";
+        assert_eq!(text, expected);
+    }
+}

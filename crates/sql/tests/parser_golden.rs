@@ -1,0 +1,188 @@
+//! Golden-file parser corpus: each case's SQL is parsed and its debug AST
+//! compared against a checked-in snapshot under `tests/golden/`. Regenerate
+//! with `UPDATE_GOLDEN=1 cargo test -p hpd-sql --test parser_golden`.
+//!
+//! Negative cases assert the *named* error kind and the exact byte offset —
+//! the front-end's diagnostics are part of its contract.
+
+use std::path::PathBuf;
+
+use hpd_common::{DataType, Schema};
+use hpd_engine::{Database, DbConfig, IndexDescriptor};
+use hpd_sql::{bind, parse, SqlErrorKind};
+
+/// The positive corpus: one golden snapshot per named case.
+const CASES: &[(&str, &str)] = &[
+    ("select_star", "SELECT * FROM t"),
+    (
+        "projection_where",
+        "SELECT k, v FROM t WHERE k >= 10 AND v <> 3",
+    ),
+    (
+        "aggregates",
+        "SELECT COUNT(*), SUM(v), MIN(v), MAX(k) FROM t WHERE v > 0",
+    ),
+    ("group_by", "SELECT v, COUNT(k) FROM t GROUP BY v"),
+    (
+        "join",
+        "SELECT o.k, l.v FROM o JOIN l ON o.k = l.k WHERE l.v > 5",
+    ),
+    (
+        "order_limit",
+        "SELECT k, v FROM t ORDER BY 2 DESC, k ASC LIMIT 10",
+    ),
+    (
+        "between_or_not",
+        "SELECT k FROM t WHERE k BETWEEN 1 AND 9 OR NOT v = 2",
+    ),
+    ("arithmetic", "SELECT k FROM t WHERE v * (1 - k) + 2 > 0"),
+    ("params", "SELECT k FROM t WHERE k = ? AND v > ?"),
+    ("insert_multi", "INSERT INTO t VALUES (1, 2), (3, -4)"),
+    (
+        "update_top",
+        "UPDATE TOP 5 t SET v = v + 1, k = 0 WHERE k = 9",
+    ),
+    ("delete_between", "DELETE FROM t WHERE k BETWEEN 1 AND 3"),
+    ("begin_serializable", "BEGIN SERIALIZABLE"),
+    ("set_isolation", "SET ISOLATION SNAPSHOT"),
+    (
+        "create_table",
+        "CREATE TABLE orders (id INT PRIMARY KEY, total DECIMAL, placed DATE, note TEXT)",
+    ),
+    (
+        "create_table_columnstore",
+        "CREATE TABLE wide (id BIGINT PRIMARY KEY, x DOUBLE) USING COLUMNSTORE",
+    ),
+    ("create_index_include", "CREATE INDEX ON t (k) INCLUDE (v)"),
+    (
+        "create_columnstore_index",
+        "CREATE COLUMNSTORE INDEX ON t (k, v)",
+    ),
+    ("drop_index", "DROP INDEX 1 ON t"),
+    (
+        "string_escape_comment",
+        "SELECT k FROM t WHERE s = 'it''s' -- trailing comment",
+    ),
+];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.ast"))
+}
+
+#[test]
+fn parser_corpus_matches_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for (name, sql) in CASES {
+        let ast = parse(sql).unwrap_or_else(|e| panic!("corpus case `{name}` failed: {e}"));
+        let got = format!("{sql}\n=>\n{ast:#?}\n");
+        let path = golden_path(name);
+        if update {
+            std::fs::write(&path, &got).expect("write golden file");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!("missing golden file {path:?}; regenerate with UPDATE_GOLDEN=1")
+        });
+        if got != want {
+            failures.push(format!(
+                "`{name}` diverged from its snapshot\n--- got ---\n{got}\n--- want ---\n{want}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} snapshot(s) diverged (UPDATE_GOLDEN=1 regenerates):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_golden_snapshot_has_a_live_case() {
+    // Deleting a case must not leave a stale snapshot behind.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for entry in std::fs::read_dir(dir).expect("golden dir") {
+        let name = entry.unwrap().path();
+        let stem = name.file_stem().unwrap().to_string_lossy().into_owned();
+        assert!(
+            CASES.iter().any(|(n, _)| *n == stem),
+            "stale golden file {name:?} has no corpus case"
+        );
+    }
+}
+
+// ------------------------------------------------------------- negatives
+
+/// A database with `t(k INT PRIMARY KEY, v INT)` for bind-level negatives.
+fn test_db() -> Database {
+    let db = Database::new(DbConfig::default());
+    let schema = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int32)]);
+    db.create_table(
+        "t",
+        schema,
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )
+    .expect("create table");
+    db
+}
+
+#[test]
+fn unterminated_string_names_kind_and_offset() {
+    let e = parse("SELECT k FROM t WHERE s = 'oops").unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::UnterminatedString);
+    assert_eq!(e.offset, 26, "offset must point at the opening quote");
+    assert!(e.to_string().contains("unterminated-string at byte 26"));
+}
+
+#[test]
+fn unknown_column_names_kind_and_offset() {
+    let db = test_db();
+    let ast = parse("SELECT nope FROM t").unwrap();
+    let e = bind(&db, &ast, &[]).unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::UnknownColumn);
+    assert_eq!(e.offset, 7, "offset must point at the unknown identifier");
+}
+
+#[test]
+fn type_mismatch_names_kind_and_offset() {
+    let db = test_db();
+    let ast = parse("INSERT INTO t VALUES ('x', 2)").unwrap();
+    let e = bind(&db, &ast, &[]).unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::TypeMismatch);
+    assert_eq!(e.offset, 22, "offset must point at the offending literal");
+}
+
+#[test]
+fn unexpected_token_at_end_of_input() {
+    let e = parse("SELECT k FROM").unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::UnexpectedToken);
+    assert_eq!(e.offset, 13);
+}
+
+#[test]
+fn malformed_number_is_invalid() {
+    let e = parse("SELECT k FROM t WHERE k = 12abc").unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::InvalidNumber);
+    assert_eq!(e.offset, 26);
+}
+
+#[test]
+fn ambiguous_column_across_joined_tables() {
+    let db = test_db();
+    let schema = Schema::from_pairs(&[("k", DataType::Int32), ("w", DataType::Int32)]);
+    db.create_table(
+        "u",
+        schema,
+        vec![0],
+        IndexDescriptor::PrimaryBTree { keys: vec![0] },
+    )
+    .expect("create table");
+    let ast = parse("SELECT k FROM t JOIN u ON t.k = u.k").unwrap();
+    let e = bind(&db, &ast, &[]).unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::AmbiguousColumn);
+    assert_eq!(e.offset, 7);
+}

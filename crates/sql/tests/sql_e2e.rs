@@ -1,0 +1,249 @@
+//! End-to-end front-end tests: TPC-H-style SQL text against the hand-built
+//! workload AST on all three physical designs, N concurrent sessions over
+//! one engine, and an `hpd-cli` smoke test.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpd_common::{HpdError, Value};
+use hpd_engine::{Database, DbConfig, IsolationLevel};
+use hpd_sql::{bind, parse, Bound, PlanCache, SqlOutput, SqlSession};
+use hpd_workloads::tpch::{load_lineitem, q5_scan_range, MixedDesign};
+
+// ------------------------------------------------------------ TPC-H as SQL
+
+/// The paper's Q5 analytic scan, written as SQL text. Must lower to the
+/// exact statement `hpd_workloads::tpch::q5_scan_range(40, 80)` hand-builds
+/// and produce identical results under all three §3.4 designs.
+#[test]
+fn tpch_q5_sql_text_is_the_hand_built_ast_on_all_three_designs() {
+    let sql = "SELECT SUM(l_quantity), SUM(l_extendedprice * (1 - l_discount)) \
+               FROM lineitem WHERE l_shipdate BETWEEN 40 AND 80";
+    let hand = q5_scan_range(40, 80);
+
+    let mut per_design = Vec::new();
+    for design in [
+        MixedDesign::BTreeOnly,
+        MixedDesign::BTreeWithSecondaryCsi,
+        MixedDesign::PrimaryCsi,
+    ] {
+        let db = Database::new(DbConfig::default());
+        load_lineitem(&db, 20_000, 7, design).expect("load lineitem");
+
+        // Lowering: text -> parse -> bind must equal the hand-built AST.
+        let ast = parse(sql).expect("parse q5");
+        let Bound::Stmt(lowered) = bind(&db, &ast, &[]).expect("bind q5") else {
+            panic!("q5 must lower to an engine statement");
+        };
+        assert_eq!(
+            format!("{lowered:?}"),
+            format!("{hand:?}"),
+            "SQL lowering differs from the hand-built AST under {design:?}"
+        );
+
+        // Execution: the SQL path and the raw engine path agree.
+        let mut session = SqlSession::new(&db);
+        let SqlOutput::Rows { columns, rows } = session.execute_one(sql).expect("run q5 via SQL")
+        else {
+            panic!("q5 must return rows");
+        };
+        assert_eq!(columns, vec!["sum(l_quantity)", "sum(...)"]);
+        let raw = db
+            .session(IsolationLevel::ReadCommitted)
+            .run(&hand)
+            .expect("run q5 via engine AST");
+        assert_eq!(
+            rows, raw.rows,
+            "SQL and AST paths disagree under {design:?}"
+        );
+        per_design.push(rows);
+    }
+    assert!(
+        per_design.iter().all(|r| r == &per_design[0]),
+        "designs disagree on q5: {per_design:?}"
+    );
+}
+
+// ----------------------------------------------------- concurrent sessions
+
+fn retry_script(session: &mut SqlSession<'_>, script: &str) {
+    loop {
+        match session.execute(script) {
+            Ok(_) => return,
+            Err(HpdError::LockTimeout(_)) | Err(HpdError::SerializationFailure(_)) => {
+                // A failed statement leaves the script's transaction open;
+                // roll it back and retry the whole script.
+                if session.in_txn() {
+                    session.execute_one("ROLLBACK").expect("rollback");
+                }
+                std::thread::yield_now();
+            }
+            Err(e) => panic!("script `{script}` failed: {e}"),
+        }
+    }
+}
+
+/// Eight sessions on one engine: four serializable writers incrementing the
+/// same row (increments must not be lost) while four snapshot readers check
+/// that their per-transaction view is stable. Everything — DDL, DML, txn
+/// control — travels as SQL text through one shared plan cache.
+#[test]
+fn eight_concurrent_sessions_sustain_a_mixed_workload() {
+    const WRITERS: usize = 4;
+    const READERS: usize = 4;
+    const INCREMENTS: usize = 12;
+
+    let db = Database::new(DbConfig {
+        lock_timeout: Duration::from_millis(50),
+        ..DbConfig::default()
+    });
+    let cache = Arc::new(PlanCache::new(128));
+    {
+        let mut s = SqlSession::with_cache(&db, Arc::clone(&cache));
+        s.execute("CREATE TABLE acct (id INT PRIMARY KEY, grp INT, bal INT)")
+            .expect("create");
+        for i in 0..16 {
+            s.execute_one(&format!("INSERT INTO acct VALUES ({i}, {}, 100)", i % 4))
+                .expect("seed row");
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            let cache = Arc::clone(&cache);
+            let db = &db;
+            scope.spawn(move || {
+                let mut s = SqlSession::with_cache(db, cache);
+                s.execute_one("SET ISOLATION SERIALIZABLE")
+                    .expect("set iso");
+                for _ in 0..INCREMENTS {
+                    retry_script(
+                        &mut s,
+                        "BEGIN; UPDATE acct SET bal = bal + 1 WHERE id = 0; COMMIT",
+                    );
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let cache = Arc::clone(&cache);
+            let db = &db;
+            scope.spawn(move || {
+                let mut s = SqlSession::with_cache(db, cache);
+                s.execute_one("SET ISOLATION SNAPSHOT").expect("set iso");
+                for _ in 0..INCREMENTS {
+                    // Within one snapshot transaction, two reads of a row
+                    // being hammered by the writers must agree.
+                    s.execute_one("BEGIN").expect("begin");
+                    let a = s
+                        .execute_one("SELECT bal FROM acct WHERE id = 0")
+                        .expect("read 1");
+                    let b = s
+                        .execute_one("SELECT bal FROM acct WHERE id = 0 AND grp = 0")
+                        .expect("read 2");
+                    let (SqlOutput::Rows { rows: ra, .. }, SqlOutput::Rows { rows: rb, .. }) =
+                        (a, b)
+                    else {
+                        panic!("reads must return rows")
+                    };
+                    assert_eq!(ra, rb, "snapshot read tore within one transaction");
+                    s.execute_one("COMMIT").expect("commit");
+                }
+            });
+        }
+    });
+
+    let mut s = SqlSession::with_cache(&db, Arc::clone(&cache));
+    let SqlOutput::Rows { rows, .. } = s
+        .execute_one("SELECT bal FROM acct WHERE id = 0")
+        .expect("final read")
+    else {
+        panic!("final read must return rows")
+    };
+    assert_eq!(
+        rows[0].values()[0],
+        Value::Int32(100 + (WRITERS * INCREMENTS) as i32),
+        "increments were lost across concurrent sessions"
+    );
+    assert!(cache.hits() > 0, "sessions must share the plan cache");
+}
+
+/// Transaction state is per-session: one session's open transaction neither
+/// blocks nor leaks into another's view until commit.
+#[test]
+fn sessions_have_independent_transaction_state() {
+    let db = Database::new(DbConfig::default());
+    let mut s1 = SqlSession::new(&db);
+    let mut s2 = SqlSession::new(&db);
+    s1.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        .expect("ddl");
+
+    s2.execute_one("SET ISOLATION SNAPSHOT").expect("set iso");
+    s2.execute_one("BEGIN").expect("s2 begin");
+    // s2's snapshot predates s1's insert.
+    s1.execute_one("BEGIN").expect("s1 begin");
+    assert!(s1.in_txn() && s2.in_txn());
+    s1.execute_one("INSERT INTO t VALUES (1, 10)")
+        .expect("s1 insert");
+    s1.execute_one("COMMIT").expect("s1 commit");
+    assert!(
+        !s1.in_txn() && s2.in_txn(),
+        "commit in s1 must not close s2's txn"
+    );
+
+    let SqlOutput::Rows { rows, .. } = s2.execute_one("SELECT k FROM t").expect("s2 read") else {
+        panic!()
+    };
+    assert!(
+        rows.is_empty(),
+        "snapshot session saw a post-snapshot commit"
+    );
+    s2.execute_one("COMMIT").expect("s2 commit");
+
+    let SqlOutput::Rows { rows, .. } = s2.execute_one("SELECT k FROM t").expect("s2 reread") else {
+        panic!()
+    };
+    assert_eq!(rows.len(), 1, "new snapshot must see the committed row");
+}
+
+// --------------------------------------------------------------- CLI smoke
+
+/// Pipe a multi-statement script through `hpd-cli` and diff the transcript.
+#[test]
+fn cli_runs_a_scripted_session() {
+    let script = "CREATE TABLE t (k INT PRIMARY KEY, v INT);\n\
+                  INSERT INTO t VALUES (1, 10), (2, 20);\n\
+                  SELECT k, v FROM t ORDER BY k;\n\
+                  UPDATE t SET v = v + 5 WHERE k = 2;\n\
+                  SELECT SUM(v) FROM t;\n\
+                  SELECT nope FROM t;\n";
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hpd-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hpd-cli");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait for hpd-cli");
+    assert!(out.status.success(), "hpd-cli exited non-zero: {out:?}");
+
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let expected = "OK CREATE TABLE\n\
+                    OK (2 affected)\n\
+                    k | v\n\
+                    1 | 10\n\
+                    2 | 20\n\
+                    (2 rows)\n\
+                    OK (1 affected)\n\
+                    sum(v)\n\
+                    35\n\
+                    (1 rows)\n\
+                    ERR: invalid query: unknown-column at byte 7: unknown column 'nope'\n";
+    assert_eq!(stdout, expected, "CLI transcript diverged");
+}

@@ -143,8 +143,58 @@ impl MixedOp {
                     AggItem::column(AggFunc::Count, ColRef::new(0, COL_K)),
                     AggItem::column(AggFunc::Sum, ColRef::new(0, COL_B)),
                 ],
+                // The grouping column is also projected, mirroring the SQL
+                // form `SELECT a, count(k), sum(b) ... GROUP BY a` (the
+                // executor's grouped output is group_by ++ aggregates
+                // either way).
+                select: vec![ColRef::new(0, COL_A)],
                 ..Default::default()
             }),
+            MixedOp::Maintenance => return None,
+        })
+    }
+
+    /// SQL text for this op against `table`, in the front-end's dialect;
+    /// `None` for [`MixedOp::Maintenance`]. Lowering this text through the
+    /// SQL binder must produce exactly [`MixedOp::to_statement`]'s AST —
+    /// the harness's SQL mode cross-checks the two on every statement.
+    pub fn to_sql(&self, table: &str) -> Option<String> {
+        Some(match *self {
+            MixedOp::PointUpdate { key, delta } => {
+                format!("UPDATE {table} SET b = b + {delta} WHERE k = {key}")
+            }
+            MixedOp::RangeUpdate { lo, hi, delta } => {
+                format!("UPDATE {table} SET b = b + {delta} WHERE k BETWEEN {lo} AND {hi}")
+            }
+            MixedOp::PointDelete { key } => {
+                format!("DELETE FROM {table} WHERE k = {key}")
+            }
+            MixedOp::RangeDelete { lo, hi } => {
+                format!("DELETE FROM {table} WHERE k BETWEEN {lo} AND {hi}")
+            }
+            MixedOp::Insert { key, a, b } => {
+                format!("INSERT INTO {table} VALUES ({key}, {a}, {b})")
+            }
+            MixedOp::RangeScan { lo, hi, limit } => {
+                let mut s =
+                    format!("SELECT k, a, b FROM {table} WHERE k BETWEEN {lo} AND {hi} ORDER BY k");
+                if let Some(n) = limit {
+                    s.push_str(&format!(" LIMIT {n}"));
+                }
+                s
+            }
+            MixedOp::Agg { lo, hi } => {
+                format!(
+                    "SELECT COUNT(k), SUM(b), MIN(b), MAX(b) FROM {table} \
+                     WHERE a BETWEEN {lo} AND {hi}"
+                )
+            }
+            MixedOp::GroupAgg { lo, hi } => {
+                format!(
+                    "SELECT a, COUNT(k), SUM(b) FROM {table} \
+                     WHERE k BETWEEN {lo} AND {hi} GROUP BY a"
+                )
+            }
             MixedOp::Maintenance => return None,
         })
     }

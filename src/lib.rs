@@ -17,7 +17,9 @@
 //! * [`advisor`] — the paper's core contribution: the tuning advisor that
 //!   recommends hybrid B+ tree / columnstore designs;
 //! * [`workloads`] — data and workload generators (micro-benchmarks, TPC-H
-//!   lineitem, TPC-DS-like, TPC-C/CH, customer-workload synthesizer).
+//!   lineitem, TPC-DS-like, TPC-C/CH, customer-workload synthesizer);
+//! * [`sql`] — the SQL front-end: lexer, parser, binder, plan cache,
+//!   concurrent sessions, line protocol, and the `hpd-cli` REPL.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
 //! the per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
@@ -30,5 +32,6 @@ pub use hpd_common as common;
 pub use hpd_engine as engine;
 pub use hpd_exec as exec;
 pub use hpd_obs as obs;
+pub use hpd_sql as sql;
 pub use hpd_storage as storage;
 pub use hpd_workloads as workloads;

@@ -4,6 +4,7 @@
 
 use hybrid_physical_designs::advisor::{Advisor, AdvisorOptions, Workload};
 use hybrid_physical_designs::engine::{Database, DbConfig};
+use hybrid_physical_designs::sql::SqlSession;
 use hybrid_physical_designs::workloads::tpch::{
     load_lineitem, q4_update, q5_scan_range, MixedDesign,
 };
@@ -24,6 +25,22 @@ fn every_registered_metric_is_documented() {
     for i in 0..8 {
         db.query(&q5_scan_range(40 * i, 40 * i + 80)).run().unwrap();
         db.query(&q4_update(10, 40 * i)).run().unwrap();
+    }
+    // The SQL front-end: statements, parse timing, plan-cache hit/miss/
+    // invalidation, parse errors, and session/transaction counters.
+    {
+        let mut s = SqlSession::new(&db);
+        s.execute("BEGIN; SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate BETWEEN 40 AND 80; COMMIT")
+            .unwrap();
+        s.execute_one("SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate BETWEEN 10 AND 90")
+            .unwrap();
+        s.execute_one("BEGIN").unwrap();
+        s.execute_one("ROLLBACK").unwrap();
+        s.execute_one("CREATE INDEX ON lineitem (l_suppkey)")
+            .unwrap();
+        s.execute_one("SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate BETWEEN 40 AND 80")
+            .unwrap();
+        s.execute_one("SELECT definitely_not_sql FROM").unwrap_err();
     }
     db.force_csi_maintenance("lineitem").unwrap();
     db.checkpoint().unwrap();

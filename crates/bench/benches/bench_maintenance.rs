@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for incremental maintenance: the cost of one
+//! budgeted increment at steady state, a full drain of a cold backlog, and
+//! the read-only `report()` probe. EXPERIMENTS.md §3.6 quotes the
+//! mixed-load latency numbers from the `maintenance_mixed` bin; these
+//! benches track the per-increment costs that feed the scheduler's
+//! benefit/interference trade-off.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpd_common::{DataType, Row, Schema, Value};
+use hpd_engine::{Database, DbConfig, IndexDescriptor, Statement, WalConfig};
+
+fn row(id: i32) -> Row {
+    Row::new(vec![
+        Value::Int32(id),
+        Value::Int32(id % 7),
+        Value::Int64(i64::from(id) * 10),
+    ])
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("id", DataType::Int32),
+        ("grp", DataType::Int32),
+        ("val", DataType::Int64),
+    ])
+}
+
+fn make_db() -> Database {
+    let db = Database::new(DbConfig {
+        wal: WalConfig::default(),
+        ..DbConfig::default()
+    });
+    db.create_table("t", schema(), vec![0], IndexDescriptor::PrimaryCsi)
+        .unwrap();
+    db.load_table("t", (0..10_000).map(row).collect()).unwrap();
+    db
+}
+
+/// One multi-row insert = one commit appending `n` delta rows.
+fn insert_batch(db: &Database, start: i32, n: i32) {
+    let stmt = Statement::Insert(hpd_engine::InsertStmt {
+        table: "t".into(),
+        rows: (start..start + n).map(row).collect(),
+    });
+    db.query(&stmt).run().unwrap();
+}
+
+/// Steady state: every iteration adds 256 delta rows and drains exactly one
+/// 256-row budgeted increment, so the backlog stays bounded and the
+/// measured cost is the per-increment price the scheduler pays each tick.
+fn bench_increment(c: &mut Criterion) {
+    let db = make_db();
+    let mut next = 10_000i32;
+    c.bench_function("maintenance/increment_256", |b| {
+        b.iter(|| {
+            insert_batch(&db, next, 256);
+            next += 256;
+            std::hint::black_box(db.maintenance("t").budget_rows(256).run().unwrap());
+        })
+    });
+}
+
+/// Full stop-the-world drain of a 1024-row backlog (the old
+/// `force_csi_maintenance` behavior, now `.full()`); backlog rebuilt
+/// outside the timed section.
+fn bench_full_pass(c: &mut Criterion) {
+    let db = make_db();
+    let mut next = 10_000_000i32;
+    c.bench_function("maintenance/full_pass_1k", |b| {
+        b.iter_batched(
+            || {
+                insert_batch(&db, next, 1024);
+                next += 1024;
+            },
+            |()| std::hint::black_box(db.maintenance("t").full().run().unwrap()),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+/// The read-only status probe the CLI's `\heat`-adjacent tooling and the
+/// scheduler's scoring lean on; must stay far below an increment.
+fn bench_report(c: &mut Criterion) {
+    let db = make_db();
+    insert_batch(&db, 20_000, 512);
+    c.bench_function("maintenance/report", |b| {
+        b.iter(|| std::hint::black_box(db.maintenance("t").report().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_increment, bench_full_pass, bench_report);
+criterion_main!(benches);

@@ -136,6 +136,18 @@ impl RowGroupHeatSnapshot {
     }
 }
 
+/// What one budgeted maintenance increment actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CsiMaintenanceStep {
+    /// Buffered logical deletes resolved into delete-bitmap bits.
+    pub deletes_compacted: usize,
+    /// Delta rows compressed into row groups.
+    pub rows_moved: usize,
+    /// True when no backlog remains (empty delta store *and* delete
+    /// buffer) — the next increment would be a no-op.
+    pub done: bool,
+}
+
 /// Heat report for one columnstore index.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CsiHeatReport {
@@ -597,7 +609,7 @@ impl ColumnStoreIndex {
     /// Buffered deletes are compacted first: the delete buffer anti-joins
     /// against *compressed row groups only*, so rows moving from the delta
     /// into a row group must never collide with a stale buffered key.
-    pub fn tuple_move(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+    fn tuple_move(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
         if self.delete_buffer_len() > 0 && self.delta.len() >= self.config.rowgroup_capacity {
             self.compact_delete_buffer(pool, tracker);
         }
@@ -617,7 +629,7 @@ impl ColumnStoreIndex {
 
     /// Force-compress the remaining delta rows (index reorganize). Returns
     /// the number of delta rows migrated.
-    pub fn compress_all_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+    fn compress_all_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
         // Same invariant as `tuple_move`, but unconditional on delta size:
         // every delta row is about to become a compressed row, so no
         // buffered delete may be left to anti-join against it. An UPDATE
@@ -635,31 +647,147 @@ impl ColumnStoreIndex {
         moved
     }
 
-    /// Resolve buffered logical deletes into delete-bitmap bits (the
-    /// background compaction of paper §2). Clears the delete buffer and
-    /// returns the number of buffered deletes resolved.
+    /// One resumable maintenance increment, bounded by `budget_rows` rows
+    /// of work (buffered deletes resolved plus delta rows compressed).
     ///
-    /// One pass: every row group's key segments are scanned once and all
-    /// buffered keys matched together, rather than one locating scan per
-    /// buffered key.
-    pub fn compact_delete_buffer(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+    /// The increment is a two-phase state machine whose state lives in the
+    /// index itself (the delete buffer and delta store), so it resumes
+    /// exactly where the previous increment stopped:
+    ///
+    /// 1. While the delete buffer is non-empty, the budget is spent
+    ///    resolving buffered deletes into bitmap bits (smallest keys
+    ///    first, so slices are deterministic).
+    /// 2. Only once the buffer is empty may leftover budget compress delta
+    ///    rows — the same invariant the full reorganize enforces: a row
+    ///    migrating out of the delta must never collide with a stale
+    ///    buffered delete of its key (the UPDATE regression of the tuple
+    ///    mover), and phase ordering guarantees that without per-key
+    ///    probes.
+    ///
+    /// `usize::MAX` is "no budget": compact everything, then compress
+    /// everything — the old stop-the-world pass.
+    pub fn maintenance_step(
+        &mut self,
+        budget_rows: usize,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> CsiMaintenanceStep {
+        // Injected preemption inside the incremental mover: the step runs
+        // with half its budget, as if the scheduler clawed back its slot.
+        let budget = if faults::fire(faults::sites::MAINT_STEP_SHRINK) {
+            (budget_rows / 2).max(1)
+        } else {
+            budget_rows.max(1)
+        };
+        let deletes_compacted = if self.delete_buffer_len() > 0 {
+            self.compact_deletes_budget(budget, pool, tracker)
+        } else {
+            0
+        };
+        let mut rows_moved = 0;
+        let remaining = budget.saturating_sub(deletes_compacted);
+        if remaining > 0 && self.delete_buffer_len() == 0 && !self.delta.is_empty() {
+            rows_moved = self.compress_delta_budget(remaining, pool, tracker);
+        }
+        CsiMaintenanceStep {
+            deletes_compacted,
+            rows_moved,
+            done: self.delete_buffer_len() == 0 && self.delta.is_empty(),
+        }
+    }
+
+    /// Run maintenance to completion (the old `force` pass): resolve every
+    /// buffered delete, then compress every delta row.
+    pub fn maintenance_full(
+        &mut self,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> CsiMaintenanceStep {
+        self.maintenance_step(usize::MAX, pool, tracker)
+    }
+
+    /// Rows of pending maintenance work: staged delta rows plus buffered
+    /// deletes. The scheduler's per-index backlog measure.
+    pub fn maintenance_backlog(&self) -> usize {
+        self.delta.len() + self.delete_buffer_len()
+    }
+
+    /// Compress up to `max_rows` delta rows into row groups. Capacity-sized
+    /// chunks while the budget allows, then one bounded partial chunk so a
+    /// budget below `rowgroup_capacity` still makes progress (small row
+    /// groups are the accepted cost of incremental progress, exactly as
+    /// under the `TUPLE_MOVE_FORCE` fault).
+    ///
+    /// Caller must have emptied the delete buffer first (see the
+    /// `maintenance_step` phase ordering).
+    fn compress_delta_budget(
+        &mut self,
+        max_rows: usize,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> usize {
+        debug_assert!(
+            self.delete_buffer_len() == 0,
+            "delta rows must never compress past a non-empty delete buffer"
+        );
+        let mut budget = max_rows;
+        let mut moved = 0;
+        while budget > 0 && !self.delta.is_empty() {
+            hpd_obs::global()
+                .counter("columnstore.maintenance.tuple_move")
+                .inc();
+            let want = budget.min(self.config.rowgroup_capacity);
+            let rows = self.delta.drain(want, pool, tracker);
+            if rows.is_empty() {
+                break;
+            }
+            budget -= rows.len().min(budget);
+            moved += rows.len();
+            self.compress_chunk(&rows, pool, tracker);
+        }
+        moved
+    }
+
+    /// Resolve buffered logical deletes into delete-bitmap bits (the
+    /// background compaction of paper §2), clearing the whole buffer.
+    /// Returns the number of buffered deletes resolved.
+    fn compact_delete_buffer(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+        self.compact_deletes_budget(usize::MAX, pool, tracker)
+    }
+
+    /// Resolve up to `max_keys` buffered logical deletes into delete-bitmap
+    /// bits; the remaining keys stay buffered (and keep anti-joining scans),
+    /// so a partial slice is always consistent. Keys resolve smallest first,
+    /// making slices deterministic and resumable.
+    ///
+    /// One pass per slice: every row group's key segments are scanned once
+    /// and all selected keys matched together, rather than one locating
+    /// scan per buffered key.
+    pub fn compact_deletes_budget(
+        &mut self,
+        max_keys: usize,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> usize {
         let Some(buffer) = self.delete_buffer.as_mut() else {
             return 0;
         };
-        if buffer.is_empty() {
+        if buffer.is_empty() || max_keys == 0 {
             return 0;
         }
         hpd_obs::global()
             .counter("columnstore.maintenance.delete_buffer_compact")
             .inc();
-        let mut pending: HashSet<Key> = buffer
-            .scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker)
-            .into_iter()
-            .map(|(k, _)| k)
-            .collect();
+        let mut entries: Vec<(Key, Row)> =
+            buffer.scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker);
+        let keep = entries.split_off(entries.len().min(max_keys));
+        let mut pending: HashSet<Key> = entries.into_iter().map(|(k, _)| k).collect();
         let compacted = pending.len();
-        // Replace with an empty buffer.
+        // Replace with a buffer holding only the keys beyond the budget.
         *buffer = BTree::new(BTreeConfig::for_entry_width(32), self.alloc.clone());
+        for (k, r) in keep {
+            buffer.insert(k, r, pool, tracker);
+        }
 
         let key_ords = self.key_ordinals.clone();
         for rg_idx in 0..self.row_groups.len() {

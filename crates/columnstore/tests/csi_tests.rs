@@ -269,7 +269,7 @@ fn compact_delete_buffer_resolves_to_bitmap() {
         idx.delete(&Key::single(Value::Int32(k)), &pool, &t);
     }
     assert_eq!(idx.delete_buffer_len(), 3);
-    idx.compact_delete_buffer(&pool, &t);
+    idx.compact_deletes_budget(usize::MAX, &pool, &t);
     assert_eq!(idx.delete_buffer_len(), 0);
     assert_eq!(idx.active_rows(), 297);
     let ids = all_ids(&idx, &pool);
@@ -341,7 +341,7 @@ fn compress_all_delta_flushes_remainder() {
         idx.insert(Row::new(vec![Value::Int32(i), Value::Int32(0)]), &pool, &t);
     }
     assert_eq!(idx.num_rowgroups(), 0);
-    idx.compress_all_delta(&pool, &t);
+    idx.maintenance_full(&pool, &t);
     assert_eq!(idx.delta_rows(), 0);
     assert_eq!(idx.num_rowgroups(), 1);
     assert_eq!(all_ids(&idx, &pool), (0..42).collect::<Vec<_>>());
@@ -382,7 +382,7 @@ proptest! {
         prop_assert_eq!(all_ids(&idx, &pool), model.clone());
         prop_assert_eq!(idx.active_rows(), model.len());
         // Compaction must not change visible contents.
-        idx.compact_delete_buffer(&pool, &t);
+        idx.compact_deletes_budget(usize::MAX, &pool, &t);
         prop_assert_eq!(all_ids(&idx, &pool), model);
     }
 

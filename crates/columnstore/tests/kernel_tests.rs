@@ -322,7 +322,7 @@ proptest! {
             );
         }
         if compact {
-            idx.compact_delete_buffer(&pool, &t);
+            idx.compact_deletes_budget(usize::MAX, &pool, &t);
         }
         let pivot = |i: usize| vals[i % vals.len()].clone();
         let mut intervals = HashMap::new();
@@ -498,7 +498,7 @@ proptest! {
             model.insert(*d, d % 50);
         }
         if compact {
-            idx.compact_delete_buffer(&pool, &t);
+            idx.compact_deletes_budget(usize::MAX, &pool, &t);
         }
         let mut intervals = HashMap::new();
         intervals.insert(1usize, Interval::between(Value::Int32(lo), Value::Int32(lo + width)));

@@ -119,7 +119,7 @@ fn fully_deleted_secondary_compaction_resolves_all_keys() {
         "anti-join must hide every buffered delete"
     );
 
-    idx.compact_delete_buffer(&pool, &t);
+    idx.compact_deletes_budget(usize::MAX, &pool, &t);
     assert_eq!(idx.delete_buffer_len(), 0);
     assert_eq!(idx.active_rows(), 0);
     assert!(visible_ids(&idx, &pool).is_empty());
@@ -189,12 +189,169 @@ fn compress_all_delta_compacts_stale_buffered_deletes_first() {
     assert_eq!(idx.delta_rows(), 1);
     assert_eq!(visible_ids(&idx, &pool), (0..n).collect::<Vec<_>>());
 
-    idx.compress_all_delta(&pool, &t);
+    idx.maintenance_full(&pool, &t);
     assert_eq!(idx.delta_rows(), 0);
     assert_eq!(idx.delete_buffer_len(), 0);
     assert_eq!(
         visible_ids(&idx, &pool),
         (0..n).collect::<Vec<_>>(),
         "the updated row must survive reorganization"
+    );
+}
+
+/// Budget slicing (ISSUE 9): a budgeted increment must stop at its row
+/// budget and the next increment must resume exactly where it stopped —
+/// scans between increments see every row exactly once, and the increments
+/// sum to the full backlog with nothing lost or duplicated.
+#[test]
+fn budgeted_increments_resume_partial_drain_exactly() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 0);
+
+    faults::arm(faults::sites::TUPLE_MOVE_DEFER, u32::MAX);
+    let backlog = 2 * CAP as i32 + 9;
+    for i in 0..backlog {
+        idx.insert(row(i), &pool, &t);
+    }
+    faults::reset_charges();
+    assert_eq!(idx.delta_rows(), backlog as usize);
+
+    let budget = CAP / 4;
+    let mut total_moved = 0;
+    let mut increments = 0;
+    loop {
+        let before = idx.delta_rows();
+        let step = idx.maintenance_step(budget, &pool, &t);
+        assert!(step.rows_moved <= budget, "increment exceeded its budget");
+        assert_eq!(
+            idx.delta_rows(),
+            before - step.rows_moved,
+            "resume point drifted between increments"
+        );
+        total_moved += step.rows_moved;
+        increments += 1;
+        // Every intermediate state is fully scannable: no row lost to a
+        // half-finished move, none duplicated across delta and row groups.
+        assert_eq!(
+            visible_ids(&idx, &pool),
+            (0..backlog).collect::<Vec<_>>(),
+            "after increment {increments}"
+        );
+        if step.done {
+            break;
+        }
+        assert!(increments < 64, "budgeted drain failed to terminate");
+    }
+    assert_eq!(total_moved, backlog as usize);
+    assert_eq!(idx.delta_rows(), 0);
+    assert!(increments >= (backlog as usize).div_ceil(budget));
+}
+
+/// A row budget below the delete-buffer depth slices the buffer: each
+/// increment resolves exactly `budget` keys (smallest first) into bitmap
+/// bits, the rest keep anti-joining scans, and no delta row may compress
+/// while any buffered delete remains.
+#[test]
+fn budgeted_step_slices_delete_buffer_and_preserves_antijoin() {
+    let n = 2 * CAP as i32;
+    let (mut idx, pool, t) = setup(CsiKind::Secondary, n);
+    for k in 0..10 {
+        assert!(idx.delete(&Key::single(Value::Int32(k)), &pool, &t));
+    }
+    // Stage a delta row too: it must NOT move while deletes are buffered.
+    idx.insert(row(n), &pool, &t);
+    assert_eq!(idx.delete_buffer_len(), 10);
+
+    let expected: Vec<i32> = (10..=n).collect();
+    let mut remaining = 10usize;
+    let mut delta_moved = 0;
+    while remaining > 0 {
+        let step = idx.maintenance_step(3, &pool, &t);
+        assert_eq!(step.deletes_compacted, remaining.min(3));
+        remaining -= step.deletes_compacted;
+        if remaining > 0 {
+            // While any delete stays buffered, no delta row may compress:
+            // a stale buffered delete would anti-join the moved row away.
+            assert_eq!(
+                step.rows_moved, 0,
+                "delta rows compressed past a non-empty delete buffer"
+            );
+        } else {
+            // The final slice drained the buffer; leftover budget may now
+            // be spent on the delta row within the same increment.
+            delta_moved += step.rows_moved;
+        }
+        assert_eq!(idx.delete_buffer_len(), remaining);
+        assert_eq!(visible_ids(&idx, &pool), expected);
+    }
+    // Whatever budget remained, the delta row must end up compressed.
+    if delta_moved == 0 {
+        let step = idx.maintenance_step(CAP, &pool, &t);
+        delta_moved += step.rows_moved;
+        assert!(step.done);
+    }
+    assert_eq!(delta_moved, 1);
+    assert_eq!(idx.delta_rows(), 0);
+    assert_eq!(visible_ids(&idx, &pool), expected);
+}
+
+/// The PR 3 invariant under budgeted increments: an UPDATE's stale
+/// buffered delete (old compressed version) plus delta insert (new
+/// version) must be compacted-then-moved in that order even when each
+/// increment has a one-row budget — the new version must never vanish.
+#[test]
+fn budgeted_increments_preserve_stale_buffered_delete_invariant() {
+    let n = CAP as i32;
+    let (mut idx, pool, t) = setup(CsiKind::Secondary, n);
+    idx.delete(&Key::single(Value::Int32(5)), &pool, &t);
+    idx.insert(row(5), &pool, &t);
+    assert_eq!(idx.delete_buffer_len(), 1);
+    assert_eq!(idx.delta_rows(), 1);
+
+    // Budget 1: the whole increment is spent resolving the buffered
+    // delete; the delta row must wait for the next increment.
+    let step = idx.maintenance_step(1, &pool, &t);
+    assert_eq!((step.deletes_compacted, step.rows_moved), (1, 0));
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (0..n).collect::<Vec<_>>(),
+        "updated row lost between increments"
+    );
+
+    let step = idx.maintenance_step(1, &pool, &t);
+    assert_eq!((step.deletes_compacted, step.rows_moved), (0, 1));
+    assert!(step.done);
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (0..n).collect::<Vec<_>>(),
+        "the updated row must survive budgeted reorganization"
+    );
+}
+
+/// The MAINT_STEP_SHRINK fault halves an increment's budget; the shrunken
+/// increment must stay consistent and later increments finish the job.
+#[test]
+fn shrunken_increment_stays_consistent_and_resumes() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 0);
+    faults::arm(faults::sites::TUPLE_MOVE_DEFER, u32::MAX);
+    for i in 0..CAP as i32 {
+        idx.insert(row(i), &pool, &t);
+    }
+    faults::reset_charges();
+
+    faults::arm(faults::sites::MAINT_STEP_SHRINK, 1);
+    let step = idx.maintenance_step(CAP, &pool, &t);
+    faults::reset_charges();
+    assert_eq!(step.rows_moved, CAP / 2, "shrunk to half the budget");
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (0..CAP as i32).collect::<Vec<_>>()
+    );
+
+    let step = idx.maintenance_step(CAP, &pool, &t);
+    assert_eq!(step.rows_moved, CAP - CAP / 2);
+    assert!(step.done);
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (0..CAP as i32).collect::<Vec<_>>()
     );
 }

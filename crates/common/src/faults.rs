@@ -131,6 +131,10 @@ pub mod sites {
     /// `DeltaStore::drain` hands back fewer rows than asked (interrupted
     /// mover; callers must loop, not assume one drain empties the delta).
     pub const DELTA_DRAIN_PARTIAL: &str = "columnstore.delta.drain_partial";
+    /// A budgeted maintenance increment runs with half its row budget, as
+    /// if the scheduler preempted the incremental mover mid-slice. The
+    /// increment must stay consistent and resume on the next call.
+    pub const MAINT_STEP_SHRINK: &str = "columnstore.maintenance.step_shrink";
     /// `SpillFile::write` fails as if the spill device were full.
     pub const SPILL_WRITE_FAIL: &str = "storage.spill.write_fail";
     /// `GrantBroker::acquire` fails as if the admission wait timed out,
@@ -150,6 +154,11 @@ pub mod sites {
     /// Crash between a fuzzy checkpoint's begin record and the atomic
     /// install of its image: recovery uses the previous checkpoint.
     pub const CRASH_IN_CHECKPOINT: &str = "wal.crash.in_checkpoint";
+    /// Crash inside a maintenance increment, after the physical
+    /// reorganization applied but before its `MaintenanceStep` record is
+    /// flushed. Maintenance never changes logical contents, so recovery
+    /// (which loses the record) must still equal the committed state.
+    pub const CRASH_IN_MAINTENANCE: &str = "wal.crash.in_maintenance";
     /// Recovery skips redoing logged inserts into tables with a columnstore
     /// (deliberate-bug knob proving the crash harness catches and shrinks a
     /// real redo omission).

@@ -16,6 +16,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::cost::CostModel;
 use crate::design::{Configuration, IndexDescriptor, IndexMeta, TableDesign};
 use crate::executor::{ExecutionResult, QueryRunner, TableOverlay};
+use crate::maintenance::MaintenanceConfig;
 use crate::optimizer::{Optimizer, TableContext};
 use crate::plan::PhysicalPlan;
 use crate::query::{DeleteStmt, InsertStmt, SelectQuery, Statement, UpdateStmt};
@@ -52,6 +53,11 @@ pub struct DbConfig {
     pub lock_timeout: Duration,
     /// Statements retained by the query store ring buffer.
     pub query_store_capacity: usize,
+    /// Background maintenance scheduler knobs (tick, per-increment row
+    /// budget, heat-decay cadence; see [`MaintenanceConfig`]). Only used
+    /// once [`crate::spawn_maintenance`] is called — `db.maintenance(...)`
+    /// increments driven by callers ignore the scheduler knobs.
+    pub maintenance: MaintenanceConfig,
     /// Write-ahead log / durability knobs (see [`hpd_wal::WalConfig`]).
     pub wal: WalConfig,
     /// Enable structured tracing (`hpd_obs::trace`) at database creation:
@@ -75,6 +81,7 @@ impl Default for DbConfig {
             min_grant_bytes: 64 << 10,
             lock_timeout: Duration::from_secs(5),
             query_store_capacity: 256,
+            maintenance: MaintenanceConfig::default(),
             wal: WalConfig::default(),
             tracing: false,
         }
@@ -186,8 +193,9 @@ impl Database {
 
     /// Per-rowgroup access heat for every columnstore index in the
     /// database, as `(table, index, report)` triples (`index` is
-    /// `"primary"` or `"secondary"`). Counters are decayed by maintenance
-    /// passes, so scores weight recent access.
+    /// `"primary"` or `"secondary"`). Counters are decayed on the
+    /// maintenance scheduler's clock ([`Database::decay_heat`]), so scores
+    /// weight recent access.
     pub fn heat_report(&self) -> Vec<(String, String, hpd_columnstore::CsiHeatReport)> {
         let slots = self.tables.read().clone();
         let mut out = Vec::new();
@@ -422,7 +430,12 @@ impl Database {
         Ok(())
     }
 
-    fn slot(&self, name: &str) -> Result<Arc<TableSlot>> {
+    /// Every table slot, snapshotted outside the registry lock.
+    pub(crate) fn tables_snapshot(&self) -> Vec<Arc<TableSlot>> {
+        self.tables.read().clone()
+    }
+
+    pub(crate) fn slot(&self, name: &str) -> Result<Arc<TableSlot>> {
         self.tables
             .read()
             .iter()
@@ -431,7 +444,7 @@ impl Database {
             .ok_or_else(|| HpdError::UnknownTable(name.to_string()))
     }
 
-    fn slot_id(&self, name: &str) -> Result<usize> {
+    pub(crate) fn slot_id(&self, name: &str) -> Result<usize> {
         self.tables
             .read()
             .iter()
@@ -451,60 +464,6 @@ impl Database {
         let slot = self.slot(name)?;
         let mut guard = slot.table.write();
         Ok(f(&mut guard))
-    }
-
-    /// Run columnstore maintenance (tuple mover + delete-buffer compaction)
-    /// on the named table now, as the background processes would. Takes the
-    /// table's write latch, so it serializes with statements but can land
-    /// between any two of them — exactly the interleavings the differential
-    /// harness schedules.
-    pub fn force_csi_maintenance(&self, name: &str) -> Result<()> {
-        // Root span: background work never nests under whatever query
-        // happens to be current on the calling thread.
-        let mut span = hpd_obs::trace::root_span("background.maintenance");
-        let cpu_start = Instant::now();
-        let _commit = self.commit_lock.lock();
-        let slot = self.slot(name)?;
-        let table_id = self.slot_id(name)? as u32;
-        let t = IoTracker::new();
-        let (moved, compacted) = slot.table.write().force_csi_maintenance(&self.pool, &t);
-        if self.wal.enabled() && (moved > 0 || compacted > 0) {
-            // Logged in apply order: deletes are compacted before delta rows
-            // are migrated (see `Table::force_csi_maintenance`).
-            let mut lsn = 0;
-            if compacted > 0 {
-                lsn = self.wal.append(&LogRecord::DeltaCompaction {
-                    table: table_id,
-                    rows: compacted as u64,
-                });
-            }
-            if moved > 0 {
-                lsn = self.wal.append(&LogRecord::TupleMoverMigrate {
-                    table: table_id,
-                    rows: moved as u64,
-                });
-            }
-            self.wal.flush(&t);
-            slot.applied_lsn.store(lsn, Ordering::Relaxed);
-        }
-        let m = hpd_obs::global();
-        m.counter("background.maintenance.runs").inc();
-        m.counter("background.maintenance.rows_moved")
-            .add(moved as u64);
-        m.counter("background.maintenance.deletes_compacted")
-            .add(compacted as u64);
-        let io = t.snapshot();
-        m.counter("background.io.bytes_read").add(io.bytes_read);
-        m.counter("background.io.bytes_written")
-            .add(io.bytes_written);
-        m.histogram("background.maintenance.cpu_us")
-            .record(cpu_start.elapsed().as_micros() as u64);
-        if span.is_recording() {
-            span.attr("table", name);
-            span.attr("rows_moved", moved);
-            span.attr("deletes_compacted", compacted);
-        }
-        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -13,6 +13,7 @@ pub mod catalog;
 pub mod cost;
 pub mod design;
 pub mod executor;
+pub mod maintenance;
 pub mod optimizer;
 pub mod plan;
 pub mod profile;
@@ -28,6 +29,10 @@ pub use design::{Configuration, IndexDescriptor, IndexId, IndexMeta, TableDesign
 pub use executor::{ExecutionResult, QueryRunner, TableOverlay};
 pub use hpd_columnstore::CsiConfig;
 pub use hpd_wal::{WalConfig, WalDurable, WalSummary};
+pub use maintenance::{
+    maintenance_candidates, spawn_maintenance, MaintenanceBuilder, MaintenanceCandidate,
+    MaintenanceConfig, MaintenanceHandle, MaintenanceReport,
+};
 pub use optimizer::{Optimizer, TableContext};
 pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
 pub use profile::{AggPushdown, AnalyzeReport, GrantSummary, NodeProfile, ScanPruning, Timeline};

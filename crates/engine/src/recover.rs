@@ -352,6 +352,22 @@ fn redo_ddl(db: &Database, lsn: u64, rec: LogRecord, tracker: &IoTracker) -> Res
             slot.applied_lsn.store(lsn, Ordering::Relaxed);
             Ok(true)
         }
+        LogRecord::MaintenanceStep {
+            table, budget_rows, ..
+        } => {
+            let slot = slot_at(db, table)?;
+            if lsn <= slot.applied_lsn.load(Ordering::Relaxed) {
+                return Ok(false);
+            }
+            // Logical redo: re-run an increment with the same budget. The
+            // physical outcome (which rowgroup holds which row) may differ
+            // from the pre-crash instance; the visible contents cannot.
+            slot.table
+                .write()
+                .maintenance_step(budget_rows as usize, &db.pool, tracker);
+            slot.applied_lsn.store(lsn, Ordering::Relaxed);
+            Ok(true)
+        }
         other => Err(HpdError::Internal(format!(
             "wal: unexpected top-level record: {other:?}"
         ))),

@@ -62,6 +62,15 @@ impl SecondaryBTree {
     }
 }
 
+/// Outcome of one budgeted maintenance increment over a table's
+/// columnstore indexes (see `Table::maintenance_step`).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct TableMaintStep {
+    pub rows_moved: usize,
+    pub deletes_compacted: usize,
+    pub done: bool,
+}
+
 /// One table with its full physical design.
 pub struct Table {
     pub name: String,
@@ -366,47 +375,83 @@ impl Table {
     /// Resolve buffered secondary-CSI deletes into delete-bitmap bits.
     /// Returns the number of buffered deletes resolved (for the WAL's
     /// `DeltaCompaction` record). No-op without a secondary CSI.
-    pub fn csi_compact_deletes(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
-        self.secondary_csi
-            .as_mut()
-            .map_or(0, |csi| csi.compact_delete_buffer(pool, tracker))
+    pub(crate) fn csi_compact_deletes(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+        self.secondary_csi.as_mut().map_or(0, |csi| {
+            csi.compact_deletes_budget(usize::MAX, pool, tracker)
+        })
     }
 
     /// Force-compress all delta rows into row groups (primary and secondary
     /// CSI). Returns the number of rows migrated (for the WAL's
     /// `TupleMoverMigrate` record). No-op without a CSI.
-    pub fn csi_compress_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+    pub(crate) fn csi_compress_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
         let mut moved = 0;
         if let PrimaryIndex::Csi(csi) = &mut self.primary {
-            moved += csi.compress_all_delta(pool, tracker);
+            moved += csi.maintenance_full(pool, tracker).rows_moved;
         }
         if let Some(csi) = self.secondary_csi.as_mut() {
-            moved += csi.compress_all_delta(pool, tracker);
+            moved += csi.maintenance_full(pool, tracker).rows_moved;
         }
         moved
     }
 
-    /// Run columnstore maintenance now: compress all delta rows into row
-    /// groups and resolve buffered deletes. Deterministic stand-in for the
-    /// background tuple mover / compaction, schedulable by tests and the
-    /// differential harness at arbitrary points. No-op without a CSI.
-    /// Returns `(rows_migrated, deletes_compacted)`.
-    pub fn force_csi_maintenance(
+    /// One budgeted maintenance increment across this table's columnstore
+    /// indexes: the primary CSI gets first claim on the budget, the
+    /// secondary CSI whatever remains. Buffered deletes always resolve
+    /// before delta rows compress (PR 3 invariant, enforced per-index).
+    /// No-op without a CSI. Reach it through `db.maintenance(table)`.
+    pub(crate) fn maintenance_step(
         &mut self,
+        budget_rows: usize,
         pool: &BufferPool,
         tracker: &IoTracker,
-    ) -> (usize, usize) {
-        let compacted = self.csi_compact_deletes(pool, tracker);
-        let moved = self.csi_compress_delta(pool, tracker);
-        // Age rowgroup heat each maintenance pass so heat reports weight
-        // recent access (exponential decay; see `RowGroupHeat`).
+    ) -> TableMaintStep {
+        let mut moved = 0;
+        let mut compacted = 0;
+        let mut remaining = budget_rows.max(1);
+        if let PrimaryIndex::Csi(csi) = &mut self.primary {
+            let s = csi.maintenance_step(remaining, pool, tracker);
+            moved += s.rows_moved;
+            compacted += s.deletes_compacted;
+            remaining = remaining.saturating_sub(s.rows_moved + s.deletes_compacted);
+        }
+        if remaining > 0 {
+            if let Some(csi) = self.secondary_csi.as_mut() {
+                let s = csi.maintenance_step(remaining, pool, tracker);
+                moved += s.rows_moved;
+                compacted += s.deletes_compacted;
+            }
+        }
+        TableMaintStep {
+            rows_moved: moved,
+            deletes_compacted: compacted,
+            done: self.maintenance_backlog() == 0,
+        }
+    }
+
+    /// Rows of pending reorganization work (delta rows + buffered deletes)
+    /// across this table's columnstore indexes.
+    pub fn maintenance_backlog(&self) -> usize {
+        let mut backlog = 0;
+        if let PrimaryIndex::Csi(csi) = &self.primary {
+            backlog += csi.maintenance_backlog();
+        }
+        if let Some(csi) = &self.secondary_csi {
+            backlog += csi.maintenance_backlog();
+        }
+        backlog
+    }
+
+    /// Age rowgroup heat one tick (exponential decay) on every columnstore
+    /// index. Driven by the scheduler's decay clock — deliberately NOT tied
+    /// to maintenance passes, so heat ages even when no compaction runs.
+    pub fn decay_heat(&self) {
         if let PrimaryIndex::Csi(csi) = &self.primary {
             csi.decay_heat();
         }
         if let Some(csi) = &self.secondary_csi {
             csi.decay_heat();
         }
-        (moved, compacted)
     }
 
     /// Per-rowgroup access heat for this table's columnstore indexes,

@@ -113,7 +113,7 @@ fn secondary_csi_delete_buffer_state_is_rebuilt() {
     // Deletes against a secondary CSI buffer logically; compact some of
     // them, leave others buffered, then crash.
     delete_below(&db, 20);
-    db.force_csi_maintenance("t").unwrap();
+    db.maintenance("t").run().unwrap();
     delete_below(&db, 40);
     insert(&db, 500);
     let expected = contents(&db);

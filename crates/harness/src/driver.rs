@@ -176,6 +176,13 @@ pub struct RunOptions {
     /// the SQL-derived statement. The executed statements are identical to
     /// the non-SQL mode's, so fingerprints are unchanged.
     pub sql: bool,
+    /// Race background compaction against the schedule: after every
+    /// executed step, each design runs one small budgeted maintenance
+    /// increment through `db.maintenance(...)` with the step's plan faults
+    /// re-armed around it, so incremental reorganization interleaves with
+    /// (and crashes against) every commit position. Deterministic — the
+    /// increments run inline on the driver thread, not a scheduler thread.
+    pub bg_maintenance: bool,
 }
 
 /// A small, deterministic database: tiny rowgroups and an aggressive
@@ -338,8 +345,18 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
                     for f in plan.faults_at(pos) {
                         faults::arm(f.site(), 1);
                     }
-                    db.force_csi_maintenance(TABLE).expect("maintenance");
+                    let r = db.maintenance(TABLE).full().run();
                     faults::reset_charges();
+                    // Any non-crash error (e.g. an injected grant timeout)
+                    // aborts the pass identically on every design; the
+                    // table is untouched, so the run just moves on.
+                    if let Err(HpdError::Crashed(_)) = r {
+                        // Maintenance is logically a no-op, so the dying
+                        // pass has no commit to settle — recovery must
+                        // reproduce the committed state as-is.
+                        crashed_at = Some((pos, true));
+                        break 'schedule;
+                    }
                 }
                 continue;
             }
@@ -480,6 +497,13 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
                 stats.txns_aborted += 1;
             }
         }
+
+        // Background compaction racing the schedule: one budgeted increment
+        // per design after the step, under the same fault arming.
+        if opts.bg_maintenance && bg_maintenance_step(&dbs, plan, pos) {
+            crashed_at = Some((pos, true));
+            break 'schedule;
+        }
     }
 
     // Crash epilogue: everything volatile died with the process — open
@@ -571,6 +595,34 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
         stats,
         fingerprint: hash,
     }
+}
+
+/// Row budget of each racing-compaction increment: below the harness
+/// rowgroup capacity (32), so increments routinely stop mid-backlog and the
+/// next one must resume exactly.
+const BG_MAINT_BUDGET: usize = 24;
+
+/// One racing-compaction increment per design, with the step's plan faults
+/// re-armed around each increment (the statement already consumed its own
+/// charges) and the budget-shrink fault mixed in on a fixed cadence.
+/// Returns true when a crash site fired inside an increment — the caller
+/// ends the schedule and runs the standard crash epilogue, which works
+/// unchanged because maintenance never alters logical contents.
+fn bg_maintenance_step(dbs: &[Database], plan: &Plan, pos: usize) -> bool {
+    for db in dbs {
+        for f in plan.faults_at(pos) {
+            faults::arm(f.site(), 1);
+        }
+        if pos % 7 == 3 {
+            faults::arm(faults::sites::MAINT_STEP_SHRINK, 1);
+        }
+        let r = db.maintenance(TABLE).budget_rows(BG_MAINT_BUDGET).run();
+        faults::reset_charges();
+        if matches!(r, Err(HpdError::Crashed(_))) {
+            return true;
+        }
+    }
+    false
 }
 
 fn divergence(step: usize, txn: usize, detail: String) -> Verdict {

@@ -4,7 +4,7 @@
 //! hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] [--rows N]
 //!             [--concurrency N] [--fault-rate F] [--threads N]
 //!             [--pool-threads N] [--grant-budget BYTES] [--sql]
-//!             [--no-shrink] [--quiet] [--trace]
+//!             [--bg-maintenance] [--no-shrink] [--quiet] [--trace]
 //! HARNESS_SEED=<n> hpd-harness          # replay exactly one seed
 //! ```
 //!
@@ -98,6 +98,11 @@ fn parse_args() -> Result<Args, String> {
             // sweep cross-checked across designs and against a reference
             // evaluation.
             "--sql" => args.run_opts.sql = true,
+            // Race background compaction against every schedule step: one
+            // small budgeted maintenance increment per design per step, with
+            // the step's faults re-armed around it (adds the in-maintenance
+            // crash site to --crash-at sweeps).
+            "--bg-maintenance" => args.run_opts.bg_maintenance = true,
             "--no-shrink" => args.do_shrink = false,
             "--quiet" => args.quiet = true,
             // Record structured trace spans while the sweep runs (proves
@@ -110,10 +115,14 @@ fn parse_args() -> Result<Args, String> {
                     "usage: hpd-harness [--seeds LO..HI] [--txns N] [--max-ops N] \
                             [--rows N] [--concurrency N] [--fault-rate F] [--threads N] \
                             [--pool-threads N] [--grant-budget BYTES] [--sql] \
-                            [--crash-at all|SITE_SUBSTRING] [--no-shrink] [--quiet] [--trace]\n\
+                            [--bg-maintenance] [--crash-at all|SITE_SUBSTRING] \
+                            [--no-shrink] [--quiet] [--trace]\n\
                             env: HARNESS_SEED=<n> replays exactly one seed\n\
                             --sql drives every statement through the SQL front-end and \
                             adds a per-seed random-SQL select sweep\n\
+                            --bg-maintenance races one budgeted compaction increment per \
+                            design after every schedule step (and adds the in-maintenance \
+                            crash site to --crash-at sweeps)\n\
                             --crash-at runs the crash-recovery sweep: each seed's plan \
                             replays once per (commit finale x crash site), recovery is \
                             differentially checked, and every selected site must be hit"

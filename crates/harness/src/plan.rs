@@ -32,6 +32,13 @@ pub enum FaultSpec {
     CrashAfterCommitFlush,
     CrashMidApply,
     CrashInCheckpoint,
+    /// Halve a budgeted maintenance increment's row budget (scheduler
+    /// preemption). Armed by the driver's `--bg-maintenance` mode, not the
+    /// generator palette, so existing seeds replay bit-identically.
+    MaintStepShrink,
+    /// Crash inside a maintenance increment after the reorganization
+    /// applied but before its `MaintenanceStep` record reached the log.
+    CrashInMaintenance,
 }
 
 impl FaultSpec {
@@ -47,13 +54,16 @@ impl FaultSpec {
         FaultSpec::DeltaDrainPartial,
     ];
 
-    /// The crash palette: simulated process deaths inside `Txn::commit`,
-    /// placed only on commit finales by the sweep.
-    pub const CRASH: [FaultSpec; 4] = [
+    /// The crash palette: simulated process deaths inside `Txn::commit` or
+    /// a maintenance increment, placed explicitly by the sweep. The
+    /// in-maintenance site only fires under `--bg-maintenance`, so the
+    /// sweep filters it out of plain runs.
+    pub const CRASH: [FaultSpec; 5] = [
         FaultSpec::CrashBeforeCommitFlush,
         FaultSpec::CrashAfterCommitFlush,
         FaultSpec::CrashMidApply,
         FaultSpec::CrashInCheckpoint,
+        FaultSpec::CrashInMaintenance,
     ];
 
     pub fn site(self) -> &'static str {
@@ -70,6 +80,8 @@ impl FaultSpec {
             FaultSpec::CrashAfterCommitFlush => faults::sites::CRASH_AFTER_COMMIT_FLUSH,
             FaultSpec::CrashMidApply => faults::sites::CRASH_MID_APPLY,
             FaultSpec::CrashInCheckpoint => faults::sites::CRASH_IN_CHECKPOINT,
+            FaultSpec::MaintStepShrink => faults::sites::MAINT_STEP_SHRINK,
+            FaultSpec::CrashInMaintenance => faults::sites::CRASH_IN_MAINTENANCE,
         }
     }
 
@@ -80,6 +92,7 @@ impl FaultSpec {
                 | FaultSpec::CrashAfterCommitFlush
                 | FaultSpec::CrashMidApply
                 | FaultSpec::CrashInCheckpoint
+                | FaultSpec::CrashInMaintenance
         )
     }
 }

@@ -22,7 +22,10 @@ fn main() {
                 println!(
                     "hpd-cli: SQL REPL over an in-process hybrid-physical-designs engine\n\
                      usage: hpd-cli [--quiet] [--protocol]\n\
-                     Statements end with ';'. Try: CREATE TABLE t (k INT PRIMARY KEY, v INT);"
+                     Statements end with ';'. Try: CREATE TABLE t (k INT PRIMARY KEY, v INT);\n\
+                     Meta-commands (one per line, no ';'):\n\
+                       \\heat                      rowgroup heat / backlog per columnstore index\n\
+                       \\maintain <table> [rows]   run maintenance (optionally one budgeted increment)"
                 );
                 return;
             }
@@ -72,6 +75,13 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // Meta-commands: one per line, intercepted before SQL accumulation
+        // (only when no statement is pending, so a `\` inside a string
+        // literal spanning lines is never misread as a command).
+        if pending.trim().is_empty() && line.trim_start().starts_with('\\') {
+            run_meta(&db, line.trim(), &mut out);
+            continue;
+        }
         pending.push_str(&line);
         if !line.trim_end().ends_with(';') {
             continue;
@@ -82,6 +92,81 @@ fn main() {
     if !pending.trim().is_empty() {
         run_script(&mut session, &pending, &mut out);
     }
+}
+
+/// `\heat` and `\maintain <table> [budget]`: operational peepholes into the
+/// columnstore maintenance machinery, psql-style.
+fn run_meta(db: &Database, line: &str, out: &mut impl Write) {
+    let mut words = line.split_whitespace();
+    let r: std::io::Result<()> = (|| {
+        match words.next() {
+            Some("\\heat") => {
+                let reports = db.heat_report();
+                if reports.is_empty() {
+                    writeln!(out, "(no columnstore indexes)")?;
+                }
+                for (table, index, rep) in reports {
+                    writeln!(
+                        out,
+                        "{table} ({index} csi): delta_writes={} delta_reads={} decay_passes={}",
+                        rep.delta_writes, rep.delta_reads, rep.decay_passes
+                    )?;
+                    for rg in &rep.rowgroups {
+                        writeln!(
+                            out,
+                            "  rg{:<3} rows={}/{} reads={} prunes={} writes={} score={}",
+                            rg.rowgroup,
+                            rg.active_rows,
+                            rg.rows,
+                            rg.reads,
+                            rg.prunes,
+                            rg.writes,
+                            rg.score()
+                        )?;
+                    }
+                }
+            }
+            Some("\\maintain") => {
+                let Some(table) = words.next() else {
+                    writeln!(out, "ERR: usage: \\maintain <table> [budget_rows]")?;
+                    return Ok(());
+                };
+                let budget = match words.next().map(str::parse::<usize>) {
+                    None => None,
+                    Some(Ok(n)) => Some(n),
+                    Some(Err(e)) => {
+                        writeln!(out, "ERR: bad budget: {e}")?;
+                        return Ok(());
+                    }
+                };
+                let mut b = db.maintenance(table);
+                if let Some(n) = budget {
+                    b = b.budget_rows(n);
+                }
+                match b.run() {
+                    Err(e) => writeln!(out, "ERR: {e}")?,
+                    Ok(r) => writeln!(
+                        out,
+                        "OK MAINTAIN {}: moved={} deletes_compacted={} pending_delta={} \
+                         pending_deletes={} complete={}",
+                        r.table,
+                        r.rows_moved,
+                        r.deletes_compacted,
+                        r.delta_rows,
+                        r.delete_buffer,
+                        r.complete
+                    )?,
+                }
+            }
+            Some(other) => writeln!(
+                out,
+                "ERR: unknown meta-command {other} (try \\heat or \\maintain <table> [budget])"
+            )?,
+            None => {}
+        }
+        Ok(())
+    })();
+    r.expect("stdout write failed");
 }
 
 fn run_script(session: &mut SqlSession<'_>, script: &str, out: &mut impl Write) {

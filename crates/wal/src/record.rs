@@ -99,6 +99,16 @@ pub enum LogRecord {
         table: u32,
         rows: u64,
     },
+    /// One budgeted maintenance increment completed: up to `budget_rows`
+    /// rows of work, split between compacting buffered deletes and moving
+    /// delta rows. Replayed logically — redo re-runs an increment with the
+    /// same budget against whatever state recovery rebuilt.
+    MaintenanceStep {
+        table: u32,
+        budget_rows: u64,
+        rows_moved: u64,
+        deletes_compacted: u64,
+    },
     /// A fuzzy checkpoint began; its image, once installed, snapshots state
     /// up to at least this record's LSN per table.
     CheckpointBegin,
@@ -121,6 +131,7 @@ const TAG_TUPLE_MOVER: u8 = 11;
 const TAG_DELTA_COMPACTION: u8 = 12;
 const TAG_CHECKPOINT_BEGIN: u8 = 13;
 const TAG_CHECKPOINT_END: u8 = 14;
+const TAG_MAINTENANCE_STEP: u8 = 15;
 
 fn corrupt(what: &str) -> HpdError {
     HpdError::Internal(format!("wal: corrupt record: {what}"))
@@ -447,6 +458,18 @@ impl LogRecord {
                 put_u32(&mut b, *table);
                 put_u64(&mut b, *rows);
             }
+            LogRecord::MaintenanceStep {
+                table,
+                budget_rows,
+                rows_moved,
+                deletes_compacted,
+            } => {
+                b.push(TAG_MAINTENANCE_STEP);
+                put_u32(&mut b, *table);
+                put_u64(&mut b, *budget_rows);
+                put_u64(&mut b, *rows_moved);
+                put_u64(&mut b, *deletes_compacted);
+            }
             LogRecord::CheckpointBegin => b.push(TAG_CHECKPOINT_BEGIN),
             LogRecord::CheckpointEnd => b.push(TAG_CHECKPOINT_END),
         }
@@ -519,6 +542,12 @@ impl LogRecord {
                 table: c.u32()?,
                 rows: c.u64()?,
             },
+            TAG_MAINTENANCE_STEP => LogRecord::MaintenanceStep {
+                table: c.u32()?,
+                budget_rows: c.u64()?,
+                rows_moved: c.u64()?,
+                deletes_compacted: c.u64()?,
+            },
             TAG_CHECKPOINT_BEGIN => LogRecord::CheckpointBegin,
             TAG_CHECKPOINT_END => LogRecord::CheckpointEnd,
             t => return Err(corrupt(&format!("bad record tag {t}"))),
@@ -541,7 +570,8 @@ impl LogRecord {
             | LogRecord::IndexCreate { table, .. }
             | LogRecord::DesignChange { table, .. }
             | LogRecord::TupleMoverMigrate { table, .. }
-            | LogRecord::DeltaCompaction { table, .. } => Some(*table),
+            | LogRecord::DeltaCompaction { table, .. }
+            | LogRecord::MaintenanceStep { table, .. } => Some(*table),
             _ => None,
         }
     }
@@ -625,6 +655,12 @@ mod tests {
         });
         roundtrip(LogRecord::TupleMoverMigrate { table: 3, rows: 99 });
         roundtrip(LogRecord::DeltaCompaction { table: 3, rows: 4 });
+        roundtrip(LogRecord::MaintenanceStep {
+            table: 3,
+            budget_rows: 4096,
+            rows_moved: 120,
+            deletes_compacted: 8,
+        });
         roundtrip(LogRecord::CheckpointBegin);
         roundtrip(LogRecord::CheckpointEnd);
     }

@@ -37,7 +37,7 @@ fn run_workload() -> Result<Database, Box<dyn std::error::Error>> {
             .run()?;
         db.query(&q4_update(10, 30 * (i % 8))).run()?;
     }
-    db.force_csi_maintenance("lineitem")?;
+    db.maintenance("lineitem").run()?;
     Ok(db)
 }
 

@@ -42,7 +42,7 @@ fn every_registered_metric_is_documented() {
             .unwrap();
         s.execute_one("SELECT definitely_not_sql FROM").unwrap_err();
     }
-    db.force_csi_maintenance("lineitem").unwrap();
+    db.maintenance("lineitem").run().unwrap();
     db.checkpoint().unwrap();
     let scan = match q5_scan_range(0, 40) {
         hybrid_physical_designs::engine::Statement::Select(q) => q,

@@ -48,6 +48,7 @@ fn bench_raw_append_flush(c: &mut Criterion) {
         b.iter(|| {
             wal.append(&LogRecord::Insert {
                 table: 0,
+                part: 0,
                 row: row(42),
             });
             std::hint::black_box(wal.flush(&tracker));

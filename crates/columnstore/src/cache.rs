@@ -4,9 +4,12 @@
 //! full segment decode every time. The cache keys decoded column vectors by
 //! (row group, column) — both immutable once a row group is built (deletes
 //! only flip delete-bitmap bits; compression only *appends* row groups), so
-//! entries never need invalidation. Eviction is least-recently-used until
-//! the byte cap is respected; hits, misses, and evictions are observable
-//! through the `columnstore.segcache.*` counters in [`hpd_obs`].
+//! entries need no invalidation on the hot paths. The one exception is
+//! merge-compaction, which renumbers row groups and drops the cache
+//! wholesale through [`SegmentCache::clear`]. Eviction is
+//! least-recently-used until the byte cap is respected; hits, misses, and
+//! evictions are observable through the `columnstore.segcache.*` counters
+//! in [`hpd_obs`].
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -134,6 +137,14 @@ impl SegmentCache {
             counters().hit.inc();
         }
         hit
+    }
+
+    /// Drop every entry. Merge-compaction renumbers row groups, so cached
+    /// decodes keyed by the old indexes would alias the wrong group.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.bytes = 0;
     }
 
     /// Bytes currently cached (always ≤ the cap).

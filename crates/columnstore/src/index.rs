@@ -143,6 +143,10 @@ pub struct CsiMaintenanceStep {
     pub deletes_compacted: usize,
     /// Delta rows compressed into row groups.
     pub rows_moved: usize,
+    /// Live rows rewritten while merging under-filled row groups.
+    pub rows_rewritten: usize,
+    /// Source row groups eliminated by merge-compaction.
+    pub rowgroups_merged: usize,
     /// True when no backlog remains (empty delta store *and* delete
     /// buffer) — the next increment would be a no-op.
     pub done: bool,
@@ -648,11 +652,12 @@ impl ColumnStoreIndex {
     }
 
     /// One resumable maintenance increment, bounded by `budget_rows` rows
-    /// of work (buffered deletes resolved plus delta rows compressed).
+    /// of work (buffered deletes resolved plus delta rows compressed plus
+    /// live rows rewritten by merge-compaction).
     ///
-    /// The increment is a two-phase state machine whose state lives in the
-    /// index itself (the delete buffer and delta store), so it resumes
-    /// exactly where the previous increment stopped:
+    /// The increment is a three-phase state machine whose state lives in
+    /// the index itself (the delete buffer, delta store, and row-group
+    /// list), so it resumes exactly where the previous increment stopped:
     ///
     /// 1. While the delete buffer is non-empty, the budget is spent
     ///    resolving buffered deletes into bitmap bits (smallest keys
@@ -663,9 +668,12 @@ impl ColumnStoreIndex {
     ///    buffered delete of its key (the UPDATE regression of the tuple
     ///    mover), and phase ordering guarantees that without per-key
     ///    probes.
+    /// 3. With the backlog fully drained, leftover budget merges runs of
+    ///    adjacent under-filled row groups (fragmentation left behind by
+    ///    budgeted partial chunks and hollowed-out delete bitmaps).
     ///
     /// `usize::MAX` is "no budget": compact everything, then compress
-    /// everything — the old stop-the-world pass.
+    /// everything, then defragment — the old stop-the-world pass.
     pub fn maintenance_step(
         &mut self,
         budget_rows: usize,
@@ -689,9 +697,18 @@ impl ColumnStoreIndex {
         if remaining > 0 && self.delete_buffer_len() == 0 && !self.delta.is_empty() {
             rows_moved = self.compress_delta_budget(remaining, pool, tracker);
         }
+        let mut rows_rewritten = 0;
+        let mut rowgroups_merged = 0;
+        let remaining = remaining.saturating_sub(rows_moved);
+        if remaining > 0 && self.delete_buffer_len() == 0 && self.delta.is_empty() {
+            (rows_rewritten, rowgroups_merged) =
+                self.merge_rowgroups_budget(remaining, pool, tracker);
+        }
         CsiMaintenanceStep {
             deletes_compacted,
             rows_moved,
+            rows_rewritten,
+            rowgroups_merged,
             done: self.delete_buffer_len() == 0 && self.delta.is_empty(),
         }
     }
@@ -746,6 +763,107 @@ impl ColumnStoreIndex {
             self.compress_chunk(&rows, pool, tracker);
         }
         moved
+    }
+
+    /// Merge runs of adjacent under-filled row groups into single
+    /// capacity-bounded groups — phase 3 of the maintenance state machine,
+    /// reached only once the delete buffer and delta store are drained.
+    ///
+    /// Fragmentation accumulates two ways: budgeted increments (and the
+    /// forced-tuple-move fault) compress partial chunks, and delete bitmaps
+    /// hollow out old groups. Both leave scans paying per-rowgroup overhead
+    /// (min/max probes, decode setup, cache slots) for few live rows. A
+    /// maximal run of adjacent groups merges when its combined *live* rows
+    /// fit one group; the rewrite drops bitmap-deleted positions, so this
+    /// is also the only path that reclaims deleted space. A group at or
+    /// near capacity never combines with a live neighbor, so fully-packed
+    /// groups are not churned.
+    ///
+    /// Budgeted like the other phases: a run merges only when its live-row
+    /// cost fits the remaining budget, and the left-to-right scan stops at
+    /// the first run that does not — the next increment re-finds it at the
+    /// same position (deterministic resume). Returns
+    /// `(live rows rewritten, source row groups eliminated)`.
+    fn merge_rowgroups_budget(
+        &mut self,
+        max_rows: usize,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> (usize, usize) {
+        debug_assert!(
+            self.delete_buffer_len() == 0 && self.delta.is_empty(),
+            "merge-compaction must not run ahead of the backlog phases"
+        );
+        let cap = self.config.rowgroup_capacity.max(1);
+        let mut budget = max_rows;
+        let mut rewritten = 0;
+        let mut eliminated = 0;
+        let mut i = 0;
+        while i < self.row_groups.len() {
+            // Greedy maximal run starting at `i` whose live rows fit one
+            // group. A lone group (even a hollow one) is left alone: the
+            // rewrite would buy nothing scans can feel.
+            let mut j = i;
+            let mut live = 0usize;
+            while j < self.row_groups.len() && live + self.row_groups[j].active_rows() <= cap {
+                live += self.row_groups[j].active_rows();
+                j += 1;
+            }
+            if j - i < 2 {
+                i += 1;
+                continue;
+            }
+            if live > budget {
+                break;
+            }
+            hpd_obs::global()
+                .counter("columnstore.maintenance.rowgroup_merge")
+                .inc();
+            let rows = self.materialize_live_rows(i, j, pool, tracker);
+            debug_assert_eq!(rows.len(), live);
+            // Splice the merged group in at the run's position so row-group
+            // order (and the key order primary lookups walk) is preserved.
+            self.row_groups.drain(i..j);
+            self.heat.drain(i..j);
+            let tail_groups = self.row_groups.split_off(i);
+            let tail_heat = self.heat.split_off(i);
+            self.compress_chunk(&rows, pool, tracker);
+            self.row_groups.extend(tail_groups);
+            self.heat.extend(tail_heat);
+            // Merging renumbers row groups, so decoded segments cached by
+            // the old indexes would alias the wrong group.
+            self.cache.clear();
+            eliminated += (j - i) - usize::from(!rows.is_empty());
+            rewritten += live;
+            budget -= live;
+            i += 1;
+        }
+        (rewritten, eliminated)
+    }
+
+    /// Decode the live rows of row groups `lo..hi`, in position order.
+    fn materialize_live_rows(
+        &self,
+        lo: usize,
+        hi: usize,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Vec<Row> {
+        let mut rows = Vec::new();
+        for rg_idx in lo..hi {
+            let rg = &self.row_groups[rg_idx];
+            let cols: Vec<Arc<ColumnVector>> = (0..rg.num_columns())
+                .map(|c| {
+                    let seg = rg.segment(c);
+                    seg.charge_io(pool, tracker);
+                    self.cache.get_or_decode(rg_idx, c, seg)
+                })
+                .collect();
+            rg.live_mask().for_each_set(|pos| {
+                rows.push(Row::new(cols.iter().map(|col| col.value(pos)).collect()));
+            });
+        }
+        rows
     }
 
     /// Resolve buffered logical deletes into delete-bitmap bits (the

@@ -1,6 +1,8 @@
 //! Tuple-mover boundary tests (ISSUE 3 satellite): exact-capacity delta
-//! fills, compaction of fully-deleted row groups, and scans interleaved
-//! with mover activity driven through the fault-injection points.
+//! fills, compaction of fully-deleted row groups, scans interleaved with
+//! mover activity driven through the fault-injection points, and the
+//! merge-compaction phase that defragments the under-filled row groups the
+//! budgeted mover leaves behind.
 
 use std::collections::HashMap;
 
@@ -353,5 +355,126 @@ fn shrunken_increment_stays_consistent_and_resumes() {
     assert_eq!(
         visible_ids(&idx, &pool),
         (0..CAP as i32).collect::<Vec<_>>()
+    );
+}
+
+/// Budgeted increments fragment the index into budget-sized row groups;
+/// the next full pass's merge phase folds adjacent under-filled groups
+/// back into capacity-sized ones without touching a single logical row.
+#[test]
+fn budgeted_fragmentation_is_merge_compacted_by_full_pass() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 0);
+    faults::arm(faults::sites::TUPLE_MOVE_DEFER, u32::MAX);
+    let n = 2 * CAP as i32;
+    for i in 0..n {
+        idx.insert(row(i), &pool, &t);
+    }
+    faults::reset_charges();
+
+    // Drain at CAP/8 rows per increment: every chunk becomes its own tiny
+    // row group (the accepted cost of incremental progress).
+    while !idx.maintenance_step(CAP / 8, &pool, &t).done {}
+    assert_eq!(idx.num_rowgroups(), 16, "budgeted drain fragments");
+
+    let step = idx.maintenance_step(usize::MAX, &pool, &t);
+    assert_eq!(idx.num_rowgroups(), 2, "merge refills to capacity");
+    assert_eq!(step.rowgroups_merged, 14);
+    assert_eq!(step.rows_rewritten, n as usize);
+    assert!((0..idx.num_rowgroups()).all(|g| idx.rowgroup(g).rows() <= CAP));
+    assert_eq!(visible_ids(&idx, &pool), (0..n).collect::<Vec<_>>());
+
+    // Idempotent at the fixed point: nothing left to merge.
+    let step = idx.maintenance_step(usize::MAX, &pool, &t);
+    assert_eq!(step.rowgroups_merged, 0);
+    assert_eq!(idx.num_rowgroups(), 2);
+}
+
+/// Boundary contract: a group at capacity never combines with a live
+/// neighbor, so full groups are not churned, and no merge may produce a
+/// group above capacity.
+#[test]
+fn merge_leaves_full_groups_alone_and_never_exceeds_capacity() {
+    // Two exact-capacity groups from the bulk load...
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 2 * CAP as i32);
+    assert_eq!(idx.num_rowgroups(), 2);
+    // ...then two under-filled ones from a budgeted drain.
+    faults::arm(faults::sites::TUPLE_MOVE_DEFER, u32::MAX);
+    for i in 0..40i32 {
+        idx.insert(row(2 * CAP as i32 + i), &pool, &t);
+    }
+    faults::reset_charges();
+    while !idx.maintenance_step(20, &pool, &t).done {}
+    assert_eq!(idx.num_rowgroups(), 4);
+
+    let step = idx.maintenance_step(usize::MAX, &pool, &t);
+    assert_eq!(step.rowgroups_merged, 1, "only the two tails merge");
+    assert_eq!(step.rows_rewritten, 40);
+    assert_eq!(idx.num_rowgroups(), 3);
+    assert_eq!(idx.rowgroup(0).rows(), CAP, "full group untouched");
+    assert_eq!(idx.rowgroup(1).rows(), CAP, "full group untouched");
+    assert_eq!(idx.rowgroup(2).rows(), 40);
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (0..2 * CAP as i32 + 40).collect::<Vec<_>>()
+    );
+}
+
+/// Merging is the one path that reclaims bitmap-deleted space: a fully
+/// dead group plus a hollowed-out neighbor rewrite into a single group
+/// holding only live rows.
+#[test]
+fn merge_reclaims_bitmap_deleted_space() {
+    let n = 2 * CAP as i32;
+    let (mut idx, pool, t) = setup(CsiKind::Primary, n);
+    // Kill all of group 0 and half of group 1 (keys load in order).
+    for i in 0..(n - CAP as i32 / 2) {
+        assert!(idx.delete(&Key::single(Value::Int32(i)), &pool, &t));
+    }
+    assert_eq!(idx.num_rowgroups(), 2, "deletes are bitmap-only");
+
+    let step = idx.maintenance_step(usize::MAX, &pool, &t);
+    assert_eq!(step.rowgroups_merged, 1);
+    assert_eq!(step.rows_rewritten, CAP / 2);
+    assert_eq!(idx.num_rowgroups(), 1);
+    assert_eq!(
+        idx.rowgroup(0).rows(),
+        CAP / 2,
+        "rewrite dropped the deleted positions"
+    );
+    assert_eq!(idx.active_rows(), CAP / 2);
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (n - CAP as i32 / 2..n).collect::<Vec<_>>()
+    );
+}
+
+/// A merge run is all-or-nothing under the budget: a run whose live-row
+/// cost exceeds the remaining budget is deferred whole (no partial
+/// rewrite), and the next increment with enough budget picks it up at the
+/// same position.
+#[test]
+fn merge_respects_budget_and_resumes() {
+    let (mut idx, pool, t) = setup(CsiKind::Primary, 0);
+    faults::arm(faults::sites::TUPLE_MOVE_DEFER, u32::MAX);
+    for i in 0..(CAP as i32 / 2) {
+        idx.insert(row(i), &pool, &t);
+    }
+    faults::reset_charges();
+    while !idx.maintenance_step(CAP / 8, &pool, &t).done {}
+    assert_eq!(idx.num_rowgroups(), 4, "four CAP/8-sized groups");
+
+    // The maximal mergeable run is all four groups (CAP/2 live rows);
+    // half that budget must defer the merge, not split it.
+    let step = idx.maintenance_step(CAP / 4, &pool, &t);
+    assert_eq!(step.rowgroups_merged, 0);
+    assert_eq!(idx.num_rowgroups(), 4);
+
+    let step = idx.maintenance_step(CAP / 2, &pool, &t);
+    assert_eq!(step.rowgroups_merged, 3);
+    assert_eq!(step.rows_rewritten, CAP / 2);
+    assert_eq!(idx.num_rowgroups(), 1);
+    assert_eq!(
+        visible_ids(&idx, &pool),
+        (0..CAP as i32 / 2).collect::<Vec<_>>()
     );
 }

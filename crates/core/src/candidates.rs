@@ -290,6 +290,8 @@ mod tests {
                 pk: vec![0],
                 stats: TableStats::empty(3),
                 metas: vec![],
+                partitioning: None,
+                parts: vec![],
             },
         )])
     }
@@ -358,6 +360,8 @@ mod tests {
                 pk: vec![0],
                 stats: TableStats::empty(2),
                 metas: vec![],
+                partitioning: None,
+                parts: vec![],
             },
         );
         let q = SelectQuery::single_table("u", None, vec![0, 1]);

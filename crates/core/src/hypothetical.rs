@@ -153,6 +153,8 @@ mod tests {
                 pk: vec![0],
                 stats,
                 metas: vec![],
+                partitioning: None,
+                parts: vec![],
             },
             rows,
         )

@@ -58,11 +58,15 @@ pub mod candidates;
 pub mod enumerate;
 pub mod hypothetical;
 pub mod merge;
+pub mod partition_advisor;
 pub mod size;
 pub mod workload;
 
 pub use advisor::{Advisor, AdvisorOptions, CsiColumnDetail, DesignMode, Recommendation};
 pub use candidates::CandidateSet;
 pub use hypothetical::hypothetical_meta;
+pub use partition_advisor::{
+    recommend_partition_designs, PartitionAdvisorOptions, PartitionChoice, PartitionRecommendation,
+};
 pub use size::{BlackBoxEstimator, CsiSizeEstimator, RunModelEstimator, SampleSet};
 pub use workload::{Workload, WorkloadStatement};

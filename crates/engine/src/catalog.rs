@@ -17,7 +17,8 @@ use crate::cost::CostModel;
 use crate::design::{Configuration, IndexDescriptor, IndexMeta, TableDesign};
 use crate::executor::{ExecutionResult, QueryRunner, TableOverlay};
 use crate::maintenance::MaintenanceConfig;
-use crate::optimizer::{Optimizer, TableContext};
+use crate::optimizer::{Optimizer, PartInfo, TableContext};
+use crate::partition::PartitionSpec;
 use crate::plan::PhysicalPlan;
 use crate::query::{DeleteStmt, InsertStmt, SelectQuery, Statement, UpdateStmt};
 use crate::querystore::{plan_fingerprint, QueryStore, StoredStatement};
@@ -65,6 +66,10 @@ pub struct DbConfig {
     /// root spans, all into bounded per-thread rings. Off by default — the
     /// disabled path costs one relaxed atomic load per would-be span.
     pub tracing: bool,
+    /// Skip partitions whose value range provably cannot satisfy a query's
+    /// sargable predicate. On by default; turning it off forces every
+    /// partition to be scanned (the bench's pruning-off baseline).
+    pub partition_pruning: bool,
 }
 
 impl Default for DbConfig {
@@ -84,6 +89,7 @@ impl Default for DbConfig {
             maintenance: MaintenanceConfig::default(),
             wal: WalConfig::default(),
             tracing: false,
+            partition_pruning: true,
         }
     }
 }
@@ -295,6 +301,13 @@ impl Database {
         CostModel::new(self.config.device, max_dop, grant)
     }
 
+    /// An optimizer configured from this database (partition pruning knob).
+    fn optimizer(&self, cost: CostModel) -> Optimizer {
+        let mut opt = Optimizer::new(cost);
+        opt.prune_partitions = self.config.partition_pruning;
+        opt
+    }
+
     // ------------------------------------------------------------------
     // DDL
     // ------------------------------------------------------------------
@@ -307,17 +320,42 @@ impl Database {
         pk: Vec<usize>,
         primary: IndexDescriptor,
     ) -> Result<()> {
-        let name = name.into();
+        self.create_table_impl(name.into(), schema, pk, primary, None)
+    }
+
+    /// Create an empty *partitioned* table: every partition starts with the
+    /// same primary index; heterogeneous per-partition designs are applied
+    /// afterwards via [`Database::apply_partition_design`].
+    pub fn create_partitioned_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        pk: Vec<usize>,
+        primary: IndexDescriptor,
+        spec: PartitionSpec,
+    ) -> Result<()> {
+        self.create_table_impl(name.into(), schema, pk, primary, Some(spec))
+    }
+
+    fn create_table_impl(
+        &self,
+        name: String,
+        schema: Schema,
+        pk: Vec<usize>,
+        primary: IndexDescriptor,
+        spec: Option<PartitionSpec>,
+    ) -> Result<()> {
         let _commit = self.commit_lock.lock();
         let mut tables = self.tables.write();
         if tables.iter().any(|s| s.name == name) {
             return Err(HpdError::DuplicateTable(name));
         }
-        let table = Table::create(
+        let table = Table::create_spec(
             name.clone(),
             schema,
             pk,
             &primary,
+            spec,
             self.config.csi,
             self.alloc.clone(),
         )?;
@@ -328,6 +366,9 @@ impl Database {
             schema: table.schema().clone(),
             pk: table.pk().to_vec(),
             primary: crate::recover::to_wal_def(&primary),
+            partitioning: table
+                .partitioning()
+                .map(crate::recover::to_wal_partitioning),
         });
         self.wal.flush(&IoTracker::new());
         tables.push(Arc::new(TableSlot {
@@ -392,11 +433,14 @@ impl Database {
         let rows = table.scan_all_rows(&self.pool, &t);
         let schema = table.schema().clone();
         let pk = table.pk().to_vec();
-        let mut fresh = Table::create(
+        // A design change never drops partitioning: the fresh table keeps
+        // the spec, with the new design applied uniformly to every part.
+        let mut fresh = Table::create_spec(
             design.table.clone(),
             schema,
             pk,
             &design.indexes[0],
+            table.partitioning().cloned(),
             self.config.csi,
             self.alloc.clone(),
         )?;
@@ -413,6 +457,54 @@ impl Database {
                     .iter()
                     .map(crate::recover::to_wal_def)
                     .collect(),
+            });
+            self.wal.flush(&t);
+            slot.applied_lsn.store(lsn, Ordering::Relaxed);
+        }
+        self.ddl_epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Replace the physical design of ONE partition of a partitioned table,
+    /// leaving the other partitions untouched — the heterogeneous designs
+    /// the advisor recommends ("B+ tree on the hot partition, CSI on cold
+    /// history"). The partition is rebuilt from its own rows only.
+    pub fn apply_partition_design(
+        &self,
+        table: &str,
+        part: usize,
+        primary: &IndexDescriptor,
+        secondaries: &[IndexDescriptor],
+    ) -> Result<()> {
+        TableDesign::new(table, {
+            let mut all = vec![primary.clone()];
+            all.extend(secondaries.iter().cloned());
+            all
+        })
+        .validate()?;
+        let _commit = self.commit_lock.lock();
+        let slot = self.slot(table)?;
+        let table_id = self.slot_id(table)? as u32;
+        let t = IoTracker::new();
+        let mut guard = slot.table.write();
+        if guard.partitioning().is_none() {
+            return Err(HpdError::Constraint(format!(
+                "table {table} is not partitioned; use apply_design"
+            )));
+        }
+        if part >= guard.num_parts() {
+            return Err(HpdError::Constraint(format!(
+                "table {table} has {} partitions; no partition {part}",
+                guard.num_parts()
+            )));
+        }
+        guard.apply_partition_design(part, primary, secondaries, &self.pool, &t)?;
+        if self.wal.enabled() {
+            let lsn = self.wal.append(&LogRecord::PartitionDesignChange {
+                table: table_id,
+                part: part as u32,
+                primary: crate::recover::to_wal_def(primary),
+                secondaries: secondaries.iter().map(crate::recover::to_wal_def).collect(),
             });
             self.wal.flush(&t);
             slot.applied_lsn.store(lsn, Ordering::Relaxed);
@@ -497,6 +589,25 @@ impl Database {
         for slot in &slots {
             let table = slot.table.read();
             let metas = table.metas();
+            // Partitioned tables additionally capture each partition's own
+            // (possibly heterogeneous) design; rows stay concatenated and
+            // recovery's bulk load re-routes them.
+            let parts = if table.partitioning().is_some() {
+                (0..table.num_parts())
+                    .map(|p| {
+                        let pm = table.part_metas(p);
+                        hpd_wal::PartSnapshot {
+                            primary: crate::recover::to_wal_def(&pm[0].descriptor),
+                            secondaries: pm[1..]
+                                .iter()
+                                .map(|m| crate::recover::to_wal_def(&m.descriptor))
+                                .collect(),
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             snaps.push(TableSnapshot {
                 name: slot.name.clone(),
                 schema: table.schema().clone(),
@@ -506,6 +617,10 @@ impl Database {
                     .iter()
                     .map(|m| crate::recover::to_wal_def(&m.descriptor))
                     .collect(),
+                partitioning: table
+                    .partitioning()
+                    .map(crate::recover::to_wal_partitioning),
+                parts,
                 rows: table.scan_all_rows(&self.pool, &tracker),
                 applied_lsn: slot.applied_lsn.load(Ordering::Relaxed),
             });
@@ -552,13 +667,7 @@ impl Database {
 
     /// Optimizer context for one table under its *materialized* design.
     pub fn context_for(&self, name: &str) -> Result<TableContext> {
-        self.with_table(name, |t| TableContext {
-            name: name.to_string(),
-            schema: t.schema().clone(),
-            pk: t.pk().to_vec(),
-            stats: t.stats().clone(),
-            metas: t.metas(),
-        })
+        self.with_table(name, |t| table_context(name, t))
     }
 
     /// Plan a query against the materialized designs.
@@ -572,7 +681,8 @@ impl Database {
             .iter()
             .map(|t| self.context_for(&t.name))
             .collect::<Result<Vec<_>>>()?;
-        Optimizer::new(self.cost_model(grant)).plan(query, &contexts)
+        self.optimizer(self.cost_model(grant))
+            .plan(query, &contexts)
     }
 
     /// The **what-if API**: plan the query as if each table in `overrides`
@@ -590,12 +700,56 @@ impl Database {
             .map(|t| {
                 let mut ctx = self.context_for(&t.name)?;
                 if let Some(metas) = overrides.get(&t.name) {
+                    // A what-if override describes a hypothetical *monolithic*
+                    // design: plan it without the partitioned access path so
+                    // heterogeneous actual designs and homogeneous candidates
+                    // are costed on the same footing.
                     ctx.metas = metas.clone();
+                    ctx.partitioning = None;
+                    ctx.parts = Vec::new();
                 }
                 Ok(ctx)
             })
             .collect::<Result<Vec<_>>>()?;
-        Optimizer::new(self.cost_model(self.config.grant_bytes)).plan(query, &contexts)
+        self.optimizer(self.cost_model(self.config.grant_bytes))
+            .plan(query, &contexts)
+    }
+
+    /// Like [`Database::what_if_plan`] but overriding the design of each
+    /// *partition* of one partitioned table: `part_metas[p]` is the
+    /// hypothetical meta set for partition `p`. The advisor uses this to
+    /// cost heterogeneous per-partition recommendations ("B+ tree on the
+    /// hot partition, CSI on cold history") against the same query set as
+    /// monolithic candidates.
+    pub fn what_if_partition_plan(
+        &self,
+        query: &SelectQuery,
+        table: &str,
+        part_metas: &[Vec<IndexMeta>],
+    ) -> Result<PhysicalPlan> {
+        let contexts = query
+            .tables
+            .iter()
+            .map(|t| {
+                let mut ctx = self.context_for(&t.name)?;
+                if t.name == table {
+                    if ctx.parts.len() != part_metas.len() {
+                        return Err(HpdError::InvalidQuery(format!(
+                            "what-if partition override for {table}: {} meta sets for {} partitions",
+                            part_metas.len(),
+                            ctx.parts.len()
+                        )));
+                    }
+                    for (info, metas) in ctx.parts.iter_mut().zip(part_metas) {
+                        info.metas = metas.clone();
+                    }
+                    ctx.metas = part_metas[0].clone();
+                }
+                Ok(ctx)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.optimizer(self.cost_model(self.config.grant_bytes))
+            .plan(query, &contexts)
     }
 
     // ------------------------------------------------------------------
@@ -953,18 +1107,14 @@ impl<'db> Txn<'db> {
         // Plan against the guarded tables' current metadata.
         let contexts: Vec<TableContext> = named
             .iter()
-            .map(|&(i, t)| TableContext {
-                name: t.name.clone(),
-                schema: table_refs[i].schema().clone(),
-                pk: table_refs[i].pk().to_vec(),
-                stats: table_refs[i].stats().clone(),
-                metas: table_refs[i].metas(),
-            })
+            .map(|&(i, t)| table_context(&t.name, table_refs[i]))
             .collect();
         let optimize_start = Instant::now();
         let plan = {
             let _s = hpd_obs::trace::span("optimize");
-            Optimizer::new(self.db.cost_model_with(self.grant, self.dop)).plan(query, &contexts)?
+            self.db
+                .optimizer(self.db.cost_model_with(self.grant, self.dop))
+                .plan(query, &contexts)?
         };
         let optimize_us = optimize_start.elapsed().as_micros() as u64;
 
@@ -1256,6 +1406,7 @@ impl<'db> Txn<'db> {
                     if wal_on {
                         self.db.wal.append(&LogRecord::Insert {
                             table: op.table() as u32,
+                            part: t.route_row(row) as u32,
                             row: row.clone(),
                         });
                         records += 1;
@@ -1266,16 +1417,18 @@ impl<'db> Txn<'db> {
                     })
                 }
                 WriteOp::Delete { key, .. } => {
+                    let old = t.fetch_by_pk(key, pool, &tracker);
                     // Logged unconditionally: redo of a no-op delete is a
-                    // no-op, so the final state matches either way.
+                    // no-op, so the final state matches either way. The part
+                    // hint routes the pre-image (0 when already gone).
                     if wal_on {
                         self.db.wal.append(&LogRecord::Delete {
                             table: op.table() as u32,
+                            part: old.as_ref().map_or(0, |r| t.route_row(r)) as u32,
                             key: key.clone(),
                         });
                         records += 1;
                     }
-                    let old = t.fetch_by_pk(key, pool, &tracker);
                     t.delete_by_pk(key, pool, &tracker).map(|deleted| {
                         if deleted {
                             t.record_version(key.clone(), old, commit_ts);
@@ -1288,10 +1441,13 @@ impl<'db> Txn<'db> {
                         if let Some(old_row) = &old {
                             // Value logging: the record carries the post-
                             // image so redo never re-evaluates expressions.
+                            // The part hint is the post-image's partition
+                            // (cross-partition moves route by the new row).
                             match t.eval_update(old_row, set) {
                                 Ok(new_row) => {
                                     self.db.wal.append(&LogRecord::Update {
                                         table: op.table() as u32,
+                                        part: t.route_row(&new_row) as u32,
                                         key: key.clone(),
                                         new_row,
                                     });
@@ -1447,6 +1603,32 @@ fn snapshot_overlay(table: &Table, ts: u64, pool: &BufferPool) -> TableOverlay {
         }
     }
     overlay
+}
+
+/// Build the optimizer's view of a table: schema, stats, the first part's
+/// metas (the monolithic access-path enumeration), and — when partitioned —
+/// the spec plus per-partition row counts and metas for scatter-gather
+/// planning.
+fn table_context(name: &str, t: &Table) -> TableContext {
+    let parts = if t.num_parts() > 1 {
+        (0..t.num_parts())
+            .map(|p| PartInfo {
+                rows: t.part(p).row_count(),
+                metas: t.part_metas(p),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    TableContext {
+        name: name.to_string(),
+        schema: t.schema().clone(),
+        pk: t.pk().to_vec(),
+        stats: t.stats().clone(),
+        metas: t.metas(),
+        partitioning: t.partitioning().cloned(),
+        parts,
+    }
 }
 
 fn empty_metrics() -> ExecMetrics {

@@ -1,6 +1,6 @@
 //! Lowers physical plans onto `hpd-exec` operators and runs them.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::sync::Arc;
@@ -62,6 +62,7 @@ fn kind_label(node: &PlanNode) -> &'static str {
         PlanNodeKind::BTreeSeek { .. } => "BTreeSeek",
         PlanNodeKind::BTreeScan { .. } => "BTreeScan",
         PlanNodeKind::CsiScan { .. } => "CsiScan",
+        PlanNodeKind::PartitionedScan { .. } => "PartitionedScan",
         PlanNodeKind::CsiAgg { .. } => "CsiAgg",
         PlanNodeKind::PkLookup { .. } => "PkLookup",
         PlanNodeKind::Filter { .. } => "Filter",
@@ -83,6 +84,10 @@ pub struct QueryRunner<'a> {
     grant: MemoryGrant,
     workers: WorkerPool,
     overlays: HashMap<usize, TableOverlay>,
+    /// Partition whose physical indexes leaf operators should resolve
+    /// against: 0 normally, the lane's partition id while lowering a
+    /// `PartitionedScan` lane.
+    current_part: Cell<usize>,
     profile_requested: bool,
     /// Node→stats map for the plan currently being lowered/run; populated
     /// by [`run`](QueryRunner::run) when profiling is on.
@@ -121,6 +126,7 @@ impl<'a> QueryRunner<'a> {
             grant,
             workers,
             overlays: HashMap::new(),
+            current_part: Cell::new(0),
             profile_requested: false,
             profile: RefCell::new(None),
         }
@@ -204,6 +210,10 @@ impl<'a> QueryRunner<'a> {
                 let mut report = m.report(plan);
                 if let Some(before) = &obs_before {
                     let delta = hpd_obs::global().snapshot().delta(before);
+                    let partitions = crate::profile::PartitionActivity::from_snapshot(&delta);
+                    if !partitions.is_empty() {
+                        report.partitions = Some(partitions);
+                    }
                     let pruning = crate::profile::ScanPruning::from_snapshot(&delta);
                     if !pruning.is_empty() {
                         report.pruning = Some(pruning);
@@ -232,19 +242,24 @@ impl<'a> QueryRunner<'a> {
             .ok_or_else(|| HpdError::Internal(format!("table index {ti} out of range")))
     }
 
+    /// The table part leaf operators currently resolve against (clamped so
+    /// hand-built plans lowered outside a `PartitionedScan` stay on part 0).
+    fn cur_part(&self, table: &'a Table) -> &'a crate::table::TablePart {
+        table.part(self.current_part.get().min(table.num_parts() - 1))
+    }
+
     fn resolve_btree(
         &self,
         ti: usize,
         index: crate::design::IndexId,
     ) -> Result<&'a hpd_btree::BTree> {
-        let table = self.table(ti)?;
+        let part = self.cur_part(self.table(ti)?);
         if index.0 == 0 {
-            table.primary().as_btree().ok_or_else(|| {
+            part.primary().as_btree().ok_or_else(|| {
                 HpdError::Internal("plan expects a primary B+ tree but table has a CSI".into())
             })
         } else {
-            table
-                .secondaries()
+            part.secondaries()
                 .get(index.0 - 1)
                 .map(|s| &s.tree)
                 .ok_or_else(|| HpdError::Internal(format!("no secondary index {}", index.0)))
@@ -257,16 +272,38 @@ impl<'a> QueryRunner<'a> {
         index: crate::design::IndexId,
     ) -> Result<(&'a hpd_columnstore::ColumnStoreIndex, Vec<usize>)> {
         let table = self.table(ti)?;
+        let part = self.cur_part(table);
         if index.0 == 0 {
-            let csi = table.primary().as_csi().ok_or_else(|| {
+            let csi = part.primary().as_csi().ok_or_else(|| {
                 HpdError::Internal("plan expects a primary CSI but table has a B+ tree".into())
             })?;
             Ok((csi, (0..table.schema().len()).collect()))
         } else {
-            let csi = table
+            let csi = part
                 .secondary_csi()
                 .ok_or_else(|| HpdError::Internal("no secondary CSI".into()))?;
-            Ok((csi, table.secondary_csi_columns().to_vec()))
+            Ok((csi, part.csi_columns().to_vec()))
+        }
+    }
+
+    /// Restrict a snapshot overlay to the partition currently being
+    /// lowered. `removed` keys stay whole-table (hiding a key another
+    /// partition owns is harmless); `added` rows must surface exactly once
+    /// across a scatter-gather, in the lane owning their partition.
+    fn restrict_overlay(&self, ov: &TableOverlay, ti: usize) -> TableOverlay {
+        let table = match self.table(ti) {
+            Ok(t) if t.num_parts() > 1 => t,
+            _ => return ov.clone(),
+        };
+        let p = self.current_part.get();
+        TableOverlay {
+            removed: ov.removed.clone(),
+            added: ov
+                .added
+                .iter()
+                .filter(|r| table.route_row(r) == p)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -373,7 +410,7 @@ impl<'a> QueryRunner<'a> {
                 if index.0 == 0 {
                     table.pk().first().copied().unwrap_or(0)
                 } else {
-                    table.secondaries()[index.0 - 1].keys[0]
+                    self.cur_part(table).secondaries()[index.0 - 1].keys[0]
                 }
             }
             _ => 0,
@@ -446,6 +483,18 @@ impl<'a> QueryRunner<'a> {
         let Some(overlay) = overlay else {
             return Ok(gather(self.scan_partitions(node, &node.out_cols)?));
         };
+        let ti = Self::scan_table_idx(node);
+        let table = self.table(ti)?;
+        // Partitioned tables: each lane appends only the overlay rows it
+        // owns, or the scatter-gather would surface every added row once
+        // per lane.
+        let part_restricted;
+        let overlay = if table.num_parts() > 1 {
+            part_restricted = self.restrict_overlay(overlay, ti);
+            &part_restricted
+        } else {
+            overlay
+        };
         // A CsiScan applies its intervals exactly inside the scan, and the
         // planner drops the residual filter when the intervals cover the
         // whole predicate — so overlay rows (old versions added back for
@@ -470,8 +519,6 @@ impl<'a> QueryRunner<'a> {
             }
             _ => overlay,
         };
-        let ti = Self::scan_table_idx(node);
-        let table = self.table(ti)?;
         // B+ tree access paths promise the index key order to the optimizer
         // (which may elide a Sort, stream an aggregate, or merge-join on the
         // strength of it), but the overlay operator appends old row versions
@@ -481,7 +528,7 @@ impl<'a> QueryRunner<'a> {
                 if index.0 == 0 {
                     table.pk().to_vec()
                 } else {
-                    table.secondaries()[index.0 - 1].keys.clone()
+                    self.cur_part(table).secondaries()[index.0 - 1].keys.clone()
                 }
             }
             _ => Vec::new(),
@@ -585,6 +632,30 @@ impl<'a> QueryRunner<'a> {
             PlanNodeKind::BTreeScan { .. }
             | PlanNodeKind::BTreeSeek { .. }
             | PlanNodeKind::CsiScan { .. } => self.lower_scan(node, true),
+            PlanNodeKind::PartitionedScan {
+                part_ids,
+                parts,
+                pruned,
+                ..
+            } => {
+                let reg = hpd_obs::global();
+                reg.counter("partition.scanned").add(part_ids.len() as u64);
+                reg.counter("partition.pruned").add(*pruned as u64);
+                let saved = self.current_part.get();
+                let mut lanes: Vec<ExecNode<'a>> = Vec::with_capacity(parts.len());
+                for (lane, &pid) in parts.iter().zip(part_ids) {
+                    self.current_part.set(pid);
+                    match self.lower(lane) {
+                        Ok(op) => lanes.push(op),
+                        Err(e) => {
+                            self.current_part.set(saved);
+                            return Err(e);
+                        }
+                    }
+                }
+                self.current_part.set(saved);
+                Ok(gather(lanes))
+            }
             PlanNodeKind::CsiAgg {
                 table,
                 index,
@@ -705,14 +776,18 @@ impl<'a> QueryRunner<'a> {
                 // Suppress the child scan's overlay: the lookup re-fetches
                 // rows from the primary tree, so the snapshot correction
                 // must wrap the *lookup output* (full rows) instead.
-                let overlay = self.overlays.get(table).filter(|o| !o.is_empty()).cloned();
+                let overlay = self
+                    .overlays
+                    .get(table)
+                    .filter(|o| !o.is_empty())
+                    .map(|o| self.restrict_overlay(o, *table));
                 let c = if is_scan(child) {
                     self.wrap_node(child, self.lower_scan(child, false)?)
                 } else {
                     self.lower(child)?
                 };
                 let t = self.table(*table)?;
-                let tree = t.primary().as_btree().ok_or_else(|| {
+                let tree = self.cur_part(t).primary().as_btree().ok_or_else(|| {
                     HpdError::Internal("PkLookup requires a primary B+ tree".into())
                 })?;
                 let payload_types: Vec<DataType> =

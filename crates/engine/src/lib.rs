@@ -15,6 +15,7 @@ pub mod design;
 pub mod executor;
 pub mod maintenance;
 pub mod optimizer;
+pub mod partition;
 pub mod plan;
 pub mod profile;
 pub mod query;
@@ -33,14 +34,17 @@ pub use maintenance::{
     maintenance_candidates, spawn_maintenance, MaintenanceBuilder, MaintenanceCandidate,
     MaintenanceConfig, MaintenanceHandle, MaintenanceReport,
 };
-pub use optimizer::{Optimizer, TableContext};
+pub use optimizer::{Optimizer, PartInfo, TableContext};
+pub use partition::{PartitionMethod, PartitionSpec};
 pub use plan::{LeafKind, PhysicalPlan, PlanExpr, PlanNodeKind};
-pub use profile::{AggPushdown, AnalyzeReport, GrantSummary, NodeProfile, ScanPruning, Timeline};
+pub use profile::{
+    AggPushdown, AnalyzeReport, GrantSummary, NodeProfile, PartitionActivity, ScanPruning, Timeline,
+};
 pub use query::{
     AggItem, ColRef, DeleteStmt, EquiJoin, InsertStmt, SelectQuery, Statement, TableInput,
     UpdateStmt,
 };
 pub use querystore::{QueryStore, StoredStatement};
 pub use stats::{ColumnStats, TableStats};
-pub use table::{PrimaryIndex, SecondaryBTree, Table};
+pub use table::{PrimaryIndex, SecondaryBTree, Table, TablePart};
 pub use txn::{IsolationLevel, LockManager, TxnManager};

@@ -62,12 +62,18 @@ impl Default for MaintenanceConfig {
 #[derive(Debug, Clone, Default)]
 pub struct MaintenanceReport {
     pub table: String,
+    /// Partition the increment targeted; `None` means the whole table
+    /// (round-robin across parts).
+    pub part: Option<usize>,
     /// Row budget the increment ran with; `None` means unbudgeted (full).
     pub budget_rows: Option<usize>,
     /// Delta rows compressed into rowgroups by this increment.
     pub rows_moved: usize,
     /// Buffered deletes resolved into bitmap bits by this increment.
     pub deletes_compacted: usize,
+    /// Under-filled source rowgroups eliminated by merge-compaction (the
+    /// defragmentation phase that runs once the backlog is drained).
+    pub rowgroups_merged: usize,
     /// Delta rows still pending after the increment.
     pub delta_rows: usize,
     /// Buffered deletes still pending after the increment.
@@ -91,6 +97,7 @@ pub struct MaintenanceBuilder<'db> {
     db: &'db Database,
     table: String,
     budget_rows: Option<usize>,
+    part: Option<usize>,
 }
 
 impl<'db> MaintenanceBuilder<'db> {
@@ -99,6 +106,7 @@ impl<'db> MaintenanceBuilder<'db> {
             db,
             table: table.to_string(),
             budget_rows: None,
+            part: None,
         }
     }
 
@@ -115,18 +123,30 @@ impl<'db> MaintenanceBuilder<'db> {
         self
     }
 
+    /// Target one partition of a partitioned table instead of round-robin
+    /// across all parts. The scheduler uses this to drain exactly the
+    /// partition whose backlog scores highest.
+    pub fn partition(mut self, part: usize) -> Self {
+        self.part = Some(part);
+        self
+    }
+
     /// Execute one maintenance increment under the configured budget.
     pub fn run(self) -> Result<MaintenanceReport> {
-        maintenance_increment(self.db, &self.table, self.budget_rows)
+        maintenance_increment(self.db, &self.table, self.budget_rows, self.part)
     }
 
     /// Read-only status probe: backlog depths and completeness, no work.
     pub fn report(self) -> Result<MaintenanceReport> {
         let slot = self.db.slot(&self.table)?;
         let table = slot.table.read();
-        let (delta_rows, delete_buffer) = backlog_split(&table);
+        let (delta_rows, delete_buffer) = match self.part {
+            Some(p) if p < table.num_parts() => part_backlog(table.part(p)),
+            _ => backlog_split(&table),
+        };
         Ok(MaintenanceReport {
             table: self.table,
+            part: self.part,
             budget_rows: self.budget_rows,
             delta_rows,
             delete_buffer,
@@ -136,19 +156,28 @@ impl<'db> MaintenanceBuilder<'db> {
     }
 }
 
-/// Pending work split into (delta rows, buffered deletes).
-fn backlog_split(table: &Table) -> (usize, usize) {
+/// One part's pending work split into (delta rows, buffered deletes).
+fn part_backlog(part: &crate::table::TablePart) -> (usize, usize) {
     let mut delta = 0;
     let mut buffer = 0;
-    if let Some(csi) = table.primary().as_csi() {
+    if let Some(csi) = part.primary().as_csi() {
         delta += csi.delta_rows();
         buffer += csi.delete_buffer_len();
     }
-    if let Some(csi) = table.secondary_csi() {
+    if let Some(csi) = part.secondary_csi() {
         delta += csi.delta_rows();
         buffer += csi.delete_buffer_len();
     }
     (delta, buffer)
+}
+
+/// Pending work across every part, split into (delta rows, buffered deletes).
+fn backlog_split(table: &Table) -> (usize, usize) {
+    table
+        .parts()
+        .iter()
+        .map(part_backlog)
+        .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
 }
 
 /// One WAL-logged, crash-safe maintenance increment.
@@ -161,6 +190,7 @@ fn maintenance_increment(
     db: &Database,
     name: &str,
     budget: Option<usize>,
+    part: Option<usize>,
 ) -> Result<MaintenanceReport> {
     // Root span: background work never nests under whatever query happens
     // to be current on the calling thread.
@@ -179,8 +209,22 @@ fn maintenance_increment(
     let t = IoTracker::new();
     let budget_rows = budget.unwrap_or(usize::MAX);
     let mut guard = slot.table.write();
-    let step = guard.maintenance_step(budget_rows, &db.pool, &t);
-    let (delta_rows, delete_buffer) = backlog_split(&guard);
+    if let Some(p) = part {
+        if p >= guard.num_parts() {
+            return Err(HpdError::Constraint(format!(
+                "table {name} has {} partitions; no partition {p}",
+                guard.num_parts()
+            )));
+        }
+    }
+    let step = match part {
+        Some(p) => guard.maintenance_step_part(p, budget_rows, &db.pool, &t),
+        None => guard.maintenance_step(budget_rows, &db.pool, &t),
+    };
+    let (delta_rows, delete_buffer) = match part {
+        Some(p) => part_backlog(guard.part(p)),
+        None => backlog_split(&guard),
+    };
     drop(guard);
     if faults::fire(faults::sites::CRASH_IN_MAINTENANCE) {
         // Crash with the reorganization applied but its log record
@@ -193,6 +237,7 @@ fn maintenance_increment(
     if db.wal.enabled() && (step.rows_moved > 0 || step.deletes_compacted > 0) {
         let lsn = db.wal.append(&LogRecord::MaintenanceStep {
             table: table_id,
+            part: part.map_or(u32::MAX, |p| p as u32),
             budget_rows: budget_rows as u64,
             rows_moved: step.rows_moved as u64,
             deletes_compacted: step.deletes_compacted as u64,
@@ -206,6 +251,8 @@ fn maintenance_increment(
         .add(step.rows_moved as u64);
     m.counter("maintenance.deletes_compacted")
         .add(step.deletes_compacted as u64);
+    m.counter("maintenance.rowgroups_merged")
+        .add(step.rowgroups_merged as u64);
     m.histogram("maintenance.increment_us")
         .record(cpu_start.elapsed().as_micros() as u64);
     m.histogram("maintenance.grant_wait_us")
@@ -224,9 +271,11 @@ fn maintenance_increment(
     }
     Ok(MaintenanceReport {
         table: name.to_string(),
+        part,
         budget_rows: budget,
         rows_moved: step.rows_moved,
         deletes_compacted: step.deletes_compacted,
+        rowgroups_merged: step.rowgroups_merged,
         delta_rows,
         delete_buffer,
         complete: step.done,
@@ -253,18 +302,57 @@ impl Database {
     }
 }
 
-/// One scorable unit of pending maintenance work.
+/// One scorable unit of pending maintenance work: a whole table, or — for
+/// partitioned tables — one partition.
 #[derive(Debug, Clone)]
 pub struct MaintenanceCandidate {
     pub table: String,
+    /// Targeted partition; `None` for a monolithic table.
+    pub part: Option<usize>,
     /// Marginal-benefit score; higher means an increment saves more
     /// foreground work. Zero when the table has no backlog.
     pub score: f64,
-    /// Pending rows (delta + buffered deletes) across the table's CSIs.
+    /// Pending rows (delta + buffered deletes) across the unit's CSIs.
     pub backlog: usize,
 }
 
-/// Score every table's pending maintenance work, highest first.
+/// Marginal-benefit score of one part's CSIs: `(score, backlog)`.
+fn score_part(part: &crate::table::TablePart, capacity: f64) -> (f64, usize) {
+    let mut score = 0.0;
+    let mut backlog = 0;
+    let mut csis: Vec<&hpd_columnstore::ColumnStoreIndex> = Vec::new();
+    if let Some(csi) = part.primary().as_csi() {
+        csis.push(csi);
+    }
+    if let Some(csi) = part.secondary_csi() {
+        csis.push(csi);
+    }
+    for csi in csis {
+        let pending = csi.maintenance_backlog();
+        if pending == 0 {
+            continue;
+        }
+        backlog += pending;
+        let rep = csi.heat_report();
+        let reads: u64 = rep.rowgroups.iter().map(|r| r.reads).sum();
+        let prunes: u64 = rep.rowgroups.iter().map(|r| r.prunes).sum();
+        let delta = csi.delta_rows() as f64;
+        let buffer = csi.delete_buffer_len() as f64;
+        // Delta merge cost: every delta scan walks the whole delta.
+        score += rep.delta_reads as f64 * delta / capacity;
+        // Anti-join cost: every rowgroup read probes the buffer.
+        score += reads as f64 * buffer / capacity;
+        // Pruning loss: delta rows can never be segment-eliminated.
+        score += prunes as f64 * delta / capacity;
+        // Small constant pressure so cold backlogs still drain.
+        score += pending as f64 / capacity;
+    }
+    (score, backlog)
+}
+
+/// Score every table's pending maintenance work, highest first. Partitioned
+/// tables yield one candidate per backlogged *partition*, so the scheduler
+/// drains a hot partition's delta without touching nine cold siblings.
 ///
 /// The score estimates what the backlog costs foreground scans per tick:
 /// delta-store merge cost scales with delta scans × delta depth, the
@@ -277,41 +365,17 @@ pub fn maintenance_candidates(db: &Database) -> Vec<MaintenanceCandidate> {
     let mut out = Vec::new();
     for slot in slots.iter() {
         let table = slot.table.read();
-        let mut score = 0.0;
-        let mut backlog = 0;
-        let mut csis: Vec<&hpd_columnstore::ColumnStoreIndex> = Vec::new();
-        if let Some(csi) = table.primary().as_csi() {
-            csis.push(csi);
-        }
-        if let Some(csi) = table.secondary_csi() {
-            csis.push(csi);
-        }
-        for csi in csis {
-            let pending = csi.maintenance_backlog();
-            if pending == 0 {
-                continue;
+        let partitioned = table.num_parts() > 1;
+        for (p, part) in table.parts().iter().enumerate() {
+            let (score, backlog) = score_part(part, capacity);
+            if backlog > 0 {
+                out.push(MaintenanceCandidate {
+                    table: slot.name.clone(),
+                    part: partitioned.then_some(p),
+                    score,
+                    backlog,
+                });
             }
-            backlog += pending;
-            let rep = csi.heat_report();
-            let reads: u64 = rep.rowgroups.iter().map(|r| r.reads).sum();
-            let prunes: u64 = rep.rowgroups.iter().map(|r| r.prunes).sum();
-            let delta = csi.delta_rows() as f64;
-            let buffer = csi.delete_buffer_len() as f64;
-            // Delta merge cost: every delta scan walks the whole delta.
-            score += rep.delta_reads as f64 * delta / capacity;
-            // Anti-join cost: every rowgroup read probes the buffer.
-            score += reads as f64 * buffer / capacity;
-            // Pruning loss: delta rows can never be segment-eliminated.
-            score += prunes as f64 * delta / capacity;
-            // Small constant pressure so cold backlogs still drain.
-            score += pending as f64 / capacity;
-        }
-        if backlog > 0 {
-            out.push(MaintenanceCandidate {
-                table: slot.name.clone(),
-                score,
-                backlog,
-            });
         }
     }
     out.sort_by(|a, b| b.score.total_cmp(&a.score));
@@ -398,10 +462,11 @@ pub fn spawn_maintenance(db: &Arc<Database>) -> MaintenanceHandle {
                 // Admission timeouts and injected crashes are the caller's
                 // concern when they drive increments; the scheduler just
                 // tries again next tick.
-                let _ = db
-                    .maintenance(&pick.table)
-                    .budget_rows(cfg.budget_rows)
-                    .run();
+                let mut increment = db.maintenance(&pick.table).budget_rows(cfg.budget_rows);
+                if let Some(p) = pick.part {
+                    increment = increment.partition(p);
+                }
+                let _ = increment.run();
             }
         })
         .expect("spawn maintenance scheduler thread");

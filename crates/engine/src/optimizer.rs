@@ -21,9 +21,18 @@ use hpd_common::{AggFunc, DataType, Expr, HpdError, Interval, Key, Result, Schem
 
 use crate::cost::CostModel;
 use crate::design::{IndexDescriptor, IndexId, IndexMeta};
+use crate::partition::PartitionSpec;
 use crate::plan::{PhysicalPlan, PlanAgg, PlanCol, PlanMode, PlanNode, PlanNodeKind};
 use crate::query::SelectQuery;
 use crate::stats::TableStats;
+
+/// Planning facts for one partition of a partitioned table: its cardinality
+/// and the metadata of *its* indexes (partitions have independent designs).
+#[derive(Debug, Clone)]
+pub struct PartInfo {
+    pub rows: usize,
+    pub metas: Vec<IndexMeta>,
+}
 
 /// Everything the optimizer knows about one input table.
 #[derive(Debug, Clone)]
@@ -32,7 +41,36 @@ pub struct TableContext {
     pub schema: Schema,
     pub pk: Vec<usize>,
     pub stats: TableStats,
+    /// Index metadata of the first (or only) partition; what-if designs
+    /// override this (and are planned as unpartitioned).
     pub metas: Vec<IndexMeta>,
+    /// Partitioning declaration (`None` for unpartitioned tables).
+    pub partitioning: Option<PartitionSpec>,
+    /// Per-partition facts, parallel to the table's parts. Empty or
+    /// single-element contexts plan exactly as before partitioning existed.
+    pub parts: Vec<PartInfo>,
+}
+
+impl TableContext {
+    /// Context for an unpartitioned table (or a hypothetical design, which
+    /// is always costed as if monolithic).
+    pub fn unpartitioned(
+        name: String,
+        schema: Schema,
+        pk: Vec<usize>,
+        stats: TableStats,
+        metas: Vec<IndexMeta>,
+    ) -> TableContext {
+        TableContext {
+            name,
+            schema,
+            pk,
+            stats,
+            metas,
+            partitioning: None,
+            parts: Vec::new(),
+        }
+    }
 }
 
 /// One costed way of producing (a superset of) a table's needed columns.
@@ -44,6 +82,9 @@ struct AccessOption {
 
 pub struct Optimizer {
     pub cost: CostModel,
+    /// When false, partitioned scans keep every partition (the comparison
+    /// arm for `bench_partition` and the `partition_pruning` config knob).
+    pub prune_partitions: bool,
 }
 
 impl Optimizer {
@@ -57,7 +98,10 @@ impl Optimizer {
 
 impl Optimizer {
     pub fn new(cost: CostModel) -> Optimizer {
-        Optimizer { cost }
+        Optimizer {
+            cost,
+            prune_partitions: true,
+        }
     }
 
     /// Produce the cheapest plan for `query`.
@@ -103,6 +147,9 @@ impl Optimizer {
         predicate: Option<&Expr>,
         ctx: &TableContext,
     ) -> Vec<AccessOption> {
+        if ctx.partitioning.is_some() && ctx.parts.len() > 1 {
+            return vec![self.partitioned_option(ti, needed, predicate, ctx)];
+        }
         let intervals = predicate.map(Expr::column_intervals).unwrap_or_default();
         let rows = ctx.stats.rows as f64;
         let mut options = Vec::new();
@@ -197,6 +244,120 @@ impl Optimizer {
             }
         }
         options
+    }
+
+    /// Scatter-gather access for a partitioned table: prune partitions
+    /// against the predicate's sargable intervals, pick the cheapest access
+    /// path *per surviving partition* (each partition has its own physical
+    /// design), and union the lanes under one [`PlanNodeKind::PartitionedScan`].
+    fn partitioned_option(
+        &self,
+        ti: usize,
+        needed: &[usize],
+        predicate: Option<&Expr>,
+        ctx: &TableContext,
+    ) -> AccessOption {
+        let spec = ctx.partitioning.as_ref().expect("partitioned context");
+        let intervals = predicate.map(Expr::column_intervals).unwrap_or_default();
+        let total = ctx.parts.len();
+        let mut survivors = if self.prune_partitions {
+            spec.prune(&intervals)
+        } else {
+            (0..total).collect()
+        };
+        // A fully pruned table still needs one lane so the plan produces the
+        // right (empty) row shape; keep partition 0 and count the rest.
+        if survivors.is_empty() {
+            survivors.push(0);
+        }
+        let pruned = total - survivors.len();
+        let out_cols: Vec<PlanCol> = needed.iter().map(|&c| PlanCol::Base(ti, c)).collect();
+        let out_types: Vec<DataType> = needed.iter().map(|&c| ctx.schema.column(c).dtype).collect();
+
+        let mut parts = Vec::with_capacity(survivors.len());
+        let mut est_rows = 0.0;
+        for &p in &survivors {
+            let info = &ctx.parts[p];
+            let mut part_stats = ctx.stats.clone();
+            part_stats.rows = info.rows;
+            // Column statistics stay table-wide: per-partition histograms
+            // would be strictly better but the row-count scaling dominates.
+            let sub = TableContext {
+                name: ctx.name.clone(),
+                schema: ctx.schema.clone(),
+                pk: ctx.pk.clone(),
+                stats: part_stats,
+                metas: info.metas.clone(),
+                partitioning: None,
+                parts: Vec::new(),
+            };
+            let best = self
+                .access_options(ti, needed, predicate, &sub)
+                .into_iter()
+                .min_by(|a, b| self.node_cost(&a.node).total_cmp(&self.node_cost(&b.node)))
+                .expect("every partition has a primary access path");
+            let lane = self.normalize_lane(best.node, ti, needed, &out_cols, &out_types);
+            est_rows += lane.est_rows;
+            parts.push(lane);
+        }
+        // The gather itself is a cheap pass over surviving rows.
+        let gather_cpu = est_rows * self.cost.cpu_row_us * 0.1;
+        AccessOption {
+            node: PlanNode {
+                kind: PlanNodeKind::PartitionedScan {
+                    table: ti,
+                    part_ids: survivors,
+                    parts,
+                    intervals,
+                    pruned,
+                    total,
+                },
+                out_cols,
+                out_types,
+                est_rows: est_rows.max(1.0),
+                est_cpu_us: gather_cpu,
+                est_io_us: 0.0,
+                est_io_div_us: 0.0,
+            },
+            // The union of independently ordered lanes has no global order.
+            order: Vec::new(),
+        }
+    }
+
+    /// Project a partition lane down to exactly the gather's output columns
+    /// (heterogeneous designs produce different supersets per lane, and the
+    /// gather exchange requires identical shapes).
+    fn normalize_lane(
+        &self,
+        node: PlanNode,
+        ti: usize,
+        needed: &[usize],
+        out_cols: &[PlanCol],
+        out_types: &[DataType],
+    ) -> PlanNode {
+        if node.out_cols == out_cols {
+            return node;
+        }
+        let mode = node_mode(&node);
+        let exprs: Vec<Expr> = needed
+            .iter()
+            .map(|&c| Expr::Col(node.find_col(ti, c).expect("lane covers needed columns")))
+            .collect();
+        let est_rows = node.est_rows;
+        let cpu = est_rows * self.cost.cpu_batch_us * 0.2;
+        PlanNode {
+            kind: PlanNodeKind::Project {
+                child: Box::new(node),
+                exprs,
+                mode,
+            },
+            out_cols: out_cols.to_vec(),
+            out_types: out_types.to_vec(),
+            est_rows,
+            est_cpu_us: cpu,
+            est_io_us: 0.0,
+            est_io_div_us: 0.0,
+        }
     }
 
     /// Seek (when an interval constrains a key prefix) and full-scan options
@@ -592,6 +753,178 @@ impl Optimizer {
         })
     }
 
+    /// Lower a global aggregate over a *bare* partitioned scan (no residual
+    /// filter, so no predicate) into per-partition partial aggregates
+    /// combined by a streaming fold above the gather. Each lane computes its
+    /// partial with the operator its design affords — a CSI lane folds in
+    /// the encoded domain ([`PlanNodeKind::CsiAgg`]), a B+ tree lane
+    /// projects and stream-folds. Only COUNT and SUM participate: their
+    /// partials over an *empty* partition are the combine identity (0),
+    /// whereas MIN/MAX of nothing has no representable identity here.
+    fn try_partition_agg(
+        &self,
+        node: &PlanNode,
+        query: &SelectQuery,
+        tables: &[TableContext],
+    ) -> Option<PlanNode> {
+        if !query.group_by.is_empty() || query.aggregates.is_empty() {
+            return None;
+        }
+        let PlanNodeKind::PartitionedScan {
+            table,
+            part_ids,
+            parts,
+            intervals,
+            pruned,
+            total,
+        } = &node.kind
+        else {
+            return None;
+        };
+        let ctx = tables.get(*table)?;
+        let mut inputs = Vec::with_capacity(query.aggregates.len());
+        let mut partial_types = Vec::with_capacity(query.aggregates.len());
+        for a in &query.aggregates {
+            let Expr::Col(c) = a.expr else {
+                return None;
+            };
+            if a.table != *table || !matches!(a.func, AggFunc::Count | AggFunc::Sum) {
+                return None;
+            }
+            let dtype = ctx.schema.column(c).dtype;
+            if matches!(a.func, AggFunc::Sum) && dtype == DataType::Utf8 {
+                return None; // row path reports the proper query error
+            }
+            inputs.push((a.func, c));
+            partial_types.push(agg_result_type(a.func, dtype));
+        }
+        let partial_cols = vec![PlanCol::Computed; inputs.len()];
+        let mut lanes = Vec::with_capacity(parts.len());
+        for lane in parts {
+            lanes.push(self.partial_agg_lane(lane, &inputs, &partial_cols, &partial_types)?);
+        }
+        let gathered = PlanNode {
+            kind: PlanNodeKind::PartitionedScan {
+                table: *table,
+                part_ids: part_ids.clone(),
+                parts: lanes,
+                intervals: intervals.clone(),
+                pruned: *pruned,
+                total: *total,
+            },
+            out_cols: partial_cols.clone(),
+            out_types: partial_types.clone(),
+            est_rows: parts.len() as f64,
+            est_cpu_us: 0.0,
+            est_io_us: 0.0,
+            est_io_div_us: 0.0,
+        };
+        // Combine: COUNT partials sum, SUM partials sum. The combined types
+        // equal the final types (SUM is closed over Int64/Decimal/Float64).
+        let combine: Vec<PlanAgg> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| PlanAgg {
+                func: AggFunc::Sum,
+                input: i,
+            })
+            .collect();
+        Some(PlanNode {
+            kind: PlanNodeKind::StreamAgg {
+                child: Box::new(gathered),
+                group: vec![],
+                aggs: combine,
+            },
+            out_cols: partial_cols,
+            out_types: partial_types,
+            est_rows: 1.0,
+            est_cpu_us: parts.len() as f64 * self.cost.cpu_row_us,
+            est_io_us: 0.0,
+            est_io_div_us: 0.0,
+        })
+    }
+
+    /// One partition's partial-aggregate subplan.
+    fn partial_agg_lane(
+        &self,
+        lane: &PlanNode,
+        inputs: &[(AggFunc, usize)],
+        partial_cols: &[PlanCol],
+        partial_types: &[DataType],
+    ) -> Option<PlanNode> {
+        if let PlanNodeKind::CsiScan {
+            table,
+            index,
+            intervals,
+            ..
+        } = &lane.kind
+        {
+            let aggs = inputs
+                .iter()
+                .map(|&(func, input)| PlanAgg { func, input })
+                .collect();
+            return Some(PlanNode {
+                kind: PlanNodeKind::CsiAgg {
+                    table: *table,
+                    index: *index,
+                    intervals: intervals.clone(),
+                    aggs,
+                },
+                out_cols: partial_cols.to_vec(),
+                out_types: partial_types.to_vec(),
+                est_rows: 1.0,
+                est_cpu_us: lane.est_cpu_us * 0.4,
+                est_io_us: lane.est_io_us,
+                est_io_div_us: lane.est_io_div_us,
+            });
+        }
+        // Generic lane: project the agg inputs, stream-fold to one row.
+        let mode = node_mode(lane);
+        let table = match lane.out_cols.first() {
+            Some(PlanCol::Base(t, _)) => *t,
+            _ => return None,
+        };
+        let mut exprs = Vec::with_capacity(inputs.len());
+        for &(_, c) in inputs {
+            exprs.push(Expr::Col(lane.find_col(table, c)?));
+        }
+        let est_rows = lane.est_rows;
+        let projected = PlanNode {
+            kind: PlanNodeKind::Project {
+                child: Box::new(lane.clone()),
+                exprs,
+                mode,
+            },
+            out_cols: partial_cols.to_vec(),
+            out_types: inputs
+                .iter()
+                .map(|&(_, c)| lane.out_types[lane.find_col(table, c).expect("checked above")])
+                .collect(),
+            est_rows,
+            est_cpu_us: est_rows * self.cost.cpu_row_us * 0.5,
+            est_io_us: 0.0,
+            est_io_div_us: 0.0,
+        };
+        let aggs = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &(func, _))| PlanAgg { func, input: i })
+            .collect();
+        Some(PlanNode {
+            kind: PlanNodeKind::StreamAgg {
+                child: Box::new(projected),
+                group: vec![],
+                aggs,
+            },
+            out_cols: partial_cols.to_vec(),
+            out_types: partial_types.to_vec(),
+            est_rows: 1.0,
+            est_cpu_us: est_rows * self.cost.cpu_row_us * 0.4,
+            est_io_us: 0.0,
+            est_io_div_us: 0.0,
+        })
+    }
+
     fn build_aggregate(
         &self,
         node: PlanNode,
@@ -599,6 +932,9 @@ impl Optimizer {
         tables: &[TableContext],
         input_order: &[(usize, usize)],
     ) -> Result<PlanNode> {
+        if let Some(pushed) = self.try_partition_agg(&node, query, tables) {
+            return Ok(pushed);
+        }
         if let Some(pushed) = self.try_csi_agg(&node, query, tables) {
             return Ok(pushed);
         }
@@ -967,7 +1303,10 @@ impl Optimizer {
             .iter()
             .map(|(l, r)| if l.table == next { l.column } else { r.column })
             .collect();
-        for (idx, meta) in ctx.metas.iter().enumerate() {
+        // A partitioned inner has no single index to probe per outer row
+        // (`ctx.metas` describes partition 0 only); hash join covers it.
+        let inner_metas: &[IndexMeta] = if ctx.parts.len() > 1 { &[] } else { &ctx.metas };
+        for (idx, meta) in inner_metas.iter().enumerate() {
             let keys = match &meta.descriptor {
                 IndexDescriptor::PrimaryBTree { keys } => keys,
                 IndexDescriptor::SecondaryBTree { keys, .. } => keys,
@@ -1220,6 +1559,16 @@ fn bind_expr(expr: &Expr, table: usize, node: &PlanNode) -> Result<Expr> {
 fn node_mode(node: &PlanNode) -> PlanMode {
     match &node.kind {
         PlanNodeKind::CsiScan { .. } | PlanNodeKind::CsiAgg { .. } => PlanMode::Batch,
+        PlanNodeKind::PartitionedScan { parts, .. } => {
+            if parts
+                .iter()
+                .all(|p| matches!(node_mode(p), PlanMode::Batch))
+            {
+                PlanMode::Batch
+            } else {
+                PlanMode::Row
+            }
+        }
         PlanNodeKind::Filter { mode, .. } | PlanNodeKind::Project { mode, .. } => *mode,
         PlanNodeKind::PkLookup { .. }
         | PlanNodeKind::BTreeSeek { .. }
@@ -1339,6 +1688,7 @@ fn children(node: &PlanNode) -> Vec<&PlanNode> {
         | PlanNodeKind::BTreeScan { .. }
         | PlanNodeKind::CsiScan { .. }
         | PlanNodeKind::CsiAgg { .. } => vec![],
+        PlanNodeKind::PartitionedScan { parts, .. } => parts.iter().collect(),
         PlanNodeKind::PkLookup { child, .. }
         | PlanNodeKind::Filter { child, .. }
         | PlanNodeKind::Project { child, .. }
@@ -1358,7 +1708,9 @@ fn set_scan_dop(mut node: PlanNode, dop: usize) -> PlanNode {
         PlanNodeKind::BTreeSeek { dop: d, .. }
         | PlanNodeKind::BTreeScan { dop: d, .. }
         | PlanNodeKind::CsiScan { dop: d, .. } => *d = dop,
-        PlanNodeKind::CsiAgg { .. } => {}
+        // Partition lanes already run one per worker; their inner scans
+        // stay at DOP 1.
+        PlanNodeKind::CsiAgg { .. } | PlanNodeKind::PartitionedScan { .. } => {}
         PlanNodeKind::PkLookup { child, .. }
         | PlanNodeKind::Filter { child, .. }
         | PlanNodeKind::Project { child, .. }

@@ -88,6 +88,25 @@ pub enum PlanNodeKind {
         intervals: HashMap<usize, Interval>,
         aggs: Vec<PlanAgg>,
     },
+    /// Scatter-gather over a partitioned table: every surviving partition
+    /// scans through its own access path (each partition owns its own
+    /// physical design, so children may mix B+ tree and columnstore leaves)
+    /// and the results union — in parallel, one lane per partition. The
+    /// children all produce identical output columns. Partitions whose
+    /// value range cannot intersect the predicate's intervals were pruned.
+    PartitionedScan {
+        table: usize,
+        /// Partition ids of the surviving children (parallel to `parts`).
+        part_ids: Vec<usize>,
+        parts: Vec<PlanNode>,
+        /// Sargable intervals the pruning decision used (table column
+        /// ordinals); execution re-applies them to overlay-added rows.
+        intervals: HashMap<usize, Interval>,
+        /// Partitions skipped by pruning.
+        pruned: usize,
+        /// Total partitions in the table.
+        total: usize,
+    },
     /// Fetch full rows from the primary B+ tree using the primary-key
     /// locator carried in the child's output.
     PkLookup {
@@ -179,6 +198,11 @@ impl PlanNode {
             PlanNodeKind::CsiScan { .. } | PlanNodeKind::CsiAgg { .. } => {
                 out.push(LeafKind::Columnstore)
             }
+            PlanNodeKind::PartitionedScan { parts, .. } => {
+                for p in parts {
+                    p.collect_leaves(out);
+                }
+            }
             PlanNodeKind::PkLookup { child, .. } => {
                 child.collect_leaves(out);
                 out.push(LeafKind::BTree); // the primary tree it probes
@@ -210,6 +234,11 @@ impl PlanNode {
             | PlanNodeKind::BTreeScan { table, index, .. }
             | PlanNodeKind::CsiScan { table, index, .. }
             | PlanNodeKind::CsiAgg { table, index, .. } => out.push((*table, *index)),
+            PlanNodeKind::PartitionedScan { parts, .. } => {
+                for p in parts {
+                    p.collect_index_refs(out);
+                }
+            }
             PlanNodeKind::PkLookup { child, table, .. } => {
                 child.collect_index_refs(out);
                 out.push((*table, IndexId::PRIMARY));
@@ -245,6 +274,8 @@ impl PlanNode {
             | PlanNodeKind::CsiScan { dop, .. } => *dop,
             // The encoded fold is a single cheap pass; it never fans out.
             PlanNodeKind::CsiAgg { .. } => 1,
+            // Scatter-gather: one lane per surviving partition.
+            PlanNodeKind::PartitionedScan { parts, .. } => parts.len().max(1),
             PlanNodeKind::PkLookup { child, .. }
             | PlanNodeKind::Filter { child, .. }
             | PlanNodeKind::Project { child, .. }
@@ -297,6 +328,7 @@ impl PlanNode {
             | PlanNodeKind::BTreeScan { .. }
             | PlanNodeKind::CsiScan { .. }
             | PlanNodeKind::CsiAgg { .. } => Vec::new(),
+            PlanNodeKind::PartitionedScan { parts, .. } => parts.iter().collect(),
             PlanNodeKind::PkLookup { child, .. }
             | PlanNodeKind::Filter { child, .. }
             | PlanNodeKind::Project { child, .. }
@@ -348,6 +380,19 @@ impl PlanNode {
                 index.0,
                 intervals.len(),
                 aggs.len()
+            ),
+            PlanNodeKind::PartitionedScan {
+                table,
+                parts,
+                pruned,
+                total,
+                ..
+            } => format!(
+                "PartitionedScan {} [{}/{} partitions, {} pruned]",
+                tname(table),
+                parts.len(),
+                total,
+                pruned
             ),
             PlanNodeKind::PkLookup { table, .. } => format!("PkLookup {}", tname(table)),
             PlanNodeKind::Filter { mode, .. } => format!("Filter ({mode:?} mode)"),

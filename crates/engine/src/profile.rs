@@ -77,12 +77,45 @@ impl ProfileMap {
         AnalyzeReport {
             nodes,
             est_cost_us: plan.est_cost_us,
+            partitions: None,
             pruning: None,
             agg_pushdown: None,
             grant: None,
             wal: None,
             timeline: None,
         }
+    }
+}
+
+/// Partition scatter-gather activity for one statement, taken from the
+/// `partition.*` counter deltas around execution. Present whenever a
+/// `PartitionedScan` was lowered (even with nothing pruned, so the
+/// `x/y scanned` line always shows for partitioned tables).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionActivity {
+    /// Partitions whose scan lanes actually ran.
+    pub scanned: u64,
+    /// Partitions skipped by partition pruning.
+    pub pruned: u64,
+}
+
+impl PartitionActivity {
+    /// Build from a counter-delta snapshot (see `hpd_obs::Snapshot::delta`).
+    pub fn from_snapshot(d: &hpd_obs::Snapshot) -> PartitionActivity {
+        PartitionActivity {
+            scanned: d.counter("partition.scanned"),
+            pruned: d.counter("partition.pruned"),
+        }
+    }
+
+    /// Total partitions the statement's partitioned scans covered.
+    pub fn total(&self) -> u64 {
+        self.scanned + self.pruned
+    }
+
+    /// True when no partitioned scan ran.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
     }
 }
 
@@ -233,6 +266,9 @@ pub struct AnalyzeReport {
     /// Pre-order, matching the plan tree.
     pub nodes: Vec<NodeProfile>,
     pub est_cost_us: f64,
+    /// Partition scatter-gather counters for this statement (None when no
+    /// partitioned scan ran).
+    pub partitions: Option<PartitionActivity>,
     /// Columnstore pushdown counters for this statement (None when the
     /// process-wide registry could not attribute any scan work to it).
     pub pruning: Option<ScanPruning>,
@@ -294,6 +330,16 @@ impl AnalyzeReport {
                 );
             }
             out.push_str(")\n");
+        }
+        if let Some(p) = &self.partitions {
+            let _ = write!(
+                out,
+                "partitions: {}/{} scanned ({} pruned)",
+                p.scanned,
+                p.total(),
+                p.pruned
+            );
+            out.push('\n');
         }
         if let Some(p) = &self.pruning {
             let _ = write!(

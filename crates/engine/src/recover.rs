@@ -28,11 +28,13 @@ use hpd_common::{faults, HpdError, Result};
 use hpd_storage::IoTracker;
 use hpd_wal::{
     CheckpointImage, FrameReader, LogRecord, Wal, WalDurable, WalIndexDef, WalIndexKind,
+    WalPartitioning,
 };
 use parking_lot::RwLock;
 
 use crate::catalog::{Database, DbConfig, TableSlot};
 use crate::design::IndexDescriptor;
+use crate::partition::{PartitionMethod, PartitionSpec};
 use crate::table::Table;
 
 /// Engine descriptor → WAL wire form.
@@ -78,6 +80,33 @@ pub(crate) fn from_wal_def(d: &WalIndexDef) -> IndexDescriptor {
     }
 }
 
+/// Engine partitioning spec → WAL wire form.
+pub(crate) fn to_wal_partitioning(s: &PartitionSpec) -> WalPartitioning {
+    match &s.method {
+        PartitionMethod::Range { bounds } => WalPartitioning::Range {
+            column: s.column as u32,
+            bounds: bounds.clone(),
+        },
+        PartitionMethod::Hash { partitions } => WalPartitioning::Hash {
+            column: s.column as u32,
+            partitions: *partitions as u32,
+        },
+    }
+}
+
+/// WAL wire form → engine partitioning spec (re-validated on the way in, so
+/// a corrupt-but-CRC-clean record cannot smuggle an invalid spec).
+pub(crate) fn from_wal_partitioning(p: &WalPartitioning) -> Result<PartitionSpec> {
+    match p {
+        WalPartitioning::Range { column, bounds } => {
+            PartitionSpec::range(*column as usize, bounds.clone())
+        }
+        WalPartitioning::Hash { column, partitions } => {
+            PartitionSpec::hash(*column as usize, *partitions as usize)
+        }
+    }
+}
+
 fn slot_at(db: &Database, id: u32) -> Result<Arc<TableSlot>> {
     db.tables
         .read()
@@ -106,17 +135,40 @@ impl Database {
             let image = CheckpointImage::decode(image)?;
             let mut tables = db.tables.write();
             for snap in image.tables {
-                let mut table = Table::create(
+                let spec = snap
+                    .partitioning
+                    .as_ref()
+                    .map(from_wal_partitioning)
+                    .transpose()?;
+                let mut table = Table::create_spec(
                     snap.name.clone(),
                     snap.schema,
                     snap.pk,
                     &from_wal_def(&snap.primary),
+                    spec,
                     db.config.csi,
                     db.alloc.clone(),
                 )?;
+                // Bulk load re-routes the concatenated rows per partition.
                 table.bulk_load(snap.rows, &db.pool, &tracker)?;
-                for def in &snap.secondaries {
-                    table.build_index(&from_wal_def(def), &db.pool, &tracker)?;
+                if snap.parts.is_empty() {
+                    for def in &snap.secondaries {
+                        table.build_index(&from_wal_def(def), &db.pool, &tracker)?;
+                    }
+                } else {
+                    // Partitioned snapshot: each partition is rebuilt under
+                    // its own captured (possibly heterogeneous) design.
+                    for (p, ps) in snap.parts.iter().enumerate() {
+                        let secondaries: Vec<IndexDescriptor> =
+                            ps.secondaries.iter().map(from_wal_def).collect();
+                        table.apply_partition_design(
+                            p,
+                            &from_wal_def(&ps.primary),
+                            &secondaries,
+                            &db.pool,
+                            &tracker,
+                        )?;
+                    }
                 }
                 tables.push(Arc::new(TableSlot {
                     name: snap.name,
@@ -266,16 +318,22 @@ fn redo_ddl(db: &Database, lsn: u64, rec: LogRecord, tracker: &IoTracker) -> Res
             schema,
             pk,
             primary,
+            partitioning,
         } => {
             let mut tables = db.tables.write();
             if (table as usize) < tables.len() {
                 return Ok(false); // already present (from the checkpoint)
             }
-            let t = Table::create(
+            let spec = partitioning
+                .as_ref()
+                .map(from_wal_partitioning)
+                .transpose()?;
+            let t = Table::create_spec(
                 name.clone(),
                 schema,
                 pk,
                 &from_wal_def(&primary),
+                spec,
                 db.config.csi,
                 db.alloc.clone(),
             )?;
@@ -317,11 +375,14 @@ fn redo_ddl(db: &Database, lsn: u64, rec: LogRecord, tracker: &IoTracker) -> Res
             }
             let mut guard = slot.table.write();
             let rows = guard.scan_all_rows(&db.pool, tracker);
-            let mut fresh = Table::create(
+            // Same invariant as the live path: a design change keeps the
+            // table's partitioning.
+            let mut fresh = Table::create_spec(
                 slot.name.clone(),
                 guard.schema().clone(),
                 guard.pk().to_vec(),
                 &from_wal_def(&primary),
+                guard.partitioning().cloned(),
                 db.config.csi,
                 db.alloc.clone(),
             )?;
@@ -353,18 +414,47 @@ fn redo_ddl(db: &Database, lsn: u64, rec: LogRecord, tracker: &IoTracker) -> Res
             Ok(true)
         }
         LogRecord::MaintenanceStep {
-            table, budget_rows, ..
+            table,
+            part,
+            budget_rows,
+            ..
         } => {
             let slot = slot_at(db, table)?;
             if lsn <= slot.applied_lsn.load(Ordering::Relaxed) {
                 return Ok(false);
             }
-            // Logical redo: re-run an increment with the same budget. The
-            // physical outcome (which rowgroup holds which row) may differ
-            // from the pre-crash instance; the visible contents cannot.
-            slot.table
-                .write()
-                .maintenance_step(budget_rows as usize, &db.pool, tracker);
+            // Logical redo: re-run an increment with the same budget (and
+            // the same target partition). The physical outcome (which
+            // rowgroup holds which row) may differ from the pre-crash
+            // instance; the visible contents cannot.
+            let mut guard = slot.table.write();
+            if part != u32::MAX && (part as usize) < guard.num_parts() {
+                guard.maintenance_step_part(part as usize, budget_rows as usize, &db.pool, tracker);
+            } else {
+                guard.maintenance_step(budget_rows as usize, &db.pool, tracker);
+            }
+            drop(guard);
+            slot.applied_lsn.store(lsn, Ordering::Relaxed);
+            Ok(true)
+        }
+        LogRecord::PartitionDesignChange {
+            table,
+            part,
+            primary,
+            secondaries,
+        } => {
+            let slot = slot_at(db, table)?;
+            if lsn <= slot.applied_lsn.load(Ordering::Relaxed) {
+                return Ok(false);
+            }
+            let secondaries: Vec<IndexDescriptor> = secondaries.iter().map(from_wal_def).collect();
+            slot.table.write().apply_partition_design(
+                part as usize,
+                &from_wal_def(&primary),
+                &secondaries,
+                &db.pool,
+                tracker,
+            )?;
             slot.applied_lsn.store(lsn, Ordering::Relaxed);
             Ok(true)
         }

@@ -1,10 +1,15 @@
 //! Tables: a primary index (B+ tree or columnstore), secondary B+ trees,
 //! and at most one secondary columnstore — the hybrid design space.
 //!
-//! Every DML operation is routed through *all* indexes, so index maintenance
-//! cost is physical, not modelled: updating a table with a secondary CSI
-//! really does pay the delete-buffer insert, and updating a primary CSI
-//! really does scan segments to locate the row (the Figure 5 asymmetry).
+//! A table is physically a list of [`TablePart`]s. Unpartitioned tables have
+//! exactly one; partitioned tables ([`PartitionSpec`]) have one per
+//! partition, and every partition owns its *own* physical design — B+ tree
+//! primary on the hot range, columnstore on cold history, independent
+//! secondaries. DML routes each row to its partition and then through *all*
+//! of that partition's indexes, so index maintenance cost is physical, not
+//! modelled: updating a partition with a secondary CSI really does pay the
+//! delete-buffer insert, and updating a primary CSI really does scan
+//! segments to locate the row (the Figure 5 asymmetry).
 
 use std::collections::HashMap;
 use std::ops::Bound;
@@ -15,10 +20,11 @@ use hpd_common::{Expr, HpdError, Key, Result, Row, Schema};
 use hpd_storage::{BufferPool, IoTracker, StorageAllocator};
 
 use crate::design::{IndexDescriptor, IndexId, IndexMeta};
+use crate::partition::PartitionSpec;
 use crate::stats::TableStats;
 
 /// The table's main storage.
-// One instance per table, never moved after creation: the size skew
+// One instance per part, never moved after creation: the size skew
 // between the variants doesn't matter.
 #[allow(clippy::large_enum_variant)]
 pub enum PrimaryIndex {
@@ -68,26 +74,11 @@ impl SecondaryBTree {
 pub(crate) struct TableMaintStep {
     pub rows_moved: usize,
     pub deletes_compacted: usize,
+    /// Live rows rewritten while merging under-filled rowgroups.
+    pub rows_rewritten: usize,
+    /// Source rowgroups eliminated by merge-compaction.
+    pub rowgroups_merged: usize,
     pub done: bool,
-}
-
-/// One table with its full physical design.
-pub struct Table {
-    pub name: String,
-    schema: Schema,
-    pk: Vec<usize>,
-    primary: PrimaryIndex,
-    secondaries: Vec<SecondaryBTree>,
-    secondary_csi: Option<ColumnStoreIndex>,
-    /// Table ordinals stored in the secondary CSI (its schema order).
-    csi_columns: Vec<usize>,
-    stats: TableStats,
-    alloc: StorageAllocator,
-    csi_config: CsiConfig,
-    /// Last committed write timestamp per primary key (snapshot isolation).
-    row_write_ts: HashMap<Key, u64>,
-    /// Prior versions: pk → list of (start_ts, end_ts, row), end-exclusive.
-    version_store: HashMap<Key, Vec<(u64, u64, Row)>>,
 }
 
 fn stored_columns(keys: &[usize], includes: &[usize], pk: &[usize]) -> Vec<usize> {
@@ -100,244 +91,66 @@ fn stored_columns(keys: &[usize], includes: &[usize], pk: &[usize]) -> Vec<usize
     stored
 }
 
-impl Table {
-    /// Create an empty table with the given primary index.
-    pub fn create(
-        name: impl Into<String>,
-        schema: Schema,
-        pk: Vec<usize>,
+fn make_primary(
+    schema: &Schema,
+    pk: &[usize],
+    descriptor: &IndexDescriptor,
+    csi_config: CsiConfig,
+    alloc: &StorageAllocator,
+) -> Result<PrimaryIndex> {
+    match descriptor {
+        IndexDescriptor::PrimaryBTree { keys } => {
+            if keys != pk {
+                return Err(HpdError::Constraint(
+                    "primary B+ tree keys must equal the table primary key".into(),
+                ));
+            }
+            let entry_width = schema.row_width() + 16;
+            Ok(PrimaryIndex::BTree(BTree::new(
+                BTreeConfig::for_entry_width(entry_width),
+                alloc.clone(),
+            )))
+        }
+        IndexDescriptor::PrimaryCsi => Ok(PrimaryIndex::Csi(ColumnStoreIndex::build(
+            schema.clone(),
+            CsiKind::Primary,
+            pk.to_vec(),
+            csi_config,
+            &[],
+            alloc.clone(),
+            &BufferPool::unbounded(hpd_storage::DeviceProfile::ram()),
+            &IoTracker::new(),
+        ))),
+        other => Err(HpdError::Constraint(format!(
+            "not a primary index descriptor: {other:?}"
+        ))),
+    }
+}
+
+/// One partition's complete physical design: its primary index plus its own
+/// secondaries. Unpartitioned tables are a single part.
+pub struct TablePart {
+    pub(crate) primary: PrimaryIndex,
+    pub(crate) secondaries: Vec<SecondaryBTree>,
+    pub(crate) secondary_csi: Option<ColumnStoreIndex>,
+    /// Table ordinals stored in the secondary CSI (its schema order).
+    pub(crate) csi_columns: Vec<usize>,
+}
+
+impl TablePart {
+    fn create(
+        schema: &Schema,
+        pk: &[usize],
         primary: &IndexDescriptor,
         csi_config: CsiConfig,
-        alloc: StorageAllocator,
-    ) -> Result<Table> {
-        let primary = match primary {
-            IndexDescriptor::PrimaryBTree { keys } => {
-                if keys != &pk {
-                    return Err(HpdError::Constraint(
-                        "primary B+ tree keys must equal the table primary key".into(),
-                    ));
-                }
-                let entry_width = schema.row_width() + 16;
-                PrimaryIndex::BTree(BTree::new(
-                    BTreeConfig::for_entry_width(entry_width),
-                    alloc.clone(),
-                ))
-            }
-            IndexDescriptor::PrimaryCsi => PrimaryIndex::Csi(ColumnStoreIndex::build(
-                schema.clone(),
-                CsiKind::Primary,
-                pk.clone(),
-                csi_config,
-                &[],
-                alloc.clone(),
-                &BufferPool::unbounded(hpd_storage::DeviceProfile::ram()),
-                &IoTracker::new(),
-            )),
-            other => {
-                return Err(HpdError::Constraint(format!(
-                    "not a primary index descriptor: {other:?}"
-                )))
-            }
-        };
-        let n = schema.len();
-        Ok(Table {
-            name: name.into(),
-            schema,
-            pk,
-            primary,
+        alloc: &StorageAllocator,
+    ) -> Result<TablePart> {
+        Ok(TablePart {
+            primary: make_primary(schema, pk, primary, csi_config, alloc)?,
             secondaries: Vec::new(),
             secondary_csi: None,
             csi_columns: Vec::new(),
-            stats: TableStats::empty(n),
-            alloc,
-            csi_config,
-            row_write_ts: HashMap::new(),
-            version_store: HashMap::new(),
         })
-    }
-
-    /// Bulk load rows into the primary index (existing secondaries are
-    /// rebuilt) and refresh statistics.
-    pub fn bulk_load(
-        &mut self,
-        mut rows: Vec<Row>,
-        pool: &BufferPool,
-        tracker: &IoTracker,
-    ) -> Result<()> {
-        for r in &rows {
-            self.schema.validate_row(r)?;
-        }
-        self.stats =
-            TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
-        match &mut self.primary {
-            PrimaryIndex::BTree(tree) => {
-                let pk = self.pk.clone();
-                let mut entries: Vec<(Key, Row)> =
-                    rows.iter().map(|r| (r.key(&pk), r.clone())).collect();
-                entries.sort_by(|a, b| a.0.cmp(&b.0));
-                let entry_width = self.schema.row_width() + 16;
-                *tree = BTree::bulk_load(
-                    BTreeConfig::for_entry_width(entry_width),
-                    self.alloc.clone(),
-                    entries,
-                    pool,
-                    tracker,
-                )?;
-            }
-            PrimaryIndex::Csi(csi) => {
-                *csi = ColumnStoreIndex::build(
-                    self.schema.clone(),
-                    CsiKind::Primary,
-                    self.pk.clone(),
-                    self.csi_config,
-                    &rows,
-                    self.alloc.clone(),
-                    pool,
-                    tracker,
-                );
-            }
-        }
-        // Rebuild secondaries.
-        let descriptors: Vec<(Vec<usize>, Vec<usize>)> = self
-            .secondaries
-            .iter()
-            .map(|s| (s.keys.clone(), s.includes.clone()))
-            .collect();
-        self.secondaries.clear();
-        for (keys, includes) in descriptors {
-            self.build_secondary_btree_from(&rows, keys, includes, pool, tracker)?;
-        }
-        if self.secondary_csi.is_some() {
-            let columns = self.csi_columns.clone();
-            self.secondary_csi = None;
-            self.build_secondary_csi_from(&rows, columns, pool, tracker)?;
-        }
-        rows.clear();
-        Ok(())
-    }
-
-    /// Build a secondary index described by `descriptor` from current data.
-    pub fn build_index(
-        &mut self,
-        descriptor: &IndexDescriptor,
-        pool: &BufferPool,
-        tracker: &IoTracker,
-    ) -> Result<IndexId> {
-        let rows = self.scan_all_rows(pool, tracker);
-        match descriptor {
-            IndexDescriptor::SecondaryBTree { keys, includes } => {
-                self.build_secondary_btree_from(
-                    &rows,
-                    keys.clone(),
-                    includes.clone(),
-                    pool,
-                    tracker,
-                )?;
-                Ok(IndexId(self.secondaries.len()))
-            }
-            IndexDescriptor::SecondaryCsi { columns } => {
-                if self.has_csi() {
-                    return Err(HpdError::Constraint(format!(
-                        "table {}: at most one columnstore index",
-                        self.name
-                    )));
-                }
-                self.build_secondary_csi_from(&rows, columns.clone(), pool, tracker)?;
-                Ok(IndexId(self.secondaries.len() + 1))
-            }
-            other => Err(HpdError::Constraint(format!(
-                "cannot add a primary index after creation: {other:?}"
-            ))),
-        }
-    }
-
-    /// Drop all secondary indexes (used when re-tuning a design).
-    pub fn drop_secondaries(&mut self) {
-        self.secondaries.clear();
-        self.secondary_csi = None;
-    }
-
-    fn build_secondary_btree_from(
-        &mut self,
-        rows: &[Row],
-        keys: Vec<usize>,
-        includes: Vec<usize>,
-        pool: &BufferPool,
-        tracker: &IoTracker,
-    ) -> Result<()> {
-        let stored = stored_columns(&keys, &includes, &self.pk);
-        let mut entries: Vec<(Key, Row)> = rows
-            .iter()
-            .map(|r| (r.key(&keys), r.project(&stored)))
-            .collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
-        let entry_width: usize = stored
-            .iter()
-            .map(|&c| self.schema.column(c).dtype.fixed_width())
-            .sum::<usize>()
-            + keys.len() * 8;
-        let tree = BTree::bulk_load(
-            BTreeConfig::for_entry_width(entry_width),
-            self.alloc.clone(),
-            entries,
-            pool,
-            tracker,
-        )?;
-        self.secondaries.push(SecondaryBTree {
-            keys,
-            includes,
-            stored,
-            tree,
-        });
-        Ok(())
-    }
-
-    fn build_secondary_csi_from(
-        &mut self,
-        rows: &[Row],
-        columns: Vec<usize>,
-        pool: &BufferPool,
-        tracker: &IoTracker,
-    ) -> Result<()> {
-        // The secondary CSI must contain the primary key for delete handling.
-        let mut cols = columns;
-        for &k in &self.pk {
-            if !cols.contains(&k) {
-                cols.push(k);
-            }
-        }
-        let csi_schema = self.schema.project(&cols);
-        let key_ordinals: Vec<usize> = self
-            .pk
-            .iter()
-            .map(|k| cols.iter().position(|c| c == k).expect("pk included above"))
-            .collect();
-        let projected: Vec<Row> = rows.iter().map(|r| r.project(&cols)).collect();
-        let csi = ColumnStoreIndex::build(
-            csi_schema,
-            CsiKind::Secondary,
-            key_ordinals,
-            self.csi_config,
-            &projected,
-            self.alloc.clone(),
-            pool,
-            tracker,
-        );
-        self.secondary_csi = Some(csi);
-        self.csi_columns = cols;
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Accessors
-    // ------------------------------------------------------------------
-
-    pub fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    pub fn pk(&self) -> &[usize] {
-        &self.pk
     }
 
     pub fn primary(&self) -> &PrimaryIndex {
@@ -352,17 +165,8 @@ impl Table {
         self.secondary_csi.as_ref()
     }
 
-    /// Table ordinals stored in the secondary CSI, in its schema order.
-    pub fn secondary_csi_columns(&self) -> &[usize] {
+    pub fn csi_columns(&self) -> &[usize] {
         &self.csi_columns
-    }
-
-    pub fn has_csi(&self) -> bool {
-        matches!(self.primary, PrimaryIndex::Csi(_)) || self.secondary_csi.is_some()
-    }
-
-    pub fn stats(&self) -> &TableStats {
-        &self.stats
     }
 
     pub fn row_count(&self) -> usize {
@@ -372,65 +176,376 @@ impl Table {
         }
     }
 
-    /// Resolve buffered secondary-CSI deletes into delete-bitmap bits.
-    /// Returns the number of buffered deletes resolved (for the WAL's
-    /// `DeltaCompaction` record). No-op without a secondary CSI.
-    pub(crate) fn csi_compact_deletes(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
-        self.secondary_csi.as_mut().map_or(0, |csi| {
-            csi.compact_deletes_budget(usize::MAX, pool, tracker)
-        })
+    /// The descriptor this part's primary index was built from.
+    pub fn primary_descriptor(&self, pk: &[usize]) -> IndexDescriptor {
+        match &self.primary {
+            PrimaryIndex::BTree(_) => IndexDescriptor::PrimaryBTree { keys: pk.to_vec() },
+            PrimaryIndex::Csi(_) => IndexDescriptor::PrimaryCsi,
+        }
     }
 
-    /// Force-compress all delta rows into row groups (primary and secondary
-    /// CSI). Returns the number of rows migrated (for the WAL's
-    /// `TupleMoverMigrate` record). No-op without a CSI.
-    pub(crate) fn csi_compress_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
-        let mut moved = 0;
-        if let PrimaryIndex::Csi(csi) = &mut self.primary {
-            moved += csi.maintenance_full(pool, tracker).rows_moved;
+    /// Descriptors of this part's secondary indexes (B+ trees, then the CSI).
+    pub fn secondary_descriptors(&self) -> Vec<IndexDescriptor> {
+        let mut out: Vec<IndexDescriptor> = self
+            .secondaries
+            .iter()
+            .map(|s| IndexDescriptor::SecondaryBTree {
+                keys: s.keys.clone(),
+                includes: s.includes.clone(),
+            })
+            .collect();
+        if self.secondary_csi.is_some() {
+            out.push(IndexDescriptor::SecondaryCsi {
+                columns: self.csi_columns.clone(),
+            });
         }
-        if let Some(csi) = self.secondary_csi.as_mut() {
-            moved += csi.maintenance_full(pool, tracker).rows_moved;
-        }
-        moved
+        out
     }
 
-    /// One budgeted maintenance increment across this table's columnstore
-    /// indexes: the primary CSI gets first claim on the budget, the
-    /// secondary CSI whatever remains. Buffered deletes always resolve
-    /// before delta rows compress (PR 3 invariant, enforced per-index).
-    /// No-op without a CSI. Reach it through `db.maintenance(table)`.
-    pub(crate) fn maintenance_step(
+    fn has_csi(&self) -> bool {
+        matches!(self.primary, PrimaryIndex::Csi(_)) || self.secondary_csi.is_some()
+    }
+
+    /// Replace this part's contents with `rows` (primary rebuilt, existing
+    /// secondaries rebuilt from their descriptors).
+    #[allow(clippy::too_many_arguments)]
+    fn bulk_load(
         &mut self,
-        budget_rows: usize,
+        rows: &[Row],
+        schema: &Schema,
+        pk: &[usize],
+        csi_config: CsiConfig,
+        alloc: &StorageAllocator,
         pool: &BufferPool,
         tracker: &IoTracker,
-    ) -> TableMaintStep {
-        let mut moved = 0;
-        let mut compacted = 0;
-        let mut remaining = budget_rows.max(1);
-        if let PrimaryIndex::Csi(csi) = &mut self.primary {
-            let s = csi.maintenance_step(remaining, pool, tracker);
-            moved += s.rows_moved;
-            compacted += s.deletes_compacted;
-            remaining = remaining.saturating_sub(s.rows_moved + s.deletes_compacted);
-        }
-        if remaining > 0 {
-            if let Some(csi) = self.secondary_csi.as_mut() {
-                let s = csi.maintenance_step(remaining, pool, tracker);
-                moved += s.rows_moved;
-                compacted += s.deletes_compacted;
+    ) -> Result<()> {
+        match &mut self.primary {
+            PrimaryIndex::BTree(tree) => {
+                let mut entries: Vec<(Key, Row)> =
+                    rows.iter().map(|r| (r.key(pk), r.clone())).collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                let entry_width = schema.row_width() + 16;
+                *tree = BTree::bulk_load(
+                    BTreeConfig::for_entry_width(entry_width),
+                    alloc.clone(),
+                    entries,
+                    pool,
+                    tracker,
+                )?;
+            }
+            PrimaryIndex::Csi(csi) => {
+                *csi = ColumnStoreIndex::build(
+                    schema.clone(),
+                    CsiKind::Primary,
+                    pk.to_vec(),
+                    csi_config,
+                    rows,
+                    alloc.clone(),
+                    pool,
+                    tracker,
+                );
             }
         }
-        TableMaintStep {
-            rows_moved: moved,
-            deletes_compacted: compacted,
-            done: self.maintenance_backlog() == 0,
+        let descriptors: Vec<(Vec<usize>, Vec<usize>)> = self
+            .secondaries
+            .iter()
+            .map(|s| (s.keys.clone(), s.includes.clone()))
+            .collect();
+        self.secondaries.clear();
+        for (keys, includes) in descriptors {
+            self.build_secondary_btree_from(
+                rows, keys, includes, schema, pk, alloc, pool, tracker,
+            )?;
+        }
+        if self.secondary_csi.is_some() {
+            let columns = self.csi_columns.clone();
+            self.secondary_csi = None;
+            self.build_secondary_csi_from(
+                rows, columns, schema, pk, csi_config, pool, tracker, alloc,
+            )?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_secondary_btree_from(
+        &mut self,
+        rows: &[Row],
+        keys: Vec<usize>,
+        includes: Vec<usize>,
+        schema: &Schema,
+        pk: &[usize],
+        alloc: &StorageAllocator,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
+        let stored = stored_columns(&keys, &includes, pk);
+        let mut entries: Vec<(Key, Row)> = rows
+            .iter()
+            .map(|r| (r.key(&keys), r.project(&stored)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let entry_width: usize = stored
+            .iter()
+            .map(|&c| schema.column(c).dtype.fixed_width())
+            .sum::<usize>()
+            + keys.len() * 8;
+        let tree = BTree::bulk_load(
+            BTreeConfig::for_entry_width(entry_width),
+            alloc.clone(),
+            entries,
+            pool,
+            tracker,
+        )?;
+        self.secondaries.push(SecondaryBTree {
+            keys,
+            includes,
+            stored,
+            tree,
+        });
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_secondary_csi_from(
+        &mut self,
+        rows: &[Row],
+        columns: Vec<usize>,
+        schema: &Schema,
+        pk: &[usize],
+        csi_config: CsiConfig,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+        alloc: &StorageAllocator,
+    ) -> Result<()> {
+        // The secondary CSI must contain the primary key for delete handling.
+        let mut cols = columns;
+        for &k in pk {
+            if !cols.contains(&k) {
+                cols.push(k);
+            }
+        }
+        let csi_schema = schema.project(&cols);
+        let key_ordinals: Vec<usize> = pk
+            .iter()
+            .map(|k| cols.iter().position(|c| c == k).expect("pk included above"))
+            .collect();
+        let projected: Vec<Row> = rows.iter().map(|r| r.project(&cols)).collect();
+        let csi = ColumnStoreIndex::build(
+            csi_schema,
+            CsiKind::Secondary,
+            key_ordinals,
+            csi_config,
+            &projected,
+            alloc.clone(),
+            pool,
+            tracker,
+        );
+        self.secondary_csi = Some(csi);
+        self.csi_columns = cols;
+        Ok(())
+    }
+
+    fn insert_row(&mut self, row: &Row, pk: &[usize], pool: &BufferPool, tracker: &IoTracker) {
+        let pk_key = row.key(pk);
+        match &mut self.primary {
+            PrimaryIndex::BTree(tree) => tree.insert(pk_key, row.clone(), pool, tracker),
+            PrimaryIndex::Csi(csi) => csi.insert(row.clone(), pool, tracker),
+        }
+        for s in &mut self.secondaries {
+            s.tree
+                .insert(row.key(&s.keys), row.project(&s.stored), pool, tracker);
+        }
+        if let Some(csi) = &mut self.secondary_csi {
+            csi.insert(row.project(&self.csi_columns), pool, tracker);
+        }
+    }
+
+    fn fetch_by_pk(
+        &self,
+        key: &Key,
+        schema: &Schema,
+        pk: &[usize],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Option<Row> {
+        match &self.primary {
+            PrimaryIndex::BTree(tree) => tree.seek_exact(key, pool, tracker).into_iter().next(),
+            PrimaryIndex::Csi(csi) => {
+                let intervals: HashMap<usize, hpd_common::Interval> = pk
+                    .iter()
+                    .zip(key.values())
+                    .map(|(&c, v)| (c, hpd_common::Interval::point(v.clone())))
+                    .collect();
+                let all: Vec<usize> = (0..schema.len()).collect();
+                for batch in csi.scan_collect(&all, &intervals, pool, tracker) {
+                    for i in 0..batch.num_rows() {
+                        let row = batch.row(i);
+                        if &row.key(pk) == key {
+                            return Some(row);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Remove the row with this key from every index, returning its old
+    /// image (`None` if absent).
+    fn delete_by_pk(
+        &mut self,
+        key: &Key,
+        schema: &Schema,
+        pk: &[usize],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Option<Row> {
+        // Fetch + delete from the primary in one pass where possible: a
+        // primary CSI locates the physical row by scanning key segments, so
+        // a separate fetch would double that cost.
+        let old = match &mut self.primary {
+            PrimaryIndex::BTree(tree) => {
+                let old = tree.seek_exact(key, pool, tracker).into_iter().next();
+                if old.is_some() {
+                    tree.delete_first_where(key, |_| true, pool, tracker);
+                }
+                old
+            }
+            PrimaryIndex::Csi(csi) => csi.delete_returning(key, pool, tracker),
+        };
+        let _ = schema;
+        let old = old?;
+        for s in &mut self.secondaries {
+            let skey = old.key(&s.keys);
+            let locator_positions: Vec<usize> = pk
+                .iter()
+                .map(|&k| s.payload_position(k).expect("pk stored in secondary"))
+                .collect();
+            s.tree.delete_first_where(
+                &skey,
+                |payload| {
+                    locator_positions
+                        .iter()
+                        .zip(key.values())
+                        .all(|(&p, v)| &payload[p] == v)
+                },
+                pool,
+                tracker,
+            );
+        }
+        if let Some(csi) = &mut self.secondary_csi {
+            csi.delete(key, pool, tracker);
+        }
+        Some(old)
+    }
+
+    /// Apply an in-part update (primary key and partition unchanged).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_update(
+        &mut self,
+        key: &Key,
+        old: &Row,
+        new_row: Row,
+        set: &[(usize, Expr)],
+        pk: &[usize],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) {
+        match &mut self.primary {
+            PrimaryIndex::BTree(tree) => {
+                let nr = new_row.clone();
+                tree.update_where(
+                    key,
+                    |row| {
+                        *row = nr.clone();
+                        true
+                    },
+                    pool,
+                    tracker,
+                );
+            }
+            PrimaryIndex::Csi(csi) => {
+                csi.update(key, new_row.clone(), pool, tracker);
+            }
+        }
+        self.finish_update_secondaries(key, old, new_row, set, pk, pool, tracker);
+    }
+
+    /// Propagate an already-applied primary update into the secondary
+    /// indexes (B+ trees touched by the change, and the secondary CSI).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_update_secondaries(
+        &mut self,
+        key: &Key,
+        old: &Row,
+        new_row: Row,
+        set: &[(usize, Expr)],
+        pk: &[usize],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) {
+        let changed: Vec<usize> = set.iter().map(|(c, _)| *c).collect();
+        for s in &mut self.secondaries {
+            if !changed.iter().any(|c| s.stored.contains(c)) {
+                continue; // index untouched by this update
+            }
+            let locator_positions: Vec<usize> = pk
+                .iter()
+                .map(|&k| s.payload_position(k).expect("pk stored in secondary"))
+                .collect();
+            let old_key = old.key(&s.keys);
+            s.tree.delete_first_where(
+                &old_key,
+                |payload| {
+                    locator_positions
+                        .iter()
+                        .zip(key.values())
+                        .all(|(&p, v)| &payload[p] == v)
+                },
+                pool,
+                tracker,
+            );
+            s.tree.insert(
+                new_row.key(&s.keys),
+                new_row.project(&s.stored),
+                pool,
+                tracker,
+            );
+        }
+        if let Some(csi) = &mut self.secondary_csi {
+            if changed.iter().any(|c| self.csi_columns.contains(c)) {
+                csi.update(key, new_row.project(&self.csi_columns), pool, tracker);
+            }
+        }
+    }
+
+    /// Materialize this part's current rows.
+    pub fn scan_all_rows(
+        &self,
+        schema: &Schema,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Vec<Row> {
+        match &self.primary {
+            PrimaryIndex::BTree(tree) => tree
+                .scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker)
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect(),
+            PrimaryIndex::Csi(csi) => {
+                let all: Vec<usize> = (0..schema.len()).collect();
+                let mut rows = Vec::new();
+                for batch in csi.scan_collect(&all, &HashMap::new(), pool, tracker) {
+                    rows.extend(batch.to_rows());
+                }
+                rows
+            }
         }
     }
 
     /// Rows of pending reorganization work (delta rows + buffered deletes)
-    /// across this table's columnstore indexes.
+    /// across this part's columnstore indexes.
     pub fn maintenance_backlog(&self) -> usize {
         let mut backlog = 0;
         if let PrimaryIndex::Csi(csi) = &self.primary {
@@ -442,49 +557,56 @@ impl Table {
         backlog
     }
 
-    /// Age rowgroup heat one tick (exponential decay) on every columnstore
-    /// index. Driven by the scheduler's decay clock — deliberately NOT tied
-    /// to maintenance passes, so heat ages even when no compaction runs.
-    pub fn decay_heat(&self) {
-        if let PrimaryIndex::Csi(csi) = &self.primary {
-            csi.decay_heat();
+    /// One budgeted maintenance increment over this part's columnstore
+    /// indexes: primary CSI first claim, secondary CSI the remainder;
+    /// buffered deletes always resolve before delta rows compress.
+    fn maintenance_step(
+        &mut self,
+        budget_rows: usize,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> TableMaintStep {
+        let mut moved = 0;
+        let mut compacted = 0;
+        let mut rewritten = 0;
+        let mut merged = 0;
+        let mut remaining = budget_rows.max(1);
+        if let PrimaryIndex::Csi(csi) = &mut self.primary {
+            let s = csi.maintenance_step(remaining, pool, tracker);
+            moved += s.rows_moved;
+            compacted += s.deletes_compacted;
+            rewritten += s.rows_rewritten;
+            merged += s.rowgroups_merged;
+            remaining =
+                remaining.saturating_sub(s.rows_moved + s.deletes_compacted + s.rows_rewritten);
         }
-        if let Some(csi) = &self.secondary_csi {
-            csi.decay_heat();
+        if remaining > 0 {
+            if let Some(csi) = self.secondary_csi.as_mut() {
+                let s = csi.maintenance_step(remaining, pool, tracker);
+                moved += s.rows_moved;
+                compacted += s.deletes_compacted;
+                rewritten += s.rows_rewritten;
+                merged += s.rowgroups_merged;
+            }
+        }
+        TableMaintStep {
+            rows_moved: moved,
+            deletes_compacted: compacted,
+            rows_rewritten: rewritten,
+            rowgroups_merged: merged,
+            done: self.maintenance_backlog() == 0,
         }
     }
 
-    /// Per-rowgroup access heat for this table's columnstore indexes,
-    /// labelled `"primary"` / `"secondary"`. Empty without a CSI.
-    pub fn heat_report(&self) -> Vec<(String, hpd_columnstore::CsiHeatReport)> {
-        let mut out = Vec::new();
-        if let PrimaryIndex::Csi(csi) = &self.primary {
-            out.push(("primary".to_string(), csi.heat_report()));
-        }
-        if let Some(csi) = &self.secondary_csi {
-            out.push(("secondary".to_string(), csi.heat_report()));
-        }
-        out
-    }
-
-    /// Refresh statistics from current contents.
-    pub fn analyze(&mut self, pool: &BufferPool, tracker: &IoTracker) {
-        let rows = self.scan_all_rows(pool, tracker);
-        self.stats =
-            TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
-    }
-
-    /// What-if metadata for every materialized index: primary first, then
-    /// secondary B+ trees, then the secondary CSI.
-    pub fn metas(&self) -> Vec<IndexMeta> {
+    /// What-if metadata for this part's materialized indexes: primary first,
+    /// then secondary B+ trees, then the secondary CSI.
+    pub fn metas(&self, pk: &[usize]) -> Vec<IndexMeta> {
         let mut metas = Vec::new();
         match &self.primary {
             PrimaryIndex::BTree(t) => {
                 let s = t.stats();
                 metas.push(IndexMeta {
-                    descriptor: IndexDescriptor::PrimaryBTree {
-                        keys: self.pk.clone(),
-                    },
+                    descriptor: IndexDescriptor::PrimaryBTree { keys: pk.to_vec() },
                     rows: s.entries,
                     leaf_pages: s.leaf_pages,
                     height: s.height,
@@ -553,109 +675,557 @@ impl Table {
         }
         metas
     }
+}
+
+/// One table with its full physical design.
+pub struct Table {
+    pub name: String,
+    schema: Schema,
+    pk: Vec<usize>,
+    /// `None` → single-part table; `Some` → one part per partition.
+    partitioning: Option<PartitionSpec>,
+    parts: Vec<TablePart>,
+    stats: TableStats,
+    alloc: StorageAllocator,
+    csi_config: CsiConfig,
+    /// Last committed write timestamp per primary key (snapshot isolation).
+    row_write_ts: HashMap<Key, u64>,
+    /// Prior versions: pk → list of (start_ts, end_ts, row), end-exclusive.
+    version_store: HashMap<Key, Vec<(u64, u64, Row)>>,
+}
+
+impl Table {
+    /// Create an empty unpartitioned table with the given primary index.
+    pub fn create(
+        name: impl Into<String>,
+        schema: Schema,
+        pk: Vec<usize>,
+        primary: &IndexDescriptor,
+        csi_config: CsiConfig,
+        alloc: StorageAllocator,
+    ) -> Result<Table> {
+        Table::create_spec(name, schema, pk, primary, None, csi_config, alloc)
+    }
+
+    /// Create an empty table, optionally partitioned. Every partition starts
+    /// with the same primary design; re-tune individual partitions with
+    /// [`Table::apply_partition_design`].
+    pub fn create_spec(
+        name: impl Into<String>,
+        schema: Schema,
+        pk: Vec<usize>,
+        primary: &IndexDescriptor,
+        partitioning: Option<PartitionSpec>,
+        csi_config: CsiConfig,
+        alloc: StorageAllocator,
+    ) -> Result<Table> {
+        if let Some(spec) = &partitioning {
+            if spec.column >= schema.len() {
+                return Err(HpdError::Constraint(format!(
+                    "partition column {} out of range for {}-column schema",
+                    spec.column,
+                    schema.len()
+                )));
+            }
+        }
+        let n_parts = partitioning.as_ref().map_or(1, PartitionSpec::partitions);
+        let mut parts = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            parts.push(TablePart::create(
+                &schema, &pk, primary, csi_config, &alloc,
+            )?);
+        }
+        let n = schema.len();
+        Ok(Table {
+            name: name.into(),
+            schema,
+            pk,
+            partitioning,
+            parts,
+            stats: TableStats::empty(n),
+            alloc,
+            csi_config,
+            row_write_ts: HashMap::new(),
+            version_store: HashMap::new(),
+        })
+    }
+
+    /// Bulk load rows (replacing current contents; rows are routed to their
+    /// partitions) and refresh statistics.
+    pub fn bulk_load(
+        &mut self,
+        mut rows: Vec<Row>,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
+        for r in &rows {
+            self.schema.validate_row(r)?;
+        }
+        self.stats =
+            TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
+        let schema = self.schema.clone();
+        let pk = self.pk.clone();
+        let csi_config = self.csi_config;
+        let alloc = self.alloc.clone();
+        if let Some(spec) = self.partitioning.clone() {
+            let mut per_part: Vec<Vec<Row>> = (0..self.parts.len()).map(|_| Vec::new()).collect();
+            for r in rows.drain(..) {
+                per_part[spec.route_row(&r)].push(r);
+            }
+            for (part, rows) in self.parts.iter_mut().zip(per_part) {
+                part.bulk_load(&rows, &schema, &pk, csi_config, &alloc, pool, tracker)?;
+            }
+        } else {
+            self.parts[0].bulk_load(&rows, &schema, &pk, csi_config, &alloc, pool, tracker)?;
+            rows.clear();
+        }
+        Ok(())
+    }
+
+    /// Build a secondary index described by `descriptor` on **every**
+    /// partition from current data. (Per-partition designs are installed
+    /// with [`Table::apply_partition_design`].)
+    pub fn build_index(
+        &mut self,
+        descriptor: &IndexDescriptor,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<IndexId> {
+        let schema = self.schema.clone();
+        let pk = self.pk.clone();
+        let csi_config = self.csi_config;
+        let alloc = self.alloc.clone();
+        match descriptor {
+            IndexDescriptor::SecondaryBTree { keys, includes } => {
+                for part in &mut self.parts {
+                    let rows = part.scan_all_rows(&schema, pool, tracker);
+                    part.build_secondary_btree_from(
+                        &rows,
+                        keys.clone(),
+                        includes.clone(),
+                        &schema,
+                        &pk,
+                        &alloc,
+                        pool,
+                        tracker,
+                    )?;
+                }
+                Ok(IndexId(self.parts[0].secondaries.len()))
+            }
+            IndexDescriptor::SecondaryCsi { columns } => {
+                if self.parts.iter().any(TablePart::has_csi) {
+                    return Err(HpdError::Constraint(format!(
+                        "table {}: at most one columnstore index",
+                        self.name
+                    )));
+                }
+                for part in &mut self.parts {
+                    let rows = part.scan_all_rows(&schema, pool, tracker);
+                    part.build_secondary_csi_from(
+                        &rows,
+                        columns.clone(),
+                        &schema,
+                        &pk,
+                        csi_config,
+                        pool,
+                        tracker,
+                        &alloc,
+                    )?;
+                }
+                Ok(IndexId(self.parts[0].secondaries.len() + 1))
+            }
+            other => Err(HpdError::Constraint(format!(
+                "cannot add a primary index after creation: {other:?}"
+            ))),
+        }
+    }
+
+    /// Build a secondary index on **one** partition only.
+    pub fn build_index_on_part(
+        &mut self,
+        part: usize,
+        descriptor: &IndexDescriptor,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
+        let schema = self.schema.clone();
+        let pk = self.pk.clone();
+        let csi_config = self.csi_config;
+        let alloc = self.alloc.clone();
+        let p = self
+            .parts
+            .get_mut(part)
+            .ok_or_else(|| HpdError::Constraint(format!("no partition {part}")))?;
+        let rows = p.scan_all_rows(&schema, pool, tracker);
+        match descriptor {
+            IndexDescriptor::SecondaryBTree { keys, includes } => p.build_secondary_btree_from(
+                &rows,
+                keys.clone(),
+                includes.clone(),
+                &schema,
+                &pk,
+                &alloc,
+                pool,
+                tracker,
+            ),
+            IndexDescriptor::SecondaryCsi { columns } => {
+                if p.has_csi() {
+                    return Err(HpdError::Constraint(format!(
+                        "table {} partition {part}: at most one columnstore index",
+                        self.name
+                    )));
+                }
+                p.build_secondary_csi_from(
+                    &rows,
+                    columns.clone(),
+                    &schema,
+                    &pk,
+                    csi_config,
+                    pool,
+                    tracker,
+                    &alloc,
+                )
+            }
+            other => Err(HpdError::Constraint(format!(
+                "cannot add a primary index after creation: {other:?}"
+            ))),
+        }
+    }
+
+    /// Replace one partition's entire physical design: rebuild its primary
+    /// and secondaries from its current rows. The heterogeneous-design
+    /// entry point — "B+ tree on the hot partition, CSI on the cold ones".
+    pub fn apply_partition_design(
+        &mut self,
+        part: usize,
+        primary: &IndexDescriptor,
+        secondaries: &[IndexDescriptor],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> Result<()> {
+        let schema = self.schema.clone();
+        let pk = self.pk.clone();
+        let csi_config = self.csi_config;
+        let alloc = self.alloc.clone();
+        let p = self
+            .parts
+            .get_mut(part)
+            .ok_or_else(|| HpdError::Constraint(format!("no partition {part}")))?;
+        let rows = p.scan_all_rows(&schema, pool, tracker);
+        let mut fresh = TablePart::create(&schema, &pk, primary, csi_config, &alloc)?;
+        fresh.bulk_load(&rows, &schema, &pk, csi_config, &alloc, pool, tracker)?;
+        *p = fresh;
+        for d in secondaries {
+            self.build_index_on_part(part, d, pool, tracker)?;
+        }
+        Ok(())
+    }
+
+    /// Drop all secondary indexes on every partition (re-tuning).
+    pub fn drop_secondaries(&mut self) {
+        for part in &mut self.parts {
+            part.secondaries.clear();
+            part.secondary_csi = None;
+            part.csi_columns.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn pk(&self) -> &[usize] {
+        &self.pk
+    }
+
+    /// The table's partitioning declaration, if any.
+    pub fn partitioning(&self) -> Option<&PartitionSpec> {
+        self.partitioning.as_ref()
+    }
+
+    /// Number of physical parts (1 for unpartitioned tables).
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    pub fn part(&self, p: usize) -> &TablePart {
+        &self.parts[p]
+    }
+
+    pub fn parts(&self) -> &[TablePart] {
+        &self.parts
+    }
+
+    /// Primary index of the first (or only) part. For partitioned tables
+    /// prefer [`Table::part`] — parts may have heterogeneous designs.
+    pub fn primary(&self) -> &PrimaryIndex {
+        &self.parts[0].primary
+    }
+
+    pub fn secondaries(&self) -> &[SecondaryBTree] {
+        &self.parts[0].secondaries
+    }
+
+    pub fn secondary_csi(&self) -> Option<&ColumnStoreIndex> {
+        self.parts[0].secondary_csi.as_ref()
+    }
+
+    /// Table ordinals stored in the secondary CSI, in its schema order.
+    pub fn secondary_csi_columns(&self) -> &[usize] {
+        &self.parts[0].csi_columns
+    }
+
+    pub fn has_csi(&self) -> bool {
+        self.parts.iter().any(TablePart::has_csi)
+    }
+
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.parts.iter().map(TablePart::row_count).sum()
+    }
+
+    /// Partition id a row belongs to (0 for unpartitioned tables).
+    pub fn route_row(&self, row: &Row) -> usize {
+        self.partitioning.as_ref().map_or(0, |s| s.route_row(row))
+    }
+
+    /// Partition currently holding the row with this primary key. Routes
+    /// directly when the partition column is part of the key; otherwise
+    /// probes partitions in order.
+    pub fn part_of_key(&self, key: &Key, pool: &BufferPool, tracker: &IoTracker) -> Option<usize> {
+        let Some(spec) = &self.partitioning else {
+            return Some(0);
+        };
+        if let Some(pos) = self.pk.iter().position(|&c| c == spec.column) {
+            return Some(spec.route_value(&key.values()[pos]));
+        }
+        (0..self.parts.len()).find(|&p| {
+            self.parts[p]
+                .fetch_by_pk(key, &self.schema, &self.pk, pool, tracker)
+                .is_some()
+        })
+    }
+
+    /// Resolve buffered secondary-CSI deletes into delete-bitmap bits.
+    /// Returns the number of buffered deletes resolved (for the WAL's
+    /// `DeltaCompaction` record). No-op without a secondary CSI.
+    pub(crate) fn csi_compact_deletes(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+        self.parts
+            .iter_mut()
+            .map(|part| {
+                part.secondary_csi.as_mut().map_or(0, |csi| {
+                    csi.compact_deletes_budget(usize::MAX, pool, tracker)
+                })
+            })
+            .sum()
+    }
+
+    /// Force-compress all delta rows into row groups (primary and secondary
+    /// CSI, every partition). Returns the number of rows migrated (for the
+    /// WAL's `TupleMoverMigrate` record). No-op without a CSI.
+    pub(crate) fn csi_compress_delta(&mut self, pool: &BufferPool, tracker: &IoTracker) -> usize {
+        let mut moved = 0;
+        for part in &mut self.parts {
+            if let PrimaryIndex::Csi(csi) = &mut part.primary {
+                moved += csi.maintenance_full(pool, tracker).rows_moved;
+            }
+            if let Some(csi) = part.secondary_csi.as_mut() {
+                moved += csi.maintenance_full(pool, tracker).rows_moved;
+            }
+        }
+        moved
+    }
+
+    /// One budgeted maintenance increment across this table's columnstore
+    /// indexes, partitions served in order under a shared budget. No-op
+    /// without a CSI. Reach it through `db.maintenance(table)`.
+    pub(crate) fn maintenance_step(
+        &mut self,
+        budget_rows: usize,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> TableMaintStep {
+        let mut moved = 0;
+        let mut compacted = 0;
+        let mut rewritten = 0;
+        let mut merged = 0;
+        let mut remaining = budget_rows.max(1);
+        for part in &mut self.parts {
+            if remaining == 0 {
+                break;
+            }
+            let s = part.maintenance_step(remaining, pool, tracker);
+            moved += s.rows_moved;
+            compacted += s.deletes_compacted;
+            rewritten += s.rows_rewritten;
+            merged += s.rowgroups_merged;
+            remaining =
+                remaining.saturating_sub(s.rows_moved + s.deletes_compacted + s.rows_rewritten);
+        }
+        TableMaintStep {
+            rows_moved: moved,
+            deletes_compacted: compacted,
+            rows_rewritten: rewritten,
+            rowgroups_merged: merged,
+            done: self.maintenance_backlog() == 0,
+        }
+    }
+
+    /// One budgeted maintenance increment against a single partition.
+    pub(crate) fn maintenance_step_part(
+        &mut self,
+        part: usize,
+        budget_rows: usize,
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) -> TableMaintStep {
+        let s = self.parts[part].maintenance_step(budget_rows, pool, tracker);
+        TableMaintStep {
+            done: self.maintenance_backlog() == 0,
+            ..s
+        }
+    }
+
+    /// Rows of pending reorganization work (delta rows + buffered deletes)
+    /// across this table's columnstore indexes, all partitions.
+    pub fn maintenance_backlog(&self) -> usize {
+        self.parts.iter().map(TablePart::maintenance_backlog).sum()
+    }
+
+    /// Age rowgroup heat one tick (exponential decay) on every columnstore
+    /// index. Driven by the scheduler's decay clock — deliberately NOT tied
+    /// to maintenance passes, so heat ages even when no compaction runs.
+    pub fn decay_heat(&self) {
+        for part in &self.parts {
+            if let PrimaryIndex::Csi(csi) = &part.primary {
+                csi.decay_heat();
+            }
+            if let Some(csi) = &part.secondary_csi {
+                csi.decay_heat();
+            }
+        }
+    }
+
+    /// Per-rowgroup access heat for this table's columnstore indexes,
+    /// labelled `"primary"` / `"secondary"` (single part) or
+    /// `"p<i>.primary"` / `"p<i>.secondary"` (partitioned). Empty without a
+    /// CSI.
+    pub fn heat_report(&self) -> Vec<(String, hpd_columnstore::CsiHeatReport)> {
+        let mut out = Vec::new();
+        let partitioned = self.parts.len() > 1;
+        for (i, part) in self.parts.iter().enumerate() {
+            let label = |kind: &str| {
+                if partitioned {
+                    format!("p{i}.{kind}")
+                } else {
+                    kind.to_string()
+                }
+            };
+            if let PrimaryIndex::Csi(csi) = &part.primary {
+                out.push((label("primary"), csi.heat_report()));
+            }
+            if let Some(csi) = &part.secondary_csi {
+                out.push((label("secondary"), csi.heat_report()));
+            }
+        }
+        out
+    }
+
+    /// Refresh statistics from current contents.
+    pub fn analyze(&mut self, pool: &BufferPool, tracker: &IoTracker) {
+        let rows = self.scan_all_rows(pool, tracker);
+        self.stats =
+            TableStats::analyze(&rows, self.schema.len(), self.csi_config.rowgroup_capacity);
+    }
+
+    /// What-if metadata for the first (or only) part's materialized indexes:
+    /// primary first, then secondary B+ trees, then the secondary CSI. For
+    /// partitioned tables, see [`Table::part_metas`].
+    pub fn metas(&self) -> Vec<IndexMeta> {
+        self.parts[0].metas(&self.pk)
+    }
+
+    /// Per-partition what-if metadata.
+    pub fn part_metas(&self, part: usize) -> Vec<IndexMeta> {
+        self.parts[part].metas(&self.pk)
+    }
 
     // ------------------------------------------------------------------
     // DML
     // ------------------------------------------------------------------
 
-    /// Insert one row through every index.
+    /// Insert one row through every index of its partition.
     pub fn insert_row(&mut self, row: Row, pool: &BufferPool, tracker: &IoTracker) -> Result<()> {
         self.schema.validate_row(&row)?;
-        let pk_key = row.key(&self.pk);
-        match &mut self.primary {
-            PrimaryIndex::BTree(tree) => tree.insert(pk_key.clone(), row.clone(), pool, tracker),
-            PrimaryIndex::Csi(csi) => csi.insert(row.clone(), pool, tracker),
-        }
-        for s in &mut self.secondaries {
-            s.tree
-                .insert(row.key(&s.keys), row.project(&s.stored), pool, tracker);
-        }
-        if let Some(csi) = &mut self.secondary_csi {
-            csi.insert(row.project(&self.csi_columns), pool, tracker);
-        }
+        let p = self.route_row(&row);
+        let pk = self.pk.clone();
+        self.parts[p].insert_row(&row, &pk, pool, tracker);
         self.stats.rows += 1;
         Ok(())
     }
 
     /// Fetch the current row with this primary key. Cheap for a B+ tree
     /// primary (seek); expensive for a primary CSI (segment scan of the key
-    /// columns with elimination).
+    /// columns with elimination). Partitioned tables route through the key
+    /// when possible, else probe partitions.
     pub fn fetch_by_pk(&self, key: &Key, pool: &BufferPool, tracker: &IoTracker) -> Option<Row> {
-        match &self.primary {
-            PrimaryIndex::BTree(tree) => tree.seek_exact(key, pool, tracker).into_iter().next(),
-            PrimaryIndex::Csi(csi) => {
-                let intervals: std::collections::HashMap<usize, hpd_common::Interval> = self
-                    .pk
-                    .iter()
-                    .zip(key.values())
-                    .map(|(&c, v)| (c, hpd_common::Interval::point(v.clone())))
-                    .collect();
-                let all: Vec<usize> = (0..self.schema.len()).collect();
-                let pk = self.pk.clone();
-                for batch in csi.scan_collect(&all, &intervals, pool, tracker) {
-                    for i in 0..batch.num_rows() {
-                        let row = batch.row(i);
-                        if &row.key(&pk) == key {
-                            return Some(row);
-                        }
-                    }
-                }
-                None
-            }
+        match self.part_hint(key) {
+            Some(p) => self.parts[p].fetch_by_pk(key, &self.schema, &self.pk, pool, tracker),
+            None => self
+                .parts
+                .iter()
+                .find_map(|part| part.fetch_by_pk(key, &self.schema, &self.pk, pool, tracker)),
         }
     }
 
-    /// Delete the row with this primary key from every index.
+    /// Partition id derivable from the key alone (always `Some(0)` for
+    /// unpartitioned tables; `None` when the partition column is not in the
+    /// primary key and a probe is required).
+    fn part_hint(&self, key: &Key) -> Option<usize> {
+        let Some(spec) = &self.partitioning else {
+            return Some(0);
+        };
+        self.pk
+            .iter()
+            .position(|&c| c == spec.column)
+            .map(|pos| spec.route_value(&key.values()[pos]))
+    }
+
+    /// Delete the row with this primary key from every index of its
+    /// partition.
     pub fn delete_by_pk(
         &mut self,
         key: &Key,
         pool: &BufferPool,
         tracker: &IoTracker,
     ) -> Result<bool> {
-        // Fetch + delete from the primary in one pass where possible: a
-        // primary CSI locates the physical row by scanning key segments, so
-        // a separate fetch would double that cost.
-        let old = match &mut self.primary {
-            PrimaryIndex::BTree(tree) => {
-                let old = tree.seek_exact(key, pool, tracker).into_iter().next();
-                if old.is_some() {
-                    tree.delete_first_where(key, |_| true, pool, tracker);
-                }
-                old
-            }
-            PrimaryIndex::Csi(csi) => csi.delete_returning(key, pool, tracker),
-        };
-        let Some(old) = old else {
-            return Ok(false);
-        };
+        let schema = self.schema.clone();
         let pk = self.pk.clone();
-        for s in &mut self.secondaries {
-            let skey = old.key(&s.keys);
-            let locator_positions: Vec<usize> = pk
-                .iter()
-                .map(|&k| s.payload_position(k).expect("pk stored in secondary"))
-                .collect();
-            s.tree.delete_first_where(
-                &skey,
-                |payload| {
-                    locator_positions
-                        .iter()
-                        .zip(key.values())
-                        .all(|(&p, v)| &payload[p] == v)
-                },
-                pool,
-                tracker,
-            );
+        let deleted = match self.part_hint(key) {
+            Some(p) => self.parts[p]
+                .delete_by_pk(key, &schema, &pk, pool, tracker)
+                .is_some(),
+            None => self.parts.iter_mut().any(|part| {
+                part.delete_by_pk(key, &schema, &pk, pool, tracker)
+                    .is_some()
+            }),
+        };
+        if deleted {
+            self.stats.rows = self.stats.rows.saturating_sub(1);
         }
-        if let Some(csi) = &mut self.secondary_csi {
-            csi.delete(key, pool, tracker);
-        }
-        self.stats.rows = self.stats.rows.saturating_sub(1);
-        Ok(true)
+        Ok(deleted)
     }
 
     /// Update the row with this primary key: `set` expressions are evaluated
-    /// over the old row. The primary key itself must not change.
+    /// over the old row. The primary key itself must not change; a change to
+    /// the partition column moves the row between partitions.
     pub fn update_by_pk(
         &mut self,
         key: &Key,
@@ -663,23 +1233,51 @@ impl Table {
         pool: &BufferPool,
         tracker: &IoTracker,
     ) -> Result<bool> {
+        let schema = self.schema.clone();
+        let pk = self.pk.clone();
+        let p_old = match self.part_hint(key) {
+            Some(p) => p,
+            None => match self.part_of_key(key, pool, tracker) {
+                Some(p) => p,
+                None => return Ok(false),
+            },
+        };
         // Primary CSI: fetch + delete in one locating pass, then re-insert.
-        if let PrimaryIndex::Csi(csi) = &mut self.primary {
-            let Some(old) = csi.delete_returning(key, pool, tracker) else {
+        if matches!(self.parts[p_old].primary, PrimaryIndex::Csi(_)) {
+            let old = match &mut self.parts[p_old].primary {
+                PrimaryIndex::Csi(csi) => csi.delete_returning(key, pool, tracker),
+                PrimaryIndex::BTree(_) => unreachable!(),
+            };
+            let Some(old) = old else {
                 return Ok(false);
             };
             let new_row = self.eval_update(&old, set)?;
-            if let PrimaryIndex::Csi(csi) = &mut self.primary {
+            let p_new = self.route_row(&new_row);
+            if p_new != p_old {
+                // Finish removing the old image from p_old's secondaries,
+                // then insert whole into the new partition.
+                self.parts[p_old].delete_leftover_secondaries(key, &old, &pk, pool, tracker);
+                self.parts[p_new].insert_row(&new_row, &pk, pool, tracker);
+                return Ok(true);
+            }
+            if let PrimaryIndex::Csi(csi) = &mut self.parts[p_old].primary {
                 csi.insert(new_row.clone(), pool, tracker);
             }
-            self.finish_update_secondaries(key, &old, new_row, set, pool, tracker)?;
+            self.parts[p_old]
+                .finish_update_secondaries(key, &old, new_row, set, &pk, pool, tracker);
             return Ok(true);
         }
-        let Some(old) = self.fetch_by_pk(key, pool, tracker) else {
+        let Some(old) = self.parts[p_old].fetch_by_pk(key, &schema, &pk, pool, tracker) else {
             return Ok(false);
         };
         let new_row = self.eval_update(&old, set)?;
-        self.apply_update(key, &old, new_row, set, pool, tracker)?;
+        let p_new = self.route_row(&new_row);
+        if p_new != p_old {
+            self.parts[p_old].delete_by_pk(key, &schema, &pk, pool, tracker);
+            self.parts[p_new].insert_row(&new_row, &pk, pool, tracker);
+            return Ok(true);
+        }
+        self.parts[p_old].apply_update(key, &old, new_row, set, &pk, pool, tracker);
         Ok(true)
     }
 
@@ -707,7 +1305,8 @@ impl Table {
     }
 
     /// Apply a precomputed update (used by the transaction manager, which
-    /// evaluates `set` at statement time but applies at commit).
+    /// evaluates `set` at statement time but applies at commit). Handles
+    /// cross-partition moves when the partition column changed.
     pub fn apply_update(
         &mut self,
         key: &Key,
@@ -717,93 +1316,27 @@ impl Table {
         pool: &BufferPool,
         tracker: &IoTracker,
     ) -> Result<()> {
-        match &mut self.primary {
-            PrimaryIndex::BTree(tree) => {
-                let nr = new_row.clone();
-                tree.update_where(
-                    key,
-                    |row| {
-                        *row = nr.clone();
-                        true
-                    },
-                    pool,
-                    tracker,
-                );
-            }
-            PrimaryIndex::Csi(csi) => {
-                csi.update(key, new_row.clone(), pool, tracker);
-            }
-        }
-        self.finish_update_secondaries(key, old, new_row, set, pool, tracker)
-    }
-
-    /// Propagate an already-applied primary update into the secondary
-    /// indexes (B+ trees touched by the change, and the secondary CSI).
-    fn finish_update_secondaries(
-        &mut self,
-        key: &Key,
-        old: &Row,
-        new_row: Row,
-        set: &[(usize, Expr)],
-        pool: &BufferPool,
-        tracker: &IoTracker,
-    ) -> Result<()> {
-        let changed: Vec<usize> = set.iter().map(|(c, _)| *c).collect();
+        let schema = self.schema.clone();
         let pk = self.pk.clone();
-        for s in &mut self.secondaries {
-            if !changed.iter().any(|c| s.stored.contains(c)) {
-                continue; // index untouched by this update
-            }
-            let locator_positions: Vec<usize> = pk
-                .iter()
-                .map(|&k| s.payload_position(k).expect("pk stored in secondary"))
-                .collect();
-            let old_key = old.key(&s.keys);
-            s.tree.delete_first_where(
-                &old_key,
-                |payload| {
-                    locator_positions
-                        .iter()
-                        .zip(key.values())
-                        .all(|(&p, v)| &payload[p] == v)
-                },
-                pool,
-                tracker,
-            );
-            s.tree.insert(
-                new_row.key(&s.keys),
-                new_row.project(&s.stored),
-                pool,
-                tracker,
-            );
+        let p_old = self.route_row(old);
+        let p_new = self.route_row(&new_row);
+        if p_new != p_old {
+            self.parts[p_old].delete_by_pk(key, &schema, &pk, pool, tracker);
+            self.parts[p_new].insert_row(&new_row, &pk, pool, tracker);
+            return Ok(());
         }
-        if let Some(csi) = &mut self.secondary_csi {
-            if changed.iter().any(|c| self.csi_columns.contains(c)) {
-                csi.update(key, new_row.project(&self.csi_columns), pool, tracker);
-            }
-        }
+        self.parts[p_old].apply_update(key, old, new_row, set, &pk, pool, tracker);
         Ok(())
     }
 
-    /// Materialize all current rows (index builds, analyze).
+    /// Materialize all current rows (index builds, analyze), partitions
+    /// concatenated in order.
     pub fn scan_all_rows(&self, pool: &BufferPool, tracker: &IoTracker) -> Vec<Row> {
-        match &self.primary {
-            PrimaryIndex::BTree(tree) => tree
-                .scan_range_collect(Bound::Unbounded, Bound::Unbounded, pool, tracker)
-                .into_iter()
-                .map(|(_, r)| r)
-                .collect(),
-            PrimaryIndex::Csi(csi) => {
-                let all: Vec<usize> = (0..self.schema.len()).collect();
-                let mut rows = Vec::new();
-                for batch in
-                    csi.scan_collect(&all, &std::collections::HashMap::new(), pool, tracker)
-                {
-                    rows.extend(batch.to_rows());
-                }
-                rows
-            }
+        let mut rows = Vec::new();
+        for part in &self.parts {
+            rows.extend(part.scan_all_rows(&self.schema, pool, tracker));
         }
+        rows
     }
 
     // ------------------------------------------------------------------
@@ -861,5 +1394,40 @@ impl Table {
     /// Number of retained old versions (diagnostics / SI overhead tests).
     pub fn version_count(&self) -> usize {
         self.version_store.values().map(Vec::len).sum()
+    }
+}
+
+impl TablePart {
+    /// Remove `old`'s entries from the secondary indexes after the primary
+    /// image has already been removed (cross-partition update moves).
+    fn delete_leftover_secondaries(
+        &mut self,
+        key: &Key,
+        old: &Row,
+        pk: &[usize],
+        pool: &BufferPool,
+        tracker: &IoTracker,
+    ) {
+        for s in &mut self.secondaries {
+            let skey = old.key(&s.keys);
+            let locator_positions: Vec<usize> = pk
+                .iter()
+                .map(|&k| s.payload_position(k).expect("pk stored in secondary"))
+                .collect();
+            s.tree.delete_first_where(
+                &skey,
+                |payload| {
+                    locator_positions
+                        .iter()
+                        .zip(key.values())
+                        .all(|(&p, v)| &payload[p] == v)
+                },
+                pool,
+                tracker,
+            );
+        }
+        if let Some(csi) = &mut self.secondary_csi {
+            csi.delete(key, pool, tracker);
+        }
     }
 }

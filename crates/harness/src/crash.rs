@@ -50,7 +50,7 @@ pub struct SweepFailure {
 /// Aggregate result of a crash sweep.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
-    /// Plans executed (each is a full three-design differential run).
+    /// Plans executed (each is a full four-design differential run).
     pub runs: u64,
     /// Runs in which the armed crash actually fired and recovery ran.
     pub crashes: u64,

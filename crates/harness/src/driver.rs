@@ -1,13 +1,15 @@
-//! Lockstep differential execution of a [`Plan`] over the three physical
+//! Lockstep differential execution of a [`Plan`] over the four physical
 //! designs, checked statement-by-statement against the [`RefModel`].
 //!
 //! The driver materializes the same logical table under a B+ tree primary,
-//! a clustered columnstore primary, and a hybrid (B+ tree primary plus
-//! secondary columnstore), then replays the plan's schedule on a single OS
-//! thread: each schedule step runs the next statement of one transaction on
-//! all three databases back-to-back. Because every database sees the exact
-//! same sequence of `begin`/`commit` calls, their timestamp streams are
-//! identical — which is what lets the reference model predict every read.
+//! a clustered columnstore primary, a hybrid (B+ tree primary plus
+//! secondary columnstore), and a range-partitioned table whose partitions
+//! mix designs (columnstore history, B+ tree insert tail), then replays the
+//! plan's schedule on a single OS thread: each schedule step runs the next
+//! statement of one transaction on all four databases back-to-back. Because
+//! every database sees the exact same sequence of `begin`/`commit` calls,
+//! their timestamp streams are identical — which is what lets the reference
+//! model predict every read.
 //!
 //! Faults from the plan are armed with one charge around *each* design's
 //! execution of the step and any unfired charges are cleared afterwards, so
@@ -23,8 +25,8 @@
 
 use hpd_common::{faults, Expr, HpdError, Value};
 use hpd_engine::{
-    CsiConfig, Database, DbConfig, IndexDescriptor, IsolationLevel, SelectQuery, Statement,
-    TableInput, Txn,
+    CsiConfig, Database, DbConfig, IndexDescriptor, IsolationLevel, PartitionSpec, SelectQuery,
+    Statement, TableInput, Txn,
 };
 use hpd_workloads::history::{self, MixedOp, COL_K};
 use std::time::Duration;
@@ -36,7 +38,7 @@ use crate::refmodel::{Expected, RefModel};
 pub const TABLE: &str = "t";
 
 /// Lower SQL text through the front-end to an engine statement. Binding
-/// only reads the schema, which is identical across the three designs, so
+/// only reads the schema, which is identical across the four designs, so
 /// lowering against any one database stands for all of them.
 pub fn lower_sql(db: &Database, text: &str) -> Result<Statement, String> {
     let parsed = hpd_sql::parse(text).map_err(|e| e.to_string())?;
@@ -46,8 +48,52 @@ pub fn lower_sql(db: &Database, text: &str) -> Result<Statement, String> {
     }
 }
 
-/// Display names of the three designs, index-aligned with the databases.
-pub const DESIGNS: [&str; 3] = ["btree", "csi", "hybrid"];
+/// Display names of the four designs, index-aligned with the databases.
+pub const DESIGNS: [&str; 4] = ["btree", "csi", "hybrid", "parthybrid"];
+
+/// Materialize the harness table under one of the [`DESIGNS`] on a fresh
+/// database (rows are loaded separately). Design 3 is the partitioned
+/// hybrid: range partitions on the key split the preload in half and give
+/// the monotone fresh-insert tail its own partition, columnstore on the
+/// cold history partitions and a B+ tree on the insert tail — the paper's
+/// hybrid thesis expressed at partition granularity.
+pub(crate) fn create_design_table(db: &Database, design: usize, initial_rows: i32) {
+    let schema = history::history_schema();
+    let primary = match design {
+        1 | 3 => IndexDescriptor::PrimaryCsi,
+        _ => IndexDescriptor::PrimaryBTree { keys: vec![COL_K] },
+    };
+    if design == 3 {
+        // Preloaded keys are `0..initial_rows`, fresh inserts monotone from
+        // `initial_rows`: bounds at the midpoint and the preload edge give
+        // two cold history partitions plus a hot insert-tail partition.
+        let hi = initial_rows.max(2);
+        let mid = hi / 2;
+        let spec = PartitionSpec::range(COL_K, vec![Value::Int32(mid), Value::Int32(hi)])
+            .expect("harness partition bounds are strictly increasing");
+        db.create_partitioned_table(TABLE, schema, vec![COL_K], primary, spec)
+            .expect("create partitioned harness table");
+        db.apply_partition_design(
+            TABLE,
+            2,
+            &IndexDescriptor::PrimaryBTree { keys: vec![COL_K] },
+            &[],
+        )
+        .expect("flip insert-tail partition to a B+ tree");
+        return;
+    }
+    db.create_table(TABLE, schema, vec![COL_K], primary)
+        .expect("create harness table");
+    if design == 2 {
+        db.create_index(
+            TABLE,
+            &IndexDescriptor::SecondaryCsi {
+                columns: vec![0, 1, 2],
+            },
+        )
+        .expect("create secondary CSI");
+    }
+}
 
 /// Counters of one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -217,22 +263,7 @@ pub(crate) fn harness_db_config(opts: &RunOptions) -> DbConfig {
 
 fn build_database(design: usize, plan: &Plan, opts: &RunOptions) -> Database {
     let db = Database::new(harness_db_config(opts));
-    let schema = history::history_schema();
-    let primary = match design {
-        1 => IndexDescriptor::PrimaryCsi,
-        _ => IndexDescriptor::PrimaryBTree { keys: vec![COL_K] },
-    };
-    db.create_table(TABLE, schema, vec![COL_K], primary)
-        .expect("create harness table");
-    if design == 2 {
-        db.create_index(
-            TABLE,
-            &IndexDescriptor::SecondaryCsi {
-                columns: vec![0, 1, 2],
-            },
-        )
-        .expect("create secondary CSI");
-    }
+    create_design_table(&db, design, plan.history.initial_rows);
     db.load_table(TABLE, history::initial_rows(plan.seed, &plan.history))
         .expect("load initial rows");
     db
@@ -292,7 +323,9 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
     faults::reset_charges();
     let fired_before = faults::fired_total();
 
-    let dbs: Vec<Database> = (0..3).map(|d| build_database(d, plan, opts)).collect();
+    let dbs: Vec<Database> = (0..DESIGNS.len())
+        .map(|d| build_database(d, plan, opts))
+        .collect();
     let mut refm = RefModel::new(
         history::initial_rows(plan.seed, &plan.history)
             .iter()
@@ -309,7 +342,7 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
 
     // handles[txn][design]; declared after `dbs` so borrows drop first.
     let mut handles: Vec<Vec<Option<Txn<'_>>>> = (0..plan.txns.len())
-        .map(|_| (0..3).map(|_| None).collect())
+        .map(|_| (0..DESIGNS.len()).map(|_| None).collect())
         .collect();
     let mut next_step = vec![0usize; plan.txns.len()];
     let mut dead = vec![false; plan.txns.len()];
@@ -396,7 +429,7 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
             } else {
                 stmt
             };
-            let mut outs: Vec<StmtOut> = Vec::with_capacity(3);
+            let mut outs: Vec<StmtOut> = Vec::with_capacity(DESIGNS.len());
             for h in handles[t].iter_mut() {
                 for f in plan.faults_at(pos) {
                     faults::arm(f.site(), 1);
@@ -446,7 +479,7 @@ pub fn run_plan_with(plan: &Plan, opts: &RunOptions) -> Outcome {
                 // Mirror the engines: a commit attempt burns a timestamp
                 // even when validation or an injected fault rejects it.
                 let commit_ts = refm.commit_ts();
-                let mut results: Vec<Result<(), &'static str>> = Vec::with_capacity(3);
+                let mut results: Vec<Result<(), &'static str>> = Vec::with_capacity(DESIGNS.len());
                 let mut crash_durable_here: Option<bool> = None;
                 for h in handles[t].iter_mut() {
                     for f in plan.faults_at(pos) {

@@ -3,9 +3,10 @@
 //! One seed determines an entire run: a mixed OLTP/OLAP transaction history
 //! (`hpd-workloads::history`), an explicit interleaving schedule, and a set
 //! of fault placements ([`plan`]). The [`driver`] replays that schedule on
-//! a single OS thread against the same logical table under all three
+//! a single OS thread against the same logical table under all four
 //! physical designs the paper compares — B+ tree only, columnstore only,
-//! and hybrid — checking after every statement that the designs agree with
+//! hybrid, and a range-partitioned hybrid whose partitions mix designs —
+//! checking after every statement that the designs agree with
 //! each other and with a single-threaded reference model ([`refmodel`])
 //! replayed in commit-timestamp order. Faults (lock timeouts, commit
 //! failures, forced tuple moves, spill-write failures, buffer-pool

@@ -263,7 +263,7 @@ fn main() -> ExitCode {
         }
         if args.run_opts.sql {
             // Random-SQL select sweep for this seed: parse -> bind ->
-            // execute on all three designs, cross-checked against a
+            // execute on all four designs, cross-checked against a
             // reference evaluation; failures arrive already shrunk.
             let report = fuzz_selects(seed, 32);
             if let Some(f) = report.failure {

@@ -4,8 +4,8 @@
 //! exact timestamp order the engines allocate: `begin` and `commit` each
 //! draw one timestamp from a shared counter, mirroring
 //! `TxnManager::{begin, commit_ts}`. Because the harness issues the same
-//! begin/commit calls to all three designs in the same order, all four
-//! timestamp streams (three engines + model) are identical, and the model
+//! begin/commit calls to all four designs in the same order, all five
+//! timestamp streams (four engines + model) are identical, and the model
 //! can predict every read exactly:
 //!
 //! * Read Committed / Serializable statements see the latest committed

@@ -4,7 +4,7 @@
 //! Every generated query is born twice from one structure: rendered as SQL
 //! text and hand-built as the engine AST the binder is supposed to produce.
 //! The text is parsed and bound, the lowering must `Debug`-match the
-//! hand-built statement exactly, and the statement then runs on all three
+//! hand-built statement exactly, and the statement then runs on all four
 //! physical designs over the same preloaded table. Results are checked
 //! across designs *and* against a local reference evaluation over the raw
 //! rows — so a bug in the lexer, parser, binder, optimizer, or any design's
@@ -23,7 +23,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::driver::{harness_db_config, lower_sql, normalize_rows, RunOptions, DESIGNS, TABLE};
+use crate::driver::{
+    create_design_table, harness_db_config, lower_sql, normalize_rows, RunOptions, DESIGNS, TABLE,
+};
 
 /// Column names of the harness table, ordinal-indexed.
 const COLS: [&str; 3] = ["k", "a", "b"];
@@ -607,31 +609,10 @@ fn build_ctx(seed: u64) -> FuzzCtx {
         })
         .collect();
     let opts = RunOptions::default();
-    let dbs = (0..3)
+    let dbs = (0..DESIGNS.len())
         .map(|design| {
             let db = Database::new(harness_db_config(&opts));
-            let primary = match design {
-                1 => hpd_engine::IndexDescriptor::PrimaryCsi,
-                _ => hpd_engine::IndexDescriptor::PrimaryBTree {
-                    keys: vec![history::COL_K],
-                },
-            };
-            db.create_table(
-                TABLE,
-                history::history_schema(),
-                vec![history::COL_K],
-                primary,
-            )
-            .expect("create fuzz table");
-            if design == 2 {
-                db.create_index(
-                    TABLE,
-                    &hpd_engine::IndexDescriptor::SecondaryCsi {
-                        columns: vec![0, 1, 2],
-                    },
-                )
-                .expect("create secondary CSI");
-            }
+            create_design_table(&db, design, cfg.initial_rows);
             db.load_table(TABLE, raw.clone()).expect("load fuzz rows");
             db
         })
@@ -653,7 +634,7 @@ fn check(ctx: &FuzzCtx, fz: &FuzzSelect) -> Option<String> {
             "SQL lowering differs from the hand-built AST\n  lowered:    {l}\n  hand-built: {h}"
         ));
     }
-    let mut outs: Vec<Vec<Vec<i64>>> = Vec::with_capacity(3);
+    let mut outs: Vec<Vec<Vec<i64>>> = Vec::with_capacity(DESIGNS.len());
     for (d, db) in ctx.dbs.iter().enumerate() {
         match db.session(IsolationLevel::ReadCommitted).run(&lowered) {
             Ok(r) => outs.push(normalize_rows(&r.rows)),

@@ -106,6 +106,25 @@ pub struct SqlColumnDef {
     pub primary_key: bool,
 }
 
+/// `PARTITION BY` clause on CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlPartitionBy {
+    /// `PARTITION BY RANGE (col) VALUES LESS THAN (b1, b2, ...)`:
+    /// `k` bounds declare `k + 1` partitions.
+    Range {
+        column: String,
+        column_offset: usize,
+        bounds: Vec<SqlExpr>,
+    },
+    /// `PARTITION BY HASH (col) PARTITIONS n`.
+    Hash {
+        column: String,
+        column_offset: usize,
+        partitions: usize,
+        partitions_offset: usize,
+    },
+}
+
 /// A parsed statement, still name-based.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlStatement {
@@ -140,6 +159,9 @@ pub enum SqlStatement {
         columns: Vec<SqlColumnDef>,
         /// `USING COLUMNSTORE` makes the primary index a clustered CSI.
         columnstore: bool,
+        /// `PARTITION BY ...` splits the table into partitions, each with
+        /// its own physical design.
+        partition_by: Option<SqlPartitionBy>,
     },
     CreateIndex {
         table: String,

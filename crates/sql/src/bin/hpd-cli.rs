@@ -9,7 +9,7 @@ use std::io::{BufRead, IsTerminal, Write};
 use std::sync::Arc;
 
 use hpd_engine::{Database, DbConfig};
-use hpd_sql::{PlanCache, SqlOutput, SqlSession};
+use hpd_sql::{partitions_report, PlanCache, SqlOutput, SqlSession};
 
 fn main() {
     let mut quiet = false;
@@ -25,7 +25,8 @@ fn main() {
                      Statements end with ';'. Try: CREATE TABLE t (k INT PRIMARY KEY, v INT);\n\
                      Meta-commands (one per line, no ';'):\n\
                        \\heat                      rowgroup heat / backlog per columnstore index\n\
-                       \\maintain <table> [rows]   run maintenance (optionally one budgeted increment)"
+                       \\maintain <table> [rows]   run maintenance (optionally one budgeted increment)\n\
+                       \\partitions <table>        per-partition physical design, row counts, heat"
                 );
                 return;
             }
@@ -158,9 +159,20 @@ fn run_meta(db: &Database, line: &str, out: &mut impl Write) {
                     )?,
                 }
             }
+            Some("\\partitions") => {
+                let Some(table) = words.next() else {
+                    writeln!(out, "ERR: usage: \\partitions <table>")?;
+                    return Ok(());
+                };
+                match partitions_report(db, table) {
+                    Err(e) => writeln!(out, "ERR: {e}")?,
+                    Ok(report) => write!(out, "{report}")?,
+                }
+            }
             Some(other) => writeln!(
                 out,
-                "ERR: unknown meta-command {other} (try \\heat or \\maintain <table> [budget])"
+                "ERR: unknown meta-command {other} (try \\heat, \\maintain <table> [budget], \
+                 or \\partitions <table>)"
             )?,
             None => {}
         }

@@ -11,7 +11,7 @@
 use hpd_common::{ColumnDef, DataType, Expr, Row, Schema, Value};
 use hpd_engine::{
     AggItem, ColRef, Database, DeleteStmt, EquiJoin, IndexDescriptor, InsertStmt, IsolationLevel,
-    SelectQuery, Statement, TableInput, UpdateStmt,
+    PartitionSpec, SelectQuery, Statement, TableInput, UpdateStmt,
 };
 
 use crate::ast::*;
@@ -31,6 +31,8 @@ pub enum Bound {
         schema: Schema,
         pk: Vec<usize>,
         primary: IndexDescriptor,
+        /// Partitioning declaration (`None` for a monolithic table).
+        spec: Option<PartitionSpec>,
     },
     CreateIndex {
         table: String,
@@ -151,6 +153,69 @@ impl<'a> Binder<'a> {
                     ),
                 )
             }),
+        }
+    }
+
+    /// Resolve a `PARTITION BY` clause against the table being created:
+    /// the partition column must exist, range bounds must be literals
+    /// coercible to its type, and the spec's own validation (increasing
+    /// bounds, partition count) is surfaced at the clause's location.
+    fn bind_partition_by(&self, p: &SqlPartitionBy, schema: &Schema) -> SqlResult<PartitionSpec> {
+        let resolve = |name: &str, offset: usize| -> SqlResult<(usize, DataType)> {
+            let ord = schema.index_of(name).map_err(|_| {
+                SqlError::new(
+                    SqlErrorKind::UnknownColumn,
+                    offset,
+                    format!("unknown partition column '{name}'"),
+                )
+            })?;
+            Ok((ord, schema.column(ord).dtype))
+        };
+        match p {
+            SqlPartitionBy::Range {
+                column,
+                column_offset,
+                bounds,
+            } => {
+                let (ord, dtype) = resolve(column, *column_offset)?;
+                let values = bounds
+                    .iter()
+                    .map(|b| match b {
+                        SqlExpr::Lit { value, offset } => {
+                            self.literal(value.clone(), *offset, Some(dtype))
+                        }
+                        // Plan-cache normalization turns literal bounds into
+                        // parameters; the captured values arrive here.
+                        SqlExpr::Param { index, offset } => {
+                            let v = self.param(*index, *offset)?;
+                            self.literal(v, *offset, Some(dtype))
+                        }
+                        other => Err(SqlError::new(
+                            SqlErrorKind::InvalidQuery,
+                            other.offset(),
+                            "partition bounds must be literals",
+                        )),
+                    })
+                    .collect::<SqlResult<Vec<Value>>>()?;
+                PartitionSpec::range(ord, values).map_err(|e| {
+                    SqlError::new(SqlErrorKind::InvalidQuery, *column_offset, e.to_string())
+                })
+            }
+            SqlPartitionBy::Hash {
+                column,
+                column_offset,
+                partitions,
+                partitions_offset,
+            } => {
+                let (ord, _) = resolve(column, *column_offset)?;
+                PartitionSpec::hash(ord, *partitions).map_err(|e| {
+                    SqlError::new(
+                        SqlErrorKind::InvalidQuery,
+                        *partitions_offset,
+                        e.to_string(),
+                    )
+                })
+            }
         }
     }
 
@@ -308,6 +373,7 @@ impl<'a> Binder<'a> {
                 name,
                 columns,
                 columnstore,
+                partition_by,
             } => {
                 let defs: Vec<ColumnDef> = columns
                     .iter()
@@ -327,11 +393,17 @@ impl<'a> Binder<'a> {
                 } else {
                     IndexDescriptor::PrimaryBTree { keys: pk.clone() }
                 };
+                let schema = Schema::new(defs);
+                let spec = partition_by
+                    .as_ref()
+                    .map(|p| self.bind_partition_by(p, &schema))
+                    .transpose()?;
                 Ok(Bound::CreateTable {
                     name: name.clone(),
-                    schema: Schema::new(defs),
+                    schema,
                     pk,
                     primary,
+                    spec,
                 })
             }
             SqlStatement::CreateIndex {

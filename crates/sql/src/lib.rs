@@ -29,7 +29,7 @@ pub use cache::{normalize, NormalizedSql, PlanCache};
 pub use error::{SqlError, SqlErrorKind, SqlResult};
 pub use lexer::split_statements;
 pub use parser::{parse, parse_with_param_count};
-pub use session::{Prepared, SqlOutput, SqlSession};
+pub use session::{partitions_report, Prepared, SqlOutput, SqlSession};
 
 use std::sync::OnceLock;
 

@@ -6,6 +6,8 @@
 //! stmt      := select | insert | update | delete
 //!            | BEGIN [level] | COMMIT | ROLLBACK | SET ISOLATION level
 //!            | CREATE TABLE name '(' coldef (',' coldef)* ')' [USING COLUMNSTORE]
+//!              [PARTITION BY RANGE '(' col ')' VALUES LESS THAN '(' lit, ... ')'
+//!              |PARTITION BY HASH '(' col ')' PARTITIONS n]
 //!            | CREATE [COLUMNSTORE] INDEX ON table '(' cols ')' [INCLUDE '(' cols ')']
 //!            | DROP INDEX n ON table
 //! select    := SELECT item (',' item)* FROM table (join | ',' table)*
@@ -512,10 +514,17 @@ impl Parser {
             } else {
                 false
             };
+            let partition_by = if self.eat_kw("partition") {
+                self.expect_kw("by")?;
+                Some(self.partition_by()?)
+            } else {
+                None
+            };
             return Ok(SqlStatement::CreateTable {
                 name,
                 columns,
                 columnstore,
+                partition_by,
             });
         }
         let columnstore = self.eat_kw("columnstore");
@@ -549,6 +558,49 @@ impl Parser {
             keys,
             includes,
         })
+    }
+
+    /// The clause after `PARTITION BY`: `RANGE (col) VALUES LESS THAN
+    /// (lit, ...)` or `HASH (col) PARTITIONS n`.
+    fn partition_by(&mut self) -> SqlResult<SqlPartitionBy> {
+        let t = self.peek().clone();
+        if self.eat_kw("range") {
+            self.expect_punct("(")?;
+            let (column, column_offset) = self.ident("a partition column")?;
+            self.expect_punct(")")?;
+            self.expect_kw("values")?;
+            self.expect_kw("less")?;
+            self.expect_kw("than")?;
+            self.expect_punct("(")?;
+            let mut bounds = Vec::new();
+            loop {
+                bounds.push(self.primary()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+            Ok(SqlPartitionBy::Range {
+                column,
+                column_offset,
+                bounds,
+            })
+        } else if self.eat_kw("hash") {
+            self.expect_punct("(")?;
+            let (column, column_offset) = self.ident("a partition column")?;
+            self.expect_punct(")")?;
+            self.expect_kw("partitions")?;
+            let partitions_offset = self.peek().offset;
+            let partitions = self.number_usize("a partition count")?;
+            Ok(SqlPartitionBy::Hash {
+                column,
+                column_offset,
+                partitions,
+                partitions_offset,
+            })
+        } else {
+            Err(self.unexpected(&t, "RANGE or HASH"))
+        }
     }
 
     fn drop(&mut self) -> SqlResult<SqlStatement> {

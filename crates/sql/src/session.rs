@@ -203,8 +203,14 @@ impl<'db> SqlSession<'db> {
                 schema,
                 pk,
                 primary,
+                spec,
             } => {
-                self.db.create_table(name, schema, pk, primary)?;
+                match spec {
+                    Some(spec) => self
+                        .db
+                        .create_partitioned_table(name, schema, pk, primary, spec)?,
+                    None => self.db.create_table(name, schema, pk, primary)?,
+                }
                 Ok(SqlOutput::Command("CREATE TABLE"))
             }
             Bound::CreateIndex { table, descriptor } => {
@@ -268,4 +274,58 @@ fn fill_params(slots: &Option<Vec<Option<Value>>>, user: &[Value]) -> SqlResult<
                 .collect())
         }
     }
+}
+
+/// Human-readable per-partition summary for the CLI's `\partitions`
+/// meta-command: the partitioning spec, then each partition's physical
+/// design, row count, and (for columnstore partitions) heat score totals.
+pub fn partitions_report(db: &Database, table: &str) -> Result<String> {
+    let heat: std::collections::HashMap<String, u64> = db
+        .heat_report()
+        .into_iter()
+        .filter(|(t, _, _)| t == table)
+        .map(|(_, index, rep)| {
+            (
+                index,
+                rep.rowgroups.iter().map(|rg| rg.score()).sum::<u64>(),
+            )
+        })
+        .collect();
+    db.with_table(table, |t| {
+        let mut out = String::new();
+        match t.partitioning() {
+            Some(spec) => out.push_str(&format!("{table}: {}\n", spec.describe())),
+            None => out.push_str(&format!("{table}: unpartitioned\n")),
+        }
+        let partitioned = t.num_parts() > 1;
+        for p in 0..t.num_parts() {
+            let part = t.part(p);
+            let mut design = vec![part.primary_descriptor(t.pk()).display(t.schema())];
+            design.extend(
+                part.secondary_descriptors()
+                    .iter()
+                    .map(|d| d.display(t.schema())),
+            );
+            let label = |kind: &str| {
+                if partitioned {
+                    format!("p{p}.{kind}")
+                } else {
+                    kind.to_string()
+                }
+            };
+            let mut heat_note = String::new();
+            for kind in ["primary", "secondary"] {
+                if let Some(score) = heat.get(&label(kind)) {
+                    heat_note.push_str(&format!(" {kind}_heat={score}"));
+                }
+            }
+            out.push_str(&format!(
+                "  p{p}: rows={} design=[{}]{}\n",
+                part.row_count(),
+                design.join(", "),
+                heat_note
+            ));
+        }
+        out
+    })
 }

@@ -53,6 +53,16 @@ const CASES: &[(&str, &str)] = &[
         "create_table_columnstore",
         "CREATE TABLE wide (id BIGINT PRIMARY KEY, x DOUBLE) USING COLUMNSTORE",
     ),
+    (
+        "create_table_partition_range",
+        "CREATE TABLE events (id INT PRIMARY KEY, ts DATE, v BIGINT) \
+         PARTITION BY RANGE (id) VALUES LESS THAN (100, 200, 300)",
+    ),
+    (
+        "create_table_partition_hash",
+        "CREATE TABLE users (id BIGINT PRIMARY KEY, name TEXT) \
+         USING COLUMNSTORE PARTITION BY HASH (id) PARTITIONS 8",
+    ),
     ("create_index_include", "CREATE INDEX ON t (k) INCLUDE (v)"),
     (
         "create_columnstore_index",
@@ -168,6 +178,70 @@ fn malformed_number_is_invalid() {
     let e = parse("SELECT k FROM t WHERE k = 12abc").unwrap_err();
     assert_eq!(e.kind, SqlErrorKind::InvalidNumber);
     assert_eq!(e.offset, 26);
+}
+
+#[test]
+fn partition_by_unknown_method_names_kind_and_offset() {
+    let e = parse("CREATE TABLE t (k INT PRIMARY KEY) PARTITION BY LIST (k)").unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::UnexpectedToken);
+    assert_eq!(e.offset, 48, "offset must point at the bad method keyword");
+    assert!(e.to_string().contains("expected RANGE or HASH"));
+}
+
+#[test]
+fn partition_by_unknown_column_names_kind_and_offset() {
+    let db = test_db();
+    let ast =
+        parse("CREATE TABLE p (k INT PRIMARY KEY) PARTITION BY RANGE (nope) VALUES LESS THAN (5)")
+            .unwrap();
+    let e = bind(&db, &ast, &[]).unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::UnknownColumn);
+    assert_eq!(e.offset, 55, "offset must point at the partition column");
+}
+
+#[test]
+fn partition_bound_type_mismatch_names_kind_and_offset() {
+    let db = test_db();
+    let ast =
+        parse("CREATE TABLE p (k INT PRIMARY KEY) PARTITION BY RANGE (k) VALUES LESS THAN ('x')")
+            .unwrap();
+    let e = bind(&db, &ast, &[]).unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::TypeMismatch);
+    assert_eq!(e.offset, 76, "offset must point at the offending bound");
+}
+
+#[test]
+fn partition_bounds_must_increase() {
+    let db = test_db();
+    let ast =
+        parse("CREATE TABLE p (k INT PRIMARY KEY) PARTITION BY RANGE (k) VALUES LESS THAN (9, 5)")
+            .unwrap();
+    let e = bind(&db, &ast, &[]).unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::InvalidQuery);
+    assert_eq!(e.offset, 55, "spec validation anchors at the column");
+    assert!(e.to_string().contains("strictly increasing"));
+}
+
+#[test]
+fn hash_partition_count_must_be_at_least_two() {
+    let db = test_db();
+    let ast =
+        parse("CREATE TABLE p (k INT PRIMARY KEY) PARTITION BY HASH (k) PARTITIONS 1").unwrap();
+    let e = bind(&db, &ast, &[]).unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::InvalidQuery);
+    assert_eq!(e.offset, 68, "validation anchors at the partition count");
+    assert!(e.to_string().contains("at least two"));
+}
+
+#[test]
+fn partition_bound_expression_is_rejected() {
+    let e =
+        parse("CREATE TABLE p (k INT PRIMARY KEY) PARTITION BY RANGE (k) VALUES LESS THAN (1 + 2)");
+    // The clause takes literal primaries only; `+` ends the list and the
+    // parser trips on it.
+    let e = e.unwrap_err();
+    assert_eq!(e.kind, SqlErrorKind::UnexpectedToken);
+    assert_eq!(e.offset, 78);
 }
 
 #[test]

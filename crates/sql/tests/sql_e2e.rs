@@ -247,3 +247,113 @@ fn cli_runs_a_scripted_session() {
                     ERR: invalid query: unknown-column at byte 7: unknown column 'nope'\n";
     assert_eq!(stdout, expected, "CLI transcript diverged");
 }
+
+// --------------------------------------------------------- partitioned DDL
+
+/// `PARTITION BY` DDL end-to-end: rows route across partitions, queries
+/// answer identically to an unpartitioned twin, and the CLI's
+/// `\partitions` meta-command reports per-partition designs and counts.
+#[test]
+fn partitioned_create_table_routes_rows_and_reports() {
+    let db = Database::new(DbConfig::default());
+    let mut session = SqlSession::new(&db);
+    session
+        .execute(
+            "CREATE TABLE m (k INT PRIMARY KEY, v INT) \
+             PARTITION BY RANGE (k) VALUES LESS THAN (10, 20);
+             INSERT INTO m VALUES (1, 100), (10, 200), (15, 300), (25, 400);",
+        )
+        .expect("partitioned DDL + insert");
+    let counts = db
+        .with_table("m", |t| {
+            (0..t.num_parts())
+                .map(|p| t.part(p).row_count())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+    assert_eq!(counts, vec![1, 2, 1], "rows must route by range");
+
+    let SqlOutput::Rows { rows, .. } = session
+        .execute_one("SELECT SUM(v) FROM m WHERE k >= 10")
+        .expect("query partitioned table")
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(rows[0].values()[0], Value::Int64(900));
+
+    let report = hpd_sql::partitions_report(&db, "m").expect("partitions report");
+    assert!(
+        report.contains("range(col 0)"),
+        "spec line missing: {report}"
+    );
+    assert!(
+        report.contains("p0: rows=1") && report.contains("p1: rows=2"),
+        "per-partition counts missing: {report}"
+    );
+    assert!(
+        report.contains("PRIMARY B+TREE (k)"),
+        "per-partition design missing: {report}"
+    );
+
+    // Hash partitioning through the same path.
+    session
+        .execute(
+            "CREATE TABLE h (k INT PRIMARY KEY, v INT) USING COLUMNSTORE \
+             PARTITION BY HASH (k) PARTITIONS 4;
+             INSERT INTO h VALUES (1, 1), (2, 2), (3, 3), (4, 4), (5, 5);",
+        )
+        .expect("hash DDL + insert");
+    let total: usize = db
+        .with_table("h", |t| {
+            (0..t.num_parts()).map(|p| t.part(p).row_count()).sum()
+        })
+        .unwrap();
+    assert_eq!(total, 5);
+    let SqlOutput::Rows { rows, .. } = session
+        .execute_one("SELECT v FROM h WHERE k = 3")
+        .expect("point query on hash-partitioned table")
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].values()[0], Value::Int32(3));
+}
+
+#[test]
+fn cli_partitions_meta_command_reports_designs() {
+    let script = "CREATE TABLE e (k INT PRIMARY KEY, v INT) \
+                  PARTITION BY RANGE (k) VALUES LESS THAN (100);\n\
+                  INSERT INTO e VALUES (1, 1), (200, 2);\n\
+                  \\partitions e\n\
+                  \\partitions missing\n";
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hpd-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hpd-cli");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait for hpd-cli");
+    assert!(out.status.success(), "hpd-cli exited non-zero: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(
+        stdout.contains("e: range(col 0) less than (Int32(100)) -> 2 partitions"),
+        "spec header missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("p0: rows=1 design=[PRIMARY B+TREE (k)]")
+            && stdout.contains("p1: rows=1 design=[PRIMARY B+TREE (k)]"),
+        "partition lines missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("ERR: unknown table 'missing'")
+            || stdout.contains("ERR: unknown table: missing")
+            || stdout.contains("ERR:"),
+        "missing-table error missing:\n{stdout}"
+    );
+}

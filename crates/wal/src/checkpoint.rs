@@ -14,7 +14,14 @@
 use hpd_common::{HpdError, Result, Row, Schema};
 
 use crate::frame::{append_frame, FrameReader};
-use crate::record::{LogRecord, WalIndexDef};
+use crate::record::{LogRecord, WalIndexDef, WalPartitioning};
+
+/// One partition's physical design inside a [`TableSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartSnapshot {
+    pub primary: WalIndexDef,
+    pub secondaries: Vec<WalIndexDef>,
+}
 
 /// One table's slice of a checkpoint image.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +31,14 @@ pub struct TableSnapshot {
     pub pk: Vec<usize>,
     pub primary: WalIndexDef,
     pub secondaries: Vec<WalIndexDef>,
+    /// Partitioning declaration; `None` for monolithic tables.
+    pub partitioning: Option<WalPartitioning>,
+    /// Per-partition physical designs when partitioned (one entry per
+    /// partition; possibly heterogeneous). Empty for monolithic tables,
+    /// whose design lives in `primary`/`secondaries`.
+    pub parts: Vec<PartSnapshot>,
+    /// Rows of every partition concatenated; recovery's bulk load re-routes
+    /// each row through the partitioning spec.
     pub rows: Vec<Row>,
     /// LSN of the last log record already reflected in `rows` — the redo
     /// skip boundary for this table.
@@ -62,6 +77,7 @@ impl CheckpointImage {
                     schema: t.schema.clone(),
                     pk: t.pk.clone(),
                     primary: t.primary.clone(),
+                    partitioning: t.partitioning.clone(),
                 }
                 .encode(),
             );
@@ -72,6 +88,19 @@ impl CheckpointImage {
                     &LogRecord::IndexCreate {
                         table: i as u32,
                         def: def.clone(),
+                    }
+                    .encode(),
+                );
+            }
+            crate::record::put_u32(&mut body, t.parts.len() as u32);
+            for (p, part) in t.parts.iter().enumerate() {
+                append_frame(
+                    &mut body,
+                    &LogRecord::PartitionDesignChange {
+                        table: i as u32,
+                        part: p as u32,
+                        primary: part.primary.clone(),
+                        secondaries: part.secondaries.clone(),
                     }
                     .encode(),
                 );
@@ -116,6 +145,7 @@ impl CheckpointImage {
                 schema,
                 pk,
                 primary,
+                partitioning,
                 ..
             } = LogRecord::decode(create)?
             else {
@@ -135,6 +165,32 @@ impl CheckpointImage {
                 };
                 secondaries.push(def);
             }
+            let n_parts = rest.u32()? as usize;
+            if n_parts > body.len() {
+                return Err(corrupt("partition count exceeds image"));
+            }
+            let mut parts = Vec::with_capacity(n_parts);
+            for p in 0..n_parts {
+                let f = rest
+                    .framed_record()
+                    .ok_or_else(|| corrupt("bad partition frame"))?;
+                let LogRecord::PartitionDesignChange {
+                    part,
+                    primary,
+                    secondaries,
+                    ..
+                } = LogRecord::decode(f)?
+                else {
+                    return Err(corrupt("expected PartitionDesignChange"));
+                };
+                if part as usize != p {
+                    return Err(corrupt("partition frames out of order"));
+                }
+                parts.push(PartSnapshot {
+                    primary,
+                    secondaries,
+                });
+            }
             let f = rest
                 .framed_record()
                 .ok_or_else(|| corrupt("bad rows frame"))?;
@@ -147,6 +203,8 @@ impl CheckpointImage {
                 pk,
                 primary,
                 secondaries,
+                partitioning,
+                parts,
                 rows,
                 applied_lsn,
             });
@@ -187,6 +245,8 @@ mod tests {
                         cols_a: vec![0, 1],
                         cols_b: vec![],
                     }],
+                    partitioning: None,
+                    parts: vec![],
                     rows: vec![
                         Row::new(vec![Value::Int64(1), Value::Int64(10)]),
                         Row::new(vec![Value::Int64(2), Value::Int64(20)]),
@@ -203,8 +263,54 @@ mod tests {
                         cols_b: vec![],
                     },
                     secondaries: vec![],
+                    partitioning: None,
+                    parts: vec![],
                     rows: vec![],
                     applied_lsn: 4090,
+                },
+                // A range-partitioned table with heterogeneous per-partition
+                // designs: B+ tree on the hot tail, CSI on cold history.
+                TableSnapshot {
+                    name: "pt".into(),
+                    schema: Schema::from_pairs(&[("k", DataType::Int64), ("v", DataType::Int64)]),
+                    pk: vec![0],
+                    primary: WalIndexDef {
+                        kind: WalIndexKind::PrimaryCsi,
+                        cols_a: vec![],
+                        cols_b: vec![],
+                    },
+                    secondaries: vec![],
+                    partitioning: Some(WalPartitioning::Range {
+                        column: 0,
+                        bounds: vec![Value::Int64(100)],
+                    }),
+                    parts: vec![
+                        PartSnapshot {
+                            primary: WalIndexDef {
+                                kind: WalIndexKind::PrimaryCsi,
+                                cols_a: vec![],
+                                cols_b: vec![],
+                            },
+                            secondaries: vec![],
+                        },
+                        PartSnapshot {
+                            primary: WalIndexDef {
+                                kind: WalIndexKind::PrimaryBTree,
+                                cols_a: vec![0],
+                                cols_b: vec![],
+                            },
+                            secondaries: vec![WalIndexDef {
+                                kind: WalIndexKind::SecondaryBTree,
+                                cols_a: vec![1],
+                                cols_b: vec![],
+                            }],
+                        },
+                    ],
+                    rows: vec![
+                        Row::new(vec![Value::Int64(5), Value::Int64(1)]),
+                        Row::new(vec![Value::Int64(150), Value::Int64(2)]),
+                    ],
+                    applied_lsn: 4095,
                 },
             ],
         }

@@ -34,6 +34,18 @@ pub struct WalIndexDef {
     pub cols_b: Vec<usize>,
 }
 
+/// Partitioning declaration mirror (the engine's `PartitionSpec` without the
+/// `hpd-engine` dependency). Carried by `TableCreate` records and checkpoint
+/// snapshots so recovery rebuilds tables with identical row routing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalPartitioning {
+    /// Range partitioning: `bounds[i]` is the exclusive upper bound of
+    /// partition `i`.
+    Range { column: u32, bounds: Vec<Value> },
+    /// Hash partitioning into a fixed partition count.
+    Hash { column: u32, partitions: u32 },
+}
+
 /// One logical log record. LSNs are byte offsets assigned at append time by
 /// [`crate::Wal`], not stored in the payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,18 +63,24 @@ pub enum LogRecord {
     TxnAbort {
         txn_id: u64,
     },
+    /// `part` is the routed partition id (0 for unpartitioned tables) — an
+    /// advisory cross-check; redo re-routes through the table's spec.
     Insert {
         table: u32,
+        part: u32,
         row: Row,
     },
     Delete {
         table: u32,
+        part: u32,
         key: Key,
     },
     /// Value-logged update: the post-image row is computed once at commit
     /// and logged physically, so redo needs no expression evaluation.
+    /// `part` is the post-image's partition.
     Update {
         table: u32,
+        part: u32,
         key: Key,
         new_row: Row,
     },
@@ -73,6 +91,7 @@ pub enum LogRecord {
         schema: Schema,
         pk: Vec<usize>,
         primary: WalIndexDef,
+        partitioning: Option<WalPartitioning>,
     },
     /// Initial rows loaded outside a transaction.
     BulkLoad {
@@ -102,12 +121,23 @@ pub enum LogRecord {
     /// One budgeted maintenance increment completed: up to `budget_rows`
     /// rows of work, split between compacting buffered deletes and moving
     /// delta rows. Replayed logically — redo re-runs an increment with the
-    /// same budget against whatever state recovery rebuilt.
+    /// same budget against whatever state recovery rebuilt. `part` is
+    /// `u32::MAX` for a whole-table (round-robin) increment, else the
+    /// targeted partition.
     MaintenanceStep {
         table: u32,
+        part: u32,
         budget_rows: u64,
         rows_moved: u64,
         deletes_compacted: u64,
+    },
+    /// One partition of a partitioned table swapped its physical design
+    /// (the advisor's heterogeneous per-partition recommendations).
+    PartitionDesignChange {
+        table: u32,
+        part: u32,
+        primary: WalIndexDef,
+        secondaries: Vec<WalIndexDef>,
     },
     /// A fuzzy checkpoint began; its image, once installed, snapshots state
     /// up to at least this record's LSN per table.
@@ -132,6 +162,7 @@ const TAG_DELTA_COMPACTION: u8 = 12;
 const TAG_CHECKPOINT_BEGIN: u8 = 13;
 const TAG_CHECKPOINT_END: u8 = 14;
 const TAG_MAINTENANCE_STEP: u8 = 15;
+const TAG_PARTITION_DESIGN_CHANGE: u8 = 16;
 
 fn corrupt(what: &str) -> HpdError {
     HpdError::Internal(format!("wal: corrupt record: {what}"))
@@ -201,6 +232,22 @@ fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
         put_str(buf, &col.name);
         buf.push(dtype_tag(col.dtype));
         buf.push(col.csi_eligible as u8);
+    }
+}
+
+fn put_partitioning(buf: &mut Vec<u8>, p: &Option<WalPartitioning>) {
+    match p {
+        None => buf.push(0),
+        Some(WalPartitioning::Range { column, bounds }) => {
+            buf.push(1);
+            put_u32(buf, *column);
+            put_values(buf, bounds);
+        }
+        Some(WalPartitioning::Hash { column, partitions }) => {
+            buf.push(2);
+            put_u32(buf, *column);
+            put_u32(buf, *partitions);
+        }
     }
 }
 
@@ -328,6 +375,21 @@ impl<'a> Cur<'a> {
         Ok(Schema::new(cols))
     }
 
+    fn partitioning(&mut self) -> Result<Option<WalPartitioning>> {
+        Ok(match self.u8()? {
+            0 => None,
+            1 => Some(WalPartitioning::Range {
+                column: self.u32()?,
+                bounds: self.values()?,
+            }),
+            2 => Some(WalPartitioning::Hash {
+                column: self.u32()?,
+                partitions: self.u32()?,
+            }),
+            t => return Err(corrupt(&format!("bad partitioning tag {t}"))),
+        })
+    }
+
     fn index_def(&mut self) -> Result<WalIndexDef> {
         let kind = match self.u8()? {
             0 => WalIndexKind::PrimaryBTree,
@@ -388,23 +450,27 @@ impl LogRecord {
                 b.push(TAG_TXN_ABORT);
                 put_u64(&mut b, *txn_id);
             }
-            LogRecord::Insert { table, row } => {
+            LogRecord::Insert { table, part, row } => {
                 b.push(TAG_INSERT);
                 put_u32(&mut b, *table);
+                put_u32(&mut b, *part);
                 put_values(&mut b, row.values());
             }
-            LogRecord::Delete { table, key } => {
+            LogRecord::Delete { table, part, key } => {
                 b.push(TAG_DELETE);
                 put_u32(&mut b, *table);
+                put_u32(&mut b, *part);
                 put_values(&mut b, key.values());
             }
             LogRecord::Update {
                 table,
+                part,
                 key,
                 new_row,
             } => {
                 b.push(TAG_UPDATE);
                 put_u32(&mut b, *table);
+                put_u32(&mut b, *part);
                 put_values(&mut b, key.values());
                 put_values(&mut b, new_row.values());
             }
@@ -414,6 +480,7 @@ impl LogRecord {
                 schema,
                 pk,
                 primary,
+                partitioning,
             } => {
                 b.push(TAG_TABLE_CREATE);
                 put_u32(&mut b, *table);
@@ -421,6 +488,7 @@ impl LogRecord {
                 put_schema(&mut b, schema);
                 put_ordinals(&mut b, pk);
                 put_index_def(&mut b, primary);
+                put_partitioning(&mut b, partitioning);
             }
             LogRecord::BulkLoad { table, rows } => {
                 b.push(TAG_BULK_LOAD);
@@ -460,15 +528,32 @@ impl LogRecord {
             }
             LogRecord::MaintenanceStep {
                 table,
+                part,
                 budget_rows,
                 rows_moved,
                 deletes_compacted,
             } => {
                 b.push(TAG_MAINTENANCE_STEP);
                 put_u32(&mut b, *table);
+                put_u32(&mut b, *part);
                 put_u64(&mut b, *budget_rows);
                 put_u64(&mut b, *rows_moved);
                 put_u64(&mut b, *deletes_compacted);
+            }
+            LogRecord::PartitionDesignChange {
+                table,
+                part,
+                primary,
+                secondaries,
+            } => {
+                b.push(TAG_PARTITION_DESIGN_CHANGE);
+                put_u32(&mut b, *table);
+                put_u32(&mut b, *part);
+                put_index_def(&mut b, primary);
+                put_u32(&mut b, secondaries.len() as u32);
+                for def in secondaries {
+                    put_index_def(&mut b, def);
+                }
             }
             LogRecord::CheckpointBegin => b.push(TAG_CHECKPOINT_BEGIN),
             LogRecord::CheckpointEnd => b.push(TAG_CHECKPOINT_END),
@@ -489,14 +574,17 @@ impl LogRecord {
             TAG_TXN_ABORT => LogRecord::TxnAbort { txn_id: c.u64()? },
             TAG_INSERT => LogRecord::Insert {
                 table: c.u32()?,
+                part: c.u32()?,
                 row: c.row()?,
             },
             TAG_DELETE => LogRecord::Delete {
                 table: c.u32()?,
+                part: c.u32()?,
                 key: c.key()?,
             },
             TAG_UPDATE => LogRecord::Update {
                 table: c.u32()?,
+                part: c.u32()?,
                 key: c.key()?,
                 new_row: c.row()?,
             },
@@ -506,6 +594,7 @@ impl LogRecord {
                 schema: c.schema()?,
                 pk: c.ordinals()?,
                 primary: c.index_def()?,
+                partitioning: c.partitioning()?,
             },
             TAG_BULK_LOAD => {
                 let table = c.u32()?;
@@ -544,10 +633,27 @@ impl LogRecord {
             },
             TAG_MAINTENANCE_STEP => LogRecord::MaintenanceStep {
                 table: c.u32()?,
+                part: c.u32()?,
                 budget_rows: c.u64()?,
                 rows_moved: c.u64()?,
                 deletes_compacted: c.u64()?,
             },
+            TAG_PARTITION_DESIGN_CHANGE => {
+                let table = c.u32()?;
+                let part = c.u32()?;
+                let primary = c.index_def()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() {
+                    return Err(corrupt("secondary count exceeds payload"));
+                }
+                let secondaries = (0..n).map(|_| c.index_def()).collect::<Result<Vec<_>>>()?;
+                LogRecord::PartitionDesignChange {
+                    table,
+                    part,
+                    primary,
+                    secondaries,
+                }
+            }
             TAG_CHECKPOINT_BEGIN => LogRecord::CheckpointBegin,
             TAG_CHECKPOINT_END => LogRecord::CheckpointEnd,
             t => return Err(corrupt(&format!("bad record tag {t}"))),
@@ -571,7 +677,8 @@ impl LogRecord {
             | LogRecord::DesignChange { table, .. }
             | LogRecord::TupleMoverMigrate { table, .. }
             | LogRecord::DeltaCompaction { table, .. }
-            | LogRecord::MaintenanceStep { table, .. } => Some(*table),
+            | LogRecord::MaintenanceStep { table, .. }
+            | LogRecord::PartitionDesignChange { table, .. } => Some(*table),
             _ => None,
         }
     }
@@ -596,6 +703,7 @@ mod tests {
         roundtrip(LogRecord::TxnAbort { txn_id: u64::MAX });
         roundtrip(LogRecord::Insert {
             table: 0,
+            part: 0,
             row: Row::new(vec![
                 Value::Int64(-5),
                 Value::Int32(3),
@@ -607,10 +715,12 @@ mod tests {
         });
         roundtrip(LogRecord::Delete {
             table: 2,
+            part: 7,
             key: Key::new(vec![Value::Int64(9), Value::str("x")]),
         });
         roundtrip(LogRecord::Update {
             table: 1,
+            part: 3,
             key: Key::new(vec![Value::Int64(9)]),
             new_row: Row::new(vec![Value::Int64(9), Value::Int64(10)]),
         });
@@ -624,6 +734,51 @@ mod tests {
                 cols_a: vec![0],
                 cols_b: vec![],
             },
+            partitioning: None,
+        });
+        roundtrip(LogRecord::TableCreate {
+            table: 4,
+            name: "pt".into(),
+            schema: Schema::from_pairs(&[("k", DataType::Int64), ("a", DataType::Int64)]),
+            pk: vec![0],
+            primary: WalIndexDef {
+                kind: WalIndexKind::PrimaryCsi,
+                cols_a: vec![],
+                cols_b: vec![],
+            },
+            partitioning: Some(WalPartitioning::Range {
+                column: 0,
+                bounds: vec![Value::Int64(100), Value::Int64(200)],
+            }),
+        });
+        roundtrip(LogRecord::TableCreate {
+            table: 5,
+            name: "ht".into(),
+            schema: Schema::from_pairs(&[("k", DataType::Int64)]),
+            pk: vec![0],
+            primary: WalIndexDef {
+                kind: WalIndexKind::PrimaryBTree,
+                cols_a: vec![0],
+                cols_b: vec![],
+            },
+            partitioning: Some(WalPartitioning::Hash {
+                column: 0,
+                partitions: 8,
+            }),
+        });
+        roundtrip(LogRecord::PartitionDesignChange {
+            table: 4,
+            part: 2,
+            primary: WalIndexDef {
+                kind: WalIndexKind::PrimaryBTree,
+                cols_a: vec![0],
+                cols_b: vec![],
+            },
+            secondaries: vec![WalIndexDef {
+                kind: WalIndexKind::SecondaryBTree,
+                cols_a: vec![1],
+                cols_b: vec![],
+            }],
         });
         roundtrip(LogRecord::BulkLoad {
             table: 3,
@@ -657,6 +812,7 @@ mod tests {
         roundtrip(LogRecord::DeltaCompaction { table: 3, rows: 4 });
         roundtrip(LogRecord::MaintenanceStep {
             table: 3,
+            part: u32::MAX,
             budget_rows: 4096,
             rows_moved: 120,
             deletes_compacted: 8,
@@ -670,6 +826,7 @@ mod tests {
         for f in [f64::NAN, -0.0, f64::INFINITY, f64::MIN_POSITIVE] {
             let rec = LogRecord::Insert {
                 table: 0,
+                part: 0,
                 row: Row::new(vec![Value::Float64(f)]),
             };
             let back = LogRecord::decode(&rec.encode()).unwrap();
@@ -693,8 +850,25 @@ mod tests {
         assert!(LogRecord::decode(&ok).is_err());
         // Insert claiming a huge value count must not attempt allocation.
         let mut b = vec![TAG_INSERT];
-        put_u32(&mut b, 0);
+        put_u32(&mut b, 0); // table
+        put_u32(&mut b, 0); // part
         put_u32(&mut b, u32::MAX);
         assert!(LogRecord::decode(&b).is_err());
+        // TableCreate with an unknown partitioning tag is rejected.
+        let mut ok = LogRecord::TableCreate {
+            table: 0,
+            name: "t".into(),
+            schema: Schema::from_pairs(&[("k", DataType::Int64)]),
+            pk: vec![0],
+            primary: WalIndexDef {
+                kind: WalIndexKind::PrimaryBTree,
+                cols_a: vec![0],
+                cols_b: vec![],
+            },
+            partitioning: None,
+        }
+        .encode();
+        *ok.last_mut().unwrap() = 9;
+        assert!(LogRecord::decode(&ok).is_err());
     }
 }
